@@ -1,0 +1,89 @@
+// Extension bench: synchronous vs asynchronous (staged) checkpointing —
+// FTI's dedicated-process flush mode. Async hides most of the flush behind
+// computation (cheaper fault-free runs) but widens the unprotected window
+// (a fault during the background flush falls back to the previous
+// checkpoint). This bench quantifies both sides across checkpoint periods,
+// fault-free and under injected faults.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/montecarlo.hpp"
+#include "ft/checkpoint_cost.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  const std::vector<std::string> kernels{
+      apps::kLuleshTimestep, apps::checkpoint_kernel(ft::Level::kL4)};
+  bench::CaseStudy cs(kernels, model::ModelMethod::kAuto);
+  constexpr int kEpr = 15;
+  constexpr std::int64_t kRanksUsed = 64;
+  constexpr int kSteps = 2000;
+  constexpr double kNodeMtbf = 1200.0;  // 37.5 s system MTBF at 32 nodes
+
+  ft::CheckpointCostModel cost({}, bench::case_study_fti());
+  cs.arch->bind_restart(
+      ft::Level::kL4,
+      std::make_shared<model::ConstantModel>(cost.restart_cost(
+          ft::Level::kL4, apps::lulesh_checkpoint_bytes(kEpr), kRanksUsed)));
+
+  const std::vector<double> point{static_cast<double>(kEpr),
+                                  static_cast<double>(kRanksUsed)};
+  std::cout << "Synchronous vs asynchronous L4 checkpointing (LULESH_FTI, "
+            << "epr " << kEpr << ", " << kRanksUsed << " ranks, " << kSteps
+            << " timesteps)\n"
+            << "L4 instance cost "
+            << cs.suite.kernels.at(apps::checkpoint_kernel(ft::Level::kL4))
+                   .model->predict(point)
+            << " s; async stages 15% on the critical path\n\n";
+
+  util::TextTable t("Fault-free overhead and faulty expected runtime");
+  t.set_header({"period", "sync clean (s)", "async clean (s)",
+                "sync @faults (s)", "async @faults (s)"});
+  for (int period : {25, 50, 100, 200}) {
+    auto scenario = [&](bool async) {
+      core::Scenario s{"L4", {{ft::Level::kL4, period}}};
+      s.plan[0].async = async;
+      return s;
+    };
+    auto clean = [&](bool async) {
+      return core::run_ensemble(
+                 bench::case_study_app(scenario(async), kEpr, kRanksUsed,
+                                       kSteps),
+                 *cs.arch, core::EngineOptions{}, 10)
+          .total.mean;
+    };
+    auto faulty = [&](bool async) {
+      core::EngineOptions opt;
+      opt.inject_faults = true;
+      opt.downtime_seconds = 2.0;
+      opt.max_sim_seconds = 4 * 3600.0;
+      opt.seed = 5 + static_cast<std::uint64_t>(period);
+      cs.arch->set_fault_process(ft::FaultProcess(kNodeMtbf, 1.0));
+      const double v =
+          core::run_ensemble(
+              bench::case_study_app(scenario(async), kEpr, kRanksUsed,
+                                    kSteps),
+              *cs.arch, opt, 15)
+              .total.mean;
+      cs.arch->set_fault_process(std::nullopt);
+      return v;
+    };
+    t.add_row({std::to_string(period), util::TextTable::fmt(clean(false), 1),
+               util::TextTable::fmt(clean(true), 1),
+               util::TextTable::fmt(faulty(false), 1),
+               util::TextTable::fmt(faulty(true), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: async wins fault-free at every period "
+               "(the flush hides under compute, bounded below by the stage "
+               "cost and the flush-drain throughput at short periods). "
+               "Under faults the advantage persists here because the "
+               "~1 s in-flight-flush exposure window is small against the "
+               "~37 s system MTBF; as MTBF approaches the flush time the "
+               "wider unprotected window erodes the async gain — the "
+               "trade-off knob this bench exists to measure.\n";
+  return 0;
+}

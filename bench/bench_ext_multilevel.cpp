@@ -1,0 +1,104 @@
+// Extension bench: multilevel checkpoint-plan optimization (the paper's
+// future-work "optimize for different fault rates and scenarios").
+// For a sweep of failure mixes (soft process crashes vs hard node losses),
+// the closed-form optimizer picks (tau_L1, tau_L4) pairs; each optimized
+// plan is then validated by fault-injected BE-SST simulation against
+// single-level alternatives.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/montecarlo.hpp"
+#include "ft/multilevel_opt.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  const std::vector<std::string> kernels{
+      apps::kLuleshTimestep, apps::checkpoint_kernel(ft::Level::kL1),
+      apps::checkpoint_kernel(ft::Level::kL4)};
+  bench::CaseStudy cs(kernels, model::ModelMethod::kAuto);
+  constexpr int kEpr = 15;
+  constexpr std::int64_t kRanksUsed = 64;
+  constexpr int kSteps = 4000;
+  constexpr double kNodeMtbf = 900.0;  // s; 32 nodes -> ~28 s system MTBF
+  constexpr double kDowntime = 2.0;
+
+  const std::vector<double> point{static_cast<double>(kEpr),
+                                  static_cast<double>(kRanksUsed)};
+  const double ts = cs.suite.kernels.at(apps::kLuleshTimestep)
+                        .model->predict(point);
+  ft::CheckpointCostModel cost({}, bench::case_study_fti());
+  const auto bytes = apps::lulesh_checkpoint_bytes(kEpr);
+
+  ft::LevelSpec l1{ft::Level::kL1,
+                   cs.suite.kernels.at(apps::checkpoint_kernel(ft::Level::kL1))
+                       .model->predict(point),
+                   cost.restart_cost(ft::Level::kL1, bytes, kRanksUsed)};
+  ft::LevelSpec l4{ft::Level::kL4,
+                   cs.suite.kernels.at(apps::checkpoint_kernel(ft::Level::kL4))
+                       .model->predict(point),
+                   cost.restart_cost(ft::Level::kL4, bytes, kRanksUsed)};
+
+  for (ft::Level level : {ft::Level::kL1, ft::Level::kL4})
+    cs.arch->bind_restart(level, std::make_shared<model::ConstantModel>(
+                                     cost.restart_cost(level, bytes,
+                                                       kRanksUsed)));
+
+  std::cout << "Multilevel checkpoint-plan optimization vs fault-injected "
+               "simulation\n"
+            << "LULESH_FTI epr " << kEpr << ", " << kRanksUsed << " ranks, "
+            << kSteps << " timesteps (" << kSteps * ts
+            << " s work), node MTBF " << kNodeMtbf
+            << " s; L1 cost " << l1.checkpoint_cost << " s, L4 cost "
+            << l4.checkpoint_cost << " s\n\n";
+
+  util::TextTable t("Optimized plans and simulated outcomes per failure mix");
+  t.set_header({"soft frac", "opt tau_L1 (steps)", "opt tau_L4 (steps)",
+                "analytic E[T] (s)", "sim two-level (s)", "sim L4-only (s)"});
+  for (double soft : {0.95, 0.8, 0.5, 0.2}) {
+    ft::MultilevelWorkload w;
+    w.work = kSteps * ts;
+    w.system_mtbf = kNodeMtbf / (kRanksUsed / bench::kNodeSize);
+    w.soft_fraction = soft;
+    w.downtime = kDowntime;
+    const ft::TwoLevelPlan plan = ft::optimize_two_level(w, l1, l4);
+    const int steps_l1 =
+        std::max(1, static_cast<int>(std::round(plan.tau_low / ts)));
+    int steps_l4 =
+        std::max(steps_l1, static_cast<int>(std::round(plan.tau_high / ts)));
+    steps_l4 = (steps_l4 / steps_l1) * steps_l1;  // nested
+
+    auto simulate = [&](const std::vector<ft::PlanEntry>& entries) {
+      core::Scenario scenario{"plan", entries};
+      const core::AppBEO app =
+          bench::case_study_app(scenario, kEpr, kRanksUsed, kSteps);
+      core::EngineOptions opt;
+      opt.inject_faults = true;
+      opt.downtime_seconds = kDowntime;
+      opt.max_sim_seconds = 4 * 3600.0;
+      opt.seed = 50 + static_cast<std::uint64_t>(100 * soft);
+      // Soft fraction -> FaultProcess node-loss fraction complement.
+      cs.arch->set_fault_process(ft::FaultProcess(kNodeMtbf, 1.0 - soft));
+      return core::run_ensemble(app, *cs.arch, opt, 15).total.mean;
+    };
+    const double two_level = simulate(
+        {{ft::Level::kL1, steps_l1}, {ft::Level::kL4, steps_l4}});
+    const double l4_only = simulate({{ft::Level::kL4, steps_l1}});
+
+    t.add_row({util::TextTable::fmt(soft, 2), std::to_string(steps_l1),
+               std::to_string(steps_l4),
+               util::TextTable::fmt(plan.expected_runtime, 1),
+               util::TextTable::fmt(two_level, 1),
+               util::TextTable::fmt(l4_only, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: as hard failures grow (soft frac down), "
+               "the optimal L4 period shrinks toward the L1 period; the "
+               "optimized two-level plan tracks the analytic prediction and "
+               "beats (or matches) frequent-L4-only plans when most "
+               "failures are soft.\n";
+  return 0;
+}

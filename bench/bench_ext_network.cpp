@@ -1,0 +1,98 @@
+// Ablation bench: analytic communication model vs executed discrete-event
+// network. The same traffic patterns are priced by CommModel's closed forms
+// and executed through the fat-tree switch components (per-port
+// store-and-forward serialization). Agreement in the uncongested regime
+// plus graceful divergence under contention is what justifies using the
+// cheap analytic model inside coarse-grained sweeps, and the DES network
+// for the contended corners the paper flags for finer study.
+
+#include <iostream>
+
+#include "net/comm.hpp"
+#include "net/des_network.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+namespace {
+
+/// Execute a traffic pattern and return the makespan (seconds).
+double run_pattern(
+    const net::TwoStageFatTree& topo, const net::CommParams& params,
+    const std::vector<std::tuple<net::NodeId, net::NodeId, std::uint64_t>>&
+        flows) {
+  sim::Simulation sim;
+  net::DesNetwork network(sim, topo, params);
+  sim::SimTime last = 0;
+  for (net::NodeId n = 0; n < topo.num_nodes(); ++n)
+    network.on_delivery(
+        n, [&last](const net::FlowMsg&, sim::SimTime when) {
+          last = std::max(last, when);
+        });
+  for (const auto& [src, dst, bytes] : flows)
+    network.send(src, dst, bytes, 0);
+  sim.run();
+  return sim::to_seconds(last);
+}
+
+}  // namespace
+
+int main() {
+  net::TwoStageFatTree topo(8, 16, 8);  // 128 nodes
+  net::CommParams params;
+  params.bandwidth = 10e9;
+  params.injection_latency = 1e-6;
+  params.sw_latency = 150e-9;
+  net::CommModel analytic(topo, params);
+
+  std::cout << "Analytic comm model vs executed DES fat-tree (128 nodes, "
+            << "10 GB/s links)\n\n";
+
+  util::TextTable t("Traffic patterns: analytic estimate vs DES makespan");
+  t.set_header({"pattern", "bytes/flow", "analytic (us)", "DES (us)",
+                "DES/analytic"});
+
+  for (std::uint64_t bytes : {std::uint64_t{1000}, std::uint64_t{100000},
+                              std::uint64_t{1000000}}) {
+    // Single cross-leaf flow: uncongested.
+    {
+      const double a = analytic.ptp_time(0, 127, bytes);
+      const double d = run_pattern(topo, params, {{0, 127, bytes}});
+      t.add_row({"single cross-leaf flow", std::to_string(bytes),
+                 util::TextTable::fmt(a * 1e6, 2),
+                 util::TextTable::fmt(d * 1e6, 2),
+                 util::TextTable::fmt(d / a, 2)});
+    }
+    // Incast: 15 senders to one node — the analytic ptp time has no queue.
+    {
+      std::vector<std::tuple<net::NodeId, net::NodeId, std::uint64_t>> flows;
+      for (net::NodeId src = 16; src < 31; ++src)
+        flows.push_back({src, 0, bytes});
+      const double a = analytic.ptp_time(16, 0, bytes);  // one flow's view
+      const double d = run_pattern(topo, params, flows);
+      t.add_row({"15-to-1 incast (vs 1-flow analytic)", std::to_string(bytes),
+                 util::TextTable::fmt(a * 1e6, 2),
+                 util::TextTable::fmt(d * 1e6, 2),
+                 util::TextTable::fmt(d / a, 2)});
+    }
+    // Pairwise disjoint exchange across leaves.
+    {
+      std::vector<std::tuple<net::NodeId, net::NodeId, std::uint64_t>> flows;
+      for (net::NodeId i = 0; i < 16; ++i)
+        flows.push_back({i, 112 + (i % 16), bytes});
+      const double a = analytic.ptp_time(0, 112, bytes);
+      const double d = run_pattern(topo, params, flows);
+      t.add_row({"16 disjoint-dst cross-leaf flows", std::to_string(bytes),
+                 util::TextTable::fmt(a * 1e6, 2),
+                 util::TextTable::fmt(d * 1e6, 2),
+                 util::TextTable::fmt(d / a, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: near-1x ratios for solo/disjoint flows validate "
+               "the closed forms (store-and-forward adds a bounded factor "
+               "for bandwidth-dominated messages); the incast rows show the "
+               "queueing the analytic point-to-point form cannot see — the "
+               "regime where DSE should switch to the executed network.\n";
+  return 0;
+}

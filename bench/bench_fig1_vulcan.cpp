@@ -1,0 +1,148 @@
+// Reproduces the Fig. 1 style DSE validation from the original BE-SST study
+// the paper builds on: CMT-bone on a Vulcan-like (5-D torus) machine.
+// Benchmarked + simulated runtimes across rank counts in the validated
+// region (up to 128Ki ranks of our allocation), simulation-only predictions
+// beyond it (up to 1Mi ranks — past the machine's physical size), with
+// Monte-Carlo spread per point (the pop-out distribution of Fig. 1).
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "apps/cmtbone.hpp"
+#include "apps/kernels.hpp"
+#include "apps/testbed.hpp"
+#include "core/arch.hpp"
+#include "core/montecarlo.hpp"
+#include "core/workflow.hpp"
+#include "model/fitting.hpp"
+#include "net/topology.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = argc > 1 ? argv[1] : "";
+  const apps::VulcanTestbed testbed;
+  constexpr int kElementSize = 5;
+  constexpr int kElementsPerRank = 128;
+  constexpr int kTimesteps = 100;
+
+  // ---- Calibration campaign over the validated region ----
+  const std::vector<std::int64_t> validated{
+      64,   256,   1024,   4096,   16384,
+      65536, 131072};  // <= "our allocation of 128,000 cores"
+  const std::vector<std::int64_t> predicted{262144, 524288, 1048576};
+
+  model::Dataset calib({"element_size", "elements_per_rank", "ranks"});
+  util::Rng rng(2018);
+  for (std::int64_t ranks : validated) {
+    const std::vector<double> point{static_cast<double>(kElementSize),
+                                    static_cast<double>(kElementsPerRank),
+                                    static_cast<double>(ranks)};
+    calib.add_row(point,
+                  testbed.measure_kernel(apps::kCmtBoneTimestep, point, 10,
+                                         rng));
+  }
+
+  model::FitOptions fit;
+  fit.method = model::ModelMethod::kAuto;
+  fit.seed = 2018;
+  std::map<std::string, model::Dataset> datasets;
+  datasets.emplace(apps::kCmtBoneTimestep, std::move(calib));
+  const core::ModelSuite suite = core::develop_models(datasets, fit);
+  const auto& report = suite.reports.front().fit;
+
+  // ---- Vulcan-like architecture: 5-D torus, 16 ranks/node ----
+  auto torus = std::make_shared<net::Torus>(
+      std::vector<net::NodeId>{8, 8, 8, 16, 8});  // 65536 nodes
+  net::CommParams comm;
+  comm.bandwidth = 2.0e9;  // BG/Q-era per-link
+  core::ArchBEO arch("vulcan", torus, comm, 16);
+  suite.bind_into(arch);
+
+  std::cout << "Reproduction of Fig. 1 (BE-SST DSE validation: CMT-bone on "
+               "Vulcan-like torus)\n"
+            << "timestep model: " << report.formula << "\n"
+            << "kernel validation MAPE: "
+            << util::TextTable::pct(report.full_mape) << "\n\n";
+
+  util::TextTable t("Fig. 1 scatter: per-timestep runtime vs ranks "
+                    "(element_size=5, 128 elements/rank)");
+  t.set_header({"ranks", "benchmarked_s", "sim_mean_s", "sim_p10_s",
+                "sim_p90_s", "region"});
+  util::Rng bench_rng(99);
+  auto add_point = [&](std::int64_t ranks, bool measured) {
+    apps::CmtBoneConfig cfg;
+    cfg.element_size = kElementSize;
+    cfg.elements_per_rank = kElementsPerRank;
+    cfg.ranks = ranks;
+    cfg.timesteps = kTimesteps;
+    const core::AppBEO app = apps::build_cmtbone(cfg);
+    core::EngineOptions opt;
+    opt.seed = 7 + static_cast<std::uint64_t>(ranks);
+    const auto ens = core::run_ensemble(app, arch, opt, 30);
+    const double per_ts = static_cast<double>(kTimesteps);
+    std::string benchmarked = "-";
+    if (measured) {
+      const std::vector<double> point{
+          static_cast<double>(kElementSize),
+          static_cast<double>(kElementsPerRank),
+          static_cast<double>(ranks)};
+      const auto samples = testbed.measure_kernel(apps::kCmtBoneTimestep,
+                                                  point, 10, bench_rng);
+      benchmarked = util::TextTable::fmt(util::mean(samples), 6);
+    }
+    t.add_row({util::TextTable::fmt(static_cast<double>(ranks), 0),
+               benchmarked,
+               util::TextTable::fmt(ens.total.mean / per_ts, 6),
+               util::TextTable::fmt(util::quantile(ens.totals, 0.1) / per_ts, 6),
+               util::TextTable::fmt(util::quantile(ens.totals, 0.9) / per_ts, 6),
+               measured ? "validated" : "predicted"});
+  };
+  for (std::int64_t ranks : validated) add_point(ranks, true);
+  for (std::int64_t ranks : predicted) add_point(ranks, false);
+  t.print(std::cout);
+  if (!csv_dir.empty()) {
+    std::ofstream os(csv_dir + "/fig1_scatter.csv");
+    t.write_csv(os);
+  }
+  std::cout << "\n(Vulcan physically topped out at 1,048,576 ranks here; "
+               "prediction region extends past the 131,072-rank "
+               "allocation, as in Fig. 1.)\n";
+
+  // ---- Full-application totals (measured vs simulated) across the
+  // validated region — the Fig. 1 claim in aggregate form.
+  util::TextTable tv("Full CMT-bone runs: measured vs simulated total (s)");
+  tv.set_header({"ranks", "measured", "simulated", "error"});
+  util::Rng run_rng(314);
+  std::vector<double> measured_totals, simulated_totals;
+  for (std::int64_t ranks : validated) {
+    const auto measured = testbed.run_application(
+        kElementSize, kElementsPerRank, ranks, kTimesteps, run_rng);
+    apps::CmtBoneConfig cfg;
+    cfg.element_size = kElementSize;
+    cfg.elements_per_rank = kElementsPerRank;
+    cfg.ranks = ranks;
+    cfg.timesteps = kTimesteps;
+    core::EngineOptions opt;
+    opt.seed = 11 + static_cast<std::uint64_t>(ranks);
+    const auto ens =
+        core::run_ensemble(apps::build_cmtbone(cfg), arch, opt, 20);
+    measured_totals.push_back(measured.total_seconds);
+    simulated_totals.push_back(ens.total.mean);
+    tv.add_row({util::TextTable::fmt(static_cast<double>(ranks), 0),
+                util::TextTable::fmt(measured.total_seconds, 4),
+                util::TextTable::fmt(ens.total.mean, 4),
+                util::TextTable::pct(100.0 * (ens.total.mean -
+                                              measured.total_seconds) /
+                                         measured.total_seconds,
+                                     1)});
+  }
+  tv.print(std::cout);
+  std::cout << "full-application MAPE across the validated region: "
+            << util::TextTable::pct(
+                   util::mape_percent(measured_totals, simulated_totals))
+            << "\n";
+  return 0;
+}

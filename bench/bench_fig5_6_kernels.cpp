@@ -1,0 +1,101 @@
+// Reproduces Figs. 5-6 and Table III of the paper: kernel-level model
+// validation for the LULESH timestep and FTI level-1/level-2 checkpointing,
+// plus the prediction region beyond the benchmarked design space
+// (epr > 25 simulating a bigger-memory notional node, and 1331 ranks beyond
+// the 1000-rank allocation).
+
+#include <fstream>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main(int argc, char** argv) {
+  const std::string csv_dir = argc > 1 ? argv[1] : "";
+  const std::vector<std::string> kernels{
+      apps::kLuleshTimestep, apps::checkpoint_kernel(ft::Level::kL1),
+      apps::checkpoint_kernel(ft::Level::kL2)};
+  bench::CaseStudy cs(kernels, model::ModelMethod::kAuto);
+
+  std::cout << "Reproduction of Figs. 5-6 + Table III (kernel model "
+               "validation)\n"
+            << "Validation region: epr {5..25} x ranks {8..1000}; "
+               "prediction region: epr 30, ranks 1331.\n\n";
+
+  // ---- Fig. 5/6 data: measured mean vs model prediction per kernel ----
+  for (const std::string& kernel : kernels) {
+    const auto& fitted = cs.suite.kernels.at(kernel);
+    util::TextTable t("Fig. 5-6 series: " + kernel);
+    t.set_header({"epr", "ranks", "measured_mean_s", "model_s", "region"});
+    const auto& data = cs.calibration.at(kernel);
+    for (const auto& row : data.rows()) {
+      t.add_row({util::TextTable::fmt(row.params[0], 0),
+                 util::TextTable::fmt(row.params[1], 0),
+                 util::TextTable::fmt(row.mean_response(), 6),
+                 util::TextTable::fmt(fitted.model->predict(row.params), 6),
+                 "validation"});
+    }
+    // Prediction region (model only — the machine could not run these).
+    for (std::int64_t ranks : bench::kRanks)
+      t.add_row({"30", util::TextTable::fmt(double(ranks), 0), "-",
+                 util::TextTable::fmt(
+                     fitted.model->predict(std::vector<double>{
+                         30.0, static_cast<double>(ranks)}),
+                     6),
+                 "prediction"});
+    for (int epr : bench::kEprs)
+      t.add_row({util::TextTable::fmt(double(epr), 0), "1331", "-",
+                 util::TextTable::fmt(
+                     fitted.model->predict(std::vector<double>{
+                         static_cast<double>(epr), 1331.0}),
+                     6),
+                 "prediction"});
+    t.print(std::cout);
+    std::cout << "model: " << fitted.report.formula << "\n\n";
+    if (!csv_dir.empty()) {
+      std::ofstream os(csv_dir + "/fig5_6_" + kernel + ".csv");
+      t.write_csv(os);
+    }
+  }
+
+  // ---- Sanity of the Fig. 5-6 ordering claims ----
+  {
+    const auto& ts = *cs.suite.kernels.at(apps::kLuleshTimestep).model;
+    const auto& l1 =
+        *cs.suite.kernels.at(apps::checkpoint_kernel(ft::Level::kL1)).model;
+    const auto& l2 =
+        *cs.suite.kernels.at(apps::checkpoint_kernel(ft::Level::kL2)).model;
+    util::TextTable t("Kernel ordering at epr=15 (timestep << L1 <= L2)");
+    t.set_header({"ranks", "timestep_s", "ckpt_L1_s", "ckpt_L2_s"});
+    for (std::int64_t ranks : bench::kRanks) {
+      const std::vector<double> p{15.0, static_cast<double>(ranks)};
+      t.add_row({util::TextTable::fmt(double(ranks), 0),
+                 util::TextTable::fmt(ts.predict(p), 6),
+                 util::TextTable::fmt(l1.predict(p), 6),
+                 util::TextTable::fmt(l2.predict(p), 6)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // ---- Table III ----
+  util::TextTable t3("Table III: Model Validation via Mean Average Percent "
+                     "Error (paper: 6.64% / 16.68% / 14.50%)");
+  t3.set_header({"Kernel", "MAPE", "method", "train MAPE", "test MAPE"});
+  const std::map<std::string, std::string> pretty{
+      {apps::kLuleshTimestep, "LULESH Timestep"},
+      {apps::checkpoint_kernel(ft::Level::kL1), "Level 1 Checkpointing"},
+      {apps::checkpoint_kernel(ft::Level::kL2), "Level 2 Checkpointing"}};
+  for (const auto& report : cs.suite.reports) {
+    t3.add_row({pretty.at(report.kernel),
+                util::TextTable::pct(report.fit.full_mape),
+                model::to_string(report.fit.chosen),
+                util::TextTable::pct(report.fit.train_mape),
+                util::TextTable::pct(report.fit.test_mape)});
+  }
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Fig. 9: predicted fault-tolerance overhead grids for the full
+// design space — scenario x problem size x rank count — each cell the
+// simulated total runtime as a percentage of the measured No-FT baseline at
+// 64 ranks for the same problem size (which is why the simulated No-FT row
+// hovers near, not exactly at, 100%).
+
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "core/montecarlo.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  const std::vector<std::string> kernels{
+      apps::kLuleshTimestep, apps::checkpoint_kernel(ft::Level::kL1),
+      apps::checkpoint_kernel(ft::Level::kL2)};
+  bench::CaseStudy cs(kernels, model::ModelMethod::kAuto);
+  const auto scenarios = bench::case_study_scenarios();
+  const std::vector<int> eprs{10, 15, 20, 25};  // Fig. 9 columns
+
+  std::cout << "Reproduction of Fig. 9 (overhead prediction for full system "
+               "simulation)\n"
+            << "Each cell: simulated runtime as % of the measured No-FT "
+               "64-rank run at the same epr.\n\n";
+
+  // Measured per-epr baselines (one run each, like the paper's).
+  std::map<int, double> baseline;
+  util::Rng rng(4242);
+  for (int epr : eprs)
+    baseline[epr] =
+        cs.testbed.run_application(epr, 64, bench::kTimesteps, {}, rng)
+            .total_seconds;
+
+  std::uint64_t stream = 0;
+  for (std::int64_t ranks : {std::int64_t{64}, std::int64_t{1000}}) {
+    util::TextTable t(std::to_string(ranks) + " Ranks");
+    std::vector<std::string> header{"scenario"};
+    for (int epr : eprs) header.push_back("epr " + std::to_string(epr));
+    t.set_header(std::move(header));
+    for (const auto& scenario : scenarios) {
+      std::vector<std::string> row{scenario.name};
+      for (int epr : eprs) {
+        const core::AppBEO app = bench::case_study_app(scenario, epr, ranks);
+        core::EngineOptions opt;
+        opt.seed = 31 + ++stream;
+        const auto ens = core::run_ensemble(app, *cs.arch, opt, 10);
+        row.push_back(util::TextTable::fmt(
+                          100.0 * ens.total.mean / baseline[epr], 0) +
+                      "%");
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Paper's Fig. 9 for reference:\n"
+            << "  64 ranks   No FT 100-109%, L1 109-140%, L1&L2 183-294%\n"
+            << "  1000 ranks No FT 119-170%, L1 215-428%, L1&L2 550-1374%\n";
+  return 0;
+}

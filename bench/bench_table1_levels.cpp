@@ -1,0 +1,100 @@
+// Reproduces Table I (FTI checkpointing level semantics) as *executable*
+// claims: for each level, the storage path, the modeled cost composition,
+// and a recoverability truth table over representative failure patterns —
+// including a live Reed-Solomon encode/erase/decode demonstration for L3.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "ft/checkpoint_cost.hpp"
+#include "ft/reed_solomon.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  const ft::FtiConfig fti = bench::case_study_fti();
+  constexpr std::int64_t kRanks = 64;  // 32 nodes, 8 groups of 4
+
+  std::cout << "Reproduction of Table I (FTI checkpoint levels), executable "
+               "form\n\n";
+
+  util::TextTable t1("Table I: Checkpointing Levels of the FTI");
+  t1.set_header({"Level", "Checkpoint Method"});
+  t1.add_row({"Level 1", "Checkpoint file saved on local node"});
+  t1.add_row({"Level 2",
+              "Saved on local node AND sent to neighbor node in group"});
+  t1.add_row({"Level 3", "Files encoded via Reed-Solomon (RS) erasure code"});
+  t1.add_row({"Level 4", "All files flushed to parallel file system"});
+  t1.print(std::cout);
+  std::cout << '\n';
+
+  // ---- Modeled cost per level (the overhead column Table I implies) ----
+  ft::CheckpointCostModel cost({}, fti);
+  util::TextTable tc("Modeled cost per instance (100 MB/rank state)");
+  tc.set_header({"level", "cost @64 ranks", "cost @1000 ranks",
+                 "restart @1000 ranks"});
+  for (ft::Level level : {ft::Level::kL1, ft::Level::kL2, ft::Level::kL3,
+                          ft::Level::kL4}) {
+    tc.add_row({ft::to_string(level),
+                util::TextTable::fmt(cost.cost(level, 100'000'000, 64), 4),
+                util::TextTable::fmt(cost.cost(level, 100'000'000, 1000), 4),
+                util::TextTable::fmt(
+                    cost.restart_cost(level, 100'000'000, 1000), 4)});
+  }
+  tc.print(std::cout);
+  std::cout << '\n';
+
+  // ---- Recoverability truth table ----
+  struct Pattern {
+    const char* name;
+    ft::FailureSet failures;
+  };
+  const std::vector<Pattern> patterns{
+      {"process crash (files intact)",
+       {{0, 1, 2, 3}, ft::FailureKind::kProcessCrash}},
+      {"1 node lost", {{5}, ft::FailureKind::kNodeLoss}},
+      {"2 non-partner nodes in one group", {{0, 2}, ft::FailureKind::kNodeLoss}},
+      {"2 partner nodes in one group", {{0, 1}, ft::FailureKind::kNodeLoss}},
+      {"3 nodes in one group", {{0, 1, 2}, ft::FailureKind::kNodeLoss}},
+      {"whole group lost", {{0, 1, 2, 3}, ft::FailureKind::kNodeLoss}},
+      {"1 node in each of 2 groups", {{0, 4}, ft::FailureKind::kNodeLoss}},
+  };
+  util::TextTable tr("Recoverability (group_size=4, node_size=2, 64 ranks)");
+  tr.set_header({"failure pattern", "L1", "L2", "L3", "L4"});
+  for (const auto& pattern : patterns) {
+    std::vector<std::string> row{pattern.name};
+    for (ft::Level level : {ft::Level::kL1, ft::Level::kL2, ft::Level::kL3,
+                            ft::Level::kL4})
+      row.push_back(ft::recoverable(level, fti, kRanks, pattern.failures)
+                        ? "recover"
+                        : "LOST");
+    tr.add_row(std::move(row));
+  }
+  tr.print(std::cout);
+
+  // ---- Live L3 Reed-Solomon demonstration ----
+  std::cout << "\nL3 Reed-Solomon demo: group of 4 checkpoint shards + 2 "
+               "parity, erase 2, reconstruct:\n";
+  util::Rng rng(1);
+  ft::ReedSolomon rs(4, 2);
+  std::vector<std::vector<std::uint8_t>> shards(4,
+                                                std::vector<std::uint8_t>(32));
+  for (auto& s : shards)
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  auto parity = rs.encode(shards);
+  auto all = shards;
+  all.insert(all.end(), parity.begin(), parity.end());
+  const auto original = all;
+  std::vector<bool> present(6, true);
+  all[1].clear();
+  present[1] = false;
+  all[4].clear();
+  present[4] = false;
+  rs.reconstruct(all, present);
+  std::cout << "  erased shards {1, 4}; reconstruction "
+            << (all == original ? "EXACT" : "FAILED") << "; encode ops for a "
+            << "5.6 MB shard: " << rs.encode_ops(5'600'000) << " GF mul-adds\n";
+  return 0;
+}

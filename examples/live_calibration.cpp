@@ -1,0 +1,64 @@
+// Example: the Model Development phase against a REAL machine — this one.
+//
+// MiniHydro is an actual executable hydrodynamics kernel; LocalTestbed
+// times it with std::chrono. We calibrate performance models on small
+// grids, predict the cost of larger grids the calibration never saw, then
+// actually run those larger grids and score the prediction — the complete
+// instrument -> benchmark -> model -> predict -> validate loop of the
+// paper's Fig. 2, with genuine wall-clock noise instead of a synthetic
+// testbed.
+
+#include <iostream>
+
+#include "apps/testbed_local.hpp"
+#include "model/fitting.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  const apps::LocalTestbed machine;
+
+  // --- calibrate on small grids (fast to run) ---
+  const std::vector<int> calibration_sizes{12, 16, 20, 24, 28, 32, 36, 40};
+  constexpr int kSamples = 8;
+  std::cout << "Benchmarking minihydro_step on this machine (grids 12..40, "
+            << kSamples << " samples each)...\n";
+  const model::Dataset data =
+      machine.run_campaign(calibration_sizes, kSamples);
+
+  model::FitOptions fit;
+  fit.seed = 99;
+  // Symbolic regression extrapolates power-law compute kernels far more
+  // reliably than an unconstrained feature basis (see bench_ext_modelcmp).
+  fit.method = model::ModelMethod::kSymbolicRegression;
+  const auto fitted = model::fit_kernel_model(data, fit);
+  std::cout << "model:  " << fitted.report.formula << "\n"
+            << "method: " << model::to_string(fitted.report.chosen)
+            << ", calibration MAPE "
+            << util::TextTable::pct(fitted.report.full_mape) << ", residual "
+            << "sigma " << fitted.report.residual_sigma << "\n\n";
+
+  // --- predict grids beyond the calibrated range, then check for real ---
+  util::TextTable t("Prediction vs actual measurement (extrapolation)");
+  t.set_header({"n", "cells", "predicted_s", "measured_s", "error"});
+  std::vector<double> actual, predicted;
+  for (int n : {48, 56, 64}) {
+    const std::vector<double> point{static_cast<double>(n)};
+    const double pred = fitted.model->predict(point);
+    const auto samples =
+        machine.measure_kernel(apps::kMiniHydroStep, point, 5);
+    const double meas = util::mean(samples);
+    actual.push_back(meas);
+    predicted.push_back(pred);
+    t.add_row({std::to_string(n), std::to_string(n * n * n),
+               util::TextTable::fmt(pred, 6), util::TextTable::fmt(meas, 6),
+               util::TextTable::pct(100.0 * (pred - meas) / meas, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "extrapolation MAPE: "
+            << util::TextTable::pct(util::mape_percent(actual, predicted))
+            << " — the models were fitted on grids <= 40 only.\n";
+  return 0;
+}

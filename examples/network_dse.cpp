@@ -1,0 +1,73 @@
+// Example: architectural DSE of the interconnect — the "plug-and-play
+// subsystems" use of BE-SST. The same Stencil3D application (explicit
+// halo-exchange communication) is evaluated across fabric configurations,
+// twice each: with the closed-form collective model (the coarse sweep tool)
+// and with the executed DES fat-tree (switch components, per-port
+// serialization) to check the closed form in the configuration we'd pick.
+
+#include <iostream>
+#include <memory>
+
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "core/engine_des.hpp"
+#include "net/topology.hpp"
+#include "util/table.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  apps::Stencil3dConfig cfg;
+  cfg.nx = 96;
+  cfg.ranks = 64;
+  cfg.sweeps = 100;
+  const core::AppBEO app = apps::build_stencil3d(cfg);
+
+  struct Fabric {
+    const char* name;
+    double bandwidth;
+    double sw_latency;
+    net::NodeId spines;
+  };
+  const std::vector<Fabric> fabrics{
+      {"EDR-class (12.5 GB/s, 4 spines)", 12.5e9, 120e-9, 4},
+      {"HDR-class (25 GB/s, 4 spines)", 25e9, 110e-9, 4},
+      {"HDR-class, doubled spine (8)", 25e9, 110e-9, 8},
+      {"NDR-class (50 GB/s, 8 spines)", 50e9, 100e-9, 8},
+  };
+
+  std::cout << "Interconnect DSE for Stencil3D (nx=96, 64 ranks, 100 "
+               "sweeps; compute fixed at 2 ms/sweep)\n\n";
+  util::TextTable t("Predicted runtime per fabric");
+  t.set_header({"fabric", "analytic engine (s)", "DES network (s)",
+                "comm share (DES)"});
+  for (const Fabric& fabric : fabrics) {
+    auto topo = std::make_shared<net::TwoStageFatTree>(8, 8, fabric.spines);
+    net::CommParams params;
+    params.bandwidth = fabric.bandwidth;
+    params.sw_latency = fabric.sw_latency;
+    core::ArchBEO arch(fabric.name, topo, params, 8);
+    ft::FtiConfig fti;
+    fti.group_size = 4;
+    fti.node_size = 2;
+    arch.set_fti(fti);
+    arch.bind_kernel(apps::kStencilSweep,
+                     std::make_shared<model::ConstantModel>(0.002));
+
+    const double analytic = core::run_bsp(app, arch).total_seconds;
+    core::EngineOptions networked;
+    networked.use_des_network = true;
+    const double des = core::run_des(app, arch, networked).total_seconds;
+    const double compute = 100 * 0.002;
+    t.add_row({fabric.name, util::TextTable::fmt(analytic, 3),
+               util::TextTable::fmt(des, 3),
+               util::TextTable::pct(100.0 * (des - compute) / des, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe coarse engine ranks the fabrics instantly; the DES "
+               "network confirms the ranking (and exposes contention the "
+               "closed form averages away) before any detailed simulation "
+               "is commissioned.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the whole FT-BESST workflow in ~80 lines.
+//
+//  1. Benchmark an application kernel and a checkpoint kernel on a machine
+//     (here: the bundled synthetic Quartz-like testbed).
+//  2. Develop performance models from the calibration data (Model
+//     Development phase).
+//  3. Bind the models into an architecture BEO and simulate the full
+//     application with and without fault tolerance (Co-Design phase).
+//
+// Build & run:  ./examples/quickstart
+
+#include <iostream>
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/testbed.hpp"
+#include "core/arch.hpp"
+#include "core/montecarlo.hpp"
+#include "core/workflow.hpp"
+#include "net/topology.hpp"
+
+using namespace ftbesst;
+
+int main() {
+  // --- 1. Calibration campaign on the "machine" -------------------------
+  ft::FtiConfig fti;
+  fti.group_size = 4;  // FTI groups of 4 nodes
+  fti.node_size = 2;   // 2 ranks per node
+  apps::QuartzTestbed machine({}, fti);
+
+  apps::CampaignSpec campaign;              // epr {5..25} x ranks {8..1000}
+  campaign.samples_per_point = 10;          // repeated samples capture noise
+  const auto calibration = apps::run_campaign(
+      machine, campaign,
+      {apps::kLuleshTimestep, apps::checkpoint_kernel(ft::Level::kL1)});
+
+  // --- 2. Model Development ---------------------------------------------
+  model::FitOptions fit;                    // kAuto: symreg vs features
+  const core::ModelSuite models = core::develop_models(calibration, fit);
+  for (const auto& report : models.reports)
+    std::cout << report.kernel << ": MAPE "
+              << report.fit.full_mape << "% via "
+              << model::to_string(report.fit.chosen) << "\n";
+
+  // --- 3. Co-Design: simulate LULESH_FTI on a Quartz-like machine --------
+  auto topology = std::make_shared<net::TwoStageFatTree>(94, 32, 24);
+  core::ArchBEO quartz("quartz", topology, net::CommParams{}, 36);
+  quartz.set_fti(fti);
+  models.bind_into(quartz);
+
+  for (bool with_ft : {false, true}) {
+    apps::LuleshConfig cfg;
+    cfg.epr = 15;
+    cfg.ranks = 512;
+    cfg.timesteps = 200;
+    cfg.fti = fti;
+    if (with_ft) cfg.plan = {{ft::Level::kL1, 40}};
+    const core::AppBEO app = apps::build_lulesh_fti(cfg);
+
+    const auto ensemble =
+        core::run_ensemble(app, quartz, core::EngineOptions{}, 20);
+    std::cout << (with_ft ? "L1 checkpointing every 40 steps" : "no FT")
+              << ": " << ensemble.total.mean << " s (stddev "
+              << ensemble.total.stddev << ")\n";
+  }
+  std::cout << "Done. See examples/lulesh_fti_dse for the full case study."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,16 @@
+# Fig. 1 reproduction: measured vs simulated per-timestep runtime vs ranks,
+# validated region + prediction region with Monte-Carlo band.
+set terminal pngcairo size 900,600
+set output "bench_data/fig1.png"
+set datafile separator ","
+set logscale x 2
+set xlabel "MPI ranks"
+set ylabel "time per timestep (s)"
+set title "CMT-bone on Vulcan-like torus: validated vs predicted"
+set key left top
+plot "bench_data/fig1_scatter.csv" using 1:4:5 skip 1 with filledcurves \
+         fc rgb "#cce5ff" title "sim p10-p90", \
+     "" using 1:3 skip 1 with linespoints lc rgb "#1f77b4" \
+         title "simulated mean", \
+     "" using 1:($2 eq "-" ? 1/0 : $2) skip 1 with points pt 7 \
+         lc rgb "#ff7f0e" title "benchmarked"

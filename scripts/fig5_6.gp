@@ -1,0 +1,16 @@
+# Figs. 5-6 reproduction: kernel scaling, measured vs model, per kernel.
+set terminal pngcairo size 1200,500
+set output "bench_data/fig5_6.png"
+set datafile separator ","
+set multiplot layout 1,3
+set logscale y
+set xlabel "epr"
+set ylabel "time (s)"
+do for [k in "lulesh_timestep ckpt_l1 ckpt_l2"] {
+  set title k
+  plot sprintf("bench_data/fig5_6_%s.csv", k) \
+         using 1:($5 eq "validation" ? $3 : 1/0) skip 1 \
+         with points pt 7 lc rgb "#ff7f0e" title "measured", \
+       "" using 1:4 skip 1 with points pt 1 lc rgb "#1f77b4" title "model"
+}
+unset multiplot

@@ -1,0 +1,19 @@
+# Figs. 7-8 reproduction: cumulative full-application runtime, three FT
+# scenarios, measured vs simulated.
+set terminal pngcairo size 1200,500
+set output "bench_data/fig7_8.png"
+set datafile separator ","
+set multiplot layout 1,2
+set xlabel "timestep"
+set ylabel "cumulative runtime (s)"
+do for [f in "7 8"] {
+  set title sprintf("Fig. %s (%s ranks)", f, f eq "7" ? "64" : "1000")
+  plot sprintf("bench_data/fig%s_traces.csv", f) \
+         using 1:2 skip 1 with lines lc rgb "#1f77b4" title "measured NoFT", \
+       "" using 1:3 skip 1 with lines dt 2 lc rgb "#1f77b4" title "sim NoFT", \
+       "" using 1:4 skip 1 with lines lc rgb "#d62728" title "measured L1", \
+       "" using 1:5 skip 1 with lines dt 2 lc rgb "#d62728" title "sim L1", \
+       "" using 1:6 skip 1 with lines lc rgb "#2ca02c" title "measured L1&L2", \
+       "" using 1:7 skip 1 with lines dt 2 lc rgb "#2ca02c" title "sim L1&L2"
+}
+unset multiplot

@@ -1,0 +1,111 @@
+#include "analytic/speedup.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ft/young_daly.hpp"
+
+namespace ftbesst::analytic {
+
+namespace {
+void check_alpha_n(double alpha, double n) {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("serial fraction must be in [0,1]");
+  if (n < 1.0) throw std::invalid_argument("n must be >= 1");
+}
+}  // namespace
+
+double amdahl_speedup(double alpha, double n) {
+  check_alpha_n(alpha, n);
+  return 1.0 / (alpha + (1.0 - alpha) / n);
+}
+
+double gustafson_speedup(double alpha, double n) {
+  check_alpha_n(alpha, n);
+  return alpha + (1.0 - alpha) * n;
+}
+
+double cr_expected_time(double work, double alpha, double n,
+                        const FaultModel& fm) {
+  check_alpha_n(alpha, n);
+  if (work <= 0.0) throw std::invalid_argument("work must be positive");
+  const double parallel_time = work * (alpha + (1.0 - alpha) / n);
+  const double system_mtbf = fm.node_mtbf / n;
+  const double interval =
+      ft::young_interval(fm.checkpoint_cost, system_mtbf);
+  return ft::expected_runtime_cr(parallel_time, interval, fm.checkpoint_cost,
+                                 fm.restart_cost, system_mtbf);
+}
+
+double cr_speedup(double work, double alpha, double n, const FaultModel& fm) {
+  const double t_n = cr_expected_time(work, alpha, n, fm);
+  if (!std::isfinite(t_n)) return 0.0;
+  return work / t_n;
+}
+
+double replication_speedup(double work, double alpha, double n,
+                           const FaultModel& fm, double rework_window) {
+  check_alpha_n(alpha, n);
+  if (rework_window <= 0.0)
+    throw std::invalid_argument("rework window must be positive");
+  // n logical nodes backed by 2n physical nodes. A pair is interrupted only
+  // if its second replica dies within `rework_window` of the first:
+  //   rate_pair = 2 * lambda * (lambda * window), lambda = 1/mtbf
+  // System rate = n * rate_pair.
+  const double lambda = 1.0 / fm.node_mtbf;
+  const double pair_rate = 2.0 * lambda * (lambda * rework_window);
+  const double system_mtbf = 1.0 / (n * pair_rate);
+  const double parallel_time = work * (alpha + (1.0 - alpha) / n);
+  const double interval =
+      ft::young_interval(fm.checkpoint_cost, system_mtbf);
+  const double t = ft::expected_runtime_cr(
+      parallel_time, interval, fm.checkpoint_cost, fm.restart_cost,
+      system_mtbf);
+  if (!std::isfinite(t)) return 0.0;
+  return work / t;
+}
+
+double optimal_nodes_cr(double work, double alpha, const FaultModel& fm,
+                        double max_n) {
+  if (max_n < 1.0) throw std::invalid_argument("max_n must be >= 1");
+  double best_n = 1.0;
+  double best_speedup = cr_speedup(work, alpha, 1.0, fm);
+  for (double n = 2.0; n <= max_n; n *= 2.0) {
+    const double s = cr_speedup(work, alpha, n, fm);
+    if (s > best_speedup) {
+      best_speedup = s;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+double spare_exhaustion_probability(double n, double spares,
+                                    double node_mtbf, double mttr) {
+  if (n < 1.0 || node_mtbf <= 0.0 || mttr <= 0.0 || spares < 0.0)
+    throw std::invalid_argument("invalid spare-pool parameters");
+  // Failures outstanding during a repair window ~ Poisson(mean).
+  const double mean = n * mttr / node_mtbf;
+  // P[X > spares] = 1 - sum_{k<=spares} e^-m m^k / k!
+  const auto limit = static_cast<int>(spares);
+  double term = std::exp(-mean);
+  double cdf = term;
+  for (int k = 1; k <= limit; ++k) {
+    term *= mean / static_cast<double>(k);
+    cdf += term;
+  }
+  return std::max(0.0, 1.0 - cdf);
+}
+
+double spares_for_availability(double n, double node_mtbf, double mttr,
+                               double target, double max_spares) {
+  if (target <= 0.0 || target >= 1.0)
+    throw std::invalid_argument("target probability must be in (0,1)");
+  for (double s = 0.0; s <= max_spares; s += 1.0)
+    if (spare_exhaustion_probability(n, s, node_mtbf, mttr) <= target)
+      return s;
+  return max_spares;
+}
+
+}  // namespace ftbesst::analytic

@@ -1,0 +1,76 @@
+#pragma once
+// Analytical reliability-aware scaling baselines from the related work the
+// paper positions itself against (Section II):
+//
+//  * Amdahl / Gustafson — the classic fault-free laws;
+//  * Cavelan et al. [CLUSTER'16], Zheng & Lan — Amdahl/Gustafson modified
+//    for exponential faults mitigated by coordinated checkpoint/restart.
+//    Their key finding, reproduced by bench_ext_analytic: with faults the
+//    speedup is no longer monotone in n; there is a reliability-optimal
+//    node count beyond which adding nodes hurts;
+//  * Hussain et al. [DSN'20] — dual replication: half the throughput, but
+//    a pair only fails when both replicas fail close together, pushing the
+//    speedup peak to much larger n;
+//  * Jin et al. [ICPP'10] — optimal checkpoint interval selection folded
+//    into the execution-time model.
+//
+// All functions take per-node MTBF; the system rate is n/mtbf.
+
+#include <cstdint>
+
+namespace ftbesst::analytic {
+
+/// Classic Amdahl speedup for serial fraction `alpha` on `n` nodes.
+[[nodiscard]] double amdahl_speedup(double alpha, double n);
+
+/// Classic Gustafson scaled speedup.
+[[nodiscard]] double gustafson_speedup(double alpha, double n);
+
+struct FaultModel {
+  double node_mtbf = 1e6;       ///< seconds
+  double checkpoint_cost = 30;  ///< C, seconds
+  double restart_cost = 60;     ///< R, seconds
+};
+
+/// Expected execution time of `work` seconds (single-node-equivalent work,
+/// serial fraction alpha) on n nodes with coordinated C/R at the Young-
+/// optimal interval for that n. Returns +inf in the thrashing regime.
+[[nodiscard]] double cr_expected_time(double work, double alpha, double n,
+                                      const FaultModel& fm);
+
+/// Reliability-aware speedup under C/R: T(1, fault-free) / T(n, faults).
+[[nodiscard]] double cr_speedup(double work, double alpha, double n,
+                                const FaultModel& fm);
+
+/// Reliability-aware speedup with dual replication (Hussain-style): 2n
+/// nodes are used as n replicated pairs. Throughput halves; a failure only
+/// interrupts execution when both replicas of a pair are lost within one
+/// recovery window, so the effective MTBF becomes
+///   M_pair_system ~ mtbf^2 / (2 * n * window).
+[[nodiscard]] double replication_speedup(double work, double alpha, double n,
+                                         const FaultModel& fm,
+                                         double rework_window = 3600.0);
+
+/// Node count (searched over powers of 2 up to `max_n`) that maximizes
+/// cr_speedup — the "optimal process count" of Cavelan/Jin.
+[[nodiscard]] double optimal_nodes_cr(double work, double alpha,
+                                      const FaultModel& fm, double max_n);
+
+/// Jin et al. [ICPP'10]-style spare-node analysis: with `spares` warm
+/// spares, a failed compute node is replaced immediately while the spare
+/// pool is non-empty; the job only takes a full outage when failures
+/// outstrip the pool. Returns the probability that, over a repair window
+/// `mttr`, the number of failed-and-not-yet-repaired nodes exceeds the
+/// pool (Poisson tail with mean n*mttr/mtbf) — i.e. the fraction of time
+/// the system runs degraded.
+[[nodiscard]] double spare_exhaustion_probability(double n, double spares,
+                                                  double node_mtbf,
+                                                  double mttr);
+
+/// Smallest spare count keeping exhaustion probability below `target`
+/// (searched up to `max_spares`; returns max_spares if unreachable).
+[[nodiscard]] double spares_for_availability(double n, double node_mtbf,
+                                             double mttr, double target,
+                                             double max_spares = 4096);
+
+}  // namespace ftbesst::analytic

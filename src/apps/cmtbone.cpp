@@ -1,0 +1,33 @@
+#include "apps/cmtbone.hpp"
+
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+
+namespace ftbesst::apps {
+
+void CmtBoneConfig::validate() const {
+  if (element_size < 2)
+    throw std::invalid_argument("element_size must be >= 2");
+  if (elements_per_rank < 1)
+    throw std::invalid_argument("elements_per_rank must be >= 1");
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  if (timesteps < 1) throw std::invalid_argument("timesteps must be >= 1");
+}
+
+core::AppBEO build_cmtbone(const CmtBoneConfig& config) {
+  config.validate();
+  core::AppBEO app("cmtbone", config.ranks);
+  const std::vector<double> params{
+      static_cast<double>(config.element_size),
+      static_cast<double>(config.elements_per_rank),
+      static_cast<double>(config.ranks)};
+  for (int step = 1; step <= config.timesteps; ++step) {
+    app.compute(kCmtBoneTimestep, params);
+    if (config.explicit_reduction) app.allreduce(8);  // global dt
+    app.end_timestep();
+  }
+  return app;
+}
+
+}  // namespace ftbesst::apps

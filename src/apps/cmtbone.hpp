@@ -1,0 +1,31 @@
+#pragma once
+// CMT-bone proxy-application model (the workload of the paper's Fig. 1
+// Vulcan validation, from the original BE-SST study [Ramaswamy et al.,
+// ICPP'18]). CMT-bone abstracts CMT-nek: per timestep, spectral-element
+// compute over the rank-local elements plus a global dt reduction.
+
+#include <cstdint>
+
+#include "core/beo.hpp"
+
+namespace ftbesst::apps {
+
+struct CmtBoneConfig {
+  int element_size = 5;           ///< spectral points per element edge
+  int elements_per_rank = 64;     ///< rank-local element count
+  std::int64_t ranks = 8;
+  int timesteps = 100;
+  /// Emit the per-timestep dt reduction as an explicit AllReduce
+  /// instruction. Leave false when the calibrated timestep kernel already
+  /// includes it (as the instrumented CMT-bone timings do) — an explicit
+  /// instruction would double-count the collective.
+  bool explicit_reduction = false;
+
+  void validate() const;
+};
+
+/// Build the CMT-bone AppBEO. The timestep kernel's model parameters are
+/// {element_size, elements_per_rank, ranks}.
+[[nodiscard]] core::AppBEO build_cmtbone(const CmtBoneConfig& config);
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,21 @@
+#pragma once
+// Canonical kernel names shared between AppBEO builders, testbeds,
+// calibration campaigns, and ArchBEO bindings. A kernel name is the join
+// key of the whole workflow: the instrumented code block, its calibration
+// dataset, its fitted model, and the abstract instruction all carry it.
+
+#include <string>
+
+#include "ft/fti.hpp"
+
+namespace ftbesst::apps {
+
+inline constexpr const char* kLuleshTimestep = "lulesh_timestep";
+inline constexpr const char* kCmtBoneTimestep = "cmtbone_timestep";
+
+/// Checkpoint kernel name for an FTI level ("ckpt_l1" .. "ckpt_l4").
+[[nodiscard]] inline std::string checkpoint_kernel(ft::Level level) {
+  return "ckpt_l" + std::to_string(static_cast<int>(level));
+}
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,106 @@
+#include "apps/lulesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+
+namespace ftbesst::apps {
+
+bool is_perfect_cube(std::int64_t n) {
+  if (n < 1) return false;
+  const auto root = static_cast<std::int64_t>(
+      std::llround(std::cbrt(static_cast<double>(n))));
+  for (std::int64_t r = std::max<std::int64_t>(1, root - 1); r <= root + 1;
+       ++r)
+    if (r * r * r == n) return true;
+  return false;
+}
+
+std::int64_t cube_side(std::int64_t n) {
+  if (!is_perfect_cube(n))
+    throw std::invalid_argument(std::to_string(n) + " is not a perfect cube");
+  const auto root = static_cast<std::int64_t>(
+      std::llround(std::cbrt(static_cast<double>(n))));
+  for (std::int64_t r = std::max<std::int64_t>(1, root - 1); r <= root + 1;
+       ++r)
+    if (r * r * r == n) return r;
+  return root;
+}
+
+std::uint64_t lulesh_checkpoint_bytes(int epr) {
+  if (epr < 1) throw std::invalid_argument("epr must be >= 1");
+  constexpr std::uint64_t kFieldsPerElement = 45;
+  constexpr std::uint64_t kBytesPerField = 8;
+  const auto e = static_cast<std::uint64_t>(epr);
+  return e * e * e * kFieldsPerElement * kBytesPerField;
+}
+
+std::uint64_t lulesh_halo_bytes(int epr) {
+  if (epr < 1) throw std::invalid_argument("epr must be >= 1");
+  constexpr std::uint64_t kFieldsPerFace = 3;  // nodal coordinates/velocity
+  constexpr std::uint64_t kBytesPerField = 8;
+  const auto e = static_cast<std::uint64_t>(epr);
+  return e * e * kFieldsPerFace * kBytesPerField;
+}
+
+void LuleshConfig::validate() const {
+  if (epr < 1) throw std::invalid_argument("epr must be >= 1");
+  if (timesteps < 1) throw std::invalid_argument("timesteps must be >= 1");
+  if (!is_perfect_cube(ranks))
+    throw std::invalid_argument(
+        "LULESH requires a perfect-cube number of ranks, got " +
+        std::to_string(ranks));
+  if (!plan.empty()) fti.validate(ranks);
+}
+
+namespace {
+
+void append_checkpoints(core::AppBEO& app, const LuleshConfig& config,
+                        const ft::CheckpointScheduler& scheduler, int step) {
+  const std::vector<double> params{static_cast<double>(config.epr),
+                                   static_cast<double>(config.ranks)};
+  for (const ft::PlanEntry& entry : scheduler.due_entries_after(step))
+    app.checkpoint(entry.level, checkpoint_kernel(entry.level), params,
+                   entry.async);
+}
+
+}  // namespace
+
+core::AppBEO build_lulesh_fti(const LuleshConfig& config) {
+  config.validate();
+  core::AppBEO app("lulesh_fti", config.ranks);
+  app.set_checkpoint_bytes_per_rank(lulesh_checkpoint_bytes(config.epr));
+  const ft::CheckpointScheduler scheduler(config.plan);
+  const std::vector<double> params{static_cast<double>(config.epr),
+                                   static_cast<double>(config.ranks)};
+  for (int step = 1; step <= config.timesteps; ++step) {
+    app.compute(kLuleshTimestep, params);
+    app.end_timestep();
+    append_checkpoints(app, config, scheduler, step);
+  }
+  return app;
+}
+
+core::AppBEO build_lulesh_explicit_comm(const LuleshConfig& config) {
+  config.validate();
+  core::AppBEO app("lulesh_explicit", config.ranks);
+  app.set_checkpoint_bytes_per_rank(lulesh_checkpoint_bytes(config.epr));
+  const ft::CheckpointScheduler scheduler(config.plan);
+  const std::vector<double> params{static_cast<double>(config.epr),
+                                   static_cast<double>(config.ranks)};
+  // Interior ranks exchange across 6 faces; boundary ranks fewer — the
+  // coarse collective model takes the dominant interior degree.
+  const int degree = config.ranks > 1 ? 6 : 0;
+  for (int step = 1; step <= config.timesteps; ++step) {
+    app.compute(kLuleshTimestep, params);
+    app.neighbor_exchange(degree, lulesh_halo_bytes(config.epr));
+    // LULESH computes a global dt reduction each step (one double).
+    app.allreduce(8);
+    app.end_timestep();
+    append_checkpoints(app, config, scheduler, step);
+  }
+  return app;
+}
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,59 @@
+#pragma once
+// LULESH_FTI proxy-application model (the paper's case-study workload).
+//
+// LULESH decomposes a cubic domain into one cubic subdomain per rank, so
+// the rank count must be a perfect cube; the problem size parameter `epr`
+// is the per-rank subdomain edge length (the paper sweeps 5..25). The FTI
+// integration (after Kermarquer's LULESH_FTI) checkpoints the protected
+// simulation state on a fixed timestep period. The builder emits the
+// FT-aware iterative-solver structure of the paper's Fig. 3:
+//
+//   for each timestep: [timestep kernel] ; if due: [checkpoint(level)]
+
+#include <cstdint>
+#include <vector>
+
+#include "core/beo.hpp"
+#include "ft/fti.hpp"
+
+namespace ftbesst::apps {
+
+/// True when n is a perfect cube (1, 8, 27, 64, ...).
+[[nodiscard]] bool is_perfect_cube(std::int64_t n);
+/// Integer cube root of a perfect cube.
+[[nodiscard]] std::int64_t cube_side(std::int64_t n);
+
+/// Protected state per rank: LULESH keeps ~45 field arrays of doubles over
+/// epr^3 elements (nodal + element-centered), which is what FTI writes.
+[[nodiscard]] std::uint64_t lulesh_checkpoint_bytes(int epr);
+
+/// Halo exchange volume per neighbour face: epr^2 elements x a few fields.
+[[nodiscard]] std::uint64_t lulesh_halo_bytes(int epr);
+
+struct LuleshConfig {
+  int epr = 10;
+  std::int64_t ranks = 8;
+  int timesteps = 200;
+  /// Active checkpoint levels with their periods ("No FT" = empty).
+  std::vector<ft::PlanEntry> plan;
+  ft::FtiConfig fti;
+
+  /// Enforces the perfect-cube rank rule and (when checkpointing) FTI's
+  /// rank-multiple constraint. Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Build the LULESH_FTI AppBEO. The timestep kernel is modeled at
+/// whole-timestep granularity (as instrumented in the case study: the
+/// kernel's calibration data already includes its internal halo exchange),
+/// and checkpoints are separate coordinated instructions whose model
+/// parameters are {epr, ranks}.
+[[nodiscard]] core::AppBEO build_lulesh_fti(const LuleshConfig& config);
+
+/// Variant exposing LULESH's communication structure explicitly (compute +
+/// 6-neighbour halo exchange per timestep) for DES-level studies where the
+/// network model, not the aggregate kernel, should produce comm time.
+[[nodiscard]] core::AppBEO build_lulesh_explicit_comm(
+    const LuleshConfig& config);
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,104 @@
+#include "apps/minihydro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftbesst::apps {
+
+namespace {
+constexpr double kGamma = 1.4;    // ideal diatomic gas
+constexpr double kRho0 = 1.0;     // ambient density
+constexpr double kE0 = 1e-3;      // ambient specific internal energy
+constexpr double kBlast = 10.0;   // energy spike in the central cell
+}  // namespace
+
+MiniHydro::MiniHydro(int n) : n_(n), h_(1.0 / n) {
+  if (n < 4) throw std::invalid_argument("MiniHydro needs n >= 4");
+  const auto total = static_cast<std::size_t>(cells());
+  rho_.assign(total, kRho0);
+  e_.assign(total, kE0);
+  u_.assign(total, 0.0);
+  v_.assign(total, 0.0);
+  w_.assign(total, 0.0);
+  p_.assign(total, 0.0);
+  rho_next_ = rho_;
+  e_next_ = e_;
+  u_next_ = u_;
+  v_next_ = v_;
+  w_next_ = w_;
+  e_[idx(n_ / 2, n_ / 2, n_ / 2)] = kBlast;
+}
+
+void MiniHydro::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("dt must be positive");
+  const double inv2h = 1.0 / (2.0 * h_);
+
+  // Equation of state: p = (gamma - 1) rho e.
+  const auto total = rho_.size();
+  for (std::size_t c = 0; c < total; ++c)
+    p_[c] = (kGamma - 1.0) * rho_[c] * e_[c];
+
+  for (int k = 0; k < n_; ++k) {
+    for (int j = 0; j < n_; ++j) {
+      for (int i = 0; i < n_; ++i) {
+        const std::size_t c = idx(i, j, k);
+        const std::size_t xm = idx(i - 1, j, k), xp = idx(i + 1, j, k);
+        const std::size_t ym = idx(i, j - 1, k), yp = idx(i, j + 1, k);
+        const std::size_t zm = idx(i, j, k - 1), zp = idx(i, j, k + 1);
+
+        // Momentum: du/dt = -grad(p)/rho (central differences).
+        const double inv_rho = 1.0 / std::max(rho_[c], 1e-12);
+        u_next_[c] = u_[c] - dt * (p_[xp] - p_[xm]) * inv2h * inv_rho;
+        v_next_[c] = v_[c] - dt * (p_[yp] - p_[ym]) * inv2h * inv_rho;
+        w_next_[c] = w_[c] - dt * (p_[zp] - p_[zm]) * inv2h * inv_rho;
+
+        // Mass: flux form, d(rho)/dt = -div(rho * vel). The central-
+        // difference flux telescopes over the periodic grid, so the total
+        // mass is conserved to round-off.
+        const double div_flux =
+            (rho_[xp] * u_[xp] - rho_[xm] * u_[xm]) * inv2h +
+            (rho_[yp] * v_[yp] - rho_[ym] * v_[ym]) * inv2h +
+            (rho_[zp] * w_[zp] - rho_[zm] * w_[zm]) * inv2h;
+        rho_next_[c] = std::max(1e-9, rho_[c] - dt * div_flux);
+
+        // Internal energy: pdV work, de/dt = -(p/rho) div(vel).
+        const double div_v = (u_[xp] - u_[xm]) * inv2h +
+                             (v_[yp] - v_[ym]) * inv2h +
+                             (w_[zp] - w_[zm]) * inv2h;
+        e_next_[c] = std::max(0.0, e_[c] - dt * p_[c] * inv_rho * div_v);
+      }
+    }
+  }
+  rho_.swap(rho_next_);
+  e_.swap(e_next_);
+  u_.swap(u_next_);
+  v_.swap(v_next_);
+  w_.swap(w_next_);
+}
+
+double MiniHydro::total_mass() const {
+  double acc = 0.0;
+  for (double r : rho_) acc += r;
+  return acc * h_ * h_ * h_;
+}
+
+double MiniHydro::total_energy() const {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < rho_.size(); ++c) {
+    const double kinetic =
+        0.5 * (u_[c] * u_[c] + v_[c] * v_[c] + w_[c] * w_[c]);
+    acc += rho_[c] * (e_[c] + kinetic);
+  }
+  return acc * h_ * h_ * h_;
+}
+
+double MiniHydro::max_velocity() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < u_.size(); ++c)
+    best = std::max(best, std::sqrt(u_[c] * u_[c] + v_[c] * v_[c] +
+                                    w_[c] * w_[c]));
+  return best;
+}
+
+}  // namespace ftbesst::apps

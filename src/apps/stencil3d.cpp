@@ -1,0 +1,72 @@
+#include "apps/stencil3d.hpp"
+
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"  // is_perfect_cube
+
+namespace ftbesst::apps {
+
+void Stencil3dConfig::validate() const {
+  if (nx < 2) throw std::invalid_argument("nx must be >= 2");
+  if (sweeps < 1) throw std::invalid_argument("sweeps must be >= 1");
+  if (residual_period < 1)
+    throw std::invalid_argument("residual_period must be >= 1");
+  if (!is_perfect_cube(ranks))
+    throw std::invalid_argument(
+        "Stencil3D requires a perfect-cube number of ranks");
+  if (!plan.empty()) fti.validate(ranks);
+}
+
+Stencil3dConfig Stencil3dConfig::strong_scaling(int global_nx,
+                                                std::int64_t ranks,
+                                                int sweeps) {
+  if (!is_perfect_cube(ranks))
+    throw std::invalid_argument(
+        "strong scaling requires a perfect-cube rank count");
+  const std::int64_t side = cube_side(ranks);
+  if (global_nx < 2 || global_nx % side != 0)
+    throw std::invalid_argument(
+        "global grid edge must be a positive multiple of cbrt(ranks)");
+  Stencil3dConfig cfg;
+  cfg.nx = static_cast<int>(global_nx / side);
+  if (cfg.nx < 2)
+    throw std::invalid_argument("decomposition leaves blocks thinner than 2");
+  cfg.ranks = ranks;
+  cfg.sweeps = sweeps;
+  return cfg;
+}
+
+std::uint64_t stencil3d_halo_bytes(int nx) {
+  if (nx < 1) throw std::invalid_argument("nx must be >= 1");
+  const auto n = static_cast<std::uint64_t>(nx);
+  return n * n * 8;  // one face of doubles
+}
+
+std::uint64_t stencil3d_checkpoint_bytes(int nx) {
+  if (nx < 1) throw std::invalid_argument("nx must be >= 1");
+  const auto n = static_cast<std::uint64_t>(nx);
+  return 2 * n * n * n * 8;  // solution + RHS
+}
+
+core::AppBEO build_stencil3d(const Stencil3dConfig& config) {
+  config.validate();
+  core::AppBEO app("stencil3d", config.ranks);
+  app.set_checkpoint_bytes_per_rank(stencil3d_checkpoint_bytes(config.nx));
+  const ft::CheckpointScheduler scheduler(config.plan);
+  const std::vector<double> params{static_cast<double>(config.nx),
+                                   static_cast<double>(config.ranks)};
+  const int degree = config.ranks > 1 ? 6 : 0;
+  for (int sweep = 1; sweep <= config.sweeps; ++sweep) {
+    app.compute(kStencilSweep, params);
+    app.neighbor_exchange(degree, stencil3d_halo_bytes(config.nx));
+    if (sweep % config.residual_period == 0) app.allreduce(8);
+    app.end_timestep();
+    for (const ft::PlanEntry& entry : scheduler.due_entries_after(sweep))
+      app.checkpoint(entry.level, checkpoint_kernel(entry.level), params,
+                     entry.async);
+  }
+  return app;
+}
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,49 @@
+#pragma once
+// Stencil3D proxy application — a second workload family for algorithmic
+// DSE. Unlike the LULESH case study (whose instrumented timestep kernel
+// absorbs its communication), Stencil3D is built with *explicit*
+// communication instructions: per sweep, a 7-point-stencil compute kernel
+// over the rank-local block, a 6-face halo exchange, and a residual
+// allreduce every `residual_period` sweeps. The compute kernel is
+// calibrated compute-only; communication time comes from the architecture's
+// network model — exercising the plug-and-play split the BE-SST workflow
+// advertises (swap the interconnect, keep the app).
+
+#include <cstdint>
+
+#include "core/beo.hpp"
+#include "ft/fti.hpp"
+
+namespace ftbesst::apps {
+
+inline constexpr const char* kStencilSweep = "stencil3d_sweep";
+
+struct Stencil3dConfig {
+  int nx = 32;              ///< rank-local block edge (nx^3 cells)
+  std::int64_t ranks = 8;   ///< must be a perfect cube (cubic decomposition)
+  int sweeps = 100;
+  int residual_period = 10; ///< allreduce every N sweeps
+  /// Optional FT plan (checkpoints between sweeps), FTI-constrained.
+  std::vector<ft::PlanEntry> plan;
+  ft::FtiConfig fti;
+
+  void validate() const;
+
+  /// Strong-scaling constructor: a FIXED global grid of global_nx^3 cells
+  /// divided over `ranks` (a perfect cube whose side divides global_nx);
+  /// nx becomes global_nx / cbrt(ranks). More ranks -> smaller blocks ->
+  /// worse surface-to-volume — the classic strong-scaling DSE question.
+  [[nodiscard]] static Stencil3dConfig strong_scaling(int global_nx,
+                                                      std::int64_t ranks,
+                                                      int sweeps = 100);
+};
+
+/// Halo bytes exchanged per face per sweep: one ghost layer of doubles.
+[[nodiscard]] std::uint64_t stencil3d_halo_bytes(int nx);
+/// Checkpoint volume per rank: the solution + RHS grids.
+[[nodiscard]] std::uint64_t stencil3d_checkpoint_bytes(int nx);
+
+/// Build the Stencil3D AppBEO. Compute kernel parameters: {nx, ranks}.
+[[nodiscard]] core::AppBEO build_stencil3d(const Stencil3dConfig& config);
+
+}  // namespace ftbesst::apps

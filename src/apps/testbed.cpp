@@ -1,0 +1,230 @@
+#include "apps/testbed.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/stencil3d.hpp"
+#include "ft/fti.hpp"
+
+namespace ftbesst::apps {
+
+namespace {
+
+ft::Level level_for_kernel(const std::string& kernel) {
+  for (ft::Level level : {ft::Level::kL1, ft::Level::kL2, ft::Level::kL3,
+                          ft::Level::kL4})
+    if (kernel == checkpoint_kernel(level)) return level;
+  throw std::invalid_argument("unknown checkpoint kernel: " + kernel);
+}
+
+/// Deterministic per-combination multiplier ~ lognormal(sigma), seeded from
+/// the machine seed and the configuration coordinates.
+double hashed_config_effect(std::uint64_t machine_seed, std::size_t key,
+                            double sigma) {
+  std::uint64_t sm = machine_seed ^ (0x9e3779b97f4a7c15ULL * (key + 1));
+  util::Rng rng(util::splitmix64(sm));
+  return std::exp(sigma * rng.normal());
+}
+
+}  // namespace
+
+QuartzTestbed::QuartzTestbed(QuartzTruthParams params, ft::FtiConfig fti,
+                             std::uint64_t machine_seed)
+    : params_(params),
+      fti_(fti),
+      ckpt_truth_(params.storage, fti),
+      machine_seed_(machine_seed) {}
+
+double QuartzTestbed::true_timestep(int epr, std::int64_t ranks) const {
+  if (epr < 1 || ranks < 1)
+    throw std::invalid_argument("epr and ranks must be >= 1");
+  const double e = epr;
+  const double volume = params_.ts_elem * e * e * e;
+  const double net =
+      ranks > 1 ? 1.0 + params_.ts_net_growth *
+                            std::log2(static_cast<double>(ranks))
+                : 1.0;
+  const double surface = params_.ts_surface * e * e * net;
+  return params_.ts_base + volume + surface;
+}
+
+double QuartzTestbed::true_checkpoint(ft::Level level, int epr,
+                                      std::int64_t ranks) const {
+  const std::uint64_t bytes = lulesh_checkpoint_bytes(epr);
+  const double clean = ckpt_truth_.cost(level, bytes, ranks);
+  // Hidden coordination/interference: grows with parallelism and slightly
+  // super-linearly with data volume (file-system and fabric interference);
+  // network-touching levels pay progressively more.
+  const double level_factor =
+      level == ft::Level::kL1 ? 1.0 : 1.0 + 1.5 * (static_cast<int>(level) - 1);
+  const double node_mb =
+      static_cast<double>(bytes) * fti_.node_size / 1.0e6;
+  const double coord = params_.ckpt_coord_coeff * level_factor *
+                       std::pow(static_cast<double>(ranks), 0.9) *
+                       std::pow(std::max(node_mb, 0.05), 1.2);
+  return clean + coord;
+}
+
+double QuartzTestbed::true_stencil_sweep(int nx) const {
+  if (nx < 1) throw std::invalid_argument("nx must be >= 1");
+  const double n = nx;
+  return params_.st_base + params_.st_cell * n * n * n;
+}
+
+double QuartzTestbed::config_effect(const std::string& kernel, int epr,
+                                    std::int64_t ranks, double sigma) const {
+  const std::size_t key =
+      std::hash<std::string>{}(kernel) ^
+      (static_cast<std::size_t>(epr) * 1000003u) ^
+      (static_cast<std::size_t>(ranks) * 29u);
+  return hashed_config_effect(machine_seed_, key, sigma);
+}
+
+std::vector<double> QuartzTestbed::measure_kernel(
+    const std::string& kernel, std::span<const double> params, int samples,
+    util::Rng& rng) const {
+  if (params.size() != 2)
+    throw std::invalid_argument("Quartz kernels take {epr, ranks}");
+  if (samples < 1) throw std::invalid_argument("samples must be >= 1");
+  const int epr = static_cast<int>(params[0]);
+  const auto ranks = static_cast<std::int64_t>(params[1]);
+
+  double median;
+  double noise_sigma;
+  double config_sigma;
+  if (kernel == kLuleshTimestep) {
+    median = true_timestep(epr, ranks);
+    noise_sigma = params_.ts_noise_sigma;
+    config_sigma = params_.ts_config_sigma;
+  } else if (kernel == kStencilSweep) {
+    median = true_stencil_sweep(/*nx=*/epr);
+    noise_sigma = params_.ts_noise_sigma;
+    config_sigma = params_.ts_config_sigma;
+  } else {
+    median = true_checkpoint(level_for_kernel(kernel), epr, ranks);
+    noise_sigma = params_.ckpt_noise_sigma;
+    config_sigma = params_.ckpt_config_sigma;
+  }
+  median *= config_effect(kernel, epr, ranks, config_sigma);
+
+  std::vector<double> out(static_cast<std::size_t>(samples));
+  for (double& x : out) x = rng.lognormal_median(median, noise_sigma);
+  return out;
+}
+
+QuartzTestbed::MeasuredRun QuartzTestbed::run_application(
+    int epr, std::int64_t ranks, int timesteps,
+    const std::vector<ft::PlanEntry>& plan, util::Rng& rng) const {
+  if (timesteps < 1) throw std::invalid_argument("timesteps must be >= 1");
+  const ft::CheckpointScheduler scheduler(plan);
+  MeasuredRun run;
+  run.timestep_end_times.reserve(static_cast<std::size_t>(timesteps));
+  double clock = 0.0;
+  const double ts_median =
+      true_timestep(epr, ranks) *
+      config_effect(kLuleshTimestep, epr, ranks, params_.ts_config_sigma);
+  for (int step = 1; step <= timesteps; ++step) {
+    clock += rng.lognormal_median(ts_median, params_.ts_noise_sigma);
+    run.timestep_end_times.push_back(clock);
+    for (ft::Level level : scheduler.due_after(step)) {
+      const double ck_median =
+          true_checkpoint(level, epr, ranks) *
+          config_effect(checkpoint_kernel(level), epr, ranks,
+                        params_.ckpt_config_sigma);
+      clock += rng.lognormal_median(ck_median, params_.ckpt_noise_sigma);
+    }
+  }
+  run.total_seconds = clock;
+  return run;
+}
+
+VulcanTestbed::VulcanTestbed(VulcanTruthParams params,
+                             std::uint64_t machine_seed)
+    : params_(params), machine_seed_(machine_seed) {}
+
+double VulcanTestbed::true_timestep(int element_size, int elements_per_rank,
+                                    std::int64_t ranks) const {
+  if (element_size < 2 || elements_per_rank < 1 || ranks < 1)
+    throw std::invalid_argument("invalid CMT-bone parameters");
+  const double pts = std::pow(static_cast<double>(element_size), 3);
+  const double compute = params_.ts_point * pts * elements_per_rank;
+  const double coll =
+      ranks > 1 ? params_.ts_coll_latency *
+                      std::log2(static_cast<double>(ranks))
+                : 0.0;
+  return params_.ts_base + compute + coll;
+}
+
+double VulcanTestbed::config_effect(const std::string& kernel,
+                                    std::span<const double> params,
+                                    double sigma) const {
+  std::size_t key = std::hash<std::string>{}(kernel);
+  for (double p : params)
+    key ^= std::hash<double>{}(p) + 0x9e3779b9u + (key << 6) + (key >> 2);
+  return hashed_config_effect(machine_seed_, key, sigma);
+}
+
+std::vector<double> VulcanTestbed::measure_kernel(
+    const std::string& kernel, std::span<const double> params, int samples,
+    util::Rng& rng) const {
+  if (kernel != kCmtBoneTimestep)
+    throw std::invalid_argument("Vulcan testbed only runs CMT-bone");
+  if (params.size() != 3)
+    throw std::invalid_argument(
+        "cmtbone_timestep takes {element_size, elements_per_rank, ranks}");
+  if (samples < 1) throw std::invalid_argument("samples must be >= 1");
+  const double median =
+      true_timestep(static_cast<int>(params[0]), static_cast<int>(params[1]),
+                    static_cast<std::int64_t>(params[2])) *
+      config_effect(kernel, params, params_.ts_config_sigma);
+  std::vector<double> out(static_cast<std::size_t>(samples));
+  for (double& x : out) x = rng.lognormal_median(median, params_.ts_noise_sigma);
+  return out;
+}
+
+VulcanTestbed::MeasuredRun VulcanTestbed::run_application(
+    int element_size, int elements_per_rank, std::int64_t ranks,
+    int timesteps, util::Rng& rng) const {
+  if (timesteps < 1) throw std::invalid_argument("timesteps must be >= 1");
+  MeasuredRun run;
+  run.timestep_end_times.reserve(static_cast<std::size_t>(timesteps));
+  const std::vector<double> params{static_cast<double>(element_size),
+                                   static_cast<double>(elements_per_rank),
+                                   static_cast<double>(ranks)};
+  const double median =
+      true_timestep(element_size, elements_per_rank, ranks) *
+      config_effect(kCmtBoneTimestep, params, params_.ts_config_sigma);
+  double clock = 0.0;
+  for (int step = 0; step < timesteps; ++step) {
+    clock += rng.lognormal_median(median, params_.ts_noise_sigma);
+    run.timestep_end_times.push_back(clock);
+  }
+  run.total_seconds = clock;
+  return run;
+}
+
+std::map<std::string, model::Dataset> run_campaign(
+    const QuartzTestbed& testbed, const CampaignSpec& spec,
+    const std::vector<std::string>& kernels) {
+  if (kernels.empty()) throw std::invalid_argument("no kernels to calibrate");
+  util::Rng rng(spec.seed);
+  std::map<std::string, model::Dataset> out;
+  for (const std::string& kernel : kernels) {
+    model::Dataset data({"epr", "ranks"});
+    for (int epr : spec.eprs) {
+      for (std::int64_t ranks : spec.ranks) {
+        const std::vector<double> point{static_cast<double>(epr),
+                                        static_cast<double>(ranks)};
+        data.add_row(point, testbed.measure_kernel(
+                                kernel, point, spec.samples_per_point, rng));
+      }
+    }
+    out.emplace(kernel, std::move(data));
+  }
+  return out;
+}
+
+}  // namespace ftbesst::apps

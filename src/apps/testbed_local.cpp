@@ -1,0 +1,50 @@
+#include "apps/testbed_local.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "apps/minihydro.hpp"
+
+namespace ftbesst::apps {
+
+std::vector<double> LocalTestbed::measure_kernel(
+    const std::string& kernel, std::span<const double> params,
+    int samples) const {
+  if (kernel != kMiniHydroStep)
+    throw std::invalid_argument("LocalTestbed only runs " +
+                                std::string(kMiniHydroStep));
+  if (params.size() != 1)
+    throw std::invalid_argument("minihydro_step takes {n}");
+  if (samples < 1) throw std::invalid_argument("samples must be >= 1");
+  const int n = static_cast<int>(params[0]);
+
+  MiniHydro solver(n);
+  // Warm-up: fault in the working set and let the blast develop so the
+  // timed steps exercise representative (non-trivial) state.
+  for (int s = 0; s < 2; ++s) solver.step(1e-3);
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  using clock = std::chrono::steady_clock;
+  for (int s = 0; s < samples; ++s) {
+    const auto begin = clock::now();
+    solver.step(1e-3);
+    const auto end = clock::now();
+    out.push_back(std::chrono::duration<double>(end - begin).count());
+  }
+  return out;
+}
+
+model::Dataset LocalTestbed::run_campaign(const std::vector<int>& sizes,
+                                          int samples_per_point) const {
+  if (sizes.empty()) throw std::invalid_argument("no grid sizes");
+  model::Dataset data({"n"});
+  for (int n : sizes) {
+    const std::vector<double> point{static_cast<double>(n)};
+    data.add_row(point,
+                 measure_kernel(kMiniHydroStep, point, samples_per_point));
+  }
+  return data;
+}
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,36 @@
+#pragma once
+// LocalTestbed: the build machine as a benchmarking target.
+//
+// Where QuartzTestbed synthesizes timings, LocalTestbed *measures* them:
+// it runs the executable MiniHydro kernel and reports wall-clock samples —
+// real calibration data from a real machine, noise and all. This closes the
+// last gap between our reproduction and the paper's workflow: instrument
+// real code, benchmark it, model it, predict beyond the benchmarked range,
+// then check the prediction against an actual run
+// (examples/live_calibration.cpp).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/dataset.hpp"
+
+namespace ftbesst::apps {
+
+inline constexpr const char* kMiniHydroStep = "minihydro_step";
+
+class LocalTestbed {
+ public:
+  /// Timing samples (seconds) for `samples` single timesteps of MiniHydro
+  /// at grid size params = {n}. Each sample times one step() of a warmed-up
+  /// instance. Kernel must be kMiniHydroStep.
+  [[nodiscard]] std::vector<double> measure_kernel(
+      const std::string& kernel, std::span<const double> params,
+      int samples) const;
+
+  /// Full calibration campaign over the given grid sizes.
+  [[nodiscard]] model::Dataset run_campaign(const std::vector<int>& sizes,
+                                            int samples_per_point) const;
+};
+
+}  // namespace ftbesst::apps

@@ -1,0 +1,222 @@
+#include "core/engine_bsp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::core {
+
+namespace {
+
+/// Rollback target: resume execution at `pc` with `timesteps_done`
+/// completed timesteps (wall clock never rolls back).
+struct CheckpointRecord {
+  std::size_t resume_pc = 0;
+  int timesteps_done = 0;
+  std::vector<double> params;  ///< checkpoint model params (for restart)
+  /// Wall-clock time at which this checkpoint becomes usable for recovery
+  /// (later than its critical-path completion for async flushes).
+  double available_at = 0.0;
+};
+
+double instr_duration(const Instr& instr, const AppBEO& app,
+                      const ArchBEO& arch, bool monte_carlo,
+                      util::Rng& rng) {
+  switch (instr.kind) {
+    case InstrKind::kCompute:
+    case InstrKind::kCheckpoint: {
+      const model::PerfModel& m = arch.kernel(instr.kernel);
+      return monte_carlo ? m.sample(instr.params, rng)
+                         : m.predict(instr.params);
+    }
+    case InstrKind::kNeighborExchange:
+      return arch.comm().neighbor_exchange_time(app.ranks(), instr.degree,
+                                                instr.bytes);
+    case InstrKind::kAllReduce:
+      return arch.comm().allreduce_time(app.ranks(), instr.bytes);
+    case InstrKind::kBarrier:
+      return arch.comm().barrier_time(app.ranks());
+    case InstrKind::kTimestepEnd:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
+                  const EngineOptions& options) {
+  if (app.ranks() > arch.max_ranks())
+    throw std::invalid_argument(
+        "application ranks exceed architecture capacity");
+  const bool replay = !options.fault_trace.empty();
+  if (options.inject_faults && !replay && !arch.fault_process())
+    throw std::invalid_argument(
+        "fault injection requested but ArchBEO has no fault process");
+  for (std::size_t i = 1; i < options.fault_trace.size(); ++i)
+    if (options.fault_trace[i].time < options.fault_trace[i - 1].time)
+      throw std::invalid_argument("fault trace must be time-ordered");
+
+  const auto& program = app.program();
+  util::Rng rng(options.seed);
+  util::Rng fault_rng = rng.split(0x0fau);
+  // Node universe for faults/recoverability: the FTI run configuration
+  // (node_size ranks per node) when it applies, else physical packing.
+  const std::int64_t nodes =
+      (arch.fti().node_size > 0 && app.ranks() % arch.fti().node_size == 0)
+          ? app.ranks() / arch.fti().node_size
+          : (app.ranks() + arch.ranks_per_node() - 1) / arch.ranks_per_node();
+
+  RunResult result;
+  result.timestep_end_times.assign(
+      static_cast<std::size_t>(app.timesteps()), 0.0);
+
+  double clock = 0.0;
+  std::size_t pc = 0;
+  int ts_done = 0;
+  // Background-flush channel for asynchronous checkpoints.
+  double async_busy_until = 0.0;
+  // Recent completed checkpoints per level, newest last (two retained: an
+  // async flush in flight must not evict the last usable snapshot).
+  std::map<ft::Level, std::vector<CheckpointRecord>> available;
+
+  // The pending fault event (time/node/kind); re-drawn (or advanced along
+  // the replay trace) after each strike.
+  std::size_t trace_pos = 0;
+  auto draw_next_fault = [&](double from) {
+    ft::FaultEvent ev;
+    ev.time = -1.0;
+    if (!options.inject_faults) return ev;
+    if (replay) {
+      while (trace_pos < options.fault_trace.size() &&
+             options.fault_trace[trace_pos].time < from)
+        ++trace_pos;
+      if (trace_pos < options.fault_trace.size())
+        ev = options.fault_trace[trace_pos++];
+      return ev;
+    }
+    return arch.fault_process()->next_after(from, nodes, fault_rng);
+  };
+  ft::FaultEvent pending = draw_next_fault(0.0);
+
+  // Handle the pending fault (and any further faults that strike during
+  // recovery itself — recovery work is lost and retried, so wall clock is
+  // strictly monotone).
+  auto handle_fault = [&]() {
+    for (;;) {
+      if (clock > options.max_sim_seconds) {
+        result.completed = false;
+        pc = program.size();  // abandon the run
+        return;
+      }
+      ++result.faults;
+      ft::FailureSet failures;
+      failures.nodes = {pending.node};
+      failures.kind = pending.kind;
+      const double failures_time = pending.time;
+
+      clock = pending.time + options.downtime_seconds;
+      async_busy_until = clock;  // any in-flight background flush is moot
+      pending = draw_next_fault(clock);
+      if (pending.time < 0.0) pending.time = 1e300;  // trace exhausted
+
+      // Best (most progressed, then highest) recoverable checkpoint whose
+      // (possibly background) write had completed before the fault struck.
+      const CheckpointRecord* best = nullptr;
+      ft::Level best_level = ft::Level::kL1;
+      for (const auto& [level, records] : available) {
+        if (!ft::recoverable(level, arch.fti(), app.ranks(), failures))
+          continue;
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+          const CheckpointRecord& record = *it;
+          if (record.available_at > failures_time) continue;
+          if (!best || record.timesteps_done > best->timesteps_done ||
+              (record.timesteps_done == best->timesteps_done &&
+               static_cast<int>(level) > static_cast<int>(best_level))) {
+            best = &record;
+            best_level = level;
+          }
+          break;  // records are ordered; the newest usable one wins
+        }
+      }
+      if (best == nullptr) {
+        // Unrecoverable: restart the application from the beginning.
+        ++result.full_restarts;
+        pc = 0;
+        ts_done = 0;
+        available.clear();
+        return;
+      }
+      double restart_cost = 0.0;
+      if (const model::PerfModel* rm = arch.restart(best_level))
+        restart_cost = options.monte_carlo ? rm->sample(best->params, rng)
+                                           : rm->predict(best->params);
+      if (clock + restart_cost > pending.time) continue;  // recovery killed
+      clock += restart_cost;
+      ++result.rollbacks;
+      pc = best->resume_pc;
+      ts_done = best->timesteps_done;
+      return;
+    }
+  };
+
+  while (pc < program.size()) {
+    if (clock > options.max_sim_seconds) {
+      result.completed = false;
+      break;
+    }
+    const Instr& instr = program[pc];
+    double duration =
+        instr_duration(instr, app, arch, options.monte_carlo, rng);
+    double background = 0.0;
+    if (instr.kind == InstrKind::kCheckpoint && instr.async) {
+      // Stall until the previous background flush drains, stage locally,
+      // and push the remainder of the write off the critical path.
+      const double stall = std::max(0.0, async_busy_until - clock);
+      const double stage = options.async_stage_fraction * duration;
+      background = duration - stage;
+      duration = stall + stage;
+    }
+    if (pending.time >= 0.0 && clock + duration > pending.time) {
+      handle_fault();
+      continue;  // re-execute from the rollback point
+    }
+    clock += duration;
+    ++result.instructions_executed;
+    switch (instr.kind) {
+      case InstrKind::kTimestepEnd:
+        if (ts_done < app.timesteps())
+          result.timestep_end_times[static_cast<std::size_t>(ts_done)] =
+              clock;
+        ++ts_done;
+        break;
+      case InstrKind::kCheckpoint: {
+        CheckpointRecord rec;
+        rec.resume_pc = pc + 1;
+        rec.timesteps_done = ts_done;
+        rec.params = instr.params;
+        rec.available_at = clock + background;
+        if (instr.async) async_busy_until = clock + background;
+        auto& records = available[instr.level];
+        records.push_back(std::move(rec));
+        if (records.size() > 2) records.erase(records.begin());
+        if (result.checkpoint_timesteps.empty() ||
+            result.checkpoint_timesteps.back() != ts_done)
+          result.checkpoint_timesteps.push_back(ts_done);
+        break;
+      }
+      default:
+        break;
+    }
+    ++pc;
+  }
+
+  // FTI finalization waits for any trailing background flush.
+  if (result.completed) clock = std::max(clock, async_busy_until);
+  result.total_seconds = clock;
+  return result;
+}
+
+}  // namespace ftbesst::core

@@ -1,0 +1,80 @@
+#pragma once
+// The coarse-grained BE evaluation engine (bulk-synchronous fast path).
+//
+// "The simulator 'executes' the abstract instructions in the AppBEO. Each
+// instruction ... causes the simulator to poll the ArchBEO to determine the
+// runtime for that event and advance the simulator clock."
+//
+// Applications modeled here (iterative solvers with coordinated
+// checkpointing, Fig. 3) are bulk-synchronous, so the engine advances a
+// single coordinated clock per abstract instruction; per-instruction
+// durations come from the bound models (deterministic predict() or
+// Monte-Carlo sample()). A discrete-event twin (engine_des) executes the
+// same programs per-rank on the PDES kernel and is cross-validated against
+// this engine in the test suite.
+//
+// Fault injection (Cases 2 and 4 of the paper's Fig. 4) replays the
+// program against a sampled fault timeline with FTI-level-aware rollback.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/beo.hpp"
+#include "ft/faults.hpp"
+
+namespace ftbesst::core {
+
+struct EngineOptions {
+  std::uint64_t seed = 1;
+  /// Draw stochastic durations (Monte-Carlo mode) instead of expectations.
+  bool monte_carlo = false;
+  /// Inject faults from the ArchBEO's fault process (Cases 2/4). Without a
+  /// fault process on the architecture this is an error.
+  bool inject_faults = false;
+  /// Replay a RECORDED failure trace instead of sampling the fault process
+  /// (times are absolute simulation seconds; must be time-ordered). Used to
+  /// re-run an observed incident log (ftbesst faultlog / ft::fault_log)
+  /// against candidate checkpoint plans. When non-empty this takes
+  /// precedence over the fault process; inject_faults must still be set.
+  std::vector<ft::FaultEvent> fault_trace;
+  /// Downtime before recovery can begin after a failure (node reboot /
+  /// replacement), seconds.
+  double downtime_seconds = 60.0;
+  /// Safety horizon: a run that exceeds this wall-clock is marked
+  /// incomplete (the no-FT + high-fault-rate regime can thrash forever).
+  double max_sim_seconds = 1e8;
+  /// Fraction of an asynchronous checkpoint's cost paid on the critical
+  /// path (the local staging copy); the remainder flushes in the
+  /// background (FTI's dedicated-process mode). Coarse engine only.
+  double async_stage_fraction = 0.15;
+  /// DES engine only: execute neighbor-exchange instructions through the
+  /// discrete-event fat-tree network (net::DesNetwork) instead of the
+  /// analytic collective model — per-port serialization and real contention.
+  /// Requires the ArchBEO topology to be a TwoStageFatTree; ignored by the
+  /// coarse engine.
+  bool use_des_network = false;
+};
+
+struct RunResult {
+  double total_seconds = 0.0;
+  /// Cumulative wall-clock at each solver timestep boundary (the curves of
+  /// the paper's Figs. 7-8).
+  std::vector<double> timestep_end_times;
+  /// Timestep indices (1-based) after which a checkpoint completed — the
+  /// black dots of Figs. 7-8.
+  std::vector<int> checkpoint_timesteps;
+  std::uint64_t instructions_executed = 0;
+  int faults = 0;           ///< faults that struck during execution
+  int rollbacks = 0;        ///< recoveries from a checkpoint
+  int full_restarts = 0;    ///< unrecoverable failures (restart from start)
+  bool completed = true;
+};
+
+/// Execute `app` on `arch`. Throws std::out_of_range if the AppBEO
+/// references a kernel with no bound model, std::invalid_argument on
+/// rank/architecture mismatches.
+[[nodiscard]] RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
+                                const EngineOptions& options = {});
+
+}  // namespace ftbesst::core

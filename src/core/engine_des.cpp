@@ -1,0 +1,365 @@
+#include "core/engine_des.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "net/des_network.hpp"
+#include "net/des_torus.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::core {
+
+namespace {
+
+using sim::Component;
+using sim::Payload;
+using sim::PortId;
+using sim::SimTime;
+
+constexpr PortId kSelfWake = 0;
+constexpr PortId kArrive = 1;
+constexpr PortId kRelease = 2;
+constexpr PortId kNetDone = 3;
+
+bool is_collective(InstrKind kind) { return kind != InstrKind::kCompute; }
+
+/// Uniform facade over the executed network substrates (fat-tree / torus).
+class NetworkBackend {
+ public:
+  virtual ~NetworkBackend() = default;
+  virtual void send(net::NodeId src, net::NodeId dst, std::uint64_t bytes,
+                    SimTime time) = 0;
+  virtual void on_delivery(net::NodeId node,
+                           net::DeliveryHandler handler) = 0;
+  [[nodiscard]] virtual net::NodeId num_nodes() const = 0;
+};
+
+class FatTreeBackend final : public NetworkBackend {
+ public:
+  FatTreeBackend(sim::Simulation& sim, const net::TwoStageFatTree& topo,
+                 net::CommParams params)
+      : net_(sim, topo, params) {}
+  void send(net::NodeId src, net::NodeId dst, std::uint64_t bytes,
+            SimTime time) override {
+    net_.send(src, dst, bytes, time);
+  }
+  void on_delivery(net::NodeId node, net::DeliveryHandler handler) override {
+    net_.on_delivery(node, std::move(handler));
+  }
+  [[nodiscard]] net::NodeId num_nodes() const override {
+    return net_.topology().num_nodes();
+  }
+
+ private:
+  net::DesNetwork net_;
+};
+
+class TorusBackend final : public NetworkBackend {
+ public:
+  TorusBackend(sim::Simulation& sim, const net::Torus& topo,
+               net::CommParams params)
+      : net_(sim, topo, params) {}
+  void send(net::NodeId src, net::NodeId dst, std::uint64_t bytes,
+            SimTime time) override {
+    net_.send(src, dst, bytes, time);
+  }
+  void on_delivery(net::NodeId node, net::DeliveryHandler handler) override {
+    net_.on_delivery(node, std::move(handler));
+  }
+  [[nodiscard]] net::NodeId num_nodes() const override {
+    return net_.topology().num_nodes();
+  }
+
+ private:
+  net::DesTorus net_;
+};
+
+/// Neighbour ranks for an exchange of the given degree: the 3-D cubic
+/// decomposition's +-x/+-y/+-z neighbours (periodic) when the rank count is
+/// a perfect cube and degree is 6; a ring otherwise.
+std::vector<std::int64_t> exchange_neighbors(std::int64_t rank,
+                                             std::int64_t ranks,
+                                             int degree) {
+  std::vector<std::int64_t> out;
+  if (degree <= 0 || ranks < 2) return out;
+  const auto side = static_cast<std::int64_t>(
+      std::llround(std::cbrt(static_cast<double>(ranks))));
+  if (degree == 6 && side * side * side == ranks && side > 1) {
+    const std::int64_t x = rank % side;
+    const std::int64_t y = (rank / side) % side;
+    const std::int64_t z = rank / (side * side);
+    auto at = [side](std::int64_t i, std::int64_t j, std::int64_t k) {
+      return ((k + side) % side) * side * side + ((j + side) % side) * side +
+             ((i + side) % side);
+    };
+    out = {at(x - 1, y, z), at(x + 1, y, z), at(x, y - 1, z),
+           at(x, y + 1, z), at(x, y, z - 1), at(x, y, z + 1)};
+    return out;
+  }
+  for (int d = 1; d <= (degree + 1) / 2 && out.size() <
+                                               static_cast<std::size_t>(degree);
+       ++d) {
+    out.push_back((rank + d) % ranks);
+    if (out.size() < static_cast<std::size_t>(degree))
+      out.push_back((rank - d + ranks) % ranks);
+  }
+  return out;
+}
+
+/// Executes the SPMD program for one rank.
+class RankComponent final : public Component {
+ public:
+  RankComponent(std::int64_t rank, const AppBEO& app, const ArchBEO& arch,
+                bool monte_carlo, util::Rng rng)
+      : Component("rank" + std::to_string(rank)),
+        app_(&app),
+        arch_(&arch),
+        monte_carlo_(monte_carlo),
+        rng_(rng) {}
+
+  void set_coordinator(sim::ComponentId coord) { coord_ = coord; }
+
+  void init() override { advance(); }
+
+  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+    // Both a self-wake (compute done) and a coordinator release mean: move
+    // to the next instruction.
+    (void)port;
+    ++pc_;
+    advance();
+  }
+
+  std::uint64_t instructions_executed = 0;
+
+ private:
+  void advance() {
+    const auto& program = app_->program();
+    while (pc_ < program.size()) {
+      const Instr& instr = program[pc_];
+      ++instructions_executed;
+      if (is_collective(instr.kind)) {
+        // Tell the coordinator we reached this sync point; it releases us.
+        schedule_to(coord_, kArrive, 0);
+        return;
+      }
+      const model::PerfModel& m = arch_->kernel(instr.kernel);
+      const double seconds = monte_carlo_ ? m.sample(instr.params, rng_)
+                                          : m.predict(instr.params);
+      schedule_self(sim::from_seconds(seconds), nullptr, kSelfWake);
+      return;
+    }
+  }
+
+  const AppBEO* app_;
+  const ArchBEO* arch_;
+  bool monte_carlo_;
+  util::Rng rng_;
+  sim::ComponentId coord_ = sim::kNoComponent;
+  std::size_t pc_ = 0;
+};
+
+/// Coordinates every synchronizing instruction and records the run trace.
+class Coordinator final : public Component {
+ public:
+  Coordinator(const AppBEO& app, const ArchBEO& arch, bool monte_carlo,
+              util::Rng rng)
+      : Component("coordinator"),
+        app_(&app),
+        arch_(&arch),
+        monte_carlo_(monte_carlo),
+        rng_(rng) {
+    result_.timestep_end_times.assign(
+        static_cast<std::size_t>(app.timesteps()), 0.0);
+  }
+
+  void set_ranks(std::vector<sim::ComponentId> ranks) {
+    ranks_ = std::move(ranks);
+  }
+  void set_network(NetworkBackend* network, std::int64_t ranks_per_node) {
+    network_ = network;
+    net_ranks_per_node_ = ranks_per_node;
+  }
+
+  void init() override {
+    // Position the rendezvous pointer on the first collective instruction.
+    const auto& program = app_->program();
+    while (sync_pc_ < program.size() && !is_collective(program[sync_pc_].kind))
+      ++sync_pc_;
+  }
+
+  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+    if (port == kNetDone) {
+      if (--pending_deliveries_ == 0) finish_collective(0);
+      return;
+    }
+    if (port != kArrive) return;
+    if (++arrived_ < ranks_.size()) return;
+    arrived_ = 0;
+
+    // All ranks reached the collective at program counter `sync_pc_`.
+    const Instr& instr = app_->program()[sync_pc_];
+    switch (instr.kind) {
+      case InstrKind::kNeighborExchange:
+        if (network_ != nullptr && instr.degree > 0 && app_->ranks() > 1) {
+          start_network_exchange(instr);
+          return;  // finish_collective fires on the last delivery
+        }
+        finish_collective(arch_->comm().neighbor_exchange_time(
+            app_->ranks(), instr.degree, instr.bytes));
+        return;
+      case InstrKind::kAllReduce:
+        finish_collective(
+            arch_->comm().allreduce_time(app_->ranks(), instr.bytes));
+        return;
+      case InstrKind::kBarrier:
+        finish_collective(arch_->comm().barrier_time(app_->ranks()));
+        return;
+      case InstrKind::kCheckpoint: {
+        const model::PerfModel& m = arch_->kernel(instr.kernel);
+        finish_collective(monte_carlo_ ? m.sample(instr.params, rng_)
+                                       : m.predict(instr.params));
+        return;
+      }
+      case InstrKind::kTimestepEnd:
+      case InstrKind::kCompute:
+        finish_collective(0.0);
+        return;
+    }
+  }
+
+  RunResult result_;
+
+ private:
+  void start_network_exchange(const Instr& instr) {
+    pending_deliveries_ = 0;
+    const SimTime start = now();
+    for (std::int64_t rank = 0; rank < app_->ranks(); ++rank) {
+      const net::NodeId src_node =
+          static_cast<net::NodeId>(rank / net_ranks_per_node_);
+      for (std::int64_t peer :
+           exchange_neighbors(rank, app_->ranks(), instr.degree)) {
+        const net::NodeId dst_node =
+            static_cast<net::NodeId>(peer / net_ranks_per_node_);
+        network_->send(src_node, dst_node, instr.bytes, start);
+        ++pending_deliveries_;
+      }
+    }
+    if (pending_deliveries_ == 0) finish_collective(0.0);
+  }
+
+  /// Complete the collective `extra_seconds` from now: record trace
+  /// entries, advance the rendezvous pointer, release all ranks.
+  void finish_collective(double extra_seconds) {
+    const Instr& instr = app_->program()[sync_pc_];
+    const SimTime duration = sim::from_seconds(extra_seconds);
+    const double end_seconds = sim::to_seconds(now() + duration);
+
+    if (instr.kind == InstrKind::kTimestepEnd) {
+      if (ts_done_ < app_->timesteps())
+        result_.timestep_end_times[static_cast<std::size_t>(ts_done_)] =
+            end_seconds;
+      ++ts_done_;
+    } else if (instr.kind == InstrKind::kCheckpoint) {
+      if (result_.checkpoint_timesteps.empty() ||
+          result_.checkpoint_timesteps.back() != ts_done_)
+        result_.checkpoint_timesteps.push_back(ts_done_);
+    }
+    result_.total_seconds = end_seconds;
+    ++sync_pc_;
+    // Skip forward past local instructions to the next collective; ranks do
+    // that walk themselves, we just track where the next rendezvous is.
+    const auto& program = app_->program();
+    while (sync_pc_ < program.size() && !is_collective(program[sync_pc_].kind))
+      ++sync_pc_;
+    for (sim::ComponentId r : ranks_) schedule_to(r, kRelease, duration);
+  }
+
+  const AppBEO* app_;
+  const ArchBEO* arch_;
+  bool monte_carlo_;
+  util::Rng rng_;
+  std::vector<sim::ComponentId> ranks_;
+  NetworkBackend* network_ = nullptr;
+  std::int64_t net_ranks_per_node_ = 1;
+  std::size_t arrived_ = 0;
+  std::size_t pending_deliveries_ = 0;
+  std::size_t sync_pc_ = 0;
+  int ts_done_ = 0;
+};
+
+}  // namespace
+
+RunResult run_des(const AppBEO& app, const ArchBEO& arch,
+                  const EngineOptions& options) {
+  if (options.inject_faults)
+    throw std::invalid_argument(
+        "fault injection is handled by the coarse path (run_bsp)");
+  if (app.ranks() > arch.max_ranks())
+    throw std::invalid_argument(
+        "application ranks exceed architecture capacity");
+
+  sim::Simulation simulation;
+  util::Rng root(options.seed);
+
+  auto* coord = simulation.add_component<Coordinator>(
+      app, arch, options.monte_carlo, root.split(0xc0));
+
+  std::unique_ptr<NetworkBackend> network;
+  if (options.use_des_network) {
+    if (const auto* fat_tree =
+            dynamic_cast<const net::TwoStageFatTree*>(&arch.topology())) {
+      network = std::make_unique<FatTreeBackend>(simulation, *fat_tree,
+                                                 arch.comm().params());
+    } else if (const auto* torus =
+                   dynamic_cast<const net::Torus*>(&arch.topology())) {
+      network = std::make_unique<TorusBackend>(simulation, *torus,
+                                               arch.comm().params());
+    } else {
+      throw std::invalid_argument(
+          "use_des_network requires a TwoStageFatTree or Torus topology");
+    }
+    // Ranks pack by the FTI run configuration when it divides evenly
+    // (matching the coarse engine's node universe), else physically.
+    const std::int64_t rpn =
+        (arch.fti().node_size > 0 &&
+         app.ranks() % arch.fti().node_size == 0)
+            ? arch.fti().node_size
+            : arch.ranks_per_node();
+    const std::int64_t nodes_needed = (app.ranks() + rpn - 1) / rpn;
+    if (nodes_needed > network->num_nodes())
+      throw std::invalid_argument("too many ranks for the DES network");
+    coord->set_network(network.get(), rpn);
+    // Every delivery notifies the coordinator at its arrival time.
+    for (net::NodeId n = 0; n < nodes_needed; ++n)
+      network->on_delivery(
+          n, [&simulation, coord](const net::FlowMsg&, SimTime arrival) {
+            simulation.schedule(sim::kNoComponent, coord->id(), kNetDone,
+                                arrival, nullptr);
+          });
+  }
+
+  std::vector<RankComponent*> ranks;
+  std::vector<sim::ComponentId> rank_ids;
+  ranks.reserve(static_cast<std::size_t>(app.ranks()));
+  for (std::int64_t r = 0; r < app.ranks(); ++r) {
+    auto* rc = simulation.add_component<RankComponent>(
+        r, app, arch, options.monte_carlo,
+        root.split(static_cast<std::uint64_t>(r) + 1));
+    rc->set_coordinator(coord->id());
+    ranks.push_back(rc);
+    rank_ids.push_back(rc->id());
+  }
+  coord->set_ranks(std::move(rank_ids));
+
+  simulation.run();
+
+  RunResult result = std::move(coord->result_);
+  for (const RankComponent* rc : ranks)
+    result.instructions_executed += rc->instructions_executed;
+  return result;
+}
+
+}  // namespace ftbesst::core

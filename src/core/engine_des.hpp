@@ -1,0 +1,33 @@
+#pragma once
+// Discrete-event BE engine: the same AppBEO/ArchBEO contract as run_bsp,
+// executed as a component-based simulation on the PDES kernel (sim/) the
+// way BE-SST rides on SST.
+//
+// One RankComponent per simulated MPI rank walks the program; local compute
+// advances that rank's clock via self-events; every synchronizing
+// instruction (exchange, allreduce, barrier, checkpoint, timestep boundary)
+// routes through a Coordinator component that waits for all ranks, applies
+// the phase cost from the ArchBEO models, and releases them — exactly the
+// coordinated semantics of the bulk-synchronous fast path. In deterministic
+// mode (monte_carlo == false) run_des and run_bsp produce identical
+// timelines; the test suite enforces this engine equivalence. In
+// Monte-Carlo mode ranks draw compute durations independently (per-rank
+// noise), which the coarse path intentionally aggregates away.
+//
+// With EngineOptions::use_des_network set (and a fat-tree topology), the
+// neighbor-exchange instructions are *executed* through the DES network
+// substrate (net::DesNetwork) — switch components, per-port serialization,
+// emergent contention — instead of the analytic collective model; the
+// coordinator releases the ranks when the last halo message is delivered.
+//
+// Fault injection is supported by the coarse path only; requesting it here
+// throws std::invalid_argument.
+
+#include "core/engine_bsp.hpp"
+
+namespace ftbesst::core {
+
+[[nodiscard]] RunResult run_des(const AppBEO& app, const ArchBEO& arch,
+                                const EngineOptions& options = {});
+
+}  // namespace ftbesst::core

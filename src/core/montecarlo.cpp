@@ -1,0 +1,66 @@
+#include "core/montecarlo.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::core {
+
+EnsembleResult run_ensemble(const AppBEO& app, const ArchBEO& arch,
+                            EngineOptions options, std::size_t trials,
+                            unsigned threads) {
+  if (trials == 0) throw std::invalid_argument("need at least one trial");
+  options.monte_carlo = true;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(threads, trials));
+
+  // Per-trial seeds are derived up front so the result is identical no
+  // matter how trials are scheduled across threads.
+  util::Rng seeder(options.seed);
+  std::vector<std::uint64_t> seeds(trials);
+  for (std::size_t t = 0; t < trials; ++t) seeds[t] = seeder.split(t)();
+
+  std::vector<RunResult> runs(trials);
+  auto worker = [&](unsigned worker_index) {
+    for (std::size_t t = worker_index; t < trials; t += threads) {
+      EngineOptions per_trial = options;
+      per_trial.seed = seeds[t];
+      runs[t] = run_bsp(app, arch, per_trial);
+    }
+  };
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  EnsembleResult out;
+  out.totals.reserve(trials);
+  out.mean_timestep_end.assign(static_cast<std::size_t>(app.timesteps()),
+                               0.0);
+  for (const RunResult& r : runs) {
+    out.totals.push_back(r.total_seconds);
+    out.mean_faults += static_cast<double>(r.faults);
+    out.mean_rollbacks += static_cast<double>(r.rollbacks);
+    out.mean_full_restarts += static_cast<double>(r.full_restarts);
+    if (!r.completed) ++out.incomplete_trials;
+    for (std::size_t i = 0; i < out.mean_timestep_end.size() &&
+                            i < r.timestep_end_times.size();
+         ++i)
+      out.mean_timestep_end[i] += r.timestep_end_times[i];
+  }
+  const auto n = static_cast<double>(trials);
+  for (double& x : out.mean_timestep_end) x /= n;
+  out.mean_faults /= n;
+  out.mean_rollbacks /= n;
+  out.mean_full_restarts /= n;
+  out.total = util::summarize(out.totals);
+  return out;
+}
+
+}  // namespace ftbesst::core

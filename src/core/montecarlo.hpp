@@ -1,0 +1,39 @@
+#pragma once
+// Monte-Carlo ensemble driver.
+//
+// "Because actual machine performance is non-deterministic due to noise and
+// other factors, BE-SST implements Monte Carlo simulations to capture the
+// variance that exists in the calibration samples ... each of the points on
+// the graph represent a distribution of results."
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine_bsp.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::core {
+
+struct EnsembleResult {
+  util::Summary total;                ///< distribution of total runtime (s)
+  std::vector<double> totals;         ///< per-trial totals
+  std::vector<double> mean_timestep_end;  ///< mean cumulative trace
+  double mean_faults = 0.0;
+  double mean_rollbacks = 0.0;
+  double mean_full_restarts = 0.0;
+  std::size_t incomplete_trials = 0;  ///< trials that hit the horizon
+};
+
+/// Run `trials` Monte-Carlo replications of the coarse engine with
+/// independent seeds derived from options.seed. Each trial draws fresh
+/// model noise (and, when enabled, a fresh fault timeline). Trials are
+/// independent, so they are distributed over `threads` worker threads
+/// (0 = hardware concurrency); results are deterministic for a fixed
+/// options.seed regardless of thread count.
+[[nodiscard]] EnsembleResult run_ensemble(const AppBEO& app,
+                                          const ArchBEO& arch,
+                                          EngineOptions options,
+                                          std::size_t trials,
+                                          unsigned threads = 1);
+
+}  // namespace ftbesst::core

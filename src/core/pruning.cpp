@@ -1,0 +1,57 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftbesst::core {
+
+std::vector<PruneDecision> prune_design_space(
+    const std::vector<DsePoint>& points, const PruneOptions& options) {
+  if (points.empty()) return {};
+  if (options.keep_fraction <= 0.0 || options.keep_fraction > 1.0)
+    throw std::invalid_argument("keep_fraction must be in (0,1]");
+  if (options.uncertainty_threshold < 0.0)
+    throw std::invalid_argument("uncertainty_threshold must be >= 0");
+
+  const auto objective =
+      options.objective
+          ? options.objective
+          : [](const DsePoint& p) { return p.ensemble.total.mean; };
+
+  std::vector<PruneDecision> decisions;
+  decisions.reserve(points.size());
+  for (const DsePoint& p : points) {
+    PruneDecision d;
+    d.point = &p;
+    d.objective = objective(p);
+    d.uncertainty = p.ensemble.total.mean > 0.0
+                        ? p.ensemble.total.stddev / p.ensemble.total.mean
+                        : 0.0;
+    decisions.push_back(d);
+  }
+
+  // Rank by objective to find the keep cutoff.
+  std::vector<double> objectives;
+  objectives.reserve(decisions.size());
+  for (const auto& d : decisions) objectives.push_back(d.objective);
+  std::vector<double> sorted = objectives;
+  std::sort(sorted.begin(), sorted.end());
+  const auto keep_count = static_cast<std::size_t>(
+      std::max<double>(1.0, options.keep_fraction *
+                                static_cast<double>(decisions.size())));
+  const double cutoff = sorted[std::min(keep_count, sorted.size()) - 1];
+
+  for (auto& d : decisions) {
+    if (d.uncertainty > options.uncertainty_threshold) {
+      // Cannot be trusted either way at this granularity.
+      d.verdict = Verdict::kDetailStudy;
+    } else if (d.objective <= cutoff) {
+      d.verdict = Verdict::kKeep;
+    } else {
+      d.verdict = Verdict::kPrune;
+    }
+  }
+  return decisions;
+}
+
+}  // namespace ftbesst::core

@@ -1,0 +1,46 @@
+#pragma once
+// Design-space reduction — the point of coarse-grained MODSIM.
+//
+// "BE-SST ... facilitates preliminary exploration & reduction of large
+// design spaces, particularly by highlighting areas of the space for
+// detailed study and pruning less optimal areas." After a DSE sweep, the
+// designer keeps (a) the best candidates by objective, and (b) the points
+// whose prediction is least trustworthy (high Monte-Carlo spread, or at the
+// edge of the validated region) — those are the Fig. 5D/6D "areas of
+// interest for more detailed study with fine-grained simulators".
+
+#include <functional>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace ftbesst::core {
+
+enum class Verdict {
+  kKeep,         ///< promising: carry into the next design round
+  kDetailStudy,  ///< uncertain: hand to a fine-grained simulator
+  kPrune         ///< dominated: drop
+};
+
+struct PruneDecision {
+  const DsePoint* point = nullptr;
+  Verdict verdict = Verdict::kPrune;
+  double objective = 0.0;     ///< lower is better
+  double uncertainty = 0.0;   ///< relative Monte-Carlo spread (cv)
+};
+
+struct PruneOptions {
+  /// Fraction of points (by objective rank) to keep.
+  double keep_fraction = 0.25;
+  /// Points whose coefficient of variation (stddev/mean) exceeds this are
+  /// flagged for detailed study instead of being trusted either way.
+  double uncertainty_threshold = 0.2;
+  /// Objective; defaults to mean total runtime.
+  std::function<double(const DsePoint&)> objective;
+};
+
+/// Classify every DSE point. Deterministic: ties broken by sweep order.
+[[nodiscard]] std::vector<PruneDecision> prune_design_space(
+    const std::vector<DsePoint>& points, const PruneOptions& options = {});
+
+}  // namespace ftbesst::core

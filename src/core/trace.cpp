@@ -1,0 +1,33 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace ftbesst::core {
+
+void write_run_csv(std::ostream& os, const RunResult& result) {
+  os << std::setprecision(12);
+  os << "timestep,cumulative_seconds,checkpoint_after\n";
+  for (std::size_t i = 0; i < result.timestep_end_times.size(); ++i) {
+    const int step = static_cast<int>(i) + 1;
+    const bool ckpt =
+        std::find(result.checkpoint_timesteps.begin(),
+                  result.checkpoint_timesteps.end(),
+                  step) != result.checkpoint_timesteps.end();
+    os << step << ',' << result.timestep_end_times[i] << ','
+       << (ckpt ? 1 : 0) << '\n';
+  }
+}
+
+void write_ensemble_csv(std::ostream& os, const EnsembleResult& ensemble) {
+  os << std::setprecision(12);
+  os << "kind,index,value\n";
+  for (std::size_t i = 0; i < ensemble.totals.size(); ++i)
+    os << "total," << i << ',' << ensemble.totals[i] << '\n';
+  for (std::size_t i = 0; i < ensemble.mean_timestep_end.size(); ++i)
+    os << "mean_trace," << i + 1 << ',' << ensemble.mean_timestep_end[i]
+       << '\n';
+}
+
+}  // namespace ftbesst::core

@@ -1,0 +1,22 @@
+#pragma once
+// CSV export for simulation results — the figure-data artifacts behind the
+// benches (per-timestep cumulative traces with checkpoint markers, ensemble
+// distributions). Plot-tool-agnostic plain CSV.
+
+#include <iosfwd>
+
+#include "core/engine_bsp.hpp"
+#include "core/montecarlo.hpp"
+
+namespace ftbesst::core {
+
+/// One row per timestep: `timestep,cumulative_seconds,checkpoint_after`
+/// (checkpoint_after is 1 when a checkpoint instance completed right after
+/// that timestep — the black dots of Figs. 7-8).
+void write_run_csv(std::ostream& os, const RunResult& result);
+
+/// Ensemble distribution: one row per trial total plus a trailing
+/// mean-trace block. Columns: `kind,index,value`.
+void write_ensemble_csv(std::ostream& os, const EnsembleResult& ensemble);
+
+}  // namespace ftbesst::core

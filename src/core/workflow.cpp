@@ -1,0 +1,72 @@
+#include "core/workflow.hpp"
+
+#include <stdexcept>
+
+namespace ftbesst::core {
+
+void ModelSuite::bind_into(ArchBEO& arch) const {
+  for (const auto& [name, fitted] : kernels)
+    arch.bind_kernel(name, fitted.noisy_model);
+}
+
+ModelSuite develop_models(
+    const std::map<std::string, model::Dataset>& calibration,
+    const model::FitOptions& options) {
+  if (calibration.empty())
+    throw std::invalid_argument("no calibration datasets");
+  ModelSuite suite;
+  for (const auto& [kernel, dataset] : calibration) {
+    model::FitOptions per_kernel = options;
+    // Decorrelate the per-kernel splits/searches deterministically.
+    per_kernel.seed = options.seed ^ std::hash<std::string>{}(kernel);
+    auto fitted = model::fit_kernel_model(dataset, per_kernel);
+    suite.reports.push_back(KernelModelReport{kernel, fitted.report});
+    suite.kernels.emplace(kernel, std::move(fitted));
+  }
+  return suite;
+}
+
+std::vector<DsePoint> run_dse(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<double>>& parameter_points,
+    const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
+        make_app,
+    const ArchBEO& arch, const EngineOptions& options, std::size_t trials) {
+  if (!make_app) throw std::invalid_argument("make_app is required");
+  std::vector<DsePoint> out;
+  out.reserve(scenarios.size() * parameter_points.size());
+  std::uint64_t stream = 0;
+  for (const Scenario& scenario : scenarios) {
+    for (const auto& params : parameter_points) {
+      const AppBEO app = make_app(scenario, params);
+      EngineOptions per_point = options;
+      per_point.seed = options.seed + 0x9e37 * ++stream;
+      DsePoint point;
+      point.scenario = scenario.name;
+      point.params = params;
+      point.ensemble = run_ensemble(app, arch, per_point, trials);
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::map<std::vector<double>, double>> overhead_grid(
+    const std::vector<DsePoint>& points, const std::string& baseline_scenario,
+    const std::vector<double>& baseline_params) {
+  const DsePoint* baseline = nullptr;
+  for (const DsePoint& p : points)
+    if (p.scenario == baseline_scenario && p.params == baseline_params)
+      baseline = &p;
+  if (!baseline)
+    throw std::invalid_argument("baseline point not found in DSE results");
+  const double base = baseline->ensemble.total.mean;
+  if (base <= 0.0) throw std::logic_error("baseline runtime is zero");
+
+  std::map<std::string, std::map<std::vector<double>, double>> grid;
+  for (const DsePoint& p : points)
+    grid[p.scenario][p.params] = 100.0 * p.ensemble.total.mean / base;
+  return grid;
+}
+
+}  // namespace ftbesst::core

@@ -1,0 +1,79 @@
+#pragma once
+// The two-phase BE-SST workflow (Fig. 2), FT-aware:
+//
+//   Phase 1 — Model Development: fit a performance model per instrumented
+//   kernel from its calibration dataset (symbolic regression by default,
+//   matching the paper's case study), validate each (MAPE, Table III), and
+//   bind the results into an ArchBEO.
+//
+//   Phase 2 — HW/SW Co-Design: run full-system simulations over the design
+//   space (scenarios x parameters), compare FT levels, and produce the
+//   overhead grids used for DSE (Fig. 9).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/beo.hpp"
+#include "core/montecarlo.hpp"
+#include "model/dataset.hpp"
+#include "model/fitting.hpp"
+
+namespace ftbesst::core {
+
+/// Result of developing one kernel's model.
+struct KernelModelReport {
+  std::string kernel;
+  model::FitReport fit;
+};
+
+/// Phase-1 output: per-kernel models (deterministic + Monte-Carlo) plus
+/// the validation reports.
+struct ModelSuite {
+  std::map<std::string, model::FittedKernel> kernels;
+  std::vector<KernelModelReport> reports;
+
+  /// Bind every fitted kernel into `arch` (noisy variants, so Monte-Carlo
+  /// simulation reproduces calibration variance).
+  void bind_into(ArchBEO& arch) const;
+};
+
+/// Fit models for every (kernel name -> calibration dataset) pair.
+[[nodiscard]] ModelSuite develop_models(
+    const std::map<std::string, model::Dataset>& calibration,
+    const model::FitOptions& options = {});
+
+/// A named fault-tolerance scenario of the co-design phase: which
+/// checkpoint levels run, at what period (e.g. "No FT", "L1", "L1 & L2").
+struct Scenario {
+  std::string name;
+  std::vector<ft::PlanEntry> plan;
+};
+
+/// One cell of the co-design sweep.
+struct DsePoint {
+  std::string scenario;
+  std::vector<double> params;  ///< sweep coordinates (e.g. {epr, ranks})
+  EnsembleResult ensemble;
+};
+
+/// Full-system DSE sweep: for every scenario and parameter point, build an
+/// application via `make_app` and run a Monte-Carlo ensemble.
+[[nodiscard]] std::vector<DsePoint> run_dse(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<double>>& parameter_points,
+    const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
+        make_app,
+    const ArchBEO& arch, const EngineOptions& options, std::size_t trials);
+
+/// Overhead (%) of each DSE point relative to the point with scenario
+/// `baseline_scenario` and parameters `baseline_params` (Fig. 9 reports
+/// every cell as a percentage of the cheapest configuration).
+[[nodiscard]] std::map<std::string, std::map<std::vector<double>, double>>
+overhead_grid(const std::vector<DsePoint>& points,
+              const std::string& baseline_scenario,
+              const std::vector<double>& baseline_params);
+
+}  // namespace ftbesst::core

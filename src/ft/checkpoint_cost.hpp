@@ -1,0 +1,61 @@
+#pragma once
+// Analytic per-level checkpoint cost composition.
+//
+// The paper observes that each FTI level stresses a different subsystem:
+// "local storage (Level 1), communication and network congestion (Level 2),
+// computational performance (Level 3) and write speed to the parallel file
+// system (Level 4)". This model composes those terms from first principles.
+// It serves two roles:
+//  * the synthetic testbed uses it (plus hidden perturbations and noise) as
+//    ground truth to benchmark against, and
+//  * forward-looking DSE (bench_ext_l3l4) evaluates levels the case study
+//    could not benchmark.
+
+#include <cstdint>
+
+#include "ft/fti.hpp"
+
+namespace ftbesst::ft {
+
+struct StorageParams {
+  double local_write_bw = 1.0e9;  ///< node-local storage write (B/s)
+  double local_latency = 2e-3;    ///< file create/metadata latency (s)
+  double nic_bw = 6.0e9;          ///< per-node NIC bandwidth (B/s)
+  double nic_latency = 5e-6;      ///< message latency (s)
+  double rs_encode_rate = 1.2e9;  ///< RS-encode throughput per node (B/s
+                                  ///< of data per parity shard)
+  double pfs_bw = 40.0e9;         ///< aggregate parallel-FS write bw (B/s)
+  double pfs_latency = 15e-3;     ///< PFS open/commit latency (s)
+  double sync_latency = 20e-6;    ///< per-tree-level coordination cost (s)
+  double congestion_per_node = 2e-5;  ///< network sharing penalty slope
+};
+
+class CheckpointCostModel {
+ public:
+  CheckpointCostModel(StorageParams storage, FtiConfig fti);
+
+  /// Time (seconds) for one coordinated checkpoint instance at `level`,
+  /// with `bytes_per_rank` of protected state, across `ranks` ranks.
+  [[nodiscard]] double cost(Level level, std::uint64_t bytes_per_rank,
+                            std::int64_t ranks) const;
+
+  /// Restart (recovery) time from a `level` checkpoint — dominated by
+  /// reading the checkpoint back through the same path, plus rebuild work
+  /// for encoded levels.
+  [[nodiscard]] double restart_cost(Level level, std::uint64_t bytes_per_rank,
+                                    std::int64_t ranks) const;
+
+  [[nodiscard]] const StorageParams& storage() const noexcept {
+    return storage_;
+  }
+  [[nodiscard]] const FtiConfig& fti() const noexcept { return fti_; }
+
+ private:
+  [[nodiscard]] double coordination(std::int64_t ranks) const;
+  [[nodiscard]] double bytes_per_node(std::uint64_t bytes_per_rank) const;
+
+  StorageParams storage_;
+  FtiConfig fti_;
+};
+
+}  // namespace ftbesst::ft

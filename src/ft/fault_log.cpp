@@ -1,0 +1,63 @@
+#include "ft/fault_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ftbesst::ft {
+
+double weibull_shape_from_cv(double cv) {
+  if (cv <= 0.0) return 10.0;  // perfectly regular -> stiffest shape we model
+  const auto cv_of = [](double k) {
+    const double g1 = std::tgamma(1.0 + 1.0 / k);
+    const double g2 = std::tgamma(1.0 + 2.0 / k);
+    return std::sqrt(std::max(0.0, g2 / (g1 * g1) - 1.0));
+  };
+  double lo = 0.2, hi = 10.0;
+  if (cv >= cv_of(lo)) return lo;  // extremely bursty
+  if (cv <= cv_of(hi)) return hi;  // extremely regular
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    // cv is strictly decreasing in k.
+    if (cv_of(mid) > cv)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+FaultModelEstimate estimate_fault_model(const std::vector<FaultEvent>& events,
+                                        std::int64_t nodes) {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  if (events.size() < 3)
+    throw std::invalid_argument(
+        "need at least 3 logged events to estimate a fault model");
+  std::vector<double> gaps;
+  gaps.reserve(events.size() - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const double gap = events[i].time - events[i - 1].time;
+    if (gap < 0.0)
+      throw std::invalid_argument("fault log must be time-ordered");
+    gaps.push_back(gap);
+  }
+
+  FaultModelEstimate est;
+  est.events = events.size();
+  est.system_mtbf = util::mean(gaps);
+  if (est.system_mtbf <= 0.0)
+    throw std::invalid_argument("degenerate log: all events simultaneous");
+  est.node_mtbf = est.system_mtbf * static_cast<double>(nodes);
+  est.weibull_shape =
+      weibull_shape_from_cv(util::sample_stddev(gaps) / est.system_mtbf);
+  const auto losses = static_cast<double>(
+      std::count_if(events.begin(), events.end(), [](const FaultEvent& e) {
+        return e.kind == FailureKind::kNodeLoss;
+      }));
+  est.node_loss_fraction = losses / static_cast<double>(events.size());
+  return est;
+}
+
+}  // namespace ftbesst::ft

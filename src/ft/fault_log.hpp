@@ -1,0 +1,44 @@
+#pragma once
+// Failure-log analysis.
+//
+// The paper's Co-Design section: hardware "failure rates ... can be found
+// through various means, such as documentation or failure logs [Jauk et
+// al.]". This module closes that loop: given an observed fault-event log
+// (from a real machine, or from FaultProcess::sample in simulation
+// studies), estimate the fault-model parameters to feed back into an
+// ArchBEO — per-node MTBF, the Weibull shape of the interarrival process
+// (moment matching on the coefficient of variation), and the node-loss
+// fraction.
+
+#include <cstdint>
+#include <vector>
+
+#include "ft/faults.hpp"
+
+namespace ftbesst::ft {
+
+struct FaultModelEstimate {
+  double node_mtbf = 0.0;        ///< seconds (system MTBF * node count)
+  double system_mtbf = 0.0;      ///< mean interarrival over the machine
+  double weibull_shape = 1.0;    ///< 1 = exponential; <1 bursty; >1 regular
+  double node_loss_fraction = 1.0;
+  std::size_t events = 0;
+
+  /// Construct the matching generative process.
+  [[nodiscard]] FaultProcess to_process() const {
+    return FaultProcess(node_mtbf, node_loss_fraction, weibull_shape);
+  }
+};
+
+/// Estimate the fault model from a time-ordered event log covering a
+/// machine of `nodes` nodes. Requires >= 3 events (two interarrival gaps);
+/// throws std::invalid_argument otherwise or on out-of-order logs.
+[[nodiscard]] FaultModelEstimate estimate_fault_model(
+    const std::vector<FaultEvent>& events, std::int64_t nodes);
+
+/// Invert the Weibull coefficient of variation: find shape k such that
+/// cv(k) = sqrt(Gamma(1+2/k)/Gamma(1+1/k)^2 - 1) equals `cv`
+/// (bisection on k in [0.2, 10]; clamped at the ends).
+[[nodiscard]] double weibull_shape_from_cv(double cv);
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,68 @@
+#include "ft/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftbesst::ft {
+
+FaultProcess::FaultProcess(double node_mtbf_seconds,
+                           double node_loss_fraction, double weibull_shape)
+    : mtbf_(node_mtbf_seconds),
+      loss_fraction_(node_loss_fraction),
+      shape_(weibull_shape) {
+  if (mtbf_ <= 0.0) throw std::invalid_argument("MTBF must be positive");
+  if (loss_fraction_ < 0.0 || loss_fraction_ > 1.0)
+    throw std::invalid_argument("node_loss_fraction must be in [0,1]");
+  if (shape_ <= 0.0)
+    throw std::invalid_argument("Weibull shape must be positive");
+  // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k); keep the mean fixed.
+  scale_factor_ = 1.0 / std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double FaultProcess::system_mtbf(std::int64_t nodes) const {
+  if (nodes < 1) throw std::invalid_argument("nodes must be >= 1");
+  return mtbf_ / static_cast<double>(nodes);
+}
+
+double FaultProcess::draw_interval(std::int64_t nodes, util::Rng& rng) const {
+  const double mean = system_mtbf(nodes);
+  if (shape_ == 1.0) return rng.exponential(1.0 / mean);
+  // Inverse-CDF Weibull draw with the mean pinned to `mean`.
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  const double scale = mean * scale_factor_;
+  return scale * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+std::vector<FaultEvent> FaultProcess::sample(std::int64_t nodes,
+                                             double horizon_seconds,
+                                             util::Rng& rng) const {
+  std::vector<FaultEvent> events;
+  double t = 0.0;
+  for (;;) {
+    t += draw_interval(nodes, rng);
+    if (t >= horizon_seconds) break;
+    FaultEvent ev;
+    ev.time = t;
+    ev.node = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(nodes)));
+    ev.kind = rng.uniform() < loss_fraction_ ? FailureKind::kNodeLoss
+                                             : FailureKind::kProcessCrash;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+FaultEvent FaultProcess::next_after(double from, std::int64_t nodes,
+                                    util::Rng& rng) const {
+  FaultEvent ev;
+  ev.time = from + draw_interval(nodes, rng);
+  ev.node = static_cast<std::int64_t>(
+      rng.uniform_int(static_cast<std::uint64_t>(nodes)));
+  ev.kind = rng.uniform() < loss_fraction_ ? FailureKind::kNodeLoss
+                                           : FailureKind::kProcessCrash;
+  return ev;
+}
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,266 @@
+#include "ft/fti_runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ftbesst::ft {
+
+namespace {
+void append_u64(FtiRuntime::Blob& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+std::uint64_t read_u64(const FtiRuntime::Blob& in, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in.at(offset + i)) << (8 * i);
+  return v;
+}
+}  // namespace
+
+FtiRuntime::FtiRuntime(FtiConfig config, std::int64_t ranks)
+    : config_(config), ranks_(ranks) {
+  config_.validate(ranks_);
+  rank_alive_.assign(static_cast<std::size_t>(ranks_), false);
+  node_failed_.assign(static_cast<std::size_t>(nodes()), false);
+}
+
+void FtiRuntime::protect(std::int64_t rank, Blob data) {
+  if (rank < 0 || rank >= ranks_) throw std::out_of_range("bad rank");
+  live_[rank] = std::move(data);
+  rank_alive_[static_cast<std::size_t>(rank)] = true;
+}
+
+const FtiRuntime::Blob& FtiRuntime::data(std::int64_t rank) const {
+  if (rank < 0 || rank >= ranks_) throw std::out_of_range("bad rank");
+  if (!rank_alive_[static_cast<std::size_t>(rank)])
+    throw std::logic_error("rank " + std::to_string(rank) +
+                           " lost its data; call recover() first");
+  return live_.at(rank);
+}
+
+bool FtiRuntime::needs_recovery() const noexcept {
+  return std::any_of(rank_alive_.begin(), rank_alive_.end(),
+                     [](bool alive) { return !alive; });
+}
+
+FtiRuntime::Blob FtiRuntime::bundle_node(std::int64_t node) const {
+  Blob out;
+  for (int r = 0; r < config_.node_size; ++r) {
+    const std::int64_t rank = node * config_.node_size + r;
+    const Blob& blob = live_.at(rank);
+    append_u64(out, blob.size());
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+void FtiRuntime::unbundle_node(std::int64_t node, const Blob& bundle,
+                               std::map<std::int64_t, Blob>& out) const {
+  std::size_t offset = 0;
+  for (int r = 0; r < config_.node_size; ++r) {
+    const std::int64_t rank = node * config_.node_size + r;
+    const std::uint64_t len = read_u64(bundle, offset);
+    offset += 8;
+    if (offset + len > bundle.size())
+      throw std::runtime_error("corrupt checkpoint bundle");
+    out[rank] = Blob(bundle.begin() + static_cast<std::ptrdiff_t>(offset),
+                     bundle.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    offset += len;
+  }
+}
+
+int FtiRuntime::checkpoint(Level level) {
+  if (needs_recovery())
+    throw std::logic_error("cannot checkpoint with failed ranks");
+  if (static_cast<std::int64_t>(live_.size()) != ranks_)
+    throw std::logic_error("all ranks must protect() before checkpointing");
+
+  Checkpoint ckpt;
+  ckpt.id = next_id_++;
+  ckpt.level = level;
+  const std::int64_t total_nodes = nodes();
+  const int g = config_.group_size;
+
+  // Node-local bundles back every level except the PFS flush.
+  if (level != Level::kL4) {
+    for (std::int64_t node = 0; node < total_nodes; ++node)
+      for (int r = 0; r < config_.node_size; ++r) {
+        const std::int64_t rank = node * config_.node_size + r;
+        ckpt.local[node][rank] = live_.at(rank);
+      }
+  }
+
+  switch (level) {
+    case Level::kL1:
+      break;
+    case Level::kL2: {
+      for (std::int64_t node = 0; node < total_nodes; ++node) {
+        const std::int64_t group = config_.group_of_node(node);
+        const std::int64_t base = group * g;
+        const std::int64_t local_index = node - base;
+        for (int p = 1; p <= config_.l2_partners; ++p) {
+          const std::int64_t holder = base + (local_index + p) % g;
+          for (int r = 0; r < config_.node_size; ++r) {
+            const std::int64_t rank = node * config_.node_size + r;
+            ckpt.partner[holder][node][rank] = live_.at(rank);
+          }
+        }
+      }
+      break;
+    }
+    case Level::kL3: {
+      ReedSolomon rs(static_cast<std::size_t>(g),
+                     static_cast<std::size_t>(g));
+      for (std::int64_t group = 0; group < total_nodes / g; ++group) {
+        const std::int64_t base = group * g;
+        std::vector<Blob> bundles;
+        std::size_t max_len = 0;
+        for (int j = 0; j < g; ++j) {
+          bundles.push_back(bundle_node(base + j));
+          ckpt.bundle_sizes[group][static_cast<std::size_t>(j)] =
+              bundles.back().size();
+          max_len = std::max(max_len, bundles.back().size());
+        }
+        for (Blob& b : bundles) b.resize(max_len, 0);
+        const auto parity = rs.encode(bundles);
+        for (int j = 0; j < g; ++j) {
+          ckpt.shards[base + j][group][static_cast<std::size_t>(j)] =
+              std::move(bundles[static_cast<std::size_t>(j)]);
+          ckpt.shards[base + j][group]
+                     [static_cast<std::size_t>(g + j)] =
+                         parity[static_cast<std::size_t>(j)];
+        }
+      }
+      break;
+    }
+    case Level::kL4: {
+      for (const auto& [rank, blob] : live_) ckpt.pfs[rank] = blob;
+      break;
+    }
+  }
+  checkpoints_.push_back(std::move(ckpt));
+  return checkpoints_.back().id;
+}
+
+void FtiRuntime::fail_node(std::int64_t node) {
+  if (node < 0 || node >= nodes()) throw std::out_of_range("bad node");
+  // Live memory of its ranks is gone.
+  for (int r = 0; r < config_.node_size; ++r) {
+    const std::int64_t rank = node * config_.node_size + r;
+    rank_alive_[static_cast<std::size_t>(rank)] = false;
+    live_.erase(rank);
+  }
+  // So is every piece of checkpoint material it stored. (The node is then
+  // considered replaced with blank storage — future checkpoints may use
+  // it again after recovery.)
+  for (Checkpoint& ckpt : checkpoints_) {
+    ckpt.local.erase(node);
+    ckpt.partner.erase(node);
+    ckpt.shards.erase(node);
+  }
+}
+
+void FtiRuntime::crash_processes() {
+  std::fill(rank_alive_.begin(), rank_alive_.end(), false);
+  live_.clear();
+}
+
+bool FtiRuntime::try_restore(const Checkpoint& ckpt,
+                             std::map<std::int64_t, Blob>& restored) const {
+  const std::int64_t total_nodes = nodes();
+  const int g = config_.group_size;
+  restored.clear();
+
+  switch (ckpt.level) {
+    case Level::kL4:
+      if (static_cast<std::int64_t>(ckpt.pfs.size()) != ranks_) return false;
+      restored = ckpt.pfs;
+      return true;
+    case Level::kL1: {
+      for (std::int64_t node = 0; node < total_nodes; ++node) {
+        const auto it = ckpt.local.find(node);
+        if (it == ckpt.local.end()) return false;
+        for (const auto& [rank, blob] : it->second) restored[rank] = blob;
+      }
+      return true;
+    }
+    case Level::kL2: {
+      for (std::int64_t node = 0; node < total_nodes; ++node) {
+        if (const auto it = ckpt.local.find(node); it != ckpt.local.end()) {
+          for (const auto& [rank, blob] : it->second) restored[rank] = blob;
+          continue;
+        }
+        // Local copy gone: search surviving partner holders.
+        bool found = false;
+        for (const auto& [holder, owners] : ckpt.partner) {
+          const auto owner_it = owners.find(node);
+          if (owner_it == owners.end()) continue;
+          for (const auto& [rank, blob] : owner_it->second)
+            restored[rank] = blob;
+          found = true;
+          break;
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+    case Level::kL3: {
+      ReedSolomon rs(static_cast<std::size_t>(g),
+                     static_cast<std::size_t>(g));
+      for (std::int64_t group = 0; group < total_nodes / g; ++group) {
+        const std::int64_t base = group * g;
+        std::vector<Blob> shards(static_cast<std::size_t>(2 * g));
+        std::vector<bool> present(static_cast<std::size_t>(2 * g), false);
+        std::size_t alive = 0;
+        for (int j = 0; j < g; ++j) {
+          const auto holder_it = ckpt.shards.find(base + j);
+          if (holder_it == ckpt.shards.end()) continue;
+          const auto group_it = holder_it->second.find(group);
+          if (group_it == holder_it->second.end()) continue;
+          for (const auto& [index, shard] : group_it->second) {
+            shards[index] = shard;
+            present[index] = true;
+            ++alive;
+          }
+        }
+        if (alive < static_cast<std::size_t>(g)) return false;
+        try {
+          rs.reconstruct(shards, present);
+        } catch (const std::runtime_error&) {
+          return false;
+        }
+        const auto sizes_it = ckpt.bundle_sizes.find(group);
+        if (sizes_it == ckpt.bundle_sizes.end()) return false;
+        for (int j = 0; j < g; ++j) {
+          Blob bundle = shards[static_cast<std::size_t>(j)];
+          bundle.resize(sizes_it->second.at(static_cast<std::size_t>(j)));
+          unbundle_node(base + j, bundle, restored);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<int> FtiRuntime::best_recoverable() const {
+  std::map<std::int64_t, Blob> scratch;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it)
+    if (try_restore(*it, scratch)) return it->id;
+  return std::nullopt;
+}
+
+std::optional<int> FtiRuntime::recover() {
+  std::map<std::int64_t, Blob> restored;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (!try_restore(*it, restored)) continue;
+    live_ = std::move(restored);
+    std::fill(rank_alive_.begin(), rank_alive_.end(), true);
+    return it->id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,114 @@
+#pragma once
+// Executable in-memory FTI runtime.
+//
+// checkpoint_cost.hpp models what FTI *costs*; this header implements what
+// FTI *does*, at data-structure fidelity: ranks register protected buffers,
+// checkpoint(level) materializes the level's storage layout (node-local
+// files, partner copies, distributed Reed-Solomon shards, PFS flush),
+// fail_node() destroys a node and everything it stored, and recover()
+// reconstructs every rank's protected data if any surviving checkpoint
+// allows — the executable counterpart of the recoverable() predicate, and
+// the artifact our recoverability tests cross-validate against.
+//
+// Layouts per level (group of g nodes):
+//   L1  each node stores its own ranks' buffers;
+//   L2  L1 + each node's bundle is copied to its next l2_partners
+//       neighbours in the group ring;
+//   L3  the group's g node-bundles (padded to equal length) form the data
+//       shards of an RS(g, g) code; parity shard i lives on group node i —
+//       any f <= g/2 node losses leave >= g of 2g shards, so the group
+//       reconstructs (exactly FTI's "half the group" guarantee);
+//   L4  every rank's buffer is flushed to the PFS, which never fails.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ft/fti.hpp"
+#include "ft/reed_solomon.hpp"
+
+namespace ftbesst::ft {
+
+class FtiRuntime {
+ public:
+  using Blob = std::vector<std::uint8_t>;
+
+  FtiRuntime(FtiConfig config, std::int64_t ranks);
+
+  [[nodiscard]] const FtiConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t ranks() const noexcept { return ranks_; }
+  [[nodiscard]] std::int64_t nodes() const noexcept {
+    return config_.nodes_for(ranks_);
+  }
+
+  /// Register (or replace) the protected buffer of `rank` — FTI_Protect.
+  void protect(std::int64_t rank, Blob data);
+  /// Current in-memory protected data of a rank. Throws if the rank's node
+  /// has failed and no recovery has happened since.
+  [[nodiscard]] const Blob& data(std::int64_t rank) const;
+
+  /// Take a coordinated checkpoint at `level` — FTI_Checkpoint. Returns the
+  /// checkpoint id (monotonically increasing across all levels).
+  int checkpoint(Level level);
+
+  /// Destroy a node: its ranks' live memory AND all checkpoint material it
+  /// stored (local bundles, partner copies, RS shards).
+  void fail_node(std::int64_t node);
+  /// Crash all processes (live memory lost) but leave storage intact —
+  /// the FailureKind::kProcessCrash scenario.
+  void crash_processes();
+
+  /// True while some rank's live data is unavailable.
+  [[nodiscard]] bool needs_recovery() const noexcept;
+
+  /// Attempt recovery — FTI_Recover. Tries surviving checkpoints from most
+  /// recent (and, at equal recency, highest level) down; on success every
+  /// rank's live data equals the recovered snapshot and the method reports
+  /// the checkpoint id used. Returns std::nullopt when nothing usable
+  /// survives (the application must restart from scratch).
+  std::optional<int> recover();
+
+  /// Which checkpoint id recovery would use, without mutating state.
+  [[nodiscard]] std::optional<int> best_recoverable() const;
+
+ private:
+  struct Checkpoint {
+    int id = 0;
+    Level level = Level::kL1;
+    // node -> rank -> blob, for node-local bundles (L1/L2 base copies).
+    std::map<std::int64_t, std::map<std::int64_t, Blob>> local;
+    // holder node -> owner node -> rank -> blob (L2 partner copies).
+    std::map<std::int64_t, std::map<std::int64_t, std::map<std::int64_t, Blob>>>
+        partner;
+    // holder node -> (shard index -> shard) per group for L3. Shard
+    // indices: [0, g) data, [g, 2g) parity; shard j of group G lives on
+    // group node j % g.
+    std::map<std::int64_t, std::map<std::int64_t, std::map<std::size_t, Blob>>>
+        shards;
+    std::map<std::int64_t, std::map<std::size_t, std::size_t>>
+        bundle_sizes;  // group -> local node index -> unpadded bundle bytes
+    std::map<std::int64_t, Blob> pfs;  // rank -> blob (L4)
+  };
+
+  [[nodiscard]] std::int64_t node_of_rank(std::int64_t rank) const {
+    return rank / config_.node_size;
+  }
+  /// Serialize a node's ranks into one bundle / split it back.
+  [[nodiscard]] Blob bundle_node(std::int64_t node) const;
+  void unbundle_node(std::int64_t node, const Blob& bundle,
+                     std::map<std::int64_t, Blob>& out) const;
+
+  [[nodiscard]] bool try_restore(const Checkpoint& ckpt,
+                                 std::map<std::int64_t, Blob>& restored) const;
+
+  FtiConfig config_;
+  std::int64_t ranks_;
+  std::map<std::int64_t, Blob> live_;   // rank -> current data
+  std::vector<bool> rank_alive_;
+  std::vector<bool> node_failed_;
+  std::vector<Checkpoint> checkpoints_;  // newest last
+  int next_id_ = 1;
+};
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,51 @@
+#include "ft/gf256.hpp"
+
+namespace ftbesst::ft {
+
+const GF256::Tables& GF256::tables() noexcept {
+  static const Tables t = [] {
+    Tables out;
+    // Generate powers of the primitive element 0x02 modulo 0x11d.
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      out.exp[i] = static_cast<std::uint8_t>(x);
+      out.log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    // Duplicate the exp table so mul can skip the mod-255 reduction.
+    for (unsigned i = 255; i < 512; ++i) out.exp[i] = out.exp[i - 255];
+    out.log[0] = 0;  // log(0) is undefined; callers check for zero.
+    return out;
+  }();
+  return t;
+}
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) noexcept {
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned n) noexcept {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+std::uint8_t GF256::exp(unsigned n) noexcept { return tables().exp[n % 255]; }
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,49 @@
+#pragma once
+// GF(2^8) arithmetic for Reed–Solomon erasure coding.
+//
+// FTI's level-3 checkpointing Reed–Solomon-encodes each node's checkpoint
+// file across its group. We implement the field for real (table-based,
+// generator polynomial x^8 + x^4 + x^3 + x^2 + 1, i.e. 0x11d — the AES/
+// QR-code field), both because the encoder feeds the L3 cost model its
+// operation counts and because recoverability claims should be executable.
+
+#include <array>
+#include <cstdint>
+
+namespace ftbesst::ft {
+
+class GF256 {
+ public:
+  /// Field addition = XOR (characteristic 2).
+  [[nodiscard]] static constexpr std::uint8_t add(std::uint8_t a,
+                                                  std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] static constexpr std::uint8_t sub(std::uint8_t a,
+                                                  std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+  /// Multiplication via log/antilog tables.
+  [[nodiscard]] static std::uint8_t mul(std::uint8_t a,
+                                        std::uint8_t b) noexcept;
+  /// Division; b must be nonzero (returns 0 if it is not, by convention —
+  /// callers in the decoder guarantee nonzero pivots).
+  [[nodiscard]] static std::uint8_t div(std::uint8_t a,
+                                        std::uint8_t b) noexcept;
+  /// Multiplicative inverse of a nonzero element.
+  [[nodiscard]] static std::uint8_t inv(std::uint8_t a) noexcept;
+  /// a raised to integer power n (n >= 0).
+  [[nodiscard]] static std::uint8_t pow(std::uint8_t a,
+                                        unsigned n) noexcept;
+  /// The field generator 2^n, handy for Vandermonde construction.
+  [[nodiscard]] static std::uint8_t exp(unsigned n) noexcept;
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 256> log{};
+    std::array<std::uint8_t, 512> exp{};
+  };
+  static const Tables& tables() noexcept;
+};
+
+}  // namespace ftbesst::ft

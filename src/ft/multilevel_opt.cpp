@@ -1,0 +1,110 @@
+#include "ft/multilevel_opt.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ftbesst::ft {
+
+namespace {
+void check_workload(const MultilevelWorkload& w) {
+  if (w.work <= 0.0) throw std::invalid_argument("work must be positive");
+  if (w.system_mtbf <= 0.0)
+    throw std::invalid_argument("MTBF must be positive");
+  if (w.soft_fraction < 0.0 || w.soft_fraction > 1.0)
+    throw std::invalid_argument("soft_fraction must be in [0,1]");
+  if (w.downtime < 0.0)
+    throw std::invalid_argument("downtime must be >= 0");
+}
+void check_spec(const LevelSpec& s) {
+  if (s.checkpoint_cost < 0.0 || s.restart_cost < 0.0)
+    throw std::invalid_argument("level costs must be >= 0");
+}
+}  // namespace
+
+double expected_runtime_two_level(const MultilevelWorkload& w,
+                                  const LevelSpec& low, const LevelSpec& high,
+                                  double tau_low, double tau_high) {
+  check_workload(w);
+  check_spec(low);
+  check_spec(high);
+  if (tau_low <= 0.0 || tau_high <= 0.0)
+    throw std::invalid_argument("periods must be positive");
+  // Nested schedule: the high level fires on a low-level boundary.
+  const double tau_high_eff =
+      std::ceil(tau_high / tau_low - 1e-12) * tau_low;
+
+  const double overhead =
+      1.0 + low.checkpoint_cost / tau_low + high.checkpoint_cost / tau_high_eff;
+  const double lambda = 1.0 / w.system_mtbf;
+  const double soft_loss = tau_low / 2.0 + low.restart_cost + w.downtime;
+  const double hard_loss = tau_high_eff / 2.0 + high.restart_cost + w.downtime;
+  const double waste =
+      lambda * (w.soft_fraction * soft_loss +
+                (1.0 - w.soft_fraction) * hard_loss);
+  if (waste >= 1.0) return std::numeric_limits<double>::infinity();
+  return w.work * overhead / (1.0 - waste);
+}
+
+double expected_runtime_single_level(const MultilevelWorkload& w,
+                                     const LevelSpec& spec, double tau) {
+  check_workload(w);
+  check_spec(spec);
+  if (tau <= 0.0) throw std::invalid_argument("period must be positive");
+  const double overhead = 1.0 + spec.checkpoint_cost / tau;
+  const double waste = (tau / 2.0 + spec.restart_cost + w.downtime) /
+                       w.system_mtbf;
+  if (waste >= 1.0) return std::numeric_limits<double>::infinity();
+  return w.work * overhead / (1.0 - waste);
+}
+
+TwoLevelPlan optimize_two_level(const MultilevelWorkload& w,
+                                const LevelSpec& low, const LevelSpec& high) {
+  check_workload(w);
+  check_spec(low);
+  check_spec(high);
+
+  const double tau_min = std::max(1e-3, low.checkpoint_cost / 10.0);
+  const double tau_max = w.work;
+
+  TwoLevelPlan best;
+  best.expected_runtime = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](double tl, double th) {
+    if (tl <= 0.0 || th < tl) return;
+    const double t = expected_runtime_two_level(w, low, high, tl, th);
+    if (t < best.expected_runtime) {
+      best.expected_runtime = t;
+      best.tau_low = tl;
+      best.tau_high = th;
+    }
+  };
+
+  // Coarse log grid, then two refinement passes around the incumbent.
+  constexpr int kGrid = 32;
+  const double log_lo = std::log(tau_min);
+  const double log_hi = std::log(tau_max);
+  for (int i = 0; i <= kGrid; ++i) {
+    const double tl =
+        std::exp(log_lo + (log_hi - log_lo) * i / static_cast<double>(kGrid));
+    for (int j = 0; j <= kGrid; ++j) {
+      const double th = std::exp(
+          std::log(tl) +
+          (log_hi - std::log(tl)) * j / static_cast<double>(kGrid));
+      evaluate(tl, th);
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    if (!std::isfinite(best.expected_runtime)) break;
+    const double tl0 = best.tau_low;
+    const double th0 = best.tau_high;
+    for (int i = -8; i <= 8; ++i)
+      for (int j = -8; j <= 8; ++j)
+        evaluate(tl0 * std::pow(1.15, i), th0 * std::pow(1.15, j));
+  }
+  if (std::isfinite(best.expected_runtime))
+    best.overhead_fraction = best.expected_runtime / w.work - 1.0;
+  return best;
+}
+
+}  // namespace ftbesst::ft

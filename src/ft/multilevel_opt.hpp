@@ -1,0 +1,65 @@
+#pragma once
+// Multilevel checkpoint-plan optimization.
+//
+// The paper's future work asks to "optimize for different fault rates and
+// scenarios". With FTI-style levels, failures split into classes: soft
+// failures (process crashes — any level's files survive) and hard failures
+// (node losses — only a sufficiently high level recovers). A two-level plan
+// then takes cheap low-level checkpoints often (bounding soft-failure
+// rework) and expensive high-level checkpoints rarely (bounding
+// hard-failure rework). This module evaluates the first-order expected
+// runtime of such plans and searches for the overhead-minimizing period
+// pair — the closed-form counterpart of the fault-injection benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "ft/fti.hpp"
+
+namespace ftbesst::ft {
+
+struct LevelSpec {
+  Level level = Level::kL1;
+  double checkpoint_cost = 1.0;  ///< seconds per instance
+  double restart_cost = 1.0;     ///< seconds to restore from this level
+};
+
+struct MultilevelWorkload {
+  double work = 3600.0;          ///< useful compute seconds
+  double system_mtbf = 600.0;    ///< all failures combined (s)
+  /// Fraction of failures that are soft (recoverable from the low level);
+  /// the remaining (1 - soft_fraction) require the high level.
+  double soft_fraction = 0.8;
+  double downtime = 10.0;        ///< per-failure downtime before recovery
+};
+
+/// First-order expected runtime of a two-level plan with low-level period
+/// `tau_low` and high-level period `tau_high` (both in seconds of useful
+/// work between instances; tau_high is additionally rounded up to a
+/// multiple of tau_low, mirroring nested schedules). Returns +inf in
+/// thrashing regimes.
+[[nodiscard]] double expected_runtime_two_level(const MultilevelWorkload& w,
+                                                const LevelSpec& low,
+                                                const LevelSpec& high,
+                                                double tau_low,
+                                                double tau_high);
+
+struct TwoLevelPlan {
+  double tau_low = 0.0;
+  double tau_high = 0.0;
+  double expected_runtime = 0.0;
+  double overhead_fraction = 0.0;  ///< expected_runtime / work - 1
+};
+
+/// Grid/refinement search for the best (tau_low, tau_high). Deterministic.
+[[nodiscard]] TwoLevelPlan optimize_two_level(const MultilevelWorkload& w,
+                                              const LevelSpec& low,
+                                              const LevelSpec& high);
+
+/// Degenerate single-level expected runtime (low level handles everything)
+/// — matches expected_runtime_cr with the same parameters; exposed for
+/// cross-checking against Young/Daly.
+[[nodiscard]] double expected_runtime_single_level(
+    const MultilevelWorkload& w, const LevelSpec& spec, double tau);
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,125 @@
+#include "ft/reed_solomon.hpp"
+
+#include <stdexcept>
+
+#include "ft/gf256.hpp"
+
+namespace ftbesst::ft {
+
+ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  if (k_ < 1 || m_ < 1 || k_ + m_ > 255)
+    throw std::invalid_argument(
+        "reed-solomon requires 1 <= k, 1 <= m, k+m <= 255");
+}
+
+std::uint8_t ReedSolomon::coeff(std::size_t row, std::size_t col) const {
+  if (row < k_) return row == col ? 1 : 0;
+  // Cauchy element 1 / (x_i + y_j) with x_i = k + parity index, y_j = j.
+  // All x_i, y_j are distinct field elements, so x_i + y_j (XOR) != 0 and
+  // every square submatrix is invertible (MDS property).
+  const auto xi = static_cast<std::uint8_t>(row);
+  const auto yj = static_cast<std::uint8_t>(col);
+  return GF256::inv(GF256::add(xi, yj));
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    const std::vector<std::vector<std::uint8_t>>& data) const {
+  if (data.size() != k_)
+    throw std::invalid_argument("encode: expected k data shards");
+  const std::size_t len = data.front().size();
+  for (const auto& shard : data)
+    if (shard.size() != len)
+      throw std::invalid_argument("encode: shard length mismatch");
+
+  std::vector<std::vector<std::uint8_t>> parity(
+      m_, std::vector<std::uint8_t>(len, 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    auto& out = parity[p];
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint8_t c = coeff(k_ + p, j);
+      const auto& in = data[j];
+      for (std::size_t b = 0; b < len; ++b)
+        out[b] = GF256::add(out[b], GF256::mul(c, in[b]));
+    }
+  }
+  return parity;
+}
+
+void ReedSolomon::reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                              const std::vector<bool>& present) const {
+  const std::size_t total = k_ + m_;
+  if (shards.size() != total || present.size() != total)
+    throw std::invalid_argument("reconstruct: expected k+m shards/flags");
+
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < total; ++i)
+    if (present[i]) alive.push_back(i);
+  if (alive.size() < k_)
+    throw std::runtime_error("too many erasures: unrecoverable");
+
+  std::size_t len = 0;
+  for (std::size_t i : alive) len = std::max(len, shards[i].size());
+  for (std::size_t i : alive)
+    if (shards[i].size() != len)
+      throw std::invalid_argument("reconstruct: live shard length mismatch");
+
+  // Take the first k surviving rows of the generator matrix; invert that
+  // k x k system to recover the data shards, then re-encode parity.
+  std::vector<std::vector<std::uint8_t>> a(
+      k_, std::vector<std::uint8_t>(k_, 0));
+  std::vector<const std::vector<std::uint8_t>*> rhs(k_, nullptr);
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) a[r][c] = coeff(alive[r], c);
+    rhs[r] = &shards[alive[r]];
+  }
+
+  // Gauss–Jordan over GF(256), building the inverse applied to rhs lazily:
+  // we track an explicit inverse matrix so the byte loops run once.
+  std::vector<std::vector<std::uint8_t>> inv(
+      k_, std::vector<std::uint8_t>(k_, 0));
+  for (std::size_t i = 0; i < k_; ++i) inv[i][i] = 1;
+  for (std::size_t col = 0; col < k_; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k_ && a[pivot][col] == 0) ++pivot;
+    if (pivot == k_) throw std::runtime_error("singular decode matrix");
+    // Swap rows of the augmented [A | I] system only; `rhs` stays in the
+    // original alive-row order because the finished `inv` is A^{-1} in that
+    // original indexing.
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    const std::uint8_t d = GF256::inv(a[col][col]);
+    for (std::size_t c = 0; c < k_; ++c) {
+      a[col][c] = GF256::mul(a[col][c], d);
+      inv[col][c] = GF256::mul(inv[col][c], d);
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      if (r == col || a[r][col] == 0) continue;
+      const std::uint8_t f = a[r][col];
+      for (std::size_t c = 0; c < k_; ++c) {
+        a[r][c] = GF256::sub(a[r][c], GF256::mul(f, a[col][c]));
+        inv[r][c] = GF256::sub(inv[r][c], GF256::mul(f, inv[col][c]));
+      }
+    }
+  }
+
+  // data[j] = sum_r inv[j][r] * rhs[r].
+  std::vector<std::vector<std::uint8_t>> data(
+      k_, std::vector<std::uint8_t>(len, 0));
+  for (std::size_t j = 0; j < k_; ++j) {
+    for (std::size_t r = 0; r < k_; ++r) {
+      const std::uint8_t c = inv[j][r];
+      if (c == 0) continue;
+      const auto& src = *rhs[r];
+      auto& dst = data[j];
+      for (std::size_t b = 0; b < len; ++b)
+        dst[b] = GF256::add(dst[b], GF256::mul(c, src[b]));
+    }
+  }
+  for (std::size_t j = 0; j < k_; ++j) shards[j] = std::move(data[j]);
+  auto parity = encode(std::vector<std::vector<std::uint8_t>>(
+      shards.begin(), shards.begin() + static_cast<std::ptrdiff_t>(k_)));
+  for (std::size_t p = 0; p < m_; ++p) shards[k_ + p] = std::move(parity[p]);
+}
+
+}  // namespace ftbesst::ft

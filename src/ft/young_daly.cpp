@@ -1,0 +1,52 @@
+#include "ft/young_daly.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ftbesst::ft {
+
+namespace {
+void check(double checkpoint_cost, double system_mtbf) {
+  if (checkpoint_cost < 0.0)
+    throw std::invalid_argument("checkpoint cost must be >= 0");
+  if (system_mtbf <= 0.0)
+    throw std::invalid_argument("system MTBF must be > 0");
+}
+}  // namespace
+
+double young_interval(double checkpoint_cost, double system_mtbf) {
+  check(checkpoint_cost, system_mtbf);
+  return std::sqrt(2.0 * checkpoint_cost * system_mtbf);
+}
+
+double daly_interval(double checkpoint_cost, double system_mtbf) {
+  check(checkpoint_cost, system_mtbf);
+  if (checkpoint_cost >= 2.0 * system_mtbf) return system_mtbf;
+  const double root = std::sqrt(2.0 * checkpoint_cost * system_mtbf);
+  const double ratio = std::sqrt(checkpoint_cost / (2.0 * system_mtbf));
+  return root * (1.0 + ratio / 3.0 +
+                 (checkpoint_cost / (2.0 * system_mtbf)) / 9.0) -
+         checkpoint_cost;
+}
+
+double expected_runtime_cr(double work, double interval,
+                           double checkpoint_cost, double restart_cost,
+                           double system_mtbf) {
+  if (work < 0.0 || interval <= 0.0 || restart_cost < 0.0)
+    throw std::invalid_argument("invalid C/R runtime parameters");
+  check(checkpoint_cost, system_mtbf);
+  const double overhead = 1.0 + checkpoint_cost / interval;
+  const double waste = (interval / 2.0 + restart_cost) / system_mtbf;
+  if (waste >= 1.0) return std::numeric_limits<double>::infinity();
+  return work * overhead / (1.0 - waste);
+}
+
+double expected_runtime_no_ft(double work, double system_mtbf) {
+  if (work < 0.0) throw std::invalid_argument("work must be >= 0");
+  if (system_mtbf <= 0.0)
+    throw std::invalid_argument("system MTBF must be > 0");
+  return (std::exp(work / system_mtbf) - 1.0) * system_mtbf;
+}
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,34 @@
+#pragma once
+// Young/Daly optimal checkpoint interval and first-order expected-runtime
+// analytics. These are the closed-form baselines the FT-aware DSE results
+// are sanity-checked against (bench_ext_youngdaly).
+
+namespace ftbesst::ft {
+
+/// Young's first-order optimal checkpoint interval: sqrt(2 * C * M), where
+/// C is checkpoint cost (s) and M the system MTBF (s).
+[[nodiscard]] double young_interval(double checkpoint_cost,
+                                    double system_mtbf);
+
+/// Daly's higher-order refinement of the optimal interval (valid for
+/// C < 2M; falls back to M otherwise, per Daly 2006).
+[[nodiscard]] double daly_interval(double checkpoint_cost,
+                                   double system_mtbf);
+
+/// First-order expected total runtime for `work` seconds of useful compute
+/// with coordinated C/R: checkpoint cost C every `interval` of computation,
+/// restart cost R, system MTBF M. Uses the standard waste decomposition
+///   T = work * (1 + C/interval) / (1 - (interval/2 + R)/M)
+/// and returns +inf when the denominator is non-positive (the system
+/// thrashes: faults arrive faster than progress).
+[[nodiscard]] double expected_runtime_cr(double work, double interval,
+                                         double checkpoint_cost,
+                                         double restart_cost,
+                                         double system_mtbf);
+
+/// Expected runtime without any fault tolerance: each fault forces a full
+/// restart from the beginning. E[T] = (e^{W/M} - 1) * M for exponential
+/// faults (classic result); finite only because the exponential is.
+[[nodiscard]] double expected_runtime_no_ft(double work, double system_mtbf);
+
+}  // namespace ftbesst::ft

@@ -1,0 +1,74 @@
+#pragma once
+// FT-BESST umbrella header — the full public API in one include.
+//
+// Layering (each layer depends only on those above it):
+//
+//   util/      deterministic RNG, statistics, tables, args, config, logging
+//   sim/       SST-like parallel discrete-event kernel (components, links,
+//              serial + conservative-parallel engines, named statistics)
+//   net/       topologies (fat-tree, torus), closed-form collective models,
+//              executed DES networks (switches/routers with per-port
+//              serialization)
+//   model/     calibration datasets, interpolation tables, feature / power-
+//              law / symbolic regression, noise calibration, k-fold CV,
+//              text serialization
+//   ft/        FTI checkpoint semantics + costs, executable FTI runtime,
+//              GF(256)+Reed-Solomon, fault processes and log analysis,
+//              Young/Daly and multilevel plan optimization
+//   analytic/  reliability-aware scaling laws (related-work baselines)
+//   core/      BE-SST proper: AppBEO/ArchBEO, coarse + discrete-event
+//              engines, Monte-Carlo ensembles, workflow, DSE, pruning
+//   apps/      LULESH_FTI / CMT-bone / Stencil3D builders, synthetic
+//              testbeds, the executable MiniHydro kernel + LocalTestbed
+//
+// Typical use: include this header, follow examples/quickstart.cpp.
+
+#include "analytic/speedup.hpp"
+#include "apps/cmtbone.hpp"
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/minihydro.hpp"
+#include "apps/stencil3d.hpp"
+#include "apps/testbed.hpp"
+#include "apps/testbed_local.hpp"
+#include "core/arch.hpp"
+#include "core/beo.hpp"
+#include "core/engine_bsp.hpp"
+#include "core/engine_des.hpp"
+#include "core/montecarlo.hpp"
+#include "core/pruning.hpp"
+#include "core/trace.hpp"
+#include "core/workflow.hpp"
+#include "ft/checkpoint_cost.hpp"
+#include "ft/fault_log.hpp"
+#include "ft/faults.hpp"
+#include "ft/fti.hpp"
+#include "ft/fti_runtime.hpp"
+#include "ft/gf256.hpp"
+#include "ft/multilevel_opt.hpp"
+#include "ft/reed_solomon.hpp"
+#include "ft/young_daly.hpp"
+#include "model/crossval.hpp"
+#include "model/dataset.hpp"
+#include "model/expr.hpp"
+#include "model/feature_model.hpp"
+#include "model/fitting.hpp"
+#include "model/perf_model.hpp"
+#include "model/powerlaw.hpp"
+#include "model/serialize.hpp"
+#include "model/symreg.hpp"
+#include "model/table_model.hpp"
+#include "net/comm.hpp"
+#include "net/des_network.hpp"
+#include "net/des_torus.hpp"
+#include "net/topology.hpp"
+#include "sim/component.hpp"
+#include "sim/event.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+#include "util/args.hpp"
+#include "util/config.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

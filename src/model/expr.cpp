@@ -1,0 +1,447 @@
+#include "model/expr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::model {
+
+namespace {
+
+std::unique_ptr<ExprNode> clone_node(const ExprNode* n) {
+  if (!n) return nullptr;
+  auto out = std::make_unique<ExprNode>();
+  out->op = n->op;
+  out->value = n->value;
+  out->var = n->var;
+  out->lhs = clone_node(n->lhs.get());
+  out->rhs = clone_node(n->rhs.get());
+  return out;
+}
+
+double eval_node(const ExprNode* n, std::span<const double> vars) {
+  switch (n->op) {
+    case Op::kConst:
+      return n->value;
+    case Op::kVar:
+      return n->var < vars.size() ? vars[n->var] : 0.0;
+    case Op::kAdd:
+      return eval_node(n->lhs.get(), vars) + eval_node(n->rhs.get(), vars);
+    case Op::kSub:
+      return eval_node(n->lhs.get(), vars) - eval_node(n->rhs.get(), vars);
+    case Op::kMul:
+      return eval_node(n->lhs.get(), vars) * eval_node(n->rhs.get(), vars);
+    case Op::kDiv: {
+      const double num = eval_node(n->lhs.get(), vars);
+      const double den = eval_node(n->rhs.get(), vars);
+      return std::abs(den) < 1e-9 ? num : num / den;
+    }
+    case Op::kLog:
+      return std::log(std::abs(eval_node(n->lhs.get(), vars)) + 1.0);
+    case Op::kSqrt:
+      return std::sqrt(std::abs(eval_node(n->lhs.get(), vars)));
+  }
+  return 0.0;
+}
+
+std::size_t size_node(const ExprNode* n) {
+  if (!n) return 0;
+  return 1 + size_node(n->lhs.get()) + size_node(n->rhs.get());
+}
+
+int depth_node(const ExprNode* n) {
+  if (!n) return 0;
+  return 1 + std::max(depth_node(n->lhs.get()), depth_node(n->rhs.get()));
+}
+
+void collect(ExprNode* n, std::vector<ExprNode*>& out) {
+  if (!n) return;
+  out.push_back(n);
+  collect(n->lhs.get(), out);
+  collect(n->rhs.get(), out);
+}
+
+std::string str_node(const ExprNode* n, std::span<const std::string> names) {
+  if (!n) return "0";
+  std::ostringstream os;
+  switch (n->op) {
+    case Op::kConst:
+      os << n->value;
+      break;
+    case Op::kVar:
+      if (n->var < names.size())
+        os << names[n->var];
+      else
+        os << "x" << n->var;
+      break;
+    case Op::kAdd:
+      os << "(" << str_node(n->lhs.get(), names) << " + "
+         << str_node(n->rhs.get(), names) << ")";
+      break;
+    case Op::kSub:
+      os << "(" << str_node(n->lhs.get(), names) << " - "
+         << str_node(n->rhs.get(), names) << ")";
+      break;
+    case Op::kMul:
+      os << "(" << str_node(n->lhs.get(), names) << " * "
+         << str_node(n->rhs.get(), names) << ")";
+      break;
+    case Op::kDiv:
+      os << "(" << str_node(n->lhs.get(), names) << " / "
+         << str_node(n->rhs.get(), names) << ")";
+      break;
+    case Op::kLog:
+      os << "log1p|" << str_node(n->lhs.get(), names) << "|";
+      break;
+    case Op::kSqrt:
+      os << "sqrt|" << str_node(n->lhs.get(), names) << "|";
+      break;
+  }
+  return os.str();
+}
+
+/// Log-uniform constant in [1e-6, 100), signed positive (timing terms are
+/// additive-positive; subtraction exists as an operator).
+double random_constant(util::Rng& rng) {
+  return std::pow(10.0, rng.uniform(-6.0, 2.0));
+}
+
+std::unique_ptr<ExprNode> random_node(util::Rng& rng, std::size_t num_vars,
+                                      int max_depth) {
+  auto node = std::make_unique<ExprNode>();
+  const double roll = rng.uniform();
+  const bool terminal = max_depth <= 1 || roll < 0.25;
+  if (terminal) {
+    if (num_vars > 0 && rng.uniform() < 0.6) {
+      node->op = Op::kVar;
+      node->var = rng.uniform_int(num_vars);
+    } else {
+      node->op = Op::kConst;
+      node->value = random_constant(rng);
+    }
+    return node;
+  }
+  if (roll < 0.40) {  // unary
+    node->op = rng.uniform() < 0.5 ? Op::kLog : Op::kSqrt;
+    node->lhs = random_node(rng, num_vars, max_depth - 1);
+    return node;
+  }
+  constexpr Op kBinary[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv};
+  // Bias toward multiplication — performance models are mostly products of
+  // powers of the parameters.
+  const double pick = rng.uniform();
+  node->op = pick < 0.4   ? Op::kMul
+             : pick < 0.6 ? Op::kAdd
+             : pick < 0.8 ? Op::kDiv
+                          : kBinary[1];
+  node->lhs = random_node(rng, num_vars, max_depth - 1);
+  node->rhs = random_node(rng, num_vars, max_depth - 1);
+  return node;
+}
+
+}  // namespace
+
+Expr Expr::constant(double v) {
+  auto n = std::make_unique<ExprNode>();
+  n->op = Op::kConst;
+  n->value = v;
+  return Expr(std::move(n));
+}
+
+Expr Expr::variable(std::size_t index) {
+  auto n = std::make_unique<ExprNode>();
+  n->op = Op::kVar;
+  n->var = index;
+  return Expr(std::move(n));
+}
+
+Expr Expr::binary(Op op, Expr lhs, Expr rhs) {
+  auto n = std::make_unique<ExprNode>();
+  n->op = op;
+  n->lhs = std::move(lhs.root_);
+  n->rhs = std::move(rhs.root_);
+  return Expr(std::move(n));
+}
+
+Expr Expr::unary(Op op, Expr operand) {
+  auto n = std::make_unique<ExprNode>();
+  n->op = op;
+  n->lhs = std::move(operand.root_);
+  return Expr(std::move(n));
+}
+
+Expr Expr::random(util::Rng& rng, std::size_t num_vars, int max_depth) {
+  return Expr(random_node(rng, num_vars, std::max(1, max_depth)));
+}
+
+Expr Expr::crossover(const Expr& a, const Expr& b, util::Rng& rng,
+                     std::size_t max_nodes) {
+  if (a.empty() || b.empty()) return a.clone();
+  Expr child = a.clone();
+  std::vector<ExprNode*> sites;
+  collect(child.root_.get(), sites);
+  std::vector<ExprNode*> donors;
+  // collect() wants mutable pointers; the donor tree is only read (cloned).
+  collect(const_cast<ExprNode*>(b.root_.get()), donors);
+  ExprNode* site = sites[rng.uniform_int(sites.size())];
+  const ExprNode* donor = donors[rng.uniform_int(donors.size())];
+  auto grafted = clone_node(donor);
+  // Replace the site's contents in place.
+  *site = std::move(*grafted);
+  if (child.size() > max_nodes) return a.clone();
+  return child;
+}
+
+Expr Expr::mutate(const Expr& e, util::Rng& rng, std::size_t num_vars,
+                  int max_depth, std::size_t max_nodes) {
+  if (e.empty()) return Expr::random(rng, num_vars, max_depth);
+  Expr out = e.clone();
+  std::vector<ExprNode*> sites;
+  collect(out.root_.get(), sites);
+  ExprNode* site = sites[rng.uniform_int(sites.size())];
+  const double roll = rng.uniform();
+  if (site->op == Op::kConst && roll < 0.6) {
+    // Jitter the constant multiplicatively (and occasionally re-draw).
+    site->value = rng.uniform() < 0.15
+                      ? random_constant(rng)
+                      : site->value * std::exp(rng.normal(0.0, 0.3));
+  } else if (roll < 0.5) {
+    // Regrow the subtree.
+    auto fresh = random_node(rng, num_vars, std::max(1, max_depth - 1));
+    *site = std::move(*fresh);
+  } else if (is_binary(site->op)) {
+    constexpr Op kBinary[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv};
+    site->op = kBinary[rng.uniform_int(4)];
+  } else if (is_unary(site->op)) {
+    site->op = site->op == Op::kLog ? Op::kSqrt : Op::kLog;
+  } else if (site->op == Op::kVar && num_vars > 0) {
+    site->var = rng.uniform_int(num_vars);
+  } else {
+    site->value = random_constant(rng);
+  }
+  if (out.size() > max_nodes) return e.clone();
+  return out;
+}
+
+double Expr::eval(std::span<const double> vars) const {
+  if (!root_) return 0.0;
+  const double v = eval_node(root_.get(), vars);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+std::size_t Expr::size() const noexcept { return size_node(root_.get()); }
+int Expr::depth() const noexcept { return depth_node(root_.get()); }
+Expr Expr::clone() const { return Expr(clone_node(root_.get())); }
+
+std::string Expr::str(std::span<const std::string> names) const {
+  return str_node(root_.get(), names);
+}
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kLog: return "log";
+    case Op::kSqrt: return "sqrt";
+  }
+  return "?";
+}
+
+void sexpr_node(const ExprNode* n, std::ostringstream& os) {
+  if (!n) {
+    os << "(const 0)";
+    return;
+  }
+  os << '(' << op_name(n->op);
+  switch (n->op) {
+    case Op::kConst:
+      // max_digits10 so the value round-trips bit-exactly.
+      os.precision(17);
+      os << ' ' << n->value;
+      break;
+    case Op::kVar:
+      os << ' ' << n->var;
+      break;
+    default:
+      os << ' ';
+      sexpr_node(n->lhs.get(), os);
+      if (is_binary(n->op)) {
+        os << ' ';
+        sexpr_node(n->rhs.get(), os);
+      }
+      break;
+  }
+  os << ')';
+}
+
+/// Minimal recursive-descent S-expression parser.
+class SexprParser {
+ public:
+  explicit SexprParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<ExprNode> parse() {
+    auto node = parse_node();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw std::invalid_argument("trailing input in expression: '" +
+                                  text_.substr(pos_) + "'");
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      throw std::invalid_argument(std::string("expected '") + c + "' at " +
+                                  std::to_string(pos_));
+    ++pos_;
+  }
+  std::string token() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (start == pos_)
+      throw std::invalid_argument("expected token at " + std::to_string(pos_));
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::unique_ptr<ExprNode> parse_node() {
+    expect('(');
+    const std::string op = token();
+    auto node = std::make_unique<ExprNode>();
+    if (op == "const") {
+      node->op = Op::kConst;
+      node->value = std::stod(token());
+    } else if (op == "var") {
+      node->op = Op::kVar;
+      node->var = static_cast<std::size_t>(std::stoul(token()));
+    } else if (op == "log" || op == "sqrt") {
+      node->op = op == "log" ? Op::kLog : Op::kSqrt;
+      node->lhs = parse_node();
+    } else if (op == "add" || op == "sub" || op == "mul" || op == "div") {
+      node->op = op == "add"   ? Op::kAdd
+                 : op == "sub" ? Op::kSub
+                 : op == "mul" ? Op::kMul
+                               : Op::kDiv;
+      node->lhs = parse_node();
+      node->rhs = parse_node();
+    } else {
+      throw std::invalid_argument("unknown operator '" + op + "'");
+    }
+    expect(')');
+    return node;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Expr::to_sexpr() const {
+  std::ostringstream os;
+  sexpr_node(root_.get(), os);
+  return os.str();
+}
+
+Expr Expr::from_sexpr(const std::string& text) {
+  return Expr(SexprParser(text).parse());
+}
+
+namespace {
+
+bool is_const(const ExprNode* n, double value) {
+  return n && n->op == Op::kConst && n->value == value;
+}
+
+std::unique_ptr<ExprNode> make_const(double v) {
+  auto n = std::make_unique<ExprNode>();
+  n->op = Op::kConst;
+  n->value = v;
+  return n;
+}
+
+bool nodes_identical(const ExprNode* a, const ExprNode* b) {
+  if (!a || !b) return a == b;
+  if (a->op != b->op) return false;
+  switch (a->op) {
+    case Op::kConst: return a->value == b->value;
+    case Op::kVar: return a->var == b->var;
+    default:
+      return nodes_identical(a->lhs.get(), b->lhs.get()) &&
+             nodes_identical(a->rhs.get(), b->rhs.get());
+  }
+}
+
+std::unique_ptr<ExprNode> simplify_node(const ExprNode* n) {
+  if (!n) return nullptr;
+  if (n->op == Op::kConst || n->op == Op::kVar) return clone_node(n);
+
+  auto out = std::make_unique<ExprNode>();
+  out->op = n->op;
+  out->lhs = simplify_node(n->lhs.get());
+  out->rhs = simplify_node(n->rhs.get());
+  const ExprNode* l = out->lhs.get();
+  const ExprNode* r = out->rhs.get();
+
+  // Constant folding: every operand a literal -> evaluate with the same
+  // protected semantics as eval().
+  const bool lc = l && l->op == Op::kConst;
+  const bool rc = r && r->op == Op::kConst;
+  switch (out->op) {
+    case Op::kAdd:
+      if (lc && rc) return make_const(l->value + r->value);
+      if (is_const(l, 0.0)) return std::move(out->rhs);
+      if (is_const(r, 0.0)) return std::move(out->lhs);
+      break;
+    case Op::kSub:
+      if (lc && rc) return make_const(l->value - r->value);
+      if (is_const(r, 0.0)) return std::move(out->lhs);
+      if (nodes_identical(l, r)) return make_const(0.0);
+      break;
+    case Op::kMul:
+      if (lc && rc) return make_const(l->value * r->value);
+      if (is_const(l, 1.0)) return std::move(out->rhs);
+      if (is_const(r, 1.0)) return std::move(out->lhs);
+      if (is_const(l, 0.0) || is_const(r, 0.0)) return make_const(0.0);
+      break;
+    case Op::kDiv:
+      if (lc && rc)
+        return make_const(std::abs(r->value) < 1e-9 ? l->value
+                                                    : l->value / r->value);
+      if (is_const(r, 1.0)) return std::move(out->lhs);
+      if (is_const(l, 0.0)) return make_const(0.0);
+      break;
+    case Op::kLog:
+      if (lc) return make_const(std::log(std::abs(l->value) + 1.0));
+      break;
+    case Op::kSqrt:
+      if (lc) return make_const(std::sqrt(std::abs(l->value)));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Expr Expr::simplified() const { return Expr(simplify_node(root_.get())); }
+
+}  // namespace ftbesst::model

@@ -1,0 +1,99 @@
+#pragma once
+// Expression trees for symbolic regression.
+//
+// Operators are "protected" in the usual GP sense (division by ~0 returns
+// the numerator, log/sqrt take magnitudes) so that every tree is total over
+// the whole parameter space and evolution never has to reason about domain
+// errors.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+
+enum class Op : std::uint8_t {
+  kConst,
+  kVar,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLog,
+  kSqrt
+};
+
+[[nodiscard]] constexpr bool is_binary(Op op) noexcept {
+  return op == Op::kAdd || op == Op::kSub || op == Op::kMul || op == Op::kDiv;
+}
+[[nodiscard]] constexpr bool is_unary(Op op) noexcept {
+  return op == Op::kLog || op == Op::kSqrt;
+}
+
+struct ExprNode {
+  Op op = Op::kConst;
+  double value = 0.0;    // kConst
+  std::size_t var = 0;   // kVar
+  std::unique_ptr<ExprNode> lhs;
+  std::unique_ptr<ExprNode> rhs;
+};
+
+class Expr {
+ public:
+  Expr() = default;  // empty; eval() of an empty Expr returns 0
+
+  [[nodiscard]] static Expr constant(double v);
+  [[nodiscard]] static Expr variable(std::size_t index);
+  [[nodiscard]] static Expr binary(Op op, Expr lhs, Expr rhs);
+  [[nodiscard]] static Expr unary(Op op, Expr operand);
+
+  /// Grow-method random tree over `num_vars` variables.
+  [[nodiscard]] static Expr random(util::Rng& rng, std::size_t num_vars,
+                                   int max_depth);
+  /// Subtree crossover: a copy of `a` with a random subtree replaced by a
+  /// random subtree of `b`. Result exceeding `max_nodes` falls back to a
+  /// clone of `a`.
+  [[nodiscard]] static Expr crossover(const Expr& a, const Expr& b,
+                                      util::Rng& rng, std::size_t max_nodes);
+  /// Point/subtree mutation (constant jitter, operator swap, or subtree
+  /// regrowth).
+  [[nodiscard]] static Expr mutate(const Expr& e, util::Rng& rng,
+                                   std::size_t num_vars, int max_depth,
+                                   std::size_t max_nodes);
+
+  [[nodiscard]] double eval(std::span<const double> vars) const;
+  [[nodiscard]] std::size_t size() const noexcept;  ///< node count
+  [[nodiscard]] int depth() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+  [[nodiscard]] Expr clone() const;
+  /// Render with the given variable names (falls back to x0,x1,...).
+  [[nodiscard]] std::string str(
+      std::span<const std::string> names = {}) const;
+
+  /// Round-trippable S-expression form, e.g. "(mul (var 0) (const 3.5))".
+  [[nodiscard]] std::string to_sexpr() const;
+  /// Parse the S-expression form; throws std::invalid_argument on syntax
+  /// errors or trailing input.
+  [[nodiscard]] static Expr from_sexpr(const std::string& text);
+
+  /// Algebraic simplification: constant folding and identity elimination
+  /// (x+0, x*1, x*0, x-x, x/1, log/sqrt of constants, ...). Semantics are
+  /// preserved exactly for every input (the protected-operator behaviour of
+  /// eval() is respected — e.g. x/0 folds to x only when the denominator is
+  /// a literal constant below the protection threshold). Returns a new
+  /// expression; repeated application is idempotent.
+  [[nodiscard]] Expr simplified() const;
+
+ private:
+  explicit Expr(std::unique_ptr<ExprNode> root) : root_(std::move(root)) {}
+
+  std::unique_ptr<ExprNode> root_;
+
+  friend class SymbolicRegressor;
+};
+
+}  // namespace ftbesst::model

@@ -1,0 +1,83 @@
+#pragma once
+// Linear regression over a library of nonlinear features.
+//
+// This is the deterministic half of the symbolic-regression toolchain: a
+// closed-form model y = sum_i w_i * phi_i(params) fitted by (relative-error
+// weighted) ridge least squares. The genetic-programming engine (symreg.hpp)
+// searches free-form expression space; this model both provides a strong
+// baseline and seeds the GP population.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/linalg.hpp"
+#include "model/perf_model.hpp"
+
+namespace ftbesst::model {
+
+struct Feature {
+  std::string name;
+  std::function<double(std::span<const double>)> fn;
+};
+
+class FeatureLibrary {
+ public:
+  void add(std::string name,
+           std::function<double(std::span<const double>)> fn);
+
+  /// Machine-readable construction tag for serialization; empty for
+  /// hand-built libraries (which cannot be serialized).
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+
+  /// Standard library for performance modeling over `param_names`:
+  /// constant, per-parameter linear/quadratic/cubic terms, pairwise
+  /// products, logarithms, and x*log(x) terms — the shapes that arise from
+  /// compute volume, surface communication, and tree collectives.
+  [[nodiscard]] static FeatureLibrary polynomial(std::size_t num_params);
+
+  [[nodiscard]] std::size_t size() const noexcept { return features_.size(); }
+  [[nodiscard]] const Feature& at(std::size_t i) const {
+    return features_.at(i);
+  }
+  /// Evaluate every feature at a parameter point.
+  [[nodiscard]] std::vector<double> evaluate(
+      std::span<const double> params) const;
+
+ private:
+  std::vector<Feature> features_;
+  std::string tag_;
+};
+
+class FeatureModel final : public PerfModel {
+ public:
+  FeatureModel(FeatureLibrary library, std::vector<double> weights);
+
+  /// Fit by ridge least squares. When `relative_error` is set, rows are
+  /// weighted by 1/response so the optimization approximates minimizing
+  /// MAPE rather than absolute error (appropriate when responses span
+  /// orders of magnitude, as timing data does). Predictions are clamped to
+  /// be non-negative (a duration can never be negative).
+  [[nodiscard]] static FeatureModel fit(const Dataset& data,
+                                        FeatureLibrary library,
+                                        double ridge_lambda = 1e-9,
+                                        bool relative_error = true);
+
+  [[nodiscard]] double predict(std::span<const double> params) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  /// Construction tag of the underlying library (see FeatureLibrary::tag).
+  [[nodiscard]] const std::string& library_tag() const noexcept {
+    return library_.tag();
+  }
+
+ private:
+  FeatureLibrary library_;
+  std::vector<double> weights_;
+};
+
+}  // namespace ftbesst::model

@@ -1,0 +1,72 @@
+#pragma once
+// One-call model development for a kernel's calibration dataset.
+//
+// This implements the "Model Creation / Model Validation" boxes of the
+// BE-SST workflow: split the data, fit with the requested method (or try
+// several and keep the best held-out accuracy), estimate the residual noise
+// for Monte-Carlo simulation, and report the validation MAPE that the
+// paper's Table III tabulates.
+
+#include <memory>
+#include <string>
+
+#include "model/dataset.hpp"
+#include "model/feature_model.hpp"
+#include "model/perf_model.hpp"
+#include "model/symreg.hpp"
+#include "model/table_model.hpp"
+
+namespace ftbesst::model {
+
+enum class ModelMethod {
+  kSymbolicRegression,
+  kFeatureRegression,
+  kPowerLaw,
+  kTableNearest,
+  kTableMultilinear,
+  kTableLogLog,
+  kAuto  ///< best blended train/test MAPE of symbolic regression, feature
+         ///< regression, and (when the data admits it) the power law
+};
+
+[[nodiscard]] std::string to_string(ModelMethod m);
+
+struct FitOptions {
+  ModelMethod method = ModelMethod::kAuto;
+  double train_fraction = 0.8;
+  std::uint64_t seed = 7;
+  SymRegConfig symreg;   ///< used by kSymbolicRegression / kAuto
+  double ridge_lambda = 1e-9;
+};
+
+struct FitReport {
+  ModelMethod chosen = ModelMethod::kAuto;
+  double train_mape = 0.0;      ///< % on training rows
+  double test_mape = 0.0;       ///< % on held-out rows
+  double full_mape = 0.0;       ///< % over the entire dataset (Table III)
+  double residual_sigma = 0.0;  ///< log-space noise of samples vs prediction
+  std::string formula;
+};
+
+struct FittedKernel {
+  /// Deterministic fitted model (no noise).
+  PerfModelPtr model;
+  /// Same model wrapped for Monte-Carlo draws with calibrated variance.
+  PerfModelPtr noisy_model;
+  FitReport report;
+};
+
+/// Fit a performance model to `data` per `options`.
+[[nodiscard]] FittedKernel fit_kernel_model(const Dataset& data,
+                                            const FitOptions& options = {});
+
+/// MAPE (%) of `model` against the mean responses of `data`.
+[[nodiscard]] double validate_mape(const PerfModel& model,
+                                   const Dataset& data);
+
+/// Standard deviation of log(sample / prediction) over every sample of
+/// every row — the multiplicative noise the machine showed around the model.
+[[nodiscard]] double residual_log_sigma(const PerfModel& model,
+                                        const Dataset& data);
+
+}  // namespace ftbesst::model

@@ -1,0 +1,70 @@
+#include "model/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftbesst::model {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > best) {
+        best = std::abs(a.at(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) throw std::runtime_error("singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (y.size() != n)
+    throw std::invalid_argument("ridge_least_squares: shape mismatch");
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      xty[a] += x.at(i, a) * y[i];
+      for (std::size_t b = a; b < p; ++b) xtx.at(a, b) += x.at(i, a) * x.at(i, b);
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx.at(a, b) = xtx.at(b, a);
+    xtx.at(a, a) += lambda;
+  }
+  return solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+}  // namespace ftbesst::model

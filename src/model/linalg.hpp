@@ -1,0 +1,43 @@
+#pragma once
+// Dense linear algebra required by the regression substrate: a small
+// row-major matrix, Gaussian elimination with partial pivoting, and
+// ridge-regularized least squares via the normal equations. Sizes here are
+// tiny (feature counts ~ 10), so clarity beats blocking.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftbesst::model {
+
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting. A must be
+/// square with rows()==b.size(). Throws std::runtime_error on (numerical)
+/// singularity.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a,
+                                                      std::vector<double> b);
+
+/// Ridge least squares: minimize ||X w - y||^2 + lambda ||w||^2.
+/// X is n x p (n >= 1), y has n entries. Returns the p weights.
+[[nodiscard]] std::vector<double> ridge_least_squares(
+    const Matrix& x, std::span<const double> y, double lambda);
+
+}  // namespace ftbesst::model

@@ -1,0 +1,27 @@
+#include "model/perf_model.hpp"
+
+#include <stdexcept>
+
+namespace ftbesst::model {
+
+NoisyModel::NoisyModel(PerfModelPtr base, double log_sigma)
+    : base_(std::move(base)), sigma_(log_sigma) {
+  if (!base_) throw std::invalid_argument("NoisyModel needs a base model");
+  if (sigma_ < 0.0) throw std::invalid_argument("sigma must be >= 0");
+}
+
+double NoisyModel::predict(std::span<const double> params) const {
+  return base_->predict(params);
+}
+
+double NoisyModel::sample(std::span<const double> params,
+                          util::Rng& rng) const {
+  return rng.lognormal_median(base_->predict(params), sigma_);
+}
+
+std::string NoisyModel::describe() const {
+  return base_->describe() + " * lognormal(sigma=" + std::to_string(sigma_) +
+         ")";
+}
+
+}  // namespace ftbesst::model

@@ -1,0 +1,70 @@
+#pragma once
+// The performance-model interface bound into ArchBEOs.
+//
+// When the BE-SST simulator executes an abstract instruction, it polls the
+// bound PerfModel for the predicted duration instead of running the real
+// computation. `predict` is the deterministic expectation; `sample` is the
+// Monte-Carlo draw that reproduces machine variance (the paper runs
+// Monte-Carlo ensembles so each simulated point is a distribution).
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+
+class PerfModel {
+ public:
+  virtual ~PerfModel() = default;
+  /// Expected duration in seconds for the given parameter point.
+  [[nodiscard]] virtual double predict(
+      std::span<const double> params) const = 0;
+  /// One stochastic draw; the default is the deterministic prediction.
+  [[nodiscard]] virtual double sample(std::span<const double> params,
+                                      util::Rng& rng) const {
+    (void)rng;
+    return predict(params);
+  }
+  /// Human-readable description (e.g. the regressed formula).
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using PerfModelPtr = std::shared_ptr<const PerfModel>;
+
+/// Fixed-duration model, mainly for tests and quickstart examples.
+class ConstantModel final : public PerfModel {
+ public:
+  explicit ConstantModel(double seconds) : seconds_(seconds) {}
+  [[nodiscard]] double predict(std::span<const double>) const override {
+    return seconds_;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "const(" + std::to_string(seconds_) + "s)";
+  }
+
+ private:
+  double seconds_;
+};
+
+/// Wraps any model with multiplicative log-normal noise whose sigma was
+/// estimated from calibration residuals — this is how BE-SST's Monte-Carlo
+/// mode "captures the variance that exists in the calibration samples".
+class NoisyModel final : public PerfModel {
+ public:
+  NoisyModel(PerfModelPtr base, double log_sigma);
+
+  [[nodiscard]] double predict(std::span<const double> params) const override;
+  [[nodiscard]] double sample(std::span<const double> params,
+                              util::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double log_sigma() const noexcept { return sigma_; }
+  [[nodiscard]] const PerfModelPtr& base() const noexcept { return base_; }
+
+ private:
+  PerfModelPtr base_;
+  double sigma_;
+};
+
+}  // namespace ftbesst::model

@@ -1,0 +1,72 @@
+#include "model/powerlaw.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/linalg.hpp"
+
+namespace ftbesst::model {
+
+PowerLawModel::PowerLawModel(double coefficient,
+                             std::vector<double> exponents)
+    : coefficient_(coefficient), exponents_(std::move(exponents)) {
+  if (coefficient_ <= 0.0)
+    throw std::invalid_argument("power-law coefficient must be positive");
+}
+
+PowerLawModel PowerLawModel::fit(const Dataset& data) {
+  const std::size_t n = data.num_rows();
+  const std::size_t d = data.num_params();
+  if (n < d + 1)
+    throw std::invalid_argument("need more rows than parameters to fit");
+  for (std::size_t dim = 0; dim < d; ++dim)
+    if (data.unique_values(dim).size() < 2)
+      throw std::invalid_argument(
+          "parameter '" + data.param_names()[dim] +
+          "' takes a single value; a power-law exponent for it is "
+          "unidentifiable");
+
+  // Design matrix [1, log x1, ..., log xd]; target log y.
+  Matrix x(n, d + 1);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Row& row = data.row(i);
+    const double response = row.mean_response();
+    if (response <= 0.0)
+      throw std::invalid_argument("power-law fit needs positive responses");
+    x.at(i, 0) = 1.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (row.params[j] <= 0.0)
+        throw std::invalid_argument("power-law fit needs positive params");
+      x.at(i, j + 1) = std::log(row.params[j]);
+    }
+    y[i] = std::log(response);
+  }
+  auto weights = ridge_least_squares(x, y, 1e-12);
+  std::vector<double> exponents(weights.begin() + 1, weights.end());
+  return PowerLawModel(std::exp(weights[0]), std::move(exponents));
+}
+
+double PowerLawModel::predict(std::span<const double> params) const {
+  if (params.size() != exponents_.size())
+    throw std::invalid_argument("parameter count mismatch");
+  double acc = coefficient_;
+  for (std::size_t j = 0; j < exponents_.size(); ++j) {
+    if (params[j] <= 0.0)
+      throw std::invalid_argument("power-law query needs positive params");
+    acc *= std::pow(params[j], exponents_[j]);
+  }
+  return acc;
+}
+
+std::string PowerLawModel::describe() const {
+  std::ostringstream os;
+  os << "powerlaw[" << coefficient_;
+  for (std::size_t j = 0; j < exponents_.size(); ++j)
+    os << " * x" << j << "^" << exponents_[j];
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ftbesst::model

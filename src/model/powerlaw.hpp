@@ -1,0 +1,44 @@
+#pragma once
+// Power-law regression: y = c * x1^a1 * ... * xn^an (+ optional floor).
+//
+// The canonical closed form for compute-kernel scaling (volume ~ n^3,
+// surface ~ n^2, tree collectives ~ log n fit acceptably over bounded
+// ranges). Fitted as ordinary least squares in log-log space, which makes
+// it the most robust *extrapolator* in the toolbox: a monomial fitted on
+// small grids continues along the same exponents forever, where free-form
+// feature bases can swing wildly outside the data (see bench_ext_modelcmp).
+// Requires strictly positive parameters and responses.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/perf_model.hpp"
+
+namespace ftbesst::model {
+
+class PowerLawModel final : public PerfModel {
+ public:
+  /// y = coefficient * prod_i params[i]^exponents[i].
+  PowerLawModel(double coefficient, std::vector<double> exponents);
+
+  /// OLS fit in log-log space over the dataset's mean responses. Throws
+  /// std::invalid_argument when any parameter or response is <= 0, or when
+  /// the system is degenerate (e.g. a parameter with a single value — drop
+  /// it or use another model).
+  [[nodiscard]] static PowerLawModel fit(const Dataset& data);
+
+  [[nodiscard]] double predict(std::span<const double> params) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double coefficient() const noexcept { return coefficient_; }
+  [[nodiscard]] const std::vector<double>& exponents() const noexcept {
+    return exponents_;
+  }
+
+ private:
+  double coefficient_;
+  std::vector<double> exponents_;
+};
+
+}  // namespace ftbesst::model

@@ -1,0 +1,217 @@
+#include "model/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "model/feature_model.hpp"
+#include "model/powerlaw.hpp"
+#include "model/symreg.hpp"
+
+namespace ftbesst::model {
+
+namespace {
+
+constexpr const char* kMagic = "ftbesst-model v1";
+
+void save_model_body(std::ostream& os, const PerfModel& model) {
+  os << std::setprecision(17);
+  if (const auto* noisy = dynamic_cast<const NoisyModel*>(&model)) {
+    os << "noisy " << noisy->log_sigma() << '\n';
+    save_model_body(os, *noisy->base());
+    return;
+  }
+  if (const auto* constant = dynamic_cast<const ConstantModel*>(&model)) {
+    os << "constant " << constant->predict(std::span<const double>{}) << '\n';
+    return;
+  }
+  if (const auto* pl = dynamic_cast<const PowerLawModel*>(&model)) {
+    os << "powerlaw " << pl->coefficient() << ' ' << pl->exponents().size();
+    for (double e : pl->exponents()) os << ' ' << e;
+    os << '\n';
+    return;
+  }
+  if (const auto* expr = dynamic_cast<const ExprModel*>(&model)) {
+    os << "exprmodel " << expr->scale() << ' ' << expr->offset() << ' '
+       << expr->param_names().size();
+    for (const auto& name : expr->param_names()) os << ' ' << name;
+    os << '\n' << expr->expr().to_sexpr() << '\n';
+    return;
+  }
+  throw std::invalid_argument("unsupported model type for serialization: " +
+                              model.describe());
+}
+
+std::string read_line(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::invalid_argument("unexpected end of model stream");
+  return line;
+}
+
+PerfModelPtr load_model_body(std::istream& is) {
+  std::string line = read_line(is);
+  std::istringstream ls(line);
+  std::string kind;
+  ls >> kind;
+  if (kind == "noisy") {
+    double sigma = 0.0;
+    if (!(ls >> sigma)) throw std::invalid_argument("bad noisy line");
+    PerfModelPtr base = load_model_body(is);
+    return std::make_shared<NoisyModel>(std::move(base), sigma);
+  }
+  if (kind == "constant") {
+    double value = 0.0;
+    if (!(ls >> value)) throw std::invalid_argument("bad constant line");
+    return std::make_shared<ConstantModel>(value);
+  }
+  if (kind == "powerlaw") {
+    double coeff = 0.0;
+    std::size_t n = 0;
+    if (!(ls >> coeff >> n)) throw std::invalid_argument("bad powerlaw line");
+    std::vector<double> exponents(n);
+    for (auto& e : exponents)
+      if (!(ls >> e)) throw std::invalid_argument("bad powerlaw exponents");
+    return std::make_shared<PowerLawModel>(coeff, std::move(exponents));
+  }
+  if (kind == "exprmodel") {
+    double scale = 1.0, offset = 0.0;
+    std::size_t n = 0;
+    if (!(ls >> scale >> offset >> n))
+      throw std::invalid_argument("bad exprmodel line");
+    std::vector<std::string> names(n);
+    for (auto& name : names)
+      if (!(ls >> name)) throw std::invalid_argument("bad exprmodel names");
+    const std::string sexpr = read_line(is);
+    return std::make_shared<ExprModel>(Expr::from_sexpr(sexpr), scale, offset,
+                                       std::move(names));
+  }
+  if (kind == "featuremodel") {
+    std::string lib_kind;
+    std::size_t num_params = 0, num_weights = 0;
+    if (!(ls >> lib_kind >> num_params >> num_weights) ||
+        lib_kind != "polynomial")
+      throw std::invalid_argument("bad featuremodel line");
+    auto lib = FeatureLibrary::polynomial(num_params);
+    if (lib.size() != num_weights)
+      throw std::invalid_argument("feature count mismatch on load");
+    std::istringstream ws(read_line(is));
+    std::vector<double> weights(num_weights);
+    for (auto& w : weights)
+      if (!(ws >> w)) throw std::invalid_argument("bad feature weights");
+    return std::make_shared<FeatureModel>(std::move(lib), std::move(weights));
+  }
+  throw std::invalid_argument("unknown model kind '" + kind + "'");
+}
+
+/// FeatureModel needs its library tag; handled out-of-band from the
+/// dynamic_cast chain above so the chain stays exception-free for the
+/// supported types.
+bool try_save_feature_model(std::ostream& os, const PerfModel& model) {
+  const auto* feat = dynamic_cast<const FeatureModel*>(&model);
+  if (!feat) return false;
+  // Reconstruct the tag via a second dynamic property: FeatureModel keeps
+  // its library; we require it to be tagged.
+  const std::string& tag = feat->library_tag();
+  if (tag.empty())
+    throw std::invalid_argument(
+        "cannot serialize a feature model with a hand-built library");
+  os << std::setprecision(17);
+  os << "featuremodel " << tag << ' ' << feat->weights().size() << '\n';
+  for (std::size_t i = 0; i < feat->weights().size(); ++i)
+    os << (i ? " " : "") << feat->weights()[i];
+  os << '\n';
+  return true;
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, const PerfModel& model) {
+  os << kMagic << '\n';
+  // NoisyModel over a FeatureModel must recurse through the noisy header
+  // first; handle that explicitly.
+  if (const auto* noisy = dynamic_cast<const NoisyModel*>(&model)) {
+    os << std::setprecision(17) << "noisy " << noisy->log_sigma() << '\n';
+    if (!try_save_feature_model(os, *noisy->base()))
+      save_model_body(os, *noisy->base());
+    return;
+  }
+  if (try_save_feature_model(os, model)) return;
+  save_model_body(os, model);
+}
+
+std::string model_to_string(const PerfModel& model) {
+  std::ostringstream os;
+  save_model(os, model);
+  return os.str();
+}
+
+PerfModelPtr load_model(std::istream& is) {
+  const std::string magic = read_line(is);
+  if (magic != kMagic)
+    throw std::invalid_argument("not an ftbesst model stream: '" + magic +
+                                "'");
+  return load_model_body(is);
+}
+
+PerfModelPtr model_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_model(is);
+}
+
+void save_dataset(std::ostream& os, const Dataset& data) {
+  os << std::setprecision(17);
+  for (std::size_t d = 0; d < data.num_params(); ++d)
+    os << data.param_names()[d] << ',';
+  os << "sample\n";
+  for (const Row& row : data.rows())
+    for (double sample : row.samples) {
+      for (double p : row.params) os << p << ',';
+      os << sample << '\n';
+    }
+}
+
+Dataset load_dataset(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header))
+    throw std::invalid_argument("empty dataset stream");
+  std::vector<std::string> names;
+  std::istringstream hs(header);
+  std::string col;
+  while (std::getline(hs, col, ',')) names.push_back(col);
+  if (names.empty() || names.back() != "sample")
+    throw std::invalid_argument("dataset header must end with 'sample'");
+  names.pop_back();
+  Dataset data(names);
+
+  // Accumulate consecutive rows with identical parameters into one row.
+  std::vector<double> current_params;
+  std::vector<double> current_samples;
+  auto flush = [&]() {
+    if (!current_samples.empty())
+      data.add_row(current_params, current_samples);
+    current_samples.clear();
+  };
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<double> values;
+    std::string cell;
+    while (std::getline(ls, cell, ',')) values.push_back(std::stod(cell));
+    if (values.size() != names.size() + 1)
+      throw std::invalid_argument("dataset row width mismatch");
+    std::vector<double> params(values.begin(), values.end() - 1);
+    if (params != current_params) {
+      flush();
+      current_params = std::move(params);
+    }
+    current_samples.push_back(values.back());
+  }
+  flush();
+  return data;
+}
+
+}  // namespace ftbesst::model

@@ -1,0 +1,37 @@
+#pragma once
+// Persistence for calibrated models and calibration datasets.
+//
+// The Model Development phase is expensive relative to simulation, and its
+// products — regressed closed forms, fitted weights, noise sigmas — are the
+// artifact a DSE campaign iterates on. This module saves and restores them
+// in a line-oriented text format, so a calibration can be performed once
+// and the resulting ArchBEO bindings reloaded across sessions/tools.
+//
+// Supported model types: ConstantModel, ExprModel (symbolic regression),
+// FeatureModel built from FeatureLibrary::polynomial, and NoisyModel
+// wrapping any of the above. Lookup tables serialize as their dataset
+// (save_dataset) and are rebuilt on load.
+
+#include <iosfwd>
+#include <string>
+
+#include "model/dataset.hpp"
+#include "model/perf_model.hpp"
+
+namespace ftbesst::model {
+
+/// Serialize a model. Throws std::invalid_argument for unsupported types
+/// (hand-built feature libraries, lookup tables).
+void save_model(std::ostream& os, const PerfModel& model);
+[[nodiscard]] std::string model_to_string(const PerfModel& model);
+
+/// Deserialize; throws std::invalid_argument on malformed input.
+[[nodiscard]] PerfModelPtr load_model(std::istream& is);
+[[nodiscard]] PerfModelPtr model_from_string(const std::string& text);
+
+/// Calibration datasets as CSV: header `param1,...,paramN,sample`, one row
+/// per (parameter point, sample) pair.
+void save_dataset(std::ostream& os, const Dataset& data);
+[[nodiscard]] Dataset load_dataset(std::istream& is);
+
+}  // namespace ftbesst::model

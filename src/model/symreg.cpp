@@ -1,0 +1,243 @@
+#include "model/symreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ftbesst::model {
+
+namespace {
+
+struct ScaledFit {
+  double scale = 1.0;
+  double offset = 0.0;
+  double mape = std::numeric_limits<double>::infinity();
+};
+
+/// Evaluate `expr` on every row of `data`; returns raw outputs.
+std::vector<double> eval_rows(const Expr& expr, const Dataset& data) {
+  std::vector<double> out;
+  out.reserve(data.num_rows());
+  for (const Row& r : data.rows()) out.push_back(expr.eval(r.params));
+  return out;
+}
+
+/// Least-squares linear scaling y ~ a*f + b, then MAPE of the scaled
+/// prediction (clamped at 0) against the responses.
+ScaledFit linear_scale_fit(const std::vector<double>& f,
+                           const std::vector<double>& y) {
+  ScaledFit fit;
+  const std::size_t n = f.size();
+  if (n == 0) return fit;
+  double sf = 0.0, sy = 0.0, sff = 0.0, sfy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sf += f[i];
+    sy += y[i];
+    sff += f[i] * f[i];
+    sfy += f[i] * y[i];
+  }
+  const double den = static_cast<double>(n) * sff - sf * sf;
+  if (std::abs(den) > 1e-30) {
+    fit.scale = (static_cast<double>(n) * sfy - sf * sy) / den;
+    fit.offset = (sy - fit.scale * sf) / static_cast<double>(n);
+  } else {  // constant candidate: best is the mean
+    fit.scale = 0.0;
+    fit.offset = sy / static_cast<double>(n);
+  }
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (y[i] == 0.0) continue;
+    const double pred = std::max(0.0, fit.scale * f[i] + fit.offset);
+    acc += std::abs(pred - y[i]) / std::abs(y[i]);
+    ++used;
+  }
+  fit.mape = used ? 100.0 * acc / static_cast<double>(used)
+                  : std::numeric_limits<double>::infinity();
+  if (!std::isfinite(fit.mape))
+    fit.mape = std::numeric_limits<double>::infinity();
+  return fit;
+}
+
+double mape_with_scaling(const Expr& expr, const Dataset& data, double scale,
+                         double offset) {
+  if (data.empty()) return std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (const Row& r : data.rows()) {
+    const double y = r.mean_response();
+    if (y == 0.0) continue;
+    const double pred = std::max(0.0, scale * expr.eval(r.params) + offset);
+    acc += std::abs(pred - y) / std::abs(y);
+    ++used;
+  }
+  return used ? 100.0 * acc / static_cast<double>(used)
+              : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+ExprModel::ExprModel(Expr expr, double scale, double offset,
+                     std::vector<std::string> param_names)
+    : expr_(std::move(expr)),
+      scale_(scale),
+      offset_(offset),
+      names_(std::move(param_names)) {}
+
+double ExprModel::predict(std::span<const double> params) const {
+  return std::max(0.0, scale_ * expr_.eval(params) + offset_);
+}
+
+std::string ExprModel::describe() const {
+  std::ostringstream os;
+  os << "symreg[max(0, " << scale_ << " * " << expr_.str(names_) << " + "
+     << offset_ << ")]";
+  return os.str();
+}
+
+SymbolicRegressor::SymbolicRegressor(SymRegConfig config)
+    : config_(config) {
+  if (config_.population < 4)
+    throw std::invalid_argument("population must be >= 4");
+  if (config_.tournament < 1)
+    throw std::invalid_argument("tournament must be >= 1");
+}
+
+SymRegResult SymbolicRegressor::fit(const Dataset& train,
+                                    const Dataset& test) const {
+  if (train.empty()) throw std::invalid_argument("empty training set");
+  util::Rng rng(config_.seed);
+  const std::size_t num_vars = train.num_params();
+  const std::vector<double> y = train.responses();
+
+  struct Individual {
+    Expr expr;
+    ScaledFit fit;
+    double fitness = std::numeric_limits<double>::infinity();
+  };
+
+  auto evaluate = [&](Individual& ind) {
+    const auto f = eval_rows(ind.expr, train);
+    ind.fit = linear_scale_fit(f, y);
+    ind.fitness = ind.fit.mape +
+                  config_.parsimony * static_cast<double>(ind.expr.size());
+  };
+
+  // Seed: random trees plus canonical performance-model shapes (products /
+  // ratios of the parameters), which dramatically shortens the search for
+  // the monomial-dominated timing surfaces we fit.
+  std::vector<Individual> pop(config_.population);
+  std::size_t idx = 0;
+  for (std::size_t v = 0; v < num_vars && idx < pop.size(); ++v)
+    pop[idx++].expr = Expr::variable(v);
+  for (std::size_t a = 0; a < num_vars && idx < pop.size(); ++a)
+    for (std::size_t b = 0; b < num_vars && idx + 3 < pop.size(); ++b) {
+      pop[idx++].expr =
+          Expr::binary(Op::kMul, Expr::variable(a), Expr::variable(b));
+      pop[idx++].expr = Expr::binary(
+          Op::kMul, Expr::variable(a),
+          Expr::binary(Op::kMul, Expr::variable(b), Expr::variable(b)));
+      pop[idx++].expr = Expr::binary(Op::kMul, Expr::variable(a),
+                                     Expr::unary(Op::kLog, Expr::variable(b)));
+      if (a != b)
+        pop[idx++].expr =
+            Expr::binary(Op::kDiv, Expr::variable(a), Expr::variable(b));
+    }
+  for (; idx < pop.size(); ++idx)
+    pop[idx].expr = Expr::random(rng, num_vars, config_.max_depth);
+  for (auto& ind : pop) evaluate(ind);
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = &pop[rng.uniform_int(pop.size())];
+    for (std::size_t i = 1; i < config_.tournament; ++i) {
+      const Individual* cand = &pop[rng.uniform_int(pop.size())];
+      if (cand->fitness < best->fitness) best = cand;
+    }
+    return *best;
+  };
+
+  SymRegResult result;
+  double champion_score = std::numeric_limits<double>::infinity();
+
+  auto consider_champion = [&](const Individual& ind, std::size_t gen) {
+    const double test_mape =
+        test.empty() ? ind.fit.mape
+                     : mape_with_scaling(ind.expr, test, ind.fit.scale,
+                                         ind.fit.offset);
+    // Champion selection blends training and held-out accuracy: test rows
+    // are few, so pure test selection is noisy, and pure train selection
+    // overfits. Ties favour simplicity via the parsimony term in fitness.
+    const double score =
+        test.empty() ? ind.fitness : 0.5 * ind.fit.mape + 0.5 * test_mape;
+    if (score < champion_score) {
+      champion_score = score;
+      // Ship the algebraically simplified form — identical semantics,
+      // readable formula.
+      result.model = std::make_shared<ExprModel>(
+          ind.expr.simplified(), ind.fit.scale, ind.fit.offset,
+          train.param_names());
+      result.train_mape = ind.fit.mape;
+      result.test_mape = test.empty() ? ind.fit.mape : test_mape;
+      result.generations_run = gen;
+    }
+  };
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    auto best_it =
+        std::min_element(pop.begin(), pop.end(),
+                         [](const Individual& a, const Individual& b) {
+                           return a.fitness < b.fitness;
+                         });
+    result.best_history.push_back(best_it->fitness);
+    consider_champion(*best_it, gen);
+    if (best_it->fit.mape < config_.target_train_mape) break;
+
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    // Elitism: carry the best few unchanged.
+    std::vector<const Individual*> ranked;
+    ranked.reserve(pop.size());
+    for (const auto& ind : pop) ranked.push_back(&ind);
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                           config_.elitism, ranked.size())),
+                      ranked.end(),
+                      [](const Individual* a, const Individual* b) {
+                        return a->fitness < b->fitness;
+                      });
+    for (std::size_t e = 0; e < std::min(config_.elitism, ranked.size()); ++e) {
+      Individual copy;
+      copy.expr = ranked[e]->expr.clone();
+      copy.fit = ranked[e]->fit;
+      copy.fitness = ranked[e]->fitness;
+      next.push_back(std::move(copy));
+    }
+
+    while (next.size() < pop.size()) {
+      const double roll = rng.uniform();
+      Individual child;
+      if (roll < config_.crossover_prob) {
+        child.expr = Expr::crossover(tournament().expr, tournament().expr,
+                                     rng, config_.max_nodes);
+      } else if (roll < config_.crossover_prob + config_.mutation_prob) {
+        child.expr = Expr::mutate(tournament().expr, rng, num_vars,
+                                  config_.max_depth, config_.max_nodes);
+      } else {
+        child.expr = tournament().expr.clone();
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+  // Final population sweep.
+  for (const auto& ind : pop) consider_champion(ind, config_.generations);
+
+  return result;
+}
+
+}  // namespace ftbesst::model

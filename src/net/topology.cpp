@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ftbesst::net {
+
+void Topology::check_node(NodeId n) const {
+  if (n < 0 || n >= num_nodes())
+    throw std::out_of_range("node id out of range: " + std::to_string(n));
+}
+
+TwoStageFatTree::TwoStageFatTree(NodeId num_leaves, NodeId nodes_per_leaf,
+                                 NodeId num_spines)
+    : num_leaves_(num_leaves),
+      nodes_per_leaf_(nodes_per_leaf),
+      num_spines_(num_spines) {
+  if (num_leaves < 1 || nodes_per_leaf < 1 || num_spines < 1)
+    throw std::invalid_argument("fat-tree dimensions must be >= 1");
+}
+
+std::string TwoStageFatTree::name() const {
+  return "fattree2(" + std::to_string(num_leaves_) + "x" +
+         std::to_string(nodes_per_leaf_) + ",spines=" +
+         std::to_string(num_spines_) + ")";
+}
+
+NodeId TwoStageFatTree::leaf_of(NodeId node) const {
+  check_node(node);
+  return node / nodes_per_leaf_;
+}
+
+int TwoStageFatTree::hops(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return 0;
+  return leaf_of(a) == leaf_of(b) ? 2 : 4;
+}
+
+int TwoStageFatTree::diameter() const { return num_leaves_ > 1 ? 4 : 2; }
+
+double TwoStageFatTree::bisection_links() const {
+  // Cutting the spine level in half: each leaf keeps links to half the
+  // spines across the cut.
+  return static_cast<double>(num_leaves_) *
+         (static_cast<double>(num_spines_) / 2.0);
+}
+
+double TwoStageFatTree::oversubscription() const noexcept {
+  return static_cast<double>(nodes_per_leaf_) /
+         static_cast<double>(num_spines_);
+}
+
+Torus::Torus(std::vector<NodeId> dims) : dims_(std::move(dims)) {
+  if (dims_.empty()) throw std::invalid_argument("torus needs >= 1 dimension");
+  for (NodeId d : dims_) {
+    if (d < 1) throw std::invalid_argument("torus dimensions must be >= 1");
+    total_ *= d;
+  }
+}
+
+std::string Torus::name() const {
+  std::string s = "torus(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  return s + ")";
+}
+
+std::vector<NodeId> Torus::coords(NodeId node) const {
+  check_node(node);
+  std::vector<NodeId> c(dims_.size());
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    c[i] = node % dims_[i];
+    node /= dims_[i];
+  }
+  return c;
+}
+
+NodeId Torus::node_at(const std::vector<NodeId>& coords) const {
+  if (coords.size() != dims_.size())
+    throw std::invalid_argument("coordinate rank mismatch");
+  NodeId node = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (coords[i] < 0 || coords[i] >= dims_[i])
+      throw std::out_of_range("torus coordinate out of range");
+    node = node * dims_[i] + coords[i];
+  }
+  return node;
+}
+
+int Torus::hops(NodeId a, NodeId b) const {
+  const auto ca = coords(a);
+  const auto cb = coords(b);
+  int total = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const NodeId direct = std::abs(ca[i] - cb[i]);
+    total += static_cast<int>(std::min(direct, dims_[i] - direct));
+  }
+  return total;
+}
+
+int Torus::diameter() const {
+  int total = 0;
+  for (NodeId d : dims_) total += static_cast<int>(d / 2);
+  return total;
+}
+
+double Torus::bisection_links() const {
+  // Cut across the largest dimension: the cut is crossed twice per wrap.
+  const NodeId largest = *std::max_element(dims_.begin(), dims_.end());
+  return 2.0 * static_cast<double>(total_) / static_cast<double>(largest);
+}
+
+}  // namespace ftbesst::net

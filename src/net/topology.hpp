@@ -1,0 +1,92 @@
+#pragma once
+// Interconnect topologies.
+//
+// BE-SST performs architectural DSE by swapping interconnect models under an
+// unchanged application model. We provide the two topologies the paper's
+// systems use: a two-stage bidirectional fat-tree (Quartz, Omni-Path) and a
+// k-ary n-dimensional torus (Vulcan, BlueGene/Q 5-D torus). The coarse
+// quantity a behavioural model needs from a topology is the hop count
+// between endpoints and a contention summary, not per-flit routing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftbesst::net {
+
+using NodeId = std::int64_t;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual NodeId num_nodes() const noexcept = 0;
+  /// Switch-to-switch hops on the route between nodes `a` and `b`
+  /// (0 when a == b). Endpoint injection/ejection is accounted separately
+  /// by the communication model.
+  [[nodiscard]] virtual int hops(NodeId a, NodeId b) const = 0;
+  /// Maximum hop count between any two nodes (network diameter).
+  [[nodiscard]] virtual int diameter() const = 0;
+  /// Number of links crossing a worst-case bisection — used by the
+  /// communication model to estimate contention under global traffic.
+  [[nodiscard]] virtual double bisection_links() const = 0;
+
+ protected:
+  void check_node(NodeId n) const;
+};
+
+/// Two-stage bidirectional fat-tree (leaf/spine), as deployed on Quartz:
+/// nodes attach to leaf ("edge") switches; every leaf connects to every
+/// spine ("core") switch. Minimal routes: same leaf -> 2 hops
+/// (node-leaf-node); different leaves -> 4 hops (node-leaf-spine-leaf-node).
+class TwoStageFatTree final : public Topology {
+ public:
+  /// `nodes_per_leaf` endpoints under each of `num_leaves` leaf switches,
+  /// with `num_spines` spine switches. All must be >= 1.
+  TwoStageFatTree(NodeId num_leaves, NodeId nodes_per_leaf, NodeId num_spines);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] NodeId num_nodes() const noexcept override {
+    return num_leaves_ * nodes_per_leaf_;
+  }
+  [[nodiscard]] int hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] int diameter() const override;
+  [[nodiscard]] double bisection_links() const override;
+
+  [[nodiscard]] NodeId leaf_of(NodeId node) const;
+  [[nodiscard]] NodeId num_leaves() const noexcept { return num_leaves_; }
+  [[nodiscard]] NodeId num_spines() const noexcept { return num_spines_; }
+  /// Ratio of downlinks to uplinks per leaf (oversubscription); > 1 means
+  /// the spine level is a bandwidth bottleneck under all-to-all traffic.
+  [[nodiscard]] double oversubscription() const noexcept;
+
+ private:
+  NodeId num_leaves_;
+  NodeId nodes_per_leaf_;
+  NodeId num_spines_;
+};
+
+/// k-ary n-dimensional torus (e.g. Vulcan's 5-D torus). Nodes are laid out
+/// in row-major order over `dims`; each dimension wraps.
+class Torus final : public Topology {
+ public:
+  explicit Torus(std::vector<NodeId> dims);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] NodeId num_nodes() const noexcept override { return total_; }
+  [[nodiscard]] int hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] int diameter() const override;
+  [[nodiscard]] double bisection_links() const override;
+
+  [[nodiscard]] const std::vector<NodeId>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] std::vector<NodeId> coords(NodeId node) const;
+  [[nodiscard]] NodeId node_at(const std::vector<NodeId>& coords) const;
+
+ private:
+  std::vector<NodeId> dims_;
+  NodeId total_ = 1;
+};
+
+}  // namespace ftbesst::net

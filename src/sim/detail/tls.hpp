@@ -1,0 +1,15 @@
+#pragma once
+// Kernel-internal thread-local execution context. The dispatch loop records
+// the in-flight event's timestamp and the executing partition here; the
+// Component helpers and the scheduler read them. Not part of the public API.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ftbesst::sim::detail {
+
+extern thread_local SimTime t_current_time;
+extern thread_local std::int64_t t_current_partition;
+
+}  // namespace ftbesst::sim::detail

@@ -1,0 +1,62 @@
+#pragma once
+// Events and payloads for the PDES kernel.
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace ftbesst::sim {
+
+using ComponentId = std::uint32_t;
+using PortId = std::uint32_t;
+
+inline constexpr ComponentId kNoComponent = ~ComponentId{0};
+
+/// Base class for event payloads. Concrete simulations subclass this (or use
+/// Box<T>) to attach data to an event. Ownership moves with the event.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+/// Convenience payload wrapping an arbitrary movable value.
+template <typename T>
+struct Box final : Payload {
+  explicit Box(T v) : value(std::move(v)) {}
+  T value;
+};
+
+template <typename T>
+[[nodiscard]] std::unique_ptr<Payload> box(T value) {
+  return std::make_unique<Box<T>>(std::move(value));
+}
+
+/// Retrieve the value from a Box<T> payload; returns nullptr on type
+/// mismatch. (dynamic_cast, so mismatches are detected, not UB.)
+template <typename T>
+[[nodiscard]] T* unbox(Payload* p) noexcept {
+  auto* b = dynamic_cast<Box<T>*>(p);
+  return b ? &b->value : nullptr;
+}
+
+/// A scheduled event. Ordering is total and identical in serial and parallel
+/// execution: (time, priority, source component, per-source sequence).
+struct Event {
+  SimTime time = 0;
+  std::int32_t priority = 0;       ///< lower runs first at equal time
+  ComponentId src = kNoComponent;  ///< scheduling component (tie-break)
+  std::uint64_t src_seq = 0;       ///< per-source monotonic counter
+  ComponentId dst = kNoComponent;
+  PortId port = 0;
+  std::unique_ptr<Payload> payload;
+
+  /// Strict-weak order for the event queue (earliest first).
+  [[nodiscard]] bool before(const Event& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    if (priority != other.priority) return priority < other.priority;
+    if (src != other.src) return src < other.src;
+    return src_seq < other.src_seq;
+  }
+};
+
+}  // namespace ftbesst::sim

@@ -1,0 +1,292 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/detail/tls.hpp"
+#include "util/log.hpp"
+
+namespace ftbesst::sim {
+
+namespace detail {
+thread_local SimTime t_current_time = 0;
+thread_local std::int64_t t_current_partition = -1;
+}  // namespace detail
+
+namespace {
+using detail::t_current_partition;
+using detail::t_current_time;
+
+SimTime saturating_add(SimTime a, SimTime b) noexcept {
+  return (kNever - a < b) ? kNever : a + b;
+}
+}  // namespace
+
+void Simulation::register_component(std::unique_ptr<Component> component) {
+  if (running_) throw std::logic_error("cannot add components while running");
+  component->sim_ = this;
+  component->id_ = static_cast<ComponentId>(components_.size());
+  components_.push_back(std::move(component));
+  port_links_.emplace_back();
+  src_seq_.push_back(0);
+}
+
+Component& Simulation::component(ComponentId id) {
+  return *components_.at(id);
+}
+
+std::map<std::string, std::uint64_t> Simulation::aggregate_counters() const {
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& component : components_)
+    for (const auto& [name, value] : component->counters())
+      totals[name] += value;
+  return totals;
+}
+
+void Simulation::connect(ComponentId a, PortId port_a, ComponentId b,
+                         PortId port_b, SimTime latency) {
+  if (a >= components_.size() || b >= components_.size())
+    throw std::out_of_range("connect: unknown component");
+  const auto link_index = static_cast<std::int64_t>(links_.size());
+  links_.push_back(Link{a, port_a, b, port_b, latency});
+  auto attach = [&](ComponentId c, PortId p) {
+    auto& ports = port_links_[c];
+    if (ports.size() <= p) ports.resize(p + 1, -1);
+    if (ports[p] != -1)
+      throw std::logic_error("connect: port already connected on " +
+                             components_[c]->name());
+    ports[p] = link_index;
+  };
+  attach(a, port_a);
+  attach(b, port_b);
+}
+
+void Simulation::schedule(ComponentId src, ComponentId dst, PortId port,
+                          SimTime time, std::unique_ptr<Payload> payload,
+                          std::int32_t priority) {
+  if (dst >= components_.size())
+    throw std::out_of_range("schedule: unknown destination");
+  Event ev;
+  ev.time = time;
+  ev.priority = priority;
+  ev.src = src;
+  ev.src_seq = (src == kNoComponent) ? src_seq_[dst]++ : src_seq_[src]++;
+  ev.dst = dst;
+  ev.port = port;
+  ev.payload = std::move(payload);
+
+  if (!parallel_mode_) {
+    queue_.push(std::move(ev));
+    return;
+  }
+  const std::uint32_t dst_part = components_[dst]->partition();
+  if (t_current_partition == static_cast<std::int64_t>(dst_part)) {
+    partitions_[dst_part]->queue.push(std::move(ev));
+    return;
+  }
+  // Cross-partition: must not be due inside the current window, or the
+  // conservative execution would be incorrect.
+  if (ev.time < window_end_ && t_current_partition >= 0)
+    throw std::logic_error(
+        "cross-partition event violates lookahead (delay too small)");
+  std::lock_guard<std::mutex> lock(partitions_[dst_part]->inbox_mutex);
+  partitions_[dst_part]->inbox.push_back(std::move(ev));
+}
+
+void Simulation::send_on_port(ComponentId src, PortId port,
+                              SimTime extra_delay,
+                              std::unique_ptr<Payload> payload,
+                              std::int32_t priority) {
+  const auto& ports = port_links_.at(src);
+  if (port >= ports.size() || ports[port] == -1)
+    throw std::logic_error("send on unconnected port of " +
+                           components_[src]->name());
+  const Link& link = links_[static_cast<std::size_t>(ports[port])];
+  const ComponentId dst = (link.a == src && link.port_a == port) ? link.b : link.a;
+  const PortId dst_port =
+      (link.a == src && link.port_a == port) ? link.port_b : link.port_a;
+  const SimTime when =
+      saturating_add(t_current_time, saturating_add(link.latency, extra_delay));
+  schedule(src, dst, dst_port, when, std::move(payload), priority);
+}
+
+void Simulation::init_components() {
+  if (initialized_) return;  // resuming a paused run must not re-init
+  initialized_ = true;
+  t_current_time = 0;
+  for (auto& c : components_) c->init();
+}
+
+void Simulation::finish_components() {
+  for (auto& c : components_) c->finish();
+}
+
+void Simulation::dispatch(Event& ev, std::uint64_t& counter) {
+  t_current_time = ev.time;
+  components_[ev.dst]->handle_event(ev.port, std::move(ev.payload));
+  ++counter;
+}
+
+SimStats Simulation::run(SimTime until) {
+  SimStats stats;
+  running_ = true;
+  stop_requested_ = false;
+  parallel_mode_ = false;
+  t_current_partition = -1;
+  init_components();
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.top().time > until) break;
+    // priority_queue::top is const; the pop-after-move idiom below is safe
+    // because Event's moved-from payload is never re-read.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev, stats.events_processed);
+  }
+  now_ = std::min(t_current_time, until);
+  stats.end_time = now_;
+  running_ = false;
+  finish_components();
+  events_processed_ += stats.events_processed;
+  return stats;
+}
+
+SimTime Simulation::compute_lookahead() const {
+  SimTime lookahead = kNever;
+  for (const Link& link : links_) {
+    if (components_[link.a]->partition() != components_[link.b]->partition())
+      lookahead = std::min(lookahead, link.latency);
+  }
+  return lookahead;
+}
+
+void Simulation::auto_partition(std::uint32_t parts) {
+  // Union components joined by zero-latency links; such pairs must share a
+  // partition because they provide no lookahead.
+  std::vector<std::uint32_t> root(components_.size());
+  std::iota(root.begin(), root.end(), 0u);
+  auto find = [&](std::uint32_t x) {
+    while (root[x] != x) x = root[x] = root[root[x]];
+    return x;
+  };
+  for (const Link& link : links_)
+    if (link.latency == 0) root[find(link.a)] = find(link.b);
+
+  std::vector<std::int64_t> group_part(components_.size(), -1);
+  std::uint32_t next = 0;
+  for (ComponentId c = 0; c < components_.size(); ++c) {
+    const std::uint32_t g = find(c);
+    if (group_part[g] < 0) group_part[g] = next++ % parts;
+    components_[c]->set_partition(static_cast<std::uint32_t>(group_part[g]));
+  }
+}
+
+SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
+  if (num_threads <= 1) return run(until);
+
+  const bool user_partitioned = std::any_of(
+      components_.begin(), components_.end(),
+      [](const auto& c) { return c->partition() != 0; });
+  if (!user_partitioned) auto_partition(num_threads);
+
+  std::uint32_t num_parts = 0;
+  for (const auto& c : components_)
+    num_parts = std::max(num_parts, c->partition() + 1);
+
+  const SimTime lookahead = compute_lookahead();
+  if (lookahead == 0) {
+    FTBESST_WARN << "zero cross-partition lookahead; falling back to serial";
+    return run(until);
+  }
+
+  SimStats stats;
+  running_ = true;
+  stop_requested_ = false;
+  parallel_mode_ = true;
+  partitions_.clear();
+  for (std::uint32_t p = 0; p < num_parts; ++p)
+    partitions_.push_back(std::make_unique<Partition>());
+
+  init_components();
+  // Distribute any events injected before run (from init() or externally)
+  // out of the serial queue into the partition queues.
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    partitions_[components_[ev.dst]->partition()]->queue.push(std::move(ev));
+  }
+
+  bool done = false;
+  std::barrier window_barrier(static_cast<std::ptrdiff_t>(num_parts) + 1);
+
+  auto worker = [&](std::uint32_t part) {
+    Partition& mine = *partitions_[part];
+    for (;;) {
+      window_barrier.arrive_and_wait();  // window published by coordinator
+      if (done) return;
+      t_current_partition = static_cast<std::int64_t>(part);
+      while (!mine.queue.empty() && mine.queue.top().time < window_end_) {
+        Event ev = std::move(const_cast<Event&>(mine.queue.top()));
+        mine.queue.pop();
+        dispatch(ev, mine.events_processed);
+      }
+      t_current_partition = -1;
+      window_barrier.arrive_and_wait();  // window complete
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_parts);
+  for (std::uint32_t p = 0; p < num_parts; ++p) threads.emplace_back(worker, p);
+
+  SimTime last_time = 0;
+  for (;;) {
+    // Merge inboxes, then find the globally earliest pending event.
+    SimTime next_time = kNever;
+    for (auto& part : partitions_) {
+      for (Event& ev : part->inbox) {
+        partitions_[components_[ev.dst]->partition()]->queue.push(
+            std::move(ev));
+      }
+      part->inbox.clear();
+    }
+    for (auto& part : partitions_)
+      if (!part->queue.empty())
+        next_time = std::min(next_time, part->queue.top().time);
+
+    if (next_time == kNever || next_time > until || stop_requested_) {
+      done = true;
+      window_barrier.arrive_and_wait();
+      break;
+    }
+    last_time = std::min(next_time, until);
+    window_end_ = std::min(saturating_add(next_time, lookahead),
+                           saturating_add(until, 1));
+    ++stats.windows;
+    window_barrier.arrive_and_wait();  // start window
+    window_barrier.arrive_and_wait();  // end window
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& part : partitions_) {
+    stats.events_processed += part->events_processed;
+    // Return undrained events to the serial queue so a later run() resumes.
+    while (!part->queue.empty()) {
+      Event ev = std::move(const_cast<Event&>(part->queue.top()));
+      part->queue.pop();
+      queue_.push(std::move(ev));
+    }
+  }
+  partitions_.clear();
+  parallel_mode_ = false;
+  now_ = std::min(last_time, until);
+  stats.end_time = now_;
+  running_ = false;
+  finish_components();
+  events_processed_ += stats.events_processed;
+  return stats;
+}
+
+}  // namespace ftbesst::sim

@@ -1,0 +1,150 @@
+#pragma once
+// The simulation kernel: component registry, links, event queues, and both
+// serial and conservative-parallel execution engines.
+//
+// Parallel model (conservative, windowed): components are assigned to
+// partitions; each partition owns a private event queue. Execution proceeds
+// in global windows of width `lookahead` = the minimum latency of any
+// cross-partition link (or explicit schedule_to delay). Within a window each
+// partition drains its events independently on its own thread; events bound
+// for another partition are deposited in that partition's locked inbox and
+// merged at the barrier. Because every cross-partition event carries at
+// least `lookahead` of delay, no event generated inside window [W, W+LA) can
+// be due before W+LA — so concurrent intra-window execution never violates
+// causality. Event ordering keys are identical in serial and parallel mode,
+// so both engines produce bit-identical simulations.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace ftbesst::sim {
+
+/// A bidirectional point-to-point link between two component ports.
+struct Link {
+  ComponentId a = kNoComponent;
+  PortId port_a = 0;
+  ComponentId b = kNoComponent;
+  PortId port_b = 0;
+  SimTime latency = 0;
+};
+
+/// Aggregate run statistics.
+struct SimStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t windows = 0;  ///< parallel barrier windows (0 for serial)
+  SimTime end_time = 0;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Construct and register a component. Returns a non-owning pointer valid
+  /// for the simulation's lifetime.
+  template <typename T, typename... Args>
+  T* add_component(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    register_component(std::move(owned));
+    return raw;
+  }
+
+  /// Connect two component ports with a link of the given latency.
+  /// Latency 0 is allowed but forces those components into one partition
+  /// for parallel execution.
+  void connect(ComponentId a, PortId port_a, ComponentId b, PortId port_b,
+               SimTime latency);
+
+  [[nodiscard]] Component& component(ComponentId id);
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+  /// Sum of every component's named counters (SST-style statistics
+  /// aggregation). Call after run() / run_parallel().
+  [[nodiscard]] std::map<std::string, std::uint64_t> aggregate_counters()
+      const;
+
+  /// Total events dispatched over this simulation's lifetime (all runs).
+  [[nodiscard]] std::uint64_t lifetime_events() const noexcept {
+    return events_processed_;
+  }
+
+  /// Run serially until the event queue drains or `until` is reached.
+  SimStats run(SimTime until = kNever);
+
+  /// Run with `num_threads` worker threads using conservative windowed
+  /// synchronization. With num_threads <= 1 this is exactly run().
+  SimStats run_parallel(unsigned num_threads, SimTime until = kNever);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Request an early stop: the engine finishes the current event and halts.
+  void request_stop() noexcept { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+
+  // -- scheduling interface (used by Component helpers; public so that test
+  //    drivers can inject external stimuli) --
+  void schedule(ComponentId src, ComponentId dst, PortId port, SimTime time,
+                std::unique_ptr<Payload> payload, std::int32_t priority = 0);
+  void send_on_port(ComponentId src, PortId port, SimTime extra_delay,
+                    std::unique_ptr<Payload> payload, std::int32_t priority);
+
+ private:
+  struct EventCompare {
+    // std::priority_queue is a max-heap; invert to pop the earliest event.
+    bool operator()(const Event& lhs, const Event& rhs) const noexcept {
+      return rhs.before(lhs);
+    }
+  };
+  using EventQueue =
+      std::priority_queue<Event, std::vector<Event>, EventCompare>;
+
+  struct Partition {
+    EventQueue queue;
+    std::vector<Event> inbox;  // cross-partition deliveries, merged at barrier
+    std::mutex inbox_mutex;
+    std::uint64_t events_processed = 0;
+  };
+
+  void register_component(std::unique_ptr<Component> component);
+  void init_components();
+  void finish_components();
+  void dispatch(Event& ev, std::uint64_t& counter);
+  /// Partition lookahead: the minimum cross-partition link latency. Returns
+  /// 0 when any cross-partition link has zero latency (parallel unsafe).
+  [[nodiscard]] SimTime compute_lookahead() const;
+  /// Assign partitions automatically if the user did not: components
+  /// connected by zero-latency links are grouped, groups are distributed
+  /// round-robin over `parts` partitions.
+  void auto_partition(std::uint32_t parts);
+
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<Link> links_;
+  /// links_by_port_[component][port] -> link index (resolved lazily).
+  std::vector<std::vector<std::int64_t>> port_links_;
+  std::vector<std::uint64_t> src_seq_;  // per-component schedule counter
+
+  EventQueue queue_;  // serial engine queue
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  bool parallel_mode_ = false;
+  SimTime window_end_ = kNever;  // parallel: events >= window_end defer
+  SimTime now_ = 0;
+  bool initialized_ = false;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace ftbesst::sim

@@ -1,0 +1,37 @@
+#pragma once
+// Simulation time base.
+//
+// SST uses an integer core time base to keep parallel event ordering exact;
+// we do the same. One tick = 1 nanosecond, giving ~584 years of range in a
+// uint64 — comfortably more than any full-system HPC run we emulate.
+// Performance models produce double seconds; conversions round half-up so
+// that model output and simulated clock agree to <= 0.5 ns.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ftbesst::sim {
+
+using SimTime = std::uint64_t;  ///< nanoseconds since simulation start
+
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000ULL * 1000 * 1000;
+
+/// Convert seconds (model output) to simulation ticks, rounding half-up and
+/// clamping negatives to zero (a model must never move time backwards).
+[[nodiscard]] inline SimTime from_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9 + 0.5;
+  if (ns >= static_cast<double>(kNever)) return kNever;
+  return static_cast<SimTime>(ns);
+}
+
+/// Convert simulation ticks back to seconds.
+[[nodiscard]] inline double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+}  // namespace ftbesst::sim

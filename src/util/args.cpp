@@ -1,0 +1,77 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace ftbesst::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("flag --" + body + " needs a value");
+    flags_[body] = argv[++i];
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const noexcept {
+  return flags_.count(flag) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  return get(flag).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int(const std::string& flag,
+                                std::int64_t fallback) const {
+  const auto v = get(flag);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  const auto v = get(flag);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+std::vector<std::string> ArgParser::split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const auto comma = value.find(',', start);
+    const auto end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace ftbesst::util

@@ -1,0 +1,43 @@
+#pragma once
+// Tiny command-line argument parser for the ftbesst tool binaries:
+// `--flag value` and `--flag=value` options plus positional arguments.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftbesst::util {
+
+class ArgParser {
+ public:
+  /// Parses argv (argv[0] skipped). Throws std::invalid_argument on a
+  /// `--flag` with no value at the end of the line.
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& flag) const noexcept;
+
+  /// Typed getters; the non-optional forms return `fallback` when absent
+  /// and throw std::invalid_argument on unparseable values.
+  [[nodiscard]] std::optional<std::string> get(const std::string& flag) const;
+  [[nodiscard]] std::string get_string(const std::string& flag,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& flag,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+
+  /// Split a comma-separated value list ("a,b,c").
+  [[nodiscard]] static std::vector<std::string> split_list(
+      const std::string& value);
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftbesst::util

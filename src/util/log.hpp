@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logging. Simulation libraries must never write to stdout
+// uninvited (bench output is parsed), so everything goes to stderr and is
+// silent by default above the configured level.
+
+#include <sstream>
+#include <string>
+
+namespace ftbesst::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a message at `level` (thread-safe; single write per message).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define FTBESST_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::ftbesst::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::ftbesst::util::detail::LogLine(level)
+
+#define FTBESST_DEBUG FTBESST_LOG(::ftbesst::util::LogLevel::kDebug)
+#define FTBESST_INFO FTBESST_LOG(::ftbesst::util::LogLevel::kInfo)
+#define FTBESST_WARN FTBESST_LOG(::ftbesst::util::LogLevel::kWarn)
+#define FTBESST_ERROR FTBESST_LOG(::ftbesst::util::LogLevel::kError)
+
+}  // namespace ftbesst::util

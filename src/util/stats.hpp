@@ -1,0 +1,69 @@
+#pragma once
+// Descriptive statistics and the error metrics used throughout the BE-SST
+// validation workflow (MAPE is the paper's headline accuracy metric).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftbesst::util {
+
+/// Summary of a sample of real values.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute a full summary. Empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Input need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Mean Absolute Percentage Error, in percent:
+///   100/n * sum |pred - actual| / |actual|
+/// Rows with actual == 0 are skipped (and do not count toward n).
+[[nodiscard]] double mape_percent(std::span<const double> actual,
+                                  std::span<const double> predicted);
+
+/// Root mean square error.
+[[nodiscard]] double rmse(std::span<const double> actual,
+                          std::span<const double> predicted);
+
+/// Coefficient of determination R^2 (1 - SS_res/SS_tot). Returns 0 when the
+/// actuals have zero variance.
+[[nodiscard]] double r_squared(std::span<const double> actual,
+                               std::span<const double> predicted);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable; used
+/// by the Monte-Carlo driver where traces are too long to retain.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ftbesst::util

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ftbesst::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << v << "%";
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell
+         << " | ";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  std::size_t total = 4;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total > 4 ? total - 4 : 0, '-');
+  if (!header_.empty()) {
+    print_row(header_);
+    os << "|" << rule << "|\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::write_csv(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void SeriesCsv::add_row(const std::vector<double>& row) { rows_.push_back(row); }
+
+void SeriesCsv::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i) os << ',';
+    os << names_[i];
+  }
+  os << '\n';
+  os << std::setprecision(9);
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ftbesst::util

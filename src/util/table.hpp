@@ -1,0 +1,51 @@
+#pragma once
+// Text-table and CSV emission. Every bench binary reproduces a paper table
+// or figure by printing rows; this is the single formatting path so all
+// outputs look alike and are machine-parsable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ftbesst::util {
+
+/// A column-aligned text table with an optional title, printable to any
+/// ostream and exportable as CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  /// Format as a percentage string, e.g. "16.68%".
+  static std::string pct(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write a simple (x, series...) dataset as CSV — the format used to dump
+/// figure data (Figs. 1, 5-8 of the paper).
+class SeriesCsv {
+ public:
+  explicit SeriesCsv(std::vector<std::string> column_names)
+      : names_(std::move(column_names)) {}
+  void add_row(const std::vector<double>& row);
+  void write(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace ftbesst::util

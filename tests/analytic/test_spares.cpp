@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/speedup.hpp"
+
+namespace ftbesst::analytic {
+namespace {
+
+TEST(Spares, ExhaustionProbabilityMonotoneInSpares) {
+  const double n = 1000, mtbf = 1e5, mttr = 3600;
+  double prev = 1.0;
+  for (double s = 0; s <= 20; ++s) {
+    const double p = spare_exhaustion_probability(n, s, mtbf, mttr);
+    EXPECT_LE(p, prev + 1e-12) << s;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(Spares, ZeroSparesMatchesPoissonTail) {
+  // mean = n*mttr/mtbf = 1; P[X > 0] = 1 - e^-1.
+  const double p = spare_exhaustion_probability(100, 0, 3600 * 100, 3600);
+  EXPECT_NEAR(p, 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Spares, MoreNodesNeedMoreSpares) {
+  const double mtbf = 1e5, mttr = 3600, target = 1e-3;
+  const double small = spares_for_availability(100, mtbf, mttr, target);
+  const double big = spares_for_availability(10000, mtbf, mttr, target);
+  EXPECT_GT(big, small);
+  // The answer actually meets the target.
+  EXPECT_LE(spare_exhaustion_probability(10000, big, mtbf, mttr), target);
+}
+
+TEST(Spares, FasterRepairNeedsFewerSpares) {
+  const double n = 5000, mtbf = 1e5, target = 1e-3;
+  const double slow = spares_for_availability(n, mtbf, 7200, target);
+  const double fast = spares_for_availability(n, mtbf, 600, target);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Spares, InputValidation) {
+  EXPECT_THROW((void)spare_exhaustion_probability(0, 1, 1e5, 3600),
+               std::invalid_argument);
+  EXPECT_THROW((void)spare_exhaustion_probability(10, -1, 1e5, 3600),
+               std::invalid_argument);
+  EXPECT_THROW((void)spare_exhaustion_probability(10, 1, 0, 3600),
+               std::invalid_argument);
+  EXPECT_THROW((void)spares_for_availability(10, 1e5, 3600, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)spares_for_availability(10, 1e5, 3600, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Spares, UnreachableTargetReturnsCap) {
+  // Absurd failure volume: mean far above the cap.
+  const double s = spares_for_availability(1e6, 10.0, 1e5, 1e-9, 32);
+  EXPECT_DOUBLE_EQ(s, 32.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::analytic

@@ -1,0 +1,105 @@
+#include "analytic/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftbesst::analytic {
+namespace {
+
+TEST(Amdahl, KnownValuesAndAsymptote) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 16), 16.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 16), 1.0);
+  EXPECT_NEAR(amdahl_speedup(0.1, 1e12), 10.0, 1e-6);  // 1/alpha ceiling
+  EXPECT_NEAR(amdahl_speedup(0.05, 20), 1.0 / (0.05 + 0.95 / 20), 1e-12);
+  EXPECT_THROW((void)amdahl_speedup(-0.1, 4), std::invalid_argument);
+  EXPECT_THROW((void)amdahl_speedup(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(Gustafson, ScaledSpeedupIsLinearInN) {
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 64), 64.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 64), 1.0);
+  const double s128 = gustafson_speedup(0.1, 128);
+  const double s64 = gustafson_speedup(0.1, 64);
+  EXPECT_NEAR(s128 - s64, 0.9 * 64, 1e-9);
+}
+
+TEST(CrSpeedup, ReducesTowardAmdahlWhenFaultsNegligible) {
+  FaultModel fm;
+  fm.node_mtbf = 1e12;  // essentially fault-free
+  fm.checkpoint_cost = 1e-6;
+  fm.restart_cost = 0.0;
+  const double s = cr_speedup(1e5, 0.05, 64, fm);
+  EXPECT_NEAR(s, amdahl_speedup(0.05, 64), 0.05 * amdahl_speedup(0.05, 64));
+}
+
+TEST(CrSpeedup, FaultsCreateAnInteriorOptimum) {
+  // The headline result of Zheng/Cavelan: speedup is not monotone in n.
+  FaultModel fm;
+  fm.node_mtbf = 5e4;  // poor per-node reliability
+  fm.checkpoint_cost = 30;
+  fm.restart_cost = 60;
+  const double work = 1e6;
+  const double alpha = 1e-5;  // almost perfectly parallel
+  const double opt = optimal_nodes_cr(work, alpha, fm, 1 << 22);
+  EXPECT_GT(opt, 1.0);
+  EXPECT_LT(opt, static_cast<double>(1 << 22));
+  // Speedup degrades well past the optimum.
+  const double at_opt = cr_speedup(work, alpha, opt, fm);
+  const double far = cr_speedup(work, alpha, opt * 256, fm);
+  EXPECT_GT(at_opt, far);
+}
+
+TEST(CrSpeedup, ThrashingRegimeGivesZero) {
+  FaultModel fm;
+  fm.node_mtbf = 10.0;  // absurdly unreliable
+  fm.checkpoint_cost = 30;
+  fm.restart_cost = 60;
+  EXPECT_DOUBLE_EQ(cr_speedup(1e6, 0.0, 1 << 20, fm), 0.0);
+}
+
+TEST(Replication, ExtendsScalingPastCrPeak) {
+  // Hussain et al.: replication halves throughput but its pair-failure
+  // rate is ~ lambda^2, so at large machine sizes replication wins. Compare
+  // at EQUAL PHYSICAL NODES: plain C/R on N nodes vs replication on N/2
+  // logical pairs (N physical).
+  FaultModel fm;
+  fm.node_mtbf = 1e5;
+  fm.checkpoint_cost = 5;
+  fm.restart_cost = 10;
+  const double work = 1e6;
+  const double alpha = 1e-6;
+  const double physical = 1 << 13;
+  const double cr = cr_speedup(work, alpha, physical, fm);
+  const double rep = replication_speedup(work, alpha, physical / 2, fm);
+  EXPECT_GT(rep, cr);
+  EXPECT_GT(rep, 0.0);
+  // At tiny scale, paying double hardware for half throughput is a loss.
+  EXPECT_LT(replication_speedup(work, alpha, 2, fm),
+            cr_speedup(work, alpha, 4, fm));
+}
+
+TEST(Replication, RejectsBadWindow) {
+  FaultModel fm;
+  EXPECT_THROW((void)replication_speedup(1e5, 0.1, 4, fm, 0.0),
+               std::invalid_argument);
+}
+
+TEST(OptimalNodes, MonotoneInReliability) {
+  FaultModel flaky;
+  flaky.node_mtbf = 1e4;
+  FaultModel solid;
+  solid.node_mtbf = 1e7;
+  const double n_flaky = optimal_nodes_cr(1e6, 1e-5, flaky, 1 << 22);
+  const double n_solid = optimal_nodes_cr(1e6, 1e-5, solid, 1 << 22);
+  EXPECT_LE(n_flaky, n_solid);
+}
+
+TEST(CrExpectedTime, InvalidArgsThrow) {
+  FaultModel fm;
+  EXPECT_THROW((void)cr_expected_time(0.0, 0.1, 4, fm), std::invalid_argument);
+  EXPECT_THROW((void)optimal_nodes_cr(1e5, 0.1, fm, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::analytic

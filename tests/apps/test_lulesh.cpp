@@ -1,0 +1,113 @@
+#include "apps/lulesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+
+namespace ftbesst::apps {
+namespace {
+
+TEST(Cube, PerfectCubeDetection) {
+  for (std::int64_t n : {1, 8, 27, 64, 216, 512, 1000, 1331})
+    EXPECT_TRUE(is_perfect_cube(n)) << n;
+  for (std::int64_t n : {0, -8, 2, 9, 100, 999})
+    EXPECT_FALSE(is_perfect_cube(n)) << n;
+  EXPECT_EQ(cube_side(1000), 10);
+  EXPECT_EQ(cube_side(1), 1);
+  EXPECT_THROW((void)cube_side(10), std::invalid_argument);
+}
+
+TEST(LuleshSizes, CheckpointAndHaloBytesScale) {
+  // 45 fields x 8 bytes x epr^3.
+  EXPECT_EQ(lulesh_checkpoint_bytes(10), 45u * 8u * 1000u);
+  EXPECT_EQ(lulesh_checkpoint_bytes(25), 45u * 8u * 15625u);
+  EXPECT_EQ(lulesh_halo_bytes(10), 3u * 8u * 100u);
+  EXPECT_THROW((void)lulesh_checkpoint_bytes(0), std::invalid_argument);
+  EXPECT_THROW((void)lulesh_halo_bytes(-1), std::invalid_argument);
+}
+
+TEST(LuleshConfig, ValidatesCaseStudyConstraints) {
+  LuleshConfig cfg;
+  cfg.fti.group_size = 4;
+  cfg.fti.node_size = 2;
+  cfg.plan = {{ft::Level::kL1, 40}};
+  // Perfect cubes divisible by 8 pass.
+  for (std::int64_t ranks : {8, 64, 216, 512, 1000}) {
+    cfg.ranks = ranks;
+    EXPECT_NO_THROW(cfg.validate()) << ranks;
+  }
+  // Perfect cubes NOT divisible by group*node fail when checkpointing...
+  for (std::int64_t ranks : {27, 125, 343, 729}) {
+    cfg.ranks = ranks;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument) << ranks;
+  }
+  // ...but pass without a checkpoint plan (plain LULESH).
+  cfg.plan.clear();
+  cfg.ranks = 27;
+  EXPECT_NO_THROW(cfg.validate());
+  // Non-cubes always fail.
+  cfg.ranks = 100;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(LuleshBuilder, ProgramShapeMatchesPlan) {
+  LuleshConfig cfg;
+  cfg.epr = 15;
+  cfg.ranks = 64;
+  cfg.timesteps = 200;
+  cfg.fti.group_size = 4;
+  cfg.fti.node_size = 2;
+  cfg.plan = {{ft::Level::kL1, 40}, {ft::Level::kL2, 40}};
+  const core::AppBEO app = build_lulesh_fti(cfg);
+  EXPECT_EQ(app.timesteps(), 200);
+  EXPECT_EQ(app.ranks(), 64);
+  EXPECT_EQ(app.checkpoint_bytes_per_rank(), lulesh_checkpoint_bytes(15));
+  // 200 computes + 200 markers + 5 L1 + 5 L2.
+  EXPECT_EQ(app.size(), 200u + 200u + 10u);
+  int checkpoints = 0;
+  for (const auto& instr : app.program())
+    if (instr.kind == core::InstrKind::kCheckpoint) {
+      ++checkpoints;
+      ASSERT_EQ(instr.params.size(), 2u);
+      EXPECT_DOUBLE_EQ(instr.params[0], 15.0);
+      EXPECT_DOUBLE_EQ(instr.params[1], 64.0);
+    }
+  EXPECT_EQ(checkpoints, 10);
+  // The first checkpoint pair appears right after the 40th marker.
+  int markers = 0;
+  for (std::size_t i = 0; i < app.size(); ++i) {
+    if (app.program()[i].kind == core::InstrKind::kTimestepEnd) ++markers;
+    if (markers == 40) {
+      EXPECT_EQ(app.program()[i + 1].kind, core::InstrKind::kCheckpoint);
+      EXPECT_EQ(app.program()[i + 1].level, ft::Level::kL1);
+      EXPECT_EQ(app.program()[i + 2].level, ft::Level::kL2);
+      break;
+    }
+  }
+}
+
+TEST(LuleshBuilder, NoFtHasNoCheckpoints) {
+  LuleshConfig cfg;
+  cfg.ranks = 27;  // allowed without FTI
+  cfg.timesteps = 10;
+  const core::AppBEO app = build_lulesh_fti(cfg);
+  for (const auto& instr : app.program())
+    EXPECT_NE(instr.kind, core::InstrKind::kCheckpoint);
+}
+
+TEST(LuleshBuilder, ExplicitCommVariantHasExchanges) {
+  LuleshConfig cfg;
+  cfg.ranks = 64;
+  cfg.timesteps = 5;
+  const core::AppBEO app = build_lulesh_explicit_comm(cfg);
+  int exchanges = 0, reduces = 0;
+  for (const auto& instr : app.program()) {
+    exchanges += instr.kind == core::InstrKind::kNeighborExchange;
+    reduces += instr.kind == core::InstrKind::kAllReduce;
+  }
+  EXPECT_EQ(exchanges, 5);
+  EXPECT_EQ(reduces, 5);
+}
+
+}  // namespace
+}  // namespace ftbesst::apps

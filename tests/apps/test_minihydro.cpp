@@ -1,0 +1,104 @@
+#include "apps/minihydro.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/testbed_local.hpp"
+
+namespace ftbesst::apps {
+namespace {
+
+TEST(MiniHydro, RejectsTinyGrids) {
+  EXPECT_THROW(MiniHydro(3), std::invalid_argument);
+  EXPECT_NO_THROW(MiniHydro(4));
+}
+
+TEST(MiniHydro, MassConservedToRoundOff) {
+  MiniHydro solver(12);
+  const double mass0 = solver.total_mass();
+  for (int s = 0; s < 50; ++s) solver.step(1e-3);
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-9 * mass0);
+}
+
+TEST(MiniHydro, BlastDrivesOutflow) {
+  MiniHydro solver(12);
+  EXPECT_DOUBLE_EQ(solver.max_velocity(), 0.0);
+  for (int s = 0; s < 20; ++s) solver.step(1e-3);
+  EXPECT_GT(solver.max_velocity(), 0.0);  // the spike pushes gas outward
+}
+
+TEST(MiniHydro, EnergyStaysBoundedForStableDt) {
+  MiniHydro solver(10);
+  const double e0 = solver.total_energy();
+  for (int s = 0; s < 100; ++s) solver.step(1e-3);
+  const double e1 = solver.total_energy();
+  EXPECT_GT(e1, 0.0);
+  EXPECT_LT(e1, 3.0 * e0);  // no blow-up
+}
+
+TEST(MiniHydro, UniformStateIsAFixedPoint) {
+  // Build a solver and overwrite the spike by evolving a fresh instance...
+  // simpler: a uniform field has zero pressure gradient everywhere except
+  // we always seed a blast; so instead check cells far from the blast stay
+  // (nearly) at ambient density for a short run (causality).
+  MiniHydro solver(16);
+  for (int s = 0; s < 5; ++s) solver.step(1e-3);
+  const auto& rho = solver.density();
+  EXPECT_NEAR(rho[0], 1.0, 1e-9);  // corner: far from the central spike
+}
+
+TEST(MiniHydro, DeterministicEvolution) {
+  MiniHydro a(8), b(8);
+  for (int s = 0; s < 10; ++s) {
+    a.step(1e-3);
+    b.step(1e-3);
+  }
+  EXPECT_EQ(a.density(), b.density());
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+}
+
+TEST(MiniHydro, BadDtRejected) {
+  MiniHydro solver(8);
+  EXPECT_THROW(solver.step(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.step(-1.0), std::invalid_argument);
+}
+
+TEST(LocalTestbed, MeasuresPositiveTimesThatGrowWithN) {
+  const LocalTestbed machine;
+  const auto small =
+      machine.measure_kernel(kMiniHydroStep, std::vector<double>{8.0}, 3);
+  const auto large =
+      machine.measure_kernel(kMiniHydroStep, std::vector<double>{32.0}, 3);
+  ASSERT_EQ(small.size(), 3u);
+  for (double s : small) EXPECT_GT(s, 0.0);
+  // 64x the cells: comfortably slower even with timer noise.
+  EXPECT_GT(*std::min_element(large.begin(), large.end()),
+            *std::min_element(small.begin(), small.end()));
+}
+
+TEST(LocalTestbed, CampaignProducesUsableDataset) {
+  const LocalTestbed machine;
+  const model::Dataset data = machine.run_campaign({8, 12, 16}, 3);
+  EXPECT_EQ(data.num_rows(), 3u);
+  EXPECT_EQ(data.param_names(), (std::vector<std::string>{"n"}));
+  for (const auto& row : data.rows()) {
+    EXPECT_EQ(row.samples.size(), 3u);
+    EXPECT_GT(row.mean_response(), 0.0);
+  }
+}
+
+TEST(LocalTestbed, RejectsBadRequests) {
+  const LocalTestbed machine;
+  EXPECT_THROW(
+      (void)machine.measure_kernel("other", std::vector<double>{8.0}, 1),
+      std::invalid_argument);
+  EXPECT_THROW((void)machine.measure_kernel(kMiniHydroStep,
+                                            std::vector<double>{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)machine.measure_kernel(kMiniHydroStep,
+                                            std::vector<double>{8.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)machine.run_campaign({}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::apps

@@ -1,0 +1,118 @@
+#include "apps/stencil3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/testbed.hpp"
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::apps {
+namespace {
+
+TEST(Stencil3d, ConfigValidation) {
+  Stencil3dConfig cfg;
+  cfg.ranks = 27;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.ranks = 20;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ranks = 27;
+  cfg.nx = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = Stencil3dConfig{};
+  cfg.residual_period = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // With a checkpoint plan, FTI's rank constraint also applies.
+  cfg = Stencil3dConfig{};
+  cfg.ranks = 27;
+  cfg.plan = {{ft::Level::kL1, 10}};
+  cfg.fti.group_size = 4;
+  cfg.fti.node_size = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ranks = 64;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Stencil3d, ByteAccounting) {
+  EXPECT_EQ(stencil3d_halo_bytes(32), 32u * 32u * 8u);
+  EXPECT_EQ(stencil3d_checkpoint_bytes(32), 2u * 32u * 32u * 32u * 8u);
+  EXPECT_THROW((void)stencil3d_halo_bytes(0), std::invalid_argument);
+}
+
+TEST(Stencil3d, ProgramShape) {
+  Stencil3dConfig cfg;
+  cfg.nx = 16;
+  cfg.ranks = 64;
+  cfg.sweeps = 20;
+  cfg.residual_period = 5;
+  cfg.plan = {{ft::Level::kL1, 10}};
+  cfg.fti.group_size = 4;
+  cfg.fti.node_size = 2;
+  const core::AppBEO app = build_stencil3d(cfg);
+  EXPECT_EQ(app.timesteps(), 20);
+  int computes = 0, exchanges = 0, reduces = 0, checkpoints = 0;
+  for (const auto& instr : app.program()) {
+    computes += instr.kind == core::InstrKind::kCompute;
+    exchanges += instr.kind == core::InstrKind::kNeighborExchange;
+    reduces += instr.kind == core::InstrKind::kAllReduce;
+    checkpoints += instr.kind == core::InstrKind::kCheckpoint;
+  }
+  EXPECT_EQ(computes, 20);
+  EXPECT_EQ(exchanges, 20);
+  EXPECT_EQ(reduces, 4);     // every 5 sweeps
+  EXPECT_EQ(checkpoints, 2); // every 10 sweeps
+}
+
+TEST(Stencil3d, SingleRankHasNoExchanges) {
+  Stencil3dConfig cfg;
+  cfg.ranks = 1;
+  cfg.sweeps = 3;
+  const core::AppBEO app = build_stencil3d(cfg);
+  for (const auto& instr : app.program()) {
+    if (instr.kind == core::InstrKind::kNeighborExchange) {
+      EXPECT_EQ(instr.degree, 0);
+    }
+  }
+}
+
+TEST(Stencil3d, TestbedServesSweepKernel) {
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  const QuartzTestbed tb({}, fti);
+  EXPECT_GT(tb.true_stencil_sweep(32), tb.true_stencil_sweep(16));
+  util::Rng rng(5);
+  const std::vector<double> point{32.0, 64.0};
+  const auto samples = tb.measure_kernel(kStencilSweep, point, 30, rng);
+  EXPECT_EQ(samples.size(), 30u);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Stencil3d, SimulatesOnBothNetworkSpeeds) {
+  // Architectural DSE sanity: the same stencil app runs faster on a
+  // higher-bandwidth interconnect (comm is explicit, so the network model
+  // matters — unlike the LULESH aggregate-kernel path).
+  auto topo = std::make_shared<net::TwoStageFatTree>(8, 8, 4);
+  net::CommParams slow;
+  slow.bandwidth = 1e9;
+  net::CommParams fast;
+  fast.bandwidth = 50e9;
+  core::ArchBEO arch_slow("slow", topo, slow, 8);
+  core::ArchBEO arch_fast("fast", topo, fast, 8);
+  for (auto* arch : {&arch_slow, &arch_fast})
+    arch->bind_kernel(kStencilSweep,
+                      std::make_shared<model::ConstantModel>(0.002));
+  Stencil3dConfig cfg;
+  cfg.nx = 64;
+  cfg.ranks = 64;
+  cfg.sweeps = 50;
+  const core::AppBEO app = build_stencil3d(cfg);
+  const double slow_t = core::run_bsp(app, arch_slow).total_seconds;
+  const double fast_t = core::run_bsp(app, arch_fast).total_seconds;
+  EXPECT_LT(fast_t, slow_t);
+}
+
+}  // namespace
+}  // namespace ftbesst::apps

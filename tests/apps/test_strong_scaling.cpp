@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::apps {
+namespace {
+
+TEST(StrongScaling, DecomposesGlobalGrid) {
+  const auto cfg = Stencil3dConfig::strong_scaling(96, 27);
+  EXPECT_EQ(cfg.nx, 32);
+  EXPECT_EQ(cfg.ranks, 27);
+  const auto cfg2 = Stencil3dConfig::strong_scaling(96, 8);
+  EXPECT_EQ(cfg2.nx, 48);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(StrongScaling, RejectsNonDivisibleOrDegenerate) {
+  EXPECT_THROW((void)Stencil3dConfig::strong_scaling(100, 27),
+               std::invalid_argument);
+  EXPECT_THROW((void)Stencil3dConfig::strong_scaling(96, 20),
+               std::invalid_argument);
+  // side 64 -> blocks of 1 cell.
+  EXPECT_THROW((void)Stencil3dConfig::strong_scaling(64, 64 * 64 * 64),
+               std::invalid_argument);
+}
+
+TEST(StrongScaling, ExhibitsDiminishingReturns) {
+  // Compute per rank ~ nx^3 falls as 1/ranks, but halo comm per rank falls
+  // only as ranks^-2/3 — so parallel efficiency degrades with rank count.
+  auto topo = std::make_shared<net::TwoStageFatTree>(40, 8, 8);
+  net::CommParams slow_net;
+  slow_net.bandwidth = 0.5e9;
+  core::ArchBEO arch("m", topo, slow_net, 8);
+  // Per-sweep compute cost proportional to block volume.
+  class CellModel final : public model::PerfModel {
+   public:
+    double predict(std::span<const double> p) const override {
+      return 2e-9 * p[0] * p[0] * p[0];
+    }
+    std::string describe() const override { return "cells"; }
+  };
+  arch.bind_kernel(kStencilSweep, std::make_shared<CellModel>());
+
+  double prev_time = 0.0;
+  double prev_eff = 2.0;
+  for (std::int64_t ranks : {std::int64_t{8}, std::int64_t{64},
+                             std::int64_t{512}}) {
+    const auto cfg = Stencil3dConfig::strong_scaling(192, ranks, 20);
+    const double t =
+        core::run_bsp(apps::build_stencil3d(cfg), arch).total_seconds;
+    if (prev_time > 0.0) {
+      const double speedup = prev_time / t;
+      const double efficiency = speedup / 8.0;  // 8x the ranks each step
+      EXPECT_GT(speedup, 1.0) << ranks;        // still worth scaling...
+      EXPECT_LT(efficiency, prev_eff);         // ...at falling efficiency
+      prev_eff = efficiency;
+    }
+    prev_time = t;
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::apps

@@ -1,0 +1,191 @@
+#include "apps/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/cmtbone.hpp"
+#include "apps/kernels.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::apps {
+namespace {
+
+ft::FtiConfig case_fti() {
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  return fti;
+}
+
+TEST(QuartzTestbed, TruthOrderingMatchesPaper) {
+  const QuartzTestbed tb({}, case_fti());
+  // Checkpoint kernels cost more than a timestep and scale faster with
+  // ranks (the Figs. 5-6 ordering).
+  for (int epr : {5, 10, 15, 20, 25}) {
+    for (std::int64_t ranks : {8, 64, 216, 512, 1000}) {
+      const double ts = tb.true_timestep(epr, ranks);
+      const double l1 = tb.true_checkpoint(ft::Level::kL1, epr, ranks);
+      const double l2 = tb.true_checkpoint(ft::Level::kL2, epr, ranks);
+      EXPECT_GT(l1, 0.0);
+      EXPECT_GT(l2, l1) << epr << "," << ranks;
+      EXPECT_GT(ts, 0.0);
+    }
+  }
+  // Weak-scaling timestep grows slowly in ranks; checkpoints grow quickly.
+  const double ts_ratio =
+      tb.true_timestep(25, 1000) / tb.true_timestep(25, 8);
+  const double l2_ratio = tb.true_checkpoint(ft::Level::kL2, 25, 1000) /
+                          tb.true_checkpoint(ft::Level::kL2, 25, 8);
+  EXPECT_LT(ts_ratio, 2.5);
+  EXPECT_GT(l2_ratio, ts_ratio);
+}
+
+TEST(QuartzTestbed, TruthGrowsWithProblemSize) {
+  const QuartzTestbed tb({}, case_fti());
+  for (std::int64_t ranks : {8, 1000}) {
+    EXPECT_LT(tb.true_timestep(5, ranks), tb.true_timestep(25, ranks));
+    for (ft::Level level : {ft::Level::kL1, ft::Level::kL2})
+      EXPECT_LT(tb.true_checkpoint(level, 5, ranks),
+                tb.true_checkpoint(level, 25, ranks));
+  }
+}
+
+TEST(QuartzTestbed, MeasurementsAreNoisyAroundTruth) {
+  const QuartzTestbed tb({}, case_fti());
+  util::Rng rng(5);
+  const std::vector<double> point{15.0, 216.0};
+  const auto samples =
+      tb.measure_kernel(kLuleshTimestep, point, 400, rng);
+  EXPECT_EQ(samples.size(), 400u);
+  const double truth = tb.true_timestep(15, 216);
+  const double med = util::quantile(samples, 0.5);
+  // Median within the configuration-effect band (~3 sigma of 5%).
+  EXPECT_NEAR(med / truth, 1.0, 0.2);
+  // And genuinely noisy.
+  EXPECT_GT(util::sample_stddev(samples), 0.0);
+}
+
+TEST(QuartzTestbed, ConfigEffectIsReproducible) {
+  const QuartzTestbed tb({}, case_fti());
+  util::Rng r1(9), r2(9);
+  const std::vector<double> point{10.0, 64.0};
+  const auto a = tb.measure_kernel("ckpt_l1", point, 5, r1);
+  const auto b = tb.measure_kernel("ckpt_l1", point, 5, r2);
+  EXPECT_EQ(a, b);  // same machine, same run seed -> identical measurements
+}
+
+TEST(QuartzTestbed, DifferentMachineSeedsDifferentConfigEffects) {
+  const QuartzTestbed tb1({}, case_fti(), 111);
+  const QuartzTestbed tb2({}, case_fti(), 222);
+  util::Rng r1(9), r2(9);
+  const std::vector<double> point{10.0, 64.0};
+  EXPECT_NE(tb1.measure_kernel("ckpt_l1", point, 1, r1),
+            tb2.measure_kernel("ckpt_l1", point, 1, r2));
+}
+
+TEST(QuartzTestbed, RejectsBadKernelAndParams) {
+  const QuartzTestbed tb({}, case_fti());
+  util::Rng rng(1);
+  EXPECT_THROW(tb.measure_kernel("nope", std::vector<double>{1.0, 8.0}, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      tb.measure_kernel(kLuleshTimestep, std::vector<double>{1.0}, 1, rng),
+      std::invalid_argument);
+  EXPECT_THROW(tb.measure_kernel(kLuleshTimestep,
+                                 std::vector<double>{1.0, 8.0}, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(QuartzTestbed, MeasuredRunHasCheckpointJumps) {
+  const QuartzTestbed tb({}, case_fti());
+  util::Rng rng(11);
+  const auto run = tb.run_application(
+      15, 64, 200, {{ft::Level::kL1, 40}, {ft::Level::kL2, 40}}, rng);
+  ASSERT_EQ(run.timestep_end_times.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(run.timestep_end_times.begin(),
+                             run.timestep_end_times.end()));
+  // Step 200 is itself a checkpoint step, so the total exceeds the last
+  // timestep boundary by one more L1+L2 instance.
+  EXPECT_GT(run.total_seconds, run.timestep_end_times.back());
+  // The gap across a checkpoint boundary (marker 40 -> 41, i.e. gaps[39])
+  // far exceeds the median per-timestep gap.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < 200; ++i)
+    gaps.push_back(run.timestep_end_times[i] - run.timestep_end_times[i - 1]);
+  const double median_gap = util::quantile(gaps, 0.5);
+  EXPECT_GT(gaps[39], 3.0 * median_gap);  // gap includes L1+L2 checkpoint
+}
+
+TEST(QuartzTestbed, NoFtRunHasNoJumps) {
+  const QuartzTestbed tb({}, case_fti());
+  util::Rng rng(12);
+  const auto run = tb.run_application(10, 64, 100, {}, rng);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < 100; ++i)
+    gaps.push_back(run.timestep_end_times[i] - run.timestep_end_times[i - 1]);
+  EXPECT_LT(util::quantile(gaps, 1.0), 3.0 * util::quantile(gaps, 0.5));
+}
+
+TEST(Campaign, ProducesFullGridDatasets) {
+  const QuartzTestbed tb({}, case_fti());
+  CampaignSpec spec;
+  spec.samples_per_point = 3;
+  const auto datasets =
+      run_campaign(tb, spec, {kLuleshTimestep, "ckpt_l1", "ckpt_l2"});
+  ASSERT_EQ(datasets.size(), 3u);
+  for (const auto& [kernel, data] : datasets) {
+    EXPECT_EQ(data.num_rows(), 25u) << kernel;  // 5 eprs x 5 rank counts
+    EXPECT_TRUE(data.is_full_grid()) << kernel;
+    for (const auto& row : data.rows())
+      EXPECT_EQ(row.samples.size(), 3u);
+  }
+  EXPECT_THROW(run_campaign(tb, spec, {}), std::invalid_argument);
+}
+
+TEST(VulcanTestbed, CmtBoneTruthAndMeasurement) {
+  const VulcanTestbed tb;
+  EXPECT_LT(tb.true_timestep(5, 32, 8), tb.true_timestep(5, 512, 8));
+  EXPECT_LT(tb.true_timestep(5, 32, 8), tb.true_timestep(9, 32, 8));
+  // Weak scaling: cost grows slowly in ranks (collective term only).
+  EXPECT_LT(tb.true_timestep(5, 32, 1 << 20) / tb.true_timestep(5, 32, 8),
+            2.0);
+  util::Rng rng(3);
+  const std::vector<double> point{5.0, 64.0, 512.0};
+  const auto samples = tb.measure_kernel(kCmtBoneTimestep, point, 50, rng);
+  EXPECT_EQ(samples.size(), 50u);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+  EXPECT_THROW(tb.measure_kernel("other", point, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      tb.measure_kernel(kCmtBoneTimestep, std::vector<double>{1.0}, 1, rng),
+      std::invalid_argument);
+}
+
+TEST(CmtBoneBuilder, ProgramShape) {
+  CmtBoneConfig cfg;
+  cfg.timesteps = 7;
+  cfg.ranks = 32;
+  const core::AppBEO app = build_cmtbone(cfg);
+  EXPECT_EQ(app.timesteps(), 7);
+  int computes = 0, reduces = 0;
+  for (const auto& instr : app.program()) {
+    computes += instr.kind == core::InstrKind::kCompute;
+    reduces += instr.kind == core::InstrKind::kAllReduce;
+  }
+  EXPECT_EQ(computes, 7);
+  // The calibrated timestep kernel absorbs the dt reduction by default.
+  EXPECT_EQ(reduces, 0);
+  cfg.explicit_reduction = true;
+  const core::AppBEO app2 = build_cmtbone(cfg);
+  int reduces2 = 0;
+  for (const auto& instr : app2.program())
+    reduces2 += instr.kind == core::InstrKind::kAllReduce;
+  EXPECT_EQ(reduces2, 7);
+  CmtBoneConfig bad;
+  bad.element_size = 1;
+  EXPECT_THROW(build_cmtbone(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::apps

@@ -1,0 +1,64 @@
+#include "core/arch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+std::shared_ptr<net::TwoStageFatTree> topo() {
+  return std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+}
+
+TEST(ArchBEO, ConstructionValidation) {
+  EXPECT_THROW(ArchBEO("x", nullptr, net::CommParams{}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(ArchBEO("x", topo(), net::CommParams{}, 0),
+               std::invalid_argument);
+  ArchBEO arch("m", topo(), net::CommParams{}, 4);
+  EXPECT_EQ(arch.max_ranks(), 64);
+  EXPECT_EQ(arch.node_of_rank(0), 0);
+  EXPECT_EQ(arch.node_of_rank(7), 1);
+}
+
+TEST(ArchBEO, KernelBindingLifecycle) {
+  ArchBEO arch("m", topo(), net::CommParams{}, 4);
+  EXPECT_FALSE(arch.has_kernel("k"));
+  EXPECT_THROW((void)arch.kernel("k"), std::out_of_range);
+  EXPECT_THROW(arch.bind_kernel("k", nullptr), std::invalid_argument);
+  arch.bind_kernel("k", std::make_shared<model::ConstantModel>(1.0));
+  EXPECT_TRUE(arch.has_kernel("k"));
+  EXPECT_DOUBLE_EQ(arch.kernel("k").predict(std::vector<double>{}), 1.0);
+  // Re-binding replaces.
+  arch.bind_kernel("k", std::make_shared<model::ConstantModel>(2.0));
+  EXPECT_DOUBLE_EQ(arch.kernel("k").predict(std::vector<double>{}), 2.0);
+}
+
+TEST(ArchBEO, RestartBindings) {
+  ArchBEO arch("m", topo(), net::CommParams{}, 4);
+  EXPECT_EQ(arch.restart(ft::Level::kL2), nullptr);
+  EXPECT_THROW(arch.bind_restart(ft::Level::kL2, nullptr),
+               std::invalid_argument);
+  arch.bind_restart(ft::Level::kL2,
+                    std::make_shared<model::ConstantModel>(3.0));
+  ASSERT_NE(arch.restart(ft::Level::kL2), nullptr);
+  EXPECT_DOUBLE_EQ(arch.restart(ft::Level::kL2)->predict(
+                       std::vector<double>{}),
+                   3.0);
+  EXPECT_EQ(arch.restart(ft::Level::kL4), nullptr);
+}
+
+TEST(ArchBEO, FaultProcessOptional) {
+  ArchBEO arch("m", topo(), net::CommParams{}, 4);
+  EXPECT_FALSE(arch.fault_process().has_value());
+  arch.set_fault_process(ft::FaultProcess(100.0));
+  EXPECT_TRUE(arch.fault_process().has_value());
+  arch.set_fault_process(std::nullopt);
+  EXPECT_FALSE(arch.fault_process().has_value());
+}
+
+}  // namespace
+}  // namespace ftbesst::core

@@ -1,0 +1,121 @@
+// Asynchronous (staged) checkpointing in the coarse engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+ArchBEO make_arch() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  ArchBEO arch("m", topo, net::CommParams{}, 4);
+  ft::FtiConfig fti;
+  fti.group_size = 2;
+  fti.node_size = 2;
+  arch.set_fti(fti);
+  arch.bind_kernel("work", std::make_shared<model::ConstantModel>(1.0));
+  arch.bind_kernel("ckpt_l4", std::make_shared<model::ConstantModel>(4.0));
+  return arch;
+}
+
+AppBEO app_with_ckpts(int timesteps, int period, bool async) {
+  AppBEO app("toy", 4);
+  for (int step = 1; step <= timesteps; ++step) {
+    app.compute("work", {});
+    app.end_timestep();
+    if (step % period == 0)
+      app.checkpoint(ft::Level::kL4, "ckpt_l4", {}, async);
+  }
+  return app;
+}
+
+TEST(AsyncCheckpoint, OverlapsFlushWithComputation) {
+  ArchBEO arch = make_arch();
+  EngineOptions opt;
+  opt.async_stage_fraction = 0.25;
+  // 20 steps x 1 s work, checkpoints every 10 (at steps 10 and 20).
+  const RunResult sync = run_bsp(app_with_ckpts(20, 10, false), arch, opt);
+  const RunResult async = run_bsp(app_with_ckpts(20, 10, true), arch, opt);
+  EXPECT_DOUBLE_EQ(sync.total_seconds, 20.0 + 2 * 4.0);
+  // Async: step-10 checkpoint stages 1 s, its 3 s background flush hides
+  // under the next 10 s of work; the final checkpoint's flush cannot be
+  // hidden (nothing follows), so it is waited for: 20 + 1 + 1 + 3 = 25.
+  EXPECT_DOUBLE_EQ(async.total_seconds, 25.0);
+  EXPECT_LT(async.total_seconds, sync.total_seconds);
+}
+
+TEST(AsyncCheckpoint, BackToBackFlushesStall) {
+  ArchBEO arch = make_arch();
+  EngineOptions opt;
+  opt.async_stage_fraction = 0.25;
+  // Checkpoints every step: each 3 s background flush outlasts the 1 s of
+  // intervening work, so the channel throttles progress to flush speed.
+  const RunResult r = run_bsp(app_with_ckpts(5, 1, true), arch, opt);
+  // Step pattern: work(1) + stage(1) then stall for the previous flush.
+  // Lower bound: 5 work + 5 stages + final flush > 5 + 5 + 3; and the
+  // stalls make it strictly larger than the no-stall 13.
+  EXPECT_GT(r.total_seconds, 13.0);
+  // Never worse than fully synchronous.
+  const RunResult sync = run_bsp(app_with_ckpts(5, 1, false), arch, opt);
+  EXPECT_LE(r.total_seconds, sync.total_seconds + 1e-9);
+}
+
+TEST(AsyncCheckpoint, InFlightFlushIsNotRecoverable) {
+  // A fault after the staged (critical-path) part but before the background
+  // flush completes must NOT recover from that checkpoint.
+  ArchBEO arch = make_arch();
+  arch.bind_restart(ft::Level::kL4,
+                    std::make_shared<model::ConstantModel>(0.0));
+  // Fault at t = 11.5 s: step-10 async checkpoint staged at t = 11
+  // (10 work + 1 stage), background flush completes at t = 14.
+  // Deterministic fault timeline via a degenerate process is hard; instead
+  // run both semantics directly: at fault time 11.5 the only record has
+  // available_at = 14 -> full restart expected.
+  // We emulate by comparing sync (recoverable at 14) vs async behaviours
+  // through the fault process with a seed that produces an early fault.
+  arch.set_fault_process(ft::FaultProcess(60.0, 1.0));  // 30 s system MTBF
+  EngineOptions opt;
+  opt.inject_faults = true;
+  opt.downtime_seconds = 0.5;
+  opt.async_stage_fraction = 0.25;
+  int async_restarts = 0, sync_restarts = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    opt.seed = seed;
+    async_restarts += run_bsp(app_with_ckpts(20, 10, true), arch, opt)
+                          .full_restarts;
+    sync_restarts += run_bsp(app_with_ckpts(20, 10, false), arch, opt)
+                         .full_restarts;
+  }
+  // The async variant has a strictly larger unprotected window, so across
+  // seeds it restarts from scratch at least as often.
+  EXPECT_GE(async_restarts, sync_restarts);
+  EXPECT_GT(async_restarts + sync_restarts, 0);
+}
+
+TEST(AsyncCheckpoint, TrailingFlushIsWaitedFor) {
+  ArchBEO arch = make_arch();
+  EngineOptions opt;
+  opt.async_stage_fraction = 0.25;
+  // Single checkpoint at the very end: nothing to overlap with, so async
+  // equals sync.
+  const RunResult sync = run_bsp(app_with_ckpts(10, 10, false), arch, opt);
+  const RunResult async = run_bsp(app_with_ckpts(10, 10, true), arch, opt);
+  EXPECT_DOUBLE_EQ(async.total_seconds, sync.total_seconds);
+}
+
+TEST(AsyncCheckpoint, PlanEntryFlagFlowsThroughBuilder) {
+  AppBEO app("x", 4);
+  app.checkpoint(ft::Level::kL4, "ckpt_l4", {}, /*async=*/true);
+  ASSERT_EQ(app.size(), 1u);
+  EXPECT_TRUE(app.program()[0].async);
+  app.checkpoint(ft::Level::kL1, "ckpt_l1", {});
+  EXPECT_FALSE(app.program()[1].async);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

@@ -1,0 +1,51 @@
+#include "core/beo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbesst::core {
+namespace {
+
+TEST(AppBEO, BuilderAppendsInstructionsInOrder) {
+  AppBEO app("demo", 8);
+  app.compute("k1", {1.0, 2.0})
+      .neighbor_exchange(6, 4096)
+      .allreduce(8)
+      .barrier()
+      .checkpoint(ft::Level::kL2, "ckpt_l2", {1.0, 8.0})
+      .end_timestep();
+  ASSERT_EQ(app.size(), 6u);
+  EXPECT_EQ(app.program()[0].kind, InstrKind::kCompute);
+  EXPECT_EQ(app.program()[0].kernel, "k1");
+  EXPECT_EQ(app.program()[1].kind, InstrKind::kNeighborExchange);
+  EXPECT_EQ(app.program()[1].degree, 6);
+  EXPECT_EQ(app.program()[1].bytes, 4096u);
+  EXPECT_EQ(app.program()[2].kind, InstrKind::kAllReduce);
+  EXPECT_EQ(app.program()[3].kind, InstrKind::kBarrier);
+  EXPECT_EQ(app.program()[4].kind, InstrKind::kCheckpoint);
+  EXPECT_EQ(app.program()[4].level, ft::Level::kL2);
+  EXPECT_EQ(app.program()[5].kind, InstrKind::kTimestepEnd);
+  EXPECT_EQ(app.timesteps(), 1);
+}
+
+TEST(AppBEO, TimestepCountTracksMarkers) {
+  AppBEO app("demo", 1);
+  for (int i = 0; i < 5; ++i) app.compute("k", {}).end_timestep();
+  EXPECT_EQ(app.timesteps(), 5);
+}
+
+TEST(AppBEO, ValidatesInput) {
+  EXPECT_THROW(AppBEO("bad", 0), std::invalid_argument);
+  AppBEO app("demo", 4);
+  EXPECT_THROW(app.compute("", {}), std::invalid_argument);
+  EXPECT_THROW(app.checkpoint(ft::Level::kL1, "", {}), std::invalid_argument);
+  EXPECT_THROW(app.neighbor_exchange(-1, 0), std::invalid_argument);
+}
+
+TEST(AppBEO, CheckpointBytesRoundTrip) {
+  AppBEO app("demo", 4);
+  app.set_checkpoint_bytes_per_rank(123456);
+  EXPECT_EQ(app.checkpoint_bytes_per_rank(), 123456u);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

@@ -1,0 +1,126 @@
+// Tests for the network-executed DES engine mode (use_des_network).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "core/engine_des.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+ArchBEO fat_tree_arch(net::CommParams params = {}) {
+  auto topo = std::make_shared<net::TwoStageFatTree>(8, 8, 4);
+  ArchBEO arch("cluster", topo, params, 8);
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  arch.set_fti(fti);
+  arch.bind_kernel(apps::kStencilSweep,
+                   std::make_shared<model::ConstantModel>(0.001));
+  return arch;
+}
+
+AppBEO stencil_app(std::int64_t ranks, int sweeps,
+                   std::uint64_t halo_scale = 1) {
+  apps::Stencil3dConfig cfg;
+  cfg.nx = static_cast<int>(32 * halo_scale);
+  cfg.ranks = ranks;
+  cfg.sweeps = sweeps;
+  return apps::build_stencil3d(cfg);
+}
+
+TEST(DesNetworkEngine, TorusBackendExecutesExchanges) {
+  auto torus = std::make_shared<net::Torus>(std::vector<net::NodeId>{4, 4});
+  ArchBEO arch("torus", torus, net::CommParams{}, 8);
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  arch.set_fti(fti);
+  arch.bind_kernel(apps::kStencilSweep,
+                   std::make_shared<model::ConstantModel>(0.001));
+  EngineOptions opt;
+  opt.use_des_network = true;
+  const RunResult r = run_des(stencil_app(8, 3), arch, opt);
+  EXPECT_EQ(r.timestep_end_times.size(), 3u);
+  EXPECT_GT(r.total_seconds, 3 * 0.001);  // exchanges cost network time
+  // Deterministic.
+  const RunResult r2 = run_des(stencil_app(8, 3), arch, opt);
+  EXPECT_DOUBLE_EQ(r2.total_seconds, r.total_seconds);
+}
+
+TEST(DesNetworkEngine, CompletesAndChargesForCommunication) {
+  ArchBEO arch = fat_tree_arch();
+  const AppBEO app = stencil_app(27, 5);
+  EngineOptions analytic;
+  EngineOptions networked;
+  networked.use_des_network = true;
+  const RunResult a = run_des(app, arch, analytic);
+  const RunResult n = run_des(app, arch, networked);
+  ASSERT_EQ(n.timestep_end_times.size(), a.timestep_end_times.size());
+  // Pure compute floor: 5 sweeps x 1 ms.
+  EXPECT_GT(n.total_seconds, 5 * 0.001);
+  // Both paths charge something for the exchanges.
+  EXPECT_GT(a.total_seconds, 5 * 0.001);
+}
+
+TEST(DesNetworkEngine, DeterministicAcrossRuns) {
+  ArchBEO arch = fat_tree_arch();
+  const AppBEO app = stencil_app(8, 4);
+  EngineOptions opt;
+  opt.use_des_network = true;
+  const RunResult r1 = run_des(app, arch, opt);
+  const RunResult r2 = run_des(app, arch, opt);
+  EXPECT_DOUBLE_EQ(r1.total_seconds, r2.total_seconds);
+  EXPECT_EQ(r1.timestep_end_times, r2.timestep_end_times);
+}
+
+TEST(DesNetworkEngine, BiggerHalosTakeLonger) {
+  ArchBEO arch = fat_tree_arch();
+  EngineOptions opt;
+  opt.use_des_network = true;
+  const RunResult small = run_des(stencil_app(27, 3, 1), arch, opt);
+  const RunResult big = run_des(stencil_app(27, 3, 4), arch, opt);
+  // 4x nx -> 16x halo bytes; network time must grow (compute constant).
+  EXPECT_GT(big.total_seconds, small.total_seconds);
+}
+
+TEST(DesNetworkEngine, FasterFabricShortensRuns) {
+  net::CommParams slow;
+  slow.bandwidth = 0.5e9;
+  net::CommParams fast;
+  fast.bandwidth = 100e9;
+  ArchBEO arch_slow = fat_tree_arch(slow);
+  ArchBEO arch_fast = fat_tree_arch(fast);
+  EngineOptions opt;
+  opt.use_des_network = true;
+  const AppBEO app = stencil_app(27, 3, 4);
+  EXPECT_LT(run_des(app, arch_fast, opt).total_seconds,
+            run_des(app, arch_slow, opt).total_seconds);
+}
+
+TEST(DesNetworkEngine, TooManyRanksForNetworkThrows) {
+  // 64 physical nodes, node_size 2 -> at most 128 ranks on the network.
+  ArchBEO arch = fat_tree_arch();
+  EngineOptions opt;
+  opt.use_des_network = true;
+  // 216 ranks need 108 nodes > 64.
+  EXPECT_THROW((void)run_des(stencil_app(216, 1), arch, opt),
+               std::invalid_argument);
+}
+
+TEST(DesNetworkEngine, SingleRankSkipsNetwork) {
+  ArchBEO arch = fat_tree_arch();
+  EngineOptions opt;
+  opt.use_des_network = true;
+  const RunResult r = run_des(stencil_app(1, 3), arch, opt);
+  EXPECT_NEAR(r.total_seconds, 3 * 0.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

@@ -1,0 +1,107 @@
+// Property tests on the coarse engine: invariants that must hold for every
+// seed, scenario, and fault timeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<net::TwoStageFatTree> topo =
+      std::make_shared<net::TwoStageFatTree>(16, 8, 4);
+  ArchBEO arch{"m", topo, net::CommParams{}, 8};
+
+  Fixture() {
+    ft::FtiConfig fti;
+    fti.group_size = 4;
+    fti.node_size = 2;
+    arch.set_fti(fti);
+    arch.bind_kernel(apps::kLuleshTimestep,
+                     std::make_shared<model::NoisyModel>(
+                         std::make_shared<model::ConstantModel>(0.05), 0.1));
+    arch.bind_kernel("ckpt_l2",
+                     std::make_shared<model::NoisyModel>(
+                         std::make_shared<model::ConstantModel>(0.4), 0.15));
+    arch.bind_restart(ft::Level::kL2,
+                      std::make_shared<model::ConstantModel>(0.3));
+  }
+
+  AppBEO app(int steps = 60, int period = 15) const {
+    apps::LuleshConfig cfg;
+    cfg.epr = 10;
+    cfg.ranks = 64;
+    cfg.timesteps = steps;
+    if (period > 0) cfg.plan = {{ft::Level::kL2, period}};
+    cfg.fti = arch.fti();
+    return apps::build_lulesh_fti(cfg);
+  }
+};
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, TraceIsMonotoneAndConsistent) {
+  Fixture f;
+  EngineOptions opt;
+  opt.monte_carlo = true;
+  opt.seed = GetParam();
+  const RunResult r = run_bsp(f.app(), f.arch, opt);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.timestep_end_times.size(), 60u);
+  EXPECT_TRUE(std::is_sorted(r.timestep_end_times.begin(),
+                             r.timestep_end_times.end()));
+  EXPECT_GE(r.total_seconds, r.timestep_end_times.back());
+  EXPECT_GT(r.timestep_end_times.front(), 0.0);
+  // Checkpoints land exactly on the planned steps.
+  EXPECT_EQ(r.checkpoint_timesteps, (std::vector<int>{15, 30, 45, 60}));
+}
+
+TEST_P(EngineProperty, FaultyRunsNeverBeatTheirFaultFreeTwin) {
+  Fixture f;
+  EngineOptions clean;
+  clean.monte_carlo = true;
+  clean.seed = GetParam();
+  const double baseline = run_bsp(f.app(), f.arch, clean).total_seconds;
+
+  f.arch.set_fault_process(ft::FaultProcess(900.0, 1.0));  // frequent faults
+  EngineOptions faulty = clean;
+  faulty.inject_faults = true;
+  faulty.downtime_seconds = 1.0;
+  faulty.max_sim_seconds = 3600.0;
+  const RunResult r = run_bsp(f.app(), f.arch, faulty);
+  if (r.completed && r.faults == 0) {
+    EXPECT_DOUBLE_EQ(r.total_seconds, baseline);
+  } else if (r.completed) {
+    EXPECT_GT(r.total_seconds, baseline);
+  }
+  // Accounting identity: every fault either rolled back, restarted, or
+  // aborted the run.
+  EXPECT_GE(r.faults, r.rollbacks + r.full_restarts);
+}
+
+TEST_P(EngineProperty, NoFtScenarioNeverRollsBack) {
+  Fixture f;
+  f.arch.set_fault_process(ft::FaultProcess(1200.0, 1.0));
+  EngineOptions opt;
+  opt.monte_carlo = true;
+  opt.inject_faults = true;
+  opt.seed = GetParam();
+  opt.max_sim_seconds = 3600.0;
+  const RunResult r = run_bsp(f.app(60, /*no plan*/ 0), f.arch, opt);
+  EXPECT_EQ(r.rollbacks, 0);  // nothing to roll back to
+  EXPECT_LE(r.full_restarts, r.faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99999u));
+
+}  // namespace
+}  // namespace ftbesst::core

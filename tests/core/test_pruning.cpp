@@ -1,0 +1,78 @@
+#include "core/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbesst::core {
+namespace {
+
+DsePoint point(std::string scenario, double mean, double stddev) {
+  DsePoint p;
+  p.scenario = std::move(scenario);
+  p.ensemble.total.mean = mean;
+  p.ensemble.total.stddev = stddev;
+  return p;
+}
+
+TEST(Pruning, KeepsBestFractionByObjective) {
+  std::vector<DsePoint> points;
+  for (double mean : {10.0, 20.0, 30.0, 40.0})
+    points.push_back(point("s", mean, 0.1));
+  PruneOptions opt;
+  opt.keep_fraction = 0.5;
+  const auto decisions = prune_design_space(points, opt);
+  ASSERT_EQ(decisions.size(), 4u);
+  EXPECT_EQ(decisions[0].verdict, Verdict::kKeep);
+  EXPECT_EQ(decisions[1].verdict, Verdict::kKeep);
+  EXPECT_EQ(decisions[2].verdict, Verdict::kPrune);
+  EXPECT_EQ(decisions[3].verdict, Verdict::kPrune);
+}
+
+TEST(Pruning, HighUncertaintyGoesToDetailedStudy) {
+  std::vector<DsePoint> points;
+  points.push_back(point("best", 5.0, 0.1));
+  points.push_back(point("noisy", 10.0, 8.0));  // cv = 0.8
+  points.push_back(point("worst", 20.0, 0.1));
+  PruneOptions opt;
+  opt.keep_fraction = 0.34;  // keep the single best point
+  opt.uncertainty_threshold = 0.2;
+  const auto decisions = prune_design_space(points, opt);
+  EXPECT_EQ(decisions[0].verdict, Verdict::kKeep);
+  // Untrustworthy predictions go to fine-grained study regardless of rank.
+  EXPECT_EQ(decisions[1].verdict, Verdict::kDetailStudy);
+  EXPECT_EQ(decisions[2].verdict, Verdict::kPrune);
+}
+
+TEST(Pruning, CustomObjective) {
+  std::vector<DsePoint> points;
+  points.push_back(point("a", 10.0, 0.0));
+  points.push_back(point("b", 20.0, 0.0));
+  PruneOptions opt;
+  opt.keep_fraction = 0.5;
+  // Invert the objective: prefer the larger mean.
+  opt.objective = [](const DsePoint& p) { return -p.ensemble.total.mean; };
+  const auto decisions = prune_design_space(points, opt);
+  EXPECT_EQ(decisions[0].verdict, Verdict::kPrune);
+  EXPECT_EQ(decisions[1].verdict, Verdict::kKeep);
+}
+
+TEST(Pruning, AlwaysKeepsAtLeastOne) {
+  std::vector<DsePoint> points{point("only", 5.0, 0.0)};
+  PruneOptions opt;
+  opt.keep_fraction = 0.01;
+  const auto decisions = prune_design_space(points, opt);
+  EXPECT_EQ(decisions[0].verdict, Verdict::kKeep);
+}
+
+TEST(Pruning, EmptyAndInvalidInputs) {
+  EXPECT_TRUE(prune_design_space({}).empty());
+  std::vector<DsePoint> points{point("a", 1.0, 0.0)};
+  PruneOptions bad;
+  bad.keep_fraction = 0.0;
+  EXPECT_THROW((void)prune_design_space(points, bad), std::invalid_argument);
+  bad.keep_fraction = 0.5;
+  bad.uncertainty_threshold = -1.0;
+  EXPECT_THROW((void)prune_design_space(points, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

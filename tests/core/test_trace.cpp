@@ -1,0 +1,46 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftbesst::core {
+namespace {
+
+TEST(Trace, RunCsvMarksCheckpointRows) {
+  RunResult r;
+  r.timestep_end_times = {1.0, 2.0, 3.5, 4.5};
+  r.checkpoint_timesteps = {2, 4};
+  r.total_seconds = 5.0;
+  std::ostringstream os;
+  write_run_csv(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("timestep,cumulative_seconds,checkpoint_after"),
+            std::string::npos);
+  EXPECT_NE(out.find("1,1,0"), std::string::npos);
+  EXPECT_NE(out.find("2,2,1"), std::string::npos);
+  EXPECT_NE(out.find("3,3.5,0"), std::string::npos);
+  EXPECT_NE(out.find("4,4.5,1"), std::string::npos);
+}
+
+TEST(Trace, EnsembleCsvHasTotalsAndMeanTrace) {
+  EnsembleResult e;
+  e.totals = {10.0, 12.0};
+  e.mean_timestep_end = {5.0, 11.0};
+  std::ostringstream os;
+  write_ensemble_csv(os, e);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("total,0,10"), std::string::npos);
+  EXPECT_NE(out.find("total,1,12"), std::string::npos);
+  EXPECT_NE(out.find("mean_trace,1,5"), std::string::npos);
+  EXPECT_NE(out.find("mean_trace,2,11"), std::string::npos);
+}
+
+TEST(Trace, EmptyResultsProduceHeadersOnly) {
+  std::ostringstream os;
+  write_run_csv(os, RunResult{});
+  EXPECT_EQ(os.str(), "timestep,cumulative_seconds,checkpoint_after\n");
+}
+
+}  // namespace
+}  // namespace ftbesst::core

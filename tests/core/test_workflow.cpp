@@ -1,0 +1,108 @@
+#include "core/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+model::Dataset linear_kernel_data(double slope) {
+  model::Dataset d({"x", "ranks"});
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+    for (double r : {8.0, 64.0, 512.0})
+      d.add_row({x, r}, {slope * x, slope * x * 1.01, slope * x * 0.99});
+  return d;
+}
+
+TEST(DevelopModels, FitsEveryKernelAndReports) {
+  std::map<std::string, model::Dataset> calib;
+  calib.emplace("fast", linear_kernel_data(0.001));
+  calib.emplace("slow", linear_kernel_data(0.5));
+  model::FitOptions opt;
+  opt.method = model::ModelMethod::kFeatureRegression;
+  const ModelSuite suite = develop_models(calib, opt);
+  EXPECT_EQ(suite.kernels.size(), 2u);
+  ASSERT_EQ(suite.reports.size(), 2u);
+  for (const auto& report : suite.reports)
+    EXPECT_LT(report.fit.full_mape, 5.0) << report.kernel;
+  EXPECT_THROW(develop_models({}, opt), std::invalid_argument);
+}
+
+TEST(DevelopModels, BindIntoArch) {
+  std::map<std::string, model::Dataset> calib;
+  calib.emplace("k", linear_kernel_data(0.01));
+  model::FitOptions opt;
+  opt.method = model::ModelMethod::kFeatureRegression;
+  const ModelSuite suite = develop_models(calib, opt);
+
+  auto topo = std::make_shared<net::TwoStageFatTree>(16, 36, 8);
+  ArchBEO arch("quartz-like", topo, net::CommParams{}, 36);
+  suite.bind_into(arch);
+  EXPECT_TRUE(arch.has_kernel("k"));
+  EXPECT_GT(arch.kernel("k").predict(std::vector<double>{3.0, 64.0}), 0.0);
+}
+
+TEST(RunDse, SweepsScenariosTimesPoints) {
+  auto topo = std::make_shared<net::TwoStageFatTree>(16, 8, 4);
+  ArchBEO arch("m", topo, net::CommParams{}, 8);
+  arch.bind_kernel("work", std::make_shared<model::ConstantModel>(0.01));
+  arch.bind_kernel("ckpt_l1", std::make_shared<model::ConstantModel>(0.05));
+
+  const std::vector<Scenario> scenarios{
+      {"No FT", {}},
+      {"L1", {{ft::Level::kL1, 2}}},
+  };
+  const std::vector<std::vector<double>> points{{4.0}, {8.0}};
+  auto make_app = [](const Scenario& s, const std::vector<double>& p) {
+    AppBEO app("toy", static_cast<std::int64_t>(p[0]));
+    const ft::CheckpointScheduler sched(s.plan);
+    for (int step = 1; step <= 10; ++step) {
+      app.compute("work", p);
+      app.end_timestep();
+      for (ft::Level level : sched.due_after(step))
+        app.checkpoint(level, "ckpt_l1", p);
+    }
+    return app;
+  };
+  const auto results =
+      run_dse(scenarios, points, make_app, arch, EngineOptions{}, 4);
+  ASSERT_EQ(results.size(), 4u);
+  // L1 scenario strictly slower than No FT at matched params.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double no_ft = results[i].ensemble.total.mean;
+    const double l1 = results[points.size() + i].ensemble.total.mean;
+    EXPECT_GT(l1, no_ft);
+    EXPECT_NEAR(no_ft, 0.1, 1e-9);
+    EXPECT_NEAR(l1, 0.1 + 5 * 0.05, 1e-9);
+  }
+}
+
+TEST(OverheadGrid, NormalizesToBaseline) {
+  std::vector<DsePoint> points;
+  auto mk = [](std::string scenario, std::vector<double> params,
+               double mean) {
+    DsePoint p;
+    p.scenario = std::move(scenario);
+    p.params = std::move(params);
+    p.ensemble.total.mean = mean;
+    return p;
+  };
+  points.push_back(mk("No FT", {10.0, 64.0}, 2.0));
+  points.push_back(mk("No FT", {10.0, 1000.0}, 2.4));
+  points.push_back(mk("L1", {10.0, 64.0}, 2.2));
+  points.push_back(mk("L1", {10.0, 1000.0}, 4.3));
+
+  const auto grid = overhead_grid(points, "No FT", {10.0, 64.0});
+  EXPECT_DOUBLE_EQ(grid.at("No FT").at({10.0, 64.0}), 100.0);
+  EXPECT_DOUBLE_EQ(grid.at("No FT").at({10.0, 1000.0}), 120.0);
+  EXPECT_DOUBLE_EQ(grid.at("L1").at({10.0, 64.0}), 110.0);
+  EXPECT_DOUBLE_EQ(grid.at("L1").at({10.0, 1000.0}), 215.0);
+  EXPECT_THROW(overhead_grid(points, "nope", {10.0, 64.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

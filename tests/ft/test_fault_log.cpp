@@ -1,0 +1,82 @@
+#include "ft/fault_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+TEST(WeibullShapeFromCv, KnownAnchors) {
+  // Exponential: cv = 1 <-> shape = 1.
+  EXPECT_NEAR(weibull_shape_from_cv(1.0), 1.0, 0.01);
+  // Regular arrivals (small cv) -> large shape; bursty (large cv) -> small.
+  EXPECT_GT(weibull_shape_from_cv(0.3), 2.0);
+  EXPECT_LT(weibull_shape_from_cv(2.0), 0.7);
+  // Clamps at the search boundary.
+  EXPECT_DOUBLE_EQ(weibull_shape_from_cv(100.0), 0.2);
+  EXPECT_DOUBLE_EQ(weibull_shape_from_cv(0.0), 10.0);
+}
+
+class RoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoundTrip, RecoversGeneratingParameters) {
+  const double true_shape = GetParam();
+  const double true_mtbf = 2000.0;
+  const std::int64_t nodes = 20;
+  FaultProcess truth(true_mtbf, 0.7, true_shape);
+  util::Rng rng(42);
+  // A long log: enough gaps for stable moments.
+  const auto log = truth.sample(nodes, 400000.0, rng);
+  ASSERT_GT(log.size(), 1000u);
+
+  const FaultModelEstimate est = estimate_fault_model(log, nodes);
+  EXPECT_NEAR(est.node_mtbf / true_mtbf, 1.0, 0.10) << "shape " << true_shape;
+  EXPECT_NEAR(est.weibull_shape, true_shape, 0.15 * true_shape + 0.1);
+  EXPECT_NEAR(est.node_loss_fraction, 0.7, 0.05);
+  // The reconstructed process is usable.
+  const FaultProcess back = est.to_process();
+  EXPECT_NEAR(back.system_mtbf(nodes), est.system_mtbf, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RoundTrip,
+                         ::testing::Values(0.7, 1.0, 1.6));
+
+TEST(EstimateFaultModel, InputValidation) {
+  std::vector<FaultEvent> tiny(2);
+  tiny[0].time = 1.0;
+  tiny[1].time = 2.0;
+  EXPECT_THROW((void)estimate_fault_model(tiny, 4), std::invalid_argument);
+
+  std::vector<FaultEvent> unordered(3);
+  unordered[0].time = 5.0;
+  unordered[1].time = 2.0;
+  unordered[2].time = 9.0;
+  EXPECT_THROW((void)estimate_fault_model(unordered, 4),
+               std::invalid_argument);
+
+  std::vector<FaultEvent> simultaneous(3);
+  EXPECT_THROW((void)estimate_fault_model(simultaneous, 4),
+               std::invalid_argument);
+  std::vector<FaultEvent> ok(3);
+  ok[0].time = 1.0;
+  ok[1].time = 2.0;
+  ok[2].time = 3.0;
+  EXPECT_THROW((void)estimate_fault_model(ok, 0), std::invalid_argument);
+  EXPECT_NO_THROW((void)estimate_fault_model(ok, 4));
+}
+
+TEST(EstimateFaultModel, CrashOnlyLogGivesZeroLossFraction) {
+  std::vector<FaultEvent> log(5);
+  for (int i = 0; i < 5; ++i) {
+    log[static_cast<std::size_t>(i)].time = i * 10.0;
+    log[static_cast<std::size_t>(i)].kind = FailureKind::kProcessCrash;
+  }
+  const auto est = estimate_fault_model(log, 8);
+  EXPECT_DOUBLE_EQ(est.node_loss_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(est.system_mtbf, 10.0);
+  EXPECT_DOUBLE_EQ(est.node_mtbf, 80.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ft/checkpoint_cost.hpp"
+#include "ft/faults.hpp"
+#include "ft/young_daly.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+TEST(FaultProcess, SystemMtbfScalesInverselyWithNodes) {
+  FaultProcess fp(1e6);
+  EXPECT_DOUBLE_EQ(fp.system_mtbf(1), 1e6);
+  EXPECT_DOUBLE_EQ(fp.system_mtbf(1000), 1e3);
+  EXPECT_THROW((void)fp.system_mtbf(0), std::invalid_argument);
+}
+
+TEST(FaultProcess, RejectsBadParameters) {
+  EXPECT_THROW(FaultProcess(0.0), std::invalid_argument);
+  EXPECT_THROW(FaultProcess(-5.0), std::invalid_argument);
+  EXPECT_THROW(FaultProcess(1.0, 1.5), std::invalid_argument);
+}
+
+TEST(FaultProcess, SampleCountMatchesPoissonExpectation) {
+  FaultProcess fp(1000.0);  // node MTBF 1000 s
+  util::Rng rng(7);
+  // 100 nodes over 1000 s -> expect ~100 events.
+  std::vector<double> counts;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto events = fp.sample(100, 1000.0, rng);
+    counts.push_back(static_cast<double>(events.size()));
+    // Ordered in time, nodes in range.
+    for (std::size_t i = 1; i < events.size(); ++i)
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    for (const auto& e : events) {
+      EXPECT_GE(e.node, 0);
+      EXPECT_LT(e.node, 100);
+      EXPECT_LT(e.time, 1000.0);
+    }
+  }
+  EXPECT_NEAR(util::mean(counts), 100.0, 3.0);
+}
+
+TEST(FaultProcess, LossFractionControlsKind) {
+  util::Rng rng(8);
+  FaultProcess crashes_only(100.0, 0.0);
+  for (const auto& e : crashes_only.sample(50, 200.0, rng))
+    EXPECT_EQ(e.kind, FailureKind::kProcessCrash);
+  FaultProcess losses_only(100.0, 1.0);
+  for (const auto& e : losses_only.sample(50, 200.0, rng))
+    EXPECT_EQ(e.kind, FailureKind::kNodeLoss);
+}
+
+TEST(FaultProcess, NextAfterIsMemorylessDraw) {
+  FaultProcess fp(100.0);
+  util::Rng rng(9);
+  std::vector<double> gaps;
+  for (int i = 0; i < 20000; ++i)
+    gaps.push_back(fp.next_after(500.0, 10, rng).time - 500.0);
+  // Rate = 10/100 = 0.1 -> mean gap 10 s.
+  EXPECT_NEAR(util::mean(gaps), 10.0, 0.3);
+}
+
+TEST(YoungDaly, YoungIntervalFormula) {
+  EXPECT_DOUBLE_EQ(young_interval(50.0, 10000.0), std::sqrt(2 * 50.0 * 10000.0));
+  EXPECT_THROW((void)young_interval(-1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)young_interval(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(YoungDaly, DalyRefinementCloseToYoungForSmallC) {
+  const double c = 10.0, m = 1e5;
+  const double young = young_interval(c, m);
+  const double daly = daly_interval(c, m);
+  EXPECT_NEAR(daly / young, 1.0, 0.05);
+  // Degenerate regime falls back to MTBF.
+  EXPECT_DOUBLE_EQ(daly_interval(300.0, 100.0), 100.0);
+}
+
+TEST(YoungDaly, ExpectedRuntimeMinimizedNearYoungInterval) {
+  const double work = 36000.0, c = 30.0, r = 60.0, m = 3600.0;
+  const double tau_star = young_interval(c, m);
+  const double at_star = expected_runtime_cr(work, tau_star, c, r, m);
+  // The optimum beats intervals 4x away on either side.
+  EXPECT_LT(at_star, expected_runtime_cr(work, tau_star / 4.0, c, r, m));
+  EXPECT_LT(at_star, expected_runtime_cr(work, tau_star * 4.0, c, r, m));
+  EXPECT_GT(at_star, work);  // FT always costs something
+}
+
+TEST(YoungDaly, ThrashingRegimeIsInfinite) {
+  // Interval/2 + R >= MTBF -> no forward progress.
+  EXPECT_TRUE(std::isinf(expected_runtime_cr(100.0, 2000.0, 1.0, 10.0, 100.0)));
+}
+
+TEST(YoungDaly, NoFtRuntimeExplodesExponentially) {
+  const double m = 1000.0;
+  EXPECT_NEAR(expected_runtime_no_ft(1.0, m), 1.0, 0.01);  // work << MTBF
+  const double t5 = expected_runtime_no_ft(5 * m, m);
+  EXPECT_GT(t5, 100 * m);  // e^5 - 1 ~ 147
+}
+
+TEST(CheckpointCost, LevelOrderingAtCaseStudyScale) {
+  FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  CheckpointCostModel m(StorageParams{}, fti);
+  const std::uint64_t bytes = 100'000'000;  // 100 MB per rank
+  const std::int64_t ranks = 512;
+  const double l1 = m.cost(Level::kL1, bytes, ranks);
+  const double l2 = m.cost(Level::kL2, bytes, ranks);
+  const double l3 = m.cost(Level::kL3, bytes, ranks);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l1, l3);
+  EXPECT_GT(l1, 0.0);
+  // Restart costs are positive and at least the local read.
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3, Level::kL4})
+    EXPECT_GT(m.restart_cost(level, bytes, ranks), 0.0);
+}
+
+TEST(CheckpointCost, L2GrowsWithScaleFasterThanL1) {
+  FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  CheckpointCostModel m(StorageParams{}, fti);
+  const std::uint64_t bytes = 50'000'000;
+  const double l1_small = m.cost(Level::kL1, bytes, 8);
+  const double l1_big = m.cost(Level::kL1, bytes, 1000);
+  const double l2_small = m.cost(Level::kL2, bytes, 8);
+  const double l2_big = m.cost(Level::kL2, bytes, 1000);
+  EXPECT_GT(l2_big / l2_small, l1_big / l1_small);
+}
+
+TEST(CheckpointCost, L4ScalesLinearlyWithRanks) {
+  FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  StorageParams storage;
+  CheckpointCostModel m(storage, fti);
+  const std::uint64_t bytes = 10'000'000;
+  const double t64 = m.cost(Level::kL4, bytes, 64);
+  const double t512 = m.cost(Level::kL4, bytes, 512);
+  // PFS term dominates; 8x the ranks ~ 8x the flush volume.
+  const double pfs64 = 64.0 * bytes / storage.pfs_bw;
+  const double pfs512 = 512.0 * bytes / storage.pfs_bw;
+  EXPECT_NEAR(t512 - t64, pfs512 - pfs64, 1e-3);
+}
+
+TEST(CheckpointCost, MoreDataCostsMore) {
+  FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  CheckpointCostModel m(StorageParams{}, fti);
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3, Level::kL4})
+    EXPECT_LT(m.cost(level, 1'000'000, 64), m.cost(level, 100'000'000, 64))
+        << to_string(level);
+}
+
+TEST(CheckpointCost, InvalidRanksRejected) {
+  FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  CheckpointCostModel m(StorageParams{}, fti);
+  EXPECT_THROW((void)m.cost(Level::kL1, 1000, 27), std::invalid_argument);
+  StorageParams bad;
+  bad.pfs_bw = 0.0;
+  EXPECT_THROW(CheckpointCostModel(bad, fti), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

@@ -1,0 +1,166 @@
+#include "ft/fti.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbesst::ft {
+namespace {
+
+FtiConfig case_study_config() {
+  FtiConfig c;
+  c.group_size = 4;  // Table II
+  c.node_size = 2;
+  c.l2_partners = 1;
+  return c;
+}
+
+TEST(FtiConfig, ValidatesRankMultiple) {
+  const FtiConfig c = case_study_config();
+  // Unit is 8; the case-study rank counts are exactly the perfect cubes
+  // divisible by 8: 8, 64, 216, 512, 1000.
+  for (std::int64_t ranks : {8, 64, 216, 512, 1000})
+    EXPECT_NO_THROW(c.validate(ranks)) << ranks;
+  for (std::int64_t ranks : {1, 27, 125, 343, 729})
+    EXPECT_THROW(c.validate(ranks), std::invalid_argument) << ranks;
+}
+
+TEST(FtiConfig, NodeAndGroupCounts) {
+  const FtiConfig c = case_study_config();
+  EXPECT_EQ(c.nodes_for(1000), 500);
+  EXPECT_EQ(c.groups_for(1000), 125);
+  EXPECT_EQ(c.group_of_node(0), 0);
+  EXPECT_EQ(c.group_of_node(3), 0);
+  EXPECT_EQ(c.group_of_node(4), 1);
+}
+
+TEST(FtiConfig, RejectsBadShapes) {
+  FtiConfig c = case_study_config();
+  c.group_size = 1;
+  EXPECT_THROW(c.validate(8), std::invalid_argument);
+  c = case_study_config();
+  c.node_size = 0;
+  EXPECT_THROW(c.validate(8), std::invalid_argument);
+  c = case_study_config();
+  c.l2_partners = 4;  // == group_size
+  EXPECT_THROW(c.validate(8), std::invalid_argument);
+}
+
+TEST(Recoverability, ProcessCrashAlwaysRecoverable) {
+  const FtiConfig c = case_study_config();
+  FailureSet f;
+  f.nodes = {0, 1, 2, 3};
+  f.kind = FailureKind::kProcessCrash;
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3, Level::kL4})
+    EXPECT_TRUE(recoverable(level, c, 64, f)) << to_string(level);
+}
+
+TEST(Recoverability, L1LosesOnNodeLoss) {
+  const FtiConfig c = case_study_config();
+  FailureSet f;
+  f.nodes = {5};
+  f.kind = FailureKind::kNodeLoss;
+  EXPECT_FALSE(recoverable(Level::kL1, c, 64, f));
+  EXPECT_TRUE(recoverable(Level::kL1, c, 64, FailureSet{}));  // no failure
+}
+
+TEST(Recoverability, L2SurvivesSingleNodeLossPerGroup) {
+  const FtiConfig c = case_study_config();
+  FailureSet f;
+  f.kind = FailureKind::kNodeLoss;
+  f.nodes = {0};
+  EXPECT_TRUE(recoverable(Level::kL2, c, 64, f));
+  // Node 0's single partner is node 1: losing both kills the copy.
+  f.nodes = {0, 1};
+  EXPECT_FALSE(recoverable(Level::kL2, c, 64, f));
+  // Non-adjacent pair in the group ring: 0's partner is 1 (alive copies of
+  // 0 on 1), 2's partner is 3 -> recoverable.
+  f.nodes = {0, 2};
+  EXPECT_TRUE(recoverable(Level::kL2, c, 64, f));
+  // Losses in different groups are independent.
+  f.nodes = {0, 4};
+  EXPECT_TRUE(recoverable(Level::kL2, c, 64, f));
+}
+
+TEST(Recoverability, L2WithTwoPartnersToleratesAdjacentPair) {
+  FtiConfig c = case_study_config();
+  c.l2_partners = 2;
+  FailureSet f;
+  f.kind = FailureKind::kNodeLoss;
+  f.nodes = {0, 1};  // node 0's partners are 1 and 2; 2 survives
+  EXPECT_TRUE(recoverable(Level::kL2, c, 64, f));
+  f.nodes = {0, 1, 2};
+  EXPECT_FALSE(recoverable(Level::kL2, c, 64, f));
+}
+
+TEST(Recoverability, L3ToleratesHalfGroup) {
+  const FtiConfig c = case_study_config();  // group 4 -> tolerance 2
+  FailureSet f;
+  f.kind = FailureKind::kNodeLoss;
+  f.nodes = {0, 1};
+  EXPECT_TRUE(recoverable(Level::kL3, c, 64, f));
+  f.nodes = {0, 1, 2};
+  EXPECT_FALSE(recoverable(Level::kL3, c, 64, f));
+  // 2 per group across 2 groups is fine.
+  f.nodes = {0, 1, 4, 5};
+  EXPECT_TRUE(recoverable(Level::kL3, c, 64, f));
+}
+
+TEST(Recoverability, L4AlwaysRecovers) {
+  const FtiConfig c = case_study_config();
+  FailureSet f;
+  f.kind = FailureKind::kNodeLoss;
+  f.nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_TRUE(recoverable(Level::kL4, c, 64, f));
+}
+
+TEST(Recoverability, RejectsOutOfRangeNode) {
+  const FtiConfig c = case_study_config();
+  FailureSet f;
+  f.nodes = {999};
+  EXPECT_THROW((void)recoverable(Level::kL4, c, 64, f), std::out_of_range);
+}
+
+TEST(Scheduler, DueLevelsMatchPeriods) {
+  CheckpointScheduler sched({{Level::kL1, 40}, {Level::kL2, 40}});
+  EXPECT_TRUE(sched.due_after(39).empty());
+  const auto due = sched.due_after(40);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], Level::kL1);
+  EXPECT_EQ(due[1], Level::kL2);
+  EXPECT_EQ(sched.due_after(80).size(), 2u);
+  EXPECT_TRUE(sched.due_after(0).empty());
+}
+
+TEST(Scheduler, CaseStudyInstanceCount) {
+  // 200 timesteps, period 40 -> 5 checkpoint instances per level (the
+  // black dots of Figs. 7-8).
+  CheckpointScheduler l1({{Level::kL1, 40}});
+  EXPECT_EQ(l1.instances(200), 5);
+  CheckpointScheduler both({{Level::kL1, 40}, {Level::kL2, 40}});
+  EXPECT_EQ(both.instances(200), 10);
+}
+
+TEST(Scheduler, MixedPeriods) {
+  CheckpointScheduler sched({{Level::kL4, 100}, {Level::kL1, 10}});
+  EXPECT_EQ(sched.due_after(10).size(), 1u);
+  const auto due100 = sched.due_after(100);
+  ASSERT_EQ(due100.size(), 2u);
+  EXPECT_EQ(due100[0], Level::kL1);  // sorted ascending by level
+  EXPECT_EQ(due100[1], Level::kL4);
+  EXPECT_EQ(sched.max_level(), Level::kL4);
+}
+
+TEST(Scheduler, RejectsBadPeriodAndEmptyMaxLevel) {
+  EXPECT_THROW(CheckpointScheduler({{Level::kL1, 0}}), std::invalid_argument);
+  CheckpointScheduler empty({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW((void)empty.max_level(), std::logic_error);
+  EXPECT_EQ(empty.instances(200), 0);
+}
+
+TEST(LevelNames, ToString) {
+  EXPECT_EQ(to_string(Level::kL1), "L1");
+  EXPECT_EQ(to_string(Level::kL4), "L4");
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

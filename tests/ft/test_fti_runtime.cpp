@@ -1,0 +1,200 @@
+#include "ft/fti_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+FtiConfig cfg4x2() {
+  FtiConfig c;
+  c.group_size = 4;
+  c.node_size = 2;
+  return c;
+}
+
+FtiRuntime::Blob blob_for(std::int64_t rank, int version = 0) {
+  FtiRuntime::Blob b;
+  for (int i = 0; i < 16 + rank % 5; ++i)  // deliberately uneven sizes
+    b.push_back(static_cast<std::uint8_t>((rank * 31 + version * 7 + i) & 0xff));
+  return b;
+}
+
+FtiRuntime make_runtime(std::int64_t ranks, int version = 0) {
+  FtiRuntime rt(cfg4x2(), ranks);
+  for (std::int64_t r = 0; r < ranks; ++r) rt.protect(r, blob_for(r, version));
+  return rt;
+}
+
+TEST(FtiRuntime, ValidatesConfigAndInput) {
+  EXPECT_THROW(FtiRuntime(cfg4x2(), 27), std::invalid_argument);
+  FtiRuntime rt(cfg4x2(), 16);
+  EXPECT_THROW(rt.protect(99, {}), std::out_of_range);
+  EXPECT_THROW((void)rt.data(-1), std::out_of_range);
+  EXPECT_THROW(rt.fail_node(99), std::out_of_range);
+  // Checkpoint before all ranks protected is an error.
+  rt.protect(0, blob_for(0));
+  EXPECT_THROW(rt.checkpoint(Level::kL1), std::logic_error);
+}
+
+TEST(FtiRuntime, ProcessCrashRecoversAtEveryLevel) {
+  for (Level level :
+       {Level::kL1, Level::kL2, Level::kL3, Level::kL4}) {
+    FtiRuntime rt = make_runtime(16);
+    rt.checkpoint(level);
+    rt.crash_processes();
+    EXPECT_TRUE(rt.needs_recovery());
+    ASSERT_TRUE(rt.recover().has_value()) << to_string(level);
+    for (std::int64_t r = 0; r < 16; ++r)
+      EXPECT_EQ(rt.data(r), blob_for(r)) << to_string(level) << " rank " << r;
+  }
+}
+
+TEST(FtiRuntime, L1DiesWithNodeLossButL4Survives) {
+  FtiRuntime l1 = make_runtime(16);
+  l1.checkpoint(Level::kL1);
+  l1.fail_node(3);
+  EXPECT_FALSE(l1.recover().has_value());
+
+  FtiRuntime l4 = make_runtime(16);
+  l4.checkpoint(Level::kL4);
+  for (std::int64_t n = 0; n < 8; ++n) l4.fail_node(n);  // everything burns
+  ASSERT_TRUE(l4.recover().has_value());
+  for (std::int64_t r = 0; r < 16; ++r) EXPECT_EQ(l4.data(r), blob_for(r));
+}
+
+TEST(FtiRuntime, L2PartnerCopyCoversSingleLoss) {
+  FtiRuntime rt = make_runtime(16);
+  rt.checkpoint(Level::kL2);
+  rt.fail_node(2);
+  ASSERT_TRUE(rt.recover().has_value());
+  for (std::int64_t r = 0; r < 16; ++r) EXPECT_EQ(rt.data(r), blob_for(r));
+  // Partner pair loss (node and its ring successor) is fatal for L2.
+  FtiRuntime rt2 = make_runtime(16);
+  rt2.checkpoint(Level::kL2);
+  rt2.fail_node(0);
+  rt2.fail_node(1);  // holds node 0's only copy
+  EXPECT_FALSE(rt2.recover().has_value());
+  // Non-partner pair in the same group is fine.
+  FtiRuntime rt3 = make_runtime(16);
+  rt3.checkpoint(Level::kL2);
+  rt3.fail_node(0);
+  rt3.fail_node(2);
+  EXPECT_TRUE(rt3.recover().has_value());
+}
+
+TEST(FtiRuntime, L3ReconstructsUpToHalfGroup) {
+  FtiRuntime rt = make_runtime(16);  // 8 nodes, 2 groups of 4
+  rt.checkpoint(Level::kL3);
+  rt.fail_node(0);
+  rt.fail_node(2);  // 2 of 4 in group 0: exactly the tolerance
+  ASSERT_TRUE(rt.recover().has_value());
+  for (std::int64_t r = 0; r < 16; ++r) EXPECT_EQ(rt.data(r), blob_for(r));
+
+  FtiRuntime rt2 = make_runtime(16);
+  rt2.checkpoint(Level::kL3);
+  rt2.fail_node(0);
+  rt2.fail_node(1);
+  rt2.fail_node(2);  // 3 of 4: beyond tolerance
+  EXPECT_FALSE(rt2.recover().has_value());
+}
+
+TEST(FtiRuntime, L3LossesSpreadAcrossGroupsAreIndependent) {
+  FtiRuntime rt = make_runtime(32);  // 16 nodes, 4 groups
+  rt.checkpoint(Level::kL3);
+  // Two losses in every group: all still within tolerance.
+  for (std::int64_t g = 0; g < 4; ++g) {
+    rt.fail_node(g * 4);
+    rt.fail_node(g * 4 + 3);
+  }
+  ASSERT_TRUE(rt.recover().has_value());
+  for (std::int64_t r = 0; r < 32; ++r) EXPECT_EQ(rt.data(r), blob_for(r));
+}
+
+TEST(FtiRuntime, RecoversMostRecentUsableCheckpoint) {
+  FtiRuntime rt = make_runtime(16, /*version=*/0);
+  const int first = rt.checkpoint(Level::kL4);
+  // Progress, checkpoint again at L1 only.
+  for (std::int64_t r = 0; r < 16; ++r) rt.protect(r, blob_for(r, 1));
+  const int second = rt.checkpoint(Level::kL1);
+  EXPECT_GT(second, first);
+
+  // Node loss: the newer L1 is unusable, recovery falls back to the L4.
+  rt.fail_node(5);
+  const auto used = rt.recover();
+  ASSERT_TRUE(used.has_value());
+  EXPECT_EQ(*used, first);
+  for (std::int64_t r = 0; r < 16; ++r) EXPECT_EQ(rt.data(r), blob_for(r, 0));
+
+  // Process crash instead: the newer L1 wins.
+  for (std::int64_t r = 0; r < 16; ++r) rt.protect(r, blob_for(r, 1));
+  const int third = rt.checkpoint(Level::kL1);
+  rt.crash_processes();
+  const auto used2 = rt.recover();
+  ASSERT_TRUE(used2.has_value());
+  EXPECT_EQ(*used2, third);
+  for (std::int64_t r = 0; r < 16; ++r) EXPECT_EQ(rt.data(r), blob_for(r, 1));
+}
+
+TEST(FtiRuntime, CheckpointWhileFailedIsAnError) {
+  FtiRuntime rt = make_runtime(16);
+  rt.checkpoint(Level::kL4);
+  rt.fail_node(0);
+  EXPECT_THROW(rt.checkpoint(Level::kL1), std::logic_error);
+  EXPECT_THROW((void)rt.data(0), std::logic_error);
+  ASSERT_TRUE(rt.recover().has_value());
+  EXPECT_NO_THROW(rt.checkpoint(Level::kL1));
+}
+
+TEST(FtiRuntime, BestRecoverableDoesNotMutate) {
+  FtiRuntime rt = make_runtime(16);
+  rt.checkpoint(Level::kL4);
+  rt.fail_node(1);
+  EXPECT_TRUE(rt.best_recoverable().has_value());
+  EXPECT_TRUE(rt.needs_recovery());  // unchanged
+}
+
+/// Property sweep: for random node-loss sets, the executable runtime and
+/// the analytic recoverable() predicate must agree at every level.
+class RuntimeVsPredicate : public ::testing::TestWithParam<Level> {};
+
+TEST_P(RuntimeVsPredicate, AgreeOnRandomFailureSets) {
+  const Level level = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(level) * 97 + 5);
+  const std::int64_t ranks = 32;  // 16 nodes, 4 groups
+  const FtiConfig cfg = cfg4x2();
+  for (int trial = 0; trial < 40; ++trial) {
+    FtiRuntime rt(cfg, ranks);
+    for (std::int64_t r = 0; r < ranks; ++r) rt.protect(r, blob_for(r));
+    rt.checkpoint(level);
+
+    std::set<std::int64_t> victims;
+    const std::size_t count = 1 + rng.uniform_int(5);
+    while (victims.size() < count)
+      victims.insert(static_cast<std::int64_t>(rng.uniform_int(16)));
+    for (std::int64_t v : victims) rt.fail_node(v);
+
+    FailureSet failures;
+    failures.nodes.assign(victims.begin(), victims.end());
+    failures.kind = FailureKind::kNodeLoss;
+    const bool predicted = recoverable(level, cfg, ranks, failures);
+    const bool actual = rt.recover().has_value();
+    EXPECT_EQ(predicted, actual)
+        << to_string(level) << " trial " << trial << " victims "
+        << victims.size();
+    if (actual) {
+      for (std::int64_t r = 0; r < ranks; ++r)
+        EXPECT_EQ(rt.data(r), blob_for(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RuntimeVsPredicate,
+                         ::testing::Values(Level::kL1, Level::kL2, Level::kL3,
+                                           Level::kL4));
+
+}  // namespace
+}  // namespace ftbesst::ft

@@ -1,0 +1,105 @@
+// Randomized stress machine for the executable FTI runtime: arbitrary
+// interleavings of protect / checkpoint / fail / crash / recover must
+// preserve the core invariants — recovered data always equals some
+// previously checkpointed snapshot, newest-usable-wins, and the runtime
+// never recovers from a checkpoint destroyed by the failures.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ft/fti_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+constexpr std::int64_t kRanks = 16;  // 8 nodes, 2 groups of 4
+
+FtiConfig cfg() {
+  FtiConfig c;
+  c.group_size = 4;
+  c.node_size = 2;
+  return c;
+}
+
+FtiRuntime::Blob versioned_blob(std::int64_t rank, int version) {
+  FtiRuntime::Blob b(24);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<std::uint8_t>((rank * 131 + version * 17 + i) & 0xff);
+  return b;
+}
+
+class StressMachine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressMachine, InvariantsHoldUnderRandomOperations) {
+  util::Rng rng(GetParam());
+  FtiRuntime rt(cfg(), kRanks);
+  int version = 0;
+  auto protect_version = [&](int v) {
+    for (std::int64_t r = 0; r < kRanks; ++r)
+      rt.protect(r, versioned_blob(r, v));
+  };
+  protect_version(version);
+
+  // Reference history: checkpoint id -> protected version.
+  std::map<int, int> snapshot_version;
+  int live_version = 0;
+
+  for (int op = 0; op < 120; ++op) {
+    const double roll = rng.uniform();
+    if (rt.needs_recovery()) {
+      const auto before = rt.best_recoverable();
+      const auto used = rt.recover();
+      EXPECT_EQ(before.has_value(), used.has_value());
+      if (used) {
+        // Recovered state must equal the snapshot that id recorded.
+        const int v = snapshot_version.at(*used);
+        for (std::int64_t r = 0; r < kRanks; ++r)
+          EXPECT_EQ(rt.data(r), versioned_blob(r, v));
+        live_version = v;
+      } else {
+        // Nothing usable: the "application" restarts from scratch.
+        ++version;
+        protect_version(version);
+        live_version = version;
+        snapshot_version.clear();  // files of the old epoch are irrelevant
+      }
+      continue;
+    }
+    if (roll < 0.35) {
+      // Progress: new protected state.
+      ++version;
+      protect_version(version);
+      live_version = version;
+    } else if (roll < 0.65) {
+      const Level level = static_cast<Level>(1 + rng.uniform_int(4));
+      const int id = rt.checkpoint(level);
+      snapshot_version[id] = live_version;
+    } else if (roll < 0.9) {
+      rt.fail_node(static_cast<std::int64_t>(rng.uniform_int(8)));
+      if (rng.uniform() < 0.3)
+        rt.fail_node(static_cast<std::int64_t>(rng.uniform_int(8)));
+    } else {
+      rt.crash_processes();
+    }
+  }
+  // Terminal recovery if needed; afterwards all data is consistent.
+  if (rt.needs_recovery()) {
+    const auto used = rt.recover();
+    if (used) {
+      const int v = snapshot_version.at(*used);
+      for (std::int64_t r = 0; r < kRanks; ++r)
+        EXPECT_EQ(rt.data(r), versioned_blob(r, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressMachine,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace ftbesst::ft

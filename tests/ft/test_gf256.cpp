@@ -1,0 +1,97 @@
+#include "ft/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+  EXPECT_EQ(GF256::sub(0x53, 0xCA), GF256::add(0x53, 0xCA));
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256, KnownProducts) {
+  // In the 0x11d field: 0x80 * 2 overflows once and reduces by the
+  // generator polynomial -> 0x100 ^ 0x11d = 0x1d.
+  EXPECT_EQ(GF256::mul(0x80, 0x02), 0x1d);
+  // Carry-less product without overflow: 3 * 7 = (x+1)(x^2+x+1) = x^3+1.
+  EXPECT_EQ(GF256::mul(0x03, 0x07), 0x09);
+  // exp/log consistency: 2^8 = (2^4)^2.
+  EXPECT_EQ(GF256::exp(8), GF256::mul(GF256::exp(4), GF256::exp(4)));
+}
+
+TEST(GF256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_NE(inv, 0);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    EXPECT_EQ(GF256::div(GF256::mul(a, b), b), a);
+  }
+}
+
+TEST(GF256, MultiplicationCommutesAndAssociates) {
+  util::Rng rng(18);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  util::Rng rng(19);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(256));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (int a = 1; a < 256; a += 7) {
+    std::uint8_t acc = 1;
+    for (unsigned n = 0; n < 20; ++n) {
+      EXPECT_EQ(GF256::pow(static_cast<std::uint8_t>(a), n), acc);
+      acc = GF256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+  EXPECT_EQ(GF256::pow(0, 0), 1);
+  EXPECT_EQ(GF256::pow(0, 5), 0);
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // 2 is primitive: powers 2^0..2^254 hit every nonzero element once.
+  std::vector<bool> seen(256, false);
+  for (unsigned n = 0; n < 255; ++n) {
+    const auto v = GF256::exp(n);
+    EXPECT_FALSE(seen[v]) << "repeat at " << n;
+    seen[v] = true;
+  }
+  EXPECT_FALSE(seen[0]);
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

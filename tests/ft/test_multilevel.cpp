@@ -1,0 +1,123 @@
+#include "ft/multilevel_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ft/young_daly.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+MultilevelWorkload base_workload() {
+  MultilevelWorkload w;
+  w.work = 36000.0;
+  w.system_mtbf = 600.0;
+  w.soft_fraction = 0.8;
+  w.downtime = 10.0;
+  return w;
+}
+
+LevelSpec cheap_l1() { return {Level::kL1, 0.5, 0.5}; }
+LevelSpec pricey_l4() { return {Level::kL4, 20.0, 30.0}; }
+
+TEST(Multilevel, SingleLevelMatchesYoungDalyModel) {
+  const MultilevelWorkload w = base_workload();
+  const LevelSpec spec{Level::kL4, 20.0, 30.0};
+  for (double tau : {60.0, 120.0, 240.0}) {
+    const double ours = expected_runtime_single_level(w, spec, tau);
+    const double reference = expected_runtime_cr(
+        w.work, tau, spec.checkpoint_cost, spec.restart_cost + w.downtime,
+        w.system_mtbf);
+    EXPECT_NEAR(ours, reference, 1e-9 * reference) << tau;
+  }
+}
+
+TEST(Multilevel, TwoLevelReducesToSingleWhenAllFailuresSoft) {
+  MultilevelWorkload w = base_workload();
+  w.soft_fraction = 1.0;
+  const LevelSpec low = cheap_l1();
+  const LevelSpec high = pricey_l4();
+  // With only soft failures and a huge high-level period, the two-level
+  // cost approaches the single-level (low) cost.
+  const double two = expected_runtime_two_level(w, low, high, 30.0, w.work);
+  const double one = expected_runtime_single_level(w, low, 30.0);
+  EXPECT_NEAR(two / one, 1.0, 0.01);
+}
+
+TEST(Multilevel, NestedPeriodRoundsUp) {
+  const MultilevelWorkload w = base_workload();
+  // tau_high 100 with tau_low 30 behaves as tau_high 120.
+  const double a =
+      expected_runtime_two_level(w, cheap_l1(), pricey_l4(), 30.0, 100.0);
+  const double b =
+      expected_runtime_two_level(w, cheap_l1(), pricey_l4(), 30.0, 120.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Multilevel, ThrashingIsInfinite) {
+  MultilevelWorkload w = base_workload();
+  w.system_mtbf = 5.0;
+  EXPECT_TRUE(std::isinf(
+      expected_runtime_two_level(w, cheap_l1(), pricey_l4(), 100.0, 1000.0)));
+}
+
+TEST(Multilevel, OptimizerBeatsBothSingleLevelPlans) {
+  const MultilevelWorkload w = base_workload();
+  const LevelSpec low = cheap_l1();
+  const LevelSpec high = pricey_l4();
+  const TwoLevelPlan plan = optimize_two_level(w, low, high);
+  ASSERT_TRUE(std::isfinite(plan.expected_runtime));
+  EXPECT_GT(plan.tau_high, plan.tau_low);
+
+  // Baseline 1: high level only, at its Young-optimal period.
+  const double tau_h_young =
+      young_interval(high.checkpoint_cost, w.system_mtbf);
+  const double high_only =
+      expected_runtime_single_level(w, high, tau_h_young);
+  // (The low level alone cannot recover hard failures at all, so the fair
+  // single-level comparator is the high level.)
+  EXPECT_LE(plan.expected_runtime, high_only * 1.001);
+}
+
+TEST(Multilevel, MoreHardFailuresShortenHighPeriod) {
+  MultilevelWorkload mostly_soft = base_workload();
+  mostly_soft.soft_fraction = 0.95;
+  MultilevelWorkload mostly_hard = base_workload();
+  mostly_hard.soft_fraction = 0.3;
+  const TwoLevelPlan soft_plan =
+      optimize_two_level(mostly_soft, cheap_l1(), pricey_l4());
+  const TwoLevelPlan hard_plan =
+      optimize_two_level(mostly_hard, cheap_l1(), pricey_l4());
+  EXPECT_LT(hard_plan.tau_high, soft_plan.tau_high);
+}
+
+TEST(Multilevel, BetterReliabilityLowersOverhead) {
+  MultilevelWorkload flaky = base_workload();
+  flaky.system_mtbf = 300.0;
+  MultilevelWorkload solid = base_workload();
+  solid.system_mtbf = 6000.0;
+  const auto flaky_plan = optimize_two_level(flaky, cheap_l1(), pricey_l4());
+  const auto solid_plan = optimize_two_level(solid, cheap_l1(), pricey_l4());
+  EXPECT_LT(solid_plan.overhead_fraction, flaky_plan.overhead_fraction);
+  // And longer periods all around.
+  EXPECT_GT(solid_plan.tau_low, flaky_plan.tau_low);
+}
+
+TEST(Multilevel, InputValidation) {
+  MultilevelWorkload w = base_workload();
+  w.work = 0.0;
+  EXPECT_THROW(
+      (void)expected_runtime_two_level(w, cheap_l1(), pricey_l4(), 1, 2),
+      std::invalid_argument);
+  w = base_workload();
+  w.soft_fraction = 1.5;
+  EXPECT_THROW((void)optimize_two_level(w, cheap_l1(), pricey_l4()),
+               std::invalid_argument);
+  EXPECT_THROW((void)expected_runtime_single_level(base_workload(),
+                                                   cheap_l1(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

@@ -1,0 +1,142 @@
+#include "ft/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_shards(std::size_t k,
+                                                     std::size_t len,
+                                                     util::Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> shards(
+      k, std::vector<std::uint8_t>(len));
+  for (auto& s : shards)
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+  return shards;
+}
+
+TEST(ReedSolomon, EncodeProducesParityShards) {
+  util::Rng rng(1);
+  ReedSolomon rs(4, 2);
+  const auto data = random_shards(4, 64, rng);
+  const auto parity = rs.encode(data);
+  EXPECT_EQ(parity.size(), 2u);
+  for (const auto& p : parity) EXPECT_EQ(p.size(), 64u);
+}
+
+TEST(ReedSolomon, RoundTripWithNoErasures) {
+  util::Rng rng(2);
+  ReedSolomon rs(3, 2);
+  auto data = random_shards(3, 32, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  const auto original = shards;
+  rs.reconstruct(shards, std::vector<bool>(5, true));
+  EXPECT_EQ(shards, original);
+}
+
+TEST(ReedSolomon, RecoversAllErasurePatternsUpToParity) {
+  util::Rng rng(3);
+  const std::size_t k = 4, m = 2, total = k + m;
+  ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 48, rng);
+  const auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> full = data;
+  full.insert(full.end(), parity.begin(), parity.end());
+
+  // Every subset of <= m erased shards (all C(6,1)+C(6,2) = 21 patterns).
+  for (std::size_t e1 = 0; e1 < total; ++e1) {
+    for (std::size_t e2 = e1; e2 < total; ++e2) {
+      auto shards = full;
+      std::vector<bool> present(total, true);
+      shards[e1].clear();
+      present[e1] = false;
+      shards[e2].clear();
+      present[e2] = false;
+      rs.reconstruct(shards, present);
+      EXPECT_EQ(shards, full) << "erased " << e1 << "," << e2;
+    }
+  }
+}
+
+TEST(ReedSolomon, TooManyErasuresThrows) {
+  util::Rng rng(4);
+  ReedSolomon rs(4, 2);
+  const auto data = random_shards(4, 16, rng);
+  const auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  std::vector<bool> present(6, true);
+  for (std::size_t i : {0u, 2u, 4u}) {
+    shards[i].clear();
+    present[i] = false;
+  }
+  EXPECT_THROW(rs.reconstruct(shards, present), std::runtime_error);
+}
+
+TEST(ReedSolomon, RejectsBadConstruction) {
+  EXPECT_THROW(ReedSolomon(0, 1), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(1, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+  EXPECT_NO_THROW(ReedSolomon(128, 127));
+}
+
+TEST(ReedSolomon, RejectsMalformedShards) {
+  ReedSolomon rs(2, 1);
+  util::Rng rng(5);
+  auto data = random_shards(3, 8, rng);
+  EXPECT_THROW(rs.encode(data), std::invalid_argument);  // 3 != k
+  data.pop_back();
+  data[1].resize(4);
+  EXPECT_THROW(rs.encode(data), std::invalid_argument);  // length mismatch
+}
+
+TEST(ReedSolomon, EncodeOpsCountsMulAdds) {
+  ReedSolomon rs(4, 2);
+  EXPECT_EQ(rs.encode_ops(1000), 4u * 2u * 1000u);
+}
+
+struct RsShape {
+  std::size_t k, m;
+};
+
+class RsShapeSweep : public ::testing::TestWithParam<RsShape> {};
+
+TEST_P(RsShapeSweep, RandomErasuresAtCapacityRecover) {
+  const auto [k, m] = GetParam();
+  util::Rng rng(100 + k * 10 + m);
+  ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 20, rng);
+  const auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> full = data;
+  full.insert(full.end(), parity.begin(), parity.end());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    auto shards = full;
+    std::vector<bool> present(k + m, true);
+    std::size_t erased = 0;
+    while (erased < m) {
+      const std::size_t victim = rng.uniform_int(k + m);
+      if (!present[victim]) continue;
+      present[victim] = false;
+      shards[victim].clear();
+      ++erased;
+    }
+    rs.reconstruct(shards, present);
+    EXPECT_EQ(shards, full);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RsShapeSweep,
+                         ::testing::Values(RsShape{1, 1}, RsShape{2, 1},
+                                           RsShape{2, 2}, RsShape{4, 2},
+                                           RsShape{8, 4}, RsShape{10, 5},
+                                           RsShape{16, 3}));
+
+}  // namespace
+}  // namespace ftbesst::ft

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ft/faults.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+TEST(WeibullFaults, ShapeOneIsExponential) {
+  FaultProcess exp_process(1000.0, 1.0, 1.0);
+  util::Rng rng(3);
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (const auto& ev : exp_process.sample(10, 50000.0, rng)) {
+    gaps.push_back(ev.time - prev);
+    prev = ev.time;
+  }
+  // Mean gap = system MTBF = 100 s; exponential cv = 1.
+  EXPECT_NEAR(util::mean(gaps), 100.0, 10.0);
+  EXPECT_NEAR(util::sample_stddev(gaps) / util::mean(gaps), 1.0, 0.15);
+}
+
+TEST(WeibullFaults, MeanIsPinnedAcrossShapes) {
+  util::Rng rng(4);
+  for (double shape : {0.7, 1.0, 1.5, 3.0}) {
+    FaultProcess fp(1000.0, 1.0, shape);
+    std::vector<double> gaps;
+    double prev = 0.0;
+    for (const auto& ev : fp.sample(10, 200000.0, rng)) {
+      gaps.push_back(ev.time - prev);
+      prev = ev.time;
+    }
+    EXPECT_NEAR(util::mean(gaps), 100.0, 8.0) << "shape " << shape;
+  }
+}
+
+TEST(WeibullFaults, ShapeControlsBurstiness) {
+  // cv of Weibull: sqrt(Gamma(1+2/k)/Gamma(1+1/k)^2 - 1): >1 for k<1
+  // (bursty), <1 for k>1 (regular).
+  util::Rng rng(5);
+  auto cv_for = [&rng](double shape) {
+    FaultProcess fp(1000.0, 1.0, shape);
+    std::vector<double> gaps;
+    double prev = 0.0;
+    for (const auto& ev : fp.sample(10, 400000.0, rng)) {
+      gaps.push_back(ev.time - prev);
+      prev = ev.time;
+    }
+    return util::sample_stddev(gaps) / util::mean(gaps);
+  };
+  EXPECT_GT(cv_for(0.6), 1.2);
+  EXPECT_LT(cv_for(3.0), 0.6);
+}
+
+TEST(WeibullFaults, RejectsBadShape) {
+  EXPECT_THROW(FaultProcess(1000.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FaultProcess(1000.0, 1.0, -2.0), std::invalid_argument);
+  FaultProcess ok(1000.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(ok.weibull_shape(), 0.5);
+}
+
+TEST(WeibullFaults, NextAfterAdvancesTime) {
+  FaultProcess fp(100.0, 1.0, 0.8);
+  util::Rng rng(6);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto ev = fp.next_after(t, 4, rng);
+    EXPECT_GT(ev.time, t);
+    t = ev.time;
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

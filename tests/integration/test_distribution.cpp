@@ -1,0 +1,107 @@
+// Monte-Carlo distribution fidelity: the paper's Fig. 1 pop-out shows each
+// simulated point as a *distribution* that should resemble the measured
+// run-to-run spread. These tests check that property end-to-end: the
+// calibrated NoisyModel ensemble reproduces the location and scale of the
+// testbed's measured distribution at matched parameters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/testbed.hpp"
+#include "core/arch.hpp"
+#include "core/montecarlo.hpp"
+#include "core/workflow.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst {
+namespace {
+
+TEST(DistributionFidelity, EnsembleSpreadMatchesMeasuredSpread) {
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  apps::QuartzTestbed testbed({}, fti, 808);
+  apps::CampaignSpec spec;
+  spec.samples_per_point = 12;
+  spec.seed = 21;
+  const auto calibration =
+      apps::run_campaign(testbed, spec, {apps::kLuleshTimestep});
+  const core::ModelSuite suite = core::develop_models(calibration, {});
+
+  auto topo = std::make_shared<net::TwoStageFatTree>(94, 32, 24);
+  core::ArchBEO arch("q", topo, net::CommParams{}, 36);
+  arch.set_fti(fti);
+  suite.bind_into(arch);
+
+  // Measured distribution: many real 50-step runs at (15, 216).
+  util::Rng rng(5);
+  std::vector<double> measured;
+  for (int run = 0; run < 60; ++run)
+    measured.push_back(
+        testbed.run_application(15, 216, 50, {}, rng).total_seconds);
+
+  // Simulated distribution: Monte-Carlo ensemble of the same app.
+  apps::LuleshConfig cfg;
+  cfg.epr = 15;
+  cfg.ranks = 216;
+  cfg.timesteps = 50;
+  cfg.fti = fti;
+  const auto ens = core::run_ensemble(apps::build_lulesh_fti(cfg), arch,
+                                      core::EngineOptions{}, 60);
+
+  const auto m = util::summarize(measured);
+  // Location within ~15% (model bias + config effect).
+  EXPECT_NEAR(ens.total.mean / m.mean, 1.0, 0.15);
+  // Scale: the ensemble must be genuinely dispersed, within ~3x of the
+  // measured coefficient of variation on either side.
+  const double cv_measured = m.stddev / m.mean;
+  const double cv_simulated = ens.total.stddev / ens.total.mean;
+  EXPECT_GT(cv_simulated, cv_measured / 3.0);
+  EXPECT_LT(cv_simulated, cv_measured * 3.0);
+}
+
+TEST(DistributionFidelity, QuantileBandsOverlap) {
+  ft::FtiConfig fti;
+  fti.group_size = 4;
+  fti.node_size = 2;
+  apps::QuartzTestbed testbed({}, fti, 909);
+  apps::CampaignSpec spec;
+  spec.samples_per_point = 12;
+  spec.seed = 33;
+  const auto calibration =
+      apps::run_campaign(testbed, spec, {apps::kLuleshTimestep});
+  const core::ModelSuite suite = core::develop_models(calibration, {});
+  auto topo = std::make_shared<net::TwoStageFatTree>(94, 32, 24);
+  core::ArchBEO arch("q", topo, net::CommParams{}, 36);
+  arch.set_fti(fti);
+  suite.bind_into(arch);
+
+  util::Rng rng(6);
+  std::vector<double> measured;
+  for (int run = 0; run < 40; ++run)
+    measured.push_back(
+        testbed.run_application(10, 64, 50, {}, rng).total_seconds);
+  apps::LuleshConfig cfg;
+  cfg.epr = 10;
+  cfg.ranks = 64;
+  cfg.timesteps = 50;
+  cfg.fti = fti;
+  const auto ens = core::run_ensemble(apps::build_lulesh_fti(cfg), arch,
+                                      core::EngineOptions{}, 40);
+  // The simulated [p10, p90] band must intersect the measured one.
+  const double sim_lo = util::quantile(ens.totals, 0.1);
+  const double sim_hi = util::quantile(ens.totals, 0.9);
+  const double mea_lo = util::quantile(measured, 0.1);
+  const double mea_hi = util::quantile(measured, 0.9);
+  EXPECT_LT(std::max(sim_lo, mea_lo), std::min(sim_hi, mea_hi) * 1.25)
+      << "bands [" << sim_lo << "," << sim_hi << "] vs [" << mea_lo << ","
+      << mea_hi << "]";
+}
+
+}  // namespace
+}  // namespace ftbesst

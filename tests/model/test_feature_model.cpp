@@ -1,0 +1,106 @@
+#include "model/feature_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fitting.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+TEST(FeatureLibrary, PolynomialLibraryShape) {
+  const auto lib1 = FeatureLibrary::polynomial(1);
+  EXPECT_EQ(lib1.size(), 1u + 7u);  // const + 7 per-var terms
+  const auto lib2 = FeatureLibrary::polynomial(2);
+  EXPECT_EQ(lib2.size(), 1u + 14u + 7u);  // + 7 pairwise terms
+}
+
+TEST(FeatureLibrary, EvaluateMatchesDefinitions) {
+  const auto lib = FeatureLibrary::polynomial(1);
+  const std::vector<double> p{3.0};
+  const auto phi = lib.evaluate(p);
+  EXPECT_DOUBLE_EQ(phi[0], 1.0);        // constant
+  EXPECT_DOUBLE_EQ(phi[1], 3.0);        // x
+  EXPECT_DOUBLE_EQ(phi[2], 9.0);        // x^2
+  EXPECT_DOUBLE_EQ(phi[3], 27.0);       // x^3
+  EXPECT_NEAR(phi[4], std::log(4.0), 1e-12);  // log(x+1)
+}
+
+TEST(FeatureModel, RecoversExactPolynomial) {
+  // y = 5 + 2*a^2 + 0.5*a*b over a small grid, noise-free.
+  Dataset d({"a", "b"});
+  for (double a : {1.0, 2.0, 3.0, 4.0})
+    for (double b : {1.0, 3.0, 5.0})
+      d.add_row({a, b}, {5.0 + 2.0 * a * a + 0.5 * a * b});
+  const auto m = FeatureModel::fit(d, FeatureLibrary::polynomial(2), 1e-10);
+  for (const Row& r : d.rows())
+    EXPECT_NEAR(m.predict(r.params), r.mean_response(),
+                1e-6 * r.mean_response());
+  // And generalizes beyond the grid.
+  EXPECT_NEAR(m.predict(std::vector<double>{5.0, 2.0}), 5.0 + 50.0 + 5.0,
+              0.5);
+}
+
+TEST(FeatureModel, PredictionsClampedNonNegative) {
+  FeatureLibrary lib;
+  lib.add("1", [](std::span<const double>) { return 1.0; });
+  const FeatureModel m(std::move(lib), {-5.0});
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(FeatureModel, RelativeWeightingHelpsSmallRows) {
+  // Responses spanning 4 decades; relative fit keeps % error tight on the
+  // small rows where absolute fit sacrifices them.
+  Dataset d({"a"});
+  for (double a : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+    d.add_row({a}, {1e-4 * a * a * a});
+  const auto rel =
+      FeatureModel::fit(d, FeatureLibrary::polynomial(1), 1e-12, true);
+  const double small_pred = rel.predict(std::vector<double>{1.0});
+  EXPECT_NEAR(small_pred, 1e-4, 2e-5);
+}
+
+TEST(FeatureModel, WeightCountMismatchThrows) {
+  EXPECT_THROW(FeatureModel(FeatureLibrary::polynomial(1), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(FeatureModel, DescribeListsNonzeroTerms) {
+  FeatureLibrary lib;
+  lib.add("1", [](std::span<const double>) { return 1.0; });
+  lib.add("x0", [](std::span<const double> p) { return p[0]; });
+  const FeatureModel m(std::move(lib), {0.0, 2.0});
+  const auto desc = m.describe();
+  EXPECT_NE(desc.find("x0"), std::string::npos);
+  EXPECT_EQ(desc.find("+ 0*1"), std::string::npos);
+}
+
+TEST(Fitting, ValidateMapeZeroForPerfectModel) {
+  Dataset d({"a"});
+  for (double a : {1.0, 2.0, 3.0}) d.add_row({a}, {a * 7.0});
+  FeatureLibrary lib;
+  lib.add("x0", [](std::span<const double> p) { return p[0]; });
+  const FeatureModel m(std::move(lib), {7.0});
+  EXPECT_NEAR(validate_mape(m, d), 0.0, 1e-9);
+}
+
+TEST(Fitting, ResidualSigmaMatchesInjectedNoise) {
+  util::Rng rng(33);
+  Dataset d({"a"});
+  const double sigma = 0.2;
+  for (double a : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    std::vector<double> samples;
+    for (int s = 0; s < 400; ++s)
+      samples.push_back(rng.lognormal_median(a * 10.0, sigma));
+    d.add_row({a}, std::move(samples));
+  }
+  FeatureLibrary lib;
+  lib.add("x0", [](std::span<const double> p) { return p[0]; });
+  const FeatureModel m(std::move(lib), {10.0});
+  EXPECT_NEAR(residual_log_sigma(m, d), sigma, 0.02);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,120 @@
+#include "model/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+TEST(Linalg, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  const auto x = solve_linear_system(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Linalg, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  => x = 1, y = 3
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Linalg, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Linalg, RandomSystemsRoundTrip) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(8);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-5.0, 5.0);
+      for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+      a.at(i, i) += 3.0;  // diagonally dominant => well-conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    const auto x = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Linalg, LeastSquaresRecoversExactLinearModel) {
+  // y = 2 + 3*t over t = 0..9, no noise.
+  Matrix x(10, 2);
+  std::vector<double> y(10);
+  for (int i = 0; i < 10; ++i) {
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = i;
+    y[i] = 2.0 + 3.0 * i;
+  }
+  const auto w = ridge_least_squares(x, y, 0.0);
+  EXPECT_NEAR(w[0], 2.0, 1e-9);
+  EXPECT_NEAR(w[1], 3.0, 1e-9);
+}
+
+TEST(Linalg, RidgeShrinksWeights) {
+  Matrix x(4, 1);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = i + 1.0;
+    y[i] = 10.0 * (i + 1.0);
+  }
+  const auto w0 = ridge_least_squares(x, y, 0.0);
+  const auto w1 = ridge_least_squares(x, y, 100.0);
+  EXPECT_NEAR(w0[0], 10.0, 1e-9);
+  EXPECT_LT(w1[0], w0[0]);
+  EXPECT_GT(w1[0], 0.0);
+}
+
+TEST(Linalg, RidgeRegularizesRankDeficiency) {
+  // Duplicate columns: unregularized normal equations are singular, ridge
+  // must still produce a solution.
+  Matrix x(3, 2);
+  std::vector<double> y{2.0, 4.0, 6.0};
+  for (int i = 0; i < 3; ++i) {
+    x.at(i, 0) = i + 1.0;
+    x.at(i, 1) = i + 1.0;
+  }
+  EXPECT_THROW(ridge_least_squares(x, y, 0.0), std::runtime_error);
+  const auto w = ridge_least_squares(x, y, 1e-6);
+  EXPECT_NEAR(w[0] + w[1], 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/table_model.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+/// y = 3 * a^2 * b^0.5 on a geometric grid — a pure power law, which
+/// log-log interpolation must reproduce exactly everywhere.
+Dataset power_law_grid() {
+  Dataset d({"a", "b"});
+  for (double a : {1.0, 2.0, 4.0, 8.0})
+    for (double b : {1.0, 4.0, 16.0})
+      d.add_row({a, b}, {3.0 * a * a * std::sqrt(b)});
+  return d;
+}
+
+TEST(LogLogTable, ExactOnGridPoints) {
+  const Dataset grid = power_law_grid();
+  const TableModel m(grid, Interpolation::kLogLog);
+  for (const Row& r : grid.rows())
+    EXPECT_NEAR(m.predict(r.params), r.mean_response(),
+                1e-9 * r.mean_response());
+}
+
+TEST(LogLogTable, ExactForPowerLawsOffGrid) {
+  const TableModel m(power_law_grid(), Interpolation::kLogLog);
+  for (double a : {1.5, 3.0, 6.0})
+    for (double b : {2.0, 8.0}) {
+      const double expected = 3.0 * a * a * std::sqrt(b);
+      EXPECT_NEAR(m.predict(std::vector<double>{a, b}), expected,
+                  1e-9 * expected)
+          << a << "," << b;
+    }
+}
+
+TEST(LogLogTable, ExtrapolatesAlongThePowerLaw) {
+  const TableModel m(power_law_grid(), Interpolation::kLogLog);
+  // Beyond the grid: a=16, b=64.
+  const double expected = 3.0 * 256.0 * 8.0;
+  EXPECT_NEAR(m.predict(std::vector<double>{16.0, 64.0}), expected,
+              1e-6 * expected);
+  // Linear interpolation would *overestimate* a convex power law interior
+  // point; log-log must not.
+  const TableModel lin(power_law_grid(), Interpolation::kMultilinear);
+  const double interior = 3.0 * 3.0 * 3.0 * std::sqrt(2.0);
+  EXPECT_GT(lin.predict(std::vector<double>{3.0, 2.0}), interior);
+}
+
+TEST(LogLogTable, RejectsNonPositiveData) {
+  Dataset zero_param({"a"});
+  zero_param.add_row({0.0}, {1.0});
+  zero_param.add_row({1.0}, {2.0});
+  EXPECT_THROW(TableModel(zero_param, Interpolation::kLogLog),
+               std::invalid_argument);
+  Dataset zero_resp({"a"});
+  zero_resp.add_row({1.0}, {0.0});
+  zero_resp.add_row({2.0}, {2.0});
+  EXPECT_THROW(TableModel(zero_resp, Interpolation::kLogLog),
+               std::invalid_argument);
+}
+
+TEST(LogLogTable, RejectsNonPositiveQueries) {
+  const TableModel m(power_law_grid(), Interpolation::kLogLog);
+  EXPECT_THROW((void)m.predict(std::vector<double>{-1.0, 4.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.predict(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(LogLogTable, DescribeNamesMethod) {
+  const TableModel m(power_law_grid(), Interpolation::kLogLog);
+  EXPECT_NE(m.describe().find("loglog"), std::string::npos);
+}
+
+TEST(LogLogTable, SampleStaysPositiveAndNearPrediction) {
+  Dataset d({"a"});
+  d.add_row({1.0}, {2.0, 2.2, 1.8});
+  d.add_row({10.0}, {20.0, 22.0, 18.0});
+  const TableModel m(d, Interpolation::kLogLog);
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double s = m.sample(std::vector<double>{3.0}, rng);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::model

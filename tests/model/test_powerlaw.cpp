@@ -1,0 +1,112 @@
+#include "model/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fitting.hpp"
+#include "model/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+Dataset monomial_data(double c, double a1, double a2, double noise,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d({"x", "y"});
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0})
+    for (double y : {10.0, 100.0, 1000.0}) {
+      const double v = c * std::pow(x, a1) * std::pow(y, a2);
+      std::vector<double> samples;
+      for (int s = 0; s < 4; ++s)
+        samples.push_back(noise > 0 ? rng.lognormal_median(v, noise) : v);
+      d.add_row({x, y}, std::move(samples));
+    }
+  return d;
+}
+
+TEST(PowerLaw, RecoversExactMonomial) {
+  const auto m = PowerLawModel::fit(monomial_data(3e-4, 2.5, 0.5, 0.0, 1));
+  EXPECT_NEAR(m.coefficient(), 3e-4, 1e-8);
+  ASSERT_EQ(m.exponents().size(), 2u);
+  EXPECT_NEAR(m.exponents()[0], 2.5, 1e-9);
+  EXPECT_NEAR(m.exponents()[1], 0.5, 1e-9);
+}
+
+TEST(PowerLaw, ExtrapolatesAlongTheLaw) {
+  const auto m = PowerLawModel::fit(monomial_data(1e-3, 3.0, 1.0, 0.0, 2));
+  // Far beyond the grid: x=128, y=1e5.
+  const double expected = 1e-3 * std::pow(128.0, 3.0) * 1e5;
+  EXPECT_NEAR(m.predict(std::vector<double>{128.0, 1e5}), expected,
+              1e-6 * expected);
+}
+
+TEST(PowerLaw, ToleratesMultiplicativeNoise) {
+  const auto data = monomial_data(1e-3, 3.0, 0.8, 0.1, 3);
+  const auto m = PowerLawModel::fit(data);
+  EXPECT_NEAR(m.exponents()[0], 3.0, 0.15);
+  EXPECT_NEAR(m.exponents()[1], 0.8, 0.15);
+  EXPECT_LT(validate_mape(m, data), 15.0);
+}
+
+TEST(PowerLaw, InputValidation) {
+  Dataset bad({"x"});
+  bad.add_row({0.0}, {1.0});
+  bad.add_row({1.0}, {2.0});
+  bad.add_row({2.0}, {3.0});
+  EXPECT_THROW((void)PowerLawModel::fit(bad), std::invalid_argument);
+
+  Dataset negresp({"x"});
+  negresp.add_row({1.0}, {-1.0});
+  negresp.add_row({2.0}, {2.0});
+  negresp.add_row({4.0}, {4.0});
+  EXPECT_THROW((void)PowerLawModel::fit(negresp), std::invalid_argument);
+
+  Dataset constant_dim({"x", "y"});
+  for (double x : {1.0, 2.0, 4.0}) constant_dim.add_row({x, 5.0}, {x});
+  EXPECT_THROW((void)PowerLawModel::fit(constant_dim), std::invalid_argument);
+
+  EXPECT_THROW(PowerLawModel(-1.0, {1.0}), std::invalid_argument);
+  const PowerLawModel m(2.0, {1.0});
+  EXPECT_THROW((void)m.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.predict(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(PowerLaw, SerializationRoundTrip) {
+  const PowerLawModel m(2.5e-4, {3.0, 0.9});
+  const auto loaded = model_from_string(model_to_string(m));
+  const std::vector<double> p{16.0, 200.0};
+  EXPECT_DOUBLE_EQ(loaded->predict(p), m.predict(p));
+  // Also under a noisy wrapper.
+  const NoisyModel noisy(std::make_shared<PowerLawModel>(m), 0.07);
+  const auto loaded2 = model_from_string(model_to_string(noisy));
+  EXPECT_DOUBLE_EQ(loaded2->predict(p), m.predict(p));
+}
+
+TEST(PowerLaw, FitKernelModelPath) {
+  FitOptions opt;
+  opt.method = ModelMethod::kPowerLaw;
+  const auto fitted = fit_kernel_model(monomial_data(1e-4, 3, 1, 0.05, 4),
+                                       opt);
+  EXPECT_EQ(fitted.report.chosen, ModelMethod::kPowerLaw);
+  EXPECT_LT(fitted.report.full_mape, 10.0);
+  EXPECT_NE(fitted.report.formula.find("powerlaw"), std::string::npos);
+}
+
+TEST(PowerLaw, AutoSelectsPowerLawOnPureMonomialData) {
+  FitOptions opt;
+  opt.method = ModelMethod::kAuto;
+  opt.symreg.population = 64;
+  opt.symreg.generations = 10;  // keep the GP weak so the comparison is fair
+  const auto fitted = fit_kernel_model(monomial_data(1e-4, 3, 1, 0.02, 5),
+                                       opt);
+  // Power law is exact here (up to noise); auto must land at low error via
+  // one of the generalizing fits, and power law should usually win.
+  EXPECT_LT(fitted.report.full_mape, 5.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,166 @@
+#include "model/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/feature_model.hpp"
+#include "model/fitting.hpp"
+#include "model/symreg.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+TEST(ExprSexpr, RoundTripsHandBuiltTree) {
+  const auto e = Expr::binary(
+      Op::kAdd,
+      Expr::binary(Op::kMul, Expr::variable(0), Expr::constant(2.5)),
+      Expr::unary(Op::kLog, Expr::variable(1)));
+  const Expr back = Expr::from_sexpr(e.to_sexpr());
+  EXPECT_EQ(back.to_sexpr(), e.to_sexpr());
+  const std::vector<double> vars{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(back.eval(vars), e.eval(vars));
+}
+
+TEST(ExprSexpr, RoundTripsRandomTreesBitExactly) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto e = Expr::random(rng, 3, 6);
+    const Expr back = Expr::from_sexpr(e.to_sexpr());
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::vector<double> vars{rng.uniform(0.1, 100.0),
+                                     rng.uniform(0.1, 100.0),
+                                     rng.uniform(0.1, 100.0)};
+      EXPECT_DOUBLE_EQ(back.eval(vars), e.eval(vars));
+    }
+  }
+}
+
+TEST(ExprSexpr, KnownTextualForms) {
+  EXPECT_EQ(Expr::constant(2.0).to_sexpr(), "(const 2)");
+  EXPECT_EQ(Expr::variable(1).to_sexpr(), "(var 1)");
+  EXPECT_EQ(Expr::binary(Op::kMul, Expr::variable(0), Expr::variable(1))
+                .to_sexpr(),
+            "(mul (var 0) (var 1))");
+  EXPECT_EQ(Expr().to_sexpr(), "(const 0)");
+}
+
+TEST(ExprSexpr, ParseErrors) {
+  EXPECT_THROW((void)Expr::from_sexpr(""), std::invalid_argument);
+  EXPECT_THROW((void)Expr::from_sexpr("(bogus 1)"), std::invalid_argument);
+  EXPECT_THROW((void)Expr::from_sexpr("(add (var 0))"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Expr::from_sexpr("(const 1) extra"),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)Expr::from_sexpr("  (var 2)  "));
+}
+
+TEST(ModelSerialize, ConstantRoundTrip) {
+  const ConstantModel m(0.125);
+  const auto loaded = model_from_string(model_to_string(m));
+  EXPECT_DOUBLE_EQ(loaded->predict(std::vector<double>{}), 0.125);
+}
+
+TEST(ModelSerialize, ExprModelRoundTrip) {
+  const ExprModel m(
+      Expr::binary(Op::kMul, Expr::variable(0), Expr::variable(1)), 2.0, 0.5,
+      {"epr", "ranks"});
+  const auto loaded = model_from_string(model_to_string(m));
+  const std::vector<double> p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(loaded->predict(p), m.predict(p));
+  EXPECT_NE(loaded->describe().find("epr"), std::string::npos);
+}
+
+TEST(ModelSerialize, FeatureModelRoundTrip) {
+  Dataset d({"a", "b"});
+  for (double a : {1.0, 2.0, 3.0, 4.0})
+    for (double b : {1.0, 3.0, 5.0}) d.add_row({a, b}, {2 * a * a + b});
+  const auto fitted =
+      FeatureModel::fit(d, FeatureLibrary::polynomial(2), 1e-9);
+  const auto loaded = model_from_string(model_to_string(fitted));
+  for (const Row& row : d.rows())
+    EXPECT_NEAR(loaded->predict(row.params), fitted.predict(row.params),
+                1e-12);
+}
+
+TEST(ModelSerialize, NoisyWrapperRoundTrip) {
+  auto base = std::make_shared<ConstantModel>(10.0);
+  const NoisyModel m(base, 0.25);
+  const auto loaded = model_from_string(model_to_string(m));
+  const auto* noisy = dynamic_cast<const NoisyModel*>(loaded.get());
+  ASSERT_NE(noisy, nullptr);
+  EXPECT_DOUBLE_EQ(noisy->log_sigma(), 0.25);
+  EXPECT_DOUBLE_EQ(noisy->predict(std::vector<double>{}), 10.0);
+}
+
+TEST(ModelSerialize, NoisyOverFeatureModelRoundTrip) {
+  Dataset d({"a"});
+  for (double a : {1.0, 2.0, 3.0, 4.0, 5.0}) d.add_row({a}, {3.0 * a});
+  auto feat = std::make_shared<FeatureModel>(
+      FeatureModel::fit(d, FeatureLibrary::polynomial(1)));
+  const NoisyModel m(feat, 0.1);
+  const auto loaded = model_from_string(model_to_string(m));
+  EXPECT_NEAR(loaded->predict(std::vector<double>{2.0}), 6.0, 1e-6);
+}
+
+TEST(ModelSerialize, FittedKernelModelsRoundTripThroughText) {
+  // End-to-end: fit on synthetic data, serialize the noisy model, reload,
+  // identical predictions.
+  util::Rng rng(21);
+  Dataset d({"x", "y"});
+  for (double x : {5.0, 10.0, 15.0, 20.0, 25.0})
+    for (double y : {8.0, 64.0, 216.0, 512.0, 1000.0}) {
+      std::vector<double> samples;
+      for (int s = 0; s < 5; ++s)
+        samples.push_back(rng.lognormal_median(1e-4 * x * x + 1e-5 * y, 0.05));
+      d.add_row({x, y}, std::move(samples));
+    }
+  FitOptions opt;
+  opt.symreg.generations = 30;
+  opt.symreg.population = 96;
+  const auto fitted = fit_kernel_model(d, opt);
+  const auto loaded = model_from_string(model_to_string(*fitted.noisy_model));
+  for (const Row& row : d.rows())
+    EXPECT_DOUBLE_EQ(loaded->predict(row.params),
+                     fitted.noisy_model->predict(row.params));
+}
+
+TEST(ModelSerialize, RejectsGarbage) {
+  EXPECT_THROW((void)model_from_string("hello"), std::invalid_argument);
+  EXPECT_THROW((void)model_from_string("ftbesst-model v1\nwat 1\n"),
+               std::invalid_argument);
+  FeatureLibrary handmade;
+  handmade.add("1", [](std::span<const double>) { return 1.0; });
+  const FeatureModel m(std::move(handmade), {1.0});
+  EXPECT_THROW((void)model_to_string(m), std::invalid_argument);
+}
+
+TEST(DatasetSerialize, RoundTripPreservesRowsAndSamples) {
+  Dataset d({"epr", "ranks"});
+  d.add_row({5.0, 8.0}, {1.0, 1.1, 0.9});
+  d.add_row({5.0, 64.0}, {2.0, 2.2});
+  d.add_row({10.0, 8.0}, {3.5});
+  std::ostringstream os;
+  save_dataset(os, d);
+  std::istringstream is(os.str());
+  const Dataset back = load_dataset(is);
+  ASSERT_EQ(back.num_rows(), 3u);
+  EXPECT_EQ(back.param_names(), d.param_names());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.row(i).params, d.row(i).params);
+    EXPECT_EQ(back.row(i).samples, d.row(i).samples);
+  }
+}
+
+TEST(DatasetSerialize, RejectsMalformedStreams) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)load_dataset(empty), std::invalid_argument);
+  std::istringstream badheader("a,b\n1,2\n");
+  EXPECT_THROW((void)load_dataset(badheader), std::invalid_argument);
+  std::istringstream badrow("a,sample\n1,2,3\n");
+  EXPECT_THROW((void)load_dataset(badrow), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "model/expr.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+Expr parse(const std::string& s) { return Expr::from_sexpr(s); }
+
+TEST(Simplify, ConstantFolding) {
+  EXPECT_EQ(parse("(add (const 2) (const 3))").simplified().to_sexpr(),
+            "(const 5)");
+  EXPECT_EQ(parse("(mul (const 2) (const 3))").simplified().to_sexpr(),
+            "(const 6)");
+  EXPECT_EQ(parse("(sub (const 2) (const 3))").simplified().to_sexpr(),
+            "(const -1)");
+  EXPECT_EQ(parse("(div (const 6) (const 3))").simplified().to_sexpr(),
+            "(const 2)");
+}
+
+TEST(Simplify, ProtectedSemanticsPreservedInFolding) {
+  // div by literal ~0 returns the numerator, exactly like eval().
+  EXPECT_EQ(parse("(div (const 7) (const 0))").simplified().to_sexpr(),
+            "(const 7)");
+  // log folds through the protected log1p|x| form.
+  const Expr lg = parse("(log (const -9))").simplified();
+  EXPECT_NEAR(lg.eval(std::array<double, 0>{}), std::log(10.0), 1e-12);
+  const Expr sq = parse("(sqrt (const -16))").simplified();
+  EXPECT_DOUBLE_EQ(sq.eval(std::array<double, 0>{}), 4.0);
+}
+
+TEST(Simplify, IdentityElimination) {
+  EXPECT_EQ(parse("(add (var 0) (const 0))").simplified().to_sexpr(),
+            "(var 0)");
+  EXPECT_EQ(parse("(add (const 0) (var 0))").simplified().to_sexpr(),
+            "(var 0)");
+  EXPECT_EQ(parse("(mul (var 0) (const 1))").simplified().to_sexpr(),
+            "(var 0)");
+  EXPECT_EQ(parse("(mul (var 0) (const 0))").simplified().to_sexpr(),
+            "(const 0)");
+  EXPECT_EQ(parse("(sub (var 0) (const 0))").simplified().to_sexpr(),
+            "(var 0)");
+  EXPECT_EQ(parse("(div (var 0) (const 1))").simplified().to_sexpr(),
+            "(var 0)");
+  EXPECT_EQ(parse("(div (const 0) (var 1))").simplified().to_sexpr(),
+            "(const 0)");
+}
+
+TEST(Simplify, SelfSubtractionIsZero) {
+  EXPECT_EQ(parse("(sub (mul (var 0) (var 1)) (mul (var 0) (var 1)))")
+                .simplified()
+                .to_sexpr(),
+            "(const 0)");
+  // Different subtrees must NOT fold.
+  EXPECT_NE(parse("(sub (var 0) (var 1))").simplified().to_sexpr(),
+            "(const 0)");
+}
+
+TEST(Simplify, CascadesThroughNestedStructure) {
+  // ((x * 1) + (2 + 3)) - 0  ->  x + 5
+  const Expr e =
+      parse("(sub (add (mul (var 0) (const 1)) (add (const 2) (const 3))) "
+            "(const 0))")
+          .simplified();
+  EXPECT_EQ(e.to_sexpr(), "(add (var 0) (const 5))");
+}
+
+TEST(Simplify, IsIdempotent) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Expr e = Expr::random(rng, 2, 6);
+    const Expr once = e.simplified();
+    const Expr twice = once.simplified();
+    EXPECT_EQ(once.to_sexpr(), twice.to_sexpr());
+  }
+}
+
+TEST(Simplify, PreservesSemanticsOnRandomTrees) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Expr e = Expr::random(rng, 3, 6);
+    const Expr s = e.simplified();
+    EXPECT_LE(s.size(), e.size());
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::vector<double> vars{rng.uniform(-50.0, 50.0),
+                                     rng.uniform(0.0, 1000.0),
+                                     rng.uniform(-1.0, 1.0)};
+      EXPECT_DOUBLE_EQ(s.eval(vars), e.eval(vars))
+          << "expr " << e.to_sexpr() << " vs " << s.to_sexpr();
+    }
+  }
+}
+
+TEST(Simplify, EmptyExprStaysEmptyish) {
+  const Expr e;
+  const Expr s = e.simplified();
+  EXPECT_DOUBLE_EQ(s.eval(std::array{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

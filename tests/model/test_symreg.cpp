@@ -1,0 +1,163 @@
+#include "model/symreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fitting.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+Dataset from_function(double (*f)(double, double),
+                      const std::vector<double>& as,
+                      const std::vector<double>& bs, double noise_sigma,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d({"a", "b"});
+  for (double a : as)
+    for (double b : bs) {
+      std::vector<double> samples;
+      const double y = f(a, b);
+      for (int s = 0; s < 5; ++s)
+        samples.push_back(noise_sigma > 0 ? rng.lognormal_median(y, noise_sigma)
+                                          : y);
+      d.add_row({a, b}, std::move(samples));
+    }
+  return d;
+}
+
+SymRegConfig quick_config() {
+  SymRegConfig cfg;
+  cfg.population = 128;
+  cfg.generations = 40;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(SymReg, RecoversLinearScaledMonomial) {
+  // y = 3 * a * b: in the seeded population and exactly solvable via the
+  // linear-scaling trick in a single generation.
+  const auto data = from_function(
+      [](double a, double b) { return 3.0 * a * b; }, {1, 2, 3, 4},
+      {1, 2, 5, 10}, 0.0, 1);
+  util::Rng rng(2);
+  const auto [train, test] = data.split(0.75, rng);
+  SymbolicRegressor reg(quick_config());
+  const auto res = reg.fit(train, test);
+  ASSERT_TRUE(res.model);
+  EXPECT_LT(res.train_mape, 1.0);
+  EXPECT_LT(res.test_mape, 1.0);
+  EXPECT_NEAR(res.model->predict(std::vector<double>{6.0, 7.0}), 126.0, 2.0);
+}
+
+TEST(SymReg, FitsQuadraticSurface) {
+  const auto data = from_function(
+      [](double a, double b) { return 2.0 * a * a + 0.1 * b; },
+      {1, 2, 3, 4, 5}, {10, 20, 30}, 0.0, 3);
+  util::Rng rng(4);
+  const auto [train, test] = data.split(0.8, rng);
+  SymbolicRegressor reg(quick_config());
+  const auto res = reg.fit(train, test);
+  EXPECT_LT(res.test_mape, 10.0);
+}
+
+TEST(SymReg, HandlesNoisyTargets) {
+  const auto data = from_function(
+      [](double a, double b) { return a * a * a + 5.0 * b; },
+      {5, 10, 15, 20, 25}, {8, 64, 216, 512, 1000}, 0.1, 5);
+  util::Rng rng(6);
+  const auto [train, test] = data.split(0.8, rng);
+  SymbolicRegressor reg(quick_config());
+  const auto res = reg.fit(train, test);
+  // With 10% multiplicative noise a good model lands well under 25% MAPE.
+  EXPECT_LT(res.test_mape, 25.0);
+}
+
+TEST(SymReg, BestHistoryIsMonotoneNonIncreasing) {
+  const auto data = from_function(
+      [](double a, double b) { return a + b; }, {1, 2, 3}, {4, 5, 6}, 0.0, 7);
+  util::Rng rng(8);
+  const auto [train, test] = data.split(0.7, rng);
+  SymRegConfig cfg = quick_config();
+  cfg.target_train_mape = 0.0;  // never stop early
+  cfg.generations = 15;
+  SymbolicRegressor reg(cfg);
+  const auto res = reg.fit(train, test);
+  for (std::size_t i = 1; i < res.best_history.size(); ++i)
+    EXPECT_LE(res.best_history[i], res.best_history[i - 1] + 1e-9)
+        << "elitism must keep the champion";
+}
+
+TEST(SymReg, DeterministicForSeed) {
+  const auto data = from_function(
+      [](double a, double b) { return a * b + b; }, {1, 2, 3, 4}, {2, 4, 8},
+      0.05, 9);
+  util::Rng r1(10), r2(10);
+  const auto [tr1, te1] = data.split(0.75, r1);
+  const auto [tr2, te2] = data.split(0.75, r2);
+  SymbolicRegressor reg(quick_config());
+  const auto a = reg.fit(tr1, te1);
+  const auto b = reg.fit(tr2, te2);
+  EXPECT_DOUBLE_EQ(a.train_mape, b.train_mape);
+  EXPECT_DOUBLE_EQ(a.test_mape, b.test_mape);
+  EXPECT_EQ(a.model->describe(), b.model->describe());
+}
+
+TEST(SymReg, EmptyTrainThrows) {
+  Dataset empty({"a"});
+  SymbolicRegressor reg(quick_config());
+  EXPECT_THROW(reg.fit(empty, empty), std::invalid_argument);
+}
+
+TEST(SymReg, BadConfigRejected) {
+  SymRegConfig cfg;
+  cfg.population = 2;
+  EXPECT_THROW(SymbolicRegressor{cfg}, std::invalid_argument);
+  cfg = SymRegConfig{};
+  cfg.tournament = 0;
+  EXPECT_THROW(SymbolicRegressor{cfg}, std::invalid_argument);
+}
+
+TEST(SymReg, ExprModelClampsNegative) {
+  const ExprModel m(Expr::constant(1.0), 1.0, -5.0, {"a"});
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.0}), 0.0);
+}
+
+TEST(Fitting, AutoPicksAWorkingModel) {
+  const auto data = from_function(
+      [](double a, double b) { return 1e-3 * a * a + 1e-4 * b; },
+      {5, 10, 15, 20, 25}, {8, 64, 216, 512, 1000}, 0.05, 13);
+  FitOptions opt;
+  opt.method = ModelMethod::kAuto;
+  opt.symreg = quick_config();
+  const auto fitted = fit_kernel_model(data, opt);
+  EXPECT_LT(fitted.report.full_mape, 20.0);
+  EXPECT_GT(fitted.report.residual_sigma, 0.0);
+  ASSERT_TRUE(fitted.model);
+  ASSERT_TRUE(fitted.noisy_model);
+  // Noisy model median tracks the deterministic prediction.
+  util::Rng rng(14);
+  const std::vector<double> pt{10.0, 64.0};
+  std::vector<double> draws(501);
+  for (auto& x : draws) x = fitted.noisy_model->sample(pt, rng);
+  std::sort(draws.begin(), draws.end());
+  EXPECT_NEAR(draws[250], fitted.model->predict(pt),
+              0.2 * fitted.model->predict(pt));
+}
+
+TEST(Fitting, TableMethodsExactOnGridData) {
+  Dataset d({"a"});
+  for (double a : {1.0, 2.0, 3.0, 4.0}) d.add_row({a}, {a * 2.0});
+  for (auto method :
+       {ModelMethod::kTableNearest, ModelMethod::kTableMultilinear}) {
+    FitOptions opt;
+    opt.method = method;
+    const auto fitted = fit_kernel_model(d, opt);
+    EXPECT_NEAR(fitted.report.full_mape, 0.0, 1e-9) << to_string(method);
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/crossval.hpp"
+#include "model/fitting.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+Dataset power_grid() {
+  Dataset d({"a", "b"});
+  for (double a : {1.0, 2.0, 4.0, 8.0})
+    for (double b : {1.0, 4.0, 16.0})
+      d.add_row({a, b}, {0.5 * a * a * std::sqrt(b)});
+  return d;
+}
+
+TEST(TableLogLogMethod, FitKernelModelPath) {
+  FitOptions opt;
+  opt.method = ModelMethod::kTableLogLog;
+  const auto fitted = fit_kernel_model(power_grid(), opt);
+  EXPECT_EQ(fitted.report.chosen, ModelMethod::kTableLogLog);
+  EXPECT_NEAR(fitted.report.full_mape, 0.0, 1e-9);  // exact on grid points
+  // Off-grid power-law point is exact too.
+  EXPECT_NEAR(fitted.model->predict(std::vector<double>{3.0, 8.0}),
+              0.5 * 9.0 * std::sqrt(8.0), 1e-9);
+  EXPECT_EQ(to_string(fitted.report.chosen), "table-loglog");
+}
+
+TEST(TableLogLogMethod, RejectedByCrossValidation) {
+  FitOptions opt;
+  opt.method = ModelMethod::kTableLogLog;
+  // cross_validate refuses lookup structures.
+  EXPECT_THROW((void)cross_validate(power_grid(), opt, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::model

@@ -1,0 +1,117 @@
+#include "model/table_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftbesst::model {
+namespace {
+
+/// y = 2a + b sampled exactly on a 3x3 grid.
+Dataset linear_grid() {
+  Dataset d({"a", "b"});
+  for (double a : {1.0, 2.0, 3.0})
+    for (double b : {10.0, 20.0, 30.0}) d.add_row({a, b}, {2 * a + b});
+  return d;
+}
+
+TEST(TableModel, ExactAtGridPoints) {
+  const Dataset d = linear_grid();
+  for (auto method : {Interpolation::kNearest, Interpolation::kMultilinear}) {
+    TableModel m(d, method);
+    for (const Row& r : d.rows())
+      EXPECT_DOUBLE_EQ(m.predict(r.params), r.mean_response());
+  }
+}
+
+TEST(TableModel, MultilinearExactForLinearFunction) {
+  TableModel m(linear_grid(), Interpolation::kMultilinear);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.5, 15.0}), 18.0, 1e-12);
+  EXPECT_NEAR(m.predict(std::vector<double>{2.5, 25.0}), 30.0, 1e-12);
+}
+
+TEST(TableModel, MultilinearExtrapolatesLinearly) {
+  TableModel m(linear_grid(), Interpolation::kMultilinear);
+  // Beyond the grid on both sides: a=4, b=40 -> 2*4+40 = 48.
+  EXPECT_NEAR(m.predict(std::vector<double>{4.0, 40.0}), 48.0, 1e-12);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.0, 5.0}), 5.0, 1e-12);
+}
+
+TEST(TableModel, NearestSnapsToClosestPoint) {
+  TableModel m(linear_grid(), Interpolation::kNearest);
+  // (1.1, 11) is nearest to (1, 10) -> 12.
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{1.1, 11.0}), 12.0);
+  // (2.9, 29) is nearest to (3, 30) -> 36.
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{2.9, 29.0}), 36.0);
+}
+
+TEST(TableModel, MultilinearRequiresFullGrid) {
+  Dataset sparse({"a", "b"});
+  sparse.add_row({1.0, 10.0}, {1.0});
+  sparse.add_row({2.0, 20.0}, {2.0});
+  EXPECT_THROW(TableModel(sparse, Interpolation::kMultilinear),
+               std::invalid_argument);
+  EXPECT_NO_THROW(TableModel(sparse, Interpolation::kNearest));
+}
+
+TEST(TableModel, EmptyDatasetRejected) {
+  Dataset d({"a"});
+  EXPECT_THROW(TableModel(d, Interpolation::kNearest), std::invalid_argument);
+}
+
+TEST(TableModel, SampleDrawsFromCalibrationSamples) {
+  Dataset d({"a"});
+  d.add_row({1.0}, {10.0, 12.0, 14.0});
+  TableModel m(d, Interpolation::kNearest);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double s = m.sample(std::vector<double>{1.0}, rng);
+    EXPECT_TRUE(s == 10.0 || s == 12.0 || s == 14.0) << s;
+  }
+}
+
+TEST(TableModel, SampleRescalesOffGrid) {
+  Dataset d({"a"});
+  d.add_row({1.0}, {10.0});
+  d.add_row({2.0}, {20.0});
+  TableModel m(d, Interpolation::kMultilinear);
+  util::Rng rng(6);
+  // At a=1.5 prediction is 15; the only sample at nearest point (either 10
+  // or 20) is rescaled by 15/mean -> exactly 15.
+  EXPECT_NEAR(m.sample(std::vector<double>{1.5}, rng), 15.0, 1e-12);
+}
+
+TEST(TableModel, ParamCountMismatchThrows) {
+  TableModel m(linear_grid(), Interpolation::kNearest);
+  EXPECT_THROW((void)m.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(TableModel, SingleAxisGridDegenerates) {
+  Dataset d({"a", "b"});
+  // b axis has a single value; interpolation along it must not divide by 0.
+  for (double a : {1.0, 2.0}) d.add_row({a, 5.0}, {a * 10});
+  TableModel m(d, Interpolation::kMultilinear);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.5, 5.0}), 15.0, 1e-12);
+}
+
+struct InterpCase {
+  double a, b, expected;
+};
+
+class MultilinearSweep : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(MultilinearSweep, MatchesClosedForm) {
+  TableModel m(linear_grid(), Interpolation::kMultilinear);
+  const auto& c = GetParam();
+  EXPECT_NEAR(m.predict(std::vector<double>{c.a, c.b}), c.expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, MultilinearSweep,
+    ::testing::Values(InterpCase{1.0, 10.0, 12.0}, InterpCase{1.25, 10.0, 12.5},
+                      InterpCase{3.0, 25.0, 31.0}, InterpCase{2.2, 17.5, 21.9},
+                      InterpCase{3.5, 35.0, 42.0},
+                      InterpCase{0.5, 10.0, 11.0}));
+
+}  // namespace
+}  // namespace ftbesst::model

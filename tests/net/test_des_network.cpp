@@ -1,0 +1,157 @@
+#include "net/des_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ftbesst::net {
+namespace {
+
+CommParams fast_params() {
+  CommParams p;
+  p.injection_latency = 1e-6;
+  p.sw_latency = 1e-7;
+  p.bandwidth = 1e9;  // 1 GB/s -> 1 byte/ns, easy arithmetic
+  return p;
+}
+
+struct Harness {
+  sim::Simulation sim;
+  TwoStageFatTree topo{4, 4, 2};
+  DesNetwork net{sim, topo, fast_params()};
+  std::map<NodeId, std::vector<std::pair<FlowMsg, sim::SimTime>>> arrivals;
+
+  void capture(NodeId node) {
+    net.on_delivery(node, [this, node](const FlowMsg& msg,
+                                       sim::SimTime when) {
+      arrivals[node].push_back({msg, when});
+    });
+  }
+};
+
+TEST(DesNetwork, DeliversSameLeafMessage) {
+  Harness h;
+  h.capture(1);
+  h.net.send(0, 1, 1000, sim::SimTime{0});
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[1].size(), 1u);
+  const auto& [msg, when] = h.arrivals[1][0];
+  EXPECT_EQ(msg.src, 0);
+  EXPECT_EQ(msg.bytes, 1000u);
+  // Path: NIC serialize (1000 ns) + inj latency (1000 ns) + leaf serialize
+  // (1000 ns) + leaf->NIC latency (1000 ns, NIC links use inj latency).
+  EXPECT_EQ(when, sim::SimTime{4000});
+}
+
+TEST(DesNetwork, CrossLeafTakesTheSpine) {
+  Harness h;
+  h.capture(5);  // leaf 1
+  h.net.send(0, 5, 1000, sim::SimTime{0});
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[5].size(), 1u);
+  const sim::SimTime when = h.arrivals[5][0].second;
+  // 4 serializations (NIC, leaf, spine, leaf) + 2 NIC-link latencies +
+  // 2 switch-hop latencies = 4000 + 2000 + 200.
+  EXPECT_EQ(when, sim::SimTime{6200});
+}
+
+TEST(DesNetwork, LoopbackIsImmediate) {
+  Harness h;
+  h.capture(3);
+  h.net.send(3, 3, 123456, sim::SimTime{42});
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[3].size(), 1u);
+  EXPECT_EQ(h.arrivals[3][0].second, sim::SimTime{42});
+}
+
+TEST(DesNetwork, OutputPortSerializesCompetingMessages) {
+  // Two nodes on leaf 0 send to the same destination on leaf 1 at t=0: the
+  // shared leaf->dst-NIC port must serialize them ~1 message apart.
+  Harness h;
+  h.capture(4);
+  h.net.send(0, 4, 10000, sim::SimTime{0}, /*tag=*/1);
+  h.net.send(1, 4, 10000, sim::SimTime{0}, /*tag=*/2);
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[4].size(), 2u);
+  const sim::SimTime first = h.arrivals[4][0].second;
+  const sim::SimTime second = h.arrivals[4][1].second;
+  EXPECT_GE(second - first, sim::SimTime{10000});  // one serialization
+}
+
+TEST(DesNetwork, DisjointPathsDoNotInterfere) {
+  // 0->4 and 8->12 share no links; both arrive at the solo-flow latency.
+  Harness h;
+  h.capture(4);
+  h.capture(12);
+  h.net.send(0, 4, 1000, sim::SimTime{0});
+  h.net.send(8, 12, 1000, sim::SimTime{0});
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[4].size(), 1u);
+  ASSERT_EQ(h.arrivals[12].size(), 1u);
+  EXPECT_EQ(h.arrivals[4][0].second, h.arrivals[12][0].second);
+}
+
+TEST(DesNetwork, IncastQueuesLinearly) {
+  // Many senders to one node: k-th arrival is ~k serializations out.
+  Harness h;
+  h.capture(0);
+  const std::uint64_t bytes = 50000;
+  for (NodeId src = 4; src < 12; ++src)
+    h.net.send(src, 0, bytes, sim::SimTime{0});
+  h.sim.run();
+  ASSERT_EQ(h.arrivals[0].size(), 8u);
+  std::vector<sim::SimTime> times;
+  for (const auto& [msg, when] : h.arrivals[0]) times.push_back(when);
+  std::sort(times.begin(), times.end());
+  // The last must trail the first by at least 7 serializations on the
+  // shared final port.
+  EXPECT_GE(times.back() - times.front(), sim::SimTime{7 * bytes});
+}
+
+TEST(DesNetwork, EcmpSpreadsFlowsAcrossSpines) {
+  // With many distinct (src,dst) cross-leaf pairs, total completion should
+  // beat single-spine serialization. Indirect check: aggregate time for 8
+  // disjoint cross-leaf flows is far less than 8x one-flow serialization
+  // chain through a single spine port.
+  Harness h;
+  const std::uint64_t bytes = 100000;
+  for (int i = 0; i < 4; ++i) h.capture(8 + i);
+  for (int i = 0; i < 4; ++i)
+    h.net.send(i, 8 + i, bytes, sim::SimTime{0});
+  h.sim.run();
+  sim::SimTime last = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.arrivals[8 + i].size(), 1u);
+    last = std::max(last, h.arrivals[8 + i][0].second);
+  }
+  // All four share leaf0's uplinks; with 2 spines the worst uplink carries
+  // at most ~3 flows. Full serialization of 4 would be >= 4*bytes at the
+  // leaf uplink alone plus per-hop work; require better than that.
+  EXPECT_LT(last, sim::SimTime{4 * bytes + 4 * bytes});
+  EXPECT_EQ(h.net.delivered(), 4u);
+}
+
+TEST(DesNetwork, RejectsBadNodes) {
+  Harness h;
+  EXPECT_THROW(h.net.send(-1, 0, 10, 0), std::out_of_range);
+  EXPECT_THROW(h.net.send(0, 99, 10, 0), std::out_of_range);
+  EXPECT_THROW(h.net.on_delivery(99, nullptr), std::out_of_range);
+}
+
+TEST(DesNetwork, AgreesWithAnalyticModelForSmallMessages) {
+  // For latency-dominated messages the DES path time approaches the
+  // analytic alpha model (store-and-forward penalty vanishes).
+  Harness h;
+  CommModel analytic(h.topo, fast_params());
+  h.capture(5);
+  h.net.send(0, 5, 8, sim::SimTime{0});
+  h.sim.run();
+  const double des_seconds = sim::to_seconds(h.arrivals[5][0].second);
+  const double model_seconds = analytic.ptp_time(0, 5, 8);
+  EXPECT_NEAR(des_seconds, model_seconds, model_seconds);  // same order
+  EXPECT_GT(des_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::net

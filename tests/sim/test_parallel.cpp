@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace ftbesst::sim {
+namespace {
+
+/// Ring node: forwards a token around a ring `laps` times, recording the
+/// arrival times. Used to compare serial vs parallel execution exactly.
+class RingNode final : public Component {
+ public:
+  RingNode(std::string name, int laps, bool origin)
+      : Component(std::move(name)), laps_(laps), origin_(origin) {}
+
+  void init() override {
+    if (origin_) schedule_self(1);
+  }
+
+  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+    arrivals.push_back(now());
+    if (port == 0 && origin_ && ++lap_ > laps_) return;  // token retired
+    send(1, nullptr);
+  }
+
+  std::vector<SimTime> arrivals;
+
+ private:
+  int laps_;
+  bool origin_;
+  int lap_ = 0;
+};
+
+struct RingResult {
+  std::vector<std::vector<SimTime>> arrivals;
+  SimStats stats;
+};
+
+RingResult run_ring(int nodes, int laps, unsigned threads) {
+  Simulation sim;
+  std::vector<RingNode*> ring;
+  for (int i = 0; i < nodes; ++i)
+    ring.push_back(
+        sim.add_component<RingNode>("n" + std::to_string(i), laps, i == 0));
+  for (int i = 0; i < nodes; ++i)
+    sim.connect(ring[i]->id(), 1, ring[(i + 1) % nodes]->id(), 0, SimTime{5});
+  RingResult r;
+  r.stats = threads <= 1 ? sim.run() : sim.run_parallel(threads);
+  for (auto* node : ring) r.arrivals.push_back(node->arrivals);
+  return r;
+}
+
+TEST(ParallelSim, MatchesSerialOnRing) {
+  const RingResult serial = run_ring(8, 10, 1);
+  for (unsigned threads : {2u, 3u, 4u}) {
+    const RingResult parallel = run_ring(8, 10, threads);
+    EXPECT_EQ(parallel.arrivals, serial.arrivals) << threads << " threads";
+    EXPECT_EQ(parallel.stats.events_processed, serial.stats.events_processed);
+    EXPECT_EQ(parallel.stats.end_time, serial.stats.end_time);
+  }
+}
+
+TEST(ParallelSim, SingleThreadDelegatesToSerial) {
+  const RingResult r = run_ring(4, 3, 1);
+  EXPECT_GT(r.stats.events_processed, 0u);
+  EXPECT_EQ(r.stats.windows, 0u);
+}
+
+TEST(ParallelSim, UsesMultipleWindows) {
+  Simulation sim;
+  std::vector<RingNode*> ring;
+  for (int i = 0; i < 4; ++i)
+    ring.push_back(
+        sim.add_component<RingNode>("n" + std::to_string(i), 20, i == 0));
+  for (int i = 0; i < 4; ++i)
+    sim.connect(ring[i]->id(), 1, ring[(i + 1) % 4]->id(), 0, SimTime{5});
+  const SimStats stats = sim.run_parallel(2);
+  EXPECT_GT(stats.windows, 1u);
+}
+
+/// Independent self-ticking counters — embarrassingly parallel; checks that
+/// partitions do not interfere.
+class Ticker final : public Component {
+ public:
+  Ticker(std::string name, int ticks, SimTime interval)
+      : Component(std::move(name)), ticks_(ticks), interval_(interval) {}
+  void init() override { schedule_self(interval_); }
+  void handle_event(PortId, std::unique_ptr<Payload>) override {
+    last_time = now();
+    if (++count < ticks_) schedule_self(interval_);
+  }
+  int count = 0;
+  SimTime last_time = 0;
+
+ private:
+  int ticks_;
+  SimTime interval_;
+};
+
+TEST(ParallelSim, IndependentComponentsAllComplete) {
+  Simulation sim;
+  std::vector<Ticker*> tickers;
+  for (int i = 0; i < 16; ++i)
+    tickers.push_back(sim.add_component<Ticker>(
+        "t" + std::to_string(i), 50 + i, static_cast<SimTime>(3 + i)));
+  const SimStats stats = sim.run_parallel(4);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(tickers[i]->count, 50 + i);
+    EXPECT_EQ(tickers[i]->last_time,
+              static_cast<SimTime>(3 + i) * static_cast<SimTime>(50 + i));
+    expected += static_cast<std::uint64_t>(50 + i);
+  }
+  EXPECT_EQ(stats.events_processed, expected);
+}
+
+TEST(ParallelSim, ZeroLatencyLinksGroupedIntoOnePartition) {
+  // a--b with zero latency must share a partition; a--c with latency 5 can
+  // cross. After auto-partitioning, run must succeed and match serial.
+  auto build = [](Simulation& sim, Ticker*& a_out) {
+    auto* a = sim.add_component<Ticker>("a", 10, SimTime{5});
+    auto* b = sim.add_component<Ticker>("b", 10, SimTime{7});
+    auto* c = sim.add_component<Ticker>("c", 10, SimTime{9});
+    sim.connect(a->id(), 1, b->id(), 1, SimTime{0});
+    sim.connect(a->id(), 2, c->id(), 1, SimTime{5});
+    a_out = a;
+    (void)b;
+    (void)c;
+  };
+  Simulation serial_sim;
+  Ticker* sa = nullptr;
+  build(serial_sim, sa);
+  serial_sim.run();
+
+  Simulation par_sim;
+  Ticker* pa = nullptr;
+  build(par_sim, pa);
+  par_sim.run_parallel(3);
+
+  EXPECT_EQ(sa->last_time, pa->last_time);
+  // Zero-latency neighbors must have been merged.
+  EXPECT_EQ(par_sim.component(0).partition(), par_sim.component(1).partition());
+}
+
+TEST(ParallelSim, HorizonRespectedAndResumable) {
+  Simulation sim;
+  auto* t = sim.add_component<Ticker>("t", 100, SimTime{10});
+  auto* u = sim.add_component<Ticker>("u", 100, SimTime{10});
+  sim.connect(t->id(), 1, u->id(), 1, SimTime{50});
+  sim.run_parallel(2, SimTime{255});
+  EXPECT_EQ(t->count, 25);
+  sim.run_parallel(2);
+  EXPECT_EQ(t->count, 100);
+}
+
+class RingSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RingSweep, ParallelEqualsSerial) {
+  const auto [nodes, laps] = GetParam();
+  const RingResult serial = run_ring(nodes, laps, 1);
+  const RingResult parallel = run_ring(nodes, laps, 4);
+  EXPECT_EQ(parallel.arrivals, serial.arrivals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, RingSweep,
+                         ::testing::Combine(::testing::Values(2, 5, 16),
+                                            ::testing::Values(1, 7, 25)));
+
+}  // namespace
+}  // namespace ftbesst::sim

@@ -1,0 +1,87 @@
+// SST-style named statistics (Component::bump / Simulation counters).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/des_network.hpp"
+#include "net/des_torus.hpp"
+#include "sim/simulation.hpp"
+
+namespace ftbesst::sim {
+namespace {
+
+class CountingTicker final : public Component {
+ public:
+  CountingTicker(int ticks, SimTime interval)
+      : Component("ct"), ticks_(ticks), interval_(interval) {}
+  void init() override { schedule_self(interval_); }
+  void handle_event(PortId, std::unique_ptr<Payload>) override {
+    bump("ticks");
+    bump("virtual_ns", interval_);
+    if (++count_ < ticks_) schedule_self(interval_);
+  }
+
+ private:
+  int ticks_;
+  SimTime interval_;
+  int count_ = 0;
+};
+
+TEST(SimStats, ComponentCountersAccumulate) {
+  Simulation sim;
+  auto* a = sim.add_component<CountingTicker>(10, SimTime{5});
+  auto* b = sim.add_component<CountingTicker>(3, SimTime{7});
+  sim.run();
+  EXPECT_EQ(a->counters().at("ticks"), 10u);
+  EXPECT_EQ(a->counters().at("virtual_ns"), 50u);
+  EXPECT_EQ(b->counters().at("ticks"), 3u);
+}
+
+TEST(SimStats, AggregateSumsAcrossComponents) {
+  Simulation sim;
+  sim.add_component<CountingTicker>(10, SimTime{5});
+  sim.add_component<CountingTicker>(3, SimTime{7});
+  sim.run();
+  const auto totals = sim.aggregate_counters();
+  EXPECT_EQ(totals.at("ticks"), 13u);
+  EXPECT_EQ(totals.at("virtual_ns"), 71u);
+  EXPECT_EQ(sim.lifetime_events(), 13u);
+}
+
+TEST(SimStats, EmptySimulationAggregatesNothing) {
+  Simulation sim;
+  sim.run();
+  EXPECT_TRUE(sim.aggregate_counters().empty());
+}
+
+TEST(SimStats, FatTreeNetworkExposesTrafficCounters) {
+  Simulation sim;
+  net::TwoStageFatTree topo(2, 4, 1);
+  net::DesNetwork network(sim, topo, net::CommParams{});
+  network.send(0, 5, 1000, 0);  // cross-leaf: leaf -> spine -> leaf
+  network.send(1, 1, 500, 0);   // loopback: delivered, never injected
+  sim.run();
+  const auto totals = sim.aggregate_counters();
+  EXPECT_EQ(totals.at("nic_msgs_injected"), 1u);
+  EXPECT_EQ(totals.at("nic_msgs_delivered"), 2u);
+  EXPECT_EQ(totals.at("nic_bytes_delivered"), 1500u);
+  // Three switch traversals for the cross-leaf message.
+  EXPECT_EQ(totals.at("switch_msgs_forwarded"), 3u);
+  EXPECT_EQ(totals.at("switch_bytes_forwarded"), 3000u);
+}
+
+TEST(SimStats, TorusRoutersExposeTrafficCounters) {
+  Simulation sim;
+  net::Torus topo({4});
+  net::DesTorus network(sim, topo, net::CommParams{});
+  network.send(0, 2, 100, 0);  // 2 hops either way
+  sim.run();
+  const auto totals = sim.aggregate_counters();
+  EXPECT_EQ(totals.at("router_msgs_delivered"), 1u);
+  EXPECT_EQ(totals.at("router_msgs_forwarded"), 2u);
+  EXPECT_EQ(totals.at("router_bytes_forwarded"), 200u);
+}
+
+}  // namespace
+}  // namespace ftbesst::sim

@@ -1,0 +1,25 @@
+// The umbrella header must compile standalone and expose every layer.
+
+#include "ftbesst.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryLayerIsReachable) {
+  ftbesst::util::Rng rng(1);
+  EXPECT_GE(rng.uniform(), 0.0);
+  ftbesst::sim::Simulation sim;
+  EXPECT_EQ(sim.component_count(), 0u);
+  ftbesst::net::TwoStageFatTree topo(2, 2, 1);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  ftbesst::model::Dataset data({"x"});
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(ftbesst::ft::GF256::mul(1, 7), 7);
+  EXPECT_DOUBLE_EQ(ftbesst::analytic::amdahl_speedup(0.0, 4), 4.0);
+  ftbesst::core::AppBEO app("x", 1);
+  EXPECT_EQ(app.size(), 0u);
+  EXPECT_TRUE(ftbesst::apps::is_perfect_cube(27));
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftbesst::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(full.size()), full.data());
+}
+
+TEST(ArgParser, FlagsWithSeparateValues) {
+  const auto args = parse({"--epr", "15", "--ranks", "512"});
+  EXPECT_TRUE(args.has("epr"));
+  EXPECT_EQ(args.get_int("epr", 0), 15);
+  EXPECT_EQ(args.get_int("ranks", 0), 512);
+  EXPECT_FALSE(args.has("timesteps"));
+  EXPECT_EQ(args.get_int("timesteps", 200), 200);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  const auto args = parse({"--method=symreg", "--seed=9"});
+  EXPECT_EQ(args.get_string("method", ""), "symreg");
+  EXPECT_EQ(args.get_int("seed", 0), 9);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = parse({"calibrate", "--out", "dir", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "calibrate");
+  EXPECT_EQ(args.positional()[1], "extra");
+  EXPECT_EQ(args.get_string("out", ""), "dir");
+}
+
+TEST(ArgParser, DanglingFlagThrows) {
+  EXPECT_THROW(parse({"--oops"}), std::invalid_argument);
+}
+
+TEST(ArgParser, TypeErrorsThrow) {
+  const auto args = parse({"--n", "abc", "--x", "1.5"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.5);
+  EXPECT_THROW((void)args.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, GetOptionalForm) {
+  const auto args = parse({"--a", "1"});
+  EXPECT_TRUE(args.get("a").has_value());
+  EXPECT_FALSE(args.get("b").has_value());
+}
+
+TEST(ArgParser, SplitList) {
+  EXPECT_EQ(ArgParser::split_list("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ArgParser::split_list("single"),
+            (std::vector<std::string>{"single"}));
+  EXPECT_EQ(ArgParser::split_list(""), (std::vector<std::string>{}));
+  EXPECT_EQ(ArgParser::split_list("a,,b"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace ftbesst::util

@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace ftbesst::util {
+namespace {
+
+/// Captures stderr for the duration of a scope.
+class CaptureStderr {
+ public:
+  CaptureStderr() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MessagesBelowThresholdAreDropped) {
+  set_log_level(LogLevel::kWarn);
+  CaptureStderr capture;
+  FTBESST_DEBUG << "quiet";
+  FTBESST_INFO << "also quiet";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, MessagesAtOrAboveThresholdAreEmitted) {
+  set_log_level(LogLevel::kInfo);
+  CaptureStderr capture;
+  FTBESST_INFO << "hello " << 42;
+  FTBESST_ERROR << "bad";
+  const std::string out = capture.text();
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  CaptureStderr capture;
+  FTBESST_ERROR << "nope";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace ftbesst::util

@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftbesst::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, SampleStddevMatchesHandComputation) {
+  const std::array<double, 4> xs{2.0, 4.0, 4.0, 6.0};
+  // mean 4, squared devs {4,0,0,4}, var = 8/3
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  const std::array<double, 1> xs{5.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(xs), 0.0);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  const std::array<double, 5> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolatesBetweenPoints) {
+  const std::array<double, 2> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, SummarizeAggregatesEverything) {
+  const std::array<double, 5> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, MapeOfPerfectPredictionIsZero) {
+  const std::array<double, 3> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape_percent(a, a), 0.0);
+}
+
+TEST(Stats, MapeMatchesHandComputation) {
+  const std::array<double, 2> actual{10.0, 20.0};
+  const std::array<double, 2> pred{11.0, 18.0};
+  // (0.1 + 0.1)/2 * 100 = 10%
+  EXPECT_NEAR(mape_percent(actual, pred), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroActuals) {
+  const std::array<double, 3> actual{0.0, 10.0, 10.0};
+  const std::array<double, 3> pred{5.0, 11.0, 9.0};
+  EXPECT_NEAR(mape_percent(actual, pred), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeIsSymmetricInSignOfError) {
+  const std::array<double, 1> actual{100.0};
+  const std::array<double, 1> over{120.0};
+  const std::array<double, 1> under{80.0};
+  EXPECT_DOUBLE_EQ(mape_percent(actual, over), mape_percent(actual, under));
+}
+
+TEST(Stats, RmseMatchesHandComputation) {
+  const std::array<double, 2> actual{0.0, 0.0};
+  const std::array<double, 2> pred{3.0, 4.0};
+  EXPECT_NEAR(rmse(actual, pred), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, RSquaredPerfectFitIsOne) {
+  const std::array<double, 4> a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(a, a), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const std::array<double, 4> a{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> p{2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(r_squared(a, p), 0.0);
+}
+
+TEST(Stats, PearsonOfLinearRelationIsOne) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonOfAntiLinearIsMinusOne) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> ys{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(99);
+  std::vector<double> xs(10000);
+  RunningStats rs;
+  for (auto& x : xs) {
+    x = rng.normal(3.0, 1.5);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), sample_stddev(xs), 1e-9);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(RunningStats, EmptyAndSingleton) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+struct QuantileCase {
+  double q;
+  double expected;
+};
+
+class QuantileSweep : public ::testing::TestWithParam<QuantileCase> {};
+
+TEST_P(QuantileSweep, TenPointGrid) {
+  // xs = {0, 1, ..., 9}; quantile(q) = 9q by linear interpolation.
+  std::vector<double> xs(10);
+  for (int i = 0; i < 10; ++i) xs[i] = i;
+  EXPECT_NEAR(quantile(xs, GetParam().q), GetParam().expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileSweep,
+                         ::testing::Values(QuantileCase{0.0, 0.0},
+                                           QuantileCase{0.1, 0.9},
+                                           QuantileCase{0.25, 2.25},
+                                           QuantileCase{0.5, 4.5},
+                                           QuantileCase{0.75, 6.75},
+                                           QuantileCase{0.9, 8.1},
+                                           QuantileCase{1.0, 9.0}));
+
+}  // namespace
+}  // namespace ftbesst::util

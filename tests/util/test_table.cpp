@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftbesst::util {
+namespace {
+
+TEST(TextTable, PrintsTitleHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"33", "44"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("33"), std::string::npos);
+  EXPECT_NE(out.find("44"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutputIsCommaSeparated) {
+  TextTable t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, FmtAndPctHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(16.684, 2), "16.68%");
+}
+
+TEST(TextTable, RaggedRowsDoNotCrash) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3", "4"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(SeriesCsv, WritesHeaderAndNumericRows) {
+  SeriesCsv csv({"ranks", "time"});
+  csv.add_row({8.0, 1.5});
+  csv.add_row({64.0, 2.25});
+  std::ostringstream os;
+  csv.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ranks,time"), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftbesst::util

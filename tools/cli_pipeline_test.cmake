@@ -1,0 +1,24 @@
+# CLI pipeline smoke test: calibrate -> fit -> predict -> simulate must all
+# succeed and chain through the on-disk text formats.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_step(${FTBESST} calibrate --out . --samples 5)
+run_step(${FTBESST} fit --data lulesh_timestep.csv --out lulesh_timestep.model)
+run_step(${FTBESST} fit --data ckpt_l1.csv --out ckpt_l1.model)
+run_step(${FTBESST} predict --model lulesh_timestep.model --params 15,512)
+run_step(${FTBESST} crossval --data ckpt_l1.csv --folds 4)
+run_step(${FTBESST} simulate --models . --epr 15 --ranks 512 --plan L1:40
+         --trials 5)
+
+file(WRITE ${WORK_DIR}/faults.csv
+     "100,3,loss\n250,1,crash\n380,7,loss\n505,2,loss\n660,4,loss\n")
+run_step(${FTBESST} faultlog --log faults.csv --nodes 16)

@@ -1,0 +1,479 @@
+// ftbesst — command-line driver for the FT-BESST workflow.
+//
+//   ftbesst calibrate --out DIR [--samples N] [--seed S]
+//       Run the Table II benchmarking campaign on the bundled Quartz-like
+//       testbed and write one calibration CSV per kernel.
+//
+//   ftbesst fit --data FILE.csv --out FILE.model
+//       [--method auto|symreg|features|table] [--seed S]
+//       Fit a performance model to a calibration CSV (Model Development)
+//       and save it; prints the validation report.
+//
+//   ftbesst predict --model FILE.model --params a,b[,c...]
+//       Evaluate a saved model at a parameter point.
+//
+//   ftbesst simulate --models DIR --epr E --ranks R
+//       [--timesteps T] [--plan L1:40,L2:40] [--trials N] [--seed S]
+//       [--mtbf-hours H [--downtime S]]
+//       Full-system LULESH_FTI simulation (Co-Design) using saved models;
+//       optional fault injection.
+//
+//   ftbesst faultlog --log FILE.csv --nodes N
+//       Estimate a fault model (MTBF, Weibull shape, node-loss fraction)
+//       from an observed failure log (CSV: time_seconds,node,kind with
+//       kind in {loss,crash}) and recommend a plan at that rate.
+//
+//   ftbesst plan --node-mtbf-hours H --nodes N [--work-hours W]
+//       [--soft-fraction P] [--low-cost C1] [--high-cost C4] ...
+//       Recommend a two-level checkpoint plan (closed-form optimizer).
+//
+//   ftbesst crossval --data FILE.csv [--folds 5] [--seed S]
+//       K-fold cross-validation of the regression methods on a calibration
+//       CSV; prints per-method held-out MAPE distributions.
+//
+//   ftbesst run-experiment --config FILE.ini
+//       Self-contained experiment from an INI description: calibrate on the
+//       bundled testbed, fit models, simulate, report (see
+//       examples/experiment.ini for the schema).
+//
+// All file formats are the plain-text ones from model/serialize.hpp.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/testbed.hpp"
+#include "core/arch.hpp"
+#include "core/montecarlo.hpp"
+#include "core/workflow.hpp"
+#include "ft/checkpoint_cost.hpp"
+#include "ft/fault_log.hpp"
+#include "ft/multilevel_opt.hpp"
+#include "ft/young_daly.hpp"
+#include "model/crossval.hpp"
+#include "model/fitting.hpp"
+#include "model/serialize.hpp"
+#include "apps/stencil3d.hpp"
+#include "net/topology.hpp"
+#include "util/args.hpp"
+#include "util/config.hpp"
+
+using namespace ftbesst;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ftbesst <calibrate|fit|predict|simulate> [flags]\n"
+               "see the header of tools/ftbesst_cli.cpp or README.md\n";
+  return 2;
+}
+
+std::vector<ft::PlanEntry> parse_plan(const std::string& text) {
+  std::vector<ft::PlanEntry> plan;
+  for (const std::string& part : util::ArgParser::split_list(text)) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || part.size() < 4 ||
+        (part[0] != 'L' && part[0] != 'l'))
+      throw std::invalid_argument("bad plan entry '" + part +
+                                  "' (expected e.g. L1:40)");
+    const int level = std::stoi(part.substr(1, colon - 1));
+    const int period = std::stoi(part.substr(colon + 1));
+    if (level < 1 || level > 4)
+      throw std::invalid_argument("checkpoint level must be 1-4");
+    plan.push_back({static_cast<ft::Level>(level), period});
+  }
+  return plan;
+}
+
+int cmd_calibrate(const util::ArgParser& args) {
+  const std::string out_dir = args.get_string("out", ".");
+  ft::FtiConfig fti;
+  fti.group_size = static_cast<int>(args.get_int("group-size", 4));
+  fti.node_size = static_cast<int>(args.get_int("node-size", 2));
+  apps::QuartzTestbed testbed({}, fti,
+                              static_cast<std::uint64_t>(
+                                  args.get_int("machine-seed", 0x9a27)));
+  apps::CampaignSpec spec;
+  spec.samples_per_point = static_cast<int>(args.get_int("samples", 10));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+  const std::vector<std::string> kernels{
+      apps::kLuleshTimestep, "ckpt_l1", "ckpt_l2", "ckpt_l3", "ckpt_l4"};
+  const auto datasets = apps::run_campaign(testbed, spec, kernels);
+  for (const auto& [kernel, data] : datasets) {
+    const std::string path = out_dir + "/" + kernel + ".csv";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    model::save_dataset(os, data);
+    std::cout << "wrote " << path << " (" << data.num_rows() << " points x "
+              << spec.samples_per_point << " samples)\n";
+  }
+  return 0;
+}
+
+int cmd_fit(const util::ArgParser& args) {
+  const auto data_path = args.get("data");
+  const auto out_path = args.get("out");
+  if (!data_path || !out_path) return usage();
+  std::ifstream is(*data_path);
+  if (!is) {
+    std::cerr << "cannot read " << *data_path << "\n";
+    return 1;
+  }
+  const model::Dataset data = model::load_dataset(is);
+
+  model::FitOptions opt;
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string method = args.get_string("method", "auto");
+  if (method == "auto") opt.method = model::ModelMethod::kAuto;
+  else if (method == "symreg") opt.method = model::ModelMethod::kSymbolicRegression;
+  else if (method == "features") opt.method = model::ModelMethod::kFeatureRegression;
+  else if (method == "table") opt.method = model::ModelMethod::kTableMultilinear;
+  else {
+    std::cerr << "unknown --method " << method << "\n";
+    return 2;
+  }
+  const auto fitted = model::fit_kernel_model(data, opt);
+  std::cout << "method:         " << model::to_string(fitted.report.chosen)
+            << "\nformula:        " << fitted.report.formula
+            << "\ntrain MAPE:     " << fitted.report.train_mape << "%"
+            << "\ntest MAPE:      " << fitted.report.test_mape << "%"
+            << "\nfull MAPE:      " << fitted.report.full_mape << "%"
+            << "\nresidual sigma: " << fitted.report.residual_sigma << "\n";
+  if (fitted.report.chosen == model::ModelMethod::kTableMultilinear ||
+      fitted.report.chosen == model::ModelMethod::kTableNearest) {
+    std::cerr << "note: table models are rebuilt from the CSV, not saved\n";
+    return 0;
+  }
+  std::ofstream os(*out_path);
+  if (!os) {
+    std::cerr << "cannot write " << *out_path << "\n";
+    return 1;
+  }
+  model::save_model(os, *fitted.noisy_model);
+  std::cout << "wrote " << *out_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const util::ArgParser& args) {
+  const auto model_path = args.get("model");
+  const auto params_text = args.get("params");
+  if (!model_path || !params_text) return usage();
+  std::ifstream is(*model_path);
+  if (!is) {
+    std::cerr << "cannot read " << *model_path << "\n";
+    return 1;
+  }
+  const auto model = model::load_model(is);
+  std::vector<double> point;
+  for (const std::string& v : util::ArgParser::split_list(*params_text))
+    point.push_back(std::stod(v));
+  std::cout << model->predict(point) << "\n";
+  return 0;
+}
+
+int cmd_simulate(const util::ArgParser& args) {
+  const auto models_dir = args.get("models");
+  if (!models_dir) return usage();
+  const int epr = static_cast<int>(args.get_int("epr", 15));
+  const std::int64_t ranks = args.get_int("ranks", 64);
+  const int timesteps = static_cast<int>(args.get_int("timesteps", 200));
+  const std::size_t trials =
+      static_cast<std::size_t>(args.get_int("trials", 20));
+
+  apps::LuleshConfig cfg;
+  cfg.epr = epr;
+  cfg.ranks = ranks;
+  cfg.timesteps = timesteps;
+  cfg.fti.group_size = static_cast<int>(args.get_int("group-size", 4));
+  cfg.fti.node_size = static_cast<int>(args.get_int("node-size", 2));
+  if (const auto plan = args.get("plan")) cfg.plan = parse_plan(*plan);
+
+  auto topo = std::make_shared<net::TwoStageFatTree>(94, 32, 24);
+  core::ArchBEO arch("quartz", topo, net::CommParams{}, 36);
+  arch.set_fti(cfg.fti);
+
+  auto load = [&](const std::string& kernel) {
+    const std::string path = *models_dir + "/" + kernel + ".model";
+    std::ifstream is(path);
+    if (!is)
+      throw std::invalid_argument("missing model file " + path +
+                                  " (run `ftbesst fit` first)");
+    arch.bind_kernel(kernel, model::load_model(is));
+  };
+  load(apps::kLuleshTimestep);
+  for (const auto& entry : cfg.plan)
+    load(apps::checkpoint_kernel(entry.level));
+
+  core::EngineOptions opt;
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (args.has("mtbf-hours")) {
+    opt.inject_faults = true;
+    opt.downtime_seconds = args.get_double("downtime", 10.0);
+    arch.set_fault_process(
+        ft::FaultProcess(args.get_double("mtbf-hours", 24.0) * 3600.0, 1.0));
+    ft::CheckpointCostModel cost({}, cfg.fti);
+    for (const auto& entry : cfg.plan)
+      arch.bind_restart(entry.level,
+                        std::make_shared<model::ConstantModel>(
+                            cost.restart_cost(entry.level,
+                                              apps::lulesh_checkpoint_bytes(epr),
+                                              ranks)));
+  }
+
+  const core::AppBEO app = apps::build_lulesh_fti(cfg);
+  const auto ens = core::run_ensemble(app, arch, opt, trials);
+  std::cout << "runtime mean:   " << ens.total.mean << " s\n"
+            << "runtime stddev: " << ens.total.stddev << " s\n"
+            << "runtime min:    " << ens.total.min << " s\n"
+            << "runtime max:    " << ens.total.max << " s\n";
+  if (opt.inject_faults)
+    std::cout << "mean faults:    " << ens.mean_faults << "\n"
+              << "mean rollbacks: " << ens.mean_rollbacks << "\n"
+              << "full restarts:  " << ens.mean_full_restarts << "\n";
+  return 0;
+}
+
+int cmd_faultlog(const util::ArgParser& args) {
+  const auto log_path = args.get("log");
+  if (!log_path) return usage();
+  std::ifstream is(*log_path);
+  if (!is) {
+    std::cerr << "cannot read " << *log_path << "\n";
+    return 1;
+  }
+  std::vector<ft::FaultEvent> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string time_s, node_s, kind_s;
+    if (!std::getline(ls, time_s, ',') || !std::getline(ls, node_s, ',') ||
+        !std::getline(ls, kind_s))
+      throw std::invalid_argument("bad fault-log line: " + line);
+    ft::FaultEvent ev;
+    ev.time = std::stod(time_s);
+    ev.node = std::stoll(node_s);
+    ev.kind = kind_s == "crash" ? ft::FailureKind::kProcessCrash
+                                : ft::FailureKind::kNodeLoss;
+    events.push_back(ev);
+  }
+  const auto nodes = args.get_int("nodes", 1);
+  const ft::FaultModelEstimate est = ft::estimate_fault_model(events, nodes);
+  std::cout << "events:             " << est.events << "\n"
+            << "system MTBF:        " << est.system_mtbf << " s\n"
+            << "node MTBF:          " << est.node_mtbf << " s ("
+            << est.node_mtbf / 3600.0 << " h)\n"
+            << "Weibull shape:      " << est.weibull_shape
+            << (est.weibull_shape < 0.95   ? " (bursty)"
+                : est.weibull_shape > 1.05 ? " (regular)"
+                                           : " (~exponential)")
+            << "\n"
+            << "node-loss fraction: " << est.node_loss_fraction << "\n";
+  return 0;
+}
+
+int cmd_plan(const util::ArgParser& args) {
+  // Recommend a two-level checkpoint plan for a machine description.
+  ft::MultilevelWorkload w;
+  w.work = args.get_double("work-hours", 10.0) * 3600.0;
+  const double node_mtbf = args.get_double("node-mtbf-hours", 24.0) * 3600.0;
+  const auto nodes = args.get_int("nodes", 256);
+  w.system_mtbf = node_mtbf / static_cast<double>(nodes);
+  w.soft_fraction = args.get_double("soft-fraction", 0.8);
+  w.downtime = args.get_double("downtime", 60.0);
+
+  ft::LevelSpec low{ft::Level::kL1, args.get_double("low-cost", 1.0),
+                    args.get_double("low-restart", 1.0)};
+  ft::LevelSpec high{ft::Level::kL4, args.get_double("high-cost", 30.0),
+                     args.get_double("high-restart", 60.0)};
+  const ft::TwoLevelPlan plan = ft::optimize_two_level(w, low, high);
+  if (!std::isfinite(plan.expected_runtime)) {
+    std::cerr << "no viable plan: the machine thrashes at this fault rate\n";
+    return 1;
+  }
+  std::cout << "system MTBF:        " << w.system_mtbf << " s\n"
+            << "optimal L1 period:  " << plan.tau_low << " s of work\n"
+            << "optimal L4 period:  " << plan.tau_high << " s of work\n"
+            << "expected runtime:   " << plan.expected_runtime << " s ("
+            << 100.0 * plan.overhead_fraction << "% overhead)\n"
+            << "Young (L4-only):    "
+            << ft::young_interval(high.checkpoint_cost, w.system_mtbf)
+            << " s\n";
+  return 0;
+}
+
+int cmd_crossval(const util::ArgParser& args) {
+  const auto data_path = args.get("data");
+  if (!data_path) return usage();
+  std::ifstream is(*data_path);
+  if (!is) {
+    std::cerr << "cannot read " << *data_path << "\n";
+    return 1;
+  }
+  const model::Dataset data = model::load_dataset(is);
+  const auto folds = static_cast<std::size_t>(args.get_int("folds", 5));
+  for (model::ModelMethod method :
+       {model::ModelMethod::kFeatureRegression,
+        model::ModelMethod::kSymbolicRegression}) {
+    model::FitOptions opt;
+    opt.method = method;
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const auto report = model::cross_validate(data, opt, folds);
+    std::cout << model::to_string(method) << ": held-out MAPE mean "
+              << report.fold_mape.mean << "% (min " << report.fold_mape.min
+              << "%, max " << report.fold_mape.max << "%, " << folds
+              << " folds)\n";
+  }
+  return 0;
+}
+
+int cmd_run_experiment(const util::ArgParser& args) {
+  const auto config_path = args.get("config");
+  if (!config_path) return usage();
+  std::ifstream is(*config_path);
+  if (!is) {
+    std::cerr << "cannot read " << *config_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const util::Config cfg = util::Config::parse(buffer.str());
+
+  // --- machine & FTI ---
+  ft::FtiConfig fti;
+  fti.group_size = static_cast<int>(cfg.get_int("machine", "group_size", 4));
+  fti.node_size = static_cast<int>(cfg.get_int("machine", "node_size", 2));
+  apps::QuartzTestbed testbed(
+      {}, fti,
+      static_cast<std::uint64_t>(cfg.get_int("machine", "machine_seed",
+                                             0x9a27)));
+  auto topo = std::make_shared<net::TwoStageFatTree>(
+      cfg.get_int("machine", "leaves", 94),
+      cfg.get_int("machine", "nodes_per_leaf", 32),
+      cfg.get_int("machine", "spines", 24));
+  net::CommParams comm;
+  comm.bandwidth = cfg.get_double("machine", "bandwidth", 12.5e9);
+  core::ArchBEO arch("machine", topo, comm,
+                     static_cast<int>(
+                         cfg.get_int("machine", "ranks_per_node", 36)));
+  arch.set_fti(fti);
+
+  // --- checkpoint plan ---
+  std::vector<ft::PlanEntry> plan;
+  for (const std::string& key : cfg.keys("plan")) {
+    if (key.size() < 2 || (key[0] != 'L' && key[0] != 'l'))
+      throw std::invalid_argument("[plan] keys must be L1..L4, got " + key);
+    const int level = std::stoi(key.substr(1));
+    plan.push_back({static_cast<ft::Level>(level),
+                    static_cast<int>(cfg.get_int("plan", key, 40))});
+  }
+
+  // --- application ---
+  const std::string app_name = cfg.get_string("experiment", "app", "lulesh");
+  const auto ranks = cfg.get_int("experiment", "ranks", 64);
+  const int timesteps =
+      static_cast<int>(cfg.get_int("experiment", "timesteps", 200));
+  std::vector<std::string> kernels;
+  std::optional<core::AppBEO> app;
+  if (app_name == "lulesh") {
+    apps::LuleshConfig lc;
+    lc.epr = static_cast<int>(cfg.get_int("experiment", "epr", 15));
+    lc.ranks = ranks;
+    lc.timesteps = timesteps;
+    lc.plan = plan;
+    lc.fti = fti;
+    app.emplace(apps::build_lulesh_fti(lc));
+    kernels.push_back(apps::kLuleshTimestep);
+  } else if (app_name == "stencil3d") {
+    apps::Stencil3dConfig sc;
+    sc.nx = static_cast<int>(cfg.get_int("experiment", "nx", 32));
+    sc.ranks = ranks;
+    sc.sweeps = timesteps;
+    sc.plan = plan;
+    sc.fti = fti;
+    app.emplace(apps::build_stencil3d(sc));
+    kernels.push_back(apps::kStencilSweep);
+  } else {
+    throw std::invalid_argument("[experiment] app must be lulesh|stencil3d");
+  }
+  for (const auto& entry : plan)
+    kernels.push_back(apps::checkpoint_kernel(entry.level));
+
+  // --- calibrate + model ---
+  apps::CampaignSpec spec;
+  spec.samples_per_point =
+      static_cast<int>(cfg.get_int("machine", "samples", 10));
+  spec.seed = static_cast<std::uint64_t>(
+      cfg.get_int("experiment", "seed", 2021));
+  const auto calibration = apps::run_campaign(testbed, spec, kernels);
+  model::FitOptions fit;
+  fit.seed = spec.seed;
+  const core::ModelSuite suite = core::develop_models(calibration, fit);
+  suite.bind_into(arch);
+  std::cout << "models:\n";
+  for (const auto& report : suite.reports)
+    std::cout << "  " << report.kernel << ": MAPE "
+              << report.fit.full_mape << "% ("
+              << model::to_string(report.fit.chosen) << ")\n";
+
+  // --- faults ---
+  core::EngineOptions opt;
+  opt.seed = spec.seed ^ 0x5151;
+  if (cfg.get_bool("faults", "enabled", false)) {
+    opt.inject_faults = true;
+    opt.downtime_seconds = cfg.get_double("faults", "downtime", 10.0);
+    arch.set_fault_process(ft::FaultProcess(
+        cfg.get_double("faults", "node_mtbf_hours", 24.0) * 3600.0,
+        cfg.get_double("faults", "node_loss_fraction", 1.0)));
+    ft::CheckpointCostModel cost({}, fti);
+    for (const auto& entry : plan)
+      arch.bind_restart(
+          entry.level,
+          std::make_shared<model::ConstantModel>(cost.restart_cost(
+              entry.level, app->checkpoint_bytes_per_rank(), ranks)));
+  }
+
+  // --- simulate ---
+  const auto trials =
+      static_cast<std::size_t>(cfg.get_int("experiment", "trials", 20));
+  const auto ens = core::run_ensemble(*app, arch, opt, trials);
+  std::cout << "runtime mean:   " << ens.total.mean << " s\n"
+            << "runtime stddev: " << ens.total.stddev << " s\n"
+            << "runtime p10/p90: " << util::quantile(ens.totals, 0.1) << " / "
+            << util::quantile(ens.totals, 0.9) << " s\n";
+  if (opt.inject_faults)
+    std::cout << "mean faults:    " << ens.mean_faults << "\n"
+              << "mean rollbacks: " << ens.mean_rollbacks << "\n"
+              << "full restarts:  " << ens.mean_full_restarts << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const util::ArgParser args(argc - 1, argv + 1);
+    if (command == "calibrate") return cmd_calibrate(args);
+    if (command == "fit") return cmd_fit(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "crossval") return cmd_crossval(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "faultlog") return cmd_faultlog(args);
+    if (command == "run-experiment") return cmd_run_experiment(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
