@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Build and test the two configurations that gate every change:
+#   - an optimized Release tree (what the benches measure), and
+#   - a ThreadSanitizer tree (the task pool and the parallel DES engine are
+#     concurrency-heavy; TSan keeps them honest).
+#
+# Usage: scripts/check.sh [--release-only|--tsan-only]
+#
+# FTBESST_THREADS caps the shared task pool's workers if the machine is
+# shared; ctest parallelism follows nproc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+run_release=1
+run_tsan=1
+case "${1:-}" in
+  --release-only) run_tsan=0 ;;
+  --tsan-only) run_release=0 ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--release-only|--tsan-only]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "$run_release" = 1 ]; then
+  echo "== Release build + ctest =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs"
+  ctest --test-dir build-release --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  # Probe whether the toolchain can actually link TSan (some minimal
+  # containers lack libtsan); skip with a loud note instead of failing.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    echo "== ThreadSanitizer build + ctest =="
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs"
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+  else
+    echo "!! ThreadSanitizer unavailable on this toolchain; skipped" >&2
+  fi
+fi
+
+echo "check.sh: all requested configurations passed"

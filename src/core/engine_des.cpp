@@ -1,6 +1,7 @@
 #include "core/engine_des.hpp"
 
 #include <cmath>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -233,14 +234,30 @@ class Coordinator final : public Component {
   RunResult result_;
 
  private:
+  /// Neighbour lists for every rank at this degree, computed once per
+  /// (ranks, degree) and reused — exchanges repeat every timestep, and the
+  /// cbrt/modulo walk per rank per timestep showed up in sweep profiles.
+  const std::vector<std::vector<std::int64_t>>& neighbors_for(int degree) {
+    auto it = neighbor_cache_.find(degree);
+    if (it == neighbor_cache_.end()) {
+      std::vector<std::vector<std::int64_t>> all(
+          static_cast<std::size_t>(app_->ranks()));
+      for (std::int64_t rank = 0; rank < app_->ranks(); ++rank)
+        all[static_cast<std::size_t>(rank)] =
+            exchange_neighbors(rank, app_->ranks(), degree);
+      it = neighbor_cache_.emplace(degree, std::move(all)).first;
+    }
+    return it->second;
+  }
+
   void start_network_exchange(const Instr& instr) {
     pending_deliveries_ = 0;
     const SimTime start = now();
+    const auto& neighbors = neighbors_for(instr.degree);
     for (std::int64_t rank = 0; rank < app_->ranks(); ++rank) {
       const net::NodeId src_node =
           static_cast<net::NodeId>(rank / net_ranks_per_node_);
-      for (std::int64_t peer :
-           exchange_neighbors(rank, app_->ranks(), instr.degree)) {
+      for (std::int64_t peer : neighbors[static_cast<std::size_t>(rank)]) {
         const net::NodeId dst_node =
             static_cast<net::NodeId>(peer / net_ranks_per_node_);
         network_->send(src_node, dst_node, instr.bytes, start);
@@ -282,6 +299,8 @@ class Coordinator final : public Component {
   bool monte_carlo_;
   util::Rng rng_;
   std::vector<sim::ComponentId> ranks_;
+  /// degree -> per-rank neighbour lists (see neighbors_for).
+  std::map<int, std::vector<std::vector<std::int64_t>>> neighbor_cache_;
   NetworkBackend* network_ = nullptr;
   std::int64_t net_ranks_per_node_ = 1;
   std::size_t arrived_ = 0;

@@ -1,10 +1,10 @@
 #include "core/montecarlo.hpp"
 
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
 
 namespace ftbesst::core {
 
@@ -13,30 +13,32 @@ EnsembleResult run_ensemble(const AppBEO& app, const ArchBEO& arch,
                             unsigned threads) {
   if (trials == 0) throw std::invalid_argument("need at least one trial");
   options.monte_carlo = true;
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(threads, trials));
 
   // Per-trial seeds are derived up front so the result is identical no
-  // matter how trials are scheduled across threads.
+  // matter how trials are scheduled across workers.
   util::Rng seeder(options.seed);
   std::vector<std::uint64_t> seeds(trials);
   for (std::size_t t = 0; t < trials; ++t) seeds[t] = seeder.split(t)();
 
   std::vector<RunResult> runs(trials);
-  auto worker = [&](unsigned worker_index) {
-    for (std::size_t t = worker_index; t < trials; t += threads) {
-      EngineOptions per_trial = options;
-      per_trial.seed = seeds[t];
-      runs[t] = run_bsp(app, arch, per_trial);
-    }
+  auto run_trial = [&](std::size_t t) {
+    EngineOptions per_trial = options;
+    per_trial.seed = seeds[t];
+    runs[t] = run_bsp(app, arch, per_trial);
   };
-  if (threads == 1) {
-    worker(0);
+  if (threads == 1 || trials == 1) {
+    for (std::size_t t = 0; t < trials; ++t) run_trial(t);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker, w);
-    for (auto& t : pool) t.join();
+    // One shared-pool task per trial. The pool claims tasks dynamically, so
+    // slow trials (injected faults, rollbacks) never idle a worker the way
+    // the old static `t += threads` striding did — and when this ensemble
+    // itself runs inside a run_dse point task, trials simply interleave
+    // with other points on the same workers instead of spawning a nested
+    // thread set that oversubscribes the machine.
+    util::TaskGroup group;
+    for (std::size_t t = 0; t < trials; ++t)
+      group.run([&run_trial, t] { run_trial(t); });
+    group.wait();
   }
 
   EnsembleResult out;

@@ -27,13 +27,17 @@ struct EnsembleResult {
 /// Run `trials` Monte-Carlo replications of the coarse engine with
 /// independent seeds derived from options.seed. Each trial draws fresh
 /// model noise (and, when enabled, a fresh fault timeline). Trials are
-/// independent, so they are distributed over `threads` worker threads
-/// (0 = hardware concurrency); results are deterministic for a fixed
-/// options.seed regardless of thread count.
+/// independent and run as tasks on the shared util::TaskPool, which claims
+/// them dynamically and composes with an enclosing run_dse sweep without
+/// oversubscription. `threads`: 0 (default) = shared pool, 1 = inline on
+/// the calling thread; other values are a deprecated compatibility hint
+/// that also routes through the pool (the raw per-call std::thread path is
+/// gone). Results are bit-identical for a fixed options.seed regardless of
+/// threads because per-trial seeds are derived before scheduling.
 [[nodiscard]] EnsembleResult run_ensemble(const AppBEO& app,
                                           const ArchBEO& arch,
                                           EngineOptions options,
                                           std::size_t trials,
-                                          unsigned threads = 1);
+                                          unsigned threads = 0);
 
 }  // namespace ftbesst::core

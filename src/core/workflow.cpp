@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/task_pool.hpp"
+
 namespace ftbesst::core {
 
 void ModelSuite::bind_into(ArchBEO& arch) const {
@@ -31,23 +33,43 @@ std::vector<DsePoint> run_dse(
     const std::vector<std::vector<double>>& parameter_points,
     const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
         make_app,
-    const ArchBEO& arch, const EngineOptions& options, std::size_t trials) {
+    const ArchBEO& arch, const EngineOptions& options, std::size_t trials,
+    unsigned threads) {
   if (!make_app) throw std::invalid_argument("make_app is required");
-  std::vector<DsePoint> out;
-  out.reserve(scenarios.size() * parameter_points.size());
+  std::vector<DsePoint> out(scenarios.size() * parameter_points.size());
+  // One shared-pool task per (scenario, point); each point's run_ensemble
+  // fans its trials onto the same pool, so the whole sweep flattens into
+  // (scenarios x points x trials) dynamically-claimed tasks. Per-point
+  // seeds are derived here, in submission order, so results are
+  // bit-identical to the serial sweep regardless of scheduling.
+  util::TaskGroup group;
   std::uint64_t stream = 0;
+  std::size_t slot = 0;
   for (const Scenario& scenario : scenarios) {
     for (const auto& params : parameter_points) {
-      const AppBEO app = make_app(scenario, params);
       EngineOptions per_point = options;
       per_point.seed = options.seed + 0x9e37 * ++stream;
-      DsePoint point;
-      point.scenario = scenario.name;
-      point.params = params;
-      point.ensemble = run_ensemble(app, arch, per_point, trials);
-      out.push_back(std::move(point));
+      // Pointers, not references: the loop variables die before the pool
+      // runs the task; the vector elements they point at do not.
+      const Scenario* scenario_p = &scenario;
+      const std::vector<double>* params_p = &params;
+      auto run_point = [&make_app, &arch, &out, scenario_p, params_p,
+                        per_point, trials, threads, slot] {
+        const AppBEO app = make_app(*scenario_p, *params_p);
+        DsePoint point;
+        point.scenario = scenario_p->name;
+        point.params = *params_p;
+        point.ensemble = run_ensemble(app, arch, per_point, trials, threads);
+        out[slot] = std::move(point);
+      };
+      if (threads == 1)
+        run_point();
+      else
+        group.run(std::move(run_point));
+      ++slot;
     }
   }
+  group.wait();
   return out;
 }
 

@@ -60,13 +60,20 @@ struct DsePoint {
 };
 
 /// Full-system DSE sweep: for every scenario and parameter point, build an
-/// application via `make_app` and run a Monte-Carlo ensemble.
+/// application via `make_app` and run a Monte-Carlo ensemble. Points run as
+/// tasks on the shared util::TaskPool and their ensembles fan trials onto
+/// the same pool (threads: 0 = pool, 1 = fully serial on the calling
+/// thread). Per-point seeds are pre-derived, so results are bit-identical
+/// for any threads value. `make_app` and the bound models must be safe to
+/// invoke concurrently (pure functions of their arguments, as all bundled
+/// builders are).
 [[nodiscard]] std::vector<DsePoint> run_dse(
     const std::vector<Scenario>& scenarios,
     const std::vector<std::vector<double>>& parameter_points,
     const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
         make_app,
-    const ArchBEO& arch, const EngineOptions& options, std::size_t trials);
+    const ArchBEO& arch, const EngineOptions& options, std::size_t trials,
+    unsigned threads = 0);
 
 /// Overhead (%) of each DSE point relative to the point with scenario
 /// `baseline_scenario` and parameters `baseline_params` (Fig. 9 reports

@@ -1,0 +1,86 @@
+#include "sim/detail/payload_pool.hpp"
+
+#include <new>
+
+namespace ftbesst::sim::detail {
+
+namespace {
+
+constexpr std::size_t kBucketStep = 64;  // block granularity (bytes)
+constexpr std::size_t kBuckets = 4;      // pooled sizes: 64..256 bytes
+constexpr std::size_t kMaxPooled = kBucketStep * kBuckets;
+// Cap cached blocks per bucket so pathological churn cannot hoard memory.
+constexpr std::size_t kMaxFreePerBucket = 4096;
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+constexpr std::size_t bucket_of(std::size_t size) noexcept {
+  return (size - 1) / kBucketStep;
+}
+
+struct ThreadCache {
+  FreeNode* head[kBuckets] = {};
+  std::size_t count[kBuckets] = {};
+  PayloadPoolStats stats;
+
+  ~ThreadCache() { trim(); }
+
+  void trim() noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      while (head[b] != nullptr) {
+        FreeNode* node = head[b];
+        head[b] = node->next;
+        ::operator delete(node);
+      }
+      count[b] = 0;
+    }
+  }
+};
+
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+void* pool_allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  ThreadCache& cache = t_cache;
+  ++cache.stats.allocations;
+  if (size <= kMaxPooled) {
+    const std::size_t b = bucket_of(size);
+    if (FreeNode* node = cache.head[b]) {
+      cache.head[b] = node->next;
+      --cache.count[b];
+      ++cache.stats.freelist_hits;
+      return node;
+    }
+    // Allocate the full bucket width so the block is reusable for any
+    // size that maps to this bucket.
+    return ::operator new((b + 1) * kBucketStep);
+  }
+  return ::operator new(size);
+}
+
+void pool_deallocate(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  ThreadCache& cache = t_cache;
+  ++cache.stats.deallocations;
+  if (size != 0 && size <= kMaxPooled) {
+    const std::size_t b = bucket_of(size);
+    if (cache.count[b] < kMaxFreePerBucket) {
+      auto* node = static_cast<FreeNode*>(p);
+      node->next = cache.head[b];
+      cache.head[b] = node;
+      ++cache.count[b];
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
+PayloadPoolStats payload_pool_stats() noexcept { return t_cache.stats; }
+
+void payload_pool_trim() noexcept { t_cache.trim(); }
+
+}  // namespace ftbesst::sim::detail

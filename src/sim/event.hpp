@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 
+#include "sim/detail/payload_pool.hpp"
 #include "sim/time.hpp"
 
 namespace ftbesst::sim {
@@ -17,6 +19,17 @@ inline constexpr ComponentId kNoComponent = ~ComponentId{0};
 /// Box<T>) to attach data to an event. Ownership moves with the event.
 struct Payload {
   virtual ~Payload() = default;
+
+  // Payloads are allocated and freed once per carrying event — the DES hot
+  // path — so they come from the thread-local freelist pool instead of the
+  // heap. The sized delete receives the dynamic size (virtual destructor),
+  // which is what lets the pool find the right bucket without a header.
+  static void* operator new(std::size_t size) {
+    return detail::pool_allocate(size);
+  }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    detail::pool_deallocate(p, size);
+  }
 };
 
 /// Convenience payload wrapping an arbitrary movable value.

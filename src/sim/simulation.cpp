@@ -38,11 +38,34 @@ Component& Simulation::component(ComponentId id) {
   return *components_.at(id);
 }
 
-std::map<std::string, std::uint64_t> Simulation::aggregate_counters() const {
-  std::map<std::string, std::uint64_t> totals;
+std::uint64_t counter_value(const CounterTotals& totals,
+                            std::string_view name) {
+  const auto it = std::lower_bound(
+      totals.begin(), totals.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == totals.end() || it->first != name)
+    throw std::out_of_range("no such counter: " + std::string(name));
+  return it->second;
+}
+
+CounterTotals Simulation::aggregate_counters() const {
+  CounterTotals totals;
   for (const auto& component : components_)
     for (const auto& [name, value] : component->counters())
-      totals[name] += value;
+      totals.emplace_back(name, value);
+  std::sort(totals.begin(), totals.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sum duplicates in place (same counter bumped by several components).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (out > 0 && totals[out - 1].first == totals[i].first) {
+      totals[out - 1].second += totals[i].second;
+    } else {
+      if (out != i) totals[out] = std::move(totals[i]);
+      ++out;
+    }
+  }
+  totals.resize(out);
   return totals;
 }
 
@@ -139,10 +162,7 @@ SimStats Simulation::run(SimTime until) {
   init_components();
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.top().time > until) break;
-    // priority_queue::top is const; the pop-after-move idiom below is safe
-    // because Event's moved-from payload is never re-read.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
     dispatch(ev, stats.events_processed);
   }
   now_ = std::min(t_current_time, until);
@@ -213,8 +233,7 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
   // Distribute any events injected before run (from init() or externally)
   // out of the serial queue into the partition queues.
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
     partitions_[components_[ev.dst]->partition()]->queue.push(std::move(ev));
   }
 
@@ -228,8 +247,7 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
       if (done) return;
       t_current_partition = static_cast<std::int64_t>(part);
       while (!mine.queue.empty() && mine.queue.top().time < window_end_) {
-        Event ev = std::move(const_cast<Event&>(mine.queue.top()));
-        mine.queue.pop();
+        Event ev = mine.queue.pop();
         dispatch(ev, mine.events_processed);
       }
       t_current_partition = -1;
@@ -273,11 +291,7 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
   for (auto& part : partitions_) {
     stats.events_processed += part->events_processed;
     // Return undrained events to the serial queue so a later run() resumes.
-    while (!part->queue.empty()) {
-      Event ev = std::move(const_cast<Event&>(part->queue.top()));
-      part->queue.pop();
-      queue_.push(std::move(ev));
-    }
+    while (!part->queue.empty()) queue_.push(part->queue.pop());
   }
   partitions_.clear();
   parallel_mode_ = false;

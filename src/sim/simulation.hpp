@@ -15,15 +15,16 @@
 // so both engines produce bit-identical simulations.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/component.hpp"
 #include "sim/event.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/time.hpp"
 
 namespace ftbesst::sim {
@@ -36,6 +37,16 @@ struct Link {
   PortId port_b = 0;
   SimTime latency = 0;
 };
+
+/// Aggregated component counters, sorted by name (built once per call
+/// instead of rebuilding a std::map node-by-node; benches aggregate per
+/// run). Look values up with counter_value().
+using CounterTotals = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/// Value of `name` in sorted `totals` (binary search). Throws
+/// std::out_of_range when the counter does not exist.
+[[nodiscard]] std::uint64_t counter_value(const CounterTotals& totals,
+                                          std::string_view name);
 
 /// Aggregate run statistics.
 struct SimStats {
@@ -73,8 +84,7 @@ class Simulation {
 
   /// Sum of every component's named counters (SST-style statistics
   /// aggregation). Call after run() / run_parallel().
-  [[nodiscard]] std::map<std::string, std::uint64_t> aggregate_counters()
-      const;
+  [[nodiscard]] CounterTotals aggregate_counters() const;
 
   /// Total events dispatched over this simulation's lifetime (all runs).
   [[nodiscard]] std::uint64_t lifetime_events() const noexcept {
@@ -102,17 +112,8 @@ class Simulation {
                     std::unique_ptr<Payload> payload, std::int32_t priority);
 
  private:
-  struct EventCompare {
-    // std::priority_queue is a max-heap; invert to pop the earliest event.
-    bool operator()(const Event& lhs, const Event& rhs) const noexcept {
-      return rhs.before(lhs);
-    }
-  };
-  using EventQueue =
-      std::priority_queue<Event, std::vector<Event>, EventCompare>;
-
   struct Partition {
-    EventQueue queue;
+    EventHeap queue;
     std::vector<Event> inbox;  // cross-partition deliveries, merged at barrier
     std::mutex inbox_mutex;
     std::uint64_t events_processed = 0;
@@ -136,7 +137,7 @@ class Simulation {
   std::vector<std::vector<std::int64_t>> port_links_;
   std::vector<std::uint64_t> src_seq_;  // per-component schedule counter
 
-  EventQueue queue_;  // serial engine queue
+  EventHeap queue_;  // serial engine queue
   std::vector<std::unique_ptr<Partition>> partitions_;
   bool parallel_mode_ = false;
   SimTime window_end_ = kNever;  // parallel: events >= window_end defer

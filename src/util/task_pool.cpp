@@ -1,0 +1,197 @@
+#include "util/task_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace ftbesst::util {
+
+namespace {
+// Which pool (if any) the current thread is a worker of, and its index.
+thread_local TaskPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+
+unsigned default_worker_count() {
+  if (const char* env = std::getenv("FTBESST_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  return std::thread::hardware_concurrency();
+}
+}  // namespace
+
+TaskPool::TaskPool(unsigned workers) {
+  if (workers == 0) workers = default_worker_count();
+  workers = std::max(1u, workers);
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool;
+  return pool;
+}
+
+void TaskPool::submit(Task task) {
+  if (t_pool == this) {
+    // Worker submitting to its own pool: push onto its deque. The owner
+    // pops newest-first (locality); thieves steal oldest-first.
+    Worker& mine = *workers_[static_cast<std::size_t>(t_worker)];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    mine.deque.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    global_.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: pairs with the sleep predicate so a worker
+  // between its predicate check and its sleep cannot miss this notify.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  wake_.notify_one();
+}
+
+bool TaskPool::try_pop(int self, Task& out) {
+  const std::size_t n = workers_.size();
+  if (self >= 0) {
+    Worker& mine = *workers_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    if (!mine.deque.empty()) {
+      out = std::move(mine.deque.back());
+      mine.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!global_.empty()) {
+      out = std::move(global_.front());
+      global_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t victim = (static_cast<std::size_t>(self < 0 ? 0 : self) + i) % n;
+    if (static_cast<int>(victim) == self) continue;
+    Worker& other = *workers_[victim];
+    std::lock_guard<std::mutex> lock(other.mutex);
+    if (!other.deque.empty()) {
+      out = std::move(other.deque.front());
+      other.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::run_task(Task& task) noexcept {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task.fn = nullptr;  // release captures before signalling completion
+  if (task.group != nullptr) task.group->finish_one(error);
+}
+
+bool TaskPool::try_run_one() {
+  Task task;
+  if (!try_pop(t_pool == this ? t_worker : -1, task)) return false;
+  run_task(task);
+  return true;
+}
+
+void TaskPool::worker_loop(unsigned index) {
+  t_pool = this;
+  t_worker = static_cast<int>(index);
+  for (;;) {
+    Task task;
+    while (try_pop(static_cast<int>(index), task)) run_task(task);
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->submit(TaskPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::finish_one(std::exception_ptr error) noexcept {
+  // The decrement and the notify both happen under the mutex, and the
+  // waiter re-acquires the mutex after observing zero: once this critical
+  // section ends, no thread touches the group again, so the waiter may
+  // safely destroy it. (Notifying outside the lock would let a timed-out
+  // waiter observe zero, return, and destroy the condvar mid-notify.)
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error && !error_) error_ = error;
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    done_.notify_all();
+}
+
+void TaskGroup::wait() {
+  join_quietly();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::join_quietly() noexcept {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    if (pool_->try_run_one()) continue;
+    // Nothing to help with: our remaining tasks are running on other
+    // threads. The timeout is a belt-and-braces fallback so a task
+    // submitted after our last poll can never strand us.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait_for(lock, std::chrono::milliseconds(10), [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Serialize with the final finish_one: it decrements and notifies under
+  // this mutex, so once we pass here it has fully let go of the group.
+  std::lock_guard<std::mutex> lock(mutex_);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  TaskPool& pool) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto claim_loop = [&body, &next, n] {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;)
+      body(i);
+  };
+  const std::size_t helpers =
+      std::min<std::size_t>(pool.worker_count(), n) - 1;
+  TaskGroup group(pool);
+  for (std::size_t w = 0; w < helpers; ++w) group.run(claim_loop);
+  claim_loop();  // the calling thread participates
+  group.wait();
+}
+
+}  // namespace ftbesst::util

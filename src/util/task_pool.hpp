@@ -1,0 +1,123 @@
+#pragma once
+// Shared work-stealing task pool.
+//
+// DSE sweeps are nested-parallel: run_dse fans out one task per
+// (scenario, parameter point) and each point's run_ensemble fans out one
+// task per Monte-Carlo trial. Spawning raw threads at both levels either
+// serializes the outer loop or oversubscribes the machine; instead both
+// levels submit to one process-wide pool sized to the hardware.
+//
+// Structure: each worker owns a deque (newest-first for itself, oldest-first
+// for thieves) and there is one global injection queue for external
+// submitters. A thread that waits on a TaskGroup *helps*: it executes
+// pending tasks — its own queue first, then the global queue, then steals —
+// until the group drains. Helping is what makes nesting compose: a worker
+// running a DSE-point task that blocks in run_ensemble's wait() simply
+// executes that ensemble's trial tasks itself instead of idling, so the
+// pool never deadlocks and never needs more threads than cores.
+//
+// Determinism: the pool makes no ordering promises. Callers that need
+// reproducible results must derive per-task inputs (seeds) *before*
+// submission and write results to per-task slots, as core::run_ensemble
+// and core::run_dse do; results are then bit-identical for any worker
+// count, including zero helping.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftbesst::util {
+
+class TaskGroup;
+
+class TaskPool {
+ public:
+  /// 0 workers = FTBESST_THREADS env var if set, else hardware concurrency
+  /// (always at least one worker thread).
+  explicit TaskPool(unsigned workers = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// The process-wide pool every nested-parallel caller shares.
+  [[nodiscard]] static TaskPool& shared();
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Execute one pending task on the calling thread, if any is available.
+  /// Returns false when every queue is empty. Public so that ad-hoc
+  /// helpers (benchmarks, schedulers) can donate cycles.
+  bool try_run_one();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;
+  };
+
+  void submit(Task task);
+  bool try_pop(int self, Task& out);
+  static void run_task(Task& task) noexcept;
+  void worker_loop(unsigned index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;  // guards global_, stop_, and the sleep protocol
+  std::condition_variable wake_;
+  std::deque<Task> global_;
+  std::atomic<std::size_t> queued_{0};  // tasks pushed but not yet popped
+  bool stop_ = false;
+};
+
+/// A set of tasks whose completion can be awaited. wait() helps execute
+/// pool work while blocked, so groups nest freely (tasks may create and
+/// wait on their own groups). The first exception thrown by a task is
+/// captured and rethrown from wait(); remaining tasks still run.
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskPool& pool = TaskPool::shared()) : pool_(&pool) {}
+  ~TaskGroup() { join_quietly(); }
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit a task tracked by this group.
+  void run(std::function<void()> fn);
+
+  /// Block until every submitted task has finished, executing pool work on
+  /// this thread while waiting. Rethrows the first task exception.
+  void wait();
+
+ private:
+  friend class TaskPool;
+  void finish_one(std::exception_ptr error) noexcept;
+  void join_quietly() noexcept;
+
+  TaskPool* pool_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex mutex_;  // guards error_ and the completion wait
+  std::condition_variable done_;
+  std::exception_ptr error_;
+};
+
+/// Dynamically-claimed parallel loop: body(0..n-1), each index exactly once,
+/// claimed by an atomic counter so uneven iterations never idle a worker.
+/// The calling thread participates. Safe to call from inside pool tasks.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  TaskPool& pool = TaskPool::shared());
+
+}  // namespace ftbesst::util

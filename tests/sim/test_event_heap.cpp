@@ -1,0 +1,89 @@
+// EventHeap: the intrusive-pop 4-ary heap behind both engines' queues.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/event_heap.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::sim {
+namespace {
+
+Event make_event(SimTime time, std::int32_t priority = 0, ComponentId src = 0,
+                 std::uint64_t seq = 0) {
+  Event ev;
+  ev.time = time;
+  ev.priority = priority;
+  ev.src = src;
+  ev.src_seq = seq;
+  return ev;
+}
+
+TEST(EventHeap, PopsInTotalOrder) {
+  util::Rng rng(7);
+  std::vector<Event> reference;
+  EventHeap heap;
+  for (int i = 0; i < 2000; ++i) {
+    const auto time = static_cast<SimTime>(rng.uniform_int(500));
+    const auto priority = static_cast<std::int32_t>(rng.uniform_int(3));
+    const auto src = static_cast<ComponentId>(rng.uniform_int(16));
+    const std::uint64_t seq = rng.uniform_int(64);
+    reference.push_back(make_event(time, priority, src, seq));
+    heap.push(make_event(time, priority, src, seq));
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Event& a, const Event& b) { return a.before(b); });
+  ASSERT_EQ(heap.size(), reference.size());
+  for (const Event& want : reference) {
+    const Event got = heap.pop();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.priority, want.priority);
+    EXPECT_EQ(got.src, want.src);
+    EXPECT_EQ(got.src_seq, want.src_seq);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, MovesPayloadsThroughIntact) {
+  EventHeap heap;
+  for (int i = 9; i >= 0; --i) {
+    Event ev = make_event(static_cast<SimTime>(i));
+    ev.payload = box<int>(i);
+    heap.push(std::move(ev));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Event ev = heap.pop();
+    ASSERT_NE(ev.payload, nullptr);
+    const int* value = unbox<int>(ev.payload.get());
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(EventHeap, TieBreaksMatchEventBefore) {
+  EventHeap heap;
+  heap.push(make_event(5, /*priority=*/1, /*src=*/0, /*seq=*/0));
+  heap.push(make_event(5, /*priority=*/0, /*src=*/1, /*seq=*/0));
+  heap.push(make_event(5, /*priority=*/0, /*src=*/0, /*seq=*/1));
+  heap.push(make_event(5, /*priority=*/0, /*src=*/0, /*seq=*/0));
+  EXPECT_EQ(heap.pop().src_seq, 0u);      // (5,0,0,0)
+  EXPECT_EQ(heap.pop().src_seq, 1u);      // (5,0,0,1)
+  EXPECT_EQ(heap.pop().src, 1u);          // (5,0,1,0)
+  EXPECT_EQ(heap.pop().priority, 1);      // (5,1,0,0)
+}
+
+TEST(EventHeap, ClearAndReuse) {
+  EventHeap heap;
+  heap.push(make_event(1));
+  heap.push(make_event(2));
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.push(make_event(3));
+  EXPECT_EQ(heap.pop().time, SimTime{3});
+}
+
+}  // namespace
+}  // namespace ftbesst::sim
