@@ -2,9 +2,12 @@
 # Build and test the two configurations that gate every change:
 #   - an optimized Release tree (what the benches measure), and
 #   - a ThreadSanitizer tree (the task pool and the parallel DES engine are
-#     concurrency-heavy; TSan keeps them honest).
+#     concurrency-heavy; TSan keeps them honest), and
+#   - an UndefinedBehaviorSanitizer tree (the compiled expression evaluator
+#     leans on tight pointer/index arithmetic and bit-level float handling;
+#     UBSan guards the batch kernels).
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only]
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -14,12 +17,14 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_release=1
 run_tsan=1
+run_ubsan=1
 case "${1:-}" in
-  --release-only) run_tsan=0 ;;
-  --tsan-only) run_release=0 ;;
+  --release-only) run_tsan=0; run_ubsan=0 ;;
+  --tsan-only) run_release=0; run_ubsan=0 ;;
+  --ubsan-only) run_release=0; run_tsan=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only]" >&2
     exit 2
     ;;
 esac
@@ -43,6 +48,21 @@ if [ "$run_tsan" = 1 ]; then
     ctest --test-dir build-tsan --output-on-failure -j "$jobs"
   else
     echo "!! ThreadSanitizer unavailable on this toolchain; skipped" >&2
+  fi
+fi
+
+if [ "$run_ubsan" = 1 ]; then
+  # Same probe pattern as TSan: skip loudly if the toolchain lacks libubsan.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=undefined -x c++ - -o /tmp/ftbesst_ubsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_ubsan_probe
+    echo "== UndefinedBehaviorSanitizer build + ctest =="
+    cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=undefined
+    cmake --build build-ubsan -j "$jobs"
+    UBSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
+  else
+    echo "!! UndefinedBehaviorSanitizer unavailable on this toolchain; skipped" >&2
   fi
 fi
 

@@ -4,14 +4,24 @@
 
 namespace ftbesst::core {
 
+namespace {
+// The CommModel member is constructed from the topology in the initializer
+// list, i.e. before the constructor body can reject a null pointer — so the
+// null check has to happen here, ahead of the dereference.
+const net::Topology& require_topology(
+    const std::shared_ptr<const net::Topology>& t) {
+  if (!t) throw std::invalid_argument("ArchBEO needs a topology");
+  return *t;
+}
+}  // namespace
+
 ArchBEO::ArchBEO(std::string name,
                  std::shared_ptr<const net::Topology> topology,
                  net::CommParams comm_params, int ranks_per_node)
     : name_(std::move(name)),
       topology_(std::move(topology)),
-      comm_(*topology_, comm_params),
+      comm_(require_topology(topology_), comm_params),
       ranks_per_node_(ranks_per_node) {
-  if (!topology_) throw std::invalid_argument("ArchBEO needs a topology");
   if (ranks_per_node_ < 1)
     throw std::invalid_argument("ranks_per_node must be >= 1");
 }

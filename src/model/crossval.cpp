@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
 
 namespace ftbesst::model {
 
@@ -25,9 +26,13 @@ CrossValReport cross_validate(const Dataset& data, const FitOptions& options,
   for (std::size_t i = order.size(); i > 1; --i)
     std::swap(order[i - 1], order[rng.uniform_int(i)]);
 
-  std::vector<double> fold_mapes;
-  fold_mapes.reserve(folds);
-  for (std::size_t fold = 0; fold < folds; ++fold) {
+  // Folds are independent given the pre-computed shuffle and their derived
+  // seeds, so they run as pool tasks writing to per-fold slots — results
+  // are bit-identical for any worker count. A fold's own fit may submit
+  // nested symreg fitness work; the helping task pool composes both levels
+  // without oversubscription.
+  std::vector<double> fold_mapes(folds, 0.0);
+  util::parallel_for(folds, [&](std::size_t fold) {
     Dataset train(data.param_names());
     Dataset held(data.param_names());
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -40,8 +45,8 @@ CrossValReport cross_validate(const Dataset& data, const FitOptions& options,
     // train_fraction 1.0 would starve the fitter's internal test split, so
     // we let fit_kernel_model keep its internal split of the training part.
     const FittedKernel fitted = fit_kernel_model(train, per_fold);
-    fold_mapes.push_back(validate_mape(*fitted.model, held));
-  }
+    fold_mapes[fold] = validate_mape(*fitted.model, held);
+  });
 
   CrossValReport report;
   report.method = options.method;

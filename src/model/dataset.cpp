@@ -14,6 +14,7 @@ Dataset::Dataset(std::vector<std::string> param_names)
     : names_(std::move(param_names)) {
   if (names_.empty())
     throw std::invalid_argument("dataset needs at least one parameter");
+  cols_.resize(names_.size());
 }
 
 void Dataset::add_row(std::vector<double> params,
@@ -22,7 +23,10 @@ void Dataset::add_row(std::vector<double> params,
     throw std::invalid_argument("row parameter count mismatch");
   if (samples.empty())
     throw std::invalid_argument("row needs at least one sample");
+  for (std::size_t d = 0; d < params.size(); ++d)
+    cols_[d].push_back(params[d]);
   rows_.push_back(Row{std::move(params), std::move(samples)});
+  responses_.push_back(rows_.back().mean_response());
 }
 
 std::size_t Dataset::param_index(const std::string& name) const {
@@ -30,13 +34,6 @@ std::size_t Dataset::param_index(const std::string& name) const {
   if (it == names_.end())
     throw std::out_of_range("unknown parameter: " + name);
   return static_cast<std::size_t>(it - names_.begin());
-}
-
-std::vector<double> Dataset::responses() const {
-  std::vector<double> ys;
-  ys.reserve(rows_.size());
-  for (const Row& r : rows_) ys.push_back(r.mean_response());
-  return ys;
 }
 
 std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
@@ -63,9 +60,7 @@ std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
 
 std::vector<double> Dataset::unique_values(std::size_t dim) const {
   if (dim >= names_.size()) throw std::out_of_range("bad dimension");
-  std::vector<double> vals;
-  vals.reserve(rows_.size());
-  for (const Row& r : rows_) vals.push_back(r.params[dim]);
+  std::vector<double> vals = cols_[dim];
   std::sort(vals.begin(), vals.end());
   vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
   return vals;

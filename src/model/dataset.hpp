@@ -44,8 +44,22 @@ class Dataset {
   /// Index of a named parameter; throws if absent.
   [[nodiscard]] std::size_t param_index(const std::string& name) const;
 
-  /// Mean responses, one per row, in row order.
-  [[nodiscard]] std::vector<double> responses() const;
+  // -- Structure-of-arrays view --------------------------------------------
+  // Batch evaluators (model/expr_program.hpp, FeatureModel::predict_batch)
+  // stream one parameter at a time over every row; the row structs above
+  // are the wrong layout for that. The dataset therefore also maintains a
+  // column-major copy of the parameters, kept in sync by add_row, so a
+  // column is always a contiguous array with one entry per row in row order.
+
+  /// All values of parameter `dim`, one per row, in row order.
+  [[nodiscard]] const std::vector<double>& column(std::size_t dim) const {
+    return cols_.at(dim);
+  }
+
+  /// Mean responses, one per row, in row order (cached; O(1)).
+  [[nodiscard]] const std::vector<double>& responses() const noexcept {
+    return responses_;
+  }
 
   /// Random row-level train/test split (paper: "the benchmarking data is
   /// split into training data and testing data"). Guarantees at least one
@@ -63,6 +77,8 @@ class Dataset {
  private:
   std::vector<std::string> names_;
   std::vector<Row> rows_;
+  std::vector<std::vector<double>> cols_;  // cols_[d][r] == rows_[r].params[d]
+  std::vector<double> responses_;          // responses_[r] == row r's mean
 };
 
 }  // namespace ftbesst::model

@@ -65,7 +65,26 @@ class Expr {
                                    std::size_t num_vars, int max_depth,
                                    std::size_t max_nodes);
 
+  // -- Evaluation semantics contract ---------------------------------------
+  // Every evaluator of an expression tree (eval() here, the compiled
+  // ExprProgram, and the constant folder in simplified()) implements the
+  // SAME total function, bit for bit:
+  //   * kDiv:  num / den, except |den| < 1e-9 returns num unchanged — there
+  //            is no division by (near-)zero, hence no Inf/NaN from /0.
+  //   * kLog:  log(|x| + 1), total over the reals.
+  //   * kSqrt: sqrt(|x|), total over the reals.
+  //   * kVar with an index >= vars.size() reads 0.0.
+  //   * Intermediate overflow may still produce Inf (e.g. huge products),
+  //     and Inf - Inf may produce NaN; these propagate through the
+  //     remaining operations by ordinary IEEE-754 rules, and only the FINAL
+  //     result is clamped: a non-finite root value evaluates to 0.0.
+  // Operations are never reassociated or contracted, so any two evaluators
+  // agree on every input. This is what lets SymReg memoize and batch-compile
+  // fitness while keeping tree-walk eval() as the reference oracle.
   [[nodiscard]] double eval(std::span<const double> vars) const;
+  /// Read-only view of the tree root (used by the ExprProgram compiler and
+  /// structural inspections). Null for an empty expression.
+  [[nodiscard]] const ExprNode* root() const noexcept { return root_.get(); }
   [[nodiscard]] std::size_t size() const noexcept;  ///< node count
   [[nodiscard]] int depth() const noexcept;
   [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }

@@ -68,9 +68,15 @@ FeatureLibrary FeatureLibrary::polynomial(std::size_t num_params) {
 std::vector<double> FeatureLibrary::evaluate(
     std::span<const double> params) const {
   std::vector<double> phi;
-  phi.reserve(features_.size());
-  for (const Feature& f : features_) phi.push_back(f.fn(params));
+  evaluate_into(params, phi);
   return phi;
+}
+
+void FeatureLibrary::evaluate_into(std::span<const double> params,
+                                   std::vector<double>& phi) const {
+  phi.resize(features_.size());
+  for (std::size_t j = 0; j < features_.size(); ++j)
+    phi[j] = features_[j].fn(params);
 }
 
 FeatureModel::FeatureModel(FeatureLibrary library, std::vector<double> weights)
@@ -87,12 +93,13 @@ FeatureModel FeatureModel::fit(const Dataset& data, FeatureLibrary library,
 
   Matrix x(n, p);
   std::vector<double> y(n, 0.0);
+  std::vector<double> phi;
   for (std::size_t i = 0; i < n; ++i) {
     const Row& row = data.row(i);
     const double response = row.mean_response();
     const double w =
         relative_error ? 1.0 / std::max(std::abs(response), 1e-12) : 1.0;
-    const auto phi = library.evaluate(row.params);
+    library.evaluate_into(row.params, phi);
     for (std::size_t j = 0; j < p; ++j) x.at(i, j) = phi[j] * w;
     y[i] = response * w;
   }
@@ -117,6 +124,19 @@ double FeatureModel::predict(std::span<const double> params) const {
   for (std::size_t j = 0; j < weights_.size(); ++j)
     acc += weights_[j] * phi[j];
   return acc < 0.0 ? 0.0 : acc;
+}
+
+void FeatureModel::predict_batch(const Dataset& data,
+                                 std::vector<double>& out) const {
+  out.resize(data.num_rows());
+  std::vector<double> phi;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    library_.evaluate_into(data.row(i).params, phi);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < weights_.size(); ++j)
+      acc += weights_[j] * phi[j];
+    out[i] = acc < 0.0 ? 0.0 : acc;
+  }
 }
 
 std::string FeatureModel::describe() const {

@@ -45,6 +45,10 @@ class FeatureLibrary {
   /// Evaluate every feature at a parameter point.
   [[nodiscard]] std::vector<double> evaluate(
       std::span<const double> params) const;
+  /// Same, into a caller-provided buffer (resized to size()) — the batch
+  /// paths call this once per row and reuse the buffer across rows.
+  void evaluate_into(std::span<const double> params,
+                     std::vector<double>& phi) const;
 
  private:
   std::vector<Feature> features_;
@@ -66,6 +70,9 @@ class FeatureModel final : public PerfModel {
                                         bool relative_error = true);
 
   [[nodiscard]] double predict(std::span<const double> params) const override;
+  /// Row loop with a reused feature buffer (no per-row allocation).
+  void predict_batch(const Dataset& data,
+                     std::vector<double>& out) const override;
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
     return weights_;

@@ -23,22 +23,21 @@ std::string to_string(ModelMethod m) {
 }
 
 double validate_mape(const PerfModel& model, const Dataset& data) {
-  std::vector<double> actual, predicted;
-  actual.reserve(data.num_rows());
-  predicted.reserve(data.num_rows());
-  for (const Row& r : data.rows()) {
-    actual.push_back(r.mean_response());
-    predicted.push_back(model.predict(r.params));
-  }
-  return util::mape_percent(actual, predicted);
+  // predict_batch routes ExprModel/FeatureModel through their compiled
+  // column-wise paths; other models fall back to the per-row loop.
+  std::vector<double> predicted;
+  model.predict_batch(data, predicted);
+  return util::mape_percent(data.responses(), predicted);
 }
 
 double residual_log_sigma(const PerfModel& model, const Dataset& data) {
+  std::vector<double> predicted;
+  model.predict_batch(data, predicted);
   std::vector<double> logs;
-  for (const Row& r : data.rows()) {
-    const double pred = model.predict(r.params);
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double pred = predicted[i];
     if (pred <= 0.0) continue;
-    for (double s : r.samples)
+    for (double s : data.row(i).samples)
       if (s > 0.0) logs.push_back(std::log(s / pred));
   }
   return util::sample_stddev(logs);

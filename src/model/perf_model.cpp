@@ -4,6 +4,13 @@
 
 namespace ftbesst::model {
 
+void PerfModel::predict_batch(const Dataset& data,
+                              std::vector<double>& out) const {
+  out.resize(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i)
+    out[i] = predict(data.row(i).params);
+}
+
 NoisyModel::NoisyModel(PerfModelPtr base, double log_sigma)
     : base_(std::move(base)), sigma_(log_sigma) {
   if (!base_) throw std::invalid_argument("NoisyModel needs a base model");

@@ -10,7 +10,9 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "model/dataset.hpp"
 #include "util/rng.hpp"
 
 namespace ftbesst::model {
@@ -21,6 +23,13 @@ class PerfModel {
   /// Expected duration in seconds for the given parameter point.
   [[nodiscard]] virtual double predict(
       std::span<const double> params) const = 0;
+  /// Predict every row of `data` into `out` (resized to data.num_rows(),
+  /// row order). The default simply loops over predict(); models with a
+  /// compiled batch path (ExprModel, FeatureModel) override it. Overrides
+  /// must stay bit-identical to the per-row loop — validation and fitness
+  /// numbers may not depend on which path ran.
+  virtual void predict_batch(const Dataset& data,
+                             std::vector<double>& out) const;
   /// One stochastic draw; the default is the deterministic prediction.
   [[nodiscard]] virtual double sample(std::span<const double> params,
                                       util::Rng& rng) const {
@@ -56,6 +65,10 @@ class NoisyModel final : public PerfModel {
   NoisyModel(PerfModelPtr base, double log_sigma);
 
   [[nodiscard]] double predict(std::span<const double> params) const override;
+  void predict_batch(const Dataset& data,
+                     std::vector<double>& out) const override {
+    base_->predict_batch(data, out);
+  }
   [[nodiscard]] double sample(std::span<const double> params,
                               util::Rng& rng) const override;
   [[nodiscard]] std::string describe() const override;

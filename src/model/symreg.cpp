@@ -5,8 +5,11 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "util/stats.hpp"
+#include "util/task_pool.hpp"
 
 namespace ftbesst::model {
 
@@ -18,60 +21,111 @@ struct ScaledFit {
   double mape = std::numeric_limits<double>::infinity();
 };
 
-/// Evaluate `expr` on every row of `data`; returns raw outputs.
-std::vector<double> eval_rows(const Expr& expr, const Dataset& data) {
-  std::vector<double> out;
-  out.reserve(data.num_rows());
-  for (const Row& r : data.rows()) out.push_back(expr.eval(r.params));
-  return out;
+/// Evaluate a compiled candidate on every row of `data` into `out`,
+/// reusing the caller's buffers (the seed allocated a fresh vector per
+/// individual per generation — pure churn in the hottest loop).
+void eval_rows(const ExprProgram& prog, const Dataset& data,
+               std::vector<double>& out, EvalScratch& scratch) {
+  prog.eval_dataset(data, out, scratch);
+}
+
+/// Responses preprocessed once per fit. The MAPE denominator becomes a
+/// per-row multiply by a cached 1/|y| instead of a divide inside the
+/// per-candidate loop, and the nonzero-response count is known up front.
+/// Rows with y == 0 carry a factor of 0.0 (excluded, like the seed's
+/// `continue`; a non-finite prediction on such a row degrades the MAPE to
+/// infinity instead — the existing non-finite guard — which only demotes
+/// candidates that were already producing garbage).
+struct ResponseView {
+  const std::vector<double>* y = nullptr;
+  std::vector<double> inv_abs;  ///< 1/|y[i]|, or 0.0 where y[i] == 0
+  std::size_t used = 0;         ///< rows with y != 0
+  double sum = 0.0;             ///< sum of y (candidate-independent)
+};
+
+ResponseView make_response_view(const std::vector<double>& y) {
+  ResponseView v;
+  v.y = &y;
+  v.inv_abs.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    v.inv_abs[i] = y[i] == 0.0 ? 0.0 : 1.0 / std::abs(y[i]);
+    if (y[i] != 0.0) ++v.used;
+    v.sum += y[i];
+  }
+  return v;
 }
 
 /// Least-squares linear scaling y ~ a*f + b, then MAPE of the scaled
-/// prediction (clamped at 0) against the responses.
+/// prediction (clamped at 0) against the responses. Reductions run in two
+/// independent lanes combined in a fixed order at the end — deterministic
+/// (the association never depends on thread count or data), but free of
+/// the serial one-accumulator dependency chain.
 ScaledFit linear_scale_fit(const std::vector<double>& f,
-                           const std::vector<double>& y) {
+                           const ResponseView& ry) {
   ScaledFit fit;
+  const std::vector<double>& y = *ry.y;
   const std::size_t n = f.size();
   if (n == 0) return fit;
-  double sf = 0.0, sy = 0.0, sff = 0.0, sfy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sf += f[i];
-    sy += y[i];
-    sff += f[i] * f[i];
-    sfy += f[i] * y[i];
+  double sf[2] = {0.0, 0.0};
+  double sff[2] = {0.0, 0.0}, sfy[2] = {0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    sf[0] += f[i];
+    sf[1] += f[i + 1];
+    sff[0] += f[i] * f[i];
+    sff[1] += f[i + 1] * f[i + 1];
+    sfy[0] += f[i] * y[i];
+    sfy[1] += f[i + 1] * y[i + 1];
   }
-  const double den = static_cast<double>(n) * sff - sf * sf;
+  for (; i < n; ++i) {
+    sf[0] += f[i];
+    sff[0] += f[i] * f[i];
+    sfy[0] += f[i] * y[i];
+  }
+  const double tf = sf[0] + sf[1];
+  const double ty = ry.sum;
+  const double tff = sff[0] + sff[1];
+  const double tfy = sfy[0] + sfy[1];
+  const double den = static_cast<double>(n) * tff - tf * tf;
   if (std::abs(den) > 1e-30) {
-    fit.scale = (static_cast<double>(n) * sfy - sf * sy) / den;
-    fit.offset = (sy - fit.scale * sf) / static_cast<double>(n);
+    fit.scale = (static_cast<double>(n) * tfy - tf * ty) / den;
+    fit.offset = (ty - fit.scale * tf) / static_cast<double>(n);
   } else {  // constant candidate: best is the mean
     fit.scale = 0.0;
-    fit.offset = sy / static_cast<double>(n);
+    fit.offset = ty / static_cast<double>(n);
   }
-  double acc = 0.0;
-  std::size_t used = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (y[i] == 0.0) continue;
-    const double pred = std::max(0.0, fit.scale * f[i] + fit.offset);
-    acc += std::abs(pred - y[i]) / std::abs(y[i]);
-    ++used;
+  double acc[2] = {0.0, 0.0};
+  i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc[0] += std::abs(std::max(0.0, fit.scale * f[i] + fit.offset) - y[i]) *
+              ry.inv_abs[i];
+    acc[1] +=
+        std::abs(std::max(0.0, fit.scale * f[i + 1] + fit.offset) - y[i + 1]) *
+        ry.inv_abs[i + 1];
   }
-  fit.mape = used ? 100.0 * acc / static_cast<double>(used)
-                  : std::numeric_limits<double>::infinity();
+  for (; i < n; ++i)
+    acc[0] += std::abs(std::max(0.0, fit.scale * f[i] + fit.offset) - y[i]) *
+              ry.inv_abs[i];
+  fit.mape = ry.used
+                 ? 100.0 * (acc[0] + acc[1]) / static_cast<double>(ry.used)
+                 : std::numeric_limits<double>::infinity();
   if (!std::isfinite(fit.mape))
     fit.mape = std::numeric_limits<double>::infinity();
   return fit;
 }
 
-double mape_with_scaling(const Expr& expr, const Dataset& data, double scale,
-                         double offset) {
+double mape_with_scaling(const ExprProgram& prog, const Dataset& data,
+                         double scale, double offset, std::vector<double>& f,
+                         EvalScratch& scratch) {
   if (data.empty()) return std::numeric_limits<double>::infinity();
+  eval_rows(prog, data, f, scratch);
+  const std::vector<double>& ys = data.responses();
   double acc = 0.0;
   std::size_t used = 0;
-  for (const Row& r : data.rows()) {
-    const double y = r.mean_response();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double y = ys[i];
     if (y == 0.0) continue;
-    const double pred = std::max(0.0, scale * expr.eval(r.params) + offset);
+    const double pred = std::max(0.0, scale * f[i] + offset);
     acc += std::abs(pred - y) / std::abs(y);
     ++used;
   }
@@ -84,12 +138,20 @@ double mape_with_scaling(const Expr& expr, const Dataset& data, double scale,
 ExprModel::ExprModel(Expr expr, double scale, double offset,
                      std::vector<std::string> param_names)
     : expr_(std::move(expr)),
+      program_(ExprProgram::compile(expr_)),
       scale_(scale),
       offset_(offset),
       names_(std::move(param_names)) {}
 
 double ExprModel::predict(std::span<const double> params) const {
   return std::max(0.0, scale_ * expr_.eval(params) + offset_);
+}
+
+void ExprModel::predict_batch(const Dataset& data,
+                              std::vector<double>& out) const {
+  EvalScratch scratch;
+  program_.eval_dataset(data, out, scratch);
+  for (double& v : out) v = std::max(0.0, scale_ * v + offset_);
 }
 
 std::string ExprModel::describe() const {
@@ -112,19 +174,84 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
   if (train.empty()) throw std::invalid_argument("empty training set");
   util::Rng rng(config_.seed);
   const std::size_t num_vars = train.num_params();
-  const std::vector<double> y = train.responses();
+  const ResponseView ry = make_response_view(train.responses());
+  util::TaskPool& pool =
+      config_.pool ? *config_.pool : util::TaskPool::shared();
 
   struct Individual {
     Expr expr;
     ScaledFit fit;
     double fitness = std::numeric_limits<double>::infinity();
+    bool evaluated = false;
   };
 
-  auto evaluate = [&](Individual& ind) {
-    const auto f = eval_rows(ind.expr, train);
-    ind.fit = linear_scale_fit(f, y);
-    ind.fitness = ind.fit.mape +
-                  config_.parsimony * static_cast<double>(ind.expr.size());
+  // Fitness memo across the whole run, keyed by the canonical S-expression
+  // (round-trippable and structurally unique, so hits are exact — no hash
+  // collision can hand an individual someone else's fitness). Crossover and
+  // mutation re-create the same offspring constantly; a memo hit skips the
+  // whole compile + batch-eval + scaling pipeline.
+  struct Evaluated {
+    ScaledFit fit;
+    double fitness = 0.0;
+  };
+  std::unordered_map<std::string, Evaluated> memo;
+
+  // Evaluate every not-yet-evaluated individual in `pop`: memo lookups and
+  // memo insertion run serially (deterministic order), the expensive
+  // compile + column-wise evaluation runs on the pool with results written
+  // to per-candidate slots — bit-identical for any worker count.
+  auto evaluate_population = [&](std::vector<Individual>& inds) {
+    struct Pending {
+      const Expr* expr = nullptr;
+      Evaluated result;
+      std::vector<std::size_t> targets;  // individuals sharing this key
+    };
+    std::vector<Pending> pending;
+    std::vector<std::string> pending_keys;
+    std::unordered_map<std::string, std::size_t> batch_index;
+    for (std::size_t i = 0; i < inds.size(); ++i) {
+      if (inds[i].evaluated) continue;
+      std::string key = inds[i].expr.to_sexpr();
+      if (const auto hit = memo.find(key); hit != memo.end()) {
+        inds[i].fit = hit->second.fit;
+        inds[i].fitness = hit->second.fitness;
+        inds[i].evaluated = true;
+        continue;
+      }
+      const auto [it, fresh] =
+          batch_index.emplace(std::move(key), pending.size());
+      if (fresh) {
+        pending.push_back(Pending{&inds[i].expr, {}, {}});
+        pending_keys.push_back(it->first);
+      }
+      pending[it->second].targets.push_back(i);
+    }
+
+    util::parallel_for(
+        pending.size(),
+        [&](std::size_t p) {
+          // Reused across candidates claimed by the same worker thread.
+          thread_local std::vector<double> f;
+          thread_local EvalScratch scratch;
+          thread_local ExprProgram prog;
+          Pending& work = pending[p];
+          ExprProgram::compile_into(*work.expr, prog);
+          eval_rows(prog, train, f, scratch);
+          work.result.fit = linear_scale_fit(f, ry);
+          work.result.fitness =
+              work.result.fit.mape +
+              config_.parsimony * static_cast<double>(work.expr->size());
+        },
+        pool);
+
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      memo.emplace(pending_keys[p], pending[p].result);
+      for (std::size_t i : pending[p].targets) {
+        inds[i].fit = pending[p].result.fit;
+        inds[i].fitness = pending[p].result.fitness;
+        inds[i].evaluated = true;
+      }
+    }
   };
 
   // Seed: random trees plus canonical performance-model shapes (products /
@@ -149,7 +276,7 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
     }
   for (; idx < pop.size(); ++idx)
     pop[idx].expr = Expr::random(rng, num_vars, config_.max_depth);
-  for (auto& ind : pop) evaluate(ind);
+  evaluate_population(pop);
 
   auto tournament = [&]() -> const Individual& {
     const Individual* best = &pop[rng.uniform_int(pop.size())];
@@ -162,12 +289,16 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
 
   SymRegResult result;
   double champion_score = std::numeric_limits<double>::infinity();
+  std::vector<double> test_buf;
+  EvalScratch test_scratch;
 
   auto consider_champion = [&](const Individual& ind, std::size_t gen) {
-    const double test_mape =
-        test.empty() ? ind.fit.mape
-                     : mape_with_scaling(ind.expr, test, ind.fit.scale,
-                                         ind.fit.offset);
+    double test_mape = ind.fit.mape;
+    if (!test.empty()) {
+      const ExprProgram prog = ExprProgram::compile(ind.expr);
+      test_mape = mape_with_scaling(prog, test, ind.fit.scale, ind.fit.offset,
+                                    test_buf, test_scratch);
+    }
     // Champion selection blends training and held-out accuracy: test rows
     // are few, so pure test selection is noisy, and pure train selection
     // overfits. Ties favour simplicity via the parsimony term in fitness.
@@ -214,9 +345,13 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
       copy.expr = ranked[e]->expr.clone();
       copy.fit = ranked[e]->fit;
       copy.fitness = ranked[e]->fitness;
+      copy.evaluated = true;
       next.push_back(std::move(copy));
     }
 
+    // Breeding consumes the RNG serially (selection depends only on the
+    // previous generation's fitness), so the offspring set is independent
+    // of the evaluation schedule; fitness happens afterwards in one batch.
     while (next.size() < pop.size()) {
       const double roll = rng.uniform();
       Individual child;
@@ -229,9 +364,9 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
       } else {
         child.expr = tournament().expr.clone();
       }
-      evaluate(child);
       next.push_back(std::move(child));
     }
+    evaluate_population(next);
     pop = std::move(next);
   }
   // Final population sweep.

@@ -22,7 +22,12 @@
 
 #include "model/dataset.hpp"
 #include "model/expr.hpp"
+#include "model/expr_program.hpp"
 #include "model/perf_model.hpp"
+
+namespace ftbesst::util {
+class TaskPool;
+}
 
 namespace ftbesst::model {
 
@@ -33,8 +38,13 @@ class ExprModel final : public PerfModel {
             std::vector<std::string> param_names);
 
   [[nodiscard]] double predict(std::span<const double> params) const override;
+  /// Batch prediction through the compiled program (bit-identical to the
+  /// per-row predict loop; see the semantics contract in expr.hpp).
+  void predict_batch(const Dataset& data,
+                     std::vector<double>& out) const override;
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] const Expr& expr() const noexcept { return expr_; }
+  [[nodiscard]] const ExprProgram& program() const noexcept { return program_; }
   [[nodiscard]] double scale() const noexcept { return scale_; }
   [[nodiscard]] double offset() const noexcept { return offset_; }
   [[nodiscard]] const std::vector<std::string>& param_names() const noexcept {
@@ -43,6 +53,7 @@ class ExprModel final : public PerfModel {
 
  private:
   Expr expr_;
+  ExprProgram program_;  // compiled once at construction
   double scale_;
   double offset_;
   std::vector<std::string> names_;
@@ -61,6 +72,12 @@ struct SymRegConfig {
   std::uint64_t seed = 1;
   /// Stop early once training MAPE (%) drops below this.
   double target_train_mape = 0.5;
+  /// Pool for parallel fitness evaluation; nullptr = the process-wide
+  /// util::TaskPool::shared(). Results are bit-identical for every worker
+  /// count: offspring are bred serially from the config seed, fitness is a
+  /// pure function of the expression written to a per-individual slot, and
+  /// the fitness memo is filled in deterministic serial order.
+  util::TaskPool* pool = nullptr;
 };
 
 struct SymRegResult {
