@@ -22,6 +22,7 @@
 #include "core/arch.hpp"
 #include "core/beo.hpp"
 #include "core/workflow.hpp"
+#include "obs/obs.hpp"
 #include "sim/detail/payload_pool.hpp"
 #include "sim/event_heap.hpp"
 #include "util/rng.hpp"
@@ -141,7 +142,15 @@ SweepResult bench_dse_sweep() {
   };
   core::EngineOptions opt;
   opt.seed = 99;
-  constexpr std::size_t kTrials = 32;
+  // FTBESST_BENCH_TRIALS scales the sweep for gating contexts where the
+  // default mini run is too short to time reliably (scripts/check.sh's obs
+  // overhead gate uses a bigger sample).
+  std::size_t trials = 32;
+  if (const char* e = std::getenv("FTBESST_BENCH_TRIALS"); e && *e) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) trials = static_cast<std::size_t>(v);
+  }
+  const std::size_t kTrials = trials;
 
   SweepResult r;
   auto start = Clock::now();
@@ -165,6 +174,11 @@ SweepResult bench_dse_sweep() {
 }  // namespace
 
 int main() {
+  // Observe the bench itself when obs is on (FTBESST_OBS=1 in the
+  // environment): the scrape below then reports what the pool did across
+  // every measurement in this process.
+  obs::reset();
+  const auto wall_start = Clock::now();
   const double pool_tps = bench_pool_tasks(50000);
   const double pfor_ips = bench_parallel_for(2000000);
   const PayloadResult payload = bench_payload_pool(2000000);
@@ -187,7 +201,30 @@ int main() {
             << "  \"dse_speedup\": "
             << sweep.serial_seconds / sweep.pool_seconds << ",\n"
             << "  \"dse_bit_identical\": "
-            << (sweep.bit_identical ? "true" : "false") << "\n"
-            << "}\n";
+            << (sweep.bit_identical ? "true" : "false") << ",\n"
+            << "  \"obs_enabled\": " << (obs::enabled() ? "true" : "false");
+  if (obs::enabled()) {
+    const double wall = seconds_since(wall_start);
+    const obs::MetricsSnapshot snap = obs::scrape();
+    const double busy_s =
+        static_cast<double>(snap.counter("pool.busy_ns")) * 1e-9;
+    const double utilization =
+        wall > 0.0
+            ? busy_s / (wall * static_cast<double>(
+                                   util::TaskPool::shared().worker_count()))
+            : 0.0;
+    std::cout << ",\n  \"obs\": {\n"
+              << "    \"pool_tasks\": " << snap.counter("pool.tasks") << ",\n"
+              << "    \"pool_steals\": " << snap.counter("pool.steals")
+              << ",\n"
+              << "    \"pool_wakeups\": " << snap.counter("pool.wakeups")
+              << ",\n"
+              << "    \"pool_busy_seconds\": " << busy_s << ",\n"
+              << "    \"pool_queue_high_water\": "
+              << snap.gauge("pool.queue_high_water") << ",\n"
+              << "    \"worker_utilization\": " << utilization << "\n"
+              << "  }";
+  }
+  std::cout << "\n}\n";
   return sweep.bit_identical ? 0 : 1;
 }

@@ -27,6 +27,7 @@
 #include "model/expr.hpp"
 #include "model/expr_program.hpp"
 #include "model/symreg.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/task_pool.hpp"
 
@@ -373,8 +374,22 @@ int main() {
   print_dataset("lulesh_timestep", bl, false);
   print_dataset("fti_checkpoint", bf, false);
   std::cout << "  \"fit_champion_thread_invariant\": "
-            << (invariant ? "true" : "false") << "\n"
-            << "}\n";
+            << (invariant ? "true" : "false") << ",\n"
+            << "  \"obs_enabled\": " << (obs::enabled() ? "true" : "false");
+  if (obs::enabled()) {
+    // Calibration-progress snapshot (the fits above ran with obs on).
+    const obs::MetricsSnapshot snap = obs::scrape();
+    std::cout << ",\n  \"obs\": {\n"
+              << "    \"symreg_generations\": "
+              << snap.counter("symreg.generations") << ",\n"
+              << "    \"symreg_evals\": " << snap.counter("symreg.evals")
+              << ",\n"
+              << "    \"symreg_memo_hits\": "
+              << snap.counter("symreg.memo_hits") << ",\n"
+              << "    \"pool_tasks\": " << snap.counter("pool.tasks") << "\n"
+              << "  }";
+  }
+  std::cout << "\n}\n";
 
   const bool ok = bl.identical && bf.identical && invariant;
   if (!ok) std::cerr << "DIVERGENCE: compiled path disagrees with oracle\n";

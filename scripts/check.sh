@@ -7,7 +7,12 @@
 #     leans on tight pointer/index arithmetic and bit-level float handling;
 #     UBSan guards the batch kernels).
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only]
+#   - an observability pass on the Release tree: the full test suite with
+#     the obs runtime flag forced on (FTBESST_OBS=1), plus a <2% overhead
+#     gate comparing the pool sweep bench with obs on vs off — the
+#     instrumentation must stay near-free.
+#
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -18,13 +23,15 @@ jobs=$(nproc 2>/dev/null || echo 4)
 run_release=1
 run_tsan=1
 run_ubsan=1
+run_obs=1
 case "${1:-}" in
-  --release-only) run_tsan=0; run_ubsan=0 ;;
-  --tsan-only) run_release=0; run_ubsan=0 ;;
-  --ubsan-only) run_release=0; run_tsan=0 ;;
+  --release-only) run_tsan=0; run_ubsan=0; run_obs=0 ;;
+  --tsan-only) run_release=0; run_ubsan=0; run_obs=0 ;;
+  --ubsan-only) run_release=0; run_tsan=0; run_obs=0 ;;
+  --obs-only) run_release=0; run_tsan=0; run_ubsan=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only]" >&2
     exit 2
     ;;
 esac
@@ -34,6 +41,40 @@ if [ "$run_release" = 1 ]; then
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "$jobs"
   ctest --test-dir build-release --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_obs" = 1 ]; then
+  echo "== Observability pass (Release, obs runtime-enabled) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs"
+  # Whole suite with obs forced on: observation must never change results.
+  FTBESST_OBS=1 ctest --test-dir build-release --output-on-failure -j "$jobs"
+
+  # Overhead gate: the pool sweep bench (simulation-task duty cycle — the
+  # instrumentation's real workload) must cost < 2% with obs enabled.
+  # Scale the sweep up (FTBESST_BENCH_TRIALS) so one run is tens of ms,
+  # interleave off/on runs, and compare best-of-5: scheduler noise on a
+  # loaded host shows up as slow outliers, which min-of-N sheds.
+  extract_dse_seconds() {
+    sed -n 's/.*"dse_pool_seconds": \([0-9.eE+-]*\).*/\1/p'
+  }
+  run_sweep() {  # $1 = value of FTBESST_OBS for the run
+    FTBESST_OBS="$1" FTBESST_BENCH_TRIALS=256 \
+      ./build-release/bench/bench_ext_pool | extract_dse_seconds
+  }
+  min_val() { awk -v a="$1" -v b="$2" 'BEGIN{print (a<b || b=="")?a:b}'; }
+  off=""
+  on=""
+  for _ in 1 2 3 4 5; do
+    off=$(min_val "$(run_sweep 0)" "$off")
+    on=$(min_val "$(run_sweep 1)" "$on")
+  done
+  echo "obs overhead gate: dse_pool_seconds off=$off on=$on"
+  if ! awk -v on="$on" -v off="$off" 'BEGIN{exit !(on <= off * 1.02)}'; then
+    echo "!! obs overhead gate FAILED: enabled run is more than 2% slower" >&2
+    exit 1
+  fi
+  echo "obs overhead gate passed (<2%)"
 fi
 
 if [ "$run_tsan" = 1 ]; then

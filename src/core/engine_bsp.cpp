@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace ftbesst::core {
@@ -48,6 +49,14 @@ double instr_duration(const Instr& instr, const AppBEO& app,
 
 RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
                   const EngineOptions& options) {
+  // Counter only, no span: run_bsp is the per-trial engine (thousands of
+  // μs-scale calls per ensemble), so a span here would dominate the obs
+  // enabled cost and flood the trace rings; the ensemble/DSE spans already
+  // bracket this path at a useful granularity.
+  if (obs::enabled()) {
+    static const obs::Counter runs = obs::counter("bsp.runs");
+    runs.add();
+  }
   if (app.ranks() > arch.max_ranks())
     throw std::invalid_argument(
         "application ranks exceed architecture capacity");

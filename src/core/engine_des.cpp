@@ -8,6 +8,7 @@
 
 #include "net/des_network.hpp"
 #include "net/des_torus.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -313,6 +314,7 @@ class Coordinator final : public Component {
 
 RunResult run_des(const AppBEO& app, const ArchBEO& arch,
                   const EngineOptions& options) {
+  FTBESST_OBS_SPAN("core.run_des");
   if (options.inject_faults)
     throw std::invalid_argument(
         "fault injection is handled by the coarse path (run_bsp)");
@@ -373,7 +375,15 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
   }
   coord->set_ranks(std::move(rank_ids));
 
-  simulation.run();
+  const sim::SimStats stats = simulation.run();
+  if (obs::enabled()) {
+    static const obs::Counter runs = obs::counter("des.runs");
+    static const obs::Counter events = obs::counter("des.events");
+    static const obs::Gauge heap_hw = obs::gauge("des.heap_high_water");
+    runs.add();
+    events.add(stats.events_processed);
+    heap_hw.max(static_cast<double>(stats.heap_high_water));
+  }
 
   RunResult result = std::move(coord->result_);
   for (const RankComponent* rc : ranks)

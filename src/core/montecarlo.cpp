@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/task_pool.hpp"
 
@@ -11,8 +12,12 @@ namespace ftbesst::core {
 EnsembleResult run_ensemble(const AppBEO& app, const ArchBEO& arch,
                             EngineOptions options, std::size_t trials,
                             unsigned threads) {
+  FTBESST_OBS_SPAN("core.run_ensemble");
   if (trials == 0) throw std::invalid_argument("need at least one trial");
   options.monte_carlo = true;
+  static const obs::Counter ensembles = obs::counter("mc.ensembles");
+  static const obs::Counter trial_count = obs::counter("mc.trials");
+  ensembles.add();
 
   // Per-trial seeds are derived up front so the result is identical no
   // matter how trials are scheduled across workers.
@@ -25,6 +30,7 @@ EnsembleResult run_ensemble(const AppBEO& app, const ArchBEO& arch,
     EngineOptions per_trial = options;
     per_trial.seed = seeds[t];
     runs[t] = run_bsp(app, arch, per_trial);
+    trial_count.add();
   };
   if (threads == 1 || trials == 1) {
     for (std::size_t t = 0; t < trials; ++t) run_trial(t);

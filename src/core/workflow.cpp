@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/task_pool.hpp"
 
 namespace ftbesst::core {
@@ -36,6 +37,13 @@ std::vector<DsePoint> run_dse(
     const ArchBEO& arch, const EngineOptions& options, std::size_t trials,
     unsigned threads) {
   if (!make_app) throw std::invalid_argument("make_app is required");
+  FTBESST_OBS_SPAN("core.run_dse");
+  // Points-per-second observability: each completed point bumps the counter
+  // and records its wall-clock seconds (clocked only while obs is enabled).
+  static const obs::Counter point_count = obs::counter("dse.points");
+  static const obs::Histogram point_seconds = obs::histogram(
+      "dse.point_seconds",
+      {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 300.0});
   std::vector<DsePoint> out(scenarios.size() * parameter_points.size());
   // One shared-pool task per (scenario, point); each point's run_ensemble
   // fans its trials onto the same pool, so the whole sweep flattens into
@@ -55,12 +63,18 @@ std::vector<DsePoint> run_dse(
       const std::vector<double>* params_p = &params;
       auto run_point = [&make_app, &arch, &out, scenario_p, params_p,
                         per_point, trials, threads, slot] {
+        const bool observed = obs::enabled();
+        const std::uint64_t t0 = observed ? obs::now_ns() : 0;
         const AppBEO app = make_app(*scenario_p, *params_p);
         DsePoint point;
         point.scenario = scenario_p->name;
         point.params = *params_p;
         point.ensemble = run_ensemble(app, arch, per_point, trials, threads);
         out[slot] = std::move(point);
+        if (observed) {
+          point_count.add();
+          point_seconds.observe(static_cast<double>(obs::now_ns() - t0) * 1e-9);
+        }
       };
       if (threads == 1)
         run_point();

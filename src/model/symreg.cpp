@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 #include "util/task_pool.hpp"
 
@@ -171,6 +172,16 @@ SymbolicRegressor::SymbolicRegressor(SymRegConfig config)
 
 SymRegResult SymbolicRegressor::fit(const Dataset& train,
                                     const Dataset& test) const {
+  FTBESST_OBS_SPAN("model.symreg_fit");
+  // Calibration progress: evals counts expensive compile+batch evaluations,
+  // memo_hits the ones the S-expression memo avoided; best_fitness is
+  // observed once per generation.  Pure observation — never touches the RNG
+  // or fitness math, so obs on/off stays bit-identical.
+  static const obs::Counter obs_generations = obs::counter("symreg.generations");
+  static const obs::Counter obs_evals = obs::counter("symreg.evals");
+  static const obs::Counter obs_memo_hits = obs::counter("symreg.memo_hits");
+  static const obs::Histogram obs_best_fitness = obs::histogram(
+      "symreg.best_fitness", {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 10.0});
   if (train.empty()) throw std::invalid_argument("empty training set");
   util::Rng rng(config_.seed);
   const std::size_t num_vars = train.num_params();
@@ -201,6 +212,7 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
   // compile + column-wise evaluation runs on the pool with results written
   // to per-candidate slots — bit-identical for any worker count.
   auto evaluate_population = [&](std::vector<Individual>& inds) {
+    std::uint64_t memo_hits = 0;
     struct Pending {
       const Expr* expr = nullptr;
       Evaluated result;
@@ -216,6 +228,7 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
         inds[i].fit = hit->second.fit;
         inds[i].fitness = hit->second.fitness;
         inds[i].evaluated = true;
+        ++memo_hits;
         continue;
       }
       const auto [it, fresh] =
@@ -251,6 +264,10 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
         inds[i].fitness = pending[p].result.fitness;
         inds[i].evaluated = true;
       }
+    }
+    if (obs::enabled()) {
+      obs_evals.add(pending.size());
+      obs_memo_hits.add(memo_hits);
     }
   };
 
@@ -324,6 +341,10 @@ SymRegResult SymbolicRegressor::fit(const Dataset& train,
                            return a.fitness < b.fitness;
                          });
     result.best_history.push_back(best_it->fitness);
+    if (obs::enabled()) {
+      obs_generations.add();
+      obs_best_fitness.observe(best_it->fitness);
+    }
     consider_champion(*best_it, gen);
     if (best_it->fit.mape < config_.target_train_mape) break;
 

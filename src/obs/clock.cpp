@@ -1,0 +1,33 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace ftbesst::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t epoch_steady_ns() {
+  static const std::uint64_t epoch = steady_ns();
+  return epoch;
+}
+
+std::uint64_t now_ns() {
+  // epoch_steady_ns() is a function-local static: thread-safe init, and the
+  // first caller anchors t=0.  Read the epoch *first* — sampling the clock
+  // before anchoring would make the very first call return a (wrapped)
+  // negative difference.
+  const std::uint64_t epoch = epoch_steady_ns();
+  const std::uint64_t t = steady_ns();
+  return t >= epoch ? t - epoch : 0;
+}
+
+}  // namespace ftbesst::obs

@@ -1,0 +1,19 @@
+#pragma once
+// Monotonic clock shared by every observability consumer (metrics, spans,
+// util::log timestamps).  All readings are nanoseconds since the process
+// epoch, which is captured the first time anyone asks for the time; that
+// keeps trace timestamps small and lets the Chrome trace viewer start at
+// t ~= 0 instead of at an arbitrary steady_clock offset.
+
+#include <cstdint>
+
+namespace ftbesst::obs {
+
+// Nanoseconds since the process epoch (first call wins the epoch).
+std::uint64_t now_ns();
+
+// The epoch itself, as a raw steady_clock reading in ns.  Exposed so tests
+// can sanity-check monotonicity claims.
+std::uint64_t epoch_steady_ns();
+
+}  // namespace ftbesst::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Umbrella header for the observability layer.  Instrumented code includes
+// this and uses:
+//   obs::counter("pool.tasks")            — registration (cold, idempotent)
+//   handle.add() / .set() / .observe()    — hot path, near-free when disabled
+//   FTBESST_OBS_SPAN("core.run_des");     — RAII scoped span
+//   obs::scrape() / obs::write_output_dir — export
+
+#include <string>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ftbesst::obs {
+
+// Force construction of the metrics and trace registries.  Long-lived
+// components that own worker threads (the shared TaskPool) call this in
+// their constructor so the function-local-static registries are built
+// first and therefore destroyed *after* the workers' thread-local shards
+// detach.
+void touch();
+
+// Write metrics.json (scrape), trace.json (Chrome trace events), and
+// summary.txt (flamegraph-style span aggregate) into `dir`, creating it if
+// needed.  Returns false on filesystem errors.
+bool write_output_dir(const std::string& dir);
+
+}  // namespace ftbesst::obs
+
+#define FTBESST_OBS_SPAN_CAT2(a, b) a##b
+#define FTBESST_OBS_SPAN_CAT(a, b) FTBESST_OBS_SPAN_CAT2(a, b)
+// Scoped span named after the enclosing region; `name` must be a string
+// literal (the tracer stores only the pointer).
+#define FTBESST_OBS_SPAN(name) \
+  ::ftbesst::obs::Span FTBESST_OBS_SPAN_CAT(ftbesst_obs_span_, __LINE__)(name)

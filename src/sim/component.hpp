@@ -86,6 +86,10 @@ class Component {
   std::uint32_t partition_ = 0;
   std::string name_;
   std::map<std::string, std::uint64_t> counters_;
+  /// Wall-clock ns spent in handle_event, accumulated by Simulation::dispatch
+  /// only while obs is enabled and folded into the obs registry (counter
+  /// "sim.busy_ns.<name sans trailing digits>") at the end of each run.
+  std::uint64_t obs_busy_ns_ = 0;
 };
 
 }  // namespace ftbesst::sim

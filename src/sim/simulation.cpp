@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "sim/detail/tls.hpp"
 #include "util/log.hpp"
 
@@ -22,6 +23,30 @@ using detail::t_current_time;
 
 SimTime saturating_add(SimTime a, SimTime b) noexcept {
   return (kNever - a < b) ? kNever : a + b;
+}
+
+struct SimMetrics {
+  obs::Counter events = obs::counter("sim.events");
+  obs::Gauge heap_high_water = obs::gauge("sim.heap_high_water");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+
+// Group per-component busy time by component *kind*: trailing instance
+// digits (and any separator left dangling) are stripped, so "rank0".."rank7"
+// all fold into "sim.busy_ns.rank".
+std::string busy_counter_name(const std::string& component_name) {
+  std::string_view base = component_name;
+  while (!base.empty() && base.back() >= '0' && base.back() <= '9')
+    base.remove_suffix(1);
+  while (!base.empty() &&
+         (base.back() == '_' || base.back() == '.' || base.back() == '-'))
+    base.remove_suffix(1);
+  if (base.empty()) base = component_name;
+  return "sim.busy_ns." + std::string(base);
 }
 }  // namespace
 
@@ -149,8 +174,32 @@ void Simulation::finish_components() {
 
 void Simulation::dispatch(Event& ev, std::uint64_t& counter) {
   t_current_time = ev.time;
-  components_[ev.dst]->handle_event(ev.port, std::move(ev.payload));
+  Component& dst = *components_[ev.dst];
+  if (obs::enabled()) {
+    const std::uint64_t t0 = obs::now_ns();
+    dst.handle_event(ev.port, std::move(ev.payload));
+    dst.obs_busy_ns_ += obs::now_ns() - t0;
+  } else {
+    dst.handle_event(ev.port, std::move(ev.payload));
+  }
   ++counter;
+}
+
+void Simulation::fold_obs_stats(const SimStats& stats) {
+  if (!obs::enabled()) {
+    // Keep the accumulators clean even if obs was switched off mid-run.
+    for (auto& c : components_) c->obs_busy_ns_ = 0;
+    return;
+  }
+  SimMetrics& m = sim_metrics();
+  m.events.add(stats.events_processed);
+  m.heap_high_water.max(static_cast<double>(stats.heap_high_water));
+  for (auto& c : components_) {
+    if (c->obs_busy_ns_ == 0) continue;
+    // Registration is idempotent and cold (once per component per run end).
+    obs::counter(busy_counter_name(c->name())).add(c->obs_busy_ns_);
+    c->obs_busy_ns_ = 0;
+  }
 }
 
 SimStats Simulation::run(SimTime until) {
@@ -162,6 +211,8 @@ SimStats Simulation::run(SimTime until) {
   init_components();
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.top().time > until) break;
+    stats.heap_high_water =
+        std::max<std::uint64_t>(stats.heap_high_water, queue_.size());
     Event ev = queue_.pop();
     dispatch(ev, stats.events_processed);
   }
@@ -170,6 +221,7 @@ SimStats Simulation::run(SimTime until) {
   running_ = false;
   finish_components();
   events_processed_ += stats.events_processed;
+  fold_obs_stats(stats);
   return stats;
 }
 
@@ -247,6 +299,8 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
       if (done) return;
       t_current_partition = static_cast<std::int64_t>(part);
       while (!mine.queue.empty() && mine.queue.top().time < window_end_) {
+        mine.heap_high_water =
+            std::max<std::uint64_t>(mine.heap_high_water, mine.queue.size());
         Event ev = mine.queue.pop();
         dispatch(ev, mine.events_processed);
       }
@@ -290,6 +344,8 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
 
   for (auto& part : partitions_) {
     stats.events_processed += part->events_processed;
+    stats.heap_high_water =
+        std::max(stats.heap_high_water, part->heap_high_water);
     // Return undrained events to the serial queue so a later run() resumes.
     while (!part->queue.empty()) queue_.push(part->queue.pop());
   }
@@ -300,6 +356,7 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
   running_ = false;
   finish_components();
   events_processed_ += stats.events_processed;
+  fold_obs_stats(stats);
   return stats;
 }
 

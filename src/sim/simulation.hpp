@@ -52,6 +52,9 @@ using CounterTotals = std::vector<std::pair<std::string, std::uint64_t>>;
 struct SimStats {
   std::uint64_t events_processed = 0;
   std::uint64_t windows = 0;  ///< parallel barrier windows (0 for serial)
+  /// Deepest event queue observed during the run (max over partition queues
+  /// in parallel mode) — the working-set measure the DES heap is sized by.
+  std::uint64_t heap_high_water = 0;
   SimTime end_time = 0;
 };
 
@@ -117,12 +120,16 @@ class Simulation {
     std::vector<Event> inbox;  // cross-partition deliveries, merged at barrier
     std::mutex inbox_mutex;
     std::uint64_t events_processed = 0;
+    std::uint64_t heap_high_water = 0;
   };
 
   void register_component(std::unique_ptr<Component> component);
   void init_components();
   void finish_components();
   void dispatch(Event& ev, std::uint64_t& counter);
+  /// Fold run totals and per-component busy time into the obs registry
+  /// (no-op while obs is disabled); clears the per-component accumulators.
+  void fold_obs_stats(const SimStats& stats);
   /// Partition lookahead: the minimum cross-partition link latency. Returns
   /// 0 when any cross-partition link has zero latency (parallel unsafe).
   [[nodiscard]] SimTime compute_lookahead() const;

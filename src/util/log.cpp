@@ -1,8 +1,11 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+
+#include "obs/clock.hpp"
 
 namespace ftbesst::util {
 
@@ -27,8 +30,24 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // The whole line is formatted up front and emitted with one write under
+  // the mutex, so concurrent TaskPool workers can never shear a line
+  // mid-way.  The timestamp is the obs monotonic clock (seconds since the
+  // process epoch) — the same timebase span traces use, so log lines and
+  // trace events line up.
+  char header[64];
+  const int header_len = std::snprintf(
+      header, sizeof(header), "[ftbesst:%s +%.6fs] ", level_name(level),
+      static_cast<double>(obs::now_ns()) * 1e-9);
+  std::string line;
+  line.reserve(static_cast<std::size_t>(header_len) + msg.size() + 1);
+  line.append(header, static_cast<std::size_t>(header_len));
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[ftbesst:" << level_name(level) << "] " << msg << '\n';
+  // Through std::cerr (not fwrite) so rdbuf redirection keeps working for
+  // tests and embedders; cerr is unit-buffered, so this flushes too.
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 }  // namespace ftbesst::util

@@ -2,6 +2,12 @@
 // Minimal leveled logging. Simulation libraries must never write to stdout
 // uninvited (bench output is parsed), so everything goes to stderr and is
 // silent by default above the configured level.
+//
+// Lines look like "[ftbesst:WARN +1.234567s] message": the timestamp is the
+// obs monotonic clock (seconds since process epoch), so log lines correlate
+// directly with span-trace timestamps.  Each message is formatted fully and
+// written to the sink in a single locked write — concurrent workers cannot
+// interleave characters inside a line.
 
 #include <sstream>
 #include <string>

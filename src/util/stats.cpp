@@ -36,8 +36,14 @@ double sample_stddev(std::span<const double> xs) {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) return 0.0;
-  std::vector<double> sorted(xs.begin(), xs.end());
+  // See stats.hpp: NaNs are dropped (they have no rank and break the sort's
+  // ordering); empty-after-filter returns 0.0; one element is every
+  // quantile of itself (the interpolation below handles that case: pos = 0).
+  std::vector<double> sorted;
+  sorted.reserve(xs.size());
+  for (double x : xs)
+    if (!std::isnan(x)) sorted.push_back(x);
+  if (sorted.empty()) return 0.0;
   std::sort(sorted.begin(), sorted.end());
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);

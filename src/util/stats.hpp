@@ -18,13 +18,21 @@ struct Summary {
   double median = 0.0;
 };
 
-/// Compute a full summary. Empty input yields a zeroed Summary.
+/// Compute a full summary. Empty input yields a zeroed Summary.  The median
+/// follows quantile()'s NaN semantics (NaNs dropped); mean/stddev/min/max
+/// are raw and will propagate NaNs, as plain arithmetic does.
 [[nodiscard]] Summary summarize(std::span<const double> xs);
 
 [[nodiscard]] double mean(std::span<const double> xs);
 [[nodiscard]] double sample_stddev(std::span<const double> xs);
 
 /// Linear-interpolated quantile, q in [0,1]. Input need not be sorted.
+/// Chosen semantics for degenerate inputs (obs histograms feed this, and a
+/// NaN would otherwise poison the sort's strict-weak ordering):
+///   - NaN elements carry no rank information and are dropped before
+///     ranking; quantiles are computed over the finite-ordered remainder.
+///   - Empty input, or input that is all-NaN, returns 0.0.
+///   - A single (surviving) element is every quantile of itself.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Mean Absolute Percentage Error, in percent:

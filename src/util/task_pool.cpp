@@ -4,12 +4,33 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace ftbesst::util {
 
 namespace {
 // Which pool (if any) the current thread is a worker of, and its index.
 thread_local TaskPool* t_pool = nullptr;
 thread_local int t_worker = -1;
+
+// Pool instrumentation.  Handles are registered once (cold path); every use
+// below is a relaxed-load-and-branch when obs is disabled.  pool.busy_ns is
+// accumulated per worker wake-cycle, not per task, so the enabled-path cost
+// stays off the per-task critical path; helping threads (TaskGroup::wait)
+// contribute to pool.tasks but not to pool.busy_ns, which measures worker
+// occupancy only.
+struct PoolMetrics {
+  obs::Counter tasks = obs::counter("pool.tasks");
+  obs::Counter steals = obs::counter("pool.steals");
+  obs::Counter busy_ns = obs::counter("pool.busy_ns");
+  obs::Counter wakeups = obs::counter("pool.wakeups");
+  obs::Gauge queue_high_water = obs::gauge("pool.queue_high_water");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 unsigned default_worker_count() {
   if (const char* env = std::getenv("FTBESST_THREADS")) {
@@ -21,6 +42,13 @@ unsigned default_worker_count() {
 }  // namespace
 
 TaskPool::TaskPool(unsigned workers) {
+  // Force the obs registries (function-local statics) into existence before
+  // any worker thread is spawned: worker thread-local shards detach from the
+  // registries at thread exit, and for the shared() pool that happens during
+  // static destruction — construction order here guarantees the registries
+  // are torn down after the pool has joined its workers.
+  obs::touch();
+  pool_metrics();
   if (workers == 0) workers = default_worker_count();
   workers = std::max(1u, workers);
   workers_.reserve(workers);
@@ -56,7 +84,8 @@ void TaskPool::submit(Task task) {
     std::lock_guard<std::mutex> lock(mutex_);
     global_.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth = queued_.fetch_add(1, std::memory_order_release) + 1;
+  pool_metrics().queue_high_water.max(static_cast<double>(depth));
   // Empty critical section: pairs with the sleep predicate so a worker
   // between its predicate check and its sleep cannot miss this notify.
   { std::lock_guard<std::mutex> lock(mutex_); }
@@ -93,6 +122,7 @@ bool TaskPool::try_pop(int self, Task& out) {
       out = std::move(other.deque.front());
       other.deque.pop_front();
       queued_.fetch_sub(1, std::memory_order_acq_rel);
+      pool_metrics().steals.add();
       return true;
     }
   }
@@ -100,6 +130,7 @@ bool TaskPool::try_pop(int self, Task& out) {
 }
 
 void TaskPool::run_task(Task& task) noexcept {
+  pool_metrics().tasks.add();
   std::exception_ptr error;
   try {
     task.fn();
@@ -122,7 +153,24 @@ void TaskPool::worker_loop(unsigned index) {
   t_worker = static_cast<int>(index);
   for (;;) {
     Task task;
-    while (try_pop(static_cast<int>(index), task)) run_task(task);
+    if (obs::enabled()) {
+      // Clock the whole drain cycle (one wake), not each task: busy time is
+      // what utilization needs, and per-cycle clocking keeps the enabled
+      // cost amortized over however many tasks the cycle runs.
+      const std::uint64_t t0 = obs::now_ns();
+      std::uint64_t ran = 0;
+      while (try_pop(static_cast<int>(index), task)) {
+        run_task(task);
+        ++ran;
+      }
+      if (ran > 0) {
+        PoolMetrics& m = pool_metrics();
+        m.busy_ns.add(obs::now_ns() - t0);
+        m.wakeups.add();
+      }
+    } else {
+      while (try_pop(static_cast<int>(index), task)) run_task(task);
+    }
     std::unique_lock<std::mutex> lock(mutex_);
     wake_.wait(lock, [this] {
       return stop_ || queued_.load(std::memory_order_acquire) > 0;

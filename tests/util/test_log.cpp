@@ -4,6 +4,9 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace ftbesst::util {
 namespace {
@@ -44,6 +47,44 @@ TEST_F(LogTest, MessagesAtOrAboveThresholdAreEmitted) {
   EXPECT_NE(out.find("INFO"), std::string::npos);
   EXPECT_NE(out.find("hello 42"), std::string::npos);
   EXPECT_NE(out.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, LinesCarryMonotonicTimestamps) {
+  set_log_level(LogLevel::kInfo);
+  CaptureStderr capture;
+  FTBESST_INFO << "stamped";
+  const std::string out = capture.text();
+  // Shape: "[ftbesst:INFO +1.234567s] stamped"
+  EXPECT_EQ(out.rfind("[ftbesst:INFO +", 0), 0u) << out;
+  EXPECT_NE(out.find("s] stamped"), std::string::npos) << out;
+}
+
+TEST_F(LogTest, ConcurrentEmissionNeverShearsLines) {
+  set_log_level(LogLevel::kInfo);
+  CaptureStderr capture;
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i)
+          FTBESST_INFO << "worker " << t << " line " << i << " end";
+      });
+    for (auto& th : threads) th.join();
+  }
+  // Every captured line must be whole: header prefix at the front, the
+  // trailing token at the end, and exactly threads x lines of them.
+  std::istringstream is(capture.text());
+  std::string line;
+  int count = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.rfind("[ftbesst:INFO +", 0), 0u) << "sheared: " << line;
+    EXPECT_EQ(line.rfind(" end"), line.size() - 4) << "sheared: " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST_F(LogTest, OffSilencesEverything) {

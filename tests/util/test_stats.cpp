@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -130,6 +131,38 @@ TEST(RunningStats, EmptyAndSingleton) {
   rs.add(7.0);
   EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Quantile, NanElementsAreDroppedBeforeRanking) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // {nan, 3, nan, 1, 2} ranks over {1, 2, 3}.
+  const std::vector<double> xs{nan, 3.0, nan, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+  EXPECT_FALSE(std::isnan(quantile(xs, 0.25)));
+}
+
+TEST(Quantile, AllNanAndEmptyReturnZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{nan, nan}, 0.5), 0.0);
+}
+
+TEST(Quantile, SingleElementIsEveryQuantile) {
+  const std::vector<double> one{42.0};
+  for (double q : {0.0, 0.1, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(quantile(one, q), 42.0);
+  // A single survivor after NaN filtering behaves the same way.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{nan, 7.0, nan}, 0.5), 7.0);
+}
+
+TEST(Summary, MedianFollowsQuantileNanSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs{nan, 5.0, 1.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);  // median of {1, 3, 5}
 }
 
 struct QuantileCase {

@@ -19,6 +19,29 @@ run_step(${FTBESST} crossval --data ckpt_l1.csv --folds 4)
 run_step(${FTBESST} simulate --models . --epr 15 --ranks 512 --plan L1:40
          --trials 5)
 
+# --obs-out must produce the three observability artifacts, and the trace
+# must be Chrome-trace JSON (Perfetto-loadable) with at least one event.
+run_step(${FTBESST} simulate --models . --epr 15 --ranks 512 --plan L1:40
+         --trials 5 --obs-out obs)
+foreach(artifact metrics.json trace.json summary.txt)
+  if(NOT EXISTS ${WORK_DIR}/obs/${artifact})
+    message(FATAL_ERROR "--obs-out did not write obs/${artifact}")
+  endif()
+endforeach()
+file(READ ${WORK_DIR}/obs/trace.json trace_json)
+if(NOT trace_json MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "obs/trace.json is not a Chrome trace: ${trace_json}")
+endif()
+if(NOT trace_json MATCHES "\"ph\": \"X\"")
+  message(FATAL_ERROR "obs/trace.json contains no complete events")
+endif()
+file(READ ${WORK_DIR}/obs/metrics.json metrics_json)
+foreach(counter "pool.tasks" "bsp.runs" "mc.trials")
+  if(NOT metrics_json MATCHES "\"${counter}\"")
+    message(FATAL_ERROR "obs/metrics.json is missing ${counter}")
+  endif()
+endforeach()
+
 file(WRITE ${WORK_DIR}/faults.csv
      "100,3,loss\n250,1,crash\n380,7,loss\n505,2,loss\n660,4,loss\n")
 run_step(${FTBESST} faultlog --log faults.csv --nodes 16)

@@ -60,6 +60,7 @@
 #include "model/serialize.hpp"
 #include "apps/stencil3d.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "util/args.hpp"
 #include "util/config.hpp"
 
@@ -69,6 +70,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ftbesst <calibrate|fit|predict|simulate> [flags]\n"
+               "every command also accepts --obs-out DIR (write metrics.json,\n"
+               "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
   return 2;
 }
@@ -347,6 +350,11 @@ int cmd_run_experiment(const util::ArgParser& args) {
   buffer << is.rdbuf();
   const util::Config cfg = util::Config::parse(buffer.str());
 
+  // --- observability (optional [obs] section) ---
+  const std::string obs_out = cfg.get_string("obs", "out", "");
+  if (cfg.get_bool("obs", "enabled", false) || !obs_out.empty())
+    obs::enable(true);
+
   // --- machine & FTI ---
   ft::FtiConfig fti;
   fti.group_size = static_cast<int>(cfg.get_int("machine", "group_size", 4));
@@ -453,7 +461,26 @@ int cmd_run_experiment(const util::ArgParser& args) {
     std::cout << "mean faults:    " << ens.mean_faults << "\n"
               << "mean rollbacks: " << ens.mean_rollbacks << "\n"
               << "full restarts:  " << ens.mean_full_restarts << "\n";
+  if (!obs_out.empty()) {
+    if (obs::write_output_dir(obs_out))
+      std::cerr << "obs: wrote metrics.json, trace.json, summary.txt to "
+                << obs_out << "\n";
+    else
+      std::cerr << "obs: failed to write " << obs_out << "\n";
+  }
   return 0;
+}
+
+int dispatch(const std::string& command, const util::ArgParser& args) {
+  if (command == "calibrate") return cmd_calibrate(args);
+  if (command == "fit") return cmd_fit(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "crossval") return cmd_crossval(args);
+  if (command == "plan") return cmd_plan(args);
+  if (command == "faultlog") return cmd_faultlog(args);
+  if (command == "run-experiment") return cmd_run_experiment(args);
+  return usage();
 }
 
 }  // namespace
@@ -463,15 +490,20 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     const util::ArgParser args(argc - 1, argv + 1);
-    if (command == "calibrate") return cmd_calibrate(args);
-    if (command == "fit") return cmd_fit(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "crossval") return cmd_crossval(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "faultlog") return cmd_faultlog(args);
-    if (command == "run-experiment") return cmd_run_experiment(args);
-    return usage();
+    // --obs-out enables the observability layer for the whole command and
+    // dumps its artifacts at the end.  stdout carries the command's parsed
+    // output, so the note goes to stderr.
+    const auto obs_out = args.get("obs-out");
+    if (obs_out) obs::enable(true);
+    const int rc = dispatch(command, args);
+    if (obs_out) {
+      if (obs::write_output_dir(*obs_out))
+        std::cerr << "obs: wrote metrics.json, trace.json, summary.txt to "
+                  << *obs_out << "\n";
+      else
+        std::cerr << "obs: failed to write " << *obs_out << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
