@@ -12,7 +12,12 @@
 #     gate comparing the pool sweep bench with obs on vs off — the
 #     instrumentation must stay near-free.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only]
+#   - a prediction-service pass: the svc test binary (server, cache,
+#     single-flight) under ThreadSanitizer, plus the bench_ext_svc load
+#     generator on the Release tree, which gates cache hits being >= 100x
+#     faster than cold computations.
+#
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -24,14 +29,16 @@ run_release=1
 run_tsan=1
 run_ubsan=1
 run_obs=1
+run_svc=1
 case "${1:-}" in
-  --release-only) run_tsan=0; run_ubsan=0; run_obs=0 ;;
-  --tsan-only) run_release=0; run_ubsan=0; run_obs=0 ;;
-  --ubsan-only) run_release=0; run_tsan=0; run_obs=0 ;;
-  --obs-only) run_release=0; run_tsan=0; run_ubsan=0 ;;
+  --release-only) run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0 ;;
+  --tsan-only) run_release=0; run_ubsan=0; run_obs=0; run_svc=0 ;;
+  --ubsan-only) run_release=0; run_tsan=0; run_obs=0; run_svc=0 ;;
+  --obs-only) run_release=0; run_tsan=0; run_ubsan=0; run_svc=0 ;;
+  --svc-only) run_release=0; run_tsan=0; run_ubsan=0; run_obs=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only]" >&2
     exit 2
     ;;
 esac
@@ -105,6 +112,33 @@ if [ "$run_ubsan" = 1 ]; then
   else
     echo "!! UndefinedBehaviorSanitizer unavailable on this toolchain; skipped" >&2
   fi
+fi
+
+if [ "$run_svc" = 1 ]; then
+  echo "== Prediction service pass =="
+  # The server's event loop, per-connection write locks, single-flight
+  # coalescing, and drain path are the raciest code in the tree: run the
+  # whole svc test binary under TSan (same probe-and-skip as the TSan pass).
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target test_svc
+    ./build-tsan/tests/test_svc
+  else
+    echo "!! ThreadSanitizer unavailable; svc tests run unsanitized" >&2
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$jobs" --target test_svc
+    ./build-release/tests/test_svc
+  fi
+
+  # Load-generator gate: bench_ext_svc exits non-zero unless every response
+  # was well-formed, hot bytes matched cold bytes, and a cache hit was at
+  # least 100x faster than the cold computation.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target bench_ext_svc
+  ./build-release/bench/bench_ext_svc
+  echo "svc pass: TSan tests + 100x cache-hit gate passed"
 fi
 
 echo "check.sh: all requested configurations passed"

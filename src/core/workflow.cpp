@@ -29,6 +29,74 @@ ModelSuite develop_models(
   return suite;
 }
 
+std::vector<ft::PlanEntry> parse_plan(const std::string& text) {
+  std::vector<ft::PlanEntry> plan;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    std::string part = text.substr(start, end - start);
+    // Trim surrounding spaces so "L1:40, L2:40" parses.
+    while (!part.empty() && part.front() == ' ') part.erase(0, 1);
+    while (!part.empty() && part.back() == ' ') part.pop_back();
+    if (!part.empty()) {
+      const auto bad = [&part](const std::string& why) {
+        return std::invalid_argument("bad plan entry '" + part + "': " + why +
+                                     " (expected e.g. L1:40 or L4:100a)");
+      };
+      if (part[0] != 'L' && part[0] != 'l') throw bad("must start with L");
+      const auto colon = part.find(':');
+      if (colon == std::string::npos || colon < 2) throw bad("missing ':'");
+      ft::PlanEntry entry;
+      std::string period_text = part.substr(colon + 1);
+      if (!period_text.empty() &&
+          (period_text.back() == 'a' || period_text.back() == 'A')) {
+        entry.async = true;
+        period_text.pop_back();
+      }
+      std::size_t used = 0;
+      int level = 0, period = 0;
+      try {
+        level = std::stoi(part.substr(1, colon - 1), &used);
+        if (used != colon - 1) throw std::invalid_argument("trailing");
+        period = std::stoi(period_text, &used);
+        if (used != period_text.size()) throw std::invalid_argument("trailing");
+      } catch (const std::invalid_argument&) {
+        throw bad("level and period must be integers");
+      } catch (const std::out_of_range&) {
+        throw bad("level or period out of range");
+      }
+      if (level < 1 || level > 4) throw bad("checkpoint level must be 1-4");
+      if (period < 1) throw bad("period must be >= 1 timestep");
+      entry.level = static_cast<ft::Level>(level);
+      entry.period = period;
+      plan.push_back(entry);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  validate_plan(plan);
+  return plan;
+}
+
+void validate_plan(const std::vector<ft::PlanEntry>& plan) {
+  bool seen[5] = {};
+  for (const ft::PlanEntry& e : plan) {
+    const int level = static_cast<int>(e.level);
+    if (level < 1 || level > 4)
+      throw std::invalid_argument("checkpoint level must be 1-4, got L" +
+                                  std::to_string(level));
+    if (e.period < 1)
+      throw std::invalid_argument("checkpoint period must be >= 1, got " +
+                                  std::to_string(e.period) + " for L" +
+                                  std::to_string(level));
+    if (seen[level])
+      throw std::invalid_argument("duplicate checkpoint level L" +
+                                  std::to_string(level) + " in plan");
+    seen[level] = true;
+  }
+}
+
 std::vector<DsePoint> run_dse(
     const std::vector<Scenario>& scenarios,
     const std::vector<std::vector<double>>& parameter_points,

@@ -52,6 +52,21 @@ struct Scenario {
   std::vector<ft::PlanEntry> plan;
 };
 
+/// Parse a textual checkpoint plan: comma-separated `L<level>:<period>`
+/// entries, e.g. "L1:40,L2:40"; a trailing `a` marks an asynchronous
+/// (staged) checkpoint ("L4:100a"). Empty text is the valid "No FT" plan.
+/// This is the single plan grammar shared by the CLI and the prediction
+/// service, so malformed client input fails here with a clean
+/// std::invalid_argument naming the offending entry — never deeper in the
+/// engine. Rejected: bad syntax, levels outside 1-4, periods < 1, and
+/// duplicate levels.
+[[nodiscard]] std::vector<ft::PlanEntry> parse_plan(const std::string& text);
+
+/// Validate an already-built plan with the same rules as parse_plan
+/// (duplicate levels, period < 1, level range). Throws
+/// std::invalid_argument with the reason.
+void validate_plan(const std::vector<ft::PlanEntry>& plan);
+
 /// One cell of the co-design sweep.
 struct DsePoint {
   std::string scenario;

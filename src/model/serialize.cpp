@@ -1,5 +1,6 @@
 #include "model/serialize.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -16,25 +17,42 @@ namespace {
 
 constexpr const char* kMagic = "ftbesst-model v1";
 
+// Every numeric field must survive a text round-trip exactly; NaN and
+// infinity would serialize, reload, and then silently poison every
+// downstream prediction, so both save and load refuse them up front.
+double checked_finite(double v, const char* what) {
+  if (!std::isfinite(v))
+    throw std::invalid_argument(std::string("non-finite ") + what +
+                                " in model serialization");
+  return v;
+}
+
 void save_model_body(std::ostream& os, const PerfModel& model) {
   os << std::setprecision(17);
   if (const auto* noisy = dynamic_cast<const NoisyModel*>(&model)) {
-    os << "noisy " << noisy->log_sigma() << '\n';
+    os << "noisy " << checked_finite(noisy->log_sigma(), "noisy log_sigma")
+       << '\n';
     save_model_body(os, *noisy->base());
     return;
   }
   if (const auto* constant = dynamic_cast<const ConstantModel*>(&model)) {
-    os << "constant " << constant->predict(std::span<const double>{}) << '\n';
+    os << "constant "
+       << checked_finite(constant->predict(std::span<const double>{}),
+                         "constant value")
+       << '\n';
     return;
   }
   if (const auto* pl = dynamic_cast<const PowerLawModel*>(&model)) {
-    os << "powerlaw " << pl->coefficient() << ' ' << pl->exponents().size();
-    for (double e : pl->exponents()) os << ' ' << e;
+    os << "powerlaw " << checked_finite(pl->coefficient(), "powerlaw coefficient")
+       << ' ' << pl->exponents().size();
+    for (double e : pl->exponents())
+      os << ' ' << checked_finite(e, "powerlaw exponent");
     os << '\n';
     return;
   }
   if (const auto* expr = dynamic_cast<const ExprModel*>(&model)) {
-    os << "exprmodel " << expr->scale() << ' ' << expr->offset() << ' '
+    os << "exprmodel " << checked_finite(expr->scale(), "exprmodel scale")
+       << ' ' << checked_finite(expr->offset(), "exprmodel offset") << ' '
        << expr->param_names().size();
     for (const auto& name : expr->param_names()) os << ' ' << name;
     os << '\n' << expr->expr().to_sexpr() << '\n';
@@ -59,21 +77,26 @@ PerfModelPtr load_model_body(std::istream& is) {
   if (kind == "noisy") {
     double sigma = 0.0;
     if (!(ls >> sigma)) throw std::invalid_argument("bad noisy line");
+    checked_finite(sigma, "noisy log_sigma");
     PerfModelPtr base = load_model_body(is);
     return std::make_shared<NoisyModel>(std::move(base), sigma);
   }
   if (kind == "constant") {
     double value = 0.0;
     if (!(ls >> value)) throw std::invalid_argument("bad constant line");
+    checked_finite(value, "constant value");
     return std::make_shared<ConstantModel>(value);
   }
   if (kind == "powerlaw") {
     double coeff = 0.0;
     std::size_t n = 0;
     if (!(ls >> coeff >> n)) throw std::invalid_argument("bad powerlaw line");
+    checked_finite(coeff, "powerlaw coefficient");
     std::vector<double> exponents(n);
-    for (auto& e : exponents)
+    for (auto& e : exponents) {
       if (!(ls >> e)) throw std::invalid_argument("bad powerlaw exponents");
+      checked_finite(e, "powerlaw exponent");
+    }
     return std::make_shared<PowerLawModel>(coeff, std::move(exponents));
   }
   if (kind == "exprmodel") {
@@ -81,6 +104,8 @@ PerfModelPtr load_model_body(std::istream& is) {
     std::size_t n = 0;
     if (!(ls >> scale >> offset >> n))
       throw std::invalid_argument("bad exprmodel line");
+    checked_finite(scale, "exprmodel scale");
+    checked_finite(offset, "exprmodel offset");
     std::vector<std::string> names(n);
     for (auto& name : names)
       if (!(ls >> name)) throw std::invalid_argument("bad exprmodel names");
@@ -99,8 +124,10 @@ PerfModelPtr load_model_body(std::istream& is) {
       throw std::invalid_argument("feature count mismatch on load");
     std::istringstream ws(read_line(is));
     std::vector<double> weights(num_weights);
-    for (auto& w : weights)
+    for (auto& w : weights) {
       if (!(ws >> w)) throw std::invalid_argument("bad feature weights");
+      checked_finite(w, "feature weight");
+    }
     return std::make_shared<FeatureModel>(std::move(lib), std::move(weights));
   }
   throw std::invalid_argument("unknown model kind '" + kind + "'");
@@ -121,7 +148,7 @@ bool try_save_feature_model(std::ostream& os, const PerfModel& model) {
   os << std::setprecision(17);
   os << "featuremodel " << tag << ' ' << feat->weights().size() << '\n';
   for (std::size_t i = 0; i < feat->weights().size(); ++i)
-    os << (i ? " " : "") << feat->weights()[i];
+    os << (i ? " " : "") << checked_finite(feat->weights()[i], "feature weight");
   os << '\n';
   return true;
 }
@@ -133,7 +160,8 @@ void save_model(std::ostream& os, const PerfModel& model) {
   // NoisyModel over a FeatureModel must recurse through the noisy header
   // first; handle that explicitly.
   if (const auto* noisy = dynamic_cast<const NoisyModel*>(&model)) {
-    os << std::setprecision(17) << "noisy " << noisy->log_sigma() << '\n';
+    os << std::setprecision(17) << "noisy "
+       << checked_finite(noisy->log_sigma(), "noisy log_sigma") << '\n';
     if (!try_save_feature_model(os, *noisy->base()))
       save_model_body(os, *noisy->base());
     return;
@@ -168,8 +196,9 @@ void save_dataset(std::ostream& os, const Dataset& data) {
   os << "sample\n";
   for (const Row& row : data.rows())
     for (double sample : row.samples) {
-      for (double p : row.params) os << p << ',';
-      os << sample << '\n';
+      for (double p : row.params)
+        os << checked_finite(p, "dataset parameter") << ',';
+      os << checked_finite(sample, "dataset sample") << '\n';
     }
 }
 
@@ -200,7 +229,18 @@ Dataset load_dataset(std::istream& is) {
     std::istringstream ls(line);
     std::vector<double> values;
     std::string cell;
-    while (std::getline(ls, cell, ',')) values.push_back(std::stod(cell));
+    while (std::getline(ls, cell, ',')) {
+      std::size_t used = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(cell, &used);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad dataset cell '" + cell + "'");
+      }
+      if (used != cell.size())
+        throw std::invalid_argument("bad dataset cell '" + cell + "'");
+      values.push_back(checked_finite(v, "dataset cell"));
+    }
     if (values.size() != names.size() + 1)
       throw std::invalid_argument("dataset row width mismatch");
     std::vector<double> params(values.begin(), values.end() - 1);

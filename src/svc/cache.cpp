@@ -1,0 +1,178 @@
+#include "svc/cache.hpp"
+
+#include <stdexcept>
+
+#include "obs/clock.hpp"
+#include "obs/obs.hpp"
+
+namespace ftbesst::svc {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter hits = obs::counter("svc.cache.hits");
+  obs::Counter misses = obs::counter("svc.cache.misses");
+  obs::Counter evictions = obs::counter("svc.cache.evictions");
+  obs::Gauge bytes = obs::gauge("svc.cache.bytes");
+  obs::Gauge entries = obs::gauge("svc.cache.entries");
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::uint64_t ResultCache::hash_key(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(CacheConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  per_shard_budget_ = config_.max_bytes / config_.shards;
+  if (per_shard_budget_ == 0) per_shard_budget_ = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  metrics();  // register the obs names before any hot-path handle use
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::string_view key) {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+void ResultCache::drop_entry(Shard& shard, std::list<Entry>::iterator it) {
+  shard.bytes -= it->bytes;
+  bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard.index.erase(std::string_view(it->key));
+  shard.lru.erase(it);
+}
+
+std::shared_ptr<const std::string> ResultCache::get(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::shared_ptr<const std::string> value;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      const auto entry = it->second;
+      if (entry->expires_ns != 0 && obs::now_ns() >= entry->expires_ns) {
+        drop_entry(shard, entry);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        metrics().evictions.add();
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, entry);
+        value = entry->value;
+      }
+    }
+  }
+  if (value) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics().hits.add();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics().misses.add();
+  }
+  return value;
+}
+
+void ResultCache::evict_over_budget(Shard& shard) {
+  while (shard.bytes > per_shard_budget_ && !shard.lru.empty()) {
+    drop_entry(shard, std::prev(shard.lru.end()));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    metrics().evictions.add();
+  }
+}
+
+void ResultCache::put(std::string_view key,
+                      std::shared_ptr<const std::string> value) {
+  if (!value) throw std::invalid_argument("ResultCache::put: null value");
+  Entry entry;
+  entry.key.assign(key);
+  entry.bytes = key.size() + value->size() + sizeof(Entry);
+  entry.value = std::move(value);
+  if (config_.ttl_seconds > 0.0)
+    entry.expires_ns =
+        obs::now_ns() +
+        static_cast<std::uint64_t>(config_.ttl_seconds * 1e9);
+
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) drop_entry(shard, it->second);
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += shard.lru.front().bytes;
+    bytes_.fetch_add(shard.lru.front().bytes, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    evict_over_budget(shard);
+  }
+  metrics().bytes.set(static_cast<double>(bytes_.load()));
+  metrics().entries.set(static_cast<double>(entries_.load()));
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    while (!shard->lru.empty()) drop_entry(*shard, shard->lru.begin());
+  }
+}
+
+SingleFlight::Result SingleFlight::run(
+    const std::string& key, const std::function<Result()>& compute,
+    bool* leader) {
+  std::promise<Result> promise;
+  std::shared_future<Result> future;
+  bool is_leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      is_leader = true;
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (leader) *leader = is_leader;
+  if (!is_leader) return future.get();  // rethrows the leader's exception
+
+  // Leader: compute, publish, and retire the in-flight slot. Followers that
+  // arrive after the erase see a plain cache hit instead.
+  try {
+    Result result = compute();
+    promise.set_value(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    throw;
+  }
+}
+
+}  // namespace ftbesst::svc

@@ -1,0 +1,119 @@
+#pragma once
+// Sharded, content-addressed result cache for the prediction service.
+//
+// The service's results are pure functions of the canonical request text
+// (engines are bit-identical for a fixed seed regardless of thread count),
+// so a request's canonical JSON dump is its identity and the serialized
+// result payload can be replayed byte-for-byte. The cache maps
+//   canonical request key -> shared_ptr<const std::string>  (result bytes)
+// in N independently-locked shards (FNV-1a of the key picks the shard), so
+// concurrent lookups from many request-handler tasks never contend on one
+// mutex. Each shard keeps an LRU list; the cache enforces a global byte
+// budget (split evenly across shards) and an optional TTL.
+//
+// Hits, misses, evictions, and resident bytes are exported through the
+// obs metrics registry (svc.cache.*) and mirrored in local atomics so the
+// server's `stats` op works even with obs disabled.
+//
+// SingleFlight complements the cache: concurrent requests for the same
+// missing key are batched into ONE computation — the first arrival (the
+// leader) computes, the rest block on a shared future and receive the same
+// shared payload. Without it a burst of identical cold requests would
+// duplicate an expensive ensemble once per client.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ftbesst::svc {
+
+struct CacheConfig {
+  std::size_t shards = 8;              ///< clamped to >= 1
+  std::size_t max_bytes = 64u << 20;   ///< total budget across shards
+  double ttl_seconds = 0.0;            ///< 0 = entries never expire
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< budget evictions + TTL expiries
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheConfig config = {});
+
+  /// Lookup; bumps the entry to most-recently-used. Expired entries count
+  /// as a miss (and an eviction).
+  [[nodiscard]] std::shared_ptr<const std::string> get(std::string_view key);
+
+  /// Insert/overwrite, then evict least-recently-used entries while the
+  /// shard is over its budget share. A value larger than the whole shard
+  /// budget is simply not retained.
+  void put(std::string_view key, std::shared_ptr<const std::string> value);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+  /// FNV-1a 64-bit — the shard selector, exposed for tests.
+  [[nodiscard]] static std::uint64_t hash_key(std::string_view key) noexcept;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+    std::uint64_t expires_ns = 0;  ///< 0 = never
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::string_view key);
+  void evict_over_budget(Shard& shard);  // caller holds shard.mutex
+  void drop_entry(Shard& shard, std::list<Entry>::iterator it);
+
+  CacheConfig config_;
+  std::size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Request batching for identical concurrent misses: `run` executes
+/// `compute` for the first caller of a key and hands every concurrent
+/// duplicate the same result (or rethrows the leader's exception).
+/// `*leader` reports whether this caller did the work — the server counts
+/// non-leaders as coalesced requests.
+class SingleFlight {
+ public:
+  using Result = std::shared_ptr<const std::string>;
+
+  Result run(const std::string& key, const std::function<Result()>& compute,
+             bool* leader = nullptr);
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<Result>> inflight_;
+};
+
+}  // namespace ftbesst::svc

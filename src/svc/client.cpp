@@ -1,0 +1,124 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace ftbesst::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void arm_timeouts(int fd, double timeout_seconds) {
+  if (timeout_seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - std::floor(timeout_seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path, double timeout_seconds) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(unix socket)");
+  }
+  arm_timeouts(fd, timeout_seconds);
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port, double timeout_seconds) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(127.0.0.1 tcp)");
+  }
+  arm_timeouts(fd, timeout_seconds);
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ClientResponse Client::call(const Json& request,
+                            std::uint32_t max_frame_bytes) {
+  return call_raw(request.dump(), max_frame_bytes);
+}
+
+ClientResponse Client::call_raw(std::string_view payload,
+                                std::uint32_t max_frame_bytes) {
+  write_frame(fd_, payload, max_frame_bytes);
+  auto reply = read_frame(fd_, max_frame_bytes);
+  if (!reply)
+    throw std::runtime_error("server closed the connection without a reply");
+
+  ClientResponse response;
+  response.raw = std::move(*reply);
+  const Json envelope = Json::parse(response.raw);
+  response.ok = envelope.bool_or("ok", false);
+  response.cached = envelope.bool_or("cached", false);
+  if (response.ok) {
+    if (const Json* result = envelope.find("result")) {
+      response.result = *result;
+      // The server splices the result into the envelope as raw text after
+      // the "result" key (the first occurrence — any other can only be
+      // inside the result itself), so the exact bytes are the suffix minus
+      // the closing brace.
+      const auto pos = response.raw.find("\"result\":");
+      if (pos != std::string::npos && !response.raw.empty())
+        response.result_bytes = response.raw.substr(
+            pos + 9, response.raw.size() - pos - 10);
+    }
+  } else {
+    response.code = envelope.string_or("code", "");
+    response.error = envelope.string_or("error", "");
+  }
+  return response;
+}
+
+}  // namespace ftbesst::svc

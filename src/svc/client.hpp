@@ -1,0 +1,60 @@
+#pragma once
+// Blocking client for the prediction service, used by `ftbesst client`,
+// the service tests, and bench_ext_svc. One Client owns one connection and
+// issues synchronous request/response calls; it is not thread-safe (use
+// one Client per thread — the server multiplexes them).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/json.hpp"
+#include "svc/wire.hpp"
+
+namespace ftbesst::svc {
+
+/// One decoded service reply.
+struct ClientResponse {
+  bool ok = false;
+  bool cached = false;      ///< envelope flag: payload came from the cache
+  std::string code;         ///< machine-readable error code when !ok
+  std::string error;        ///< human-readable error when !ok
+  Json result;              ///< parsed result when ok
+  std::string result_bytes; ///< exact result JSON bytes (byte-identity tests)
+  std::string raw;          ///< the full reply payload as received
+};
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket. timeout_seconds > 0 arms
+  /// SO_RCVTIMEO/SO_SNDTIMEO so a wedged server surfaces as
+  /// std::system_error(EAGAIN) instead of a hang.
+  [[nodiscard]] static Client connect_unix(const std::string& path,
+                                           double timeout_seconds = 0.0);
+  /// Connect to 127.0.0.1:port.
+  [[nodiscard]] static Client connect_tcp(int port,
+                                          double timeout_seconds = 0.0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Send one request and block for its reply. Throws std::system_error on
+  /// transport errors and std::runtime_error if the server closes the
+  /// connection without answering.
+  ClientResponse call(const Json& request,
+                      std::uint32_t max_frame_bytes = kMaxFrameBytes);
+  /// Same, but sends pre-serialized bytes (for malformed-input tests).
+  ClientResponse call_raw(std::string_view payload,
+                          std::uint32_t max_frame_bytes = kMaxFrameBytes);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace ftbesst::svc

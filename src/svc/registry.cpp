@@ -1,0 +1,374 @@
+#include "svc/registry.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/stencil3d.hpp"
+#include "apps/testbed.hpp"
+#include "core/montecarlo.hpp"
+#include "ft/checkpoint_cost.hpp"
+#include "model/serialize.hpp"
+#include "net/topology.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::svc {
+
+namespace {
+
+std::shared_ptr<core::ArchBEO> make_arch(const RegistryOptions& options) {
+  auto topo = std::make_shared<net::TwoStageFatTree>(
+      options.leaves, options.nodes_per_leaf, options.spines);
+  net::CommParams comm;
+  comm.bandwidth = options.bandwidth;
+  auto arch = std::make_shared<core::ArchBEO>("quartz", topo, comm,
+                                              options.ranks_per_node);
+  arch->set_fti(options.fti);
+  return arch;
+}
+
+/// Kernels the serving workloads can reference.
+std::vector<std::string> serving_kernels() {
+  std::vector<std::string> kernels{apps::kLuleshTimestep};
+  for (int level = 1; level <= 4; ++level)
+    kernels.push_back(apps::checkpoint_kernel(static_cast<ft::Level>(level)));
+  return kernels;
+}
+
+}  // namespace
+
+Registry::Registry(std::shared_ptr<const core::ArchBEO> arch)
+    : arch_(std::move(arch)) {
+  if (!arch_) throw std::invalid_argument("Registry: null architecture");
+}
+
+Registry Registry::open(const RegistryOptions& options) {
+  auto arch = make_arch(options);
+  std::vector<core::KernelModelReport> reports;
+  if (!options.models_dir.empty()) {
+    // Persisted-model path: reload `ftbesst fit` artifacts. The timestep
+    // model is mandatory; checkpoint levels and the stencil kernel are
+    // bound when present and otherwise rejected per-request.
+    bool any = false;
+    auto try_load = [&](const std::string& kernel, bool required) {
+      const std::string path = options.models_dir + "/" + kernel + ".model";
+      std::ifstream is(path);
+      if (!is) {
+        if (required)
+          throw std::invalid_argument("missing model file " + path +
+                                      " (run `ftbesst fit` first)");
+        return;
+      }
+      arch->bind_kernel(kernel, model::load_model(is));
+      any = true;
+    };
+    try_load(apps::kLuleshTimestep, true);
+    for (int level = 1; level <= 4; ++level)
+      try_load(apps::checkpoint_kernel(static_cast<ft::Level>(level)), false);
+    try_load(apps::kStencilSweep, false);
+    (void)any;
+  } else {
+    // Calibrate mode: pay the full Model Development phase once, here.
+    apps::QuartzTestbed testbed({}, options.fti);
+    apps::CampaignSpec spec;
+    spec.samples_per_point = options.samples;
+    spec.seed = options.seed;
+    const auto calibration =
+        apps::run_campaign(testbed, spec, serving_kernels());
+    model::FitOptions fit;
+    fit.seed = options.seed;
+    const core::ModelSuite suite = core::develop_models(calibration, fit);
+    suite.bind_into(*arch);
+    reports = suite.reports;
+  }
+  Registry registry{std::shared_ptr<const core::ArchBEO>(std::move(arch))};
+  registry.reports_ = std::move(reports);
+  return registry;
+}
+
+namespace {
+
+std::vector<double> number_array(const Json& request, const char* field) {
+  const Json* v = request.find(field);
+  if (!v)
+    throw std::invalid_argument(std::string("request missing '") + field +
+                                "'");
+  std::vector<double> out;
+  for (const Json& x : v->as_array()) out.push_back(x.as_number());
+  return out;
+}
+
+Json summarize_ensemble(const core::EnsembleResult& ens) {
+  JsonObject out;
+  out["trials"] = Json(ens.totals.size());
+  out["mean"] = Json(ens.total.mean);
+  out["stddev"] = Json(ens.total.stddev);
+  out["min"] = Json(ens.total.min);
+  out["max"] = Json(ens.total.max);
+  out["median"] = Json(ens.total.median);
+  out["p10"] = Json(util::quantile(ens.totals, 0.1));
+  out["p90"] = Json(util::quantile(ens.totals, 0.9));
+  out["mean_faults"] = Json(ens.mean_faults);
+  out["mean_rollbacks"] = Json(ens.mean_rollbacks);
+  out["mean_full_restarts"] = Json(ens.mean_full_restarts);
+  out["incomplete_trials"] = Json(ens.incomplete_trials);
+  return Json(std::move(out));
+}
+
+/// Shared simulate/dse knobs parsed straight off the request object.
+struct WorkloadSpec {
+  std::string app;
+  int timesteps = 200;
+  std::size_t trials = 20;
+  std::uint64_t seed = 42;
+  double mtbf_hours = 0.0;  ///< 0 = no fault injection
+  double downtime = 10.0;
+};
+
+WorkloadSpec parse_workload(const Json& request) {
+  WorkloadSpec spec;
+  spec.app = request.string_or("app", "lulesh");
+  if (spec.app != "lulesh" && spec.app != "stencil3d")
+    throw std::invalid_argument("app must be lulesh|stencil3d, got '" +
+                                spec.app + "'");
+  spec.timesteps = static_cast<int>(request.int_or("timesteps", 200));
+  if (spec.timesteps < 1)
+    throw std::invalid_argument("timesteps must be >= 1");
+  const std::int64_t trials = request.int_or("trials", 20);
+  if (trials < 1 || trials > 100000)
+    throw std::invalid_argument("trials must be in 1..100000");
+  spec.trials = static_cast<std::size_t>(trials);
+  spec.seed = static_cast<std::uint64_t>(request.int_or("seed", 42));
+  spec.mtbf_hours = request.number_or("mtbf_hours", 0.0);
+  if (spec.mtbf_hours < 0.0)
+    throw std::invalid_argument("mtbf_hours must be >= 0");
+  spec.downtime = request.number_or("downtime", 10.0);
+  return spec;
+}
+
+/// Build the AppBEO for one (scenario plan, parameter point). Parameters
+/// are {epr, ranks} for LULESH and {nx, ranks} for Stencil3D, matching the
+/// calibration convention. Config validate() supplies the clean errors
+/// (perfect-cube ranks, FTI divisibility).
+core::AppBEO build_app(const std::string& app,
+                       const std::vector<ft::PlanEntry>& plan,
+                       const ft::FtiConfig& fti, double size_param,
+                       double ranks_param, int timesteps) {
+  const auto size = static_cast<int>(size_param);
+  const auto ranks = static_cast<std::int64_t>(ranks_param);
+  if (static_cast<double>(size) != size_param ||
+      static_cast<double>(ranks) != ranks_param)
+    throw std::invalid_argument("size/ranks parameters must be integers");
+  if (app == "lulesh") {
+    apps::LuleshConfig cfg;
+    cfg.epr = size;
+    cfg.ranks = ranks;
+    cfg.timesteps = timesteps;
+    cfg.plan = plan;
+    cfg.fti = fti;
+    cfg.validate();
+    return apps::build_lulesh_fti(cfg);
+  }
+  apps::Stencil3dConfig cfg;
+  cfg.nx = size;
+  cfg.ranks = ranks;
+  cfg.sweeps = timesteps;
+  cfg.plan = plan;
+  cfg.fti = fti;
+  cfg.validate();
+  return apps::build_stencil3d(cfg);
+}
+
+std::uint64_t app_checkpoint_bytes(const std::string& app, int size) {
+  return app == "lulesh" ? apps::lulesh_checkpoint_bytes(size)
+                         : apps::stencil3d_checkpoint_bytes(size);
+}
+
+/// Every kernel the request's plans reference must have a bound model —
+/// checked up front so the failure is a clean client error rather than a
+/// std::out_of_range from inside the engine.
+void require_kernels(const core::ArchBEO& arch, const std::string& app,
+                     const std::vector<core::Scenario>& scenarios) {
+  const std::string timestep_kernel =
+      app == "lulesh" ? apps::kLuleshTimestep : apps::kStencilSweep;
+  auto require = [&arch](const std::string& kernel) {
+    if (!arch.has_kernel(kernel))
+      throw std::invalid_argument("no model bound for kernel '" + kernel +
+                                  "' in this registry");
+  };
+  require(timestep_kernel);
+  for (const core::Scenario& scenario : scenarios)
+    for (const ft::PlanEntry& entry : scenario.plan)
+      require(apps::checkpoint_kernel(entry.level));
+}
+
+/// Engine options + (when faults are requested) a private ArchBEO copy
+/// with the fault process and restart models bound. `max_level_bytes` is
+/// the largest checkpoint size over the request's plans, used for restart
+/// cost estimation.
+struct PreparedRun {
+  core::EngineOptions options;
+  std::shared_ptr<const core::ArchBEO> arch;  ///< registry's or the copy
+};
+
+PreparedRun prepare_run(const Registry& registry, const WorkloadSpec& spec,
+                        const std::vector<core::Scenario>& scenarios,
+                        double size_param, double ranks_param) {
+  PreparedRun run;
+  run.options.seed = spec.seed;
+  run.arch = std::shared_ptr<const core::ArchBEO>(
+      std::shared_ptr<const core::ArchBEO>{}, &registry.arch());
+  if (spec.mtbf_hours <= 0.0) return run;
+
+  run.options.inject_faults = true;
+  run.options.downtime_seconds = spec.downtime;
+  auto arch = std::make_shared<core::ArchBEO>(registry.arch());
+  arch->set_fault_process(ft::FaultProcess(spec.mtbf_hours * 3600.0, 1.0));
+  ft::CheckpointCostModel cost({}, arch->fti());
+  const auto size = static_cast<int>(size_param);
+  const auto ranks = static_cast<std::int64_t>(ranks_param);
+  for (const core::Scenario& scenario : scenarios)
+    for (const ft::PlanEntry& entry : scenario.plan)
+      arch->bind_restart(entry.level,
+                         std::make_shared<model::ConstantModel>(
+                             cost.restart_cost(
+                                 entry.level,
+                                 app_checkpoint_bytes(spec.app, size), ranks)));
+  run.arch = arch;
+  return run;
+}
+
+Json op_predict(const Registry& registry, const Json& request) {
+  const std::string kernel = request.string_or("kernel", "");
+  if (kernel.empty())
+    throw std::invalid_argument("predict needs a 'kernel' field");
+  if (!registry.arch().has_kernel(kernel))
+    throw std::invalid_argument("no model bound for kernel '" + kernel + "'");
+  const std::vector<double> params = number_array(request, "params");
+  const model::PerfModel& model = registry.arch().kernel(kernel);
+  JsonObject out;
+  out["value"] = Json(model.predict(params));
+  out["model"] = Json(model.describe());
+  return Json(std::move(out));
+}
+
+Json op_simulate(const Registry& registry, const Json& request) {
+  const WorkloadSpec spec = parse_workload(request);
+  const std::vector<ft::PlanEntry> plan =
+      core::parse_plan(request.string_or("plan", ""));
+  const double size = request.number_or(
+      spec.app == "lulesh" ? "epr" : "nx", spec.app == "lulesh" ? 15 : 32);
+  const double ranks = request.number_or("ranks", 64);
+
+  const std::vector<core::Scenario> scenarios{{"request", plan}};
+  require_kernels(registry.arch(), spec.app, scenarios);
+  const PreparedRun run =
+      prepare_run(registry, spec, scenarios, size, ranks);
+  const core::AppBEO app = build_app(spec.app, plan, run.arch->fti(), size,
+                                     ranks, spec.timesteps);
+  const core::EnsembleResult ens =
+      core::run_ensemble(app, *run.arch, run.options, spec.trials);
+  return summarize_ensemble(ens);
+}
+
+Json op_dse(const Registry& registry, const Json& request) {
+  const WorkloadSpec spec = parse_workload(request);
+
+  const Json* scenarios_json = request.find("scenarios");
+  if (!scenarios_json)
+    throw std::invalid_argument("dse needs a 'scenarios' array");
+  std::vector<core::Scenario> scenarios;
+  for (const Json& s : scenarios_json->as_array()) {
+    core::Scenario scenario;
+    scenario.name = s.string_or("name", "");
+    if (scenario.name.empty())
+      throw std::invalid_argument("each scenario needs a 'name'");
+    scenario.plan = core::parse_plan(s.string_or("plan", ""));
+    scenarios.push_back(std::move(scenario));
+  }
+  if (scenarios.empty())
+    throw std::invalid_argument("dse needs at least one scenario");
+
+  // Parameter points: explicit [[size, ranks], ...] or the cartesian grid
+  // of "eprs"/"nxs" x "ranks" (Table II style sweep-grid requests).
+  std::vector<std::vector<double>> points;
+  if (request.find("points")) {
+    for (const Json& p : request.find("points")->as_array()) {
+      std::vector<double> point;
+      for (const Json& x : p.as_array()) point.push_back(x.as_number());
+      if (point.size() != 2)
+        throw std::invalid_argument("each dse point must be [size, ranks]");
+      points.push_back(std::move(point));
+    }
+  } else {
+    const char* size_field = spec.app == "lulesh" ? "eprs" : "nxs";
+    const std::vector<double> sizes = number_array(request, size_field);
+    const std::vector<double> ranks = number_array(request, "ranks");
+    for (const double s : sizes)
+      for (const double r : ranks) points.push_back({s, r});
+  }
+  if (points.empty())
+    throw std::invalid_argument("dse needs at least one parameter point");
+  if (points.size() * scenarios.size() > 10000)
+    throw std::invalid_argument("dse sweep too large (> 10000 points)");
+
+  require_kernels(registry.arch(), spec.app, scenarios);
+  const PreparedRun run = prepare_run(registry, spec, scenarios,
+                                      points[0][0], points[0][1]);
+  // Validate every point eagerly so a bad cell fails the whole request with
+  // a clean message instead of throwing inside a pool task mid-sweep.
+  for (const auto& point : points)
+    (void)build_app(spec.app, {}, run.arch->fti(), point[0], point[1], 1);
+
+  const std::string app_name = spec.app;
+  const ft::FtiConfig fti = run.arch->fti();
+  const int timesteps = spec.timesteps;
+  const auto points_result = core::run_dse(
+      scenarios, points,
+      [&app_name, &fti, timesteps](const core::Scenario& scenario,
+                                   const std::vector<double>& params) {
+        return build_app(app_name, scenario.plan, fti, params[0], params[1],
+                         timesteps);
+      },
+      *run.arch, run.options, spec.trials);
+
+  JsonArray out_points;
+  for (const core::DsePoint& p : points_result) {
+    JsonObject cell;
+    cell["scenario"] = Json(p.scenario);
+    JsonArray params;
+    for (const double v : p.params) params.push_back(Json(v));
+    cell["params"] = Json(std::move(params));
+    cell["ensemble"] = summarize_ensemble(p.ensemble);
+    out_points.push_back(Json(std::move(cell)));
+  }
+  JsonObject out;
+  out["points"] = Json(std::move(out_points));
+  out["scenarios"] = Json(scenarios.size());
+  out["trials"] = Json(spec.trials);
+  return Json(std::move(out));
+}
+
+}  // namespace
+
+Json handle_request(const Registry& registry, const Json& request) {
+  const std::string op = request.string_or("op", "");
+  if (op == "predict") return op_predict(registry, request);
+  if (op == "simulate") return op_simulate(registry, request);
+  if (op == "dse") return op_dse(registry, request);
+  throw std::invalid_argument("unknown op '" + op +
+                              "' (expected predict|simulate|dse)");
+}
+
+std::string canonical_key(const Json& request) {
+  if (!request.is_object())
+    throw std::invalid_argument("request must be a JSON object");
+  Json stripped = request;
+  stripped.as_object().erase("deadline_ms");
+  stripped.as_object().erase("id");
+  return stripped.dump();
+}
+
+}  // namespace ftbesst::svc

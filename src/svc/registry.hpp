@@ -1,0 +1,97 @@
+#pragma once
+// Model registry and request execution for the prediction service.
+//
+// A Registry is the expensive part of an FT-BESST invocation, paid exactly
+// once at daemon startup: an ArchBEO with every kernel's performance model
+// bound in (either reloaded from `model/serialize` artifacts or calibrated
+// + fitted on the bundled Quartz-like testbed), ready to serve unlimited
+// predict/simulate/dse queries. It is immutable after construction and
+// therefore safe to share across every request-handler task; requests that
+// need mutated architecture state (fault injection) run against a private
+// copy.
+//
+// handle_request() maps a parsed JSON request onto the existing engines:
+//
+//   {"op":"predict",  "kernel":K, "params":[..]}
+//   {"op":"simulate", "app":"lulesh"|"stencil3d", "epr"/"nx":N, "ranks":R,
+//    "timesteps":T, "plan":"L1:40,..", "trials":N, "seed":S,
+//    "monte_carlo":B, "mtbf_hours":H, "downtime":D}
+//   {"op":"dse", "app":.., "scenarios":[{"name":..,"plan":".."}..],
+//    "points":[[epr,ranks],..] | "eprs":[..] x "ranks":[..],
+//    "timesteps":T, "trials":N, "seed":S, ...}
+//
+// It returns the result Json; malformed requests throw
+// std::invalid_argument with a message safe to send back to the client.
+// Results are deterministic functions of the request (run_ensemble/run_dse
+// are bit-identical for a fixed seed regardless of thread count), which is
+// the contract the content-addressed result cache depends on.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/arch.hpp"
+#include "core/workflow.hpp"
+#include "ft/fti.hpp"
+#include "svc/json.hpp"
+
+namespace ftbesst::svc {
+
+struct RegistryOptions {
+  /// Directory of persisted models ("<kernel>.model", the `ftbesst fit`
+  /// output). Empty = calibrate and fit on the bundled testbed at startup.
+  std::string models_dir;
+
+  // Calibrate-mode campaign controls (ignored when models_dir is set).
+  int samples = 5;
+  std::uint64_t seed = 2021;
+
+  // Quartz-like architecture description.
+  ft::FtiConfig fti{};
+  int leaves = 94;
+  int nodes_per_leaf = 32;
+  int spines = 24;
+  int ranks_per_node = 36;
+  double bandwidth = 12.5e9;
+};
+
+class Registry {
+ public:
+  /// Build from options: load persisted models or run the calibration
+  /// campaign + model development once. Throws std::invalid_argument when
+  /// models_dir lacks the timestep model.
+  [[nodiscard]] static Registry open(const RegistryOptions& options);
+
+  /// Wrap an already-bound architecture (tests and benches construct cheap
+  /// analytic models directly instead of fitting).
+  explicit Registry(std::shared_ptr<const core::ArchBEO> arch);
+
+  [[nodiscard]] const core::ArchBEO& arch() const noexcept { return *arch_; }
+
+  /// Per-kernel validation MAPE reports from calibrate mode (empty when
+  /// models were loaded from disk).
+  [[nodiscard]] const std::vector<core::KernelModelReport>& reports()
+      const noexcept {
+    return reports_;
+  }
+
+ private:
+  std::shared_ptr<const core::ArchBEO> arch_;
+  std::vector<core::KernelModelReport> reports_;
+};
+
+/// Execute one cacheable request (predict/simulate/dse) against the
+/// registry and return the result Json. Throws std::invalid_argument on
+/// malformed requests (unknown op, bad plan text, non-cube ranks, unbound
+/// kernels, ...) — the server turns these into error replies.
+[[nodiscard]] Json handle_request(const Registry& registry,
+                                  const Json& request);
+
+/// The request's content-address: the canonical dump of the request object
+/// with volatile, non-semantic fields ("deadline_ms", "id") removed.
+/// Requests that differ only in spelling (key order, whitespace, number
+/// formatting like 1e1 vs 10) map to the same key.
+[[nodiscard]] std::string canonical_key(const Json& request);
+
+}  // namespace ftbesst::svc

@@ -1,0 +1,599 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace ftbesst::svc {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter requests = obs::counter("svc.requests");
+  obs::Counter completed = obs::counter("svc.completed");
+  obs::Counter rejected_overload = obs::counter("svc.rejected.overload");
+  obs::Counter rejected_deadline = obs::counter("svc.rejected.deadline");
+  obs::Counter rejected_shutdown = obs::counter("svc.rejected.shutdown");
+  obs::Counter bad_requests = obs::counter("svc.bad_requests");
+  obs::Counter coalesced = obs::counter("svc.coalesced");
+  obs::Histogram request_seconds = obs::histogram(
+      "svc.request_seconds",
+      {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 300.0});
+};
+
+ServerMetrics& metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+std::string error_payload(std::string_view code, std::string_view message) {
+  JsonObject obj;
+  obj.emplace("ok", Json(false));
+  obj.emplace("code", Json(std::string(code)));
+  obj.emplace("error", Json(std::string(message)));
+  return Json(std::move(obj)).dump();
+}
+
+// The result payload is already serialized JSON; splicing it in as raw text
+// keeps a cache hit's result bytes identical to the cold computation's.
+std::string ok_payload(bool cached, std::string_view result_json) {
+  std::string out;
+  out.reserve(result_json.size() + 40);
+  out += cached ? "{\"cached\":true,\"ok\":true,\"result\":"
+                : "{\"cached\":false,\"ok\":true,\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+// Signal plumbing: the handler may only touch async-signal-safe state, so
+// it calls Server::shutdown(), which is restricted to an atomic store plus
+// one write() to the self-pipe.
+std::atomic<Server*> g_signal_target{nullptr};
+
+void handle_stop_signal(int) {
+  if (Server* server = g_signal_target.load(std::memory_order_acquire))
+    server->shutdown();
+}
+
+}  // namespace
+
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Break the socket without freeing the fd number: tasks may still hold a
+  /// reference and attempt a write, which must fail with EPIPE/ENOTCONN
+  /// rather than land on a recycled descriptor. close() happens in the
+  /// destructor, once the last shared_ptr drops.
+  void close_socket() noexcept {
+    if (open.exchange(false, std::memory_order_acq_rel))
+      ::shutdown(fd, SHUT_RDWR);
+  }
+
+  const int fd;
+  std::string buffer;       ///< event-loop-owned read accumulator
+  std::mutex write_mutex;   ///< serializes response frames
+  std::atomic<bool> open{true};
+};
+
+Server::Server(std::shared_ptr<const Registry> registry, ServerOptions options)
+    : registry_(std::move(registry)),
+      options_(std::move(options)),
+      cache_(options_.cache) {
+  if (!registry_) throw std::invalid_argument("Server requires a registry");
+  if (options_.unix_socket_path.empty() && options_.tcp_port < 0)
+    throw std::invalid_argument("Server needs a unix socket path or tcp port");
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+Server::~Server() {
+  if (g_signal_target.load(std::memory_order_acquire) == this)
+    install_signal_handlers(nullptr);
+  if (started_.load(std::memory_order_acquire)) {
+    shutdown();
+    wait();
+  }
+  for (int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::install_signal_handlers(Server* server) {
+  g_signal_target.store(server, std::memory_order_release);
+  struct sigaction action {};
+  if (server) {
+    action.sa_handler = handle_stop_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: poll() must wake
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void Server::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel))
+    throw std::logic_error("Server::start() called twice");
+
+  // Dead peers must surface as EPIPE from write(), not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+  for (int fd : wake_pipe_) {
+    set_nonblocking(fd);
+    set_cloexec(fd);
+  }
+
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path))
+      throw std::invalid_argument("unix socket path too long: " +
+                                  options_.unix_socket_path);
+    std::memcpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                options_.unix_socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    set_cloexec(fd);
+    ::unlink(options_.unix_socket_path.c_str());  // stale path from a crash
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      throw_errno("bind(unix socket)");
+    }
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
+      throw_errno("listen(unix socket)");
+    }
+    set_nonblocking(fd);
+    unix_listener_.fd = fd;
+  }
+
+  if (options_.tcp_port >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    set_cloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      throw_errno("bind(127.0.0.1 tcp)");
+    }
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
+      throw_errno("listen(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      ::close(fd);
+      throw_errno("getsockname");
+    }
+    bound_tcp_port_ = ntohs(bound.sin_port);
+    set_nonblocking(fd);
+    tcp_listener_.fd = fd;
+  }
+
+  loop_thread_ = std::thread([this] { event_loop(); });
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock,
+                  [this] { return stopped_.load(std::memory_order_acquire); });
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Server::run() {
+  start();
+  wait();
+}
+
+void Server::shutdown() {
+  // Async-signal-safe on purpose: an atomic store plus one pipe write. The
+  // event loop notices `draining_` and does all the actual teardown.
+  draining_.store(true, std::memory_order_release);
+  const int fd = wake_pipe_[1];
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::accept_on(Listener& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
+    }
+    set_cloexec(fd);
+    // Connection fds stay *blocking*: the event loop issues exactly one
+    // read() per POLLIN (never blocks with data pending) and pool tasks
+    // want blocking write_full semantics for large responses.
+    connections_.push_back(std::make_shared<Connection>(fd));
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::event_loop() {
+  bool listeners_closed = false;
+  std::vector<pollfd> fds;
+  const auto close_listeners = [this, &listeners_closed] {
+    if (listeners_closed) return;
+    listeners_closed = true;
+    for (Listener* l : {&unix_listener_, &tcp_listener_}) {
+      if (l->fd >= 0) ::close(l->fd);
+      l->fd = -1;
+    }
+    if (!options_.unix_socket_path.empty())
+      ::unlink(options_.unix_socket_path.c_str());
+  };
+
+  while (true) {
+    if (draining()) {
+      close_listeners();
+      if (in_flight_.load(std::memory_order_acquire) == 0) {
+        tasks_.wait();  // joins the last tasks past their final decrement
+        break;
+      }
+    }
+
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    std::ptrdiff_t unix_idx = -1, tcp_idx = -1;
+    if (!listeners_closed) {
+      if (unix_listener_.fd >= 0) {
+        unix_idx = static_cast<std::ptrdiff_t>(fds.size());
+        fds.push_back({unix_listener_.fd, POLLIN, 0});
+      }
+      if (tcp_listener_.fd >= 0) {
+        tcp_idx = static_cast<std::ptrdiff_t>(fds.size());
+        fds.push_back({tcp_listener_.fd, POLLIN, 0});
+      }
+    }
+    const std::size_t conn_base = fds.size();
+    for (const auto& conn : connections_)
+      fds.push_back({conn->fd, POLLIN, 0});
+
+    // 50ms cap so drain-completion and stray wakeups are always noticed.
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: drain and stop
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+
+    if (unix_idx >= 0 && (fds[static_cast<std::size_t>(unix_idx)].revents &
+                          POLLIN))
+      accept_on(unix_listener_);
+    if (tcp_idx >= 0 &&
+        (fds[static_cast<std::size_t>(tcp_idx)].revents & POLLIN))
+      accept_on(tcp_listener_);
+
+    // accept_on() appends to connections_, so only the first fds.size() -
+    // conn_base entries have poll results; new arrivals wait a tick.
+    const std::size_t polled = fds.size() - conn_base;
+    for (std::size_t i = 0; i < polled && i < connections_.size(); ++i) {
+      const short revents = fds[conn_base + i].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR))
+        handle_readable(connections_[i]);
+    }
+
+    std::erase_if(connections_, [](const std::shared_ptr<Connection>& conn) {
+      return !conn->open.load(std::memory_order_acquire);
+    });
+  }
+
+  for (const auto& conn : connections_) conn->close_socket();
+  connections_.clear();
+  close_listeners();
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+  if (n == 0) {  // peer closed
+    conn->close_socket();
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    conn->close_socket();
+    return;
+  }
+  conn->buffer.append(buf, static_cast<std::size_t>(n));
+
+  std::string frame;
+  while (true) {
+    try {
+      if (!extract_frame(conn->buffer, frame, options_.max_frame_bytes)) break;
+    } catch (const std::exception& e) {
+      // Oversized frame announcement: the stream is unrecoverable (we
+      // cannot resynchronize), so answer once and drop the connection.
+      reject_inline(conn, "bad_request", e.what());
+      conn->close_socket();
+      return;
+    }
+    admit(conn, std::move(frame));
+    if (!conn->open.load(std::memory_order_acquire)) return;
+  }
+}
+
+void Server::admit(const std::shared_ptr<Connection>& conn,
+                   std::string frame) {
+  if (draining()) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    metrics().rejected_shutdown.add();
+    reject_inline(conn, "shutting_down", "server is draining");
+    return;
+  }
+  if (in_flight_.load(std::memory_order_acquire) >= options_.queue_capacity) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    metrics().rejected_overload.add();
+    reject_inline(conn, "overload",
+                  "request queue full (capacity " +
+                      std::to_string(options_.queue_capacity) +
+                      "); retry later");
+    return;
+  }
+  // Only this thread increments, so the capacity bound is exact; workers
+  // merely decrement.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics().requests.add();
+  const std::uint64_t arrival_ns = obs::now_ns();
+  tasks_.run([this, conn, frame = std::move(frame), arrival_ns]() mutable {
+    execute(conn, std::move(frame), arrival_ns);
+  });
+}
+
+void Server::execute(const std::shared_ptr<Connection>& conn,
+                     std::string frame, std::uint64_t arrival_ns) {
+  // Everything below must reach the decrement: drain-completion counts on
+  // it, and the reply (or the attempt) has happened by then.
+  try {
+    Json request;
+    try {
+      request = Json::parse(frame);
+      if (!request.is_object())
+        throw std::invalid_argument("request must be a JSON object");
+    } catch (const std::exception& e) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics().bad_requests.add();
+      reply(conn, error_payload("bad_request", e.what()));
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+
+    const double deadline_ms =
+        request.number_or("deadline_ms", options_.default_deadline_ms);
+    if (deadline_ms > 0.0) {
+      const double waited_ms =
+          static_cast<double>(obs::now_ns() - arrival_ns) * 1e-6;
+      if (waited_ms > deadline_ms) {
+        rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+        metrics().rejected_deadline.add();
+        reply(conn, error_payload(
+                        "deadline",
+                        "deadline of " + std::to_string(deadline_ms) +
+                            " ms expired while queued (waited " +
+                            std::to_string(waited_ms) + " ms)"));
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+    }
+
+    const std::string op = request.string_or("op", "");
+    std::string payload;
+    if (op == "ping") {
+      JsonObject pong;
+      pong.emplace("pong", Json(true));
+      payload = ok_payload(false, Json(std::move(pong)).dump());
+    } else if (op == "stats") {
+      payload = ok_payload(false, stats_json());
+    } else if (op == "shutdown") {
+      JsonObject result;
+      result.emplace("draining", Json(true));
+      payload = ok_payload(false, Json(std::move(result)).dump());
+      reply(conn, payload);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      metrics().completed.add();
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      shutdown();
+      return;
+    } else if (op == "sleep") {
+      // Debug/test op: holds a queue slot for a controlled duration so
+      // overload and deadline behaviour are deterministically testable.
+      // Never cached.
+      const double ms =
+          std::min(10000.0, std::max(0.0, request.number_or("ms", 0.0)));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+      JsonObject result;
+      result.emplace("slept_ms", Json(ms));
+      payload = ok_payload(false, Json(std::move(result)).dump());
+    } else if (op == "predict" || op == "simulate" || op == "dse") {
+      try {
+        const std::string key = canonical_key(request);
+        if (auto hit = cache_.get(key)) {
+          payload = ok_payload(true, *hit);
+        } else {
+          bool leader = false;
+          auto value = single_flight_.run(
+              key,
+              [this, &request, &key]() -> SingleFlight::Result {
+                auto result = std::make_shared<const std::string>(
+                    handle_request(*registry_, request).dump());
+                cache_.put(key, result);
+                return result;
+              },
+              &leader);
+          if (!leader) {
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            metrics().coalesced.add();
+          }
+          payload = ok_payload(false, *value);
+        }
+      } catch (const std::invalid_argument& e) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        metrics().bad_requests.add();
+        reply(conn, error_payload("bad_request", e.what()));
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+    } else {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics().bad_requests.add();
+      reply(conn, error_payload(
+                      "bad_request",
+                      op.empty()
+                          ? std::string("missing \"op\" field")
+                          : "unknown op '" + op +
+                                "' (valid: ping, stats, predict, simulate, "
+                                "dse, sleep, shutdown)"));
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+
+    reply(conn, payload);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics().completed.add();
+    metrics().request_seconds.observe(
+        static_cast<double>(obs::now_ns() - arrival_ns) * 1e-9);
+  } catch (const std::exception& e) {
+    // Engine/system failure: still answer so the client is not left
+    // hanging, and keep the daemon alive.
+    reply(conn, error_payload("internal", e.what()));
+  } catch (...) {
+    reply(conn, error_payload("internal", "unknown error"));
+  }
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Server::reply(const std::shared_ptr<Connection>& conn,
+                   std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  try {
+    write_frame(conn->fd, payload, options_.max_frame_bytes);
+  } catch (const std::exception&) {
+    conn->close_socket();  // peer gone mid-write; event loop sweeps it
+  }
+}
+
+void Server::reject_inline(const std::shared_ptr<Connection>& conn,
+                           std::string_view code, std::string_view message) {
+  // Runs on the event loop, which must never block: one non-blocking send
+  // attempt. A client too stalled to take a 100-byte rejection (or whose
+  // connection is busy with a large in-progress response) gets dropped —
+  // shedding the slow consumer instead of the whole accept path.
+  const std::string payload = error_payload(code, message);
+  std::unique_lock<std::mutex> lock(conn->write_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    conn->close_socket();
+    return;
+  }
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  unsigned char header[4];
+  encode_length(static_cast<std::uint32_t>(payload.size()), header);
+  std::string frame(reinterpret_cast<const char*>(header), 4);
+  frame += payload;
+  const ssize_t n =
+      ::send(conn->fd, frame.data(), frame.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+  if (n != static_cast<ssize_t>(frame.size())) conn->close_socket();
+}
+
+std::string Server::stats_json() const {
+  const Stats s = stats();
+  JsonObject cache;
+  cache.emplace("hits", Json(s.cache.hits));
+  cache.emplace("misses", Json(s.cache.misses));
+  cache.emplace("evictions", Json(s.cache.evictions));
+  cache.emplace("entries", Json(s.cache.entries));
+  cache.emplace("bytes", Json(s.cache.bytes));
+  JsonObject obj;
+  obj.emplace("accepted_connections", Json(s.accepted_connections));
+  obj.emplace("requests", Json(s.requests));
+  obj.emplace("completed", Json(s.completed));
+  obj.emplace("rejected_overload", Json(s.rejected_overload));
+  obj.emplace("rejected_deadline", Json(s.rejected_deadline));
+  obj.emplace("rejected_shutdown", Json(s.rejected_shutdown));
+  obj.emplace("bad_requests", Json(s.bad_requests));
+  obj.emplace("coalesced", Json(s.coalesced));
+  obj.emplace("in_flight", Json(in_flight_.load(std::memory_order_relaxed)));
+  obj.emplace("queue_capacity", Json(options_.queue_capacity));
+  obj.emplace("cache", Json(std::move(cache)));
+  return Json(std::move(obj)).dump();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted_connections =
+      accepted_connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace ftbesst::svc

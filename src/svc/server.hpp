@@ -1,0 +1,171 @@
+#pragma once
+// The long-running FT-BESST prediction daemon.
+//
+// Request flow (see docs/ARCHITECTURE.md "Serving layer"):
+//
+//   accept -> event loop (poll) -> frame decode -> ADMISSION -> TaskPool
+//     -> deadline check -> cache lookup -> [single-flight compute] -> reply
+//
+// One event-loop thread owns every socket read: it accepts connections on
+// a Unix-domain listener and/or a localhost TCP listener, buffers bytes
+// per connection, and peels off complete length-prefixed frames. Admission
+// is where backpressure lives: at most `queue_capacity` requests may be
+// queued-or-executing at once; a frame arriving beyond that is answered
+// immediately with an explicit overload rejection (shed, never stall) and
+// the connection stays healthy. Admitted requests become tasks on the
+// shared util::TaskPool — the same pool the engines fan trials onto, so a
+// request that runs a DSE sweep composes with its own nested parallelism
+// instead of oversubscribing the machine.
+//
+// Responses are written by the pool task that computed them, serialized
+// per-connection by a write mutex (the event loop only writes rejection
+// replies, using a non-blocking attempt so a stalled client can never
+// wedge the accept path — if the reject reply would block, the connection
+// is dropped instead).
+//
+// Lifecycle: shutdown() (from the `shutdown` op, SIGTERM/SIGINT via
+// install_signal_handlers, or the embedding test) closes the listeners,
+// rejects new frames with code "shutting_down", drains in-flight requests,
+// answers them, then run() returns. The signal handler itself only writes
+// one byte to a self-pipe — every non-async-signal-safe action happens on
+// the event loop.
+//
+// Wire envelope (all replies):
+//   {"cached":<bool>,"ok":true,"result":<result-json>}
+//   {"code":"<machine code>","error":"<message>","ok":false}
+// The result bytes of a cache hit are byte-identical to the cold
+// computation's — the cache stores the serialized result payload itself.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/registry.hpp"
+#include "svc/wire.hpp"
+#include "util/task_pool.hpp"
+
+namespace ftbesst::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path (empty = no unix listener). Unlinked on bind
+  /// and again on shutdown.
+  std::string unix_socket_path;
+  /// Localhost TCP port: -1 = no TCP listener, 0 = pick an ephemeral port
+  /// (read it back with tcp_port()). Binds 127.0.0.1 only.
+  int tcp_port = -1;
+  /// Admission bound: maximum requests queued or executing. Beyond this,
+  /// new requests get {"code":"overload"} immediately.
+  std::size_t queue_capacity = 64;
+  /// Default per-request deadline in ms applied when the request carries no
+  /// "deadline_ms" field; 0 = none. A request whose deadline has already
+  /// passed when a worker picks it up is answered {"code":"deadline"}
+  /// without computing.
+  double default_deadline_ms = 0.0;
+  CacheConfig cache;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  Server(std::shared_ptr<const Registry> registry, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and start the event loop thread. Throws
+  /// std::system_error if a listener cannot be bound.
+  void start();
+  /// Block until the server has fully drained and stopped.
+  void wait();
+  /// start() + wait() — the CLI entry point.
+  void run();
+  /// Begin graceful drain; idempotent, safe from any thread and from the
+  /// `shutdown` request handler.
+  void shutdown();
+
+  /// Actual TCP port after start() (useful with tcp_port = 0).
+  [[nodiscard]] int tcp_port() const noexcept { return bound_tcp_port_; }
+
+  /// Route SIGTERM/SIGINT to server->shutdown() via a self-pipe. Pass
+  /// nullptr to restore the default disposition. Only one server at a time
+  /// can be the signal target.
+  static void install_signal_handlers(Server* server);
+
+  struct Stats {
+    std::uint64_t accepted_connections = 0;
+    std::uint64_t requests = 0;           ///< admitted
+    std::uint64_t completed = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t bad_requests = 0;       ///< parse/validation failures
+    std::uint64_t coalesced = 0;          ///< single-flight followers
+    CacheStats cache;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Connection;
+  struct Listener {
+    int fd = -1;
+  };
+
+  void event_loop();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void admit(const std::shared_ptr<Connection>& conn, std::string frame);
+  void execute(const std::shared_ptr<Connection>& conn, std::string frame,
+               std::uint64_t arrival_ns);
+  void reply(const std::shared_ptr<Connection>& conn,
+             std::string_view payload);
+  void reject_inline(const std::shared_ptr<Connection>& conn,
+                     std::string_view code, std::string_view message);
+  void accept_on(Listener& listener);
+  [[nodiscard]] std::string stats_json() const;
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  std::shared_ptr<const Registry> registry_;
+  ServerOptions options_;
+  ResultCache cache_;
+  SingleFlight single_flight_;
+
+  Listener unix_listener_;
+  Listener tcp_listener_;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: shutdown()/signal -> poll
+
+  std::thread loop_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  // Event-loop-owned connection table (no lock: only that thread touches
+  // it). Tasks hold their own shared_ptr to the connection they answer.
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  util::TaskGroup tasks_;
+
+  // Stats counters (relaxed atomics; exact totals once drained).
+  std::atomic<std::uint64_t> accepted_connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace ftbesst::svc

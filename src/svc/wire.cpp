@@ -1,0 +1,68 @@
+#include "svc/wire.hpp"
+
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace ftbesst::svc {
+
+std::uint32_t decode_length(const unsigned char header[4]) {
+  return (static_cast<std::uint32_t>(header[0]) << 24) |
+         (static_cast<std::uint32_t>(header[1]) << 16) |
+         (static_cast<std::uint32_t>(header[2]) << 8) |
+         static_cast<std::uint32_t>(header[3]);
+}
+
+void encode_length(std::uint32_t n, unsigned char header[4]) {
+  header[0] = static_cast<unsigned char>(n >> 24);
+  header[1] = static_cast<unsigned char>(n >> 16);
+  header[2] = static_cast<unsigned char>(n >> 8);
+  header[3] = static_cast<unsigned char>(n);
+}
+
+void write_frame(int fd, std::string_view payload, std::uint32_t max_bytes) {
+  if (payload.size() > max_bytes)
+    throw std::length_error("svc frame too large: " +
+                            std::to_string(payload.size()) + " bytes");
+  // One buffer, one write: interleaved header/payload writes from two
+  // threads sharing a connection would corrupt framing, and callers
+  // serialize whole-frame writes with a mutex.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  unsigned char header[4];
+  encode_length(static_cast<std::uint32_t>(payload.size()), header);
+  frame.append(reinterpret_cast<const char*>(header), 4);
+  frame.append(payload);
+  util::write_full(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string> read_frame(int fd, std::uint32_t max_bytes) {
+  unsigned char header[4];
+  const std::size_t got = util::read_full(fd, header, 4);
+  if (got == 0) return std::nullopt;  // clean EOF between frames
+  if (got < 4) throw std::runtime_error("svc: EOF inside frame header");
+  const std::uint32_t n = decode_length(header);
+  if (n > max_bytes)
+    throw std::invalid_argument("svc: frame length " + std::to_string(n) +
+                                " exceeds limit " + std::to_string(max_bytes));
+  std::string payload(n, '\0');
+  if (util::read_full(fd, payload.data(), n) != n)
+    throw std::runtime_error("svc: EOF inside frame payload");
+  return payload;
+}
+
+bool extract_frame(std::string& buffer, std::string& out,
+                   std::uint32_t max_bytes) {
+  if (buffer.size() < 4) return false;
+  const std::uint32_t n =
+      decode_length(reinterpret_cast<const unsigned char*>(buffer.data()));
+  if (n > max_bytes)
+    throw std::invalid_argument("svc: frame length " + std::to_string(n) +
+                                " exceeds limit " + std::to_string(max_bytes));
+  if (buffer.size() < 4 + static_cast<std::size_t>(n)) return false;
+  out.assign(buffer, 4, n);
+  buffer.erase(0, 4 + static_cast<std::size_t>(n));
+  return true;
+}
+
+}  // namespace ftbesst::svc

@@ -1,0 +1,45 @@
+#pragma once
+// Length-prefixed framing for the prediction-service protocol.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. The length prefix lets both sides read messages
+// with exactly two read_full() calls and makes partial reads detectable:
+// EOF mid-frame is a protocol error, EOF on the boundary between frames is
+// a clean disconnect. Frames above `max_bytes` are rejected before any
+// allocation so a hostile peer cannot make the server reserve gigabytes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftbesst::svc {
+
+/// Default ceiling on a single frame's payload (16 MiB) — far above any
+/// legitimate request or response, far below an allocation-of-death.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Write one frame. Throws std::system_error on I/O errors and
+/// std::length_error if payload exceeds max_bytes.
+void write_frame(int fd, std::string_view payload,
+                 std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// Read one frame. Returns std::nullopt on a clean EOF (peer closed
+/// between frames). Throws std::invalid_argument on an oversized length
+/// prefix, std::runtime_error on EOF mid-frame, std::system_error on I/O
+/// errors.
+[[nodiscard]] std::optional<std::string> read_frame(
+    int fd, std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// Frame codec for buffered/non-blocking readers: append whatever bytes
+/// arrived to `buffer`; extract_frame() pops one complete frame if the
+/// buffer holds one. Used by the server's event loop, which cannot block
+/// in read_full per connection.
+[[nodiscard]] bool extract_frame(std::string& buffer, std::string& out,
+                                 std::uint32_t max_bytes = kMaxFrameBytes);
+
+/// Serialize the 4-byte header for `payload_size` (exposed for tests).
+[[nodiscard]] std::uint32_t decode_length(const unsigned char header[4]);
+void encode_length(std::uint32_t n, unsigned char header[4]);
+
+}  // namespace ftbesst::svc

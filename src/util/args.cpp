@@ -1,5 +1,6 @@
 #include "util/args.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ftbesst::util {
@@ -58,6 +59,56 @@ double ArgParser::get_double(const std::string& flag, double fallback) const {
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + flag + " expects a number, got '" +
                                 *v + "'");
+  }
+}
+
+namespace {
+
+// Plain Levenshtein distance, small inputs only (flag names).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diagonal + cost});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void ArgParser::expect_known(
+    std::initializer_list<std::string_view> valid) const {
+  for (const auto& [flag, value] : flags_) {
+    bool known = false;
+    for (std::string_view v : valid)
+      if (flag == v) {
+        known = true;
+        break;
+      }
+    if (known) continue;
+
+    std::string message = "unknown flag --" + flag;
+    std::string_view closest;
+    std::size_t best = 3;  // suggest only within edit distance 2
+    for (std::string_view v : valid) {
+      const std::size_t d = edit_distance(flag, v);
+      if (d < best) {
+        best = d;
+        closest = v;
+      }
+    }
+    if (!closest.empty())
+      message += " (did you mean --" + std::string(closest) + "?)";
+    message += "; valid flags:";
+    for (std::string_view v : valid) message += " --" + std::string(v);
+    throw std::invalid_argument(message);
   }
 }
 

@@ -3,9 +3,11 @@
 // `--flag value` and `--flag=value` options plus positional arguments.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ftbesst::util {
@@ -30,6 +32,13 @@ class ArgParser {
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& flag,
                                   double fallback) const;
+
+  /// Reject any parsed flag outside `valid`: throws std::invalid_argument
+  /// naming the offending flag and listing every valid one, with a "did
+  /// you mean --X?" hint when a valid flag is within edit distance 2.
+  /// Commands call this after construction so a typo like --trails fails
+  /// loudly instead of silently falling back to a default.
+  void expect_known(std::initializer_list<std::string_view> valid) const;
 
   /// Split a comma-separated value list ("a,b,c").
   [[nodiscard]] static std::vector<std::string> split_list(

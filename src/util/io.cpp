@@ -1,0 +1,43 @@
+#include "util/io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace ftbesst::util {
+
+std::size_t read_full(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(), "read");
+  }
+  return got;
+}
+
+void write_full(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, p + sent, n - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    // write() returning 0 for n > 0 should not happen on pipes/sockets;
+    // treat it as an error rather than spinning.
+    if (w == 0) throw std::system_error(EIO, std::generic_category(), "write");
+    if (errno == EINTR) continue;
+    throw std::system_error(errno, std::generic_category(), "write");
+  }
+}
+
+}  // namespace ftbesst::util

@@ -1,0 +1,27 @@
+#pragma once
+// Robust POSIX I/O helpers for the wire protocol (and any other code that
+// talks to pipes/sockets): read()/write() return short counts and are
+// interrupted by signals, so every framed-protocol reader needs the same
+// retry loop. Centralizing it here keeps the svc framing code free of
+// errno plumbing and makes the EINTR/short-transfer behaviour unit-testable
+// in isolation.
+
+#include <cstddef>
+
+namespace ftbesst::util {
+
+/// Read exactly `n` bytes into `buf`, retrying on EINTR and short reads.
+/// Returns the number of bytes actually read: `n` on success, less than `n`
+/// only if EOF arrived first (0 if the stream was already at EOF). Throws
+/// std::system_error on a hard I/O error. A receive timeout configured on
+/// the fd (SO_RCVTIMEO) surfaces as std::system_error(EAGAIN/EWOULDBLOCK).
+std::size_t read_full(int fd, void* buf, std::size_t n);
+
+/// Write exactly `n` bytes from `buf`, retrying on EINTR and short writes.
+/// Throws std::system_error on error (including EPIPE when the peer is
+/// gone — callers talking to sockets should ignore/handle SIGPIPE, e.g.
+/// via signal(SIGPIPE, SIG_IGN), so the error arrives as errno and not as
+/// a process-killing signal).
+void write_full(int fd, const void* buf, std::size_t n);
+
+}  // namespace ftbesst::util

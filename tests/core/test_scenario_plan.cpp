@@ -1,0 +1,95 @@
+#include "core/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::core {
+namespace {
+
+std::string error_of(const std::string& text) {
+  try {
+    (void)parse_plan(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ParsePlan, EmptyTextIsTheValidNoFtPlan) {
+  EXPECT_TRUE(parse_plan("").empty());
+  EXPECT_TRUE(parse_plan("  ").empty());
+  EXPECT_TRUE(parse_plan(",").empty());
+}
+
+TEST(ParsePlan, ParsesLevelsPeriodsAndAsyncSuffix) {
+  const auto plan = parse_plan("L1:40,L2:80,l4:100a");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].level, ft::Level::kL1);
+  EXPECT_EQ(plan[0].period, 40);
+  EXPECT_FALSE(plan[0].async);
+  EXPECT_EQ(plan[1].level, ft::Level::kL2);
+  EXPECT_EQ(plan[1].period, 80);
+  EXPECT_EQ(plan[2].level, ft::Level::kL4);
+  EXPECT_EQ(plan[2].period, 100);
+  EXPECT_TRUE(plan[2].async);
+}
+
+TEST(ParsePlan, TrimsSpacesAroundEntries) {
+  const auto plan = parse_plan(" L1:40 , L2:40 ");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[1].level, ft::Level::kL2);
+}
+
+TEST(ParsePlan, RejectsZeroAndNegativePeriods) {
+  EXPECT_THROW((void)parse_plan("L1:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_plan("L1:-5"), std::invalid_argument);
+  EXPECT_NE(error_of("L1:0").find("period"), std::string::npos);
+}
+
+TEST(ParsePlan, RejectsLevelsOutsideOneToFour) {
+  EXPECT_THROW((void)parse_plan("L0:40"), std::invalid_argument);
+  EXPECT_THROW((void)parse_plan("L5:40"), std::invalid_argument);
+  EXPECT_NE(error_of("L5:40").find("1-4"), std::string::npos);
+}
+
+TEST(ParsePlan, RejectsDuplicateLevels) {
+  EXPECT_THROW((void)parse_plan("L1:40,L1:80"), std::invalid_argument);
+  EXPECT_NE(error_of("L1:40,L1:80").find("duplicate"), std::string::npos);
+  // Same level with different async flags is still a duplicate.
+  EXPECT_THROW((void)parse_plan("L4:40,L4:40a"), std::invalid_argument);
+}
+
+TEST(ParsePlan, RejectsMalformedEntriesNamingTheEntry) {
+  for (const char* bad :
+       {"x1:10", "L1", "L1:", "L1:abc", "L1:10x", "Lx:10", "L:10", "1:10",
+        "L1;10", "L1:10aa", "L1:99999999999999999999"}) {
+    EXPECT_THROW((void)parse_plan(bad), std::invalid_argument) << bad;
+  }
+  // The error names the offending entry, not just "bad plan".
+  EXPECT_NE(error_of("L1:40,wat,L2:40").find("'wat'"), std::string::npos);
+}
+
+TEST(ValidatePlan, ChecksHandBuiltPlans) {
+  EXPECT_NO_THROW(validate_plan({}));
+  EXPECT_NO_THROW(validate_plan({{ft::Level::kL1, 40}, {ft::Level::kL4, 80}}));
+  EXPECT_THROW(validate_plan({{ft::Level::kL1, 0}}), std::invalid_argument);
+  EXPECT_THROW(validate_plan({{ft::Level::kL1, -1}}), std::invalid_argument);
+  EXPECT_THROW(validate_plan({{ft::Level::kL2, 10}, {ft::Level::kL2, 20}}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_plan({{static_cast<ft::Level>(7), 10}}),
+               std::invalid_argument);
+}
+
+TEST(ParsePlan, RoundTripsIntoScenarios) {
+  // The Scenario struct consumes parse_plan output directly; a plan built
+  // from text must satisfy validate_plan (parse_plan already ran it).
+  Scenario scenario{"L1 & L4", parse_plan("L1:40,L4:400a")};
+  EXPECT_NO_THROW(validate_plan(scenario.plan));
+  ASSERT_EQ(scenario.plan.size(), 2u);
+  EXPECT_TRUE(scenario.plan[1].async);
+}
+
+}  // namespace
+}  // namespace ftbesst::core

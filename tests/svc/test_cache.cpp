@@ -1,0 +1,196 @@
+#include "svc/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ftbesst::svc {
+namespace {
+
+std::shared_ptr<const std::string> value_of(const std::string& text) {
+  return std::make_shared<const std::string>(text);
+}
+
+TEST(ResultCache, MissThenHitReturnsTheSamePayloadObject) {
+  ResultCache cache;
+  EXPECT_EQ(cache.get("k"), nullptr);
+  const auto v = value_of("payload");
+  cache.put("k", v);
+  const auto hit = cache.get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), v.get());  // same bytes, same object — zero copies
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCache, PutOverwritesExistingKey) {
+  ResultCache cache;
+  cache.put("k", value_of("old"));
+  cache.put("k", value_of("new"));
+  EXPECT_EQ(*cache.get("k"), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedWhenOverBudget) {
+  CacheConfig config;
+  config.shards = 1;  // single shard so the LRU order is global
+  config.max_bytes = 400;
+  ResultCache cache(config);
+  cache.put("a", value_of(std::string(100, 'a')));
+  cache.put("b", value_of(std::string(100, 'b')));
+  (void)cache.get("a");  // bump "a": now "b" is the LRU victim
+  cache.put("c", value_of(std::string(150, 'c')));
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 400u);
+}
+
+TEST(ResultCache, OversizedValuesAreNotRetained) {
+  CacheConfig config;
+  config.shards = 1;
+  config.max_bytes = 100;
+  ResultCache cache(config);
+  cache.put("big", value_of(std::string(500, 'x')));
+  EXPECT_EQ(cache.get("big"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, TtlExpiryCountsAsMissAndEviction) {
+  CacheConfig config;
+  config.ttl_seconds = 0.05;
+  ResultCache cache(config);
+  cache.put("k", value_of("v"));
+  EXPECT_NE(cache.get("k"), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(cache.get("k"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ResultCache, ClearDropsEverything) {
+  ResultCache cache;
+  cache.put("a", value_of("1"));
+  cache.put("b", value_of("2"));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+}
+
+TEST(ResultCache, ShardsOperateIndependentlyUnderConcurrency) {
+  CacheConfig config;
+  config.shards = 8;
+  config.max_bytes = 8u << 20;
+  ResultCache cache(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key =
+            "key-" + std::to_string(t) + "-" + std::to_string(i);
+        cache.put(key, value_of(key + "-value"));
+        const auto hit = cache.get(key);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(*hit, key + "-value");
+      }
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.stats().entries, 8u * 500u);
+}
+
+TEST(ResultCache, HashKeyIsFnv1a) {
+  // Pinned reference values so shard selection never changes silently
+  // across refactors (cached artifacts' placement is part of the contract).
+  EXPECT_EQ(ResultCache::hash_key(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(ResultCache::hash_key("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(SingleFlight, LeaderComputesFollowersCoalesce) {
+  SingleFlight flight;
+  std::atomic<int> computations{0};
+  std::atomic<int> leaders{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<SingleFlight::Result> results(8);
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      bool leader = false;
+      results[t] = flight.run(
+          "key",
+          [&]() -> SingleFlight::Result {
+            computations.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return value_of("expensive");
+          },
+          &leader);
+      if (leader) leaders.fetch_add(1);
+    });
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+  // Every concurrent duplicate must have shared ONE computation. (With an
+  // unlucky schedule a thread can arrive after the flight finished and
+  // start a second one, so allow a tiny bit of slack — but never 8.)
+  EXPECT_LE(computations.load(), 2);
+  EXPECT_EQ(computations.load(), leaders.load());
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(*r, "expensive");
+  }
+}
+
+TEST(SingleFlight, DistinctKeysDoNotCoalesce) {
+  SingleFlight flight;
+  std::atomic<int> computations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      (void)flight.run("key-" + std::to_string(t), [&] {
+        computations.fetch_add(1);
+        return value_of("v");
+      });
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(computations.load(), 4);
+}
+
+TEST(SingleFlight, LeaderExceptionPropagatesToAllWaiters) {
+  SingleFlight flight;
+  std::atomic<int> throwers{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      try {
+        (void)flight.run("key", [&]() -> SingleFlight::Result {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw std::runtime_error("boom");
+        });
+      } catch (const std::runtime_error&) {
+        throwers.fetch_add(1);
+      }
+    });
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(throwers.load(), 4);
+  // The failed flight must not poison the key for later callers.
+  EXPECT_EQ(*flight.run("key", [] { return value_of("recovered"); }),
+            "recovered");
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

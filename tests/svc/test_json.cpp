@@ -1,0 +1,131 @@
+#include "svc/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::svc {
+namespace {
+
+TEST(Json, ParsesAllValueKinds) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("[1,2,3]").as_array().size(), 3u);
+  EXPECT_EQ(Json::parse("{\"a\":1,\"b\":[true]}").as_object().size(), 2u);
+}
+
+TEST(Json, DumpIsCanonicalSortedAndMinimal) {
+  // Key order, whitespace, and number spelling in the input must not
+  // affect the dump — that equivalence IS the cache key contract.
+  const Json a = Json::parse("{\"b\": 10, \"a\": [1.50, 2]}");
+  const Json b = Json::parse("{ \"a\" : [ 1.5 , 2.0 ] , \"b\" : 1e1 }");
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.dump(), "{\"a\":[1.5,2],\"b\":10}");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Json, DumpParseIsIdempotent) {
+  const char* samples[] = {
+      "{\"a\":0.1,\"b\":[null,true,\"x\\ny\"],\"c\":{\"d\":-0}}",
+      "[1e300,2.2250738585072014e-308,0.30000000000000004]",
+      "\"\\u00e9\\t\\\"quoted\\\"\"",
+  };
+  for (const char* text : samples) {
+    const std::string once = Json::parse(text).dump();
+    EXPECT_EQ(Json::parse(once).dump(), once) << text;
+  }
+}
+
+TEST(Json, NumbersRoundTripBitExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, -4.9e-324, 1e308,
+                   123456789.123456789}) {
+    const Json j(v);
+    const double back = Json::parse(j.dump()).as_number();
+    EXPECT_EQ(back, v);  // exact, not near: shortest-round-trip to_chars
+  }
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("NaN"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("Infinity"), std::invalid_argument);
+}
+
+TEST(Json, StringEscapes) {
+  const Json j = Json::parse("\"a\\\\b\\\"c\\u0041\\n\"");
+  EXPECT_EQ(j.as_string(), "a\\b\"cA\n");
+  // Control characters must be escaped on output.
+  EXPECT_EQ(Json(std::string("x\ny\x01")).dump(), "\"x\\ny\\u0001\"");
+  // ... and rejected raw on input.
+  EXPECT_THROW((void)Json::parse("\"a\nb\""), std::invalid_argument);
+}
+
+TEST(Json, UnicodeEscapesBmp) {
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+  // Surrogates are out of scope and must be a clean error.
+  EXPECT_THROW((void)Json::parse("\"\\ud83d\\ude00\""), std::invalid_argument);
+}
+
+TEST(Json, MalformedInputsThrowWithByteOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.2.3",
+        "\"unterminated", "[1] trailing", "{\"a\":1,}", "nul"}) {
+    EXPECT_THROW((void)Json::parse(bad), std::invalid_argument) << bad;
+  }
+  try {
+    (void)Json::parse("[1, 2, x]");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, NestingDepthIsCapped) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep), std::invalid_argument);
+  EXPECT_NO_THROW((void)Json::parse(deep, 200));
+}
+
+TEST(Json, CheckedAccessorsThrowOnTypeMismatch) {
+  const Json j = Json::parse("{\"n\":1,\"s\":\"x\"}");
+  EXPECT_THROW((void)j.as_array(), std::invalid_argument);
+  EXPECT_THROW((void)j.find("n")->as_string(), std::invalid_argument);
+  EXPECT_THROW((void)j.find("s")->as_number(), std::invalid_argument);
+}
+
+TEST(Json, TypedGettersWithFallbacks) {
+  const Json j = Json::parse(
+      "{\"d\":2.5,\"i\":7,\"s\":\"text\",\"b\":true,\"z\":null}");
+  EXPECT_DOUBLE_EQ(j.number_or("d", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(j.number_or("missing", 9.5), 9.5);
+  EXPECT_EQ(j.int_or("i", 0), 7);
+  EXPECT_EQ(j.string_or("s", ""), "text");
+  EXPECT_TRUE(j.bool_or("b", false));
+  // null counts as absent for the fallback getters.
+  EXPECT_EQ(j.int_or("z", 3), 3);
+  // Type mismatches and non-integral ints still throw.
+  EXPECT_THROW((void)j.int_or("s", 0), std::invalid_argument);
+  EXPECT_THROW((void)j.int_or("d", 0), std::invalid_argument);
+  EXPECT_THROW((void)j.string_or("i", ""), std::invalid_argument);
+}
+
+TEST(Json, FindOnNonObjectsReturnsNull) {
+  EXPECT_EQ(Json(5).find("a"), nullptr);
+  EXPECT_EQ(Json::parse("[1]").find("a"), nullptr);
+  EXPECT_NE(Json::parse("{\"a\":1}").find("a"), nullptr);
+  EXPECT_EQ(Json::parse("{\"a\":1}").find("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

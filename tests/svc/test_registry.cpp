@@ -1,0 +1,187 @@
+#include "svc/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "apps/kernels.hpp"
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "model/perf_model.hpp"
+#include "net/topology.hpp"
+#include "svc/json.hpp"
+
+namespace ftbesst::svc {
+namespace {
+
+/// Registry over hand-built analytic models: instant to construct, fully
+/// deterministic, enough structure for every op to exercise the engines.
+Registry make_test_registry() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  auto arch =
+      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
+  arch->bind_kernel(apps::kLuleshTimestep,
+                    std::make_shared<model::ConstantModel>(0.01));
+  arch->bind_kernel(apps::kStencilSweep,
+                    std::make_shared<model::ConstantModel>(0.005));
+  for (int level = 1; level <= 4; ++level)
+    arch->bind_kernel(
+        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
+        std::make_shared<model::ConstantModel>(0.002 * level));
+  return Registry{std::move(arch)};
+}
+
+TEST(CanonicalKey, IgnoresSpellingAndVolatileFields) {
+  const Json a = Json::parse(
+      "{\"op\":\"simulate\",\"trials\":20,\"seed\":7,\"deadline_ms\":100}");
+  const Json b = Json::parse(
+      "{\"seed\":7.0,\"id\":\"req-123\",\"trials\":2e1,\"op\":\"simulate\"}");
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+  const Json c = Json::parse("{\"op\":\"simulate\",\"trials\":21,\"seed\":7}");
+  EXPECT_NE(canonical_key(a), canonical_key(c));
+  EXPECT_THROW((void)canonical_key(Json::parse("[1]")), std::invalid_argument);
+}
+
+TEST(Registry, PredictEvaluatesBoundModels) {
+  const Registry registry = make_test_registry();
+  const Json result = handle_request(
+      registry, Json::parse("{\"op\":\"predict\",\"kernel\":\"" +
+                            std::string(apps::kLuleshTimestep) +
+                            "\",\"params\":[15,64]}"));
+  EXPECT_DOUBLE_EQ(result.find("value")->as_number(), 0.01);
+  EXPECT_FALSE(result.find("model")->as_string().empty());
+}
+
+TEST(Registry, PredictRejectsUnknownKernelsAndMissingFields) {
+  const Registry registry = make_test_registry();
+  EXPECT_THROW(
+      (void)handle_request(registry, Json::parse("{\"op\":\"predict\"}")),
+      std::invalid_argument);
+  EXPECT_THROW((void)handle_request(
+                   registry, Json::parse("{\"op\":\"predict\",\"kernel\":"
+                                         "\"nope\",\"params\":[1]}")),
+               std::invalid_argument);
+}
+
+TEST(Registry, SimulateIsDeterministicForAFixedSeed) {
+  const Registry registry = make_test_registry();
+  const Json request = Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":50,\"plan\":\"L1:10,L4:25\",\"trials\":10,\"seed\":5}");
+  const Json a = handle_request(registry, request);
+  const Json b = handle_request(registry, request);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.find("trials")->as_number(), 10);
+  EXPECT_GT(a.find("mean")->as_number(), 0.0);
+}
+
+TEST(Registry, SimulateWithFaultsUsesAPrivateArchCopy) {
+  const Registry registry = make_test_registry();
+  const Json request = Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":200,\"plan\":\"L1:20\",\"trials\":20,\"seed\":5,"
+      "\"mtbf_hours\":0.05,\"downtime\":1}");
+  const Json faulty = handle_request(registry, request);
+  EXPECT_GT(faulty.find("mean_faults")->as_number(), 0.0);
+  // The registry's shared arch must be untouched: the same no-fault
+  // request gives identical results before and after the faulty one.
+  const Json clean_request = Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":50,\"plan\":\"\",\"trials\":5,\"seed\":5}");
+  const std::string before = handle_request(registry, clean_request).dump();
+  (void)handle_request(registry, request);
+  EXPECT_EQ(handle_request(registry, clean_request).dump(), before);
+}
+
+TEST(Registry, SimulateSupportsStencil) {
+  const Registry registry = make_test_registry();
+  const Json result = handle_request(
+      registry,
+      Json::parse("{\"op\":\"simulate\",\"app\":\"stencil3d\",\"nx\":16,"
+                  "\"ranks\":8,\"timesteps\":20,\"trials\":5}"));
+  EXPECT_GT(result.find("mean")->as_number(), 0.0);
+}
+
+TEST(Registry, SimulateRejectsBadInputs) {
+  const Registry registry = make_test_registry();
+  for (const char* bad : {
+           "{\"op\":\"simulate\",\"app\":\"fortnite\"}",
+           "{\"op\":\"simulate\",\"trials\":0}",
+           "{\"op\":\"simulate\",\"trials\":1000000}",
+           "{\"op\":\"simulate\",\"timesteps\":0}",
+           "{\"op\":\"simulate\",\"plan\":\"L7:10\"}",
+           "{\"op\":\"simulate\",\"plan\":\"L1:10,L1:20\"}",
+           "{\"op\":\"simulate\",\"ranks\":63}",     // not a cube
+           "{\"op\":\"simulate\",\"ranks\":64.5}",   // not an integer
+           "{\"op\":\"simulate\",\"mtbf_hours\":-1}",
+           "{\"op\":\"bogus\"}",
+       }) {
+    EXPECT_THROW((void)handle_request(registry, Json::parse(bad)),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Registry, DseSweepsScenariosTimesPoints) {
+  const Registry registry = make_test_registry();
+  const Json result = handle_request(
+      registry,
+      Json::parse(
+          "{\"op\":\"dse\",\"app\":\"lulesh\",\"scenarios\":"
+          "[{\"name\":\"No FT\",\"plan\":\"\"},{\"name\":\"L1\",\"plan\":"
+          "\"L1:10\"}],\"eprs\":[5,10],\"ranks\":[8,64],\"timesteps\":20,"
+          "\"trials\":4,\"seed\":11}"));
+  EXPECT_EQ(result.find("points")->as_array().size(), 2u * 4u);
+  EXPECT_EQ(result.find("scenarios")->as_number(), 2);
+  for (const Json& cell : result.find("points")->as_array()) {
+    EXPECT_FALSE(cell.find("scenario")->as_string().empty());
+    EXPECT_EQ(cell.find("params")->as_array().size(), 2u);
+    EXPECT_GT(cell.find("ensemble")->find("mean")->as_number(), 0.0);
+  }
+}
+
+TEST(Registry, DseAcceptsExplicitPointsAndRejectsBadOnes) {
+  const Registry registry = make_test_registry();
+  const Json result = handle_request(
+      registry,
+      Json::parse("{\"op\":\"dse\",\"scenarios\":[{\"name\":\"s\",\"plan\":"
+                  "\"\"}],\"points\":[[5,8],[10,64]],\"timesteps\":10,"
+                  "\"trials\":2}"));
+  EXPECT_EQ(result.find("points")->as_array().size(), 2u);
+
+  for (const char* bad : {
+           "{\"op\":\"dse\",\"scenarios\":[]}",
+           "{\"op\":\"dse\",\"scenarios\":[{\"plan\":\"\"}],\"points\":"
+           "[[5,8]]}",
+           "{\"op\":\"dse\",\"scenarios\":[{\"name\":\"s\"}],\"points\":[]}",
+           "{\"op\":\"dse\",\"scenarios\":[{\"name\":\"s\"}],\"points\":"
+           "[[5]]}",
+           "{\"op\":\"dse\",\"scenarios\":[{\"name\":\"s\"}],\"points\":"
+           "[[5,63]]}",
+       }) {
+    EXPECT_THROW((void)handle_request(registry, Json::parse(bad)),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Registry, DseIsDeterministicForAFixedSeed) {
+  const Registry registry = make_test_registry();
+  const Json request = Json::parse(
+      "{\"op\":\"dse\",\"scenarios\":[{\"name\":\"a\",\"plan\":\"L1:10\"},"
+      "{\"name\":\"b\",\"plan\":\"L4:20\"}],\"eprs\":[5,10,15],\"ranks\":"
+      "[8,64],\"timesteps\":20,\"trials\":6,\"seed\":99,\"mtbf_hours\":0.1}");
+  EXPECT_EQ(handle_request(registry, request).dump(),
+            handle_request(registry, request).dump());
+}
+
+TEST(Registry, OpenRejectsMissingModelsDir) {
+  RegistryOptions options;
+  options.models_dir = "/nonexistent/path";
+  EXPECT_THROW((void)Registry::open(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

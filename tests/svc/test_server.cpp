@@ -1,0 +1,356 @@
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "model/perf_model.hpp"
+#include "net/topology.hpp"
+#include "svc/client.hpp"
+#include "svc/json.hpp"
+
+namespace ftbesst::svc {
+namespace {
+
+std::shared_ptr<const Registry> make_test_registry() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  auto arch =
+      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
+  arch->bind_kernel(apps::kLuleshTimestep,
+                    std::make_shared<model::ConstantModel>(0.01));
+  arch->bind_kernel(apps::kStencilSweep,
+                    std::make_shared<model::ConstantModel>(0.005));
+  for (int level = 1; level <= 4; ++level)
+    arch->bind_kernel(
+        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
+        std::make_shared<model::ConstantModel>(0.002 * level));
+  return std::make_shared<const Registry>(Registry{std::move(arch)});
+}
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/ftbesst-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// RAII server over the analytic registry: unix socket + ephemeral TCP.
+struct TestServer {
+  explicit TestServer(ServerOptions options = {}, const char* tag = "srv") {
+    options.unix_socket_path = test_socket_path(tag);
+    if (options.tcp_port < 0) options.tcp_port = 0;  // ephemeral
+    server = std::make_unique<Server>(make_test_registry(), options);
+    server->start();
+    path = options.unix_socket_path;
+  }
+  ~TestServer() {
+    if (server) {
+      server->shutdown();
+      server->wait();
+    }
+  }
+  [[nodiscard]] Client client(double timeout_seconds = 30.0) const {
+    return Client::connect_unix(path, timeout_seconds);
+  }
+
+  std::unique_ptr<Server> server;
+  std::string path;
+};
+
+Json simulate_request(int seed, int trials = 5) {
+  return Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":30,\"plan\":\"L1:10\",\"trials\":" +
+      std::to_string(trials) + ",\"seed\":" + std::to_string(seed) + "}");
+}
+
+TEST(Server, AnswersOverUnixAndTcp) {
+  TestServer ts({}, "both");
+  Client ux = ts.client();
+  const ClientResponse pong = ux.call(Json::parse("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(pong.ok) << pong.raw;
+  EXPECT_TRUE(pong.result.find("pong")->as_bool());
+
+  ASSERT_GT(ts.server->tcp_port(), 0);
+  Client tcp = Client::connect_tcp(ts.server->tcp_port(), 30.0);
+  const ClientResponse reply = tcp.call(simulate_request(1));
+  ASSERT_TRUE(reply.ok) << reply.raw;
+  EXPECT_FALSE(reply.cached);
+}
+
+TEST(Server, CacheHitsAreByteIdentical) {
+  TestServer ts({}, "bytes");
+  Client client = ts.client();
+  const ClientResponse cold = client.call(simulate_request(7));
+  ASSERT_TRUE(cold.ok) << cold.raw;
+  EXPECT_FALSE(cold.cached);
+  // Same request, different spelling/volatile fields: served from cache,
+  // result bytes identical to the cold computation's.
+  const ClientResponse hot = client.call(Json::parse(
+      "{\"seed\":7,\"trials\":5,\"plan\":\"L1:10\",\"timesteps\":30,"
+      "\"ranks\":64,\"epr\":10,\"app\":\"lulesh\",\"op\":\"simulate\","
+      "\"id\":\"whatever\",\"deadline_ms\":60000}"));
+  ASSERT_TRUE(hot.ok) << hot.raw;
+  EXPECT_TRUE(hot.cached);
+  EXPECT_EQ(hot.result_bytes, cold.result_bytes);
+  EXPECT_GE(ts.server->stats().cache.hits, 1u);
+}
+
+TEST(Server, SoakMixedHotColdClientsLoseNothing) {
+  TestServer ts({}, "soak");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 12;
+  const Json shared_request = simulate_request(1000);
+
+  std::atomic<int> responses{0};
+  std::vector<std::string> shared_bytes(kThreads);
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      try {
+        Client client = ts.client();
+        for (int i = 0; i < kIterations; ++i) {
+          // Hot: everyone hammers one shared request; its bytes must be
+          // identical across every thread and iteration.
+          const ClientResponse hot = client.call(shared_request);
+          if (!hot.ok) {
+            failures[t] = hot.raw;
+            return;
+          }
+          if (shared_bytes[t].empty())
+            shared_bytes[t] = hot.result_bytes;
+          else if (shared_bytes[t] != hot.result_bytes) {
+            failures[t] = "hot bytes changed between iterations";
+            return;
+          }
+          responses.fetch_add(1);
+
+          // Cold: a per-thread/iteration unique request, asked twice — the
+          // second answer must be a cache hit with identical bytes.
+          const Json unique = simulate_request(2000 + t * 100 + i, 3);
+          const ClientResponse first = client.call(unique);
+          const ClientResponse second = client.call(unique);
+          if (!first.ok || !second.ok) {
+            failures[t] = first.ok ? second.raw : first.raw;
+            return;
+          }
+          if (second.result_bytes != first.result_bytes || !second.cached) {
+            failures[t] = "cache hit bytes differ from cold computation";
+            return;
+          }
+          responses.fetch_add(2);
+        }
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "") << "thread " << t;
+  EXPECT_EQ(responses.load(), kThreads * kIterations * 3);
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(shared_bytes[t], shared_bytes[0]) << "thread " << t;
+
+  // Counters are only guaranteed exact once drained (a worker may still be
+  // between writing its reply and bumping `completed`).
+  ts.server->shutdown();
+  ts.server->wait();
+  const Server::Stats stats = ts.server->stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(responses.load()));
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_GE(stats.cache.hits + stats.coalesced,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+}
+
+TEST(Server, ConcurrentIdenticalColdRequestsCoalesceOrHit) {
+  TestServer ts({}, "flight");
+  constexpr int kThreads = 8;
+  // Heavy enough that the followers arrive while the leader still computes.
+  const Json request = simulate_request(31337, /*trials=*/20000);
+  std::atomic<bool> go{false};
+  std::vector<std::string> bytes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Client client = ts.client(120.0);
+      while (!go.load()) std::this_thread::yield();
+      const ClientResponse reply = client.call(request);
+      ASSERT_TRUE(reply.ok) << reply.raw;
+      bytes[t] = reply.result_bytes;
+    });
+  go.store(true);
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(bytes[t], bytes[0]);
+  // The expensive ensemble ran far fewer than kThreads times: every
+  // duplicate either coalesced onto the in-flight computation or hit the
+  // cache afterwards.
+  const Server::Stats stats = ts.server->stats();
+  EXPECT_GE(stats.coalesced + stats.cache.hits,
+            static_cast<std::uint64_t>(kThreads - 2));
+}
+
+TEST(Server, QueueFullGetsExplicitOverloadRejection) {
+  ServerOptions options;
+  options.queue_capacity = 2;
+  TestServer ts(options, "overload");
+
+  // Two sleeps occupy the entire admission budget...
+  std::vector<std::thread> sleepers;
+  for (int t = 0; t < 2; ++t)
+    sleepers.emplace_back([&] {
+      Client client = ts.client();
+      const ClientResponse reply =
+          client.call(Json::parse("{\"op\":\"sleep\",\"ms\":600}"));
+      EXPECT_TRUE(reply.ok) << reply.raw;
+    });
+  // ... give them time to be admitted, then a third request must be shed
+  // immediately — an explicit rejection, not a stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Client client = ts.client();
+  const auto t0 = std::chrono::steady_clock::now();
+  const ClientResponse rejected = client.call(Json::parse("{\"op\":\"ping\"}"));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, "overload") << rejected.raw;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            300);  // rejected while the sleeps still run
+  for (auto& thread : sleepers) thread.join();
+
+  // Capacity freed: the same connection works again.
+  const ClientResponse accepted = client.call(Json::parse("{\"op\":\"ping\"}"));
+  EXPECT_TRUE(accepted.ok) << accepted.raw;
+  EXPECT_GE(ts.server->stats().rejected_overload, 1u);
+}
+
+TEST(Server, ExpiredDeadlineIsRejectedWithoutComputing) {
+  TestServer ts({}, "deadline");
+  Client client = ts.client();
+  // A deadline of 100ns has always already expired by the time a worker
+  // picks the request up; the reply must be the deadline error, and the
+  // simulate must never run (nothing enters the cache).
+  Json request = simulate_request(5);
+  request.as_object()["deadline_ms"] = Json(0.0001);
+  const ClientResponse reply = client.call(request);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "deadline") << reply.raw;
+  EXPECT_EQ(ts.server->stats().cache.entries, 0u);
+  EXPECT_GE(ts.server->stats().rejected_deadline, 1u);
+}
+
+TEST(Server, MalformedRequestsGetBadRequestEnvelopes) {
+  TestServer ts({}, "bad");
+  Client client = ts.client();
+
+  ClientResponse reply = client.call_raw("this is not json");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "bad_request");
+
+  reply = client.call_raw("[1,2,3]");  // valid JSON, not an object
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "bad_request");
+
+  reply = client.call(Json::parse("{\"op\":\"frobnicate\"}"));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "bad_request");
+  EXPECT_NE(reply.error.find("frobnicate"), std::string::npos);
+  EXPECT_NE(reply.error.find("simulate"), std::string::npos);  // lists ops
+
+  reply = client.call(Json::parse("{\"op\":\"simulate\",\"plan\":\"L9:4\"}"));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "bad_request");
+
+  // The connection survived all of it.
+  EXPECT_TRUE(client.call(Json::parse("{\"op\":\"ping\"}")).ok);
+  EXPECT_GE(ts.server->stats().bad_requests, 4u);
+}
+
+TEST(Server, StatsOpReportsCounters) {
+  TestServer ts({}, "stats");
+  Client client = ts.client();
+  ASSERT_TRUE(client.call(simulate_request(9)).ok);
+  ASSERT_TRUE(client.call(simulate_request(9)).cached);
+  const ClientResponse reply = client.call(Json::parse("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(reply.ok) << reply.raw;
+  EXPECT_GE(reply.result.find("completed")->as_number(), 2.0);
+  EXPECT_EQ(reply.result.find("cache")->find("hits")->as_number(), 1.0);
+  EXPECT_EQ(reply.result.find("queue_capacity")->as_number(), 64.0);
+}
+
+TEST(Server, ShutdownOpDrainsInFlightWorkThenStops) {
+  auto ts = std::make_unique<TestServer>(ServerOptions{}, "shutdown-op");
+  // An in-flight sleep must still be answered after shutdown is requested.
+  std::thread sleeper([&] {
+    Client client = ts->client();
+    const ClientResponse reply =
+        client.call(Json::parse("{\"op\":\"sleep\",\"ms\":400}"));
+    EXPECT_TRUE(reply.ok) << reply.raw;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Client client = ts->client();
+  const ClientResponse ack = client.call(Json::parse("{\"op\":\"shutdown\"}"));
+  ASSERT_TRUE(ack.ok) << ack.raw;
+  EXPECT_TRUE(ack.result.find("draining")->as_bool());
+
+  ts->server->wait();  // returns once drained; the sleeper got its reply
+  sleeper.join();
+  EXPECT_THROW((void)Client::connect_unix(ts->path, 1.0), std::system_error);
+  ts.reset();
+}
+
+TEST(Server, RequestsDuringDrainAreRejectedAsShuttingDown) {
+  ServerOptions options;
+  TestServer ts(options, "draining");
+  Client busy = ts.client();
+  Client probe = ts.client();  // connect BEFORE the listeners close
+
+  std::thread sleeper([&] {
+    (void)busy.call(Json::parse("{\"op\":\"sleep\",\"ms\":600}"));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ts.server->shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const ClientResponse reply = probe.call(Json::parse("{\"op\":\"ping\"}"));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "shutting_down") << reply.raw;
+  sleeper.join();
+  EXPECT_GE(ts.server->stats().rejected_shutdown, 1u);
+}
+
+TEST(Server, SigtermDrainsAndStopsCleanly) {
+  auto ts = std::make_unique<TestServer>(ServerOptions{}, "sigterm");
+  Server::install_signal_handlers(ts->server.get());
+  {
+    Client client = ts->client();
+    ASSERT_TRUE(client.call(Json::parse("{\"op\":\"ping\"}")).ok);
+  }
+  ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+  ts->server->wait();  // the handler triggered a graceful drain
+  Server::install_signal_handlers(nullptr);
+  ts.reset();  // double-shutdown in the destructor must be harmless
+}
+
+TEST(Server, OversizedFramesAreRejected) {
+  ServerOptions options;
+  options.max_frame_bytes = 256;
+  TestServer ts(options, "oversize");
+  Client client = ts.client();
+  const ClientResponse reply =
+      client.call_raw(std::string(1000, 'x'), /*max_frame_bytes=*/4096);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "bad_request");
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

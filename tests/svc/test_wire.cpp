@@ -1,0 +1,127 @@
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace ftbesst::svc {
+namespace {
+
+struct Pipe {
+  Pipe() { EXPECT_EQ(pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] >= 0) close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) close(fds[1]);
+    fds[1] = -1;
+  }
+  int fds[2] = {-1, -1};
+};
+
+TEST(Wire, LengthHeaderIsBigEndian) {
+  unsigned char header[4];
+  encode_length(0x01020304u, header);
+  EXPECT_EQ(header[0], 0x01);
+  EXPECT_EQ(header[1], 0x02);
+  EXPECT_EQ(header[2], 0x03);
+  EXPECT_EQ(header[3], 0x04);
+  EXPECT_EQ(decode_length(header), 0x01020304u);
+}
+
+TEST(Wire, FramesRoundTripThroughAPipe) {
+  Pipe p;
+  std::thread writer([&] {
+    write_frame(p.fds[1], "{\"op\":\"ping\"}");
+    write_frame(p.fds[1], "");  // empty payload is a legal frame
+    write_frame(p.fds[1], std::string(100000, 'x'));
+    p.close_write();
+  });
+  EXPECT_EQ(read_frame(p.fds[0]).value(), "{\"op\":\"ping\"}");
+  EXPECT_EQ(read_frame(p.fds[0]).value(), "");
+  EXPECT_EQ(read_frame(p.fds[0]).value(), std::string(100000, 'x'));
+  EXPECT_FALSE(read_frame(p.fds[0]).has_value());  // clean EOF
+  writer.join();
+}
+
+TEST(Wire, EofMidFrameIsAProtocolError) {
+  Pipe p;
+  unsigned char header[4];
+  encode_length(100, header);
+  ASSERT_EQ(write(p.fds[1], header, 4), 4);
+  ASSERT_EQ(write(p.fds[1], "short", 5), 5);
+  p.close_write();
+  EXPECT_THROW((void)read_frame(p.fds[0]), std::runtime_error);
+
+  Pipe p2;
+  ASSERT_EQ(write(p2.fds[1], header, 2), 2);  // EOF inside the header
+  p2.close_write();
+  EXPECT_THROW((void)read_frame(p2.fds[0]), std::runtime_error);
+}
+
+TEST(Wire, OversizedFramesAreRejectedBeforeAllocation) {
+  Pipe p;
+  unsigned char header[4];
+  encode_length(1000, header);
+  ASSERT_EQ(write(p.fds[1], header, 4), 4);
+  EXPECT_THROW((void)read_frame(p.fds[0], /*max_bytes=*/100),
+               std::invalid_argument);
+  EXPECT_THROW(write_frame(p.fds[1], std::string(200, 'x'), 100),
+               std::length_error);
+}
+
+TEST(Wire, ExtractFrameHandlesArbitrarySplits) {
+  // Build two frames back to back, then feed the byte stream one byte at a
+  // time: the codec must produce exactly the two payloads, in order.
+  std::string stream;
+  for (const std::string payload : {"first", "second frame"}) {
+    unsigned char header[4];
+    encode_length(static_cast<std::uint32_t>(payload.size()), header);
+    stream.append(reinterpret_cast<const char*>(header), 4);
+    stream += payload;
+  }
+  std::string buffer, out;
+  std::vector<std::string> frames;
+  for (const char byte : stream) {
+    buffer += byte;
+    while (extract_frame(buffer, out)) frames.push_back(out);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "first");
+  EXPECT_EQ(frames[1], "second frame");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Wire, ExtractFrameWaitsForCompleteHeader) {
+  std::string buffer("\x00\x00", 2), out;
+  EXPECT_FALSE(extract_frame(buffer, out));
+  EXPECT_EQ(buffer.size(), 2u);  // partial header left in place
+}
+
+TEST(Wire, ExtractFrameRejectsOversizedAnnouncement) {
+  unsigned char header[4];
+  encode_length(1u << 30, header);
+  std::string buffer(reinterpret_cast<const char*>(header), 4), out;
+  EXPECT_THROW((void)extract_frame(buffer, out), std::invalid_argument);
+}
+
+TEST(Wire, WriteToClosedPeerThrowsSystemError) {
+  signal(SIGPIPE, SIG_IGN);
+  Pipe p;
+  p.close_read();
+  EXPECT_THROW(write_frame(p.fds[1], "payload"), std::system_error);
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

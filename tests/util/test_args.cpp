@@ -61,5 +61,46 @@ TEST(ArgParser, SplitList) {
             (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(ArgParser, MissingValueNamesTheFlag) {
+  try {
+    parse({"--trials"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--trials"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, ExpectKnownAcceptsValidFlags) {
+  const auto args = parse({"--epr", "15", "--seed=9"});
+  EXPECT_NO_THROW(args.expect_known({"epr", "seed", "trials"}));
+}
+
+TEST(ArgParser, ExpectKnownNamesUnknownFlagAndListsValidOnes) {
+  const auto args = parse({"--eprs", "15"});
+  try {
+    args.expect_known({"epr", "seed", "trials"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--eprs"), std::string::npos) << message;
+    EXPECT_NE(message.find("--epr"), std::string::npos) << message;
+    EXPECT_NE(message.find("--seed"), std::string::npos) << message;
+    EXPECT_NE(message.find("--trials"), std::string::npos) << message;
+    // --eprs is one edit from --epr: the error suggests it.
+    EXPECT_NE(message.find("did you mean --epr?"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(ArgParser, ExpectKnownSkipsSuggestionWhenNothingIsClose) {
+  const auto args = parse({"--completely-different", "1"});
+  try {
+    args.expect_known({"epr", "seed"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ftbesst::util

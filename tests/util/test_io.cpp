@@ -1,0 +1,161 @@
+#include "util/io.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace ftbesst::util {
+namespace {
+
+std::atomic<int> interruptions{0};
+
+void count_signal(int) { interruptions.fetch_add(1); }
+
+// Install a SIGUSR1 handler WITHOUT SA_RESTART, so a blocked read()/write()
+// genuinely returns EINTR instead of the kernel restarting it.
+struct InterruptingHandler {
+  InterruptingHandler() {
+    struct sigaction action {};
+    action.sa_handler = count_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGUSR1, &action, &previous_);
+  }
+  ~InterruptingHandler() { sigaction(SIGUSR1, &previous_, nullptr); }
+  struct sigaction previous_ {};
+};
+
+struct Pipe {
+  Pipe() { EXPECT_EQ(pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] >= 0) close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) close(fds[1]);
+    fds[1] = -1;
+  }
+  int fds[2] = {-1, -1};
+};
+
+std::string pattern_bytes(std::size_t n) {
+  std::string data(n, '\0');
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = static_cast<char>('a' + (i * 131) % 26);
+  return data;
+}
+
+TEST(FullIo, RoundTripsMoreThanPipeCapacity) {
+  // 4 MiB through a ~64 KiB pipe: both sides must loop over short
+  // transfers, and every byte must arrive in order.
+  const std::string sent = pattern_bytes(4u << 20);
+  Pipe p;
+  std::thread writer([&] { write_full(p.fds[1], sent.data(), sent.size()); });
+  std::string received(sent.size(), '\0');
+  const std::size_t n = read_full(p.fds[0], received.data(), received.size());
+  writer.join();
+  EXPECT_EQ(n, sent.size());
+  EXPECT_EQ(received, sent);
+}
+
+TEST(FullIo, ReadFullReportsEofShortCount) {
+  Pipe p;
+  write_full(p.fds[1], "hello", 5);
+  p.close_write();
+  char buf[64];
+  EXPECT_EQ(read_full(p.fds[0], buf, sizeof buf), 5u);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  EXPECT_EQ(read_full(p.fds[0], buf, sizeof buf), 0u);  // already at EOF
+}
+
+TEST(FullIo, ReadFullRetriesThroughEintr) {
+  InterruptingHandler handler;
+  interruptions.store(0);
+  Pipe p;
+  std::string received(64, '\0');
+  std::atomic<bool> reader_blocked{false};
+  std::size_t got = 0;
+  std::thread reader([&] {
+    reader_blocked.store(true);
+    got = read_full(p.fds[0], received.data(), received.size());
+  });
+  while (!reader_blocked.load()) std::this_thread::yield();
+  // Pepper the blocked reader with signals, then trickle the data in two
+  // halves with more signals in between.
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  write_full(p.fds[1], pattern_bytes(32).data(), 32);
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  write_full(p.fds[1], pattern_bytes(32).data(), 32);
+  reader.join();
+  EXPECT_EQ(got, 64u);
+  EXPECT_GT(interruptions.load(), 0);
+}
+
+TEST(FullIo, WriteFullRetriesThroughEintrOnFullPipe) {
+  InterruptingHandler handler;
+  interruptions.store(0);
+  Pipe p;
+  const std::string sent = pattern_bytes(2u << 20);  // >> pipe capacity
+  std::atomic<bool> writer_started{false};
+  std::thread writer([&] {
+    writer_started.store(true);
+    write_full(p.fds[1], sent.data(), sent.size());
+  });
+  while (!writer_started.load()) std::this_thread::yield();
+  for (int i = 0; i < 10; ++i) {
+    pthread_kill(writer.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string received(sent.size(), '\0');
+  const std::size_t n = read_full(p.fds[0], received.data(), received.size());
+  writer.join();
+  EXPECT_EQ(n, sent.size());
+  EXPECT_EQ(received, sent);
+  EXPECT_GT(interruptions.load(), 0);
+}
+
+TEST(FullIo, HardErrorsThrowSystemError) {
+  char byte = 'x';
+  EXPECT_THROW((void)read_full(-1, &byte, 1), std::system_error);
+  EXPECT_THROW(write_full(-1, &byte, 1), std::system_error);
+}
+
+TEST(FullIo, WriteToClosedReaderThrowsEpipe) {
+  signal(SIGPIPE, SIG_IGN);
+  Pipe p;
+  p.close_read();
+  char byte = 'x';
+  try {
+    write_full(p.fds[1], &byte, 1);
+    FAIL() << "expected std::system_error";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code().value(), EPIPE);
+  }
+}
+
+TEST(FullIo, ZeroLengthTransfersAreNoOps) {
+  Pipe p;
+  EXPECT_NO_THROW(write_full(p.fds[1], nullptr, 0));
+  EXPECT_EQ(read_full(p.fds[0], nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace ftbesst::util

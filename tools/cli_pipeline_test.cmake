@@ -45,3 +45,53 @@ endforeach()
 file(WRITE ${WORK_DIR}/faults.csv
      "100,3,loss\n250,1,crash\n380,7,loss\n505,2,loss\n660,4,loss\n")
 run_step(${FTBESST} faultlog --log faults.csv --nodes 16)
+
+# Prediction-service smoke: serve the fitted models over a unix socket in
+# the background, answer a predict and a cold + cached simulate, drain via
+# the shutdown op (exit 0), then again via SIGTERM (exit 0).
+file(WRITE ${WORK_DIR}/svc_smoke.sh [=[#!/bin/sh
+set -e
+FTBESST="$1"
+SOCK="$2"
+
+wait_ready() {
+  i=0
+  until "$FTBESST" client --socket "$SOCK" --request '{"op":"ping"}' \
+      >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -ge 150 ]; then
+      echo "server never became ready" >&2
+      kill "$3" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+"$FTBESST" serve --models . --socket "$SOCK" 2>serve1.log &
+pid=$!
+wait_ready "$FTBESST" "$SOCK" "$pid"
+
+"$FTBESST" client --socket "$SOCK" \
+  --request '{"op":"predict","kernel":"lulesh_timestep","params":[15,512]}' \
+  | grep -q '"ok":true'
+
+REQ='{"op":"simulate","epr":15,"ranks":512,"plan":"L1:40","timesteps":100,"trials":5}'
+cold=$("$FTBESST" client --socket "$SOCK" --request "$REQ")
+echo "$cold" | grep -q '"cached":false'
+hot=$("$FTBESST" client --socket "$SOCK" --request "$REQ")
+echo "$hot" | grep -q '"cached":true'
+
+"$FTBESST" client --socket "$SOCK" --request '{"op":"shutdown"}' \
+  | grep -q '"draining":true'
+wait "$pid"   # graceful drain: the daemon itself must exit 0
+
+# Round two: the same drain path must trigger from SIGTERM.
+"$FTBESST" serve --models . --socket "$SOCK" 2>serve2.log &
+pid=$!
+wait_ready "$FTBESST" "$SOCK" "$pid"
+kill -TERM "$pid"
+wait "$pid"
+echo "svc smoke passed"
+]=])
+run_step(sh svc_smoke.sh ${FTBESST} svc.sock)

@@ -36,6 +36,18 @@
 //       bundled testbed, fit models, simulate, report (see
 //       examples/experiment.ini for the schema).
 //
+//   ftbesst serve --socket PATH [--tcp-port P] [--models DIR]
+//       [--queue-capacity N] [--cache-mb M] [--cache-ttl S] [--deadline-ms D]
+//       Long-running prediction daemon: loads (or calibrates) the models
+//       once, then serves predict/simulate/dse requests over a
+//       length-prefixed JSON protocol with a sharded result cache and
+//       explicit overload rejection. SIGTERM/SIGINT drain gracefully.
+//
+//   ftbesst client (--socket PATH | --tcp-port P) [--request JSON]
+//       [--timeout S]
+//       Send one request (from --request or stdin) to a running daemon and
+//       print the reply JSON; exits 0 on ok, 1 on an error reply.
+//
 // All file formats are the plain-text ones from model/serialize.hpp.
 
 #include <cmath>
@@ -61,6 +73,9 @@
 #include "apps/stencil3d.hpp"
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
+#include "svc/client.hpp"
+#include "svc/registry.hpp"
+#include "svc/server.hpp"
 #include "util/args.hpp"
 #include "util/config.hpp"
 
@@ -69,31 +84,17 @@ using namespace ftbesst;
 namespace {
 
 int usage() {
-  std::cerr << "usage: ftbesst <calibrate|fit|predict|simulate> [flags]\n"
+  std::cerr << "usage: ftbesst "
+               "<calibrate|fit|predict|simulate|serve|client> [flags]\n"
                "every command also accepts --obs-out DIR (write metrics.json,\n"
                "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
   return 2;
 }
 
-std::vector<ft::PlanEntry> parse_plan(const std::string& text) {
-  std::vector<ft::PlanEntry> plan;
-  for (const std::string& part : util::ArgParser::split_list(text)) {
-    const auto colon = part.find(':');
-    if (colon == std::string::npos || part.size() < 4 ||
-        (part[0] != 'L' && part[0] != 'l'))
-      throw std::invalid_argument("bad plan entry '" + part +
-                                  "' (expected e.g. L1:40)");
-    const int level = std::stoi(part.substr(1, colon - 1));
-    const int period = std::stoi(part.substr(colon + 1));
-    if (level < 1 || level > 4)
-      throw std::invalid_argument("checkpoint level must be 1-4");
-    plan.push_back({static_cast<ft::Level>(level), period});
-  }
-  return plan;
-}
-
 int cmd_calibrate(const util::ArgParser& args) {
+  args.expect_known({"out", "group-size", "node-size", "machine-seed",
+                     "samples", "seed", "obs-out"});
   const std::string out_dir = args.get_string("out", ".");
   ft::FtiConfig fti;
   fti.group_size = static_cast<int>(args.get_int("group-size", 4));
@@ -122,6 +123,7 @@ int cmd_calibrate(const util::ArgParser& args) {
 }
 
 int cmd_fit(const util::ArgParser& args) {
+  args.expect_known({"data", "out", "method", "seed", "obs-out"});
   const auto data_path = args.get("data");
   const auto out_path = args.get("out");
   if (!data_path || !out_path) return usage();
@@ -166,6 +168,7 @@ int cmd_fit(const util::ArgParser& args) {
 }
 
 int cmd_predict(const util::ArgParser& args) {
+  args.expect_known({"model", "params", "obs-out"});
   const auto model_path = args.get("model");
   const auto params_text = args.get("params");
   if (!model_path || !params_text) return usage();
@@ -183,6 +186,9 @@ int cmd_predict(const util::ArgParser& args) {
 }
 
 int cmd_simulate(const util::ArgParser& args) {
+  args.expect_known({"models", "epr", "ranks", "timesteps", "trials",
+                     "group-size", "node-size", "plan", "seed", "mtbf-hours",
+                     "downtime", "obs-out"});
   const auto models_dir = args.get("models");
   if (!models_dir) return usage();
   const int epr = static_cast<int>(args.get_int("epr", 15));
@@ -197,7 +203,7 @@ int cmd_simulate(const util::ArgParser& args) {
   cfg.timesteps = timesteps;
   cfg.fti.group_size = static_cast<int>(args.get_int("group-size", 4));
   cfg.fti.node_size = static_cast<int>(args.get_int("node-size", 2));
-  if (const auto plan = args.get("plan")) cfg.plan = parse_plan(*plan);
+  if (const auto plan = args.get("plan")) cfg.plan = core::parse_plan(*plan);
 
   auto topo = std::make_shared<net::TwoStageFatTree>(94, 32, 24);
   core::ArchBEO arch("quartz", topo, net::CommParams{}, 36);
@@ -245,6 +251,7 @@ int cmd_simulate(const util::ArgParser& args) {
 }
 
 int cmd_faultlog(const util::ArgParser& args) {
+  args.expect_known({"log", "nodes", "obs-out"});
   const auto log_path = args.get("log");
   if (!log_path) return usage();
   std::ifstream is(*log_path);
@@ -284,6 +291,9 @@ int cmd_faultlog(const util::ArgParser& args) {
 }
 
 int cmd_plan(const util::ArgParser& args) {
+  args.expect_known({"work-hours", "node-mtbf-hours", "nodes", "soft-fraction",
+                     "downtime", "low-cost", "low-restart", "high-cost",
+                     "high-restart", "obs-out"});
   // Recommend a two-level checkpoint plan for a machine description.
   ft::MultilevelWorkload w;
   w.work = args.get_double("work-hours", 10.0) * 3600.0;
@@ -314,6 +324,7 @@ int cmd_plan(const util::ArgParser& args) {
 }
 
 int cmd_crossval(const util::ArgParser& args) {
+  args.expect_known({"data", "folds", "seed", "obs-out"});
   const auto data_path = args.get("data");
   if (!data_path) return usage();
   std::ifstream is(*data_path);
@@ -339,6 +350,7 @@ int cmd_crossval(const util::ArgParser& args) {
 }
 
 int cmd_run_experiment(const util::ArgParser& args) {
+  args.expect_known({"config", "obs-out"});
   const auto config_path = args.get("config");
   if (!config_path) return usage();
   std::ifstream is(*config_path);
@@ -471,6 +483,83 @@ int cmd_run_experiment(const util::ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const util::ArgParser& args) {
+  args.expect_known({"socket", "tcp-port", "models", "samples", "seed",
+                     "group-size", "node-size", "queue-capacity", "cache-mb",
+                     "cache-ttl", "cache-shards", "deadline-ms", "obs-out"});
+  svc::RegistryOptions reg_opt;
+  reg_opt.models_dir = args.get_string("models", "");
+  reg_opt.samples = static_cast<int>(args.get_int("samples", 5));
+  reg_opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+  reg_opt.fti.group_size = static_cast<int>(args.get_int("group-size", 4));
+  reg_opt.fti.node_size = static_cast<int>(args.get_int("node-size", 2));
+
+  svc::ServerOptions srv_opt;
+  srv_opt.unix_socket_path = args.get_string("socket", "");
+  srv_opt.tcp_port = static_cast<int>(args.get_int("tcp-port", -1));
+  srv_opt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  srv_opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  srv_opt.cache.max_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
+  srv_opt.cache.ttl_seconds = args.get_double("cache-ttl", 0.0);
+  srv_opt.cache.shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+
+  std::cerr << (reg_opt.models_dir.empty()
+                    ? "calibrating models on the bundled testbed...\n"
+                    : "loading models from " + reg_opt.models_dir + "\n");
+  auto registry =
+      std::make_shared<const svc::Registry>(svc::Registry::open(reg_opt));
+  for (const auto& report : registry->reports())
+    std::cerr << "  " << report.kernel << ": MAPE " << report.fit.full_mape
+              << "% (" << model::to_string(report.fit.chosen) << ")\n";
+
+  svc::Server server(std::move(registry), srv_opt);
+  server.start();
+  svc::Server::install_signal_handlers(&server);
+  if (!srv_opt.unix_socket_path.empty())
+    std::cerr << "listening on unix:" << srv_opt.unix_socket_path << "\n";
+  if (server.tcp_port() >= 0)
+    std::cerr << "listening on 127.0.0.1:" << server.tcp_port() << "\n";
+  std::cerr << "ready\n";
+  server.wait();
+  svc::Server::install_signal_handlers(nullptr);
+  const auto stats = server.stats();
+  std::cerr << "drained: " << stats.completed << " completed, "
+            << stats.cache.hits << " cache hits, " << stats.rejected_overload
+            << " overload rejections\n";
+  return 0;
+}
+
+int cmd_client(const util::ArgParser& args) {
+  args.expect_known({"socket", "tcp-port", "request", "timeout", "obs-out"});
+  const std::string socket_path = args.get_string("socket", "");
+  const auto tcp_port = args.get_int("tcp-port", -1);
+  if (socket_path.empty() && tcp_port < 0) {
+    std::cerr << "client needs --socket PATH or --tcp-port P\n";
+    return 2;
+  }
+  std::string request_text = args.get_string("request", "");
+  if (request_text.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    request_text = buffer.str();
+  }
+  // Validate locally so a typo fails with a parse offset instead of a
+  // round-trip.
+  const svc::Json request = svc::Json::parse(request_text);
+
+  const double timeout = args.get_double("timeout", 60.0);
+  svc::Client client =
+      socket_path.empty()
+          ? svc::Client::connect_tcp(static_cast<int>(tcp_port), timeout)
+          : svc::Client::connect_unix(socket_path, timeout);
+  const svc::ClientResponse response = client.call(request);
+  std::cout << response.raw << "\n";
+  return response.ok ? 0 : 1;
+}
+
 int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "calibrate") return cmd_calibrate(args);
   if (command == "fit") return cmd_fit(args);
@@ -480,6 +569,8 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "plan") return cmd_plan(args);
   if (command == "faultlog") return cmd_faultlog(args);
   if (command == "run-experiment") return cmd_run_experiment(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "client") return cmd_client(args);
   return usage();
 }
 
