@@ -346,6 +346,13 @@ double Json::number_or(std::string_view key, double fallback) const {
 
 std::int64_t Json::int_or(std::string_view key, std::int64_t fallback) const {
   const double d = number_or(key, static_cast<double>(fallback));
+  // Casting an out-of-range double to int64 is undefined behavior, so the
+  // range check must come first. 2^63 is exactly representable as a
+  // double; the open upper bound keeps the cast below in range.
+  constexpr double kInt64Bound = 9223372036854775808.0;  // 2^63
+  if (!(d >= -kInt64Bound && d < kInt64Bound))
+    throw std::invalid_argument("json: field '" + std::string(key) +
+                                "' is out of integer range");
   const auto i = static_cast<std::int64_t>(d);
   if (static_cast<double>(i) != d)
     throw std::invalid_argument("json: field '" + std::string(key) +

@@ -37,7 +37,30 @@ std::vector<std::string> serving_kernels() {
   return kernels;
 }
 
+std::uint64_t app_checkpoint_bytes(const std::string& app, int size) {
+  return app == "lulesh" ? apps::lulesh_checkpoint_bytes(size)
+                         : apps::stencil3d_checkpoint_bytes(size);
+}
+
 }  // namespace
+
+RestartCostModel::RestartCostModel(std::string app, ft::Level level,
+                                   ft::CheckpointCostModel cost)
+    : app_(std::move(app)), level_(level), cost_(std::move(cost)) {}
+
+double RestartCostModel::predict(std::span<const double> params) const {
+  if (params.size() < 2)
+    throw std::invalid_argument(
+        "restart model expects {size, ranks} checkpoint params");
+  return cost_.restart_cost(
+      level_, app_checkpoint_bytes(app_, static_cast<int>(params[0])),
+      static_cast<std::int64_t>(params[1]));
+}
+
+std::string RestartCostModel::describe() const {
+  return "restart_cost(" + app_ + ", L" +
+         std::to_string(static_cast<int>(level_)) + ")";
+}
 
 Registry::Registry(std::shared_ptr<const core::ArchBEO> arch)
     : arch_(std::move(arch)) {
@@ -181,11 +204,6 @@ core::AppBEO build_app(const std::string& app,
   return apps::build_stencil3d(cfg);
 }
 
-std::uint64_t app_checkpoint_bytes(const std::string& app, int size) {
-  return app == "lulesh" ? apps::lulesh_checkpoint_bytes(size)
-                         : apps::stencil3d_checkpoint_bytes(size);
-}
-
 /// Every kernel the request's plans reference must have a bound model —
 /// checked up front so the failure is a clean client error rather than a
 /// std::out_of_range from inside the engine.
@@ -205,17 +223,17 @@ void require_kernels(const core::ArchBEO& arch, const std::string& app,
 }
 
 /// Engine options + (when faults are requested) a private ArchBEO copy
-/// with the fault process and restart models bound. `max_level_bytes` is
-/// the largest checkpoint size over the request's plans, used for restart
-/// cost estimation.
+/// with the fault process and per-level restart models bound. Restart
+/// models are RestartCostModel instances evaluated against each
+/// checkpoint's own {size, ranks} params, so one prepared arch is valid
+/// for every parameter point of a sweep.
 struct PreparedRun {
   core::EngineOptions options;
   std::shared_ptr<const core::ArchBEO> arch;  ///< registry's or the copy
 };
 
 PreparedRun prepare_run(const Registry& registry, const WorkloadSpec& spec,
-                        const std::vector<core::Scenario>& scenarios,
-                        double size_param, double ranks_param) {
+                        const std::vector<core::Scenario>& scenarios) {
   PreparedRun run;
   run.options.seed = spec.seed;
   run.arch = std::shared_ptr<const core::ArchBEO>(
@@ -226,16 +244,11 @@ PreparedRun prepare_run(const Registry& registry, const WorkloadSpec& spec,
   run.options.downtime_seconds = spec.downtime;
   auto arch = std::make_shared<core::ArchBEO>(registry.arch());
   arch->set_fault_process(ft::FaultProcess(spec.mtbf_hours * 3600.0, 1.0));
-  ft::CheckpointCostModel cost({}, arch->fti());
-  const auto size = static_cast<int>(size_param);
-  const auto ranks = static_cast<std::int64_t>(ranks_param);
+  const ft::CheckpointCostModel cost({}, arch->fti());
   for (const core::Scenario& scenario : scenarios)
     for (const ft::PlanEntry& entry : scenario.plan)
-      arch->bind_restart(entry.level,
-                         std::make_shared<model::ConstantModel>(
-                             cost.restart_cost(
-                                 entry.level,
-                                 app_checkpoint_bytes(spec.app, size), ranks)));
+      arch->bind_restart(entry.level, std::make_shared<RestartCostModel>(
+                                          spec.app, entry.level, cost));
   run.arch = arch;
   return run;
 }
@@ -264,8 +277,7 @@ Json op_simulate(const Registry& registry, const Json& request) {
 
   const std::vector<core::Scenario> scenarios{{"request", plan}};
   require_kernels(registry.arch(), spec.app, scenarios);
-  const PreparedRun run =
-      prepare_run(registry, spec, scenarios, size, ranks);
+  const PreparedRun run = prepare_run(registry, spec, scenarios);
   const core::AppBEO app = build_app(spec.app, plan, run.arch->fti(), size,
                                      ranks, spec.timesteps);
   const core::EnsembleResult ens =
@@ -315,8 +327,7 @@ Json op_dse(const Registry& registry, const Json& request) {
     throw std::invalid_argument("dse sweep too large (> 10000 points)");
 
   require_kernels(registry.arch(), spec.app, scenarios);
-  const PreparedRun run = prepare_run(registry, spec, scenarios,
-                                      points[0][0], points[0][1]);
+  const PreparedRun run = prepare_run(registry, spec, scenarios);
   // Validate every point eagerly so a bad cell fails the whole request with
   // a clean message instead of throwing inside a pool task mid-sweep.
   for (const auto& point : points)

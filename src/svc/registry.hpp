@@ -29,11 +29,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/arch.hpp"
 #include "core/workflow.hpp"
+#include "ft/checkpoint_cost.hpp"
 #include "ft/fti.hpp"
+#include "model/perf_model.hpp"
 #include "svc/json.hpp"
 
 namespace ftbesst::svc {
@@ -79,6 +82,29 @@ class Registry {
  private:
   std::shared_ptr<const core::ArchBEO> arch_;
   std::vector<core::KernelModelReport> reports_;
+};
+
+/// Restart-time model for one (app, checkpoint level). The engine calls a
+/// restart model with the recovering checkpoint's own {size, ranks} params
+/// (the values baked into each checkpoint instruction), so evaluating the
+/// checkpoint-cost model there — instead of binding a constant computed
+/// from one configuration — makes a single prepared architecture correct
+/// for every point of a DSE sweep: checkpoint bytes scale with problem
+/// size, and a constant taken from the first point would misprice restarts
+/// for every other point.
+class RestartCostModel final : public model::PerfModel {
+ public:
+  /// `app` is "lulesh" (size = elements per rank) or "stencil3d" (size =
+  /// grid edge), matching the calibration parameter convention.
+  RestartCostModel(std::string app, ft::Level level,
+                   ft::CheckpointCostModel cost);
+  [[nodiscard]] double predict(std::span<const double> params) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::string app_;
+  ft::Level level_;
+  ft::CheckpointCostModel cost_;
 };
 
 /// Execute one cacheable request (predict/simulate/dse) against the

@@ -153,6 +153,29 @@ void Server::start() {
   // Dead peers must surface as EPIPE from write(), not kill the process.
   ::signal(SIGPIPE, SIG_IGN);
 
+  bool unix_bound = false;
+  try {
+    start_impl(unix_bound);
+  } catch (...) {
+    // A startup failure (busy port, bad path) must leave the object inert:
+    // no loop thread ever ran, so wait()/~Server() must not block on
+    // stop_cv_, and every fd acquired so far must be released.
+    for (Listener* listener : {&unix_listener_, &tcp_listener_}) {
+      if (listener->fd >= 0) ::close(listener->fd);
+      listener->fd = -1;
+    }
+    if (unix_bound) ::unlink(options_.unix_socket_path.c_str());
+    for (int& fd : wake_pipe_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    bound_tcp_port_ = -1;
+    started_.store(false, std::memory_order_release);
+    throw;
+  }
+}
+
+void Server::start_impl(bool& unix_bound) {
   if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
   for (int fd : wake_pipe_) {
     set_nonblocking(fd);
@@ -170,18 +193,35 @@ void Server::start() {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket(AF_UNIX)");
     set_cloexec(fd);
-    ::unlink(options_.unix_socket_path.c_str());  // stale path from a crash
+    // A leftover socket file is only removed when nothing answers on it
+    // (stale from a crash). A live daemon accepts the connect() probe, and
+    // unlinking its path would silently black-hole its future clients.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool alive = ::connect(probe,
+                                   reinterpret_cast<const sockaddr*>(&addr),
+                                   sizeof(addr)) == 0;
+      ::close(probe);
+      if (alive) {
+        ::close(fd);
+        throw std::system_error(EADDRINUSE, std::generic_category(),
+                                "unix socket in use by a running server: " +
+                                    options_.unix_socket_path);
+      }
+    }
+    ::unlink(options_.unix_socket_path.c_str());  // stale or absent
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
         0) {
       ::close(fd);
       throw_errno("bind(unix socket)");
     }
+    unix_bound = true;
     if (::listen(fd, 128) != 0) {
       ::close(fd);
       throw_errno("listen(unix socket)");
     }
+    unix_listener_.fd = fd;  // owned by the catch-cleanup from here on
     set_nonblocking(fd);
-    unix_listener_.fd = fd;
   }
 
   if (options_.tcp_port >= 0) {
@@ -203,16 +243,14 @@ void Server::start() {
       ::close(fd);
       throw_errno("listen(tcp)");
     }
+    tcp_listener_.fd = fd;  // owned by the catch-cleanup from here on
     sockaddr_in bound{};
     socklen_t bound_len = sizeof(bound);
     if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-        0) {
-      ::close(fd);
+        0)
       throw_errno("getsockname");
-    }
     bound_tcp_port_ = ntohs(bound.sin_port);
     set_nonblocking(fd);
-    tcp_listener_.fd = fd;
   }
 
   loop_thread_ = std::thread([this] { event_loop(); });

@@ -53,8 +53,10 @@
 namespace ftbesst::svc {
 
 struct ServerOptions {
-  /// Unix-domain socket path (empty = no unix listener). Unlinked on bind
-  /// and again on shutdown.
+  /// Unix-domain socket path (empty = no unix listener). A stale socket
+  /// file (nothing answering) is replaced on bind; a path a live server
+  /// still answers on makes start() throw EADDRINUSE instead of stealing
+  /// it. Unlinked on shutdown.
   std::string unix_socket_path;
   /// Localhost TCP port: -1 = no TCP listener, 0 = pick an ephemeral port
   /// (read it back with tcp_port()). Binds 127.0.0.1 only.
@@ -118,6 +120,11 @@ class Server {
     int fd = -1;
   };
 
+  /// start() body: binds listeners and launches the loop thread. On
+  /// failure start() releases every fd acquired so far and resets
+  /// started_, so the object stays inert (wait()/~Server() return
+  /// immediately) and start() may be retried.
+  void start_impl(bool& unix_bound);
   void event_loop();
   void handle_readable(const std::shared_ptr<Connection>& conn);
   void admit(const std::shared_ptr<Connection>& conn, std::string frame);

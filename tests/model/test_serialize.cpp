@@ -144,11 +144,11 @@ TEST(ModelSerialize, PropertyEveryKindRoundTripsBitExactly) {
     models.push_back(std::make_shared<ExprModel>(
         Expr::random(rng, 2, 5), rng.uniform(0.5, 2.0),
         rng.uniform(-0.1, 0.1), std::vector<std::string>{"a", "b"}));
-    for (const auto& base : models) {
+    // Noisy wrappers of this trial's bases. Indices, not a range-for: the
+    // push_back reallocates and would invalidate the iterator mid-loop.
+    for (std::size_t b = 0; b < models.size() && models.size() <= 6; ++b)
       models.push_back(
-          std::make_shared<NoisyModel>(base, rng.uniform(0.01, 0.5)));
-      if (models.size() > 6) break;  // noisy wrappers of this trial's bases
-    }
+          std::make_shared<NoisyModel>(models[b], rng.uniform(0.01, 0.5)));
     for (const auto& m : models) {
       const std::string text = model_to_string(*m);
       const auto loaded = model_from_string(text);

@@ -120,6 +120,18 @@ TEST(Json, TypedGettersWithFallbacks) {
   EXPECT_THROW((void)j.string_or("i", ""), std::invalid_argument);
 }
 
+TEST(Json, IntOrRejectsOutOfRangeDoublesBeforeCasting) {
+  // Values past int64 range must be rejected by a range check, never fed
+  // to the double->int64 cast (which would be undefined behavior).
+  const Json j = Json::parse(
+      "{\"huge\":1e300,\"neg\":-1e300,\"edge\":9223372036854775808,"
+      "\"big_ok\":9007199254740992}");
+  EXPECT_THROW((void)j.int_or("huge", 0), std::invalid_argument);
+  EXPECT_THROW((void)j.int_or("neg", 0), std::invalid_argument);
+  EXPECT_THROW((void)j.int_or("edge", 0), std::invalid_argument);  // == 2^63
+  EXPECT_EQ(j.int_or("big_ok", 0), 9007199254740992LL);  // 2^53 fits fine
+}
+
 TEST(Json, FindOnNonObjectsReturnsNull) {
   EXPECT_EQ(Json(5).find("a"), nullptr);
   EXPECT_EQ(Json::parse("[1]").find("a"), nullptr);

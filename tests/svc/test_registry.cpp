@@ -7,8 +7,10 @@
 #include <string>
 
 #include "apps/kernels.hpp"
+#include "apps/lulesh.hpp"
 #include "apps/stencil3d.hpp"
 #include "core/arch.hpp"
+#include "ft/checkpoint_cost.hpp"
 #include "model/perf_model.hpp"
 #include "net/topology.hpp"
 #include "svc/json.hpp"
@@ -165,6 +167,39 @@ TEST(Registry, DseAcceptsExplicitPointsAndRejectsBadOnes) {
                  std::invalid_argument)
         << bad;
   }
+}
+
+TEST(Registry, RestartCostTracksEachCheckpointsSizeAndRanks) {
+  const ft::CheckpointCostModel cost({}, ft::FtiConfig{});
+  const RestartCostModel model("lulesh", ft::Level::kL1, cost);
+  // The engine hands the model the recovering checkpoint's own
+  // {size, ranks} params, so a sweep over mixed sizes gets a per-point
+  // restart cost — bigger problems restore more bytes — and the values
+  // match the cost model the CLI paths bind per configuration.
+  const double small = model.predict(std::vector<double>{5.0, 8.0});
+  const double big = model.predict(std::vector<double>{15.0, 8.0});
+  EXPECT_LT(small, big);
+  EXPECT_DOUBLE_EQ(big, cost.restart_cost(ft::Level::kL1,
+                                          apps::lulesh_checkpoint_bytes(15),
+                                          8));
+  EXPECT_THROW((void)model.predict(std::vector<double>{5.0}),
+               std::invalid_argument);
+}
+
+TEST(Registry, DseWithFaultsHandlesMixedSizePoints) {
+  // A faulty sweep over points with different sizes/ranks must run each
+  // point against its own restart costs (a single constant bound from the
+  // first point would misprice every other point) and stay deterministic.
+  const Registry registry = make_test_registry();
+  const Json request = Json::parse(
+      "{\"op\":\"dse\",\"scenarios\":[{\"name\":\"L1\",\"plan\":\"L1:10\"}],"
+      "\"points\":[[5,8],[15,64]],\"timesteps\":60,\"trials\":8,\"seed\":3,"
+      "\"mtbf_hours\":0.05,\"downtime\":1}");
+  const Json result = handle_request(registry, request);
+  EXPECT_EQ(result.find("points")->as_array().size(), 2u);
+  for (const Json& cell : result.find("points")->as_array())
+    EXPECT_GT(cell.find("ensemble")->find("mean")->as_number(), 0.0);
+  EXPECT_EQ(handle_request(registry, request).dump(), result.dump());
 }
 
 TEST(Registry, DseIsDeterministicForAFixedSeed) {

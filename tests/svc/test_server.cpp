@@ -6,8 +6,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -339,6 +342,56 @@ TEST(Server, SigtermDrainsAndStopsCleanly) {
   ts->server->wait();  // the handler triggered a graceful drain
   Server::install_signal_handlers(nullptr);
   ts.reset();  // double-shutdown in the destructor must be harmless
+}
+
+TEST(Server, FailedStartLeavesTheServerInertInsteadOfHanging) {
+  // A start() that throws must not leave started_ set with no loop thread
+  // running — the destructor (and wait()) would then block forever on
+  // stop_cv_, turning a startup error into a process hang.
+  ServerOptions options;
+  options.unix_socket_path = std::string(200, 'x');  // exceeds sun_path
+  Server server(make_test_registry(), options);
+  EXPECT_THROW(server.start(), std::invalid_argument);
+  // Scope exit: the destructor must return immediately.
+}
+
+TEST(Server, StartFailureOnBusyTcpPortThrowsCleanly) {
+  TestServer ts({}, "busytcp");
+  ASSERT_GT(ts.server->tcp_port(), 0);
+  ServerOptions options;
+  options.tcp_port = ts.server->tcp_port();
+  Server second(make_test_registry(), options);
+  EXPECT_THROW(second.start(), std::system_error);
+  // The first server is unaffected.
+  EXPECT_TRUE(ts.client().call(Json::parse("{\"op\":\"ping\"}")).ok);
+}
+
+TEST(Server, RefusesToStealALiveServersSocketPath) {
+  TestServer ts({}, "steal");
+  ServerOptions options;
+  options.unix_socket_path = ts.path;
+  {
+    Server thief(make_test_registry(), options);
+    EXPECT_THROW(thief.start(), std::system_error);
+  }
+  // The live server's socket file was not unlinked: clients still connect.
+  EXPECT_TRUE(ts.client().call(Json::parse("{\"op\":\"ping\"}")).ok);
+}
+
+TEST(Server, ReplacesAStaleSocketFileFromACrash) {
+  const std::string path = test_socket_path("stale");
+  {
+    std::ofstream stale(path);  // leftover path, nothing answering on it
+    stale << "stale";
+  }
+  ServerOptions options;
+  options.unix_socket_path = path;
+  Server server(make_test_registry(), options);
+  server.start();
+  Client client = Client::connect_unix(path, 30.0);
+  EXPECT_TRUE(client.call(Json::parse("{\"op\":\"ping\"}")).ok);
+  server.shutdown();
+  server.wait();
 }
 
 TEST(Server, OversizedFramesAreRejected) {
