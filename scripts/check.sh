@@ -17,7 +17,18 @@
 #     generator on the Release tree, which gates cache hits being >= 100x
 #     faster than cold computations.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only]
+#   - a verification pass: the cross-engine differential checker over 200
+#     generated scenarios, golden-corpus replay, and the in-process fuzz
+#     campaigns — the fuzz entries additionally under ASan+UBSan.
+#
+#   - a slow pass: the stress/soak tests labelled `slow` in ctest, which
+#     every other pass excludes with `ctest -LE slow`.
+#
+#   - an optional coverage pass (FTBESST_COVERAGE=1 in the environment or
+#     --coverage-only): instrumented build + line-coverage report for
+#     src/ft and src/svc via gcovr or llvm-cov, whichever is installed.
+#
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--slow-only|--coverage-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -30,15 +41,25 @@ run_tsan=1
 run_ubsan=1
 run_obs=1
 run_svc=1
+run_verify=1
+run_slow=1
+run_coverage=${FTBESST_COVERAGE:-0}
+only() {  # keep exactly one pass
+  run_release=0; run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0
+  run_verify=0; run_slow=0; run_coverage=0
+}
 case "${1:-}" in
-  --release-only) run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0 ;;
-  --tsan-only) run_release=0; run_ubsan=0; run_obs=0; run_svc=0 ;;
-  --ubsan-only) run_release=0; run_tsan=0; run_obs=0; run_svc=0 ;;
-  --obs-only) run_release=0; run_tsan=0; run_ubsan=0; run_svc=0 ;;
-  --svc-only) run_release=0; run_tsan=0; run_ubsan=0; run_obs=0 ;;
+  --release-only) only; run_release=1 ;;
+  --tsan-only) only; run_tsan=1 ;;
+  --ubsan-only) only; run_ubsan=1 ;;
+  --obs-only) only; run_obs=1 ;;
+  --svc-only) only; run_svc=1 ;;
+  --verify-only) only; run_verify=1 ;;
+  --slow-only) only; run_slow=1 ;;
+  --coverage-only) only; run_coverage=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--slow-only|--coverage-only]" >&2
     exit 2
     ;;
 esac
@@ -47,7 +68,7 @@ if [ "$run_release" = 1 ]; then
   echo "== Release build + ctest =="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "$jobs"
-  ctest --test-dir build-release --output-on-failure -j "$jobs"
+  ctest --test-dir build-release --output-on-failure -LE slow -j "$jobs"
 fi
 
 if [ "$run_obs" = 1 ]; then
@@ -55,7 +76,7 @@ if [ "$run_obs" = 1 ]; then
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "$jobs"
   # Whole suite with obs forced on: observation must never change results.
-  FTBESST_OBS=1 ctest --test-dir build-release --output-on-failure -j "$jobs"
+  FTBESST_OBS=1 ctest --test-dir build-release --output-on-failure -LE slow -j "$jobs"
 
   # Overhead gate: the pool sweep bench (simulation-task duty cycle — the
   # instrumentation's real workload) must cost < 2% with obs enabled.
@@ -93,7 +114,7 @@ if [ "$run_tsan" = 1 ]; then
     cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFTBESST_SANITIZE=thread
     cmake --build build-tsan -j "$jobs"
-    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+    ctest --test-dir build-tsan --output-on-failure -LE slow -j "$jobs"
   else
     echo "!! ThreadSanitizer unavailable on this toolchain; skipped" >&2
   fi
@@ -108,7 +129,7 @@ if [ "$run_ubsan" = 1 ]; then
       -DFTBESST_SANITIZE=undefined
     cmake --build build-ubsan -j "$jobs"
     UBSAN_OPTIONS=halt_on_error=1 \
-      ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
+      ctest --test-dir build-ubsan --output-on-failure -LE slow -j "$jobs"
   else
     echo "!! UndefinedBehaviorSanitizer unavailable on this toolchain; skipped" >&2
   fi
@@ -139,6 +160,77 @@ if [ "$run_svc" = 1 ]; then
   cmake --build build-release -j "$jobs" --target bench_ext_svc
   ./build-release/bench/bench_ext_svc
   echo "svc pass: TSan tests + 100x cache-hit gate passed"
+fi
+
+if [ "$run_verify" = 1 ]; then
+  echo "== Verification pass (differential + corpus + fuzz) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target ftbesst test_verify
+  # The three ISSUE-5 gates, straight from the CLI: 200 differential
+  # scenarios (any failure is shrunk and dumped for triage), byte-exact
+  # corpus replay at threads 1 and 4, and the budgeted fuzz campaigns.
+  ./build-release/tools/ftbesst verify --differential 200 --seed 1 \
+    --dump build-release/diff-failures
+  ./build-release/tools/ftbesst verify --corpus tests/corpus
+  ./build-release/tools/ftbesst verify --fuzz 2000 --seed 1
+  # The harness's own test binary (checker-checks: injected mispricing
+  # must be caught, shrinking is deterministic, obs stays bit-identical).
+  ./build-release/tests/test_verify
+
+  # Fuzz entries again under ASan+UBSan: hostile-input handling must be
+  # clean under instrumentation, not just not-crash in Release. Same
+  # probe-and-skip as the sanitizer passes.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=address,undefined -x c++ - -o /tmp/ftbesst_asan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_asan_probe
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=address,undefined
+    cmake --build build-asan -j "$jobs" --target ftbesst
+    UBSAN_OPTIONS=halt_on_error=1 \
+      ./build-asan/tools/ftbesst verify --fuzz 2000 --seed 1
+  else
+    echo "!! ASan+UBSan unavailable on this toolchain; fuzz ran unsanitized" >&2
+  fi
+  echo "verify pass: differential + corpus + fuzz gates passed"
+fi
+
+if [ "$run_slow" = 1 ]; then
+  echo "== Slow pass (ctest -L slow: stress + soak) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs"
+  ctest --test-dir build-release --output-on-failure -L slow -j "$jobs"
+fi
+
+if [ "$run_coverage" = 1 ]; then
+  echo "== Coverage pass (src/ft + src/svc) =="
+  cmake -B build-coverage -S . -DCMAKE_BUILD_TYPE=Debug -DFTBESST_COVERAGE=ON
+  cmake --build build-coverage -j "$jobs" --target test_ft test_svc test_verify
+  if [ -n "${CLANG_COVERAGE:-}" ] || c++ --version 2>/dev/null | grep -qi clang; then
+    # Clang: source-based coverage via llvm-profdata/llvm-cov.
+    if command -v llvm-profdata >/dev/null && command -v llvm-cov >/dev/null; then
+      LLVM_PROFILE_FILE=build-coverage/ft.profraw ./build-coverage/tests/test_ft
+      LLVM_PROFILE_FILE=build-coverage/svc.profraw ./build-coverage/tests/test_svc
+      LLVM_PROFILE_FILE=build-coverage/verify.profraw ./build-coverage/tests/test_verify
+      llvm-profdata merge -sparse build-coverage/*.profraw \
+        -o build-coverage/merged.profdata
+      llvm-cov report ./build-coverage/tests/test_ft \
+        -instr-profile=build-coverage/merged.profdata \
+        -object ./build-coverage/tests/test_svc \
+        -object ./build-coverage/tests/test_verify \
+        "$(pwd)/src/ft" "$(pwd)/src/svc"
+    else
+      echo "!! llvm-profdata/llvm-cov not installed; coverage skipped" >&2
+    fi
+  else
+    # GCC: gcov counters, reported with gcovr when available.
+    ./build-coverage/tests/test_ft
+    ./build-coverage/tests/test_svc
+    ./build-coverage/tests/test_verify
+    if command -v gcovr >/dev/null; then
+      gcovr --root . --filter 'src/ft/' --filter 'src/svc/' build-coverage
+    else
+      echo "!! gcovr not installed; raw .gcda counters left in build-coverage" >&2
+    fi
+  fi
 fi
 
 echo "check.sh: all requested configurations passed"

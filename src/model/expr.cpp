@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -321,16 +323,47 @@ class SexprParser {
     return text_.substr(start, pos_ - start);
   }
 
+  // stod/stoul also throw std::out_of_range; a malformed expression must
+  // surface as invalid_argument only (the documented contract for every
+  // parser fed untrusted text), so the raw conversions are wrapped.
+  double number_token() {
+    const std::string t = token();
+    try {
+      return std::stod(t);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad numeric token '" + t + "'");
+    }
+  }
+  std::size_t index_token() {
+    const std::string t = token();
+    std::size_t index = 0;
+    try {
+      index = static_cast<std::size_t>(std::stoul(t));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad variable index '" + t + "'");
+    }
+    // The bytecode compiler packs variable indices into 16 bits; accepting
+    // a wider index here would defer the failure to compile time with the
+    // wrong exception type.
+    if (index > std::numeric_limits<std::uint16_t>::max())
+      throw std::invalid_argument("variable index out of range '" + t + "'");
+    return index;
+  }
+
   std::unique_ptr<ExprNode> parse_node() {
+    // Recursion depth is attacker-controlled ("(log (log (log ..."); cap it
+    // well above any fitted expression but below stack exhaustion.
+    if (++depth_ > 256)
+      throw std::invalid_argument("expression nesting too deep");
     expect('(');
     const std::string op = token();
     auto node = std::make_unique<ExprNode>();
     if (op == "const") {
       node->op = Op::kConst;
-      node->value = std::stod(token());
+      node->value = number_token();
     } else if (op == "var") {
       node->op = Op::kVar;
-      node->var = static_cast<std::size_t>(std::stoul(token()));
+      node->var = index_token();
     } else if (op == "log" || op == "sqrt") {
       node->op = op == "log" ? Op::kLog : Op::kSqrt;
       node->lhs = parse_node();
@@ -345,11 +378,13 @@ class SexprParser {
       throw std::invalid_argument("unknown operator '" + op + "'");
     }
     expect(')');
+    --depth_;
     return node;
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

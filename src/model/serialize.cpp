@@ -17,6 +17,12 @@ namespace {
 
 constexpr const char* kMagic = "ftbesst-model v1";
 
+// Counts in a model stream come straight from untrusted text; cap them
+// before sizing any container so a forged header cannot demand a
+// multi-gigabyte allocation. Far above anything a real calibration emits.
+constexpr std::size_t kMaxSerializedTerms = 4096;
+constexpr std::size_t kMaxFeatureParams = 64;
+
 // Every numeric field must survive a text round-trip exactly; NaN and
 // infinity would serialize, reload, and then silently poison every
 // downstream prediction, so both save and load refuse them up front.
@@ -91,6 +97,8 @@ PerfModelPtr load_model_body(std::istream& is) {
     double coeff = 0.0;
     std::size_t n = 0;
     if (!(ls >> coeff >> n)) throw std::invalid_argument("bad powerlaw line");
+    if (n > kMaxSerializedTerms)
+      throw std::invalid_argument("powerlaw exponent count too large");
     checked_finite(coeff, "powerlaw coefficient");
     std::vector<double> exponents(n);
     for (auto& e : exponents) {
@@ -104,6 +112,8 @@ PerfModelPtr load_model_body(std::istream& is) {
     std::size_t n = 0;
     if (!(ls >> scale >> offset >> n))
       throw std::invalid_argument("bad exprmodel line");
+    if (n > kMaxSerializedTerms)
+      throw std::invalid_argument("exprmodel parameter count too large");
     checked_finite(scale, "exprmodel scale");
     checked_finite(offset, "exprmodel offset");
     std::vector<std::string> names(n);
@@ -119,6 +129,9 @@ PerfModelPtr load_model_body(std::istream& is) {
     if (!(ls >> lib_kind >> num_params >> num_weights) ||
         lib_kind != "polynomial")
       throw std::invalid_argument("bad featuremodel line");
+    if (num_params > kMaxFeatureParams ||
+        num_weights > kMaxSerializedTerms)
+      throw std::invalid_argument("featuremodel counts too large");
     auto lib = FeatureLibrary::polynomial(num_params);
     if (lib.size() != num_weights)
       throw std::invalid_argument("feature count mismatch on load");

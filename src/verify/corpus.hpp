@@ -1,0 +1,57 @@
+#pragma once
+// Golden scenario corpus: curated `.scenario` files with recorded expected
+// outputs (`.expected`), replayed byte-exactly.
+//
+// Each corpus entry prices its scenario through the Monte-Carlo ensemble
+// driver (the path every real DSE result takes) with the scenario's fixed
+// seed and serializes the result with shortest-round-trip doubles
+// (result_to_text). Replay recomputes that text and compares it to the
+// recorded file byte for byte — any drift in an engine, a cost model, the
+// RNG, or the threading layer shows up as a one-line diff naming the first
+// divergent line. Because per-trial seeds are pre-derived, the text is also
+// required to be identical for threads 1 vs N, which replay checks by
+// default (and the obs-under-verify test extends to obs on/off).
+//
+// To add an entry: write `tests/corpus/<name>.scenario` (omitted keys take
+// the documented defaults), then run
+//   ftbesst verify --corpus tests/corpus --update
+// and commit both files. See docs/TESTING.md.
+
+#include <string>
+#include <vector>
+
+#include "verify/scenario.hpp"
+
+namespace ftbesst::verify {
+
+/// Price `s` through run_ensemble (s.trials trials, fixed s.seed) and
+/// serialize the full result canonically. `threads` must not change the
+/// output; 1 = serial reference.
+[[nodiscard]] std::string result_to_text(const Scenario& s,
+                                         unsigned threads = 1);
+
+struct CorpusMismatch {
+  std::string name;    ///< corpus entry (file stem)
+  std::string detail;  ///< what diverged, incl. the first differing line
+};
+
+struct CorpusReport {
+  int entries = 0;    ///< .scenario files found
+  int replayed = 0;   ///< entries priced and compared
+  std::vector<CorpusMismatch> mismatches;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Replay every `<dir>/*.scenario` (sorted by name) against its sibling
+/// `.expected`. With `check_thread_invariance`, each entry is priced at
+/// threads 1 and threads 4 and both texts must match the recording.
+[[nodiscard]] CorpusReport replay_corpus(const std::string& dir,
+                                         bool check_thread_invariance = true);
+
+/// (Re)record `<name>.expected` for every scenario in `dir`. Returns the
+/// number of entries written.
+int record_corpus(const std::string& dir);
+
+}  // namespace ftbesst::verify

@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic number formatting for the verification harness.
+//
+// Scenario files and recorded corpus outputs are compared byte-exactly, so
+// every double must be printed as the shortest decimal that round-trips the
+// exact binary64 value (the same contract svc::Json uses for its canonical
+// dumps) and parsed back without locale or precision surprises.
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ftbesst::verify {
+
+inline void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+[[nodiscard]] inline std::string format_double(double v) {
+  std::string out;
+  append_double(out, v);
+  return out;
+}
+
+[[nodiscard]] inline double parse_double(std::string_view text) {
+  double v = 0.0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size())
+    throw std::invalid_argument("bad number '" + std::string(text) + "'");
+  return v;
+}
+
+[[nodiscard]] inline std::int64_t parse_int(std::string_view text) {
+  std::int64_t v = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size())
+    throw std::invalid_argument("bad integer '" + std::string(text) + "'");
+  return v;
+}
+
+/// Full-range uint64 (RNG seeds routinely exceed INT64_MAX).
+[[nodiscard]] inline std::uint64_t parse_u64(std::string_view text) {
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size())
+    throw std::invalid_argument("bad unsigned integer '" + std::string(text) +
+                                "'");
+  return v;
+}
+
+}  // namespace ftbesst::verify

@@ -1,0 +1,55 @@
+#pragma once
+// The analytic twin: an independent re-derivation of what a clean
+// (fault-free, noise-free) run of a Scenario must cost.
+//
+// The engines under test all consume ft::CheckpointCostModel through the
+// arch's bound kernels, so cross-engine agreement alone cannot detect a
+// regression in the cost model itself — every engine would drift together.
+// This file re-transcribes the per-level FTI cost composition (paper
+// Sec. on FTI levels / Table I) directly from StorageParams + FtiConfig,
+// in its own words, and walks the timestep timeline (including the
+// async-checkpoint stall/stage/background-channel semantics and the final
+// flush barrier) without touching the engine code. A change to
+// ft/checkpoint_cost.cpp or the BSP clean path that alters results now
+// disagrees with this twin and fails the differential checker.
+//
+// Communication times intentionally come from the same net::CommModel the
+// engines use: the twin targets the FT cost path and engine timeline
+// logic, not the LogGP formulas (those have their own unit tests).
+
+#include <cstdint>
+
+#include "ft/checkpoint_cost.hpp"
+#include "ft/fti.hpp"
+#include "verify/scenario.hpp"
+
+namespace ftbesst::verify {
+
+/// Time of one coordinated checkpoint at `level` — independent transcription
+/// of the FTI level cost composition (do NOT call ft::CheckpointCostModel
+/// here; the whole point is to disagree with it when it regresses).
+[[nodiscard]] double reference_checkpoint_cost(const ft::StorageParams& sp,
+                                               const ft::FtiConfig& fti,
+                                               ft::Level level,
+                                               std::uint64_t bytes_per_rank,
+                                               std::int64_t ranks);
+
+/// Recovery time from a `level` checkpoint, same independence rule.
+[[nodiscard]] double reference_restart_cost(const ft::StorageParams& sp,
+                                            const ft::FtiConfig& fti,
+                                            ft::Level level,
+                                            std::uint64_t bytes_per_rank,
+                                            std::int64_t ranks);
+
+/// Seconds of work + communication in one solver timestep (no checkpoints).
+[[nodiscard]] double reference_timestep_seconds(const Scenario& s);
+
+/// Total clean-run seconds: the full timestep/checkpoint timeline, with
+/// asynchronous checkpoints staged onto a single background-flush channel
+/// (stall until the previous flush drains, pay the staging fraction on the
+/// critical path, wait for the trailing flush at the end). Only meaningful
+/// for deterministic scenarios (noise_sigma == 0, monte_carlo == false)
+/// priced without fault injection.
+[[nodiscard]] double reference_clean_total_seconds(const Scenario& s);
+
+}  // namespace ftbesst::verify

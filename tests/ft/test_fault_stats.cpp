@@ -1,0 +1,127 @@
+// Statistical contract of ft::FaultProcess sampling (src/ft/faults.cpp):
+// the renewal process must deliver the advertised system MTBF for every
+// Weibull shape (the scale is re-derived from the shape), next_after must
+// advance strictly and stay inside the machine, and the loss-fraction knob
+// must split FailureKind in the advertised proportion. Tolerances are set
+// from the CLT at the drawn sample sizes (several thousand events), wide
+// enough to hold for any seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ft/faults.hpp"
+#include "support/test_seed.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::ft {
+namespace {
+
+constexpr double kNodeMtbf = 1000.0;
+constexpr std::int64_t kNodes = 10;
+constexpr double kSystemMtbf = kNodeMtbf / kNodes;  // 100 s
+
+std::vector<double> interarrival_gaps(const FaultProcess& fp,
+                                      double horizon, util::Rng& rng) {
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (const FaultEvent& ev : fp.sample(kNodes, horizon, rng)) {
+    gaps.push_back(ev.time - prev);
+    prev = ev.time;
+  }
+  return gaps;
+}
+
+TEST(FaultStats, ExponentialInterarrivalMeanMatchesSystemMtbf) {
+  util::Rng rng(test::test_seed(101));
+  FaultProcess fp(kNodeMtbf, 1.0, 1.0);
+  const auto gaps = interarrival_gaps(fp, 400000.0, rng);  // ~4000 events
+  ASSERT_GT(gaps.size(), 2000u);
+  // stderr ~ 100/sqrt(4000) ~ 1.6 s; 5 sigma.
+  EXPECT_NEAR(util::mean(gaps), kSystemMtbf, 8.0);
+}
+
+TEST(FaultStats, WeibullInterarrivalMeanIsPinnedForNonUnitShapes) {
+  util::Rng rng(test::test_seed(102));
+  for (const double shape : {0.7, 1.6, 2.5}) {
+    FaultProcess fp(kNodeMtbf, 1.0, shape);
+    const auto gaps = interarrival_gaps(fp, 400000.0, rng);
+    ASSERT_GT(gaps.size(), 2000u) << "shape " << shape;
+    // Bursty shapes (k<1) have cv > 1, so allow a wider band there.
+    EXPECT_NEAR(util::mean(gaps), kSystemMtbf, shape < 1.0 ? 12.0 : 8.0)
+        << "shape " << shape;
+  }
+}
+
+TEST(FaultStats, NextAfterIsStrictlyMonotoneAndInMachine) {
+  util::Rng rng(test::test_seed(103));
+  for (const double shape : {1.0, 0.8, 2.0}) {
+    FaultProcess fp(kNodeMtbf, 0.5, shape);
+    double t = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      const FaultEvent ev = fp.next_after(t, kNodes, rng);
+      ASSERT_GT(ev.time, t) << "shape " << shape << " step " << i;
+      ASSERT_GE(ev.node, 0);
+      ASSERT_LT(ev.node, kNodes);
+      t = ev.time;
+    }
+  }
+}
+
+TEST(FaultStats, NextAfterExponentialMeanStepIsSystemMtbf) {
+  // For shape 1 the renewal draw is the exact memoryless interarrival, so
+  // the mean step of next_after equals the system MTBF.
+  util::Rng rng(test::test_seed(104));
+  FaultProcess fp(kNodeMtbf, 1.0, 1.0);
+  std::vector<double> steps;
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const FaultEvent ev = fp.next_after(t, kNodes, rng);
+    steps.push_back(ev.time - t);
+    t = ev.time;
+  }
+  EXPECT_NEAR(util::mean(steps), kSystemMtbf, 8.0);
+}
+
+TEST(FaultStats, LossFractionSplitsFailureKindsProportionally) {
+  util::Rng rng(test::test_seed(105));
+  for (const double loss : {0.0, 0.3, 1.0}) {
+    FaultProcess fp(kNodeMtbf, loss, 1.0);
+    const auto events = fp.sample(kNodes, 400000.0, rng);
+    ASSERT_GT(events.size(), 2000u) << "loss " << loss;
+    const auto losses = static_cast<double>(std::count_if(
+        events.begin(), events.end(), [](const FaultEvent& ev) {
+          return ev.kind == FailureKind::kNodeLoss;
+        }));
+    const double fraction = losses / static_cast<double>(events.size());
+    if (loss == 0.0) {
+      EXPECT_EQ(fraction, 0.0);
+    } else if (loss == 1.0) {
+      EXPECT_EQ(fraction, 1.0);
+    } else {
+      // Binomial stderr ~ sqrt(0.3*0.7/4000) ~ 0.007; 5 sigma.
+      EXPECT_NEAR(fraction, loss, 0.04);
+    }
+  }
+}
+
+TEST(FaultStats, SampleIsTimeOrderedWithinHorizon) {
+  util::Rng rng(test::test_seed(106));
+  FaultProcess fp(kNodeMtbf, 0.5, 0.8);
+  const double horizon = 50000.0;
+  const auto events = fp.sample(kNodes, horizon, rng);
+  ASSERT_FALSE(events.empty());
+  double prev = 0.0;
+  for (const FaultEvent& ev : events) {
+    EXPECT_GE(ev.time, prev);
+    EXPECT_LT(ev.time, horizon);
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, kNodes);
+    prev = ev.time;
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::ft

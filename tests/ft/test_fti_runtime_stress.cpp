@@ -11,6 +11,7 @@
 #include <set>
 
 #include "ft/fti_runtime.hpp"
+#include "support/test_seed.hpp"
 #include "util/rng.hpp"
 
 namespace ftbesst::ft {
@@ -35,7 +36,8 @@ FtiRuntime::Blob versioned_blob(std::int64_t rank, int version) {
 class StressMachine : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(StressMachine, InvariantsHoldUnderRandomOperations) {
-  util::Rng rng(GetParam());
+  // FTBESST_TEST_SEED overrides every instance's seed for reproduction.
+  util::Rng rng(test::test_seed(GetParam()));
   FtiRuntime rt(cfg(), kRanks);
   int version = 0;
   auto protect_version = [&](int v) {

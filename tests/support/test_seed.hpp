@@ -1,0 +1,43 @@
+#pragma once
+// Seed plumbing for randomized tests.
+//
+// Every test that draws from util::Rng takes its seed through test_seed():
+// the FTBESST_TEST_SEED environment variable, when set to an unsigned
+// integer, overrides the test's built-in default. The effective seed is
+// printed (and recorded as a gtest property), so a failing `ctest
+// --output-on-failure` log always contains the exact line needed to
+// reproduce the run:
+//
+//   FTBESST_TEST_SEED=12345 ctest -R <test> --output-on-failure
+//
+// A malformed value is ignored in favour of the default rather than
+// aborting the suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::test {
+
+inline std::uint64_t test_seed(std::uint64_t default_seed) {
+  std::uint64_t seed = default_seed;
+  if (const char* env = std::getenv("FTBESST_TEST_SEED")) {
+    try {
+      seed = std::stoull(env);
+    } catch (const std::exception&) {
+      std::cerr << "[   SEED   ] ignoring malformed FTBESST_TEST_SEED=\""
+                << env << "\"\n";
+    }
+  }
+  ::testing::Test::RecordProperty("ftbesst_test_seed",
+                                  std::to_string(seed));
+  std::cout << "[   SEED   ] effective seed " << seed
+            << " (override with FTBESST_TEST_SEED)\n";
+  return seed;
+}
+
+}  // namespace ftbesst::test

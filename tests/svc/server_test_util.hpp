@@ -1,0 +1,73 @@
+#pragma once
+// Shared fixtures for the prediction-server tests (tests/svc/test_server.cpp
+// and the slow soak binary): the analytic test registry, per-process socket
+// paths, an RAII server, and the canonical simulate request.
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "apps/kernels.hpp"
+#include "apps/stencil3d.hpp"
+#include "core/arch.hpp"
+#include "model/perf_model.hpp"
+#include "net/topology.hpp"
+#include "svc/client.hpp"
+#include "svc/json.hpp"
+#include "svc/server.hpp"
+
+namespace ftbesst::svc {
+
+inline std::shared_ptr<const Registry> make_test_registry() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  auto arch =
+      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
+  arch->bind_kernel(apps::kLuleshTimestep,
+                    std::make_shared<model::ConstantModel>(0.01));
+  arch->bind_kernel(apps::kStencilSweep,
+                    std::make_shared<model::ConstantModel>(0.005));
+  for (int level = 1; level <= 4; ++level)
+    arch->bind_kernel(
+        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
+        std::make_shared<model::ConstantModel>(0.002 * level));
+  return std::make_shared<const Registry>(Registry{std::move(arch)});
+}
+
+inline std::string test_socket_path(const char* tag) {
+  return "/tmp/ftbesst-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// RAII server over the analytic registry: unix socket + ephemeral TCP.
+struct TestServer {
+  explicit TestServer(ServerOptions options = {}, const char* tag = "srv") {
+    options.unix_socket_path = test_socket_path(tag);
+    if (options.tcp_port < 0) options.tcp_port = 0;  // ephemeral
+    server = std::make_unique<Server>(make_test_registry(), options);
+    server->start();
+    path = options.unix_socket_path;
+  }
+  ~TestServer() {
+    if (server) {
+      server->shutdown();
+      server->wait();
+    }
+  }
+  [[nodiscard]] Client client(double timeout_seconds = 30.0) const {
+    return Client::connect_unix(path, timeout_seconds);
+  }
+
+  std::unique_ptr<Server> server;
+  std::string path;
+};
+
+inline Json simulate_request(int seed, int trials = 5) {
+  return Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":30,\"plan\":\"L1:10\",\"trials\":" +
+      std::to_string(trials) + ",\"seed\":" + std::to_string(seed) + "}");
+}
+
+}  // namespace ftbesst::svc

@@ -14,66 +14,12 @@
 #include <thread>
 #include <vector>
 
-#include "apps/kernels.hpp"
-#include "apps/stencil3d.hpp"
-#include "core/arch.hpp"
-#include "model/perf_model.hpp"
-#include "net/topology.hpp"
+#include "server_test_util.hpp"
 #include "svc/client.hpp"
 #include "svc/json.hpp"
 
 namespace ftbesst::svc {
 namespace {
-
-std::shared_ptr<const Registry> make_test_registry() {
-  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
-  auto arch =
-      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
-  arch->bind_kernel(apps::kLuleshTimestep,
-                    std::make_shared<model::ConstantModel>(0.01));
-  arch->bind_kernel(apps::kStencilSweep,
-                    std::make_shared<model::ConstantModel>(0.005));
-  for (int level = 1; level <= 4; ++level)
-    arch->bind_kernel(
-        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
-        std::make_shared<model::ConstantModel>(0.002 * level));
-  return std::make_shared<const Registry>(Registry{std::move(arch)});
-}
-
-std::string test_socket_path(const char* tag) {
-  return "/tmp/ftbesst-test-" + std::string(tag) + "-" +
-         std::to_string(::getpid()) + ".sock";
-}
-
-/// RAII server over the analytic registry: unix socket + ephemeral TCP.
-struct TestServer {
-  explicit TestServer(ServerOptions options = {}, const char* tag = "srv") {
-    options.unix_socket_path = test_socket_path(tag);
-    if (options.tcp_port < 0) options.tcp_port = 0;  // ephemeral
-    server = std::make_unique<Server>(make_test_registry(), options);
-    server->start();
-    path = options.unix_socket_path;
-  }
-  ~TestServer() {
-    if (server) {
-      server->shutdown();
-      server->wait();
-    }
-  }
-  [[nodiscard]] Client client(double timeout_seconds = 30.0) const {
-    return Client::connect_unix(path, timeout_seconds);
-  }
-
-  std::unique_ptr<Server> server;
-  std::string path;
-};
-
-Json simulate_request(int seed, int trials = 5) {
-  return Json::parse(
-      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
-      "\"timesteps\":30,\"plan\":\"L1:10\",\"trials\":" +
-      std::to_string(trials) + ",\"seed\":" + std::to_string(seed) + "}");
-}
 
 TEST(Server, AnswersOverUnixAndTcp) {
   TestServer ts({}, "both");
@@ -105,73 +51,6 @@ TEST(Server, CacheHitsAreByteIdentical) {
   EXPECT_TRUE(hot.cached);
   EXPECT_EQ(hot.result_bytes, cold.result_bytes);
   EXPECT_GE(ts.server->stats().cache.hits, 1u);
-}
-
-TEST(Server, SoakMixedHotColdClientsLoseNothing) {
-  TestServer ts({}, "soak");
-  constexpr int kThreads = 8;
-  constexpr int kIterations = 12;
-  const Json shared_request = simulate_request(1000);
-
-  std::atomic<int> responses{0};
-  std::vector<std::string> shared_bytes(kThreads);
-  std::vector<std::string> failures(kThreads);
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t)
-    threads.emplace_back([&, t] {
-      try {
-        Client client = ts.client();
-        for (int i = 0; i < kIterations; ++i) {
-          // Hot: everyone hammers one shared request; its bytes must be
-          // identical across every thread and iteration.
-          const ClientResponse hot = client.call(shared_request);
-          if (!hot.ok) {
-            failures[t] = hot.raw;
-            return;
-          }
-          if (shared_bytes[t].empty())
-            shared_bytes[t] = hot.result_bytes;
-          else if (shared_bytes[t] != hot.result_bytes) {
-            failures[t] = "hot bytes changed between iterations";
-            return;
-          }
-          responses.fetch_add(1);
-
-          // Cold: a per-thread/iteration unique request, asked twice — the
-          // second answer must be a cache hit with identical bytes.
-          const Json unique = simulate_request(2000 + t * 100 + i, 3);
-          const ClientResponse first = client.call(unique);
-          const ClientResponse second = client.call(unique);
-          if (!first.ok || !second.ok) {
-            failures[t] = first.ok ? second.raw : first.raw;
-            return;
-          }
-          if (second.result_bytes != first.result_bytes || !second.cached) {
-            failures[t] = "cache hit bytes differ from cold computation";
-            return;
-          }
-          responses.fetch_add(2);
-        }
-      } catch (const std::exception& e) {
-        failures[t] = e.what();
-      }
-    });
-  for (auto& thread : threads) thread.join();
-
-  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "") << "thread " << t;
-  EXPECT_EQ(responses.load(), kThreads * kIterations * 3);
-  for (int t = 1; t < kThreads; ++t)
-    EXPECT_EQ(shared_bytes[t], shared_bytes[0]) << "thread " << t;
-
-  // Counters are only guaranteed exact once drained (a worker may still be
-  // between writing its reply and bumping `completed`).
-  ts.server->shutdown();
-  ts.server->wait();
-  const Server::Stats stats = ts.server->stats();
-  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(responses.load()));
-  EXPECT_EQ(stats.rejected_overload, 0u);
-  EXPECT_GE(stats.cache.hits + stats.coalesced,
-            static_cast<std::uint64_t>(kThreads * kIterations));
 }
 
 TEST(Server, ConcurrentIdenticalColdRequestsCoalesceOrHit) {

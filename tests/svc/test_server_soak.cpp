@@ -1,0 +1,87 @@
+// Soak test for the prediction server (LABELS slow — excluded from the
+// tier-1 `ctest -LE slow` pass, run by the check.sh `slow` pass): mixed
+// hot/cold clients over many iterations must lose no responses, and every
+// byte-identity guarantee must hold across the whole run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server_test_util.hpp"
+
+namespace ftbesst::svc {
+namespace {
+
+TEST(ServerSoak, SoakMixedHotColdClientsLoseNothing) {
+  TestServer ts({}, "soak");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 12;
+  const Json shared_request = simulate_request(1000);
+
+  std::atomic<int> responses{0};
+  std::vector<std::string> shared_bytes(kThreads);
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      try {
+        Client client = ts.client();
+        for (int i = 0; i < kIterations; ++i) {
+          // Hot: everyone hammers one shared request; its bytes must be
+          // identical across every thread and iteration.
+          const ClientResponse hot = client.call(shared_request);
+          if (!hot.ok) {
+            failures[t] = hot.raw;
+            return;
+          }
+          if (shared_bytes[t].empty())
+            shared_bytes[t] = hot.result_bytes;
+          else if (shared_bytes[t] != hot.result_bytes) {
+            failures[t] = "hot bytes changed between iterations";
+            return;
+          }
+          responses.fetch_add(1);
+
+          // Cold: a per-thread/iteration unique request, asked twice — the
+          // second answer must be a cache hit with identical bytes.
+          const Json unique = simulate_request(2000 + t * 100 + i, 3);
+          const ClientResponse first = client.call(unique);
+          const ClientResponse second = client.call(unique);
+          if (!first.ok || !second.ok) {
+            failures[t] = first.ok ? second.raw : first.raw;
+            return;
+          }
+          if (second.result_bytes != first.result_bytes || !second.cached) {
+            failures[t] = "cache hit bytes differ from cold computation";
+            return;
+          }
+          responses.fetch_add(2);
+        }
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "") << "thread " << t;
+  EXPECT_EQ(responses.load(), kThreads * kIterations * 3);
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(shared_bytes[t], shared_bytes[0]) << "thread " << t;
+
+  // Counters are only guaranteed exact once drained (a worker may still be
+  // between writing its reply and bumping `completed`).
+  ts.server->shutdown();
+  ts.server->wait();
+  const Server::Stats stats = ts.server->stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(responses.load()));
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_GE(stats.cache.hits + stats.coalesced,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

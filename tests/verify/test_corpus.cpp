@@ -1,0 +1,83 @@
+// Golden corpus replay: the committed corpus must replay byte-exactly
+// (threads 1 and 4), and the replay machinery must actually detect drift —
+// a checker that cannot fail protects nothing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "verify/corpus.hpp"
+#include "verify/scenario.hpp"
+
+#ifndef FTBESST_CORPUS_DIR
+#error "FTBESST_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace ftbesst::verify {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Corpus, CommittedCorpusReplaysByteExactly) {
+  const CorpusReport report = replay_corpus(FTBESST_CORPUS_DIR);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.entries, 20);  // curated coverage floor (ISSUE 5)
+  EXPECT_EQ(report.replayed, report.entries);
+}
+
+TEST(Corpus, ResultTextIsThreadInvariant) {
+  Scenario s;
+  s.trials = 6;
+  s.timesteps = 12;
+  s.plan = {{ft::Level::kL1, 3, false}};
+  s.inject_faults = true;
+  s.node_mtbf_seconds = 400.0;
+  const std::string serial = result_to_text(s, 1);
+  EXPECT_EQ(result_to_text(s, 4), serial);
+  EXPECT_NE(serial.find("ftbesst-verify-result v1"), std::string::npos);
+}
+
+/// Scratch corpus dir containing one trivial scenario.
+fs::path make_scratch_corpus() {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ftbesst-corpus-scratch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Scenario s;
+  s.trials = 2;
+  s.timesteps = 3;
+  std::ofstream(dir / "tiny.scenario") << s.to_text();
+  return dir;
+}
+
+TEST(Corpus, MissingExpectedFileIsReportedAsMismatch) {
+  const fs::path dir = make_scratch_corpus();
+  const CorpusReport report = replay_corpus(dir.string());
+  ASSERT_EQ(report.mismatches.size(), 1u);
+  EXPECT_EQ(report.mismatches[0].name, "tiny");
+  // The report tells the operator how to record the baseline.
+  EXPECT_NE(report.mismatches[0].detail.find("--update"), std::string::npos);
+}
+
+TEST(Corpus, RecordThenReplayIsCleanAndDriftIsDetected) {
+  const fs::path dir = make_scratch_corpus();
+  EXPECT_EQ(record_corpus(dir.string()), 1);
+  EXPECT_TRUE(replay_corpus(dir.string()).ok());
+
+  // Tamper with one recorded byte: replay must name the divergence.
+  std::string recorded;
+  {
+    std::ifstream in(dir / "tiny.expected");
+    recorded.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  recorded.back() = recorded.back() == '0' ? '1' : '0';
+  std::ofstream(dir / "tiny.expected") << recorded;
+  const CorpusReport drift = replay_corpus(dir.string());
+  ASSERT_EQ(drift.mismatches.size(), 1u);
+  EXPECT_EQ(drift.mismatches[0].name, "tiny");
+}
+
+}  // namespace
+}  // namespace ftbesst::verify

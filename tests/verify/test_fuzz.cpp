@@ -1,0 +1,85 @@
+// In-process budgeted fuzzing as a tier-1 ctest target: fixed seeds, fixed
+// iteration counts, so CI both exercises every parser invariant and stays
+// deterministic. The same entry points back the optional libFuzzer
+// harnesses under tools/fuzz/.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/test_seed.hpp"
+#include "verify/fuzz.hpp"
+
+namespace ftbesst::verify {
+namespace {
+
+constexpr std::uint64_t kBudget = 400;  // per target; ~instant in CI
+
+TEST(Fuzz, AllTargetsRunCleanUnderBudget) {
+  const std::uint64_t seed = test::test_seed(1);
+  for (const FuzzResult& r : fuzz_all(seed, kBudget)) {
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_EQ(r.iterations, kBudget) << r.target;
+    // The grammar generators must actually reach the accepting parse
+    // paths, not just bounce off the first validation error.
+    EXPECT_GT(r.accepted, 0u) << r.target;
+  }
+}
+
+TEST(Fuzz, CampaignsAreDeterministicPerSeed) {
+  const FuzzResult a = fuzz_json(99, 200);
+  const FuzzResult b = fuzz_json(99, 200);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.bugs.size(), b.bugs.size());
+  const FuzzResult c = fuzz_plan(7, 200);
+  const FuzzResult d = fuzz_plan(7, 200);
+  EXPECT_EQ(c.accepted, d.accepted);
+}
+
+bool feed(bool (*entry)(const std::uint8_t*, std::size_t),
+          const std::string& text) {
+  return entry(reinterpret_cast<const std::uint8_t*>(text.data()),
+               text.size());
+}
+
+TEST(Fuzz, EntryPointsAcceptValidAndRejectHostileInput) {
+  EXPECT_TRUE(feed(fuzz_json_one, "{\"a\":[1,2.5,null],\"b\":\"x\"}"));
+  EXPECT_FALSE(feed(fuzz_json_one, "{\"a\":"));
+  EXPECT_FALSE(feed(fuzz_json_one, std::string(200, '[')));  // depth bomb
+
+  EXPECT_TRUE(feed(fuzz_plan_one, "L1:10,L4:100a"));
+  EXPECT_TRUE(feed(fuzz_plan_one, ""));  // No-FT is a valid plan
+  EXPECT_FALSE(feed(fuzz_plan_one, "L9:4"));
+  EXPECT_FALSE(feed(fuzz_plan_one, "L1:-3"));
+
+  EXPECT_TRUE(feed(fuzz_model_one, "ftbesst-model v1\nconstant 2.5\n"));
+  EXPECT_FALSE(feed(fuzz_model_one, "not a model"));
+  // Hostile count fields (grammar: powerlaw <coeff> <count> <exps...>)
+  // must be rejected, not allocated.
+  EXPECT_FALSE(
+      feed(fuzz_model_one, "ftbesst-model v1\npowerlaw 1.0 99999999\n"));
+  // Variable indices wider than the bytecode compiler's 16-bit operand
+  // must be rejected at parse time (found by this fuzz target: the parse
+  // used to accept them and the compile threw the wrong exception type).
+  EXPECT_FALSE(feed(fuzz_model_one,
+                    "ftbesst-model v1\nexprmodel 1.0 0.0 0\n"
+                    "(mul (var 161067261) (const 2.0))\n"));
+
+  // The wire codec never throws anything but clean rejections on garbage.
+  EXPECT_NO_THROW((void)feed(fuzz_wire_one, "\xff\xff\xff\xff????"));
+  EXPECT_NO_THROW((void)feed(fuzz_wire_one, std::string("\0\0\0\x02hi", 6)));
+}
+
+TEST(Fuzz, UnhexDecodesReproducers) {
+  const std::vector<std::uint8_t> bytes = fuzz_unhex("00ff10a5");
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(bytes[1], 0xff);
+  EXPECT_EQ(bytes[2], 0x10);
+  EXPECT_EQ(bytes[3], 0xa5);
+}
+
+}  // namespace
+}  // namespace ftbesst::verify

@@ -1,0 +1,103 @@
+// The `.scenario` text format is the verification harness's persistence
+// layer: shrunk counterexamples and golden corpus entries both live in it,
+// so round-tripping must be exact and parsing must be strict.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/test_seed.hpp"
+#include "verify/scenario.hpp"
+
+namespace ftbesst::verify {
+namespace {
+
+TEST(ScenarioText, DefaultScenarioRoundTripsExactly) {
+  const Scenario s;
+  const std::string text = s.to_text();
+  const Scenario back = Scenario::from_text(text);
+  EXPECT_EQ(back.to_text(), text);  // to_text is a fixpoint through parse
+}
+
+TEST(ScenarioText, GeneratedScenariosRoundTripExactly) {
+  ScenarioGenerator gen(test::test_seed(2024));
+  for (int i = 0; i < 50; ++i) {
+    const Scenario s = gen.next();
+    const std::string text = s.to_text();
+    const Scenario back = Scenario::from_text(text);
+    EXPECT_EQ(back.to_text(), text) << "scenario index " << i;
+  }
+}
+
+TEST(ScenarioText, OmittedKeysKeepDefaults) {
+  const Scenario parsed =
+      Scenario::from_text("ftbesst-scenario v1\ntimesteps 7\n");
+  const Scenario reference;
+  EXPECT_EQ(parsed.timesteps, 7);
+  EXPECT_EQ(parsed.trials, reference.trials);
+  EXPECT_EQ(parsed.seed, reference.seed);
+  EXPECT_EQ(parsed.kernel_cost, reference.kernel_cost);
+  EXPECT_TRUE(parsed.plan.empty());
+}
+
+TEST(ScenarioText, CommentsAndBlankLinesAreIgnored) {
+  const Scenario parsed = Scenario::from_text(
+      "ftbesst-scenario v1\n\n# hand-written corpus entry\ntrials 3\n");
+  EXPECT_EQ(parsed.trials, 3);
+}
+
+TEST(ScenarioText, StrictParsingRejectsBadInput) {
+  EXPECT_THROW((void)Scenario::from_text(""), std::invalid_argument);
+  EXPECT_THROW((void)Scenario::from_text("wrong-header v1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Scenario::from_text(
+                   "ftbesst-scenario v1\nno_such_key 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)Scenario::from_text("ftbesst-scenario v1\ntrials banana\n"),
+      std::invalid_argument);
+  EXPECT_THROW((void)Scenario::from_text("ftbesst-scenario v1\nplan L9:4\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioText, PlanSpellingsRoundTrip) {
+  Scenario s;
+  s.plan = {{ft::Level::kL1, 3, false}, {ft::Level::kL4, 12, true}};
+  EXPECT_EQ(plan_to_string(s.plan), "L1:3,L4:12a");
+  const Scenario back = Scenario::from_text(s.to_text());
+  ASSERT_EQ(back.plan.size(), 2u);
+  EXPECT_EQ(back.plan[1].period, 12);
+  EXPECT_TRUE(back.plan[1].async);
+  EXPECT_TRUE(back.has_async());
+
+  // Empty plan (No-FT) uses the "-" sentinel and comes back empty.
+  s.plan.clear();
+  EXPECT_FALSE(Scenario::from_text(s.to_text()).has_async());
+  EXPECT_TRUE(Scenario::from_text(s.to_text()).plan.empty());
+}
+
+TEST(ScenarioBuild, RejectsInconsistentScenarios) {
+  // More ranks than the machine can host.
+  Scenario s;
+  s.ranks = 10000;
+  EXPECT_THROW((void)build(s), std::invalid_argument);
+
+  // A checkpointing plan with faults requires a positive MTBF.
+  Scenario faulty;
+  faulty.inject_faults = true;
+  faulty.node_mtbf_seconds = 0.0;
+  EXPECT_THROW((void)build(faulty), std::invalid_argument);
+}
+
+TEST(ScenarioBuild, GeneratedScenariosAlwaysBuild) {
+  ScenarioGenerator gen(test::test_seed(7));
+  for (int i = 0; i < 50; ++i) {
+    const Scenario s = gen.next();
+    EXPECT_NO_THROW((void)build(s)) << "scenario index " << i << "\n"
+                                    << s.to_text();
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::verify

@@ -48,6 +48,15 @@
 //       Send one request (from --request or stdin) to a running daemon and
 //       print the reply JSON; exits 0 on ok, 1 on an error reply.
 //
+//   ftbesst verify [--differential N [--dump DIR]] [--fuzz ITERS]
+//       [--corpus DIR [--update 1] [--threads-check 0|1]] [--seed S]
+//       Verification harness (docs/TESTING.md): cross-engine differential
+//       checking over N generated scenarios (failures are shrunk and, with
+//       --dump, written as .scenario reproducers), in-process structure-
+//       aware fuzzing of the json/wire/plan/model parsers, and byte-exact
+//       golden-corpus replay (--update 1 re-records the .expected files).
+//       Exits 1 on any disagreement, fuzz bug, or corpus mismatch.
+//
 // All file formats are the plain-text ones from model/serialize.hpp.
 
 #include <cmath>
@@ -78,6 +87,9 @@
 #include "svc/server.hpp"
 #include "util/args.hpp"
 #include "util/config.hpp"
+#include "verify/corpus.hpp"
+#include "verify/differential.hpp"
+#include "verify/fuzz.hpp"
 
 using namespace ftbesst;
 
@@ -85,7 +97,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ftbesst "
-               "<calibrate|fit|predict|simulate|serve|client> [flags]\n"
+               "<calibrate|fit|predict|simulate|serve|client|verify> [flags]\n"
                "every command also accepts --obs-out DIR (write metrics.json,\n"
                "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
@@ -560,6 +572,53 @@ int cmd_client(const util::ArgParser& args) {
   return response.ok ? 0 : 1;
 }
 
+int cmd_verify(const util::ArgParser& args) {
+  args.expect_known({"differential", "seed", "dump", "fuzz", "corpus",
+                     "update", "threads-check", "obs-out"});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  bool ran_anything = false;
+  int rc = 0;
+
+  if (args.has("differential")) {
+    ran_anything = true;
+    const int n = static_cast<int>(args.get_int("differential", 200));
+    const verify::DiffReport report =
+        verify::run_differential(n, seed, {}, args.get_string("dump", ""));
+    std::cout << report.summary();
+    if (!report.ok()) rc = 1;
+  }
+
+  if (args.has("fuzz")) {
+    ran_anything = true;
+    const auto iters = static_cast<std::uint64_t>(args.get_int("fuzz", 2000));
+    for (const verify::FuzzResult& r : verify::fuzz_all(seed, iters)) {
+      std::cout << r.summary() << "\n";
+      if (!r.ok()) rc = 1;
+    }
+  }
+
+  if (const auto corpus_dir = args.get("corpus")) {
+    ran_anything = true;
+    if (args.get_int("update", 0) != 0) {
+      const int n = verify::record_corpus(*corpus_dir);
+      std::cout << "recorded " << n << " corpus entr"
+                << (n == 1 ? "y" : "ies") << " in " << *corpus_dir << "\n";
+    } else {
+      const verify::CorpusReport report = verify::replay_corpus(
+          *corpus_dir, args.get_int("threads-check", 1) != 0);
+      std::cout << report.summary();
+      if (!report.ok()) rc = 1;
+    }
+  }
+
+  if (!ran_anything) {
+    std::cerr << "verify needs at least one of --differential N, --fuzz "
+                 "ITERS, --corpus DIR\n";
+    return 2;
+  }
+  return rc;
+}
+
 int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "calibrate") return cmd_calibrate(args);
   if (command == "fit") return cmd_fit(args);
@@ -571,6 +630,7 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "run-experiment") return cmd_run_experiment(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "client") return cmd_client(args);
+  if (command == "verify") return cmd_verify(args);
   return usage();
 }
 

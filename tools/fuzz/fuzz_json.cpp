@@ -1,0 +1,14 @@
+// libFuzzer harness over the svc::Json fuzz entry (see src/verify/fuzz.hpp
+// for the invariant contract). Build with -DFTBESST_FUZZ=ON under Clang:
+//   ./build/tools/fuzz/fuzz_json -max_len=4096 corpus_dir/
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)ftbesst::verify::fuzz_json_one(data, size);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// libFuzzer harness over the model-serialize loader fuzz entry
+// (load -> to_string -> load fixpoint; see src/verify/fuzz.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)ftbesst::verify::fuzz_model_one(data, size);
+  return 0;
+}

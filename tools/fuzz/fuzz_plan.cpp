@@ -1,0 +1,14 @@
+// libFuzzer harness over the checkpoint-plan grammar fuzz entry
+// (parse -> validate -> canonical spelling round-trip; see
+// src/verify/fuzz.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)ftbesst::verify::fuzz_plan_one(data, size);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// libFuzzer harness over the wire frame codec fuzz entry (incremental vs
+// whole-buffer framing equivalence; see src/verify/fuzz.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)ftbesst::verify::fuzz_wire_one(data, size);
+  return 0;
+}
