@@ -1,0 +1,421 @@
+// Extension bench: the SIMD-batched ExprProgram backends, as
+// machine-readable JSON.
+//
+// Measures raw evaluator throughput (rows/sec of ExprProgram::eval_dataset
+// over pre-compiled programs) for every EvalBackend at 1/4/8 worker
+// threads, on the LULESH-timestep and FTI-checkpoint surfaces at two
+// sampling densities:
+//   - calibration density (the ~600-800-row measurement grids of
+//     bench_ext_symreg), with two population shapes: "champion"
+//     (arithmetic/sqrt/div trees, the shape of calibrated performance
+//     models) and "gp_mix" (Expr::random trees, the raw SymReg fitness
+//     mix);
+//   - DSE density ("dse_" datasets): the same surfaces sampled at
+//     ~131k-point prediction-sweep resolution — the {FT config x arch}
+//     batch-pricing workload of the Fig.-1-class predictions the paper
+//     headlines. The speedup gates apply HERE: at this scale the scalar
+//     strip interpreter's per-instruction working set (registers x rows)
+//     spills out of cache while the blocked backends stay L1-resident,
+//     which is the effect this PR exists to exploit.
+// Small calibration surfaces are reported ungated: their strips are
+// cache-resident, so the auto-vectorized scalar interpreter is already
+// within ~2x of the AVX2 backend there. log-heavy gp_mix individuals
+// additionally bound the vector speedup by Amdahl (bit-identical backends
+// evaluate log with scalar libm per lane).
+//
+// Exit 1 (DIVERGENCE/GATE line on stderr) if:
+//   - any default-mode backend (scalar, unrolled, avx2) output differs
+//     bitwise from per-row Expr::eval on any individual, dataset, or
+//     thread count, or
+//   - AVX2 (when the host supports it) is below 4x the scalar bytecode
+//     interpreter, or the unrolled fallback is below 1.8x, on either
+//     DSE-density champion workload at 1 thread.
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/expr.hpp"
+#include "model/expr_program.hpp"
+#include "model/expr_simd.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+#include "util/task_pool.hpp"
+
+using namespace ftbesst;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Run `body` until it has consumed ~0.3s, return seconds per call.
+template <typename F>
+double time_per_call(F&& body) {
+  body();  // warm-up (first call also populates caches/buffers)
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) body();
+    const double elapsed = seconds_since(start);
+    if (elapsed > 0.3) return elapsed / static_cast<double>(reps);
+    reps = elapsed > 1e-9
+               ? std::max<std::size_t>(reps + 1,
+                                       static_cast<std::size_t>(
+                                           0.45 * static_cast<double>(reps) /
+                                           elapsed))
+               : reps * 16;
+  }
+}
+
+/// LULESH-timestep-shaped calibration surface (same grid as
+/// bench_ext_symreg).
+model::Dataset lulesh_dataset() {
+  util::Rng rng(101);
+  model::Dataset d({"elems", "ranks"});
+  for (double e = 8; e <= 56; e += 0.5)
+    for (double r = 8; r <= 1024; r *= 2) {
+      const double elems = e * e * e;
+      const double y = 2.4e-8 * elems + 1.1e-6 * std::cbrt(elems * elems) +
+                       3.0e-6 * std::log2(r);
+      std::vector<double> samples;
+      for (int s = 0; s < 3; ++s)
+        samples.push_back(rng.lognormal_median(y, 0.05));
+      d.add_row({elems, r}, std::move(samples));
+    }
+  return d;
+}
+
+/// FTI multilevel-checkpoint-shaped surface (same grid as
+/// bench_ext_symreg).
+model::Dataset fti_dataset() {
+  util::Rng rng(202);
+  model::Dataset d({"mbytes", "group", "level"});
+  for (double mb = 16; mb <= 2048 + 1; mb *= std::pow(2.0, 0.25))
+    for (double g = 2; g <= 32; g *= 2)
+      for (double level = 1; level <= 4; ++level) {
+        const double bw = level == 1 ? 2000.0 : level == 2 ? 900.0
+                          : level == 3             ? 350.0
+                                                   : 120.0;
+        const double y = mb / bw + (level >= 3 ? 1e-4 * mb * (g - 1) / g : 0.0) +
+                         2e-3 * level;
+        std::vector<double> samples;
+        for (int s = 0; s < 3; ++s)
+          samples.push_back(rng.lognormal_median(y, 0.08));
+        d.add_row({mb, g, level}, std::move(samples));
+      }
+  return d;
+}
+
+/// DSE-density LULESH surface: the same (elems, ranks) space as the
+/// calibration grid, sampled at prediction-sweep resolution (512 element
+/// sizes x 256 rank counts up to ~1M ranks — the notional-machine range).
+model::Dataset lulesh_dse_dataset() {
+  model::Dataset d({"elems", "ranks"});
+  for (int i = 0; i < 512; ++i)
+    for (int j = 0; j < 256; ++j) {
+      const double e = 8.0 + 48.0 * static_cast<double>(i) / 511.0;
+      const double r = 8.0 * std::pow(2.0, 17.0 * static_cast<double>(j) / 255.0);
+      d.add_row({e * e * e, r}, {0.0});
+    }
+  return d;
+}
+
+/// DSE-density FTI surface: checkpoint bytes x group size x level at sweep
+/// resolution (256 x 128 x 4).
+model::Dataset fti_dse_dataset() {
+  model::Dataset d({"mbytes", "group", "level"});
+  for (int i = 0; i < 256; ++i)
+    for (int j = 0; j < 128; ++j)
+      for (double level = 1; level <= 4; ++level) {
+        const double mb = 16.0 * std::pow(2.0, 7.0 * static_cast<double>(i) / 255.0);
+        const double g = 2.0 + 30.0 * static_cast<double>(j) / 127.0;
+        d.add_row({mb, g, level}, {0.0});
+      }
+  return d;
+}
+
+/// Champion-shaped tree: the op mix of calibrated power-law performance
+/// models — add/mul-dominant arithmetic with sparse protected div/sqrt
+/// terms (cf. the fitted forms behind the LULESH/FTI surfaces) — grown to
+/// a fixed depth so programs carry enough arithmetic per row for the
+/// evaluator, not the dispatch, to dominate. No log: the bit-identical
+/// backends evaluate log with scalar libm per lane, so its cost is
+/// lane-width-independent by design; log-bearing individuals are measured
+/// by the gp_mix population instead. Protected div/sqrt vectorize to
+/// vdivpd/vsqrtpd, which on most cores have only ~2x the scalar divider
+/// throughput — their density directly bounds the attainable speedup, so
+/// the champion mix keeps them at realistic (sparse) rates.
+model::Expr champion_tree(util::Rng& rng, std::size_t num_vars, int depth) {
+  if (depth <= 0 || (depth < 3 && rng.uniform() < 0.3)) {
+    return rng.uniform() < 0.5
+               ? model::Expr::variable(rng.uniform_int(num_vars))
+               : model::Expr::constant(rng.uniform(0.1, 4.0));
+  }
+  const double pick = rng.uniform();
+  if (pick < 0.06)
+    return model::Expr::unary(model::Op::kSqrt,
+                              champion_tree(rng, num_vars, depth - 1));
+  const model::Op op = pick < 0.42   ? model::Op::kAdd
+                       : pick < 0.54 ? model::Op::kSub
+                       : pick < 0.95 ? model::Op::kMul
+                                     : model::Op::kDiv;
+  return model::Expr::binary(op, champion_tree(rng, num_vars, depth - 1),
+                             champion_tree(rng, num_vars, depth - 1));
+}
+
+std::vector<model::Expr> make_population(std::size_t count,
+                                         std::size_t num_vars,
+                                         std::uint64_t seed, bool champion) {
+  util::Rng rng(seed);
+  std::vector<model::Expr> pop;
+  pop.reserve(count);
+  while (pop.size() < count) {
+    model::Expr e = champion ? champion_tree(rng, num_vars, 7)
+                             : model::Expr::random(rng, num_vars, 6);
+    if (e.empty()) continue;
+    pop.push_back(std::move(e));
+  }
+  return pop;
+}
+
+std::vector<model::ExprProgram> compile_population(
+    const std::vector<model::Expr>& pop) {
+  std::vector<model::ExprProgram> progs;
+  progs.reserve(pop.size());
+  for (const model::Expr& e : pop) progs.push_back(model::ExprProgram::compile(e));
+  return progs;
+}
+
+/// Per-row Expr::eval oracle outputs, one vector per individual.
+std::vector<std::vector<double>> oracle_outputs(
+    const std::vector<model::Expr>& pop, const model::Dataset& data) {
+  std::vector<std::vector<double>> outs(pop.size());
+  for (std::size_t p = 0; p < pop.size(); ++p) {
+    outs[p].reserve(data.num_rows());
+    for (const model::Row& r : data.rows())
+      outs[p].push_back(pop[p].eval(r.params));
+  }
+  return outs;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Serial + parallel batch outputs under the active backend must both be
+/// bit-identical to the oracle (parallel also exercises per-thread
+/// scratch).
+bool backend_bit_identical(const std::vector<model::ExprProgram>& progs,
+                           const model::Dataset& data,
+                           const std::vector<std::vector<double>>& oracle,
+                           util::TaskPool& pool) {
+  std::vector<double> f;
+  model::EvalScratch scratch;
+  for (std::size_t p = 0; p < progs.size(); ++p) {
+    progs[p].eval_dataset(data, f, scratch);
+    if (!bitwise_equal(f, oracle[p])) return false;
+  }
+  std::vector<std::vector<double>> par(progs.size());
+  util::parallel_for(
+      progs.size(),
+      [&](std::size_t p) {
+        thread_local model::EvalScratch ts;
+        progs[p].eval_dataset(data, par[p], ts);
+      },
+      pool);
+  for (std::size_t p = 0; p < progs.size(); ++p)
+    if (!bitwise_equal(par[p], oracle[p])) return false;
+  return true;
+}
+
+double rows_per_sec_serial(const std::vector<model::ExprProgram>& progs,
+                           const model::Dataset& data) {
+  std::vector<double> f;
+  model::EvalScratch scratch;
+  const double s = time_per_call([&] {
+    for (const model::ExprProgram& prog : progs)
+      prog.eval_dataset(data, f, scratch);
+  });
+  return static_cast<double>(progs.size() * data.num_rows()) / s;
+}
+
+double rows_per_sec_parallel(const std::vector<model::ExprProgram>& progs,
+                             const model::Dataset& data, util::TaskPool& pool) {
+  const double s = time_per_call([&] {
+    util::parallel_for(
+        progs.size(),
+        [&](std::size_t p) {
+          thread_local std::vector<double> f;
+          thread_local model::EvalScratch scratch;
+          progs[p].eval_dataset(data, f, scratch);
+        },
+        pool);
+  });
+  return static_cast<double>(progs.size() * data.num_rows()) / s;
+}
+
+struct BackendResult {
+  model::EvalBackend backend;
+  double rows_per_sec_t1 = 0;
+  double rows_per_sec_t4 = 0;
+  double rows_per_sec_t8 = 0;
+  bool bit_identical = true;  // vs Expr::eval; not required for avx2fast
+};
+
+struct PopulationBench {
+  std::vector<BackendResult> backends;
+  std::size_t programs = 0;
+};
+
+PopulationBench bench_population(const std::vector<model::Expr>& pop,
+                                 const model::Dataset& data,
+                                 util::TaskPool& pool4,
+                                 util::TaskPool& pool8) {
+  PopulationBench out;
+  out.programs = pop.size();
+  const auto progs = compile_population(pop);
+  const auto oracle = oracle_outputs(pop, data);
+  std::vector<model::EvalBackend> backends = {model::EvalBackend::kScalar,
+                                              model::EvalBackend::kUnrolled};
+  if (model::avx2_supported()) {
+    backends.push_back(model::EvalBackend::kAvx2);
+    backends.push_back(model::EvalBackend::kAvx2Fast);
+  }
+  for (const model::EvalBackend b : backends) {
+    model::BackendOverrideGuard guard(b);
+    BackendResult r;
+    r.backend = b;
+    if (b != model::EvalBackend::kAvx2Fast)
+      r.bit_identical = backend_bit_identical(progs, data, oracle, pool4);
+    r.rows_per_sec_t1 = rows_per_sec_serial(progs, data);
+    r.rows_per_sec_t4 = rows_per_sec_parallel(progs, data, pool4);
+    r.rows_per_sec_t8 = rows_per_sec_parallel(progs, data, pool8);
+    out.backends.push_back(r);
+  }
+  return out;
+}
+
+double backend_rate_t1(const PopulationBench& b, model::EvalBackend which) {
+  for (const BackendResult& r : b.backends)
+    if (r.backend == which) return r.rows_per_sec_t1;
+  return 0.0;
+}
+
+void print_population(const char* name, const PopulationBench& b, bool last) {
+  std::cout << "    \"" << name << "\": {\n"
+            << "      \"programs\": " << b.programs << ",\n";
+  for (std::size_t i = 0; i < b.backends.size(); ++i) {
+    const BackendResult& r = b.backends[i];
+    std::cout << "      \"" << model::to_string(r.backend) << "\": {"
+              << "\"rows_per_sec_t1\": " << r.rows_per_sec_t1
+              << ", \"rows_per_sec_t4\": " << r.rows_per_sec_t4
+              << ", \"rows_per_sec_t8\": " << r.rows_per_sec_t8
+              << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+              << "}" << (i + 1 == b.backends.size() ? "\n" : ",\n");
+  }
+  std::cout << "    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main() {
+  const model::Dataset lulesh = lulesh_dataset();
+  const model::Dataset fti = fti_dataset();
+  const model::Dataset lulesh_dse = lulesh_dse_dataset();
+  const model::Dataset fti_dse = fti_dse_dataset();
+  util::TaskPool pool4(4);
+  util::TaskPool pool8(8);
+
+  struct Entry {
+    const char* dataset;
+    const model::Dataset* data;
+    bool gated;        ///< champion speedups feed the exit-code gates
+    std::size_t pop;   ///< programs per population
+    bool with_gp;      ///< also bench the Expr::random gp_mix population
+    PopulationBench champion;
+    PopulationBench gp;
+  };
+  std::vector<Entry> entries = {
+      {"lulesh_timestep", &lulesh, false, 256, true, {}, {}},
+      {"fti_checkpoint", &fti, false, 256, true, {}, {}},
+      {"dse_lulesh_sweep", &lulesh_dse, true, 64, false, {}, {}},
+      {"dse_fti_sweep", &fti_dse, true, 64, false, {}, {}}};
+  for (Entry& e : entries) {
+    e.champion = bench_population(
+        make_population(e.pop, e.data->num_params(), 17, true), *e.data, pool4,
+        pool8);
+    if (e.with_gp)
+      e.gp = bench_population(
+          make_population(e.pop, e.data->num_params(), 18, false), *e.data,
+          pool4, pool8);
+  }
+
+  bool identical = true;
+  double min_avx2_speedup = 1e300, min_unrolled_speedup = 1e300;
+  for (const Entry& e : entries) {
+    for (const PopulationBench* pb : {&e.champion, &e.gp})
+      for (const BackendResult& r : pb->backends) identical &= r.bit_identical;
+    if (!e.gated) continue;
+    const double scalar = backend_rate_t1(e.champion, model::EvalBackend::kScalar);
+    if (scalar > 0) {
+      min_unrolled_speedup = std::min(
+          min_unrolled_speedup,
+          backend_rate_t1(e.champion, model::EvalBackend::kUnrolled) / scalar);
+      if (model::avx2_supported())
+        min_avx2_speedup = std::min(
+            min_avx2_speedup,
+            backend_rate_t1(e.champion, model::EvalBackend::kAvx2) / scalar);
+    }
+  }
+  const bool gates_pass =
+      identical && min_unrolled_speedup >= 1.8 &&
+      (!model::avx2_supported() || min_avx2_speedup >= 4.0);
+
+  std::cout.precision(6);
+  std::cout << "{\n"
+            << "  \"avx2_supported\": "
+            << (model::avx2_supported() ? "true" : "false") << ",\n"
+            << "  \"default_backend\": \""
+            << model::to_string(model::active_backend()) << "\",\n"
+            << "  \"rows\": {\"lulesh_timestep\": " << lulesh.num_rows()
+            << ", \"fti_checkpoint\": " << fti.num_rows()
+            << ", \"dse_lulesh_sweep\": " << lulesh_dse.num_rows()
+            << ", \"dse_fti_sweep\": " << fti_dse.num_rows() << "},\n"
+            << "  \"datasets\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::cout << "  \"" << entries[i].dataset << "\": {\n";
+    print_population("champion", entries[i].champion, !entries[i].with_gp);
+    if (entries[i].with_gp) print_population("gp_mix", entries[i].gp, true);
+    std::cout << "  }" << (i + 1 == entries.size() ? "\n" : ",\n");
+  }
+  std::cout << "  },\n"
+            << "  \"bit_identical\": " << (identical ? "true" : "false")
+            << ",\n"
+            << "  \"min_dse_unrolled_speedup_t1\": " << min_unrolled_speedup
+            << ",\n"
+            << "  \"min_dse_avx2_speedup_t1\": "
+            << (model::avx2_supported() ? min_avx2_speedup : 0.0) << ",\n"
+            << "  \"gates\": {\"scope\": \"dse champion populations, 1 "
+               "thread\", \"unrolled_min\": 1.8, \"avx2_min\": 4.0, "
+               "\"pass\": "
+            << (gates_pass ? "true" : "false") << "}\n"
+            << "}\n";
+
+  if (!identical)
+    std::cerr << "DIVERGENCE: a default-mode backend disagrees with "
+                 "Expr::eval\n";
+  else if (!gates_pass)
+    std::cerr << "GATE: speedup below threshold (unrolled "
+              << min_unrolled_speedup << " < 1.8 or avx2 " << min_avx2_speedup
+              << " < 4.0)\n";
+  return gates_pass ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+#pragma once
+// 32-byte-aligned, tail-padded double storage for the SIMD batch
+// evaluators (model/expr_simd.*).
+//
+// The vector backends process rows in packs of kSimdWidth doubles with
+// aligned loads/stores. Instead of masking every pack against the row
+// count, strips are padded: a buffer holding n logical values always owns
+// writable storage up to padded_rows(n), and for *input* strips (dataset
+// columns, the out-of-range-variable zero source) the pad lanes are
+// guaranteed zero, so a full-width op over the pad computes harmless,
+// deterministic values that the tail copy simply never reads. The
+// protected-operator semantics (expr.hpp) make every opcode total and
+// non-trapping over zeros, which is what makes the padding safe.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace ftbesst::model {
+
+/// Alignment of every strip base, in bytes (one __m256d).
+inline constexpr std::size_t kSimdAlign = 32;
+/// Rows per padded pack. A multiple of every backend's lane width (4), and
+/// of kSimdAlign/sizeof(double), so each pack-aligned offset into a strip
+/// is itself 32-byte aligned.
+inline constexpr std::size_t kSimdWidth = 8;
+
+/// Smallest multiple of kSimdWidth >= rows.
+[[nodiscard]] constexpr std::size_t padded_rows(std::size_t rows) noexcept {
+  return (rows + (kSimdWidth - 1)) & ~(kSimdWidth - 1);
+}
+
+[[nodiscard]] inline bool is_simd_aligned(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % kSimdAlign == 0;
+}
+
+/// Grow-friendly aligned buffer of doubles.
+///
+/// Invariant: after any sequence of resize()/push_back()/assign_zero(),
+/// the slots [size(), padded_rows(size())) read as 0.0 and the base
+/// pointer is kSimdAlign-aligned. (resize() re-zeros the pad region, so
+/// the invariant survives shrinking too.)
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { deallocate(); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      deallocate();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      resize(other.size_);
+      if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(double));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_; }
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] double operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] double& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Set the logical size, keeping the first min(old, n) values. Newly
+  /// exposed slots and the pad region [n, padded_rows(n)) are zeroed.
+  void resize(std::size_t n) {
+    reserve(n);
+    if (n > size_) {
+      std::memset(data_ + size_, 0, (padded_rows(n) - size_) * sizeof(double));
+    } else if (n < size_) {
+      // Shrink: old values may sit inside the new pad region; restore it.
+      std::memset(data_ + n, 0, (padded_rows(n) - n) * sizeof(double));
+    }
+    size_ = n;
+  }
+
+  /// resize(n) with every slot (and the pad) zeroed.
+  void assign_zero(std::size_t n) {
+    reserve(n);
+    std::memset(data_, 0, padded_rows(n) * sizeof(double));
+    size_ = n;
+  }
+
+  void push_back(double v) {
+    if (size_ == capacity_) reserve(size_ == 0 ? kSimdWidth : size_ * 2);
+    // The slot being claimed was a zero pad slot; pad slots beyond it are
+    // untouched, so the pad invariant holds without re-zeroing.
+    data_[size_++] = v;
+  }
+
+  void clear() noexcept {
+    if (data_ != nullptr)
+      std::memset(data_, 0, padded_rows(size_) * sizeof(double));
+    size_ = 0;
+  }
+
+ private:
+  /// Ensure capacity for n values plus their pad; new memory fully zeroed.
+  void reserve(std::size_t n) {
+    const std::size_t need = padded_rows(n);
+    if (need <= capacity_) return;
+    auto* fresh = static_cast<double*>(::operator new(
+        need * sizeof(double), std::align_val_t{kSimdAlign}));
+    if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(double));
+    std::memset(fresh + size_, 0, (need - size_) * sizeof(double));
+    deallocate();
+    data_ = fresh;
+    capacity_ = need;
+  }
+
+  void deallocate() noexcept {
+    if (data_ != nullptr)
+      ::operator delete(data_, std::align_val_t{kSimdAlign});
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;  // always a multiple of kSimdWidth
+};
+
+}  // namespace ftbesst::model

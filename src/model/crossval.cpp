@@ -45,6 +45,9 @@ CrossValReport cross_validate(const Dataset& data, const FitOptions& options,
     // train_fraction 1.0 would starve the fitter's internal test split, so
     // we let fit_kernel_model keep its internal split of the training part.
     const FittedKernel fitted = fit_kernel_model(train, per_fold);
+    // validate_mape scores the held-out fold through predict_batch, which
+    // for symreg kernels runs the active ExprProgram backend; backends are
+    // bit-identical, so fold scores don't depend on FTBESST_SIMD.
     fold_mapes[fold] = validate_mape(*fitted.model, held);
   });
 

@@ -2,26 +2,28 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "model/expr_ops.hpp"
+#include "model/expr_simd.hpp"
+
 namespace ftbesst::model {
 
 namespace {
 
-// Protected scalar kernels — the single definition the folder, the batch
-// loops and the single-point evaluator all use, matching Expr::eval's
-// switch exactly.
-inline double op_add(double a, double b) { return a + b; }
-inline double op_sub(double a, double b) { return a - b; }
-inline double op_mul(double a, double b) { return a * b; }
-inline double op_div(double num, double den) {
-  return std::abs(den) < 1e-9 ? num : num / den;
-}
-inline double op_log(double x) { return std::log(std::abs(x) + 1.0); }
-inline double op_sqrt(double x) { return std::sqrt(std::abs(x)); }
+// Protected scalar kernels — shared with every other evaluator through
+// model/expr_ops.hpp so the folder, the strip loops, the single-point
+// evaluator, and the SIMD backends' scalar lanes are one definition.
+using detail::op_add;
+using detail::op_div;
+using detail::op_log;
+using detail::op_mul;
+using detail::op_sqrt;
+using detail::op_sub;
 
 inline std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 
@@ -330,6 +332,15 @@ void ExprProgram::eval_dataset(const Dataset& data, std::vector<double>& out,
     std::fill(out.begin(), out.end(), 0.0);
     return;
   }
+  // Runtime backend dispatch (see expr_simd.hpp). The strip interpreter
+  // below is EvalBackend::kScalar — kept verbatim as the reference batch
+  // path every vector backend must match bit for bit.
+  if (const EvalBackend backend = active_backend();
+      backend != EvalBackend::kScalar) {
+    simd::eval_batch(code_, root_, regs_, data, out, scratch, backend);
+    return;
+  }
+  simd::count_eval(EvalBackend::kScalar, n);
   scratch.regs.resize(static_cast<std::size_t>(regs_) * n);
   double* const base = scratch.regs.data();
   const std::size_t num_params = data.num_params();
@@ -341,7 +352,8 @@ void ExprProgram::eval_dataset(const Dataset& data, std::vector<double>& out,
         return {base + static_cast<std::size_t>(idx) * n, 0.0, false};
       case Src::kCol:
         if (idx < num_params) return {data.column(idx).data(), 0.0, false};
-        if (scratch.zeros.size() < n) scratch.zeros.assign(n, 0.0);
+        if (scratch.zeros.size() < n) scratch.zeros.assign_zero(n);
+        assert(is_simd_aligned(scratch.zeros.data()));
         return {scratch.zeros.data(), 0.0, false};
       case Src::kLit:
       default:

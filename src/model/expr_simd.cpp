@@ -1,0 +1,244 @@
+#include "model/expr_simd.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <string_view>
+
+#include "model/dataset.hpp"
+#include "model/expr_ops.hpp"
+#include "model/expr_program.hpp"
+#include "model/expr_simd_block.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace ftbesst::model {
+
+namespace {
+
+// Process-wide backend override: -1 = none, else the EvalBackend value.
+std::atomic<int> g_override{-1};
+
+/// Degrade an unavailable AVX2 request to the portable unrolled backend
+/// (warning once — a silent fallback would make FTBESST_SIMD=avx2 bench
+/// numbers lie on a non-AVX2 host).
+EvalBackend clamp_supported(EvalBackend b) noexcept {
+  if ((b == EvalBackend::kAvx2 || b == EvalBackend::kAvx2Fast) &&
+      !avx2_supported()) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      FTBESST_WARN << "FTBESST_SIMD: avx2 backend not available on this "
+                      "host/build; falling back to unrolled";
+    return EvalBackend::kUnrolled;
+  }
+  return b;
+}
+
+EvalBackend env_backend() {
+  if (const char* env = std::getenv("FTBESST_SIMD"); env != nullptr) {
+    const std::string_view name(env);
+    if (const auto parsed = parse_backend(name))
+      return clamp_supported(*parsed);
+    if (!name.empty() && name != "auto")
+      FTBESST_WARN << "FTBESST_SIMD: unknown backend '" << env
+                   << "'; using auto";
+  }
+  // auto = the best bit-identical backend the host supports. kAvx2Fast is
+  // never auto-selected: it trades the bit-identity contract away.
+  return avx2_supported() ? EvalBackend::kAvx2 : EvalBackend::kUnrolled;
+}
+
+}  // namespace
+
+const char* to_string(EvalBackend backend) noexcept {
+  switch (backend) {
+    case EvalBackend::kScalar: return "scalar";
+    case EvalBackend::kUnrolled: return "unrolled";
+    case EvalBackend::kAvx2: return "avx2";
+    case EvalBackend::kAvx2Fast: return "avx2fast";
+  }
+  return "scalar";
+}
+
+std::optional<EvalBackend> parse_backend(std::string_view name) noexcept {
+  if (name == "off" || name == "scalar") return EvalBackend::kScalar;
+  if (name == "unrolled") return EvalBackend::kUnrolled;
+  if (name == "avx2") return EvalBackend::kAvx2;
+  if (name == "avx2fast" || name == "fast") return EvalBackend::kAvx2Fast;
+  return std::nullopt;
+}
+
+bool avx2_supported() noexcept {
+#if defined(FTBESST_SIMD_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+EvalBackend active_backend() noexcept {
+  if (const int ov = g_override.load(std::memory_order_relaxed); ov >= 0)
+    return clamp_supported(static_cast<EvalBackend>(ov));
+  static const EvalBackend resolved = env_backend();
+  return resolved;
+}
+
+void set_backend_override(std::optional<EvalBackend> backend) noexcept {
+  g_override.store(backend ? static_cast<int>(*backend) : -1,
+                   std::memory_order_relaxed);
+}
+
+std::optional<EvalBackend> backend_override() noexcept {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov < 0) return std::nullopt;
+  return static_cast<EvalBackend>(ov);
+}
+
+namespace simd {
+
+void count_eval(EvalBackend backend, std::size_t rows) noexcept {
+  if (!obs::enabled()) return;
+  static const obs::Counter evals[4] = {
+      obs::counter("model.evals.scalar"),
+      obs::counter("model.evals.unrolled"),
+      obs::counter("model.evals.avx2"),
+      obs::counter("model.evals.avx2fast"),
+  };
+  static const obs::Counter rows_by_backend[4] = {
+      obs::counter("model.rows.scalar"),
+      obs::counter("model.rows.unrolled"),
+      obs::counter("model.rows.avx2"),
+      obs::counter("model.rows.avx2fast"),
+  };
+  // Pad lanes evaluated beyond the real rows by the blocked backends; the
+  // tail-overhead fraction is model.rows.pad over the vector backends'
+  // model.rows.* sum. The scalar strip path is un-padded and adds nothing.
+  static const obs::Counter pad_rows = obs::counter("model.rows.pad");
+  const auto i = static_cast<std::size_t>(backend);
+  evals[i].add(1);
+  rows_by_backend[i].add(rows);
+  if (backend != EvalBackend::kScalar) pad_rows.add(padded_rows(rows) - rows);
+}
+
+void eval_batch(const std::vector<ProgInstr>& code, std::uint16_t root,
+                std::uint16_t num_regs, const Dataset& data,
+                std::vector<double>& out, EvalScratch& scratch,
+                EvalBackend backend) {
+  const std::size_t n = data.num_rows();
+  out.resize(n);
+  if (code.empty()) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+
+  const std::size_t num_params = data.num_params();
+  scratch.cols.resize(num_params);
+  for (std::size_t d = 0; d < num_params; ++d) {
+    const double* const col = data.aligned_column(d);
+    assert(is_simd_aligned(col));
+    scratch.cols[d] = col;
+  }
+  scratch.block_regs.resize(static_cast<std::size_t>(num_regs) *
+                            simd_detail::kBlockRows);
+  assert(is_simd_aligned(scratch.block_regs.data()));
+
+  simd_detail::BatchArgs args;
+  args.code = code.data();
+  args.ncode = code.size();
+  args.root = root;
+  args.cols = scratch.cols.data();
+  args.num_cols = num_params;
+  args.rows = n;
+  args.regfile = scratch.block_regs.data();
+  args.out = out.data();
+
+  count_eval(backend, n);
+  switch (backend) {
+#ifdef FTBESST_SIMD_AVX2
+    case EvalBackend::kAvx2:
+      simd_detail::eval_avx2(args);
+      break;
+    case EvalBackend::kAvx2Fast:
+      simd_detail::eval_avx2_fast(args);
+      break;
+#endif
+    case EvalBackend::kUnrolled:
+    default:  // unreachable for clamped backends; kScalar never routes here
+      simd_detail::eval_unrolled(args);
+      break;
+  }
+}
+
+}  // namespace simd
+
+namespace simd_detail {
+namespace {
+
+/// Portable 4-wide policy: a plain struct of doubles and scalar protected
+/// kernels, unrolled so the baseline-ISA auto-vectorizer has straight-line
+/// independent lanes to work with. Compiled WITHOUT -mavx2 — this is the
+/// fallback for hosts where the AVX2 TU cannot run.
+struct UnrolledPolicy {
+  static constexpr std::size_t kWidth = 4;
+  struct Pack {
+    double v[kWidth];
+  };
+  static Pack load(const double* p) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static void store(double* p, Pack x) {
+    for (std::size_t i = 0; i < kWidth; ++i) p[i] = x.v[i];
+  }
+  static Pack splat(double c) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = c;
+    return r;
+  }
+  static Pack add(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = detail::op_add(a.v[i], b.v[i]);
+    return r;
+  }
+  static Pack sub(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = detail::op_sub(a.v[i], b.v[i]);
+    return r;
+  }
+  static Pack mul(Pack a, Pack b) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = detail::op_mul(a.v[i], b.v[i]);
+    return r;
+  }
+  static Pack div_protected(Pack num, Pack den) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = detail::op_div(num.v[i], den.v[i]);
+    return r;
+  }
+  static Pack log_protected(Pack x) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = detail::op_log(x.v[i]);
+    return r;
+  }
+  static Pack sqrt_protected(Pack x) {
+    Pack r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.v[i] = detail::op_sqrt(x.v[i]);
+    return r;
+  }
+};
+
+}  // namespace
+
+void eval_unrolled(const BatchArgs& args) {
+  eval_blocked<UnrolledPolicy>(args);
+}
+
+}  // namespace simd_detail
+
+}  // namespace ftbesst::model

@@ -1,0 +1,118 @@
+#pragma once
+// SIMD-batched execution backends for ExprProgram.
+//
+// ExprProgram::eval_dataset dispatches to one of several interpreters for
+// the same ProgInstr stream:
+//
+//   kScalar    the PR-2 strip interpreter in expr_program.cpp: one pass
+//              over an n-row strip per instruction (reference batch path).
+//   kUnrolled  portable blocked interpreter: rows are processed in
+//              64-row blocks held in an L1-resident register file, each
+//              opcode applied 4 lanes at a time by plain scalar code the
+//              compiler may auto-vectorize at the baseline ISA.
+//   kAvx2      the same blocked interpreter with __m256d lanes
+//              (TU-local -mavx2 -mfma; selected only when CPUID reports
+//              AVX2 and the FTBESST_SIMD CMake option compiled it in).
+//   kAvx2Fast  opt-in only: kAvx2 with log1p|x| computed by the libmvec
+//              vector log instead of per-lane scalar libm. NOT bit
+//              identical — documented ULP bound, see ARCHITECTURE.md
+//              "SIMD execution". Never selected by default.
+//
+// Vector semantics contract: kScalar, kUnrolled, and kAvx2 are bit
+// identical to per-row Expr::eval. Protected divide and the final
+// non-finite clamp vectorize with masked blends (same selected values,
+// same NaN propagation as the scalar ternary); sqrt|x| uses the
+// correctly-rounded hardware vector sqrt over a sign-cleared input;
+// log1p|x| calls scalar libm per lane inside the vector loop. Pad lanes
+// (rows beyond the dataset, see aligned_buffer.hpp) compute over zeros
+// and are never copied out.
+//
+// Backend selection: FTBESST_SIMD environment variable
+// (off|scalar|unrolled|avx2|avx2fast|auto; unset = auto = best
+// bit-identical backend the host supports), overridable per-process with
+// set_backend_override (tests, verify harness, CLI).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "model/aligned_buffer.hpp"
+
+namespace ftbesst::model {
+
+class Dataset;
+struct EvalScratch;
+struct ProgInstr;
+
+enum class EvalBackend : std::uint8_t {
+  kScalar = 0,
+  kUnrolled = 1,
+  kAvx2 = 2,
+  kAvx2Fast = 3,
+};
+
+/// Stable lower-case name ("scalar", "unrolled", "avx2", "avx2fast").
+[[nodiscard]] const char* to_string(EvalBackend backend) noexcept;
+
+/// Parse a backend name as accepted by FTBESST_SIMD ("off" and "scalar"
+/// are synonyms, "fast" means "avx2fast"); nullopt for unknown names and
+/// for "auto"/"" (which mean: use the default resolution).
+[[nodiscard]] std::optional<EvalBackend> parse_backend(
+    std::string_view name) noexcept;
+
+/// True when the host CPU reports AVX2 *and* the AVX2 TU was compiled in
+/// (CMake option FTBESST_SIMD).
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// The backend eval_dataset will use right now: the process-wide override
+/// if one is set, else the FTBESST_SIMD environment resolution (cached at
+/// first use). Requests for an unavailable AVX2 backend degrade to
+/// kUnrolled, so the returned value is always runnable.
+[[nodiscard]] EvalBackend active_backend() noexcept;
+
+/// Process-wide backend override (atomic; nullopt restores the
+/// environment resolution). Used by tests, the verify harness's
+/// backend-invariance leg, and bench_ext_simd. Do not flip concurrently
+/// with in-flight evaluations if you need every evaluation attributed to
+/// one backend — the switch itself is race-free but mid-batch evaluations
+/// keep the backend they started with.
+void set_backend_override(std::optional<EvalBackend> backend) noexcept;
+[[nodiscard]] std::optional<EvalBackend> backend_override() noexcept;
+
+/// RAII backend override for tests: forces `backend` on construction,
+/// restores the previous override state on destruction.
+class BackendOverrideGuard {
+ public:
+  explicit BackendOverrideGuard(EvalBackend backend)
+      : previous_(backend_override()) {
+    set_backend_override(backend);
+  }
+  ~BackendOverrideGuard() { set_backend_override(previous_); }
+  BackendOverrideGuard(const BackendOverrideGuard&) = delete;
+  BackendOverrideGuard& operator=(const BackendOverrideGuard&) = delete;
+
+ private:
+  std::optional<EvalBackend> previous_;
+};
+
+namespace simd {
+
+/// Blocked batch evaluation of a compiled program over `data` into `out`
+/// (resized to data.num_rows()) using `backend` (kUnrolled/kAvx2/
+/// kAvx2Fast; kScalar is handled by ExprProgram itself). Bit-identical to
+/// the scalar path except under kAvx2Fast. Called by
+/// ExprProgram::eval_dataset — not meant for direct use.
+void eval_batch(const std::vector<ProgInstr>& code, std::uint16_t root,
+                std::uint16_t num_regs, const Dataset& data,
+                std::vector<double>& out, EvalScratch& scratch,
+                EvalBackend backend);
+
+/// Dispatch accounting hook shared by all backends (obs counters:
+/// model.evals.<backend>, model.rows.<backend>, model.pad_rows).
+void count_eval(EvalBackend backend, std::size_t rows) noexcept;
+
+}  // namespace simd
+
+}  // namespace ftbesst::model

@@ -1,0 +1,85 @@
+// The ONLY translation unit built with -mavx2 -mfma (CMake option
+// FTBESST_SIMD). Nothing here may leak into a header: on a non-AVX2 host
+// these functions exist in the binary but are never dispatched to
+// (avx2_supported() gates them), and the rest of the build stays
+// baseline-ISA.
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "model/expr_ops.hpp"
+#include "model/expr_simd_block.hpp"
+
+namespace ftbesst::model::simd_detail {
+namespace {
+
+inline __m256d abs_pd(__m256d x) {
+  // Clear the sign bit; preserves NaN payloads, unlike a compare/select.
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+}
+
+/// Bit-identical __m256d policy (EvalBackend::kAvx2).
+struct Avx2Policy {
+  static constexpr std::size_t kWidth = 4;
+  using Pack = __m256d;
+  static Pack load(const double* p) { return _mm256_load_pd(p); }
+  static void store(double* p, Pack x) { _mm256_store_pd(p, x); }
+  static Pack splat(double c) { return _mm256_set1_pd(c); }
+  static Pack add(Pack a, Pack b) { return _mm256_add_pd(a, b); }
+  static Pack sub(Pack a, Pack b) { return _mm256_sub_pd(a, b); }
+  static Pack mul(Pack a, Pack b) { return _mm256_mul_pd(a, b); }
+  static Pack div_protected(Pack num, Pack den) {
+    // abs(den) < 1e-9 ? num : num / den, as a masked blend. The ordered
+    // quiet compare is false for NaN denominators, so NaN propagates
+    // through the divide exactly like the scalar ternary. The divide runs
+    // on every lane and protected lanes discard it via the blend — the FP
+    // environment is non-trapping, so that speculation is value-safe.
+    const Pack guard =
+        _mm256_cmp_pd(abs_pd(den), _mm256_set1_pd(1e-9), _CMP_LT_OQ);
+    return _mm256_blendv_pd(_mm256_div_pd(num, den), num, guard);
+  }
+  static Pack log_protected(Pack x) {
+    // Bit-identity requires scalar libm per lane: no vector log kernel is
+    // correctly rounded. The loads, dispatch, and the rest of the program
+    // still amortize; only this op pays scalar cost.
+    alignas(kSimdAlign) double t[kWidth];
+    _mm256_store_pd(t, x);
+    for (std::size_t i = 0; i < kWidth; ++i) t[i] = detail::op_log(t[i]);
+    return _mm256_load_pd(t);
+  }
+  static Pack sqrt_protected(Pack x) {
+    // vsqrtpd is correctly rounded (IEEE 754 requires it), so sqrt|x| is
+    // bit-identical to std::sqrt(std::abs(x)).
+    return _mm256_sqrt_pd(abs_pd(x));
+  }
+};
+
+/// Opt-in fast-math policy (EvalBackend::kAvx2Fast): identical to
+/// Avx2Policy except log1p|x| uses the glibc libmvec vector log. glibc
+/// documents its vector math routines as ≤ 4 ulp from correctly rounded
+/// (observed: last-ulp differences vs scalar std::log); abs and +1.0 are
+/// exact, so that bound is the whole deviation from the scalar contract.
+/// Never auto-selected — callers must ask for it by name.
+#if defined(__GLIBC__)
+extern "C" __m256d _ZGVdN4v_log(__m256d);
+
+struct Avx2FastPolicy : Avx2Policy {
+  static Pack log_protected(Pack x) {
+    return _ZGVdN4v_log(_mm256_add_pd(abs_pd(x), _mm256_set1_pd(1.0)));
+  }
+};
+#else
+// No libmvec: "fast" degenerates to the bit-identical policy.
+using Avx2FastPolicy = Avx2Policy;
+#endif
+
+}  // namespace
+
+void eval_avx2(const BatchArgs& args) { eval_blocked<Avx2Policy>(args); }
+
+void eval_avx2_fast(const BatchArgs& args) {
+  eval_blocked<Avx2FastPolicy>(args);
+}
+
+}  // namespace ftbesst::model::simd_detail

@@ -1,0 +1,263 @@
+#pragma once
+// Internal blocked interpreter shared by the ExprProgram batch backends.
+//
+// The PR-2 scalar path in expr_program.cpp runs each instruction as one
+// pass over an n-row strip; at calibration sizes (hundreds to thousands of
+// rows, dozens of registers) every instruction therefore streams its
+// operands through memory. The vector backends instead tile rows into
+// kBlockRows-row blocks and run the *whole program* on one block before
+// moving to the next, so the block register file (num_regs x kBlockRows
+// doubles) stays L1-resident and each instruction costs only arithmetic
+// plus register-file traffic. That blocking — not the lane width alone —
+// is what buys the headline speedup over the already auto-vectorized
+// scalar strips; see ARCHITECTURE.md "SIMD execution".
+//
+// The interpreter is a template over a lane Policy providing an aligned
+// Pack of kWidth doubles and the protected operations of the Expr
+// semantics contract (expr_ops.hpp). Policies live in the backend TUs:
+// expr_simd.cpp instantiates the portable 4-wide scalar-unrolled policy at
+// the baseline ISA; expr_simd_avx2.cpp (compiled with -mavx2 -mfma only
+// when CMake option FTBESST_SIMD is ON) instantiates the __m256d policies.
+// Keeping this header free of intrinsics is what keeps the rest of the
+// build baseline-ISA-safe.
+//
+// Alignment/padding preconditions (asserted in debug builds by the
+// dispatcher in expr_simd.cpp):
+//   * every cols[d] and regfile are kSimdAlign-aligned,
+//   * cols[d] holds padded_rows(rows) doubles with the pad lanes zero,
+//   * regfile holds num_regs x kBlockRows doubles.
+// kBlockRows is a multiple of kSimdWidth, so every block base offset into
+// a column and every register strip base stay kSimdAlign-aligned and full
+// Pack loads/stores never need a tail mask: pad lanes compute over zeros
+// (total, non-trapping under the protected ops) and the final clamp-copy
+// writes only the `rows` real values into `out`.
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "model/aligned_buffer.hpp"
+#include "model/expr_program.hpp"
+
+namespace ftbesst::model::simd_detail {
+
+/// Rows per block. 64 rows x 8 bytes = one 512-byte strip per register;
+/// the register file of a maximal GP program (~48 registers at the default
+/// max_nodes) is ~24 KiB — inside a 32 KiB L1d with room for the operand
+/// columns of the current block.
+inline constexpr std::size_t kBlockRows = 64;
+static_assert(kBlockRows % kSimdWidth == 0);
+
+/// Aligned all-zero block: the read target for out-of-range variables
+/// (Src::kCol with an index beyond the dataset). Reading it at offset 0
+/// for every block is fine — it is all zeros, which is exactly the
+/// out-of-range contract.
+alignas(kSimdAlign) inline constexpr double kZeroBlock[kBlockRows] = {};
+
+/// Everything a backend needs for one batch evaluation, resolved by the
+/// dispatcher (expr_simd.cpp) so the per-TU code stays small.
+struct BatchArgs {
+  const ProgInstr* code = nullptr;
+  std::size_t ncode = 0;
+  std::uint16_t root = 0;
+  const double* const* cols = nullptr;  ///< aligned, padded columns
+  std::size_t num_cols = 0;
+  std::size_t rows = 0;       ///< logical row count (un-padded)
+  double* regfile = nullptr;  ///< num_regs x kBlockRows, aligned
+  double* out = nullptr;      ///< rows doubles, any alignment
+};
+
+// Backend entry points, one per TU-instantiated policy. eval_avx2 /
+// eval_avx2_fast exist only when the AVX2 TU is compiled in
+// (FTBESST_SIMD_AVX2); the dispatcher never references them otherwise.
+void eval_unrolled(const BatchArgs& args);
+void eval_avx2(const BatchArgs& args);
+void eval_avx2_fast(const BatchArgs& args);
+
+/// Resolved block operand: a contiguous aligned array or a literal.
+struct BlockOperand {
+  const double* p = nullptr;
+  double lit = 0.0;
+  bool is_lit = false;
+};
+
+template <class P, class F>
+inline void block_loop2(double* dst, std::size_t m, const BlockOperand& a,
+                        const BlockOperand& b, F f) {
+  // Like the scalar binary_loop, the three branches preserve the operand
+  // ORDER of the source tree (NaN payload propagation is order-sensitive).
+  // Loops are hand-unrolled two packs per iteration; m is a multiple of
+  // kSimdWidth, which covers exactly two packs of every current policy.
+  static_assert(kSimdWidth % (2 * P::kWidth) == 0,
+                "inner unroll assumes two packs per kSimdWidth");
+  if (!a.is_lit && !b.is_lit) {
+    const double* const x = a.p;
+    const double* const y = b.p;
+    for (std::size_t i = 0; i < m; i += 2 * P::kWidth) {
+      P::store(dst + i, f(P::load(x + i), P::load(y + i)));
+      P::store(dst + i + P::kWidth,
+               f(P::load(x + i + P::kWidth), P::load(y + i + P::kWidth)));
+    }
+  } else if (b.is_lit) {
+    const double* const x = a.p;
+    const auto c = P::splat(b.lit);
+    for (std::size_t i = 0; i < m; i += 2 * P::kWidth) {
+      P::store(dst + i, f(P::load(x + i), c));
+      P::store(dst + i + P::kWidth, f(P::load(x + i + P::kWidth), c));
+    }
+  } else {
+    const auto c = P::splat(a.lit);
+    const double* const y = b.p;
+    for (std::size_t i = 0; i < m; i += 2 * P::kWidth) {
+      P::store(dst + i, f(c, P::load(y + i)));
+      P::store(dst + i + P::kWidth, f(c, P::load(y + i + P::kWidth)));
+    }
+  }
+}
+
+/// block_loop2 with the instruction's fused `post` unary composed on top,
+/// nesting the identical operations in the identical order as the scalar
+/// binary_dispatch.
+template <class P, class F>
+inline void block_binary(double* dst, std::size_t m, const BlockOperand& a,
+                         const BlockOperand& b, Post post, F f) {
+  using Pack = typename P::Pack;
+  switch (post) {
+    case Post::kNone:
+      block_loop2<P>(dst, m, a, b, f);
+      break;
+    case Post::kLog:
+      block_loop2<P>(dst, m, a, b, [f](Pack x, Pack y) {
+        return P::log_protected(f(x, y));
+      });
+      break;
+    case Post::kSqrt:
+      block_loop2<P>(dst, m, a, b, [f](Pack x, Pack y) {
+        return P::sqrt_protected(f(x, y));
+      });
+      break;
+  }
+}
+
+template <class P, class F>
+inline void block_unary(double* dst, std::size_t m, const BlockOperand& a,
+                        Post post, F f) {
+  using Pack = typename P::Pack;
+  // A unary's operand is never a literal: constant operands were folded.
+  assert(!a.is_lit);
+  const double* const x = a.p;
+  switch (post) {
+    case Post::kNone:
+      for (std::size_t i = 0; i < m; i += P::kWidth)
+        P::store(dst + i, f(P::load(x + i)));
+      break;
+    case Post::kLog:
+      for (std::size_t i = 0; i < m; i += P::kWidth)
+        P::store(dst + i, P::log_protected(f(P::load(x + i))));
+      break;
+    case Post::kSqrt:
+      for (std::size_t i = 0; i < m; i += P::kWidth)
+        P::store(dst + i, P::sqrt_protected(f(P::load(x + i))));
+      break;
+  }
+}
+
+/// The blocked interpreter. One instantiation per policy, in that
+/// policy's TU.
+template <class P>
+void eval_blocked(const BatchArgs& args) {
+  const std::size_t n = args.rows;
+  const std::size_t pn = padded_rows(n);
+  double* const rf = args.regfile;
+
+  const auto resolve = [&](Src src, std::uint16_t idx, double value,
+                           std::size_t base) -> BlockOperand {
+    switch (src) {
+      case Src::kReg:
+        return {rf + static_cast<std::size_t>(idx) * kBlockRows, 0.0, false};
+      case Src::kCol:
+        if (idx < args.num_cols) return {args.cols[idx] + base, 0.0, false};
+        return {kZeroBlock, 0.0, false};
+      case Src::kLit:
+      default:
+        return {nullptr, value, true};
+    }
+  };
+
+  for (std::size_t base = 0; base < pn; base += kBlockRows) {
+    // Block length: full blocks except possibly the last, always a
+    // multiple of kSimdWidth (pn is padded, kBlockRows is a multiple).
+    const std::size_t m = pn - base < kBlockRows ? pn - base : kBlockRows;
+    for (std::size_t k = 0; k < args.ncode; ++k) {
+      const ProgInstr& in = args.code[k];
+      double* const dst = rf + static_cast<std::size_t>(in.dst) * kBlockRows;
+      switch (in.op) {
+        case Op::kConst: {  // root-leaf only
+          const auto c = P::splat(in.value);
+          for (std::size_t i = 0; i < m; i += P::kWidth) P::store(dst + i, c);
+          break;
+        }
+        case Op::kVar: {  // root-leaf only: `a` is the variable index
+          const BlockOperand x = resolve(Src::kCol, in.a, 0.0, base);
+          for (std::size_t i = 0; i < m; i += P::kWidth)
+            P::store(dst + i, P::load(x.p + i));
+          break;
+        }
+        case Op::kAdd:
+          block_binary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                          resolve(in.b_src, in.b, in.value, base), in.post,
+                          [](typename P::Pack x, typename P::Pack y) {
+                            return P::add(x, y);
+                          });
+          break;
+        case Op::kSub:
+          block_binary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                          resolve(in.b_src, in.b, in.value, base), in.post,
+                          [](typename P::Pack x, typename P::Pack y) {
+                            return P::sub(x, y);
+                          });
+          break;
+        case Op::kMul:
+          block_binary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                          resolve(in.b_src, in.b, in.value, base), in.post,
+                          [](typename P::Pack x, typename P::Pack y) {
+                            return P::mul(x, y);
+                          });
+          break;
+        case Op::kDiv:
+          block_binary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                          resolve(in.b_src, in.b, in.value, base), in.post,
+                          [](typename P::Pack x, typename P::Pack y) {
+                            return P::div_protected(x, y);
+                          });
+          break;
+        case Op::kLog:
+          block_unary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                         in.post,
+                         [](typename P::Pack x) { return P::log_protected(x); });
+          break;
+        case Op::kSqrt:
+          block_unary<P>(dst, m, resolve(in.a_src, in.a, in.value, base),
+                         in.post, [](typename P::Pack x) {
+                           return P::sqrt_protected(x);
+                         });
+          break;
+      }
+    }
+    // Clamp-copy the root strip: only the real rows of this block leave
+    // the register file, so pad-lane values (deterministic but
+    // meaningless) are never observable. Scalar on purpose — it is O(n)
+    // once per batch and uses the exact std::isfinite select of the
+    // scalar path.
+    const double* const rootp =
+        rf + static_cast<std::size_t>(args.root) * kBlockRows;
+    const std::size_t valid = n - base < m ? n - base : m;
+    for (std::size_t i = 0; i < valid; ++i) {
+      const double v = rootp[i];
+      args.out[base + i] = std::isfinite(v) ? v : 0.0;
+    }
+  }
+}
+
+}  // namespace ftbesst::model::simd_detail

@@ -23,8 +23,10 @@ std::string to_string(ModelMethod m) {
 }
 
 double validate_mape(const PerfModel& model, const Dataset& data) {
-  // predict_batch routes ExprModel/FeatureModel through their compiled
-  // column-wise paths; other models fall back to the per-row loop.
+  // predict_batch routes ExprModel through the compiled column-wise path
+  // (and from there to the active SIMD backend, bit-identical by contract);
+  // FeatureModel batches its per-row feature evaluation; other models fall
+  // back to the per-row loop.
   std::vector<double> predicted;
   model.predict_batch(data, predicted);
   return util::mape_percent(data.responses(), predicted);

@@ -25,6 +25,9 @@ struct ScaledFit {
 /// Evaluate a compiled candidate on every row of `data` into `out`,
 /// reusing the caller's buffers (the seed allocated a fresh vector per
 /// individual per generation — pure churn in the hottest loop).
+/// eval_dataset dispatches to the active ExprProgram backend
+/// (model/expr_simd.*); all backends are bit-identical by contract, so
+/// fitness — and therefore selection — is backend-invariant.
 void eval_rows(const ExprProgram& prog, const Dataset& data,
                std::vector<double>& out, EvalScratch& scratch) {
   prog.eval_dataset(data, out, scratch);
@@ -150,6 +153,9 @@ double ExprModel::predict(std::span<const double> params) const {
 
 void ExprModel::predict_batch(const Dataset& data,
                               std::vector<double>& out) const {
+  // Column-wise evaluation through the active SIMD backend; the affine
+  // rescale + clamp stays scalar (it is O(rows) against an O(rows * program)
+  // evaluation and auto-vectorizes anyway).
   EvalScratch scratch;
   program_.eval_dataset(data, out, scratch);
   for (double& v : out) v = std::max(0.0, scale_ * v + offset_);

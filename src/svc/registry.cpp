@@ -10,6 +10,7 @@
 #include "apps/testbed.hpp"
 #include "core/montecarlo.hpp"
 #include "ft/checkpoint_cost.hpp"
+#include "model/expr_simd.hpp"
 #include "model/serialize.hpp"
 #include "net/topology.hpp"
 #include "util/stats.hpp"
@@ -259,8 +260,44 @@ Json op_predict(const Registry& registry, const Json& request) {
     throw std::invalid_argument("predict needs a 'kernel' field");
   if (!registry.arch().has_kernel(kernel))
     throw std::invalid_argument("no model bound for kernel '" + kernel + "'");
-  const std::vector<double> params = number_array(request, "params");
   const model::PerfModel& model = registry.arch().kernel(kernel);
+
+  // Batch form: "points": [[...], ...] prices the whole sweep through the
+  // model's compiled batch path (the SIMD-backed eval_dataset for
+  // ExprModel/FeatureModel) — bit-identical to per-point predict, one
+  // column-major pass instead of len(points) tree walks.
+  if (const Json* points_json = request.find("points")) {
+    if (request.find("params"))
+      throw std::invalid_argument("predict takes 'params' or 'points', not both");
+    std::vector<std::vector<double>> points;
+    for (const Json& p : points_json->as_array()) {
+      std::vector<double> point;
+      for (const Json& x : p.as_array()) point.push_back(x.as_number());
+      if (point.empty())
+        throw std::invalid_argument("each predict point needs >= 1 parameter");
+      if (!points.empty() && point.size() != points.front().size())
+        throw std::invalid_argument("predict points must share one arity");
+      points.push_back(std::move(point));
+    }
+    if (points.empty())
+      throw std::invalid_argument("predict needs at least one point");
+    std::vector<std::string> names;
+    for (std::size_t d = 0; d < points.front().size(); ++d)
+      names.push_back("p" + std::to_string(d));
+    model::Dataset data(std::move(names));
+    for (auto& point : points) data.add_row(std::move(point), {0.0});
+    std::vector<double> values;
+    model.predict_batch(data, values);
+    JsonArray out_values;
+    for (const double v : values) out_values.push_back(Json(v));
+    JsonObject out;
+    out["values"] = Json(std::move(out_values));
+    out["model"] = Json(model.describe());
+    out["backend"] = Json(std::string(model::to_string(model::active_backend())));
+    return Json(std::move(out));
+  }
+
+  const std::vector<double> params = number_array(request, "params");
   JsonObject out;
   out["value"] = Json(model.predict(params));
   out["model"] = Json(model.describe());

@@ -17,6 +17,7 @@
 #include <system_error>
 #include <utility>
 
+#include "model/expr_simd.hpp"
 #include "obs/obs.hpp"
 
 namespace ftbesst::svc {
@@ -615,6 +616,12 @@ std::string Server::stats_json() const {
   obj.emplace("coalesced", Json(s.coalesced));
   obj.emplace("in_flight", Json(in_flight_.load(std::memory_order_relaxed)));
   obj.emplace("queue_capacity", Json(options_.queue_capacity));
+  // Which ExprProgram backend prices predict/dse batches in this process
+  // (FTBESST_SIMD resolution), so clients can attribute throughput and
+  // verify parity runs against the right configuration.
+  obj.emplace("eval_backend",
+              Json(std::string(model::to_string(model::active_backend()))));
+  obj.emplace("avx2_supported", Json(model::avx2_supported()));
   obj.emplace("cache", Json(std::move(cache)));
   return Json(std::move(obj)).dump();
 }

@@ -23,6 +23,9 @@
 //  * Young/Daly expected runtime vs ensemble mean (eligible fault
 //    scenarios): within a x1.6 multiplicative band — first-order waste
 //    model vs simulated rollback, so only the scale must match.
+//  * ExprProgram eval backends (scalar strip vs the SIMD batch backends,
+//    model/expr_simd.*): bit-identical over scenario-seeded expressions on
+//    an adversarial dataset — the dispatch must never change a number.
 
 #include <cstdint>
 #include <functional>
@@ -47,7 +50,7 @@ struct DiffTolerances {
 
 struct DiffFailure {
   std::string check;   ///< "analytic_twin" | "des_vs_bsp" | "thread_bits"
-                       ///< | "young_daly" | "exception"
+                       ///< | "young_daly" | "eval_backend" | "exception"
   std::string detail;  ///< human-readable disagreement description
   std::uint64_t generator_seed = 0;  ///< 0 when not generator-produced
   std::uint64_t scenario_index = 0;
@@ -60,6 +63,7 @@ struct DiffReport {
   int engine_checks = 0;
   int thread_checks = 0;
   int young_daly_checks = 0;
+  int backend_checks = 0;
   std::vector<DiffFailure> failures;
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }

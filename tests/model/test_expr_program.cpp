@@ -11,6 +11,7 @@
 #include <cstring>
 #include <limits>
 
+#include "model/expr_simd.hpp"
 #include "model/feature_model.hpp"
 #include "model/symreg.hpp"
 #include "util/rng.hpp"
@@ -129,6 +130,28 @@ TEST(ExprProgram, OutOfRangeVariableReadsZero) {
   Dataset data({"a"});  // only one parameter; var 7 must read 0.0
   data.add_row({42.0}, {1.0});
   expect_bitwise_match(expr, data, "out-of-range var");
+}
+
+TEST(ExprProgram, ScalarScratchZerosAreAlignedAndPadded) {
+  // The scalar strip path serves out-of-range variables from
+  // EvalScratch::zeros, which must honour the same alignment/padding
+  // invariant as dataset columns (the vector backends assert on it and
+  // the strip loops are written against it).
+  BackendOverrideGuard guard(EvalBackend::kScalar);
+  const Expr expr = Expr::binary(Op::kAdd, Expr::variable(7),
+                                 Expr::variable(0));
+  Dataset data({"a"});
+  for (int i = 0; i < 11; ++i) data.add_row({double(i)}, {1.0});
+  const ExprProgram prog = ExprProgram::compile(expr);
+  std::vector<double> out;
+  EvalScratch scratch;
+  prog.eval_dataset(data, out, scratch);
+  ASSERT_GE(scratch.zeros.size(), data.num_rows());
+  EXPECT_TRUE(is_simd_aligned(scratch.zeros.data()));
+  for (std::size_t i = 0; i < padded_rows(scratch.zeros.size()); ++i)
+    EXPECT_EQ(scratch.zeros.data()[i], 0.0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r)
+    EXPECT_TRUE(bits_equal(out[r], double(r)));
 }
 
 TEST(ExprProgram, BareLeafRootsMaterialize) {

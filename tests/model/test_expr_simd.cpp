@@ -1,0 +1,372 @@
+// Property tests for the SIMD batch backends (model/expr_simd.*): every
+// opcode x operand-source combination x Post fusion, through every
+// available backend, on adversarial inputs (denormals, +/-inf, NaN
+// payloads, denominators straddling the 1e-9 guard) and edge row counts —
+// always asserting BIT identity with the per-row tree-walk Expr::eval,
+// which is the contract ExprProgram::eval_dataset promises regardless of
+// the dispatched backend. Also pins the storage invariants the backends
+// rely on: AlignedBuffer pad zeroing and Dataset column alignment.
+
+#include "model/expr_simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/expr.hpp"
+#include "model/expr_program.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::model {
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Backends that promise bit identity with Expr::eval on this host.
+std::vector<EvalBackend> identical_backends() {
+  std::vector<EvalBackend> b = {EvalBackend::kScalar, EvalBackend::kUnrolled};
+  if (avx2_supported()) b.push_back(EvalBackend::kAvx2);
+  return b;
+}
+
+/// Adversarial parameter values: protected-operator edge cases first, then
+/// ordinary magnitudes. NaNs carry distinct payloads so bit comparison
+/// catches any backend that canonicalizes or reorders NaN propagation.
+std::vector<double> adversarial_values() {
+  return {
+      0.0,
+      -0.0,
+      5e-324,                                        // smallest denormal
+      -4.9e-324,
+      2.2250738585072014e-308,                       // DBL_MIN
+      1e-9,                                          // exactly at the guard
+      std::nextafter(1e-9, 0.0),                     // just under
+      std::nextafter(1e-9, 1.0),                     // just over
+      -1e-9,
+      9.9e-10,
+      -9.9e-10,
+      2e-9,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::bit_cast<double>(std::uint64_t{0x7ff8dead00000000ULL}),  // payload
+      std::bit_cast<double>(std::uint64_t{0xfff8000000c0ffeeULL}),  // payload
+      1e200,                                         // overflow fodder
+      -1e200,
+      1e-4,
+      -3.75,
+      42.0,
+  };
+}
+
+/// num_params-column dataset cycling through the adversarial values with
+/// per-column offsets, so every column hits every edge value at some row.
+Dataset adversarial_dataset(std::size_t num_params, std::size_t rows) {
+  const std::vector<double> vals = adversarial_values();
+  std::vector<std::string> names;
+  for (std::size_t d = 0; d < num_params; ++d)
+    names.push_back("x" + std::to_string(d));
+  Dataset data(std::move(names));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> params(num_params);
+    for (std::size_t d = 0; d < num_params; ++d)
+      params[d] = vals[(r + d * 7) % vals.size()];
+    data.add_row(std::move(params), {1.0});
+  }
+  return data;
+}
+
+/// Evaluate `expr` over `data` under `backend` and assert bitwise equality
+/// with the per-row tree-walk oracle.
+void expect_backend_matches_oracle(const Expr& expr, const Dataset& data,
+                                   EvalBackend backend,
+                                   const std::string& context) {
+  BackendOverrideGuard guard(backend);
+  const ExprProgram prog = ExprProgram::compile(expr);
+  std::vector<double> out;
+  EvalScratch scratch;
+  prog.eval_dataset(data, out, scratch);
+  ASSERT_EQ(out.size(), data.num_rows()) << context;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const double oracle = expr.eval(data.row(r).params);
+    ASSERT_TRUE(bits_equal(oracle, out[r]))
+        << context << " backend=" << to_string(backend) << " row " << r
+        << ": oracle " << oracle << " vs " << out[r] << " for "
+        << expr.to_sexpr();
+  }
+}
+
+void expect_all_backends_match(const Expr& expr, const Dataset& data,
+                               const std::string& context) {
+  for (const EvalBackend b : identical_backends())
+    expect_backend_matches_oracle(expr, data, b, context);
+}
+
+TEST(EvalBackendApi, NamesRoundTripAndSynonymsParse) {
+  for (const EvalBackend b :
+       {EvalBackend::kScalar, EvalBackend::kUnrolled, EvalBackend::kAvx2,
+        EvalBackend::kAvx2Fast}) {
+    const auto parsed = parse_backend(to_string(b));
+    ASSERT_TRUE(parsed.has_value()) << to_string(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(parse_backend("off"), EvalBackend::kScalar);
+  EXPECT_EQ(parse_backend("fast"), EvalBackend::kAvx2Fast);
+  EXPECT_FALSE(parse_backend("auto").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("sse9").has_value());
+}
+
+TEST(EvalBackendApi, OverrideGuardSetsAndRestores) {
+  const auto before = backend_override();
+  {
+    BackendOverrideGuard outer(EvalBackend::kUnrolled);
+    EXPECT_EQ(backend_override(), EvalBackend::kUnrolled);
+    EXPECT_EQ(active_backend(), EvalBackend::kUnrolled);
+    {
+      BackendOverrideGuard inner(EvalBackend::kScalar);
+      EXPECT_EQ(active_backend(), EvalBackend::kScalar);
+    }
+    EXPECT_EQ(backend_override(), EvalBackend::kUnrolled);
+  }
+  EXPECT_EQ(backend_override(), before);
+}
+
+TEST(EvalBackendApi, ActiveBackendIsAlwaysRunnable) {
+  // Requesting AVX2 on a host/build without it must degrade to unrolled,
+  // never hand out an un-runnable backend.
+  BackendOverrideGuard guard(EvalBackend::kAvx2);
+  const EvalBackend got = active_backend();
+  if (avx2_supported())
+    EXPECT_EQ(got, EvalBackend::kAvx2);
+  else
+    EXPECT_EQ(got, EvalBackend::kUnrolled);
+}
+
+TEST(ExprSimd, OpcodeBySourceBySpostMatrixIsBitIdentical) {
+  // Operand kinds as the compiler lowers them: kCol (a bare variable),
+  // kLit (a constant), kReg (a non-foldable subexpression's register).
+  const Dataset data = adversarial_dataset(3, 45);
+  const auto operand = [](int kind, std::size_t var) -> Expr {
+    switch (kind) {
+      case 0: return Expr::variable(var);                    // Src::kCol
+      case 1: return Expr::constant(1.5 + double(var));      // Src::kLit
+      default:                                               // Src::kReg
+        return Expr::binary(Op::kMul, Expr::variable(var),
+                            Expr::constant(0.625));
+    }
+  };
+  const char* kind_name[] = {"col", "lit", "reg"};
+  for (const Op op : {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv}) {
+    for (int ka = 0; ka < 3; ++ka) {
+      for (int kb = 0; kb < 3; ++kb) {
+        if (ka == 1 && kb == 1) continue;  // lit-lit folds to a constant
+        const Expr base = Expr::binary(op, operand(ka, 0), operand(kb, 1));
+        const std::string ctx = std::string("op=") +
+                                std::to_string(static_cast<int>(op)) + " a=" +
+                                kind_name[ka] + " b=" + kind_name[kb];
+        expect_all_backends_match(base, data, ctx + " post=none");
+        expect_all_backends_match(Expr::unary(Op::kLog, base.clone()), data,
+                                  ctx + " post=log");
+        expect_all_backends_match(Expr::unary(Op::kSqrt, base.clone()), data,
+                                  ctx + " post=sqrt");
+      }
+    }
+  }
+  // Unary opcodes over column and register operands, plus stacked unaries
+  // (whichever fusion the compiler picks must stay bit-identical).
+  for (const Op op : {Op::kLog, Op::kSqrt}) {
+    for (int ka : {0, 2}) {
+      const Expr base = Expr::unary(op, operand(ka, 2));
+      expect_all_backends_match(base, data, std::string("unary a=") +
+                                                kind_name[ka]);
+      expect_all_backends_match(Expr::unary(Op::kSqrt, base.clone()), data,
+                                "stacked unary sqrt");
+      expect_all_backends_match(Expr::unary(Op::kLog, base.clone()), data,
+                                "stacked unary log");
+    }
+  }
+}
+
+TEST(ExprSimd, DivisionGuardStraddleAllBackends) {
+  const Expr expr =
+      Expr::binary(Op::kDiv, Expr::variable(0), Expr::variable(1));
+  Dataset data({"num", "den"});
+  for (double den :
+       {0.0, -0.0, 1e-9, -1e-9, std::nextafter(1e-9, 0.0),
+        std::nextafter(1e-9, 1.0), 9.9e-10, -9.9e-10, 2e-9, 1.0,
+        std::numeric_limits<double>::quiet_NaN(),  // NaN den is NOT guarded
+        std::numeric_limits<double>::infinity()})
+    data.add_row({3.5, den}, {1.0});
+  data.add_row({std::numeric_limits<double>::quiet_NaN(), 0.0}, {1.0});
+  expect_all_backends_match(expr, data, "division guard straddle");
+}
+
+TEST(ExprSimd, OutOfRangeVariableReadsZeroAllBackends) {
+  // var 9 exceeds the dataset's columns: the blocked backends read the
+  // shared zero block, the scalar path its scratch zeros — both 0.0.
+  const Expr expr = Expr::binary(
+      Op::kDiv, Expr::binary(Op::kAdd, Expr::variable(9), Expr::variable(0)),
+      Expr::variable(9));
+  const Dataset data = adversarial_dataset(1, 21);
+  expect_all_backends_match(expr, data, "out-of-range variable");
+}
+
+TEST(ExprSimd, EdgeRowCountsAllBackends) {
+  // Row counts around the pack width (8), the block size (64), and a
+  // multi-block tail; 0 rows must produce an empty output.
+  util::Rng rng(987);
+  for (const std::size_t rows : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                 std::size_t{4}, std::size_t{5}, std::size_t{8},
+                                 std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{1000}}) {
+    const Dataset data = adversarial_dataset(2, rows);
+    for (int trial = 0; trial < 3; ++trial) {
+      const Expr expr = Expr::random(rng, 2, 4);
+      if (expr.empty()) continue;
+      expect_all_backends_match(
+          expr, data,
+          "rows=" + std::to_string(rows) + " trial " + std::to_string(trial));
+    }
+  }
+}
+
+TEST(ExprSimd, RandomExpressionsPropertySweep) {
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t num_params = 1 + rng.uniform_int(4);
+    const Dataset data =
+        adversarial_dataset(num_params, 11 + rng.uniform_int(70));
+    const Expr expr =
+        Expr::random(rng, num_params, 2 + static_cast<int>(rng.uniform_int(5)));
+    if (expr.empty()) continue;
+    expect_all_backends_match(expr, data, "sweep trial " + std::to_string(trial));
+  }
+}
+
+TEST(ExprSimd, ScratchReusesAcrossShapesAndBackends) {
+  // One EvalScratch reused across programs of different register counts,
+  // datasets of different widths/rows, and alternating backends: stale
+  // strip contents or a missed re-zero would break bit identity.
+  util::Rng rng(555);
+  EvalScratch scratch;
+  std::vector<double> out;
+  const auto backends = identical_backends();
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t num_params = 1 + rng.uniform_int(3);
+    const Dataset data = adversarial_dataset(num_params, 1 + rng.uniform_int(90));
+    const Expr expr =
+        Expr::random(rng, num_params, 1 + static_cast<int>(rng.uniform_int(6)));
+    if (expr.empty()) continue;
+    const ExprProgram prog = ExprProgram::compile(expr);
+    const EvalBackend backend = backends[trial % backends.size()];
+    BackendOverrideGuard guard(backend);
+    prog.eval_dataset(data, out, scratch);
+    ASSERT_EQ(out.size(), data.num_rows());
+    for (std::size_t r = 0; r < data.num_rows(); ++r)
+      ASSERT_TRUE(bits_equal(expr.eval(data.row(r).params), out[r]))
+          << "trial " << trial << " backend " << to_string(backend) << " row "
+          << r;
+  }
+}
+
+TEST(AlignedBuffer, PadStaysZeroThroughGrowShrinkPush) {
+  const auto pad_is_zero = [](const AlignedBuffer& b) {
+    for (std::size_t i = b.size(); i < padded_rows(b.size()); ++i)
+      if (!bits_equal(b.data()[i], 0.0)) return false;
+    return true;
+  };
+  AlignedBuffer b;
+  b.resize(5);
+  ASSERT_TRUE(is_simd_aligned(b.data()));
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(pad_is_zero(b));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = -1.0;
+  b.push_back(7.0);  // claims a pad slot; slots beyond stay zero
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[5], 7.0);
+  EXPECT_TRUE(pad_is_zero(b));
+  b.resize(100);  // growth past capacity: new slots and pad zero
+  ASSERT_TRUE(is_simd_aligned(b.data()));
+  EXPECT_TRUE(pad_is_zero(b));
+  EXPECT_EQ(b[5], 7.0);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 3.25;
+  b.resize(97);  // shrink within a pack: old values must be re-zeroed
+  EXPECT_TRUE(pad_is_zero(b));
+  b.resize(9);  // deep shrink across pack boundaries
+  EXPECT_TRUE(pad_is_zero(b));
+  EXPECT_EQ(b[8], 3.25);
+  AlignedBuffer copy(b);
+  ASSERT_TRUE(is_simd_aligned(copy.data()));
+  EXPECT_EQ(copy.size(), b.size());
+  EXPECT_TRUE(pad_is_zero(copy));
+  EXPECT_EQ(copy[8], 3.25);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  b.assign_zero(17);
+  EXPECT_TRUE(pad_is_zero(b));
+  for (std::size_t i = 0; i < 17u; ++i) EXPECT_EQ(b[i], 0.0);
+}
+
+TEST(DatasetAligned, ColumnsAreAlignedPaddedAndMirrorRows) {
+  const Dataset data = adversarial_dataset(3, 13);
+  for (std::size_t d = 0; d < data.num_params(); ++d) {
+    const double* col = data.aligned_column(d);
+    ASSERT_TRUE(is_simd_aligned(col));
+    for (std::size_t r = 0; r < data.num_rows(); ++r)
+      EXPECT_TRUE(bits_equal(col[r], data.row(r).params[d]));
+    for (std::size_t r = data.num_rows(); r < padded_rows(data.num_rows()); ++r)
+      EXPECT_TRUE(bits_equal(col[r], 0.0)) << "pad lane " << r;
+  }
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  if (bits_equal(a, b)) return 0;
+  const auto ia = std::bit_cast<std::int64_t>(a);
+  const auto ib = std::bit_cast<std::int64_t>(b);
+  if ((ia < 0) != (ib < 0)) return std::numeric_limits<std::int64_t>::max();
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+TEST(ExprSimd, Avx2FastStaysWithinUlpBoundAndExactOffLogPath) {
+  if (!avx2_supported()) GTEST_SKIP() << "no AVX2 on this host/build";
+  // The fast backend replaces only log1p|x|; everything else must remain
+  // bit-identical...
+  const Dataset data = adversarial_dataset(2, 29);
+  const Expr logfree = Expr::binary(
+      Op::kMul, Expr::unary(Op::kSqrt, Expr::variable(0)),
+      Expr::binary(Op::kDiv, Expr::variable(1), Expr::variable(0)));
+  expect_backend_matches_oracle(logfree, data, EvalBackend::kAvx2Fast,
+                                "avx2fast log-free");
+  // ...and the vector log must stay within the documented ULP bound of the
+  // scalar result (glibc libmvec promises 4-ulp-accurate vector math).
+  const Expr logx = Expr::unary(Op::kLog, Expr::variable(0));
+  const ExprProgram prog = ExprProgram::compile(logx);
+  Dataset pos({"x"});
+  for (double v : {1e-12, 1e-6, 0.5, 1.0, 3.7, 1e3, 1e12, 1e100})
+    pos.add_row({v}, {1.0});
+  std::vector<double> fast;
+  EvalScratch scratch;
+  {
+    BackendOverrideGuard guard(EvalBackend::kAvx2Fast);
+    prog.eval_dataset(pos, fast, scratch);
+  }
+  for (std::size_t r = 0; r < pos.num_rows(); ++r) {
+    const double exact = logx.eval(pos.row(r).params);
+    EXPECT_LE(ulp_distance(exact, fast[r]), 4)
+        << "x=" << pos.row(r).params[0] << " exact=" << exact << " fast="
+        << fast[r];
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::model

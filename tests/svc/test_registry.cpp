@@ -11,7 +11,9 @@
 #include "apps/stencil3d.hpp"
 #include "core/arch.hpp"
 #include "ft/checkpoint_cost.hpp"
+#include "model/expr_simd.hpp"
 #include "model/perf_model.hpp"
+#include "model/symreg.hpp"
 #include "net/topology.hpp"
 #include "svc/json.hpp"
 
@@ -65,6 +67,58 @@ TEST(Registry, PredictRejectsUnknownKernelsAndMissingFields) {
                    registry, Json::parse("{\"op\":\"predict\",\"kernel\":"
                                          "\"nope\",\"params\":[1]}")),
                std::invalid_argument);
+}
+
+TEST(Registry, PredictBatchPointsMatchPerPointPredict) {
+  // The "points" batch form routes through PerfModel::predict_batch (the
+  // SIMD-backed eval_dataset for expression models) and must agree
+  // bit-for-bit with one predict call per point.
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  auto arch =
+      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
+  const model::Expr expr = model::Expr::binary(
+      model::Op::kAdd,
+      model::Expr::binary(model::Op::kMul, model::Expr::variable(0),
+                          model::Expr::variable(1)),
+      model::Expr::unary(model::Op::kSqrt, model::Expr::variable(0)));
+  arch->bind_kernel(
+      "expr.kernel",
+      std::make_shared<model::ExprModel>(expr.clone(), 1.5, 0.25,
+                                         std::vector<std::string>{"a", "b"}));
+  const Registry registry{std::move(arch)};
+  const Json batch = handle_request(
+      registry,
+      Json::parse("{\"op\":\"predict\",\"kernel\":\"expr.kernel\","
+                  "\"points\":[[15,64],[0,0],[3.5,1e-10],[56,1048576]]}"));
+  const auto& values = batch.find("values")->as_array();
+  ASSERT_EQ(values.size(), 4u);
+  const char* points[] = {"[15,64]", "[0,0]", "[3.5,1e-10]", "[56,1048576]"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Json single = handle_request(
+        registry,
+        Json::parse("{\"op\":\"predict\",\"kernel\":\"expr.kernel\","
+                    "\"params\":" + std::string(points[i]) + "}"));
+    EXPECT_EQ(values[i].as_number(), single.find("value")->as_number())
+        << "point " << points[i];
+  }
+  EXPECT_EQ(batch.find("backend")->as_string(),
+            model::to_string(model::active_backend()));
+}
+
+TEST(Registry, PredictBatchRejectsMalformedPoints) {
+  const Registry registry = make_test_registry();
+  const std::string kernel(apps::kLuleshTimestep);
+  // params and points together, empty points, ragged arity, empty point.
+  for (const char* bad :
+       {"\"params\":[1,2],\"points\":[[1,2]]", "\"points\":[]",
+        "\"points\":[[1,2],[1]]", "\"points\":[[]]"}) {
+    EXPECT_THROW(
+        (void)handle_request(
+            registry, Json::parse("{\"op\":\"predict\",\"kernel\":\"" + kernel +
+                                  "\"," + bad + "}")),
+        std::invalid_argument)
+        << bad;
+  }
 }
 
 TEST(Registry, SimulateIsDeterministicForAFixedSeed) {

@@ -21,6 +21,9 @@ TEST(Differential, GeneratedScenariosPassAllChecks) {
   EXPECT_EQ(report.analytic_checks, 40);
   EXPECT_EQ(report.thread_checks, 40);
   EXPECT_GT(report.engine_checks, 0);
+  // Every scenario also prices an expression stream across the available
+  // ExprProgram backends (bit-identity leg).
+  EXPECT_GT(report.backend_checks, 0);
 }
 
 /// A scenario whose plan actually fires checkpoints, so checkpoint pricing
