@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_analytic.dir/bench_ext_analytic.cpp.o"
+  "CMakeFiles/bench_ext_analytic.dir/bench_ext_analytic.cpp.o.d"
+  "bench_ext_analytic"
+  "bench_ext_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_async.dir/bench_ext_async.cpp.o"
+  "CMakeFiles/bench_ext_async.dir/bench_ext_async.cpp.o.d"
+  "bench_ext_async"
+  "bench_ext_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_modelcmp.dir/bench_ext_modelcmp.cpp.o"
+  "CMakeFiles/bench_ext_modelcmp.dir/bench_ext_modelcmp.cpp.o.d"
+  "bench_ext_modelcmp"
+  "bench_ext_modelcmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_modelcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cpp.o"
+  "CMakeFiles/bench_ext_network.dir/bench_ext_network.cpp.o.d"
+  "bench_ext_network"
+  "bench_ext_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_obs.dir/bench_ext_obs.cpp.o"
+  "CMakeFiles/bench_ext_obs.dir/bench_ext_obs.cpp.o.d"
+  "bench_ext_obs"
+  "bench_ext_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pareto.dir/bench_ext_pareto.cpp.o"
+  "CMakeFiles/bench_ext_pareto.dir/bench_ext_pareto.cpp.o.d"
+  "bench_ext_pareto"
+  "bench_ext_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pool.dir/bench_ext_pool.cpp.o"
+  "CMakeFiles/bench_ext_pool.dir/bench_ext_pool.cpp.o.d"
+  "bench_ext_pool"
+  "bench_ext_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_simd.dir/bench_ext_simd.cpp.o"
+  "CMakeFiles/bench_ext_simd.dir/bench_ext_simd.cpp.o.d"
+  "bench_ext_simd"
+  "bench_ext_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

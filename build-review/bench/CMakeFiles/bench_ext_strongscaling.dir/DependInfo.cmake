@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_strongscaling.cpp" "bench/CMakeFiles/bench_ext_strongscaling.dir/bench_ext_strongscaling.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_strongscaling.dir/bench_ext_strongscaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/ftbesst_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ftbesst_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analytic/CMakeFiles/ftbesst_analytic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/ftbesst_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ft/CMakeFiles/ftbesst_ft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

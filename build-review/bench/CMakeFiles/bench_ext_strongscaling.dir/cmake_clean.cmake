@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_strongscaling.dir/bench_ext_strongscaling.cpp.o"
+  "CMakeFiles/bench_ext_strongscaling.dir/bench_ext_strongscaling.cpp.o.d"
+  "bench_ext_strongscaling"
+  "bench_ext_strongscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_strongscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_svc.dir/bench_ext_svc.cpp.o"
+  "CMakeFiles/bench_ext_svc.dir/bench_ext_svc.cpp.o.d"
+  "bench_ext_svc"
+  "bench_ext_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_symreg.dir/bench_ext_symreg.cpp.o"
+  "CMakeFiles/bench_ext_symreg.dir/bench_ext_symreg.cpp.o.d"
+  "bench_ext_symreg"
+  "bench_ext_symreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_symreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_youngdaly.dir/bench_ext_youngdaly.cpp.o"
+  "CMakeFiles/bench_ext_youngdaly.dir/bench_ext_youngdaly.cpp.o.d"
+  "bench_ext_youngdaly"
+  "bench_ext_youngdaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_youngdaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_vulcan.dir/bench_fig1_vulcan.cpp.o"
+  "CMakeFiles/bench_fig1_vulcan.dir/bench_fig1_vulcan.cpp.o.d"
+  "bench_fig1_vulcan"
+  "bench_fig1_vulcan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_vulcan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cases.dir/bench_fig4_cases.cpp.o"
+  "CMakeFiles/bench_fig4_cases.dir/bench_fig4_cases.cpp.o.d"
+  "bench_fig4_cases"
+  "bench_fig4_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_fullsystem.dir/bench_fig7_8_fullsystem.cpp.o"
+  "CMakeFiles/bench_fig7_8_fullsystem.dir/bench_fig7_8_fullsystem.cpp.o.d"
+  "bench_fig7_8_fullsystem"
+  "bench_fig7_8_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_levels.dir/bench_table1_levels.cpp.o"
+  "CMakeFiles/bench_table1_levels.dir/bench_table1_levels.cpp.o.d"
+  "bench_table1_levels"
+  "bench_table1_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_vs_coarse.dir/des_vs_coarse.cpp.o"
+  "CMakeFiles/des_vs_coarse.dir/des_vs_coarse.cpp.o.d"
+  "des_vs_coarse"
+  "des_vs_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_vs_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for des_vs_coarse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executable_resilience.dir/executable_resilience.cpp.o"
+  "CMakeFiles/executable_resilience.dir/executable_resilience.cpp.o.d"
+  "executable_resilience"
+  "executable_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executable_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_study.dir/fault_injection_study.cpp.o"
+  "CMakeFiles/fault_injection_study.dir/fault_injection_study.cpp.o.d"
+  "fault_injection_study"
+  "fault_injection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

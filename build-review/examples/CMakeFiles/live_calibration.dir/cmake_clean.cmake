@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_calibration.dir/live_calibration.cpp.o"
+  "CMakeFiles/live_calibration.dir/live_calibration.cpp.o.d"
+  "live_calibration"
+  "live_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

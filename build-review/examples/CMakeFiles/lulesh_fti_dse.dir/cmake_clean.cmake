@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_fti_dse.dir/lulesh_fti_dse.cpp.o"
+  "CMakeFiles/lulesh_fti_dse.dir/lulesh_fti_dse.cpp.o.d"
+  "lulesh_fti_dse"
+  "lulesh_fti_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_fti_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_dse.dir/network_dse.cpp.o"
+  "CMakeFiles/network_dse.dir/network_dse.cpp.o.d"
+  "network_dse"
+  "network_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

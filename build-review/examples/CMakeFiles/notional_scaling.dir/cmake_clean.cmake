@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notional_scaling.dir/notional_scaling.cpp.o"
+  "CMakeFiles/notional_scaling.dir/notional_scaling.cpp.o.d"
+  "notional_scaling"
+  "notional_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notional_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

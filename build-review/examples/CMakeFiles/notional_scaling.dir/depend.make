@@ -1,0 +1,2 @@
+# Empty dependencies file for notional_scaling.
+# This may be replaced when dependencies are built.

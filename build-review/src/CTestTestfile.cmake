@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("model")
+subdirs("ft")
+subdirs("analytic")
+subdirs("core")
+subdirs("apps")
+subdirs("svc")
+subdirs("verify")

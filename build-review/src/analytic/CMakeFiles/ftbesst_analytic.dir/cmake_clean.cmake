@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_analytic.dir/speedup.cpp.o"
+  "CMakeFiles/ftbesst_analytic.dir/speedup.cpp.o.d"
+  "libftbesst_analytic.a"
+  "libftbesst_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_apps.dir/cmtbone.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/cmtbone.cpp.o.d"
+  "CMakeFiles/ftbesst_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/ftbesst_apps.dir/minihydro.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/minihydro.cpp.o.d"
+  "CMakeFiles/ftbesst_apps.dir/stencil3d.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/stencil3d.cpp.o.d"
+  "CMakeFiles/ftbesst_apps.dir/testbed.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/testbed.cpp.o.d"
+  "CMakeFiles/ftbesst_apps.dir/testbed_local.cpp.o"
+  "CMakeFiles/ftbesst_apps.dir/testbed_local.cpp.o.d"
+  "libftbesst_apps.a"
+  "libftbesst_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftbesst_apps.a"
+)

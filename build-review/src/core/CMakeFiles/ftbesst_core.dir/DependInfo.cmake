@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch.cpp" "src/core/CMakeFiles/ftbesst_core.dir/arch.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/arch.cpp.o.d"
+  "/root/repo/src/core/beo.cpp" "src/core/CMakeFiles/ftbesst_core.dir/beo.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/beo.cpp.o.d"
+  "/root/repo/src/core/engine_bsp.cpp" "src/core/CMakeFiles/ftbesst_core.dir/engine_bsp.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/engine_bsp.cpp.o.d"
+  "/root/repo/src/core/engine_des.cpp" "src/core/CMakeFiles/ftbesst_core.dir/engine_des.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/engine_des.cpp.o.d"
+  "/root/repo/src/core/montecarlo.cpp" "src/core/CMakeFiles/ftbesst_core.dir/montecarlo.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/ftbesst_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ftbesst_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/ftbesst_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/ftbesst_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/model/CMakeFiles/ftbesst_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ft/CMakeFiles/ftbesst_ft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_core.dir/arch.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/arch.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/beo.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/beo.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/engine_bsp.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/engine_bsp.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/engine_des.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/engine_des.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/montecarlo.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/pruning.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/trace.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/trace.cpp.o.d"
+  "CMakeFiles/ftbesst_core.dir/workflow.cpp.o"
+  "CMakeFiles/ftbesst_core.dir/workflow.cpp.o.d"
+  "libftbesst_core.a"
+  "libftbesst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

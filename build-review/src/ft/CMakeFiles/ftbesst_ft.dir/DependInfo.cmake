@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/checkpoint_cost.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/checkpoint_cost.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/checkpoint_cost.cpp.o.d"
+  "/root/repo/src/ft/fault_log.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/fault_log.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/fault_log.cpp.o.d"
+  "/root/repo/src/ft/faults.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/faults.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/faults.cpp.o.d"
+  "/root/repo/src/ft/fti.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/fti.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/fti.cpp.o.d"
+  "/root/repo/src/ft/fti_runtime.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/fti_runtime.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/fti_runtime.cpp.o.d"
+  "/root/repo/src/ft/gf256.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/gf256.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/gf256.cpp.o.d"
+  "/root/repo/src/ft/multilevel_opt.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/multilevel_opt.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/multilevel_opt.cpp.o.d"
+  "/root/repo/src/ft/reed_solomon.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/reed_solomon.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/ft/young_daly.cpp" "src/ft/CMakeFiles/ftbesst_ft.dir/young_daly.cpp.o" "gcc" "src/ft/CMakeFiles/ftbesst_ft.dir/young_daly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_ft.dir/checkpoint_cost.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/checkpoint_cost.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/fault_log.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/fault_log.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/faults.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/faults.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/fti.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/fti.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/fti_runtime.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/fti_runtime.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/gf256.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/gf256.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/multilevel_opt.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/multilevel_opt.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/reed_solomon.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/ftbesst_ft.dir/young_daly.cpp.o"
+  "CMakeFiles/ftbesst_ft.dir/young_daly.cpp.o.d"
+  "libftbesst_ft.a"
+  "libftbesst_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

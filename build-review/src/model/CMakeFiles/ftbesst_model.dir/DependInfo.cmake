@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/crossval.cpp" "src/model/CMakeFiles/ftbesst_model.dir/crossval.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/crossval.cpp.o.d"
+  "/root/repo/src/model/dataset.cpp" "src/model/CMakeFiles/ftbesst_model.dir/dataset.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/dataset.cpp.o.d"
+  "/root/repo/src/model/expr.cpp" "src/model/CMakeFiles/ftbesst_model.dir/expr.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/expr.cpp.o.d"
+  "/root/repo/src/model/expr_program.cpp" "src/model/CMakeFiles/ftbesst_model.dir/expr_program.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/expr_program.cpp.o.d"
+  "/root/repo/src/model/expr_simd.cpp" "src/model/CMakeFiles/ftbesst_model.dir/expr_simd.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/expr_simd.cpp.o.d"
+  "/root/repo/src/model/expr_simd_avx2.cpp" "src/model/CMakeFiles/ftbesst_model.dir/expr_simd_avx2.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/expr_simd_avx2.cpp.o.d"
+  "/root/repo/src/model/feature_model.cpp" "src/model/CMakeFiles/ftbesst_model.dir/feature_model.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/feature_model.cpp.o.d"
+  "/root/repo/src/model/fitting.cpp" "src/model/CMakeFiles/ftbesst_model.dir/fitting.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/fitting.cpp.o.d"
+  "/root/repo/src/model/linalg.cpp" "src/model/CMakeFiles/ftbesst_model.dir/linalg.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/linalg.cpp.o.d"
+  "/root/repo/src/model/perf_model.cpp" "src/model/CMakeFiles/ftbesst_model.dir/perf_model.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/perf_model.cpp.o.d"
+  "/root/repo/src/model/powerlaw.cpp" "src/model/CMakeFiles/ftbesst_model.dir/powerlaw.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/powerlaw.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/ftbesst_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/serialize.cpp.o.d"
+  "/root/repo/src/model/symreg.cpp" "src/model/CMakeFiles/ftbesst_model.dir/symreg.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/symreg.cpp.o.d"
+  "/root/repo/src/model/table_model.cpp" "src/model/CMakeFiles/ftbesst_model.dir/table_model.cpp.o" "gcc" "src/model/CMakeFiles/ftbesst_model.dir/table_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

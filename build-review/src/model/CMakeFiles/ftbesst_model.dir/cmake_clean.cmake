@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_model.dir/crossval.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/crossval.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/dataset.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/dataset.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/expr.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/expr.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/expr_program.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/expr_program.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/expr_simd.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/expr_simd.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/expr_simd_avx2.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/expr_simd_avx2.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/feature_model.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/feature_model.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/fitting.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/fitting.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/linalg.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/linalg.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/perf_model.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/powerlaw.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/serialize.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/serialize.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/symreg.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/symreg.cpp.o.d"
+  "CMakeFiles/ftbesst_model.dir/table_model.cpp.o"
+  "CMakeFiles/ftbesst_model.dir/table_model.cpp.o.d"
+  "libftbesst_model.a"
+  "libftbesst_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/comm.cpp" "src/net/CMakeFiles/ftbesst_net.dir/comm.cpp.o" "gcc" "src/net/CMakeFiles/ftbesst_net.dir/comm.cpp.o.d"
+  "/root/repo/src/net/des_network.cpp" "src/net/CMakeFiles/ftbesst_net.dir/des_network.cpp.o" "gcc" "src/net/CMakeFiles/ftbesst_net.dir/des_network.cpp.o.d"
+  "/root/repo/src/net/des_torus.cpp" "src/net/CMakeFiles/ftbesst_net.dir/des_torus.cpp.o" "gcc" "src/net/CMakeFiles/ftbesst_net.dir/des_torus.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/ftbesst_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/ftbesst_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_net.dir/comm.cpp.o"
+  "CMakeFiles/ftbesst_net.dir/comm.cpp.o.d"
+  "CMakeFiles/ftbesst_net.dir/des_network.cpp.o"
+  "CMakeFiles/ftbesst_net.dir/des_network.cpp.o.d"
+  "CMakeFiles/ftbesst_net.dir/des_torus.cpp.o"
+  "CMakeFiles/ftbesst_net.dir/des_torus.cpp.o.d"
+  "CMakeFiles/ftbesst_net.dir/topology.cpp.o"
+  "CMakeFiles/ftbesst_net.dir/topology.cpp.o.d"
+  "libftbesst_net.a"
+  "libftbesst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

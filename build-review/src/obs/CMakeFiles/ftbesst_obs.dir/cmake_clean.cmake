@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_obs.dir/clock.cpp.o"
+  "CMakeFiles/ftbesst_obs.dir/clock.cpp.o.d"
+  "CMakeFiles/ftbesst_obs.dir/export.cpp.o"
+  "CMakeFiles/ftbesst_obs.dir/export.cpp.o.d"
+  "CMakeFiles/ftbesst_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ftbesst_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ftbesst_obs.dir/trace.cpp.o"
+  "CMakeFiles/ftbesst_obs.dir/trace.cpp.o.d"
+  "libftbesst_obs.a"
+  "libftbesst_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/component.cpp" "src/sim/CMakeFiles/ftbesst_sim.dir/component.cpp.o" "gcc" "src/sim/CMakeFiles/ftbesst_sim.dir/component.cpp.o.d"
+  "/root/repo/src/sim/detail/payload_pool.cpp" "src/sim/CMakeFiles/ftbesst_sim.dir/detail/payload_pool.cpp.o" "gcc" "src/sim/CMakeFiles/ftbesst_sim.dir/detail/payload_pool.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/ftbesst_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/ftbesst_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

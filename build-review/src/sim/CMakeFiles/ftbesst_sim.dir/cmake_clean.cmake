@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_sim.dir/component.cpp.o"
+  "CMakeFiles/ftbesst_sim.dir/component.cpp.o.d"
+  "CMakeFiles/ftbesst_sim.dir/detail/payload_pool.cpp.o"
+  "CMakeFiles/ftbesst_sim.dir/detail/payload_pool.cpp.o.d"
+  "CMakeFiles/ftbesst_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ftbesst_sim.dir/simulation.cpp.o.d"
+  "libftbesst_sim.a"
+  "libftbesst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

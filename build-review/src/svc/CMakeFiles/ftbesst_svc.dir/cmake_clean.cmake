@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_svc.dir/cache.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/cache.cpp.o.d"
+  "CMakeFiles/ftbesst_svc.dir/client.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/client.cpp.o.d"
+  "CMakeFiles/ftbesst_svc.dir/json.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/json.cpp.o.d"
+  "CMakeFiles/ftbesst_svc.dir/registry.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/registry.cpp.o.d"
+  "CMakeFiles/ftbesst_svc.dir/server.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/server.cpp.o.d"
+  "CMakeFiles/ftbesst_svc.dir/wire.cpp.o"
+  "CMakeFiles/ftbesst_svc.dir/wire.cpp.o.d"
+  "libftbesst_svc.a"
+  "libftbesst_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_util.dir/args.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/args.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/config.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/config.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/io.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/io.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/log.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/log.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/rng.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/stats.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/table.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/table.cpp.o.d"
+  "CMakeFiles/ftbesst_util.dir/task_pool.cpp.o"
+  "CMakeFiles/ftbesst_util.dir/task_pool.cpp.o.d"
+  "libftbesst_util.a"
+  "libftbesst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

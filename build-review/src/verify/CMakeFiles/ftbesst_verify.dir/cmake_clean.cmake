@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst_verify.dir/corpus.cpp.o"
+  "CMakeFiles/ftbesst_verify.dir/corpus.cpp.o.d"
+  "CMakeFiles/ftbesst_verify.dir/differential.cpp.o"
+  "CMakeFiles/ftbesst_verify.dir/differential.cpp.o.d"
+  "CMakeFiles/ftbesst_verify.dir/fuzz.cpp.o"
+  "CMakeFiles/ftbesst_verify.dir/fuzz.cpp.o.d"
+  "CMakeFiles/ftbesst_verify.dir/reference.cpp.o"
+  "CMakeFiles/ftbesst_verify.dir/reference.cpp.o.d"
+  "CMakeFiles/ftbesst_verify.dir/scenario.cpp.o"
+  "CMakeFiles/ftbesst_verify.dir/scenario.cpp.o.d"
+  "libftbesst_verify.a"
+  "libftbesst_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic.dir/analytic/test_spares.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_spares.cpp.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/test_speedup.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_speedup.cpp.o.d"
+  "test_analytic"
+  "test_analytic.pdb"
+  "test_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_lulesh.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_lulesh.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_minihydro.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_minihydro.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_stencil3d.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_stencil3d.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_strong_scaling.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_strong_scaling.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

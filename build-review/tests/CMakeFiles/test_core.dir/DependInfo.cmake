@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_arch.cpp" "tests/CMakeFiles/test_core.dir/core/test_arch.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_arch.cpp.o.d"
+  "/root/repo/tests/core/test_async_checkpoint.cpp" "tests/CMakeFiles/test_core.dir/core/test_async_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_async_checkpoint.cpp.o.d"
+  "/root/repo/tests/core/test_beo.cpp" "tests/CMakeFiles/test_core.dir/core/test_beo.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_beo.cpp.o.d"
+  "/root/repo/tests/core/test_des_network_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_des_network_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_des_network_engine.cpp.o.d"
+  "/root/repo/tests/core/test_determinism.cpp" "tests/CMakeFiles/test_core.dir/core/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_determinism.cpp.o.d"
+  "/root/repo/tests/core/test_engine_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/core/test_engines.cpp" "tests/CMakeFiles/test_core.dir/core/test_engines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_engines.cpp.o.d"
+  "/root/repo/tests/core/test_fault_replay.cpp" "tests/CMakeFiles/test_core.dir/core/test_fault_replay.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fault_replay.cpp.o.d"
+  "/root/repo/tests/core/test_pruning.cpp" "tests/CMakeFiles/test_core.dir/core/test_pruning.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pruning.cpp.o.d"
+  "/root/repo/tests/core/test_scenario_plan.cpp" "tests/CMakeFiles/test_core.dir/core/test_scenario_plan.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenario_plan.cpp.o.d"
+  "/root/repo/tests/core/test_trace.cpp" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "/root/repo/tests/core/test_workflow.cpp" "tests/CMakeFiles/test_core.dir/core/test_workflow.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ftbesst_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/ftbesst_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/ftbesst_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ft/CMakeFiles/ftbesst_ft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

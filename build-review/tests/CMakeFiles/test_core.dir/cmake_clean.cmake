@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_arch.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_arch.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_async_checkpoint.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_async_checkpoint.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_beo.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_beo.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_des_network_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_des_network_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_determinism.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_determinism.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_engine_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_engines.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_engines.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fault_replay.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fault_replay.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pruning.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pruning.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenario_plan.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scenario_plan.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_workflow.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_workflow.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ft/test_fault_log.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_fault_log.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_fault_log.cpp.o.d"
+  "/root/repo/tests/ft/test_fault_stats.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_fault_stats.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_fault_stats.cpp.o.d"
+  "/root/repo/tests/ft/test_faults_younddaly.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_faults_younddaly.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_faults_younddaly.cpp.o.d"
+  "/root/repo/tests/ft/test_fti.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_fti.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_fti.cpp.o.d"
+  "/root/repo/tests/ft/test_fti_runtime.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_fti_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_fti_runtime.cpp.o.d"
+  "/root/repo/tests/ft/test_gf256.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_gf256.cpp.o.d"
+  "/root/repo/tests/ft/test_multilevel.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_multilevel.cpp.o.d"
+  "/root/repo/tests/ft/test_reed_solomon.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_reed_solomon.cpp.o.d"
+  "/root/repo/tests/ft/test_weibull.cpp" "tests/CMakeFiles/test_ft.dir/ft/test_weibull.cpp.o" "gcc" "tests/CMakeFiles/test_ft.dir/ft/test_weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ft/CMakeFiles/ftbesst_ft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

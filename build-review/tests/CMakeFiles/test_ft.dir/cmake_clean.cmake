@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft.dir/ft/test_fault_log.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_fault_log.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_fault_stats.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_fault_stats.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_faults_younddaly.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_faults_younddaly.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_fti.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_fti.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_fti_runtime.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_fti_runtime.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_gf256.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_gf256.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_multilevel.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_multilevel.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_reed_solomon.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_reed_solomon.cpp.o.d"
+  "CMakeFiles/test_ft.dir/ft/test_weibull.cpp.o"
+  "CMakeFiles/test_ft.dir/ft/test_weibull.cpp.o.d"
+  "test_ft"
+  "test_ft.pdb"
+  "test_ft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

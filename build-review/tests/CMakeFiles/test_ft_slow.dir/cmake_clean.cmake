@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_slow.dir/ft/test_fti_runtime_stress.cpp.o"
+  "CMakeFiles/test_ft_slow.dir/ft/test_fti_runtime_stress.cpp.o.d"
+  "test_ft_slow"
+  "test_ft_slow.pdb"
+  "test_ft_slow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

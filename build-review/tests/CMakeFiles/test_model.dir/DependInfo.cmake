@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_crossval.cpp" "tests/CMakeFiles/test_model.dir/model/test_crossval.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_crossval.cpp.o.d"
+  "/root/repo/tests/model/test_dataset.cpp" "tests/CMakeFiles/test_model.dir/model/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_dataset.cpp.o.d"
+  "/root/repo/tests/model/test_expr.cpp" "tests/CMakeFiles/test_model.dir/model/test_expr.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_expr.cpp.o.d"
+  "/root/repo/tests/model/test_expr_program.cpp" "tests/CMakeFiles/test_model.dir/model/test_expr_program.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_expr_program.cpp.o.d"
+  "/root/repo/tests/model/test_expr_simd.cpp" "tests/CMakeFiles/test_model.dir/model/test_expr_simd.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_expr_simd.cpp.o.d"
+  "/root/repo/tests/model/test_feature_model.cpp" "tests/CMakeFiles/test_model.dir/model/test_feature_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_feature_model.cpp.o.d"
+  "/root/repo/tests/model/test_linalg.cpp" "tests/CMakeFiles/test_model.dir/model/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_linalg.cpp.o.d"
+  "/root/repo/tests/model/test_loglog.cpp" "tests/CMakeFiles/test_model.dir/model/test_loglog.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_loglog.cpp.o.d"
+  "/root/repo/tests/model/test_powerlaw.cpp" "tests/CMakeFiles/test_model.dir/model/test_powerlaw.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_powerlaw.cpp.o.d"
+  "/root/repo/tests/model/test_serialize.cpp" "tests/CMakeFiles/test_model.dir/model/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_serialize.cpp.o.d"
+  "/root/repo/tests/model/test_simplify.cpp" "tests/CMakeFiles/test_model.dir/model/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_simplify.cpp.o.d"
+  "/root/repo/tests/model/test_symreg.cpp" "tests/CMakeFiles/test_model.dir/model/test_symreg.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_symreg.cpp.o.d"
+  "/root/repo/tests/model/test_table_loglog_method.cpp" "tests/CMakeFiles/test_model.dir/model/test_table_loglog_method.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_table_loglog_method.cpp.o.d"
+  "/root/repo/tests/model/test_table_model.cpp" "tests/CMakeFiles/test_model.dir/model/test_table_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_table_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/model/CMakeFiles/ftbesst_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_crossval.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_crossval.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_dataset.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_dataset.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_expr.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_expr.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_expr_program.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_expr_program.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_expr_simd.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_expr_simd.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_feature_model.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_feature_model.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_linalg.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_linalg.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_loglog.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_loglog.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_powerlaw.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_powerlaw.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_serialize.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_serialize.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_simplify.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_simplify.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_symreg.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_symreg.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_table_loglog_method.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_table_loglog_method.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_table_model.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_table_model.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_adaptive_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_adaptive_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_adaptive_routing.cpp.o.d"
+  "/root/repo/tests/net/test_comm.cpp" "tests/CMakeFiles/test_net.dir/net/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_comm.cpp.o.d"
+  "/root/repo/tests/net/test_des_network.cpp" "tests/CMakeFiles/test_net.dir/net/test_des_network.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_des_network.cpp.o.d"
+  "/root/repo/tests/net/test_des_torus.cpp" "tests/CMakeFiles/test_net.dir/net/test_des_torus.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_des_torus.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

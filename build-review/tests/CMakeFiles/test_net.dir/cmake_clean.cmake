@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_adaptive_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_adaptive_routing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_comm.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_comm.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_des_network.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_des_network.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_des_torus.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_des_torus.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_bit_identity.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_bit_identity.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_bit_identity.cpp.o.d"
+  "/root/repo/tests/obs/test_metrics.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_metrics.cpp.o.d"
+  "/root/repo/tests/obs/test_obs_pipeline.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_obs_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_obs_pipeline.cpp.o.d"
+  "/root/repo/tests/obs/test_tracing.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_tracing.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/ftbesst_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ftbesst_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/ftbesst_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ft/CMakeFiles/ftbesst_ft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/obs/test_bit_identity.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_bit_identity.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_metrics.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_metrics.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_obs_pipeline.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_obs_pipeline.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_tracing.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_tracing.cpp.o.d"
+  "test_obs"
+  "test_obs.pdb"
+  "test_obs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

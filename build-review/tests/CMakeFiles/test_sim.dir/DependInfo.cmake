@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_heap.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_heap.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_heap.cpp.o.d"
+  "/root/repo/tests/sim/test_parallel.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o.d"
+  "/root/repo/tests/sim/test_payload_pool.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_payload_pool.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_payload_pool.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_edge.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sim_edge.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sim_edge.cpp.o.d"
+  "/root/repo/tests/sim/test_simulation.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulation.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/ftbesst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ftbesst_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/ftbesst_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ftbesst_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

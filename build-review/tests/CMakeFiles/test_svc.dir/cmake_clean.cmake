@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc.dir/svc/test_cache.cpp.o"
+  "CMakeFiles/test_svc.dir/svc/test_cache.cpp.o.d"
+  "CMakeFiles/test_svc.dir/svc/test_json.cpp.o"
+  "CMakeFiles/test_svc.dir/svc/test_json.cpp.o.d"
+  "CMakeFiles/test_svc.dir/svc/test_registry.cpp.o"
+  "CMakeFiles/test_svc.dir/svc/test_registry.cpp.o.d"
+  "CMakeFiles/test_svc.dir/svc/test_server.cpp.o"
+  "CMakeFiles/test_svc.dir/svc/test_server.cpp.o.d"
+  "CMakeFiles/test_svc.dir/svc/test_wire.cpp.o"
+  "CMakeFiles/test_svc.dir/svc/test_wire.cpp.o.d"
+  "test_svc"
+  "test_svc.pdb"
+  "test_svc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc_slow.dir/svc/test_server_soak.cpp.o"
+  "CMakeFiles/test_svc_slow.dir/svc/test_server_soak.cpp.o.d"
+  "test_svc_slow"
+  "test_svc_slow.pdb"
+  "test_svc_slow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_svc_slow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify.dir/verify/test_corpus.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_corpus.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_differential.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_differential.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_fuzz.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_scenario.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_scenario.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_verify_obs.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_verify_obs.cpp.o.d"
+  "test_verify"
+  "test_verify.pdb"
+  "test_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

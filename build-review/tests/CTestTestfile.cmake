@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_util[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_model[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ft[1]_include.cmake")
+include("/root/repo/build-review/tests/test_ft_slow[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_svc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_svc_slow[1]_include.cmake")
+include("/root/repo/build-review/tests/test_verify[1]_include.cmake")
+include("/root/repo/build-review/tests/test_umbrella[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftbesst.dir/ftbesst_cli.cpp.o"
+  "CMakeFiles/ftbesst.dir/ftbesst_cli.cpp.o.d"
+  "ftbesst"
+  "ftbesst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftbesst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

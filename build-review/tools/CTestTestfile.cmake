@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_plan "/root/repo/build-review/tools/ftbesst" "plan" "--node-mtbf-hours" "24" "--nodes" "512" "--work-hours" "24" "--downtime" "10")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "/usr/bin/cmake" "-DFTBESST=/root/repo/build-review/tools/ftbesst" "-DWORK_DIR=/root/repo/build-review/tools/cli_scratch" "-P" "/root/repo/tools/cli_pipeline_test.cmake")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_experiment "/root/repo/build-review/tools/ftbesst" "run-experiment" "--config" "/root/repo/examples/experiment.ini")
+set_tests_properties(cli_run_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify_differential "/root/repo/build-review/tools/ftbesst" "verify" "--differential" "200" "--seed" "1")
+set_tests_properties(cli_verify_differential PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify_corpus "/root/repo/build-review/tools/ftbesst" "verify" "--corpus" "/root/repo/tests/corpus")
+set_tests_properties(cli_verify_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+subdirs("fuzz")
