@@ -1,0 +1,266 @@
+// Extension bench: DES-core scaling — symmetry folding and the
+// incremental-round parallel engine — as machine-readable JSON.
+//
+// Two sections:
+//   - "engine_fold": run_des with symmetry folding on vs off, on the
+//     largest corpus machine (48 symmetric ranks) and the Fig.-1-class
+//     Vulcan notional machine (393,216 ranks = 96 leaves x 256 nodes x 16
+//     ranks/node). Reports wall-clock, PDES events, events/sec, and the
+//     fold speedup. Folding collapses every symmetric rank onto one
+//     representative (sim/fold.hpp), so the folded run prices the 400k-rank
+//     machine with a constant-size event population while the predictions
+//     stay bitwise identical.
+//   - "parallel_core": raw event throughput of the incremental-round
+//     engine (sim/simulation.*) on a symmetric 8x8x8 torus under uniform
+//     random traffic, at 1/2/4 threads: wall-clock, events/sec, the number
+//     of synchronization rounds, and thread bit-identity (end time, event
+//     count, deliveries, and hop totals must not depend on the thread
+//     count).
+//
+// Exit 1 (DIVERGENCE/GATE line on stderr) if:
+//   - folded and unfolded predictions differ bitwise on either scenario,
+//   - the Vulcan folded run is slower than 10 s or the fold speedup is
+//     below 20x (the 48-rank machine is reported ungated: both of its runs
+//     finish in microseconds, where timing noise dominates), or
+//   - any parallel_core run disagrees with the 1-thread reference.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine_des.hpp"
+#include "net/des_torus.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "verify/scenario.hpp"
+
+using namespace ftbesst;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+
+/// The big_machine.scenario corpus entry, stripped to its deterministic
+/// core (run_des prices single deterministic executions).
+verify::Scenario corpus_48() {
+  verify::Scenario s;
+  s.seed = 31;
+  s.leaves = 3;
+  s.nodes_per_leaf = 8;
+  s.spines = 2;
+  s.ranks_per_node = 4;
+  s.ranks = 48;
+  s.timesteps = 10;
+  s.kernel_cost = 0.5;
+  s.exchange_degree = 4;
+  s.exchange_bytes = 1u << 20;
+  s.plan = {{ft::Level::kL2, 5, false}};
+  return s;
+}
+
+/// The vulcan_393k.scenario corpus entry: 96 x 256 x 16 = 393,216 ranks.
+verify::Scenario vulcan_393k() {
+  verify::Scenario s;
+  s.seed = 47;
+  s.leaves = 96;
+  s.nodes_per_leaf = 256;
+  s.spines = 16;
+  s.ranks_per_node = 16;
+  s.ranks = 393216;
+  s.timesteps = 12;
+  s.kernel_cost = 30.0;
+  s.exchange_degree = 6;
+  s.exchange_bytes = 2u << 20;
+  s.allreduce_bytes = 8192;
+  s.fti.group_size = 16;
+  s.fti.node_size = 4;
+  s.ckpt_bytes_per_rank = 128u << 20;
+  s.plan = {{ft::Level::kL1, 2, false}, {ft::Level::kL4, 6, false}};
+  return s;
+}
+
+struct FoldLeg {
+  double wall_sec = 0;
+  std::uint64_t events = 0;
+  core::RunResult result;
+};
+
+FoldLeg run_leg(const verify::Scenario& s, bool fold) {
+  verify::BuiltScenario built = verify::build(s);
+  built.options.fold_symmetry = fold;
+  FoldLeg leg;
+  const auto start = Clock::now();
+  leg.result = core::run_des(built.app, built.arch, built.options);
+  leg.wall_sec = seconds_since(start);
+  leg.events = leg.result.sim_events;
+  return leg;
+}
+
+bool predictions_identical(const core::RunResult& a,
+                           const core::RunResult& b) {
+  return bits_equal(a.total_seconds, b.total_seconds) &&
+         bits_equal(a.timestep_end_times, b.timestep_end_times) &&
+         a.checkpoint_timesteps == b.checkpoint_timesteps &&
+         a.instructions_executed == b.instructions_executed &&
+         a.faults == b.faults && a.rollbacks == b.rollbacks &&
+         a.full_restarts == b.full_restarts && a.completed == b.completed;
+}
+
+void print_fold_leg(const char* key, const FoldLeg& leg, bool last) {
+  std::cout << "      \"" << key << "\": {\"wall_sec\": " << leg.wall_sec
+            << ", \"events\": " << leg.events << ", \"events_per_sec\": "
+            << (leg.wall_sec > 0
+                    ? static_cast<double>(leg.events) / leg.wall_sec
+                    : 0.0)
+            << ", \"total_seconds\": " << leg.result.total_seconds << "}"
+            << (last ? "\n" : ",\n");
+}
+
+// --- parallel_core: symmetric torus under uniform random traffic ---
+
+struct CoreRun {
+  double wall_sec = 0;
+  sim::SimStats stats;
+  std::uint64_t delivered = 0;
+  std::uint64_t hops = 0;
+};
+
+CoreRun run_torus(unsigned threads, int messages) {
+  net::Torus topo({8, 8, 8});
+  sim::Simulation sim;
+  net::DesTorus torus(sim, topo, {});
+  util::Rng rng(7);
+  for (int m = 0; m < messages; ++m) {
+    const auto src = static_cast<net::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(topo.num_nodes())));
+    auto dst = static_cast<net::NodeId>(
+        rng.uniform_int(static_cast<std::uint64_t>(topo.num_nodes())));
+    if (dst == src) dst = (dst + 1) % topo.num_nodes();
+    torus.send(src, dst, 4096 + 64 * (m % 61),
+               sim::from_seconds(1e-6 * static_cast<double>(m % 997)));
+  }
+  CoreRun run;
+  const auto start = Clock::now();
+  run.stats = threads <= 1 ? sim.run() : sim.run_parallel(threads);
+  run.wall_sec = seconds_since(start);
+  run.delivered = torus.delivered();
+  run.hops = torus.total_hops();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  // Fold section: the two golden-corpus machines.
+  struct Entry {
+    const char* name;
+    verify::Scenario scenario;
+    bool gated;  ///< speedup + wall gates apply (Vulcan only; the 48-rank
+                 ///< machine finishes in microseconds either way)
+    FoldLeg folded, unfolded;
+  };
+  std::vector<Entry> entries = {
+      {"corpus_48", corpus_48(), false, {}, {}},
+      {"vulcan_393k", vulcan_393k(), true, {}, {}}};
+  bool identical = true;
+  double gated_speedup = 1e300, gated_folded_wall = 0;
+  for (Entry& e : entries) {
+    e.folded = run_leg(e.scenario, true);
+    e.unfolded = run_leg(e.scenario, false);
+    identical &= predictions_identical(e.folded.result, e.unfolded.result);
+    if (e.gated) {
+      gated_folded_wall = e.folded.wall_sec;
+      if (e.folded.wall_sec > 0)
+        gated_speedup = e.unfolded.wall_sec / e.folded.wall_sec;
+    }
+  }
+
+  // Parallel-core section: thread sweep against the 1-thread reference.
+  const int messages = 60000;
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  std::vector<CoreRun> runs;
+  runs.reserve(thread_counts.size());
+  for (const unsigned t : thread_counts) runs.push_back(run_torus(t, messages));
+  bool thread_identical = true;
+  for (const CoreRun& r : runs)
+    thread_identical &= r.stats.events_processed ==
+                            runs[0].stats.events_processed &&
+                        r.stats.end_time == runs[0].stats.end_time &&
+                        r.delivered == runs[0].delivered &&
+                        r.hops == runs[0].hops;
+
+  const bool gates_pass = identical && thread_identical &&
+                          gated_speedup >= 20.0 && gated_folded_wall < 10.0;
+
+  std::cout.precision(6);
+  std::cout << "{\n  \"engine_fold\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::cout << "    \"" << e.name << "\": {\n"
+              << "      \"ranks\": " << e.scenario.ranks << ",\n";
+    print_fold_leg("folded", e.folded, false);
+    print_fold_leg("unfolded", e.unfolded, false);
+    std::cout << "      \"fold_speedup\": "
+              << (e.folded.wall_sec > 0
+                      ? e.unfolded.wall_sec / e.folded.wall_sec
+                      : 0.0)
+              << ",\n      \"gated\": " << (e.gated ? "true" : "false")
+              << "\n    }" << (i + 1 == entries.size() ? "\n" : ",\n");
+  }
+  std::cout << "  },\n  \"parallel_core\": {\n"
+            << "    \"topology\": \"torus 8x8x8\", \"messages\": " << messages
+            << ",\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CoreRun& r = runs[i];
+    std::cout << "    \"threads_" << thread_counts[i]
+              << "\": {\"wall_sec\": " << r.wall_sec
+              << ", \"events\": " << r.stats.events_processed
+              << ", \"events_per_sec\": "
+              << (r.wall_sec > 0
+                      ? static_cast<double>(r.stats.events_processed) /
+                            r.wall_sec
+                      : 0.0)
+              << ", \"rounds\": " << r.stats.windows << "}"
+              << (i + 1 == runs.size() ? "\n" : ",\n");
+  }
+  std::cout << "  },\n"
+            << "  \"predictions_bitwise_identical\": "
+            << (identical ? "true" : "false") << ",\n"
+            << "  \"threads_bitwise_identical\": "
+            << (thread_identical ? "true" : "false") << ",\n"
+            << "  \"gates\": {\"scope\": \"vulcan_393k\", "
+               "\"fold_speedup_min\": 20.0, \"folded_wall_max_sec\": 10.0, "
+               "\"pass\": "
+            << (gates_pass ? "true" : "false") << "}\n"
+            << "}\n";
+
+  if (!identical)
+    std::cerr << "DIVERGENCE: folded and unfolded predictions differ\n";
+  else if (!thread_identical)
+    std::cerr << "DIVERGENCE: parallel core depends on the thread count\n";
+  else if (!gates_pass)
+    std::cerr << "GATE: vulcan fold speedup " << gated_speedup
+              << " < 20 or folded wall " << gated_folded_wall << " >= 10 s\n";
+  return gates_pass ? 0 : 1;
+}

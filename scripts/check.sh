@@ -27,14 +27,24 @@
 #     backend actually dispatches), plus the bench_ext_simd divergence and
 #     speedup gates.
 #
+#   - a DES-scaling pass: the sim and verify test binaries (incremental-
+#     round parallel engine, symmetry folding, fold-vs-unfold bit
+#     identity) under ThreadSanitizer — folding is on by default, so the
+#     folded paths run sanitized — plus the bench_ext_des gates on the
+#     Release tree: folded/unfolded predictions bitwise identical across
+#     the golden corpus, thread bit-identity on the executed torus, and
+#     the 393k-rank Vulcan scenario at >= 20x fold speedup and < 10 s
+#     folded wall.
+#
 #   - a slow pass: the stress/soak tests labelled `slow` in ctest, which
-#     every other pass excludes with `ctest -LE slow`.
+#     every other pass excludes with `ctest -LE slow`. Includes the
+#     truly-unfolded 393k-rank Vulcan corpus replay (test_verify_slow).
 #
 #   - an optional coverage pass (FTBESST_COVERAGE=1 in the environment or
 #     --coverage-only): instrumented build + line-coverage report for
 #     src/ft and src/svc via gcovr or llvm-cov, whichever is installed.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--slow-only|--coverage-only]
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--slow-only|--coverage-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -49,11 +59,12 @@ run_obs=1
 run_svc=1
 run_verify=1
 run_simd=1
+run_des=1
 run_slow=1
 run_coverage=${FTBESST_COVERAGE:-0}
 only() {  # keep exactly one pass
   run_release=0; run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0
-  run_verify=0; run_simd=0; run_slow=0; run_coverage=0
+  run_verify=0; run_simd=0; run_des=0; run_slow=0; run_coverage=0
 }
 case "${1:-}" in
   --release-only) only; run_release=1 ;;
@@ -63,11 +74,12 @@ case "${1:-}" in
   --svc-only) only; run_svc=1 ;;
   --verify-only) only; run_verify=1 ;;
   --simd-only) only; run_simd=1 ;;
+  --des-only) only; run_des=1 ;;
   --slow-only) only; run_slow=1 ;;
   --coverage-only) only; run_coverage=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--slow-only|--coverage-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--slow-only|--coverage-only]" >&2
     exit 2
     ;;
 esac
@@ -224,6 +236,38 @@ if [ "$run_simd" = 1 ]; then
   # thread) fail.
   ./build-release/bench/bench_ext_simd > build-release/bench_ext_simd.json
   echo "simd pass: per-backend suites + divergence/speedup gates passed"
+fi
+
+if [ "$run_des" = 1 ]; then
+  echo "== DES-scaling pass (folding + parallel engine under TSan, bench gates) =="
+  # The incremental-round coordinator/worker protocol and the folded
+  # engine paths are the sim kernel's raciest code; folding defaults on,
+  # so the sim and verify suites exercise it under TSan directly (the
+  # verify suite adds the fold-vs-unfold differential leg and the folded
+  # corpus replay). Same probe-and-skip as the other sanitizer passes.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target test_sim test_verify
+    ./build-tsan/tests/test_sim
+    ./build-tsan/tests/test_verify
+  else
+    echo "!! ThreadSanitizer unavailable; sim/verify fold tests run unsanitized" >&2
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$jobs" --target test_sim test_verify
+    ./build-release/tests/test_sim
+    ./build-release/tests/test_verify
+  fi
+
+  # bench_ext_des exits non-zero if folded predictions diverge bitwise
+  # from unfolded ones anywhere in the golden corpus, if the executed
+  # torus is not bit-identical across thread counts, or if the 393k-rank
+  # Vulcan scenario misses the >= 20x fold speedup / < 10 s wall gates.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target bench_ext_des
+  ./build-release/bench/bench_ext_des > build-release/bench_ext_des.json
+  echo "des pass: TSan fold/parallel suites + fold-identity/speedup gates passed"
 fi
 
 if [ "$run_slow" = 1 ]; then

@@ -54,6 +54,21 @@ struct EngineOptions {
   /// Requires the ArchBEO topology to be a TwoStageFatTree; ignored by the
   /// coarse engine.
   bool use_des_network = false;
+  /// DES engine only: collapse symmetric ranks — same AppBEO plan, same
+  /// architecture config, isomorphic link signature (sim/fold.hpp) — to one
+  /// representative component per equivalence class, carrying the class
+  /// multiplicity. Predictions are bitwise identical to the unfolded run;
+  /// only the event count shrinks. Folding is automatically disabled (every
+  /// rank is its own class) when `monte_carlo` is set, because per-rank RNG
+  /// streams make every rank behaviourally distinct, and when
+  /// `use_des_network` is set, because ranks then occupy distinct network
+  /// positions. See ARCHITECTURE.md, "Scaling the DES core".
+  bool fold_symmetry = true;
+  /// DES engine only: rank ids forced out of their fold group into
+  /// singleton classes (clone-on-divergence) and instantiated individually
+  /// — the hook for pinning fault-injection victims or locally perturbed
+  /// ranks. Out-of-range ids are ignored.
+  std::vector<std::int64_t> divergent_ranks;
 };
 
 struct RunResult {
@@ -65,6 +80,11 @@ struct RunResult {
   /// black dots of Figs. 7-8.
   std::vector<int> checkpoint_timesteps;
   std::uint64_t instructions_executed = 0;
+  /// Events dispatched by the PDES kernel (0 for the coarse engine). A
+  /// diagnostic, not a prediction: folding shrinks it while leaving every
+  /// prediction field identical, so it is deliberately excluded from the
+  /// verify corpus text format.
+  std::uint64_t sim_events = 0;
   int faults = 0;           ///< faults that struck during execution
   int rollbacks = 0;        ///< recoveries from a checkpoint
   int full_restarts = 0;    ///< unrecoverable failures (restart from start)

@@ -9,6 +9,7 @@
 #include "net/des_network.hpp"
 #include "net/des_torus.hpp"
 #include "obs/obs.hpp"
+#include "sim/fold.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -362,14 +363,46 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
           });
   }
 
+  // Symmetry folding: in a deterministic, analytically-routed run every
+  // rank executes the same SPMD plan against the same architecture config
+  // from an indistinguishable position, so one representative per
+  // equivalence class stands for the whole class and the coordinator's
+  // rendezvous shrinks from N arrivals to one per class — predictions are
+  // bitwise identical, only the event count drops. Monte-Carlo mode gives
+  // every rank its own RNG stream and the executed network substrate gives
+  // every rank its own physical position; both break the symmetry, so the
+  // specs are marked non-foldable there (each rank stays a singleton
+  // class). divergent_ranks breaks individual ranks out instead of
+  // disabling the whole class (clone-on-divergence).
+  const bool fold = options.fold_symmetry && !options.monte_carlo &&
+                    !options.use_des_network;
+  sim::FoldPlan plan;
+  {
+    std::vector<sim::FoldSpec> specs(static_cast<std::size_t>(app.ranks()));
+    const std::uint64_t behavior = app.plan_digest();
+    const std::uint64_t config = arch.fold_config_digest();
+    for (auto& spec : specs) {
+      spec.signature.type = "rank";
+      spec.signature.behavior_digest = behavior;
+      spec.signature.config_digest = config;
+      spec.signature.foldable = fold;
+    }
+    plan = sim::plan_folds(specs);
+    for (std::int64_t r : options.divergent_ranks)
+      if (r >= 0 && r < app.ranks())
+        plan.break_out(static_cast<std::size_t>(r));
+  }
+
   std::vector<RankComponent*> ranks;
   std::vector<sim::ComponentId> rank_ids;
-  ranks.reserve(static_cast<std::size_t>(app.ranks()));
-  for (std::int64_t r = 0; r < app.ranks(); ++r) {
+  ranks.reserve(plan.groups().size());
+  for (const sim::FoldGroup& group : plan.groups()) {
+    const auto r = static_cast<std::int64_t>(group.representative);
     auto* rc = simulation.add_component<RankComponent>(
         r, app, arch, options.monte_carlo,
         root.split(static_cast<std::uint64_t>(r) + 1));
     rc->set_coordinator(coord->id());
+    rc->set_multiplicity(group.multiplicity());
     ranks.push_back(rc);
     rank_ids.push_back(rc->id());
   }
@@ -379,15 +412,19 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
   if (obs::enabled()) {
     static const obs::Counter runs = obs::counter("des.runs");
     static const obs::Counter events = obs::counter("des.events");
+    static const obs::Counter folded = obs::counter("des.folded_ranks");
     static const obs::Gauge heap_hw = obs::gauge("des.heap_high_water");
     runs.add();
     events.add(stats.events_processed);
+    folded.add(plan.folded_away());
     heap_hw.max(static_cast<double>(stats.heap_high_water));
   }
 
   RunResult result = std::move(coord->result_);
   for (const RankComponent* rc : ranks)
-    result.instructions_executed += rc->instructions_executed;
+    result.instructions_executed +=
+        rc->instructions_executed * rc->multiplicity();
+  result.sim_events = stats.events_processed;
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "net/comm.hpp"
 #include "net/topology.hpp"
+#include "sim/fold.hpp"
 #include "sim/simulation.hpp"
 
 namespace ftbesst::net {
@@ -58,6 +59,19 @@ class DesNetwork {
   }
   /// Total messages delivered so far.
   [[nodiscard]] std::uint64_t delivered() const noexcept;
+
+  /// Detection-only symmetry metadata: one FoldSpec per substrate
+  /// component, ordered [NICs 0..num_nodes), leaves, spines], with peers
+  /// as indices into the returned vector. Ports are canonicalized to roles
+  /// (0 = down/host side, 1 = up side) because every port of a role is
+  /// behaviourally identical under the store-and-forward serialization
+  /// model. On a symmetric fat-tree, sim::plan_folds collapses this to
+  /// exactly three equivalence classes — NIC, leaf, spine. The *executed*
+  /// substrate never folds at runtime (ECMP spine choice and delivery
+  /// handlers depend on concrete node ids — the reason run_des disables
+  /// rank folding under use_des_network); this metadata drives fold
+  /// planning, analyses and tests.
+  [[nodiscard]] std::vector<sim::FoldSpec> fold_specs() const;
 
  private:
   class Nic;

@@ -98,7 +98,7 @@ class DesTorus::Router final : public sim::Component {
 
 DesTorus::DesTorus(sim::Simulation& sim, const Torus& topo, CommParams params,
                    TorusRouting routing)
-    : sim_(&sim), topo_(&topo), params_(params) {
+    : sim_(&sim), topo_(&topo), params_(params), routing_(routing) {
   if (params_.bandwidth <= 0)
     throw std::invalid_argument("bandwidth must be positive");
   for (NodeId n = 0; n < topo.num_nodes(); ++n)
@@ -160,6 +160,45 @@ std::uint64_t DesTorus::total_hops() const noexcept {
   std::uint64_t total = 0;
   for (const Router* r : routers_) total += r->hops_total();
   return total;
+}
+
+std::vector<sim::FoldSpec> DesTorus::fold_specs() const {
+  std::uint64_t config = sim::kFoldDigestSeed;
+  config = sim::fold_digest_f64(config, params_.bandwidth);
+  config = sim::fold_digest_f64(config, params_.injection_latency);
+  config = sim::fold_digest_f64(config, params_.sw_latency);
+  config = sim::fold_digest_u64(config,
+                                static_cast<std::uint64_t>(routing_));
+  const auto& dims = topo_->dims();
+  config = sim::fold_digest_u64(config, dims.size());
+  for (const NodeId k : dims)
+    config = sim::fold_digest_u64(config, static_cast<std::uint64_t>(k));
+
+  std::vector<sim::FoldSpec> specs(
+      static_cast<std::size_t>(topo_->num_nodes()));
+  for (auto& spec : specs) {
+    spec.signature.type = "torus-router";
+    spec.signature.behavior_digest = sim::kFoldDigestSeed;
+    spec.signature.config_digest = config;
+  }
+  const auto hop =
+      std::max<sim::SimTime>(sim::from_seconds(params_.sw_latency), 1);
+  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+    auto coords = topo_->coords(n);
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d] < 2) continue;
+      auto next = coords;
+      next[d] = (coords[d] + 1) % dims[d];
+      const NodeId peer = topo_->node_at(next);
+      const auto plus = static_cast<std::uint32_t>(2 * d + 1);
+      const auto minus = static_cast<std::uint32_t>(2 * d);
+      specs[static_cast<std::size_t>(n)].links.push_back(
+          sim::FoldEndpoint{plus, minus, hop, static_cast<std::size_t>(peer)});
+      specs[static_cast<std::size_t>(peer)].links.push_back(
+          sim::FoldEndpoint{minus, plus, hop, static_cast<std::size_t>(n)});
+    }
+  }
+  return specs;
 }
 
 }  // namespace ftbesst::net

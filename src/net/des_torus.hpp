@@ -43,12 +43,22 @@ class DesTorus {
   /// validating dimension-order routing against Topology::hops).
   [[nodiscard]] std::uint64_t total_hops() const noexcept;
 
+  /// Detection-only symmetry metadata: one FoldSpec per router (indices =
+  /// node ids), mirroring the constructor's ring wiring (dimension-d plus
+  /// port 2d+1 to the neighbour's minus port 2d). On a symmetric torus
+  /// every router lands in a single equivalence class under
+  /// sim::plan_folds. As with the fat-tree substrate, the executed network
+  /// never folds at runtime (routing and delivery handlers address
+  /// concrete nodes); the metadata is for planning and tests.
+  [[nodiscard]] std::vector<sim::FoldSpec> fold_specs() const;
+
  private:
   class Router;
 
   sim::Simulation* sim_;
   const Torus* topo_;
   CommParams params_;
+  TorusRouting routing_;
   std::vector<Router*> routers_;  // one per node
 };
 

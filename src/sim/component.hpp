@@ -31,6 +31,18 @@ class Component {
   [[nodiscard]] std::uint32_t partition() const noexcept { return partition_; }
   void set_partition(std::uint32_t p) noexcept { partition_ = p; }
 
+  /// Number of identical model entities this component stands for under
+  /// symmetry folding (sim/fold.hpp). 1 for ordinary components; a fold
+  /// representative carries its group's size and aggregate_counters() scales
+  /// the component's counters by it, so folded and unfolded runs report
+  /// identical totals.
+  [[nodiscard]] std::uint64_t multiplicity() const noexcept {
+    return multiplicity_;
+  }
+  void set_multiplicity(std::uint64_t m) noexcept {
+    multiplicity_ = m > 0 ? m : 1;
+  }
+
   /// Called once before the first event is processed.
   virtual void init() {}
   /// Called once after the simulation drains or reaches the horizon.
@@ -84,6 +96,7 @@ class Component {
   Simulation* sim_ = nullptr;
   ComponentId id_ = kNoComponent;
   std::uint32_t partition_ = 0;
+  std::uint64_t multiplicity_ = 1;
   std::string name_;
   std::map<std::string, std::uint64_t> counters_;
   /// Wall-clock ns spent in handle_event, accumulated by Simulation::dispatch

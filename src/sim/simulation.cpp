@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -75,9 +76,11 @@ std::uint64_t counter_value(const CounterTotals& totals,
 
 CounterTotals Simulation::aggregate_counters() const {
   CounterTotals totals;
-  for (const auto& component : components_)
+  for (const auto& component : components_) {
+    const std::uint64_t mult = component->multiplicity();
     for (const auto& [name, value] : component->counters())
-      totals.emplace_back(name, value);
+      totals.emplace_back(name, value * mult);
+  }
   std::sort(totals.begin(), totals.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   // Sum duplicates in place (same counter bumped by several components).
@@ -130,18 +133,26 @@ void Simulation::schedule(ComponentId src, ComponentId dst, PortId port,
     queue_.push(std::move(ev));
     return;
   }
-  const std::uint32_t dst_part = components_[dst]->partition();
+  const std::uint32_t dst_part = component_partition_[dst];
   if (t_current_partition == static_cast<std::int64_t>(dst_part)) {
-    partitions_[dst_part]->queue.push(std::move(ev));
+    partitions_[dst_part].queue.push(std::move(ev));
     return;
   }
-  // Cross-partition: must not be due inside the current window, or the
-  // conservative execution would be incorrect.
-  if (ev.time < window_end_ && t_current_partition >= 0)
-    throw std::logic_error(
-        "cross-partition event violates lookahead (delay too small)");
-  std::lock_guard<std::mutex> lock(partitions_[dst_part]->inbox_mutex);
-  partitions_[dst_part]->inbox.push_back(std::move(ev));
+  if (t_current_partition >= 0) {
+    // Cross-partition from inside a round: must not undercut the
+    // destination's published bound, or the conservative execution would be
+    // incorrect (the destination may already have drained past ev.time).
+    if (ev.time < partitions_[dst_part].bound)
+      throw std::logic_error(
+          "cross-partition event violates lookahead (delay too small)");
+    partitions_[static_cast<std::size_t>(t_current_partition)]
+        .outbox[dst_part]
+        .push_back(std::move(ev));
+    return;
+  }
+  // Outside any round (init, or the coordinator between rounds): workers are
+  // quiescent, the destination queue is safe to touch directly.
+  partitions_[dst_part].queue.push(std::move(ev));
 }
 
 void Simulation::send_on_port(ComponentId src, PortId port,
@@ -205,11 +216,11 @@ void Simulation::fold_obs_stats(const SimStats& stats) {
 SimStats Simulation::run(SimTime until) {
   SimStats stats;
   running_ = true;
-  stop_requested_ = false;
+  stop_requested_.store(false, std::memory_order_relaxed);
   parallel_mode_ = false;
   t_current_partition = -1;
   init_components();
-  while (!queue_.empty() && !stop_requested_) {
+  while (!queue_.empty() && !stop_requested()) {
     if (queue_.top().time > until) break;
     stats.heap_high_water =
         std::max<std::uint64_t>(stats.heap_high_water, queue_.size());
@@ -225,13 +236,28 @@ SimStats Simulation::run(SimTime until) {
   return stats;
 }
 
-SimTime Simulation::compute_lookahead() const {
-  SimTime lookahead = kNever;
+void Simulation::build_partition_topology(std::uint32_t num_parts) {
+  component_partition_.resize(components_.size());
+  for (ComponentId c = 0; c < components_.size(); ++c)
+    component_partition_[c] = components_[c]->partition();
+
+  global_min_la_ = kNever;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> pair_la;
   for (const Link& link : links_) {
-    if (components_[link.a]->partition() != components_[link.b]->partition())
-      lookahead = std::min(lookahead, link.latency);
+    const std::uint32_t pa = component_partition_[link.a];
+    const std::uint32_t pb = component_partition_[link.b];
+    if (pa == pb) continue;
+    global_min_la_ = std::min(global_min_la_, link.latency);
+    auto relax = [&](std::uint32_t from, std::uint32_t to) {
+      auto [it, fresh] = pair_la.try_emplace({from, to}, link.latency);
+      if (!fresh) it->second = std::min(it->second, link.latency);
+    };
+    relax(pa, pb);
+    relax(pb, pa);
   }
-  return lookahead;
+  peer_links_.assign(num_parts, {});
+  for (const auto& [pair, la] : pair_la)
+    peer_links_[pair.first].emplace_back(pair.second, la);
 }
 
 void Simulation::auto_partition(std::uint32_t parts) {
@@ -267,87 +293,169 @@ SimStats Simulation::run_parallel(unsigned num_threads, SimTime until) {
   for (const auto& c : components_)
     num_parts = std::max(num_parts, c->partition() + 1);
 
-  const SimTime lookahead = compute_lookahead();
-  if (lookahead == 0) {
+  build_partition_topology(num_parts);
+  // global_min_la_ is 0 exactly when a zero-latency link crosses partitions
+  // (kNever when no link crosses at all, which is fine: independent
+  // partitions drain without any bound).
+  if (global_min_la_ == 0) {
     FTBESST_WARN << "zero cross-partition lookahead; falling back to serial";
     return run(until);
   }
 
   SimStats stats;
   running_ = true;
-  stop_requested_ = false;
+  stop_requested_.store(false, std::memory_order_relaxed);
   parallel_mode_ = true;
   partitions_.clear();
-  for (std::uint32_t p = 0; p < num_parts; ++p)
-    partitions_.push_back(std::make_unique<Partition>());
+  partitions_.resize(num_parts);
+  for (auto& part : partitions_) part.outbox.resize(num_parts);
 
   init_components();
   // Distribute any events injected before run (from init() or externally)
   // out of the serial queue into the partition queues.
   while (!queue_.empty()) {
     Event ev = queue_.pop();
-    partitions_[components_[ev.dst]->partition()]->queue.push(std::move(ev));
+    partitions_[component_partition_[ev.dst]].queue.push(std::move(ev));
   }
 
+  // Round state shared coordinator <-> workers; every field below is written
+  // by the coordinator between rounds and read by workers inside a round,
+  // with the barrier providing the synchronization both ways.
   bool done = false;
-  std::barrier window_barrier(static_cast<std::ptrdiff_t>(num_parts) + 1);
+  std::vector<std::uint32_t> active;
+  std::atomic<std::size_t> cursor{0};
+  std::barrier round_barrier(static_cast<std::ptrdiff_t>(num_threads));
 
-  auto worker = [&](std::uint32_t part) {
-    Partition& mine = *partitions_[part];
+  auto drain_partition = [&](std::uint32_t part) {
+    Partition& mine = partitions_[part];
+    t_current_partition = static_cast<std::int64_t>(part);
+    const SimTime bound = mine.bound;
+    while (!mine.queue.empty()) {
+      const SimTime top = mine.queue.top().time;
+      if (top >= bound || top > until) break;
+      mine.heap_high_water =
+          std::max<std::uint64_t>(mine.heap_high_water, mine.queue.size());
+      Event ev = mine.queue.pop();
+      dispatch(ev, mine.events_processed);
+    }
+    t_current_partition = -1;
+  };
+
+  // Workers (and the coordinator, which helps) claim active partitions from
+  // the shared cursor; each partition is drained by exactly one thread.
+  auto work_round = [&]() {
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < active.size();
+         i = cursor.fetch_add(1, std::memory_order_relaxed))
+      drain_partition(active[i]);
+  };
+  auto worker = [&]() {
     for (;;) {
-      window_barrier.arrive_and_wait();  // window published by coordinator
+      round_barrier.arrive_and_wait();  // round published by coordinator
       if (done) return;
-      t_current_partition = static_cast<std::int64_t>(part);
-      while (!mine.queue.empty() && mine.queue.top().time < window_end_) {
-        mine.heap_high_water =
-            std::max<std::uint64_t>(mine.heap_high_water, mine.queue.size());
-        Event ev = mine.queue.pop();
-        dispatch(ev, mine.events_processed);
-      }
-      t_current_partition = -1;
-      window_barrier.arrive_and_wait();  // window complete
+      work_round();
+      round_barrier.arrive_and_wait();  // round complete
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(num_parts);
-  for (std::uint32_t p = 0; p < num_parts; ++p) threads.emplace_back(worker, p);
+  threads.reserve(num_threads - 1);
+  for (unsigned t = 1; t < num_threads; ++t) threads.emplace_back(worker);
 
+  // Scratch reused across rounds.
+  std::vector<SimTime> next(num_parts, kNever);
+  std::vector<SimTime> eot(num_parts, kNever);
+  std::vector<char> settled(num_parts, 0);
   SimTime last_time = 0;
   for (;;) {
-    // Merge inboxes, then find the globally earliest pending event.
-    SimTime next_time = kNever;
-    for (auto& part : partitions_) {
-      for (Event& ev : part->inbox) {
-        partitions_[components_[ev.dst]->partition()]->queue.push(
-            std::move(ev));
+    // Batched cross-partition merge. Workers are quiescent between rounds,
+    // so outboxes move into destination queues without locks.
+    for (auto& from : partitions_)
+      for (std::uint32_t q = 0; q < num_parts; ++q) {
+        for (Event& ev : from.outbox[q]) partitions_[q].queue.push(std::move(ev));
+        from.outbox[q].clear();
       }
-      part->inbox.clear();
-    }
-    for (auto& part : partitions_)
-      if (!part->queue.empty())
-        next_time = std::min(next_time, part->queue.top().time);
 
-    if (next_time == kNever || next_time > until || stop_requested_) {
+    SimTime global_next = kNever;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      next[p] =
+          partitions_[p].queue.empty() ? kNever : partitions_[p].queue.top().time;
+      global_next = std::min(global_next, next[p]);
+    }
+    if (global_next == kNever || global_next > until || stop_requested()) {
       done = true;
-      window_barrier.arrive_and_wait();
+      round_barrier.arrive_and_wait();
       break;
     }
-    last_time = std::min(next_time, until);
-    window_end_ = std::min(saturating_add(next_time, lookahead),
-                           saturating_add(until, 1));
+    last_time = std::min(global_next, until);
+
+    // Earliest-output-time fixed point (the CMB null-message bound): eot[q]
+    // lower-bounds the time of anything partition q could ever execute or
+    // emit from now on, accounting for transitive feedback through other
+    // partitions. Settle partitions in eot order (Dijkstra over the
+    // partition graph; sources are the queue heads, edges are the per-pair
+    // minimum link latencies, plus an implicit complete graph at
+    // global_min_la_ that keeps link-less schedule_to deliveries safe).
+    std::copy(next.begin(), next.end(), eot.begin());
+    std::fill(settled.begin(), settled.end(), 0);
+    for (std::uint32_t iter = 0; iter < num_parts; ++iter) {
+      std::uint32_t u = num_parts;
+      SimTime best = kNever;
+      for (std::uint32_t p = 0; p < num_parts; ++p)
+        if (!settled[p] && eot[p] < best) {
+          best = eot[p];
+          u = p;
+        }
+      if (u == num_parts) break;  // everything left is at kNever
+      settled[u] = 1;
+      const SimTime via_floor = saturating_add(best, global_min_la_);
+      for (std::uint32_t p = 0; p < num_parts; ++p)
+        if (!settled[p]) eot[p] = std::min(eot[p], via_floor);
+      for (const auto& [q, la] : peer_links_[u])
+        if (!settled[q]) eot[q] = std::min(eot[q], saturating_add(best, la));
+    }
+
+    // Per-partition bound = earliest possible future arrival from any other
+    // partition. The floor term uses the two smallest eot values so that
+    // min over q != p is O(1) per partition.
+    SimTime min1 = kNever, min2 = kNever;
+    std::uint32_t argmin = 0;
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      if (eot[p] < min1) {
+        min2 = min1;
+        min1 = eot[p];
+        argmin = p;
+      } else {
+        min2 = std::min(min2, eot[p]);
+      }
+    }
+    active.clear();
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+      const SimTime others = (p == argmin) ? min2 : min1;
+      SimTime bound = saturating_add(others, global_min_la_);
+      for (const auto& [q, la] : peer_links_[p])
+        bound = std::min(bound, saturating_add(eot[q], la));
+      partitions_[p].bound = bound;
+      // Selective wake: only partitions with work inside their bound (and
+      // the horizon) join this round.
+      if (next[p] < bound && next[p] <= until) active.push_back(p);
+    }
+    cursor.store(0, std::memory_order_relaxed);
     ++stats.windows;
-    window_barrier.arrive_and_wait();  // start window
-    window_barrier.arrive_and_wait();  // end window
+    round_barrier.arrive_and_wait();  // publish round
+    work_round();                     // coordinator helps drain
+    round_barrier.arrive_and_wait();  // round complete
   }
   for (auto& t : threads) t.join();
 
   for (auto& part : partitions_) {
-    stats.events_processed += part->events_processed;
+    stats.events_processed += part.events_processed;
     stats.heap_high_water =
-        std::max(stats.heap_high_water, part->heap_high_water);
+        std::max(stats.heap_high_water, part.heap_high_water);
     // Return undrained events to the serial queue so a later run() resumes.
-    while (!part->queue.empty()) queue_.push(part->queue.pop());
+    // (Outboxes are empty here: the merge at the top of the final round ran
+    // before the termination check.)
+    while (!part.queue.empty()) queue_.push(part.queue.pop());
   }
   partitions_.clear();
   parallel_mode_ = false;

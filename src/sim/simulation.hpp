@@ -2,21 +2,27 @@
 // The simulation kernel: component registry, links, event queues, and both
 // serial and conservative-parallel execution engines.
 //
-// Parallel model (conservative, windowed): components are assigned to
-// partitions; each partition owns a private event queue. Execution proceeds
-// in global windows of width `lookahead` = the minimum latency of any
-// cross-partition link (or explicit schedule_to delay). Within a window each
-// partition drains its events independently on its own thread; events bound
-// for another partition are deposited in that partition's locked inbox and
-// merged at the barrier. Because every cross-partition event carries at
-// least `lookahead` of delay, no event generated inside window [W, W+LA) can
-// be due before W+LA — so concurrent intra-window execution never violates
-// causality. Event ordering keys are identical in serial and parallel mode,
-// so both engines produce bit-identical simulations.
+// Parallel model (conservative, incremental rounds): components are assigned
+// to partitions; each partition owns a private event queue. Execution
+// proceeds in rounds. Between rounds a coordinator computes, per partition,
+// a conservative *bound* — the earliest time any event could still arrive
+// from another partition — from the CMB-style earliest-output-time fixed
+// point over the partition graph: per-partition-pair lookahead is the
+// minimum latency of the links joining that pair, and the minimum
+// cross-partition link latency overall is a floor that keeps direct
+// schedule_to deliveries (which ride no link) safe. Only partitions whose
+// next event falls below their bound wake in a round ("selective wake");
+// workers claim active partitions from a shared cursor and drain them
+// independently. Events bound for another partition are appended to
+// lock-free per-destination outboxes and batch-merged by the coordinator
+// between rounds, while workers are quiescent at the barrier. Event
+// ordering keys are identical in serial and parallel mode and form a strict
+// total order, so both engines — and any thread count — produce
+// bit-identical simulations.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -40,7 +46,9 @@ struct Link {
 
 /// Aggregated component counters, sorted by name (built once per call
 /// instead of rebuilding a std::map node-by-node; benches aggregate per
-/// run). Look values up with counter_value().
+/// run). Look values up with counter_value(). Counters of a fold
+/// representative are scaled by its multiplicity, so folded and unfolded
+/// models aggregate to identical totals.
 using CounterTotals = std::vector<std::pair<std::string, std::uint64_t>>;
 
 /// Value of `name` in sorted `totals` (binary search). Throws
@@ -51,7 +59,7 @@ using CounterTotals = std::vector<std::pair<std::string, std::uint64_t>>;
 /// Aggregate run statistics.
 struct SimStats {
   std::uint64_t events_processed = 0;
-  std::uint64_t windows = 0;  ///< parallel barrier windows (0 for serial)
+  std::uint64_t windows = 0;  ///< parallel synchronization rounds (0 serial)
   /// Deepest event queue observed during the run (max over partition queues
   /// in parallel mode) — the working-set measure the DES heap is sized by.
   std::uint64_t heap_high_water = 0;
@@ -86,7 +94,8 @@ class Simulation {
   }
 
   /// Sum of every component's named counters (SST-style statistics
-  /// aggregation). Call after run() / run_parallel().
+  /// aggregation), each scaled by the component's fold multiplicity. Call
+  /// after run() / run_parallel().
   [[nodiscard]] CounterTotals aggregate_counters() const;
 
   /// Total events dispatched over this simulation's lifetime (all runs).
@@ -97,15 +106,22 @@ class Simulation {
   /// Run serially until the event queue drains or `until` is reached.
   SimStats run(SimTime until = kNever);
 
-  /// Run with `num_threads` worker threads using conservative windowed
-  /// synchronization. With num_threads <= 1 this is exactly run().
+  /// Run with `num_threads` worker threads using conservative incremental
+  /// rounds. With num_threads <= 1 this is exactly run(). External event
+  /// injection (Simulation::schedule from a thread outside the engine) is
+  /// only supported while no parallel run is in flight.
   SimStats run_parallel(unsigned num_threads, SimTime until = kNever);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Request an early stop: the engine finishes the current event and halts.
-  void request_stop() noexcept { stop_requested_ = true; }
-  [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+  /// Request an early stop: the engine finishes the current event (serial)
+  /// or round (parallel) and halts.
+  void request_stop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
 
   // -- scheduling interface (used by Component helpers; public so that test
   //    drivers can inject external stimuli) --
@@ -115,10 +131,20 @@ class Simulation {
                     std::unique_ptr<Payload> payload, std::int32_t priority);
 
  private:
-  struct Partition {
+  /// Per-partition execution state. Cache-line aligned and stored by value
+  /// (flat vector) so the coordinator's per-round scans stream through
+  /// memory instead of chasing pointers.
+  struct alignas(64) Partition {
     EventHeap queue;
-    std::vector<Event> inbox;  // cross-partition deliveries, merged at barrier
-    std::mutex inbox_mutex;
+    /// Cross-partition events produced this round, one vector per
+    /// destination partition. Only the single worker that claimed this
+    /// partition appends during a round; the coordinator merges between
+    /// rounds while workers sit at the barrier — no locks anywhere.
+    std::vector<std::vector<Event>> outbox;
+    /// Published by the coordinator each round: no event below this time can
+    /// still arrive from another partition, so draining strictly below it is
+    /// safe. Also the reference for the cross-partition delivery check.
+    SimTime bound = 0;
     std::uint64_t events_processed = 0;
     std::uint64_t heap_high_water = 0;
   };
@@ -130,9 +156,11 @@ class Simulation {
   /// Fold run totals and per-component busy time into the obs registry
   /// (no-op while obs is disabled); clears the per-component accumulators.
   void fold_obs_stats(const SimStats& stats);
-  /// Partition lookahead: the minimum cross-partition link latency. Returns
-  /// 0 when any cross-partition link has zero latency (parallel unsafe).
-  [[nodiscard]] SimTime compute_lookahead() const;
+  /// Build the flat component->partition map, the symmetric per-pair
+  /// minimum-latency adjacency (peer_links_) and the global cross-partition
+  /// minimum (global_min_la_: 0 iff some zero-latency link crosses
+  /// partitions — parallel unsafe; kNever iff no link crosses at all).
+  void build_partition_topology(std::uint32_t num_parts);
   /// Assign partitions automatically if the user did not: components
   /// connected by zero-latency links are grouped, groups are distributed
   /// round-robin over `parts` partitions.
@@ -145,13 +173,18 @@ class Simulation {
   std::vector<std::uint64_t> src_seq_;  // per-component schedule counter
 
   EventHeap queue_;  // serial engine queue
-  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<Partition> partitions_;
+  /// Flat copy of each component's partition, rebuilt per parallel run; the
+  /// schedule() hot path indexes it instead of dereferencing the component.
+  std::vector<std::uint32_t> component_partition_;
+  /// peer_links_[p] = (q, min latency of links between p and q), symmetric.
+  std::vector<std::vector<std::pair<std::uint32_t, SimTime>>> peer_links_;
+  SimTime global_min_la_ = kNever;
   bool parallel_mode_ = false;
-  SimTime window_end_ = kNever;  // parallel: events >= window_end defer
   SimTime now_ = 0;
   bool initialized_ = false;
   bool running_ = false;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_ = false;
   std::uint64_t events_processed_ = 0;
 };
 

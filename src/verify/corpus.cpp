@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/engine_des.hpp"
 #include "core/montecarlo.hpp"
 #include "verify/format.hpp"
 
@@ -129,6 +130,65 @@ CorpusReport replay_corpus(const std::string& dir,
               {name, "threads=4 replay diverged: " +
                          first_divergence(parallel, want)});
       }
+    } catch (const std::exception& e) {
+      report.mismatches.push_back({name, std::string("exception: ") +
+                                             e.what()});
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Canonical text form of one run_des prediction. Mirrors result_to_text's
+/// shortest-round-trip formatting; sim_events is deliberately excluded
+/// (it is a diagnostic that folding shrinks, see core::RunResult).
+std::string des_result_to_text(const core::RunResult& r) {
+  std::string out = "ftbesst-verify-des-result v1\n";
+  out += "completed " + std::to_string(r.completed ? 1 : 0) + '\n';
+  out += "total " + format_double(r.total_seconds) + '\n';
+  out += "instructions " + std::to_string(r.instructions_executed) + '\n';
+  out += "faults " + std::to_string(r.faults) + '\n';
+  out += "rollbacks " + std::to_string(r.rollbacks) + '\n';
+  out += "full_restarts " + std::to_string(r.full_restarts) + '\n';
+  append_series(out, "timestep_end", r.timestep_end_times);
+  out += "checkpoints";
+  for (const int t : r.checkpoint_timesteps)
+    out += ' ' + std::to_string(t);
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+CorpusReport replay_corpus_folded(const std::string& dir,
+                                  std::int64_t max_unfolded_ranks) {
+  CorpusReport report;
+  for (const std::filesystem::path& path : corpus_files(dir)) {
+    ++report.entries;
+    const std::string name = path.stem().string();
+    try {
+      Scenario clean = Scenario::from_text(read_file(path));
+      // run_des prices single deterministic executions; strip the
+      // stochastic ingredients exactly as the differential checker does.
+      clean.inject_faults = false;
+      clean.monte_carlo = false;
+      clean.noise_sigma = 0.0;
+      BuiltScenario built = build(clean);
+      built.options.fold_symmetry = true;
+      const std::string folded =
+          des_result_to_text(core::run_des(built.app, built.arch,
+                                           built.options));
+      ++report.replayed;
+      if (clean.ranks > max_unfolded_ranks) continue;  // folded-only tier
+      built.options.fold_symmetry = false;
+      const std::string unfolded =
+          des_result_to_text(core::run_des(built.app, built.arch,
+                                           built.options));
+      if (folded != unfolded)
+        report.mismatches.push_back(
+            {name, "folded-vs-unfolded replay diverged: " +
+                       first_divergence(folded, unfolded)});
     } catch (const std::exception& e) {
       report.mismatches.push_back({name, std::string("exception: ") +
                                              e.what()});

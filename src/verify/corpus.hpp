@@ -54,4 +54,16 @@ struct CorpusReport {
 /// number of entries written.
 int record_corpus(const std::string& dir);
 
+/// Fold-invariance replay: price a deterministic copy of every corpus
+/// scenario through run_des twice — symmetry folding on and off — and
+/// require the serialized prediction texts to match byte for byte (the
+/// text deliberately excludes the diagnostic event count, which folding
+/// shrinks). Entries with more than `max_unfolded_ranks` logical ranks
+/// skip the unfolded leg (pricing 400k individual rank components is a
+/// slow-tier job, exercised by the labelled ctest target and the
+/// bench_ext_des gate) but still must price cleanly folded, so the
+/// notional-machine corpus entry stays under tier-1 replay.
+[[nodiscard]] CorpusReport replay_corpus_folded(
+    const std::string& dir, std::int64_t max_unfolded_ranks = 1 << 16);
+
 }  // namespace ftbesst::verify

@@ -140,6 +140,58 @@ void check_engines(const Scenario& s, const DiffTolerances& tol,
     }
 }
 
+// --- leg 2b: run_des folded vs unfolded, bit-identical ---
+// Symmetry folding (sim/fold.hpp) collapses equivalent rank components to
+// one representative per class and scales counters by multiplicity at
+// aggregation. It is a pure execution-cost optimization: every prediction
+// field must match the unfolded run bit for bit, and the folded run must
+// touch no more PDES events than the unfolded one.
+void check_fold(const Scenario& s, const BuildOverrides& overrides,
+                DiffReport& report) {
+  const Scenario clean = deterministic_copy(s);
+  BuiltScenario built = build(clean, overrides);
+  built.options.fold_symmetry = true;
+  const core::RunResult folded = core::run_des(built.app, built.arch,
+                                               built.options);
+  built.options.fold_symmetry = false;
+  const core::RunResult unfolded = core::run_des(built.app, built.arch,
+                                                 built.options);
+  ++report.fold_checks;
+  if (!bits_equal(folded.total_seconds, unfolded.total_seconds)) {
+    add_failure(report, "fold_vs_unfold",
+                pair_detail("total not bit-identical", folded.total_seconds,
+                            "folded", unfolded.total_seconds, "unfolded"),
+                clean);
+    return;
+  }
+  if (!bits_equal(folded.timestep_end_times, unfolded.timestep_end_times)) {
+    add_failure(report, "fold_vs_unfold",
+                "timestep trace not bit-identical", clean);
+    return;
+  }
+  if (folded.checkpoint_timesteps != unfolded.checkpoint_timesteps) {
+    add_failure(report, "fold_vs_unfold",
+                "checkpoint timesteps differ", clean);
+    return;
+  }
+  if (folded.instructions_executed != unfolded.instructions_executed ||
+      folded.completed != unfolded.completed ||
+      folded.faults != unfolded.faults ||
+      folded.rollbacks != unfolded.rollbacks ||
+      folded.full_restarts != unfolded.full_restarts) {
+    add_failure(report, "fold_vs_unfold",
+                "scaled counters or completion status differ", clean);
+    return;
+  }
+  if (folded.sim_events > unfolded.sim_events)
+    add_failure(report, "fold_vs_unfold",
+                pair_detail("folded run processed MORE events",
+                            static_cast<double>(folded.sim_events), "folded",
+                            static_cast<double>(unfolded.sim_events),
+                            "unfolded"),
+                clean);
+}
+
 // --- leg 3: run_ensemble threads 1 vs N, bit-identical ---
 void check_threads(const Scenario& s, const BuildOverrides& overrides,
                    DiffReport& report) {
@@ -307,6 +359,7 @@ void DiffReport::merge(const DiffReport& other) {
   scenarios += other.scenarios;
   analytic_checks += other.analytic_checks;
   engine_checks += other.engine_checks;
+  fold_checks += other.fold_checks;
   thread_checks += other.thread_checks;
   young_daly_checks += other.young_daly_checks;
   backend_checks += other.backend_checks;
@@ -319,6 +372,7 @@ std::string DiffReport::summary() const {
   out += std::to_string(scenarios) + " scenarios, ";
   out += std::to_string(analytic_checks) + " analytic, ";
   out += std::to_string(engine_checks) + " des-vs-bsp, ";
+  out += std::to_string(fold_checks) + " fold-vs-unfold, ";
   out += std::to_string(thread_checks) + " thread-bit, ";
   out += std::to_string(young_daly_checks) + " young-daly, ";
   out += std::to_string(backend_checks) + " eval-backend checks, ";
@@ -339,6 +393,7 @@ DiffReport check_scenario(const Scenario& s, const DiffTolerances& tol,
   try {
     check_analytic(s, tol, overrides, report);
     check_engines(s, tol, overrides, report);
+    check_fold(s, overrides, report);
     check_threads(s, overrides, report);
     check_young_daly(s, tol, overrides, report);
     check_eval_backends(s, report);

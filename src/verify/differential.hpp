@@ -19,6 +19,11 @@
 //    PDES kernel quantizes every duration to integer nanoseconds
 //    (sim/time.hpp), so quantization error grows with program length.
 //    Totals and the per-timestep trace are both checked.
+//  * run_des folded vs unfolded (clean, deterministic): bit-identical —
+//    symmetry folding (sim/fold.hpp) is a pure execution-cost optimization
+//    and must never change a prediction. Totals, the per-timestep trace,
+//    checkpoint counts, and scaled instruction counters are all compared;
+//    the folded run must also process no more events than the unfolded one.
 //  * run_ensemble threads 1 vs N: bit-identical (memcmp on every double).
 //  * Young/Daly expected runtime vs ensemble mean (eligible fault
 //    scenarios): within a x1.6 multiplicative band — first-order waste
@@ -49,8 +54,9 @@ struct DiffTolerances {
 };
 
 struct DiffFailure {
-  std::string check;   ///< "analytic_twin" | "des_vs_bsp" | "thread_bits"
-                       ///< | "young_daly" | "eval_backend" | "exception"
+  std::string check;   ///< "analytic_twin" | "des_vs_bsp" | "fold_vs_unfold"
+                       ///< | "thread_bits" | "young_daly" | "eval_backend"
+                       ///< | "exception"
   std::string detail;  ///< human-readable disagreement description
   std::uint64_t generator_seed = 0;  ///< 0 when not generator-produced
   std::uint64_t scenario_index = 0;
@@ -61,6 +67,7 @@ struct DiffReport {
   int scenarios = 0;
   int analytic_checks = 0;
   int engine_checks = 0;
+  int fold_checks = 0;
   int thread_checks = 0;
   int young_daly_checks = 0;
   int backend_checks = 0;

@@ -1,0 +1,77 @@
+// Fold metadata emitted by the DES network substrates: on symmetric
+// machines the fat-tree must collapse to exactly {nic, leaf-switch,
+// spine-switch} and a torus to a single router class; breaking physical
+// symmetry must split classes through the link signature alone.
+
+#include <gtest/gtest.h>
+
+#include "net/des_network.hpp"
+#include "net/des_torus.hpp"
+#include "net/topology.hpp"
+#include "sim/fold.hpp"
+#include "sim/simulation.hpp"
+
+namespace ftbesst::net {
+namespace {
+
+TEST(NetFold, SymmetricFatTreeYieldsThreeClasses) {
+  sim::Simulation sim;
+  const TwoStageFatTree topo(3, 4, 2);  // 12 nodes, 3 leaves, 2 spines
+  const DesNetwork net(sim, topo, {});
+  const auto specs = net.fold_specs();
+  ASSERT_EQ(specs.size(), 12u + 3u + 2u);
+  const sim::FoldPlan plan = sim::plan_folds(specs);
+  ASSERT_EQ(plan.groups().size(), 3u);  // nic, leaf-switch, spine-switch
+  EXPECT_EQ(plan.groups()[0].multiplicity(), 12u);
+  EXPECT_EQ(plan.groups()[1].multiplicity(), 3u);
+  EXPECT_EQ(plan.groups()[2].multiplicity(), 2u);
+  EXPECT_EQ(plan.folded_away(), 14u);
+}
+
+TEST(NetFold, CommParamsSplitFatTreeClasses) {
+  sim::Simulation a_sim, b_sim;
+  const TwoStageFatTree topo(2, 2, 1);
+  CommParams fast;
+  CommParams slow;
+  slow.bandwidth = fast.bandwidth / 2;
+  const DesNetwork fast_net(a_sim, topo, fast);
+  const DesNetwork slow_net(b_sim, topo, slow);
+  // Same machine shape, different config digest: classes must not match.
+  EXPECT_NE(fast_net.fold_specs()[0].signature.config_digest,
+            slow_net.fold_specs()[0].signature.config_digest);
+}
+
+TEST(NetFold, SymmetricTorusYieldsOneRouterClass) {
+  sim::Simulation sim;
+  const Torus topo({4, 4, 2});
+  const DesTorus torus(sim, topo, {});
+  const auto specs = torus.fold_specs();
+  ASSERT_EQ(specs.size(), 32u);
+  const sim::FoldPlan plan = sim::plan_folds(specs);
+  ASSERT_EQ(plan.groups().size(), 1u);
+  EXPECT_EQ(plan.groups()[0].multiplicity(), 32u);
+}
+
+TEST(NetFold, DegenerateTorusDimensionSplitsNothing) {
+  // dims {4, 1}: the singleton dimension wires no links, so the machine is
+  // a 4-ring — still one class.
+  sim::Simulation sim;
+  const Torus topo({4, 1});
+  const DesTorus torus(sim, topo, {});
+  const sim::FoldPlan plan = sim::plan_folds(torus.fold_specs());
+  EXPECT_EQ(plan.groups().size(), 1u);
+}
+
+TEST(NetFold, AsymmetricTorusSplitsByOrbit) {
+  // A 3x2 torus: dimension 0 is a 3-ring (distinct +/- neighbours),
+  // dimension 1 a 2-ring (doubled link). All routers remain equivalent by
+  // symmetry — the orbit is the whole machine.
+  sim::Simulation sim;
+  const Torus topo({3, 2});
+  const DesTorus torus(sim, topo, {});
+  const sim::FoldPlan plan = sim::plan_folds(torus.fold_specs());
+  EXPECT_EQ(plan.groups().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ftbesst::net

@@ -1,0 +1,145 @@
+// The incremental-round engine's conservative bound: earliest-output-time
+// (EOT) propagation over the partition graph. The trap these tests guard
+// is transitive feedback — a partition facing a currently-empty peer must
+// NOT drain past the time at which that peer could be woken by a third
+// party (or by the partition itself) and send something back. A naive
+// bound of min(peer_next + lookahead) admits exactly that causality
+// violation; the CMB-style EOT fixed point does not.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace ftbesst::sim {
+namespace {
+
+/// Echoes every arrival straight back out of `out_port`. Starts empty:
+/// its partition has no events until someone wakes it.
+class Echo final : public Component {
+ public:
+  explicit Echo(std::string name, PortId out_port = 0)
+      : Component(std::move(name)), out_port_(out_port) {}
+  void handle_event(PortId, std::unique_ptr<Payload>) override {
+    arrivals.push_back(now());
+    send(out_port_, nullptr);
+  }
+  std::vector<SimTime> arrivals;
+
+ private:
+  PortId out_port_;
+};
+
+/// Dense local work plus a periodic probe to the echo peer; records the
+/// times of the echoed replies.
+class Prober final : public Component {
+ public:
+  Prober(std::string name, int ticks)
+      : Component(std::move(name)), ticks_(ticks) {}
+  void init() override { schedule_self(1); }
+  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+    if (port != 0) {  // echo reply (self-wakes arrive on port 0)
+      replies.push_back(now());
+      return;
+    }
+    if (++count_ % 50 == 0) send(1, nullptr);  // probe the echo
+    if (count_ < ticks_) schedule_self(1);
+  }
+  std::vector<SimTime> replies;
+
+ private:
+  int ticks_;
+  int count_ = 0;
+};
+
+struct FeedbackResult {
+  std::vector<SimTime> replies;
+  std::vector<SimTime> arrivals;
+  SimStats stats;
+};
+
+FeedbackResult run_feedback(unsigned threads, int ticks, SimTime latency) {
+  Simulation sim;
+  auto* prober = sim.add_component<Prober>("prober", ticks);
+  auto* echo = sim.add_component<Echo>("echo");
+  prober->set_partition(0);
+  echo->set_partition(1);
+  sim.connect(prober->id(), 1, echo->id(), 0, latency);
+  FeedbackResult r;
+  r.stats = threads <= 1 ? sim.run() : sim.run_parallel(threads);
+  r.replies = prober->replies;
+  r.arrivals = echo->arrivals;
+  return r;
+}
+
+TEST(ParallelFeedback, EmptyPeerFeedbackMatchesSerial) {
+  // The prober's partition holds ~1000 events at tick granularity; the
+  // echo partition is empty between probes. A bound derived from the
+  // echo's (empty) queue would let the prober drain to completion and
+  // then receive echoes in its past. EOT propagation keeps every reply
+  // causally ordered, so parallel must equal serial exactly.
+  const FeedbackResult serial = run_feedback(1, 1000, SimTime{7});
+  ASSERT_FALSE(serial.replies.empty());
+  for (unsigned threads : {2u, 4u}) {
+    const FeedbackResult parallel = run_feedback(threads, 1000, SimTime{7});
+    EXPECT_EQ(parallel.replies, serial.replies) << threads << " threads";
+    EXPECT_EQ(parallel.arrivals, serial.arrivals) << threads << " threads";
+    EXPECT_EQ(parallel.stats.events_processed, serial.stats.events_processed);
+    EXPECT_EQ(parallel.stats.end_time, serial.stats.end_time);
+  }
+}
+
+TEST(ParallelFeedback, ThreePartyRelayMatchesSerial) {
+  // a probes b, b echoes to c, c echoes back to a: the bound on a's
+  // partition depends on c, whose wake time depends on b — only a
+  // transitive (fixed-point) EOT sees it.
+  auto build_and_run = [](unsigned threads) {
+    Simulation sim;
+    auto* a = sim.add_component<Prober>("a", 600);
+    auto* b = sim.add_component<Echo>("b", 1);  // receive 0, forward 1
+    auto* c = sim.add_component<Echo>("c", 1);
+    a->set_partition(0);
+    b->set_partition(1);
+    c->set_partition(2);
+    sim.connect(a->id(), 1, b->id(), 0, SimTime{5});
+    sim.connect(b->id(), 1, c->id(), 0, SimTime{9});
+    sim.connect(c->id(), 1, a->id(), 2, SimTime{4});  // reply lands on a:2
+    FeedbackResult r;
+    r.stats = threads <= 1 ? sim.run() : sim.run_parallel(threads);
+    r.replies = a->replies;
+    r.arrivals = c->arrivals;
+    return r;
+  };
+  const FeedbackResult serial = build_and_run(1);
+  ASSERT_FALSE(serial.replies.empty());
+  for (unsigned threads : {2u, 3u, 4u}) {
+    const FeedbackResult parallel = build_and_run(threads);
+    EXPECT_EQ(parallel.replies, serial.replies) << threads << " threads";
+    EXPECT_EQ(parallel.arrivals, serial.arrivals) << threads << " threads";
+    EXPECT_EQ(parallel.stats.end_time, serial.stats.end_time);
+  }
+}
+
+TEST(ParallelFeedback, SelectiveWakeSkipsIdlePartitions) {
+  // One busy partition, three far-future partitions: rounds should not be
+  // inflated by partitions with nothing to do inside the bound.
+  Simulation sim;
+  auto* busy = sim.add_component<Prober>("busy", 400);
+  busy->set_partition(0);
+  auto* e0 = sim.add_component<Echo>("e0");
+  e0->set_partition(1);
+  sim.connect(busy->id(), 1, e0->id(), 0, SimTime{11});
+  for (int i = 0; i < 3; ++i) {
+    auto* idle = sim.add_component<Prober>("idle" + std::to_string(i), 1);
+    idle->set_partition(static_cast<std::uint32_t>(2 + i));
+  }
+  const SimStats stats = sim.run_parallel(4);
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_GT(stats.events_processed, 400u);
+}
+
+}  // namespace
+}  // namespace ftbesst::sim

@@ -27,6 +27,17 @@ TEST(Corpus, CommittedCorpusReplaysByteExactly) {
   EXPECT_EQ(report.replayed, report.entries);
 }
 
+TEST(Corpus, FoldedReplayMatchesUnfoldedByteExactly) {
+  // Tier-1 fold invariant: every corpus machine prices identically with
+  // symmetry folding on and off. The 393k-rank Vulcan entry stays under
+  // the default unfolded-rank cap (folded-only here); the slow tier
+  // (test_fold_slow.cpp) lifts the cap and runs it truly unfolded.
+  const CorpusReport report = replay_corpus_folded(FTBESST_CORPUS_DIR);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.replayed, report.entries);
+  EXPECT_GE(report.entries, 21);
+}
+
 TEST(Corpus, ResultTextIsThreadInvariant) {
   Scenario s;
   s.trials = 6;

@@ -1,0 +1,29 @@
+// Slow tier: the notional-machine fold invariant at full scale. Prices the
+// 393,216-rank Vulcan corpus entry (and every other corpus scenario)
+// through run_des with the unfolded-rank cap lifted, so the folded run is
+// compared byte-exactly against a true 400k-component unfolded execution —
+// several seconds of wall-clock, hence the `slow` ctest label. The tier-1
+// fold replay (test_corpus.cpp) covers the same corpus with the Vulcan
+// entry folded-only.
+
+#include <gtest/gtest.h>
+
+#include "verify/corpus.hpp"
+
+#ifndef FTBESST_CORPUS_DIR
+#error "FTBESST_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace ftbesst::verify {
+namespace {
+
+TEST(FoldCorpusSlow, VulcanUnfoldedReplayMatchesByteExactly) {
+  const CorpusReport report =
+      replay_corpus_folded(FTBESST_CORPUS_DIR, std::int64_t{1} << 30);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.replayed, report.entries);
+  EXPECT_GE(report.entries, 21);  // incl. the 393k-rank Vulcan entry
+}
+
+}  // namespace
+}  // namespace ftbesst::verify

@@ -49,12 +49,16 @@
 //       print the reply JSON; exits 0 on ok, 1 on an error reply.
 //
 //   ftbesst verify [--differential N [--dump DIR]] [--fuzz ITERS]
-//       [--corpus DIR [--update 1] [--threads-check 0|1]] [--seed S]
+//       [--corpus DIR [--update 1] [--threads-check 0|1]]
+//       [--fold-corpus DIR [--max-unfolded-ranks R]] [--seed S]
 //       Verification harness (docs/TESTING.md): cross-engine differential
 //       checking over N generated scenarios (failures are shrunk and, with
 //       --dump, written as .scenario reproducers), in-process structure-
 //       aware fuzzing of the json/wire/plan/model parsers, and byte-exact
 //       golden-corpus replay (--update 1 re-records the .expected files).
+//       --fold-corpus prices each corpus entry through run_des with
+//       symmetry folding on and off and requires byte-identical
+//       predictions (entries above --max-unfolded-ranks run folded only).
 //       Exits 1 on any disagreement, fuzz bug, or corpus mismatch.
 //
 // All file formats are the plain-text ones from model/serialize.hpp.
@@ -574,7 +578,8 @@ int cmd_client(const util::ArgParser& args) {
 
 int cmd_verify(const util::ArgParser& args) {
   args.expect_known({"differential", "seed", "dump", "fuzz", "corpus",
-                     "update", "threads-check", "obs-out"});
+                     "update", "threads-check", "fold-corpus",
+                     "max-unfolded-ranks", "obs-out"});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   bool ran_anything = false;
   int rc = 0;
@@ -611,9 +616,17 @@ int cmd_verify(const util::ArgParser& args) {
     }
   }
 
+  if (const auto fold_dir = args.get("fold-corpus")) {
+    ran_anything = true;
+    const verify::CorpusReport report = verify::replay_corpus_folded(
+        *fold_dir, args.get_int("max-unfolded-ranks", 1 << 16));
+    std::cout << "fold-" << report.summary();
+    if (!report.ok()) rc = 1;
+  }
+
   if (!ran_anything) {
     std::cerr << "verify needs at least one of --differential N, --fuzz "
-                 "ITERS, --corpus DIR\n";
+                 "ITERS, --corpus DIR, --fold-corpus DIR\n";
     return 2;
   }
   return rc;
