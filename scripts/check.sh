@@ -36,6 +36,14 @@
 #     the 393k-rank Vulcan scenario at >= 20x fold speedup and < 10 s
 #     folded wall.
 #
+#   - a fault-injection pass: the src/inject test suite (ledger,
+#     schedule, recovery matrix, DES injection, campaign) under
+#     ThreadSanitizer — campaigns fan trials out over the shared task
+#     pool, so the thread-bit-identity claims run sanitized — plus the
+#     bench_ext_inject gates on the Release tree: a 1000-rank faulty
+#     LULESH+FTI campaign, bit-identical at 1 thread vs the pool, every
+#     trial completing, under 10 s of wall.
+#
 #   - a slow pass: the stress/soak tests labelled `slow` in ctest, which
 #     every other pass excludes with `ctest -LE slow`. Includes the
 #     truly-unfolded 393k-rank Vulcan corpus replay (test_verify_slow).
@@ -44,7 +52,7 @@
 #     --coverage-only): instrumented build + line-coverage report for
 #     src/ft and src/svc via gcovr or llvm-cov, whichever is installed.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--slow-only|--coverage-only]
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--slow-only|--coverage-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -60,11 +68,13 @@ run_svc=1
 run_verify=1
 run_simd=1
 run_des=1
+run_inject=1
 run_slow=1
 run_coverage=${FTBESST_COVERAGE:-0}
 only() {  # keep exactly one pass
   run_release=0; run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0
-  run_verify=0; run_simd=0; run_des=0; run_slow=0; run_coverage=0
+  run_verify=0; run_simd=0; run_des=0; run_inject=0; run_slow=0
+  run_coverage=0
 }
 case "${1:-}" in
   --release-only) only; run_release=1 ;;
@@ -75,11 +85,12 @@ case "${1:-}" in
   --verify-only) only; run_verify=1 ;;
   --simd-only) only; run_simd=1 ;;
   --des-only) only; run_des=1 ;;
+  --inject-only) only; run_inject=1 ;;
   --slow-only) only; run_slow=1 ;;
   --coverage-only) only; run_coverage=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--slow-only|--coverage-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--slow-only|--coverage-only]" >&2
     exit 2
     ;;
 esac
@@ -268,6 +279,36 @@ if [ "$run_des" = 1 ]; then
   cmake --build build-release -j "$jobs" --target bench_ext_des
   ./build-release/bench/bench_ext_des > build-release/bench_ext_des.json
   echo "des pass: TSan fold/parallel suites + fold-identity/speedup gates passed"
+fi
+
+if [ "$run_inject" = 1 ]; then
+  echo "== Fault-injection pass (inject suite under TSan, campaign bench gates) =="
+  # Campaigns fan independent trials out over the shared task pool and
+  # claim bit-identity at any thread count; run the whole inject suite
+  # (ledger, schedule, recovery matrix, DES injection, campaign) under
+  # TSan so those claims are checked on sanitized threads. Same
+  # probe-and-skip as the other sanitizer passes.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target test_inject
+    ./build-tsan/tests/test_inject
+  else
+    echo "!! ThreadSanitizer unavailable; inject tests run unsanitized" >&2
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$jobs" --target test_inject
+    ./build-release/tests/test_inject
+  fi
+
+  # bench_ext_inject exits non-zero if the 1000-rank faulty LULESH
+  # campaign diverges bitwise between 1 thread and the pool, any trial
+  # hits the simulation horizon, or the pooled campaign misses the < 10 s
+  # wall gate.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target bench_ext_inject
+  ./build-release/bench/bench_ext_inject > build-release/bench_ext_inject.json
+  echo "inject pass: TSan inject suite + campaign bit-identity/wall gates passed"
 fi
 
 if [ "$run_slow" = 1 ]; then

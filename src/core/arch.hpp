@@ -15,6 +15,7 @@
 #include "ft/checkpoint_cost.hpp"
 #include "ft/faults.hpp"
 #include "ft/fti.hpp"
+#include "inject/sdc.hpp"
 #include "model/perf_model.hpp"
 #include "net/comm.hpp"
 #include "net/topology.hpp"
@@ -62,6 +63,16 @@ class ArchBEO {
       const noexcept {
     return faults_;
   }
+  /// Silent-data-corruption (soft error) process, injected alongside the
+  /// fail-stop fault process by the DES injection engine. Optional: absent
+  /// means no SDC faults.
+  void set_sdc_process(std::optional<inject::SdcProcess> sp) {
+    sdc_ = std::move(sp);
+  }
+  [[nodiscard]] const std::optional<inject::SdcProcess>& sdc_process()
+      const noexcept {
+    return sdc_;
+  }
 
   /// FNV-1a digest of the architecture configuration a rank's timing is
   /// parameterized by: name, ranks-per-node, comm parameters, FTI layout,
@@ -82,6 +93,7 @@ class ArchBEO {
   std::map<ft::Level, model::PerfModelPtr> restart_;
   ft::FtiConfig fti_;
   std::optional<ft::FaultProcess> faults_;
+  std::optional<inject::SdcProcess> sdc_;
 };
 
 }  // namespace ftbesst::core

@@ -1,9 +1,10 @@
 #include "core/engine_bsp.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
+#include "inject/ledger.hpp"
+#include "inject/obs_hooks.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
 
@@ -11,16 +12,7 @@ namespace ftbesst::core {
 
 namespace {
 
-/// Rollback target: resume execution at `pc` with `timesteps_done`
-/// completed timesteps (wall clock never rolls back).
-struct CheckpointRecord {
-  std::size_t resume_pc = 0;
-  int timesteps_done = 0;
-  std::vector<double> params;  ///< checkpoint model params (for restart)
-  /// Wall-clock time at which this checkpoint becomes usable for recovery
-  /// (later than its critical-path completion for async flushes).
-  double available_at = 0.0;
-};
+using inject::CheckpointRecord;
 
 double instr_duration(const Instr& instr, const AppBEO& app,
                       const ArchBEO& arch, bool monte_carlo,
@@ -87,9 +79,9 @@ RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
   int ts_done = 0;
   // Background-flush channel for asynchronous checkpoints.
   double async_busy_until = 0.0;
-  // Recent completed checkpoints per level, newest last (two retained: an
-  // async flush in flight must not evict the last usable snapshot).
-  std::map<ft::Level, std::vector<CheckpointRecord>> available;
+  // Completed checkpoints and recovery selection (shared with the DES
+  // injection engine; see inject/ledger.hpp).
+  inject::RecoveryLedger ledger;
 
   // The pending fault event (time/node/kind); re-drawn (or advanced along
   // the replay trace) after each strike.
@@ -112,7 +104,13 @@ RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
 
   // Handle the pending fault (and any further faults that strike during
   // recovery itself — recovery work is lost and retried, so wall clock is
-  // strictly monotone).
+  // strictly monotone). Silent corruptions (only possible via a replay
+  // trace here; the sampled process is fail-stop) are simplified by the
+  // coarse engine: the interrupted instruction stops at the strike and the
+  // detection latency is charged as extra outage before the downtime, so
+  // no poisoned checkpoints are ever taken — the freshness filter then
+  // excludes anything completed after the corruption instant. The DES
+  // engine models the full corrupted-execution window.
   auto handle_fault = [&]() {
     for (;;) {
       if (clock > options.max_sim_seconds) {
@@ -124,49 +122,66 @@ RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
       ft::FailureSet failures;
       failures.nodes = {pending.node};
       failures.kind = pending.kind;
-      const double failures_time = pending.time;
+      const bool sdc = pending.kind == ft::FailureKind::kSilentCorruption;
+      // Strike = when state is damaged; detect = when recovery can react.
+      // Identical for fail-stop faults (detect_after is 0).
+      const double strike_time = pending.time;
+      const double detect_time = pending.time + pending.detect_after;
+      inject::obs_note_fault(pending.kind);
+      ft::FaultRecord fault_rec;
+      fault_rec.time = strike_time;
+      fault_rec.node = pending.node;
+      fault_rec.kind = pending.kind;
+      fault_rec.detect_after = pending.detect_after;
 
-      clock = pending.time + options.downtime_seconds;
+      clock = detect_time + options.downtime_seconds;
       async_busy_until = clock;  // any in-flight background flush is moot
       pending = draw_next_fault(clock);
       if (pending.time < 0.0) pending.time = 1e300;  // trace exhausted
 
       // Best (most progressed, then highest) recoverable checkpoint whose
-      // (possibly background) write had completed before the fault struck.
-      const CheckpointRecord* best = nullptr;
-      ft::Level best_level = ft::Level::kL1;
-      for (const auto& [level, records] : available) {
-        if (!ft::recoverable(level, arch.fti(), app.ranks(), failures))
-          continue;
-        for (auto it = records.rbegin(); it != records.rend(); ++it) {
-          const CheckpointRecord& record = *it;
-          if (record.available_at > failures_time) continue;
-          if (!best || record.timesteps_done > best->timesteps_done ||
-              (record.timesteps_done == best->timesteps_done &&
-               static_cast<int>(level) > static_cast<int>(best_level))) {
-            best = &record;
-            best_level = level;
-          }
-          break;  // records are ordered; the newest usable one wins
-        }
-      }
-      if (best == nullptr) {
+      // (possibly background) write had completed before the fault struck
+      // — and, for SDC, that snapshotted state from before the corruption.
+      const inject::RecoverySelection best = ledger.select(
+          arch.fti(), app.ranks(), failures, detect_time,
+          sdc ? strike_time : inject::RecoveryLedger::no_freshness_limit());
+      if (best.record == nullptr) {
         // Unrecoverable: restart the application from the beginning.
         ++result.full_restarts;
         pc = 0;
         ts_done = 0;
-        available.clear();
+        ledger.clear();
+        fault_rec.recovery_level = 0;
+        fault_rec.lost_work_seconds = detect_time;
+        result.lost_work_seconds += detect_time;
+        result.fault_log.add(fault_rec);
+        inject::obs_note_recovery(0, detect_time);
         return;
       }
       double restart_cost = 0.0;
-      if (const model::PerfModel* rm = arch.restart(best_level))
-        restart_cost = options.monte_carlo ? rm->sample(best->params, rng)
-                                           : rm->predict(best->params);
-      if (clock + restart_cost > pending.time) continue;  // recovery killed
+      if (const model::PerfModel* rm = arch.restart(best.level))
+        restart_cost = options.monte_carlo
+                           ? rm->sample(best.record->params, rng)
+                           : rm->predict(best.record->params);
+      fault_rec.recovery_level = static_cast<int>(best.level);
+      fault_rec.lost_work_seconds = detect_time - best.record->completed_at;
+      fault_rec.restart_cost_seconds = restart_cost;
+      if (clock + restart_cost > pending.time) {
+        // Recovery killed by the next fault: log the voided attempt, but
+        // leave the lost-work total to the fault that finally resolves (its
+        // discarded window subsumes this one).
+        result.fault_log.add(fault_rec);
+        continue;
+      }
       clock += restart_cost;
       ++result.rollbacks;
-      pc = best->resume_pc;
-      ts_done = best->timesteps_done;
+      ++result.recoveries_by_level[static_cast<int>(best.level) - 1];
+      result.lost_work_seconds += fault_rec.lost_work_seconds;
+      result.fault_log.add(fault_rec);
+      inject::obs_note_recovery(static_cast<int>(best.level),
+                                fault_rec.lost_work_seconds);
+      pc = best.record->resume_pc;
+      ts_done = best.record->timesteps_done;
       return;
     }
   };
@@ -207,10 +222,9 @@ RunResult run_bsp(const AppBEO& app, const ArchBEO& arch,
         rec.timesteps_done = ts_done;
         rec.params = instr.params;
         rec.available_at = clock + background;
+        rec.completed_at = clock;
         if (instr.async) async_busy_until = clock + background;
-        auto& records = available[instr.level];
-        records.push_back(std::move(rec));
-        if (records.size() > 2) records.erase(records.begin());
+        ledger.record(instr.level, std::move(rec));
         if (result.checkpoint_timesteps.empty() ||
             result.checkpoint_timesteps.back() != ts_done)
           result.checkpoint_timesteps.push_back(ts_done);

@@ -16,11 +16,13 @@
 // Fault injection (Cases 2 and 4 of the paper's Fig. 4) replays the
 // program against a sampled fault timeline with FTI-level-aware rollback.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/arch.hpp"
 #include "core/beo.hpp"
+#include "ft/fault_log.hpp"
 #include "ft/faults.hpp"
 
 namespace ftbesst::core {
@@ -30,7 +32,13 @@ struct EngineOptions {
   /// Draw stochastic durations (Monte-Carlo mode) instead of expectations.
   bool monte_carlo = false;
   /// Inject faults from the ArchBEO's fault process (Cases 2/4). Without a
-  /// fault process on the architecture this is an error.
+  /// fault process on the architecture this is an error. Both engines
+  /// honour this: the coarse engine samples a system-level renewal process
+  /// on the fly; the DES engine (src/inject) pre-materializes per-node
+  /// schedules and replays recovery inside the event kernel. The DES path
+  /// additionally injects the ArchBEO's SDC process when one is set, and
+  /// rejects use_des_network (in-flight flow deliveries cannot be rolled
+  /// back).
   bool inject_faults = false;
   /// Replay a RECORDED failure trace instead of sampling the fault process
   /// (times are absolute simulation seconds; must be time-ordered). Used to
@@ -88,6 +96,17 @@ struct RunResult {
   int faults = 0;           ///< faults that struck during execution
   int rollbacks = 0;        ///< recoveries from a checkpoint
   int full_restarts = 0;    ///< unrecoverable failures (restart from start)
+  /// Wall-clock seconds of execution discarded by rollbacks: per fault, the
+  /// window from the restored checkpoint's completion (application start
+  /// for a full restart) to the fault's detection.
+  double lost_work_seconds = 0.0;
+  /// Successful rollbacks that restored a level-L checkpoint, at index L-1.
+  std::array<int, 4> recoveries_by_level{};
+  /// Per-fault campaign records (strike time, node, kind, recovery level
+  /// chosen, lost work, restart cost). Trial ids are 0 here; the ensemble
+  /// and campaign drivers re-tag per trial. Exportable as CSV and as the
+  /// replayable `ftbesst-faultlog v1` text format (ft/fault_log.hpp).
+  ft::FaultLog fault_log;
   bool completed = true;
 };
 

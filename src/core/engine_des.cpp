@@ -1,11 +1,15 @@
 #include "core/engine_des.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "inject/ledger.hpp"
+#include "inject/obs_hooks.hpp"
+#include "inject/schedule.hpp"
 #include "net/des_network.hpp"
 #include "net/des_torus.hpp"
 #include "obs/obs.hpp"
@@ -26,6 +30,16 @@ constexpr PortId kSelfWake = 0;
 constexpr PortId kArrive = 1;
 constexpr PortId kRelease = 2;
 constexpr PortId kNetDone = 3;
+constexpr PortId kRollback = 4;  ///< coordinator -> rank: rewind plan cursor
+constexpr PortId kFault = 5;     ///< coordinator self: fault detection fires
+
+/// Rollback command broadcast to every rank when a recovery resolves: rewind
+/// the plan cursor to `pc` and adopt epoch `epoch`. Events tagged with an
+/// older epoch belong to the discarded timeline and are dropped on receipt.
+struct RollbackCmd {
+  std::uint64_t epoch = 0;
+  std::size_t pc = 0;
+};
 
 bool is_collective(InstrKind kind) { return kind != InstrKind::kCompute; }
 
@@ -124,13 +138,28 @@ class RankComponent final : public Component {
         rng_(rng) {}
 
   void set_coordinator(sim::ComponentId coord) { coord_ = coord; }
+  /// Injected runs tag every event with the current rollback epoch so that
+  /// events from a discarded timeline are recognized and dropped.
+  void enable_injection() { injected_ = true; }
 
   void init() override { advance(); }
 
-  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+  void handle_event(PortId port, std::unique_ptr<Payload> payload) override {
+    if (injected_) {
+      if (port == kRollback) {
+        const auto* cmd = sim::unbox<RollbackCmd>(payload.get());
+        epoch_ = cmd->epoch;
+        pc_ = cmd->pc;
+        advance();
+        return;
+      }
+      // A self-wake or release scheduled before the rollback carries the
+      // old epoch: it completes work on the discarded timeline. Drop it.
+      const auto* epoch = sim::unbox<std::uint64_t>(payload.get());
+      if (epoch != nullptr && *epoch != epoch_) return;
+    }
     // Both a self-wake (compute done) and a coordinator release mean: move
     // to the next instruction.
-    (void)port;
     ++pc_;
     advance();
   }
@@ -145,13 +174,16 @@ class RankComponent final : public Component {
       ++instructions_executed;
       if (is_collective(instr.kind)) {
         // Tell the coordinator we reached this sync point; it releases us.
-        schedule_to(coord_, kArrive, 0);
+        schedule_to(coord_, kArrive, 0,
+                    injected_ ? sim::box<std::uint64_t>(epoch_) : nullptr);
         return;
       }
       const model::PerfModel& m = arch_->kernel(instr.kernel);
       const double seconds = monte_carlo_ ? m.sample(instr.params, rng_)
                                           : m.predict(instr.params);
-      schedule_self(sim::from_seconds(seconds), nullptr, kSelfWake);
+      schedule_self(sim::from_seconds(seconds),
+                    injected_ ? sim::box<std::uint64_t>(epoch_) : nullptr,
+                    kSelfWake);
       return;
     }
   }
@@ -162,6 +194,8 @@ class RankComponent final : public Component {
   util::Rng rng_;
   sim::ComponentId coord_ = sim::kNoComponent;
   std::size_t pc_ = 0;
+  bool injected_ = false;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Coordinates every synchronizing instruction and records the run trace.
@@ -185,20 +219,40 @@ class Coordinator final : public Component {
     network_ = network;
     net_ranks_per_node_ = ranks_per_node;
   }
+  /// Arm fault injection: replay `schedule` (absolute strike times,
+  /// time-ordered) with recovery resolved through the checkpoint ledger.
+  void set_injection(std::vector<ft::FaultEvent> schedule,
+                     double downtime_seconds, double max_sim_seconds) {
+    injected_ = true;
+    schedule_ = std::move(schedule);
+    downtime_ = downtime_seconds;
+    max_sim_seconds_ = max_sim_seconds;
+  }
 
   void init() override {
     // Position the rendezvous pointer on the first collective instruction.
     const auto& program = app_->program();
     while (sync_pc_ < program.size() && !is_collective(program[sync_pc_].kind))
       ++sync_pc_;
+    if (injected_) schedule_next_fault();
   }
 
-  void handle_event(PortId port, std::unique_ptr<Payload>) override {
+  void handle_event(PortId port, std::unique_ptr<Payload> payload) override {
+    if (port == kFault) {
+      on_fault();
+      return;
+    }
     if (port == kNetDone) {
       if (--pending_deliveries_ == 0) finish_collective(0);
       return;
     }
     if (port != kArrive) return;
+    if (injected_) {
+      // An arrival from the discarded timeline (sent before the rollback
+      // rewound its rank) carries the old epoch: drop it.
+      const auto* epoch = sim::unbox<std::uint64_t>(payload.get());
+      if (epoch != nullptr && *epoch != epoch_) return;
+    }
     if (++arrived_ < ranks_.size()) return;
     arrived_ = 0;
 
@@ -276,6 +330,12 @@ class Coordinator final : public Component {
     const SimTime duration = sim::from_seconds(extra_seconds);
     const double end_seconds = sim::to_seconds(now() + duration);
 
+    if (injected_ && end_seconds > max_sim_seconds_) {
+      // Horizon exceeded (the no-FT + high-fault-rate regime can thrash
+      // forever): abandon the run, mirroring the coarse engine.
+      abandon(end_seconds);
+      return;
+    }
     if (instr.kind == InstrKind::kTimestepEnd) {
       if (ts_done_ < app_->timesteps())
         result_.timestep_end_times[static_cast<std::size_t>(ts_done_)] =
@@ -285,6 +345,19 @@ class Coordinator final : public Component {
       if (result_.checkpoint_timesteps.empty() ||
           result_.checkpoint_timesteps.back() != ts_done_)
         result_.checkpoint_timesteps.push_back(ts_done_);
+      if (injected_) {
+        // The DES models checkpoints as synchronous collectives (no async
+        // staging split), so a record is usable the instant it completes.
+        // If a fault strikes before end_seconds, the record is discarded by
+        // the strike-time purge — it never actually completed.
+        inject::CheckpointRecord rec;
+        rec.resume_pc = sync_pc_ + 1;
+        rec.timesteps_done = ts_done_;
+        rec.params = instr.params;
+        rec.available_at = end_seconds;
+        rec.completed_at = end_seconds;
+        ledger_.record(instr.level, std::move(rec));
+      }
     }
     result_.total_seconds = end_seconds;
     ++sync_pc_;
@@ -293,7 +366,131 @@ class Coordinator final : public Component {
     const auto& program = app_->program();
     while (sync_pc_ < program.size() && !is_collective(program[sync_pc_].kind))
       ++sync_pc_;
-    for (sim::ComponentId r : ranks_) schedule_to(r, kRelease, duration);
+    if (sync_pc_ >= program.size()) done_ = true;  // past the last rendezvous
+    for (sim::ComponentId r : ranks_)
+      schedule_to(r, kRelease, duration,
+                  injected_ ? sim::box<std::uint64_t>(epoch_) : nullptr);
+  }
+
+  /// A fault's detection event fired: resolve recovery synchronously (the
+  /// same retry loop as the coarse engine — downtime, ledger selection,
+  /// restart cost, further faults that kill the recovery itself) and
+  /// broadcast the rollback. Wall clock never rolls back; the rewound
+  /// timeline's in-flight events are orphaned by the epoch bump.
+  void on_fault() {
+    if (done_) return;  // application already past its last rendezvous
+    ft::FaultEvent fault = schedule_[sched_pos_++];
+    double clock = sim::to_seconds(now());
+    for (;;) {
+      if (clock > max_sim_seconds_) {
+        abandon(clock);
+        return;
+      }
+      ++result_.faults;
+      const bool sdc = fault.kind == ft::FailureKind::kSilentCorruption;
+      const double strike = fault.time;
+      const double detect = fault.time + fault.detect_after;
+      inject::obs_note_fault(fault.kind);
+      ft::FaultRecord rec;
+      rec.time = strike;
+      rec.node = fault.node;
+      rec.kind = fault.kind;
+      rec.detect_after = fault.detect_after;
+      ft::FailureSet failures;
+      failures.nodes = {fault.node};
+      failures.kind = fault.kind;
+      // Checkpoints completed after the strike either never happened (the
+      // rollback rewinds the timeline before their completion) or snapshot
+      // corrupted state (SDC): drop them for good.
+      ledger_.purge_after(strike);
+      clock = detect + downtime_;
+      // Faults striking during the outage are absorbed by it (matching the
+      // coarse engine's replay semantics).
+      while (sched_pos_ < schedule_.size() &&
+             schedule_[sched_pos_].time < clock)
+        ++sched_pos_;
+      const double next_strike = sched_pos_ < schedule_.size()
+                                     ? schedule_[sched_pos_].time
+                                     : 1e300;
+      const inject::RecoverySelection best = ledger_.select(
+          arch_->fti(), app_->ranks(), failures, detect,
+          sdc ? strike : inject::RecoveryLedger::no_freshness_limit());
+      if (best.record == nullptr) {
+        // Unrecoverable: restart the application from the beginning.
+        ++result_.full_restarts;
+        ledger_.clear();
+        rec.recovery_level = 0;
+        rec.lost_work_seconds = detect;
+        result_.lost_work_seconds += detect;
+        result_.fault_log.add(rec);
+        inject::obs_note_recovery(0, detect);
+        resume(clock, 0, 0);
+        return;
+      }
+      double restart_cost = 0.0;
+      if (const model::PerfModel* rm = arch_->restart(best.level))
+        restart_cost = monte_carlo_ ? rm->sample(best.record->params, rng_)
+                                    : rm->predict(best.record->params);
+      rec.recovery_level = static_cast<int>(best.level);
+      rec.lost_work_seconds = detect - best.record->completed_at;
+      rec.restart_cost_seconds = restart_cost;
+      if (clock + restart_cost > next_strike) {
+        // Recovery killed by the next fault: log the voided attempt, but
+        // leave the lost-work total to the fault that finally resolves
+        // (its discarded window subsumes this one).
+        result_.fault_log.add(rec);
+        fault = schedule_[sched_pos_++];
+        continue;
+      }
+      ++result_.rollbacks;
+      ++result_.recoveries_by_level[static_cast<int>(best.level) - 1];
+      result_.lost_work_seconds += rec.lost_work_seconds;
+      result_.fault_log.add(rec);
+      inject::obs_note_recovery(rec.recovery_level, rec.lost_work_seconds);
+      resume(clock + restart_cost, best.record->resume_pc,
+             best.record->timesteps_done);
+      return;
+    }
+  }
+
+  /// Rewind every rank to `pc` at wall-clock `resume_clock`: bump the epoch
+  /// (orphaning the discarded timeline's events), reset the rendezvous
+  /// state, broadcast the rollback command, and arm the next fault.
+  void resume(double resume_clock, std::size_t pc, int ts) {
+    ++epoch_;
+    arrived_ = 0;
+    ts_done_ = ts;
+    done_ = false;
+    const auto& program = app_->program();
+    sync_pc_ = pc;
+    while (sync_pc_ < program.size() && !is_collective(program[sync_pc_].kind))
+      ++sync_pc_;
+    const SimTime at = sim::from_seconds(resume_clock);
+    const SimTime delay = at > now() ? at - now() : 0;
+    for (sim::ComponentId r : ranks_)
+      schedule_to(r, kRollback, delay,
+                  sim::box<RollbackCmd>({epoch_, pc}));
+    schedule_next_fault();
+  }
+
+  /// Horizon exceeded: mark the run incomplete and drain. The epoch bump
+  /// orphans in-flight rank events; no rollback or further fault is armed.
+  void abandon(double clock_seconds) {
+    result_.completed = false;
+    result_.total_seconds = std::max(result_.total_seconds, clock_seconds);
+    ++epoch_;
+    done_ = true;
+    simulation().request_stop();
+  }
+
+  /// Self-schedule the pending fault's detection event (at most one is in
+  /// flight at any time; on_fault consumes it and resume() arms the next).
+  void schedule_next_fault() {
+    if (sched_pos_ >= schedule_.size()) return;
+    const ft::FaultEvent& next = schedule_[sched_pos_];
+    const SimTime at = sim::from_seconds(next.time + next.detect_after);
+    // Priority -1: a fault at tick T pre-empts same-tick completions.
+    schedule_self(at > now() ? at - now() : 0, nullptr, kFault, -1);
   }
 
   const AppBEO* app_;
@@ -309,6 +506,15 @@ class Coordinator final : public Component {
   std::size_t pending_deliveries_ = 0;
   std::size_t sync_pc_ = 0;
   int ts_done_ = 0;
+  // --- injection state (inactive unless set_injection was called) ---
+  bool injected_ = false;
+  bool done_ = false;
+  std::vector<ft::FaultEvent> schedule_;
+  std::size_t sched_pos_ = 0;
+  std::uint64_t epoch_ = 0;
+  inject::RecoveryLedger ledger_;
+  double downtime_ = 0.0;
+  double max_sim_seconds_ = 1e8;
 };
 
 }  // namespace
@@ -316,15 +522,47 @@ class Coordinator final : public Component {
 RunResult run_des(const AppBEO& app, const ArchBEO& arch,
                   const EngineOptions& options) {
   FTBESST_OBS_SPAN("core.run_des");
-  if (options.inject_faults)
+  if (options.inject_faults && options.use_des_network)
     throw std::invalid_argument(
-        "fault injection is handled by the coarse path (run_bsp)");
+        "fault injection cannot run through the DES network substrate: "
+        "in-flight flow deliveries cannot be rolled back");
   if (app.ranks() > arch.max_ranks())
     throw std::invalid_argument(
         "application ranks exceed architecture capacity");
 
   sim::Simulation simulation;
   util::Rng root(options.seed);
+
+  // Fault schedule: pre-materialized from per-node splittable streams (or
+  // taken verbatim from a replay trace), so it is a pure function of the
+  // seed — independent of thread count and event interleaving. The node
+  // universe matches the coarse engine: the FTI run configuration when it
+  // divides the rank count, else physical packing.
+  std::vector<ft::FaultEvent> schedule;
+  std::int64_t fault_rpn = 1;
+  if (options.inject_faults) {
+    fault_rpn =
+        (arch.fti().node_size > 0 && app.ranks() % arch.fti().node_size == 0)
+            ? arch.fti().node_size
+            : arch.ranks_per_node();
+    const std::int64_t fault_nodes =
+        (app.ranks() + fault_rpn - 1) / fault_rpn;
+    if (!options.fault_trace.empty()) {
+      schedule = options.fault_trace;
+      inject::validate_schedule(schedule, fault_nodes);
+    } else {
+      const ft::FaultProcess* crashes =
+          arch.fault_process() ? &*arch.fault_process() : nullptr;
+      const inject::SdcProcess* sdc =
+          arch.sdc_process() ? &*arch.sdc_process() : nullptr;
+      if (crashes == nullptr && sdc == nullptr)
+        throw std::invalid_argument(
+            "fault injection requested but ArchBEO has no fault process");
+      schedule = inject::make_schedule(crashes, sdc, fault_nodes,
+                                       options.max_sim_seconds,
+                                       root.split(0xfa417u));
+    }
+  }
 
   auto* coord = simulation.add_component<Coordinator>(
       app, arch, options.monte_carlo, root.split(0xc0));
@@ -374,6 +612,16 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
   // specs are marked non-foldable there (each rank stays a singleton
   // class). divergent_ranks breaks individual ranks out instead of
   // disabling the whole class (clone-on-divergence).
+  //
+  // Fault injection composes with folding: recovery is *coordinated* (every
+  // rank rolls back to the same checkpoint at the same instant, exactly the
+  // Fig. 3 semantics), so fold groups never diverge behaviourally and the
+  // folded prediction stays bitwise identical to the unfolded one — the
+  // test suite enforces this for injected runs. The ranks of every struck
+  // node are still broken out of their fold orbits below
+  // (clone-on-divergence) as a safety invariant: any future asymmetric
+  // recovery model (per-victim read-back, partner-node traffic) then
+  // perturbs only singleton classes, not a whole orbit.
   const bool fold = options.fold_symmetry && !options.monte_carlo &&
                     !options.use_des_network;
   sim::FoldPlan plan;
@@ -391,6 +639,11 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
     for (std::int64_t r : options.divergent_ranks)
       if (r >= 0 && r < app.ranks())
         plan.break_out(static_cast<std::size_t>(r));
+    // Injection victims: every rank of every struck node.
+    for (const ft::FaultEvent& ev : schedule)
+      for (std::int64_t r = ev.node * fault_rpn;
+           r < std::min((ev.node + 1) * fault_rpn, app.ranks()); ++r)
+        plan.break_out(static_cast<std::size_t>(r));
   }
 
   std::vector<RankComponent*> ranks;
@@ -403,10 +656,14 @@ RunResult run_des(const AppBEO& app, const ArchBEO& arch,
         root.split(static_cast<std::uint64_t>(r) + 1));
     rc->set_coordinator(coord->id());
     rc->set_multiplicity(group.multiplicity());
+    if (options.inject_faults) rc->enable_injection();
     ranks.push_back(rc);
     rank_ids.push_back(rc->id());
   }
   coord->set_ranks(std::move(rank_ids));
+  if (options.inject_faults)
+    coord->set_injection(std::move(schedule), options.downtime_seconds,
+                         options.max_sim_seconds);
 
   const sim::SimStats stats = simulation.run();
   if (obs::enabled()) {

@@ -20,8 +20,20 @@
 // emergent contention — instead of the analytic collective model; the
 // coordinator releases the ranks when the last halo message is delivered.
 //
-// Fault injection is supported by the coarse path only; requesting it here
-// throws std::invalid_argument.
+// With EngineOptions::inject_faults set, the injection engine (src/inject)
+// drives in-simulation fault replay: a fault schedule is pre-materialized
+// from per-node splittable streams (or taken verbatim from
+// EngineOptions::fault_trace), the coordinator self-schedules each fault's
+// detection event, resolves recovery through the shared
+// inject::RecoveryLedger (downtime, deepest surviving FTI level, restart
+// cost, faults that kill recovery), and broadcasts an epoch-tagged rollback
+// that rewinds every rank's plan cursor to the restored checkpoint. Events
+// from the discarded timeline are dropped by epoch checks. Injection
+// composes with symmetry folding (rollback is coordinated, so fold groups
+// stay symmetric; struck nodes' ranks are broken out of their orbits as a
+// safety invariant) but not with use_des_network — in-flight flow
+// deliveries cannot be rolled back, so that combination throws
+// std::invalid_argument.
 
 #include "core/engine_bsp.hpp"
 

@@ -68,6 +68,20 @@ EnsembleResult run_ensemble(const AppBEO& app, const ArchBEO& arch,
   out.mean_rollbacks /= n;
   out.mean_full_restarts /= n;
   out.total = util::summarize(out.totals);
+  // Injection statistics, accumulated separately (after the original
+  // aggregate so the floating-point reduction order of the pre-existing
+  // fields — and therefore the golden corpus bytes — is untouched).
+  for (std::size_t t = 0; t < trials; ++t) {
+    const RunResult& r = runs[t];
+    out.mean_lost_work += r.lost_work_seconds;
+    for (std::size_t l = 0; l < 4; ++l)
+      out.mean_recoveries_by_level[l] +=
+          static_cast<double>(r.recoveries_by_level[l]);
+    out.fault_log.append_trial(r.fault_log,
+                               static_cast<std::int64_t>(t));
+  }
+  out.mean_lost_work /= n;
+  for (double& x : out.mean_recoveries_by_level) x /= n;
   return out;
 }
 

@@ -6,10 +6,12 @@
 // variance that exists in the calibration samples ... each of the points on
 // the graph represent a distribution of results."
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/engine_bsp.hpp"
+#include "ft/fault_log.hpp"
 #include "util/stats.hpp"
 
 namespace ftbesst::core {
@@ -22,6 +24,16 @@ struct EnsembleResult {
   double mean_rollbacks = 0.0;
   double mean_full_restarts = 0.0;
   std::size_t incomplete_trials = 0;  ///< trials that hit the horizon
+  // --- injection statistics (all zero when inject_faults is off). These
+  // are additions on top of the original aggregate; the verify corpus text
+  // format serializes explicit fields only, so appending here is
+  // corpus-safe. ---
+  double mean_lost_work = 0.0;  ///< mean discarded execution per trial (s)
+  /// Mean rollbacks that restored a level-L checkpoint, at index L-1.
+  std::array<double, 4> mean_recoveries_by_level{};
+  /// Every trial's fault records merged, re-tagged with the trial index —
+  /// the campaign log exported by `ftbesst inject` (CSV / replay text).
+  ft::FaultLog fault_log;
 };
 
 /// Run `trials` Monte-Carlo replications of the coarse engine with

@@ -1,12 +1,175 @@
 #include "ft/fault_log.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace ftbesst::ft {
+
+namespace {
+
+constexpr std::string_view kFaultLogMagic = "ftbesst-faultlog v1";
+
+// Shortest round-trip double formatting (same convention as the scenario
+// text format): what we print parses back to the identical bits.
+std::string shortest_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::logic_error("double formatting failed");
+  return std::string(buf, ptr);
+}
+
+double parse_double_tok(std::string_view tok) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size())
+    throw std::invalid_argument("faultlog: bad number '" + std::string(tok) +
+                                "'");
+  return v;
+}
+
+std::int64_t parse_int_tok(std::string_view tok) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size())
+    throw std::invalid_argument("faultlog: bad integer '" + std::string(tok) +
+                                "'");
+  return v;
+}
+
+FailureKind parse_kind_tok(std::string_view tok) {
+  if (tok == "crash") return FailureKind::kProcessCrash;
+  if (tok == "loss") return FailureKind::kNodeLoss;
+  if (tok == "sdc") return FailureKind::kSilentCorruption;
+  throw std::invalid_argument("faultlog: unknown failure kind '" +
+                              std::string(tok) + "'");
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FaultLog::append_trial(const FaultLog& other, std::int64_t trial) {
+  records_.reserve(records_.size() + other.records_.size());
+  for (FaultRecord r : other.records_) {
+    r.trial = trial;
+    records_.push_back(r);
+  }
+}
+
+std::string FaultLog::to_text() const {
+  std::string out(kFaultLogMagic);
+  out += '\n';
+  for (const FaultRecord& r : records_) {
+    out += std::to_string(r.trial);
+    out += ' ';
+    out += shortest_double(r.time);
+    out += ' ';
+    out += std::to_string(r.node);
+    out += ' ';
+    out += to_string(r.kind);
+    out += ' ';
+    out += shortest_double(r.detect_after);
+    out += ' ';
+    out += std::to_string(r.recovery_level);
+    out += ' ';
+    out += shortest_double(r.lost_work_seconds);
+    out += ' ';
+    out += shortest_double(r.restart_cost_seconds);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultLog FaultLog::from_text(std::string_view text) {
+  FaultLog log;
+  std::size_t pos = 0;
+  bool saw_magic = false;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!saw_magic) {
+      if (line != kFaultLogMagic)
+        throw std::invalid_argument(
+            "faultlog: bad magic line (expected '" +
+            std::string(kFaultLogMagic) + "')");
+      saw_magic = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto tok = split_ws(line);
+    if (tok.size() != 8)
+      throw std::invalid_argument(
+          "faultlog: record needs 8 fields, got " +
+          std::to_string(tok.size()) + " in '" + std::string(line) + "'");
+    FaultRecord r;
+    r.trial = parse_int_tok(tok[0]);
+    r.time = parse_double_tok(tok[1]);
+    r.node = parse_int_tok(tok[2]);
+    r.kind = parse_kind_tok(tok[3]);
+    r.detect_after = parse_double_tok(tok[4]);
+    const std::int64_t level = parse_int_tok(tok[5]);
+    if (level < 0 || level > 4)
+      throw std::invalid_argument("faultlog: recovery_level out of range");
+    r.recovery_level = static_cast<int>(level);
+    r.lost_work_seconds = parse_double_tok(tok[6]);
+    r.restart_cost_seconds = parse_double_tok(tok[7]);
+    log.add(r);
+  }
+  if (!saw_magic)
+    throw std::invalid_argument("faultlog: empty input (no magic line)");
+  return log;
+}
+
+void FaultLog::write_csv(std::ostream& os) const {
+  util::TextTable table;
+  table.set_header({"trial", "time_s", "node", "kind", "detect_after_s",
+                    "recovery_level", "lost_work_s", "restart_cost_s"});
+  for (const FaultRecord& r : records_)
+    table.add_row({std::to_string(r.trial), shortest_double(r.time),
+                   std::to_string(r.node), to_string(r.kind),
+                   shortest_double(r.detect_after),
+                   std::to_string(r.recovery_level),
+                   shortest_double(r.lost_work_seconds),
+                   shortest_double(r.restart_cost_seconds)});
+  table.write_csv(os);
+}
+
+std::vector<FaultEvent> FaultLog::to_trace(std::int64_t trial) const {
+  std::vector<FaultEvent> trace;
+  for (const FaultRecord& r : records_) {
+    if (r.trial != trial) continue;
+    FaultEvent ev;
+    ev.time = r.time;
+    ev.node = r.node;
+    ev.kind = r.kind;
+    ev.detect_after = r.detect_after;
+    trace.push_back(ev);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return trace;
+}
 
 double weibull_shape_from_cv(double cv) {
   if (cv <= 0.0) return 10.0;  // perfectly regular -> stiffest shape we model

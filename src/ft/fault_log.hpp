@@ -11,11 +11,64 @@
 // fraction.
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ft/faults.hpp"
 
 namespace ftbesst::ft {
+
+/// One injected-fault outcome as recorded by a campaign: when and where the
+/// fault struck, how (if at all) the application recovered, and what it
+/// cost. `recovery_level` is the FTI level of the checkpoint restored from
+/// (1..4), or 0 for a full restart from the beginning of the run.
+struct FaultRecord {
+  std::int64_t trial = 0;    ///< Monte-Carlo trial index the fault belongs to
+  double time = 0.0;         ///< seconds since application start
+  std::int64_t node = 0;     ///< node struck
+  FailureKind kind = FailureKind::kNodeLoss;
+  double detect_after = 0.0;       ///< detection latency (SDC only; else 0)
+  int recovery_level = 0;          ///< 1..4 = FTI level restored; 0 = restart
+  double lost_work_seconds = 0.0;  ///< work discarded by the rollback
+  double restart_cost_seconds = 0.0;  ///< read-back / relaunch cost paid
+};
+
+/// Campaign-level record of every injected fault and its recovery outcome.
+/// Serializes to CSV (for analysis via the standard table writers) and to a
+/// versioned text format (`ftbesst-faultlog v1`) the injector re-ingests
+/// for exact replay: `to_trace(trial)` recovers the FaultEvent sequence of
+/// one trial, suitable for EngineOptions::fault_trace.
+class FaultLog {
+ public:
+  void add(FaultRecord record) { records_.push_back(record); }
+  /// Append another log's records re-tagged with trial id `trial`.
+  void append_trial(const FaultLog& other, std::int64_t trial);
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Stable, re-ingestable text form. Doubles are emitted with shortest
+  /// round-trip formatting so from_text(to_text(log)) is bit-exact.
+  [[nodiscard]] std::string to_text() const;
+  /// Strict parser for to_text output; throws std::invalid_argument on a
+  /// bad magic line, malformed record, or unknown failure kind.
+  [[nodiscard]] static FaultLog from_text(std::string_view text);
+
+  /// CSV export via the standard table writer (header + one row per fault).
+  void write_csv(std::ostream& os) const;
+
+  /// The fault schedule of one trial, time-ordered, ready to be replayed
+  /// through EngineOptions::fault_trace.
+  [[nodiscard]] std::vector<FaultEvent> to_trace(std::int64_t trial) const;
+
+ private:
+  std::vector<FaultRecord> records_;
+};
 
 struct FaultModelEstimate {
   double node_mtbf = 0.0;        ///< seconds (system MTBF * node count)

@@ -19,6 +19,11 @@ struct FaultEvent {
   double time = 0.0;       ///< seconds since application start
   std::int64_t node = 0;   ///< which node failed
   FailureKind kind = FailureKind::kNodeLoss;
+  /// Detection latency after `time` (seconds). 0 for crash/loss faults,
+  /// which are detected instantly by the runtime; > 0 for silent
+  /// corruption, which damages state at `time` but only triggers recovery
+  /// at `time + detect_after` (inject::SdcProcess draws this).
+  double detect_after = 0.0;
 };
 
 class FaultProcess {

@@ -17,6 +17,15 @@ std::string to_string(Level level) {
   return "?";
 }
 
+std::string to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kProcessCrash: return "crash";
+    case FailureKind::kNodeLoss: return "loss";
+    case FailureKind::kSilentCorruption: return "sdc";
+  }
+  return "?";
+}
+
 void FtiConfig::validate(std::int64_t ranks) const {
   if (group_size < 2)
     throw std::invalid_argument("FTI group_size must be >= 2");
@@ -52,7 +61,14 @@ bool recoverable(Level level, const FtiConfig& config, std::int64_t ranks,
   if (failed.empty()) return true;
 
   // Process crashes never lose checkpoint files: every level recovers.
-  if (failures.kind == FailureKind::kProcessCrash) return true;
+  // Silent corruption damages application state, not storage, so at the
+  // recoverability layer it behaves the same way; the *freshness* rule
+  // (checkpoints written after the corruption are poisoned) is enforced by
+  // the injection ledger, which filters candidates by timestamp before
+  // asking this predicate.
+  if (failures.kind == FailureKind::kProcessCrash ||
+      failures.kind == FailureKind::kSilentCorruption)
+    return true;
 
   switch (level) {
     case Level::kL1:

@@ -31,9 +31,18 @@ enum class Level : int { kL1 = 1, kL2 = 2, kL3 = 3, kL4 = 4 };
 
 /// What kind of failure hit a node.
 enum class FailureKind {
-  kProcessCrash,  ///< ranks die; node (and its local storage) survive reboot
-  kNodeLoss       ///< node and its local checkpoint files are gone
+  kProcessCrash,      ///< ranks die; node (and its local storage) survive
+  kNodeLoss,          ///< node and its local checkpoint files are gone
+  /// Silent data corruption (soft error): the application state is wrong
+  /// but the node and every checkpoint file written *before* the
+  /// corruption remain intact — storage-wise this recovers like a process
+  /// crash, but checkpoints taken after the corruption instant are
+  /// poisoned (they snapshot corrupted state) and must not be used.
+  /// Enforced by the injection ledger (inject/ledger.hpp), not here.
+  kSilentCorruption
 };
+
+[[nodiscard]] std::string to_string(FailureKind kind);
 
 struct FtiConfig {
   int group_size = 4;  ///< nodes per FTI group

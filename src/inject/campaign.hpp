@@ -1,0 +1,64 @@
+#pragma once
+// Monte-Carlo fault-injection campaign driver.
+//
+// A campaign replays the same application N times through the DES injection
+// engine, varying only the fault schedule seed per trial — model durations
+// stay deterministic unless the caller opts into full Monte-Carlo mode.
+// This isolates the *fault-induced* spread of the makespan distribution
+// (the quantity the Young/Daly closed form prices in expectation), which
+// run_ensemble cannot do: it forces monte_carlo on and convolves timing
+// noise into every trial.
+//
+// Per-trial seeds are derived from the campaign seed before any trial is
+// scheduled, and trials run as independent tasks on the shared
+// util::TaskPool, so campaign results are bit-identical for a fixed seed
+// at any thread count.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine_bsp.hpp"
+#include "ft/fault_log.hpp"
+#include "util/stats.hpp"
+
+namespace ftbesst::inject {
+
+struct CampaignOptions {
+  std::size_t trials = 32;
+  /// 0 = shared task pool, 1 = inline on the calling thread (bit-identical
+  /// either way).
+  unsigned threads = 0;
+  /// Engine options for every trial. inject_faults is forced on;
+  /// monte_carlo is respected (off by default: fault-only variance).
+  core::EngineOptions engine;
+  /// Run trials through the DES injection engine (default) or the coarse
+  /// bulk-synchronous engine.
+  bool use_des = true;
+};
+
+struct CampaignResult {
+  util::Summary total;         ///< makespan distribution over trials (s)
+  std::vector<double> totals;  ///< per-trial makespans
+  double p10 = 0.0, p50 = 0.0, p90 = 0.0;  ///< makespan quantiles (s)
+  double mean_faults = 0.0;
+  double mean_rollbacks = 0.0;
+  double mean_full_restarts = 0.0;
+  double mean_lost_work = 0.0;  ///< mean discarded execution per trial (s)
+  /// Mean rollbacks that restored a level-L checkpoint, at index L-1.
+  std::array<double, 4> mean_recoveries_by_level{};
+  std::size_t incomplete_trials = 0;  ///< trials that hit the horizon
+  /// Every trial's fault records, re-tagged with the trial index.
+  /// Re-ingestable: FaultLog::to_trace(trial) + EngineOptions::fault_trace
+  /// replays any single trial exactly.
+  ft::FaultLog fault_log;
+};
+
+/// Run an injection campaign of `options.trials` trials. Throws
+/// std::invalid_argument on zero trials (and propagates engine errors, e.g.
+/// a missing fault process).
+[[nodiscard]] CampaignResult run_campaign(const core::AppBEO& app,
+                                          const core::ArchBEO& arch,
+                                          const CampaignOptions& options);
+
+}  // namespace ftbesst::inject

@@ -1,0 +1,32 @@
+#include "inject/ledger.hpp"
+
+namespace ftbesst::inject {
+
+RecoverySelection RecoveryLedger::select(const ft::FtiConfig& config,
+                                         std::int64_t ranks,
+                                         const ft::FailureSet& failures,
+                                         double available_by,
+                                         double fresh_by) const {
+  RecoverySelection best;
+  for (const auto& [level, records] : available_) {
+    if (!ft::recoverable(level, config, ranks, failures)) continue;
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      const CheckpointRecord& record = *it;
+      // Poisoned by the corruption instant: skip without consuming the
+      // per-level pick (an older, pre-corruption record may still win).
+      if (record.completed_at > fresh_by) continue;
+      if (record.available_at > available_by) continue;
+      if (!best.record ||
+          record.timesteps_done > best.record->timesteps_done ||
+          (record.timesteps_done == best.record->timesteps_done &&
+           static_cast<int>(level) > static_cast<int>(best.level))) {
+        best.record = &record;
+        best.level = level;
+      }
+      break;  // records are ordered; the newest usable one wins
+    }
+  }
+  return best;
+}
+
+}  // namespace ftbesst::inject

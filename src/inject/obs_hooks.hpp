@@ -1,0 +1,50 @@
+#pragma once
+// Observability hooks for the injection engine, shared by both execution
+// engines so coarse (run_bsp) and DES injected runs report under the same
+// counter names:
+//   inject.faults.{crash,loss,sdc}   faults that struck a running app
+//   inject.rollbacks.l{1..4}         recoveries per restored FTI level
+//   inject.full_restarts             unrecoverable faults
+//   inject.lost_work_ns              discarded execution, nanoseconds
+
+#include "ft/fti.hpp"
+#include "obs/obs.hpp"
+
+namespace ftbesst::inject {
+
+/// Bump the per-kind fault counter for one struck fault.
+inline void obs_note_fault(ft::FailureKind kind) {
+  if (!obs::enabled()) return;
+  static const obs::Counter crash = obs::counter("inject.faults.crash");
+  static const obs::Counter loss = obs::counter("inject.faults.loss");
+  static const obs::Counter sdc = obs::counter("inject.faults.sdc");
+  switch (kind) {
+    case ft::FailureKind::kProcessCrash: crash.add(); break;
+    case ft::FailureKind::kNodeLoss: loss.add(); break;
+    case ft::FailureKind::kSilentCorruption: sdc.add(); break;
+  }
+}
+
+/// Record a resolved recovery: `level` 1..4 for a rollback to that FTI
+/// level, 0 for a full restart; `lost_work_seconds` is the discarded
+/// execution window.
+inline void obs_note_recovery(int level, double lost_work_seconds) {
+  if (!obs::enabled()) return;
+  static const obs::Counter l1 = obs::counter("inject.rollbacks.l1");
+  static const obs::Counter l2 = obs::counter("inject.rollbacks.l2");
+  static const obs::Counter l3 = obs::counter("inject.rollbacks.l3");
+  static const obs::Counter l4 = obs::counter("inject.rollbacks.l4");
+  static const obs::Counter restarts = obs::counter("inject.full_restarts");
+  static const obs::Counter lost = obs::counter("inject.lost_work_ns");
+  switch (level) {
+    case 1: l1.add(); break;
+    case 2: l2.add(); break;
+    case 3: l3.add(); break;
+    case 4: l4.add(); break;
+    default: restarts.add(); break;
+  }
+  if (lost_work_seconds > 0.0)
+    lost.add(static_cast<std::uint64_t>(lost_work_seconds * 1e9));
+}
+
+}  // namespace ftbesst::inject

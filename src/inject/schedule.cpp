@@ -1,0 +1,67 @@
+#include "inject/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::inject {
+
+std::vector<ft::FaultEvent> make_schedule(const ft::FaultProcess* crashes,
+                                          const SdcProcess* sdc,
+                                          std::int64_t nodes,
+                                          double horizon_seconds,
+                                          const util::Rng& root) {
+  if (nodes < 1) throw std::invalid_argument("schedule needs nodes >= 1");
+  if (!std::isfinite(horizon_seconds) || horizon_seconds < 0.0)
+    throw std::invalid_argument("schedule horizon must be finite and >= 0");
+
+  std::vector<ft::FaultEvent> schedule;
+  for (std::int64_t n = 0; n < nodes; ++n) {
+    if (crashes != nullptr) {
+      util::Rng rng =
+          root.split(2 * static_cast<std::uint64_t>(n));
+      // FaultProcess::sample over a 1-node machine is exactly the per-node
+      // renewal process (exp or mean-pinned Weibull interarrivals).
+      for (ft::FaultEvent ev : crashes->sample(1, horizon_seconds, rng)) {
+        ev.node = n;
+        schedule.push_back(ev);
+      }
+    }
+    if (sdc != nullptr) {
+      util::Rng rng =
+          root.split(2 * static_cast<std::uint64_t>(n) + 1);
+      for (ft::FaultEvent ev : sdc->sample_node(horizon_seconds, rng)) {
+        ev.node = n;
+        schedule.push_back(ev);
+      }
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ft::FaultEvent& a, const ft::FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.node != b.node) return a.node < b.node;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return schedule;
+}
+
+void validate_schedule(const std::vector<ft::FaultEvent>& schedule,
+                       std::int64_t nodes) {
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ft::FaultEvent& ev = schedule[i];
+    if (!std::isfinite(ev.time) || ev.time < 0.0)
+      throw std::invalid_argument("fault trace: bad time at entry " +
+                                  std::to_string(i));
+    if (!std::isfinite(ev.detect_after) || ev.detect_after < 0.0)
+      throw std::invalid_argument(
+          "fault trace: bad detection latency at entry " + std::to_string(i));
+    if (ev.node < 0 || ev.node >= nodes)
+      throw std::invalid_argument("fault trace: node id out of range at entry " +
+                                  std::to_string(i));
+    if (i > 0 && ev.time < schedule[i - 1].time)
+      throw std::invalid_argument("fault trace must be time-ordered");
+  }
+}
+
+}  // namespace ftbesst::inject

@@ -1,0 +1,46 @@
+#pragma once
+// Fault-schedule materialization for the injection engine.
+//
+// A schedule is the complete, time-ordered list of fault events that will
+// strike a machine over a simulation horizon. It is drawn *up front* from
+// per-node splittable RNG streams — node n's fail-stop faults come from
+// stream root.split(2n) and its silent corruptions from root.split(2n+1) —
+// so the schedule is a pure function of (seed, processes, nodes, horizon):
+// independent of thread count, event interleaving, and how far the run
+// actually gets. Pre-materializing is what makes injected DES runs
+// bit-identical across thread counts and exactly replayable from a dumped
+// ft::FaultLog (FaultLog::to_trace feeds EngineOptions::fault_trace, which
+// bypasses sampling entirely).
+//
+// Per-node sampling differs deliberately from the coarse engine's
+// system-level renewal draw (FaultProcess::next_after): superposing
+// independent per-node renewal processes is the physically faithful model,
+// and for the exponential shape the superposition is exactly the Poisson
+// system process the analytic Young/Daly layer assumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "ft/faults.hpp"
+#include "inject/sdc.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::inject {
+
+/// Materialize all fault events in [0, horizon_seconds) for a machine of
+/// `nodes` nodes. Either process may be null (that fault class is off).
+/// Events are returned time-ordered with a deterministic tie-break
+/// (time, node, kind). Throws std::invalid_argument on nodes < 1 or a
+/// non-finite/negative horizon.
+[[nodiscard]] std::vector<ft::FaultEvent> make_schedule(
+    const ft::FaultProcess* crashes, const SdcProcess* sdc,
+    std::int64_t nodes, double horizon_seconds, const util::Rng& root);
+
+/// Validate an externally supplied schedule (a replay trace): times and
+/// detection latencies must be finite and non-negative, times
+/// non-decreasing, node ids within [0, nodes). Throws
+/// std::invalid_argument on violation.
+void validate_schedule(const std::vector<ft::FaultEvent>& schedule,
+                       std::int64_t nodes);
+
+}  // namespace ftbesst::inject

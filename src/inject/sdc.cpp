@@ -1,0 +1,34 @@
+#include "inject/sdc.hpp"
+
+#include <stdexcept>
+
+namespace ftbesst::inject {
+
+SdcProcess::SdcProcess(double node_mtbe_seconds, double mean_detect_seconds)
+    : mtbe_(node_mtbe_seconds), mean_detect_(mean_detect_seconds) {
+  if (!(mtbe_ > 0.0))
+    throw std::invalid_argument("SDC node MTBE must be > 0");
+  if (mean_detect_ < 0.0)
+    throw std::invalid_argument("SDC detection latency must be >= 0");
+}
+
+std::vector<ft::FaultEvent> SdcProcess::sample_node(double horizon_seconds,
+                                                    util::Rng& rng) const {
+  std::vector<ft::FaultEvent> events;
+  const double rate = 1.0 / mtbe_;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t >= horizon_seconds) break;
+    ft::FaultEvent ev;
+    ev.time = t;
+    ev.node = 0;
+    ev.kind = ft::FailureKind::kSilentCorruption;
+    ev.detect_after =
+        mean_detect_ > 0.0 ? rng.exponential(1.0 / mean_detect_) : 0.0;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+}  // namespace ftbesst::inject

@@ -5,7 +5,7 @@
 // once at daemon startup: an ArchBEO with every kernel's performance model
 // bound in (either reloaded from `model/serialize` artifacts or calibrated
 // + fitted on the bundled Quartz-like testbed), ready to serve unlimited
-// predict/simulate/dse queries. It is immutable after construction and
+// predict/simulate/inject/dse queries. It is immutable after construction and
 // therefore safe to share across every request-handler task; requests that
 // need mutated architecture state (fault injection) run against a private
 // copy.
@@ -16,6 +16,11 @@
 //   {"op":"simulate", "app":"lulesh"|"stencil3d", "epr"/"nx":N, "ranks":R,
 //    "timesteps":T, "plan":"L1:40,..", "trials":N, "seed":S,
 //    "monte_carlo":B, "mtbf_hours":H, "downtime":D}
+//   {"op":"inject", "app":.., "epr"/"nx":N, "ranks":R, "timesteps":T,
+//    "plan":"..", "trials":N, "seed":S, "mtbf_hours":H (> 0, required),
+//    "downtime":D, "use_des":0|1} — in-simulation fault-injection campaign
+//    (src/inject): N trials varying only the fault schedule, makespan
+//    distribution + per-level recovery statistics.
 //   {"op":"dse", "app":.., "scenarios":[{"name":..,"plan":".."}..],
 //    "points":[[epr,ranks],..] | "eprs":[..] x "ranks":[..],
 //    "timesteps":T, "trials":N, "seed":S, ...}
@@ -107,7 +112,7 @@ class RestartCostModel final : public model::PerfModel {
   ft::CheckpointCostModel cost_;
 };
 
-/// Execute one cacheable request (predict/simulate/dse) against the
+/// Execute one cacheable request (predict/simulate/inject/dse) against the
 /// registry and return the result Json. Throws std::invalid_argument on
 /// malformed requests (unknown op, bad plan text, non-cube ranks, unbound
 /// kernels, ...) — the server turns these into error replies.

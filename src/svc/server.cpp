@@ -506,7 +506,8 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       JsonObject result;
       result.emplace("slept_ms", Json(ms));
       payload = ok_payload(false, Json(std::move(result)).dump());
-    } else if (op == "predict" || op == "simulate" || op == "dse") {
+    } else if (op == "predict" || op == "simulate" || op == "inject" ||
+               op == "dse") {
       try {
         const std::string key = canonical_key(request);
         if (auto hit = cache_.get(key)) {
@@ -544,7 +545,7 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
                           ? std::string("missing \"op\" field")
                           : "unknown op '" + op +
                                 "' (valid: ping, stats, predict, simulate, "
-                                "dse, sleep, shutdown)"));
+                                "inject, dse, sleep, shutdown)"));
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }

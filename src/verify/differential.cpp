@@ -1,15 +1,18 @@
 #include "verify/differential.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <utility>
 
 #include "core/engine_des.hpp"
 #include "core/montecarlo.hpp"
 #include "ft/young_daly.hpp"
+#include "inject/campaign.hpp"
 #include "model/dataset.hpp"
 #include "model/expr.hpp"
 #include "model/expr_program.hpp"
@@ -224,19 +227,22 @@ void check_threads(const Scenario& s, const BuildOverrides& overrides,
 }
 
 // --- leg 4: Young/Daly expected runtime vs ensemble mean ---
-// Eligible only where the first-order waste model applies: exponential
-// faults, a single synchronous checkpoint level every fault is recoverable
-// from, deterministic durations, and a well-conditioned regime (interval
-// and recovery small against the system MTBF).
-void check_young_daly(const Scenario& s, const DiffTolerances& tol,
-                      const BuildOverrides& overrides, DiffReport& report) {
+// Eligibility + conditioning for the statistical Young/Daly legs (the
+// ensemble leg below and the injection-campaign leg): the first-order waste
+// model applies only with exponential faults, a single synchronous
+// checkpoint level every fault is recoverable from, deterministic
+// durations, and a well-conditioned regime (interval and recovery small
+// against the system MTBF). Returns the closed-form expected runtime, or
+// nullopt when the scenario is ineligible.
+std::optional<double> young_daly_expected(const Scenario& s) {
   if (!s.inject_faults || s.weibull_shape != 1.0 || s.monte_carlo ||
       s.noise_sigma != 0.0 || s.plan.size() != 1 || s.plan[0].async)
-    return;
+    return std::nullopt;
   const ft::PlanEntry entry = s.plan[0];
   const bool per_fault_recoverable =
       s.loss_fraction == 0.0 || entry.level >= ft::Level::kL2;
-  if (!per_fault_recoverable || s.node_mtbf_seconds <= 0.0) return;
+  if (!per_fault_recoverable || s.node_mtbf_seconds <= 0.0)
+    return std::nullopt;
 
   const std::int64_t nodes = s.ranks / s.fti.node_size;
   const double system_mtbf =
@@ -252,12 +258,20 @@ void check_young_daly(const Scenario& s, const DiffTolerances& tol,
       s.downtime_seconds;
   // Conditioning guards: outside this regime the first-order model and the
   // simulator legitimately diverge (thrash, censoring, high-order terms).
-  if (interval > s.timesteps * step) return;  // fewer than one checkpoint
-  if (interval / 2.0 + restart > system_mtbf / 4.0) return;
-  if (ckpt > system_mtbf / 10.0) return;
+  if (interval > s.timesteps * step) return std::nullopt;  // < 1 checkpoint
+  if (interval / 2.0 + restart > system_mtbf / 4.0) return std::nullopt;
+  if (ckpt > system_mtbf / 10.0) return std::nullopt;
   const double expected =
       ft::expected_runtime_cr(work, interval, ckpt, restart, system_mtbf);
-  if (!std::isfinite(expected)) return;
+  if (!std::isfinite(expected)) return std::nullopt;
+  return expected;
+}
+
+void check_young_daly(const Scenario& s, const DiffTolerances& tol,
+                      const BuildOverrides& overrides, DiffReport& report) {
+  const std::optional<double> closed_form = young_daly_expected(s);
+  if (!closed_form) return;
+  const double expected = *closed_form;
 
   Scenario mc = s;
   mc.trials = tol.young_daly_trials;
@@ -274,6 +288,102 @@ void check_young_daly(const Scenario& s, const DiffTolerances& tol,
                 pair_detail("ensemble mean outside the Young/Daly band",
                             mean, "simulated", expected, "closed_form"),
                 s);
+}
+
+// --- leg 4b: in-simulation injection (src/inject), DES engine ---
+// Three sub-checks on every fault-injecting scenario, all through the DES
+// injection path:
+//  (a) injected fold-vs-unfold, bit-identical — rollback is coordinated
+//      (every rank rewinds to the same checkpoint at the same instant), so
+//      fold groups never diverge and folding must stay a pure
+//      execution-cost optimization even mid-recovery (the rule documented
+//      at run_des's fold gate);
+//  (b) injection campaign threads 1 vs 4, bit-identical — per-trial fault
+//      seeds are derived before any trial runs;
+//  (c) on Young/Daly-eligible scenarios, the campaign mean makespan must
+//      sit in the same multiplicative band as the ensemble leg (same
+//      eligibility and conditioning guards via young_daly_expected).
+void check_inject(const Scenario& s, const DiffTolerances& tol,
+                  const BuildOverrides& overrides, DiffReport& report) {
+  if (!s.inject_faults || s.node_mtbf_seconds <= 0.0) return;
+  // Injection through the DES needs deterministic durations for the
+  // bitwise sub-checks; the campaign already isolates fault-seed variance.
+  Scenario det = s;
+  det.monte_carlo = false;
+  det.noise_sigma = 0.0;
+  ++report.inject_checks;
+
+  {  // (a) injected fold vs unfold
+    BuiltScenario built = build(det, overrides);
+    built.options.fold_symmetry = true;
+    const core::RunResult folded =
+        core::run_des(built.app, built.arch, built.options);
+    built.options.fold_symmetry = false;
+    const core::RunResult unfolded =
+        core::run_des(built.app, built.arch, built.options);
+    if (!bits_equal(folded.total_seconds, unfolded.total_seconds) ||
+        !bits_equal(folded.timestep_end_times,
+                    unfolded.timestep_end_times) ||
+        !bits_equal(folded.lost_work_seconds, unfolded.lost_work_seconds) ||
+        folded.faults != unfolded.faults ||
+        folded.rollbacks != unfolded.rollbacks ||
+        folded.full_restarts != unfolded.full_restarts ||
+        folded.recoveries_by_level != unfolded.recoveries_by_level ||
+        folded.completed != unfolded.completed) {
+      add_failure(report, "inject_fold",
+                  pair_detail("injected fold-vs-unfold not bit-identical",
+                              folded.total_seconds, "folded",
+                              unfolded.total_seconds, "unfolded"),
+                  det);
+      return;
+    }
+  }
+
+  {  // (b) campaign threads 1 vs 4
+    BuiltScenario built = build(det, overrides);
+    inject::CampaignOptions copt;
+    copt.engine = built.options;
+    copt.trials = static_cast<std::size_t>(std::clamp(s.trials, 1, 4));
+    copt.threads = 1;
+    const inject::CampaignResult one =
+        inject::run_campaign(built.app, built.arch, copt);
+    copt.threads = 4;
+    const inject::CampaignResult many =
+        inject::run_campaign(built.app, built.arch, copt);
+    if (!bits_equal(one.totals, many.totals) ||
+        !bits_equal(one.mean_lost_work, many.mean_lost_work) ||
+        !bits_equal(one.mean_faults, many.mean_faults) ||
+        one.incomplete_trials != many.incomplete_trials ||
+        one.fault_log.size() != many.fault_log.size()) {
+      add_failure(report, "inject_threads",
+                  pair_detail("injection campaign not bit-identical across "
+                              "threads",
+                              one.total.mean, "threads1_mean",
+                              many.total.mean, "threads4_mean"),
+                  det);
+      return;
+    }
+  }
+
+  // (c) Young/Daly band through the injection campaign
+  const std::optional<double> closed_form = young_daly_expected(det);
+  if (!closed_form) return;
+  BuiltScenario built = build(det, overrides);
+  inject::CampaignOptions copt;
+  copt.engine = built.options;
+  copt.trials = static_cast<std::size_t>(tol.young_daly_trials);
+  const inject::CampaignResult res =
+      inject::run_campaign(built.app, built.arch, copt);
+  if (res.incomplete_trials > 0) return;  // censored mean is meaningless
+  ++report.inject_young_daly_checks;
+  if (res.total.mean < *closed_form / tol.young_daly_band ||
+      res.total.mean > *closed_form * tol.young_daly_band)
+    add_failure(report, "inject_young_daly",
+                pair_detail("injection campaign mean outside the Young/Daly "
+                            "band",
+                            res.total.mean, "simulated", *closed_form,
+                            "closed_form"),
+                det);
 }
 
 // --- leg 5: ExprProgram backends, bit-identical across dispatch ---
@@ -362,6 +472,8 @@ void DiffReport::merge(const DiffReport& other) {
   fold_checks += other.fold_checks;
   thread_checks += other.thread_checks;
   young_daly_checks += other.young_daly_checks;
+  inject_checks += other.inject_checks;
+  inject_young_daly_checks += other.inject_young_daly_checks;
   backend_checks += other.backend_checks;
   failures.insert(failures.end(), other.failures.begin(),
                   other.failures.end());
@@ -375,6 +487,8 @@ std::string DiffReport::summary() const {
   out += std::to_string(fold_checks) + " fold-vs-unfold, ";
   out += std::to_string(thread_checks) + " thread-bit, ";
   out += std::to_string(young_daly_checks) + " young-daly, ";
+  out += std::to_string(inject_checks) + " inject (" +
+         std::to_string(inject_young_daly_checks) + " young-daly), ";
   out += std::to_string(backend_checks) + " eval-backend checks, ";
   out += std::to_string(failures.size()) + " failure(s)\n";
   for (const DiffFailure& f : failures) {
@@ -396,6 +510,7 @@ DiffReport check_scenario(const Scenario& s, const DiffTolerances& tol,
     check_fold(s, overrides, report);
     check_threads(s, overrides, report);
     check_young_daly(s, tol, overrides, report);
+    check_inject(s, tol, overrides, report);
     check_eval_backends(s, report);
   } catch (const std::exception& e) {
     add_failure(report, "exception", e.what(), s);

@@ -28,6 +28,11 @@
 //  * Young/Daly expected runtime vs ensemble mean (eligible fault
 //    scenarios): within a x1.6 multiplicative band — first-order waste
 //    model vs simulated rollback, so only the scale must match.
+//  * in-simulation injection (src/inject, every fault scenario):
+//    injected run_des folded vs unfolded bit-identical (coordinated
+//    rollback keeps fold groups symmetric); injection campaign threads
+//    1 vs 4 bit-identical; and, on Young/Daly-eligible scenarios, the
+//    campaign mean makespan within the same x1.6 band.
 //  * ExprProgram eval backends (scalar strip vs the SIMD batch backends,
 //    model/expr_simd.*): bit-identical over scenario-seeded expressions on
 //    an adversarial dataset — the dispatch must never change a number.
@@ -55,8 +60,9 @@ struct DiffTolerances {
 
 struct DiffFailure {
   std::string check;   ///< "analytic_twin" | "des_vs_bsp" | "fold_vs_unfold"
-                       ///< | "thread_bits" | "young_daly" | "eval_backend"
-                       ///< | "exception"
+                       ///< | "thread_bits" | "young_daly" | "inject_fold"
+                       ///< | "inject_threads" | "inject_young_daly"
+                       ///< | "eval_backend" | "exception"
   std::string detail;  ///< human-readable disagreement description
   std::uint64_t generator_seed = 0;  ///< 0 when not generator-produced
   std::uint64_t scenario_index = 0;
@@ -70,6 +76,8 @@ struct DiffReport {
   int fold_checks = 0;
   int thread_checks = 0;
   int young_daly_checks = 0;
+  int inject_checks = 0;
+  int inject_young_daly_checks = 0;
   int backend_checks = 0;
   std::vector<DiffFailure> failures;
 

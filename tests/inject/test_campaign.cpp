@@ -1,0 +1,145 @@
+// Campaign driver: thread-count invariance, argument validation, and the
+// Young/Daly acceptance leg over the golden corpus machines.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/arch.hpp"
+#include "core/engine_des.hpp"
+#include "inject/campaign.hpp"
+#include "net/topology.hpp"
+#include "support/test_seed.hpp"
+#include "verify/differential.hpp"
+#include "verify/scenario.hpp"
+
+namespace ftbesst::inject {
+namespace {
+
+core::ArchBEO make_arch() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  core::ArchBEO arch("m", topo, net::CommParams{}, 4);
+  arch.set_fti(ft::FtiConfig{2, 2, 1});
+  arch.bind_kernel("work", std::make_shared<model::ConstantModel>(10.0));
+  arch.bind_kernel("ckpt", std::make_shared<model::ConstantModel>(1.0));
+  arch.set_fault_process(ft::FaultProcess(200.0, 0.5));
+  return arch;
+}
+
+core::AppBEO make_app() {
+  core::AppBEO app("toy", 4);
+  for (int step = 1; step <= 10; ++step) {
+    app.compute("work", {});
+    app.end_timestep();
+    if (step % 2 == 0) app.checkpoint(ft::Level::kL2, "ckpt", {});
+  }
+  return app;
+}
+
+CampaignOptions base_options(std::uint64_t seed) {
+  CampaignOptions opt;
+  opt.trials = 8;
+  opt.engine.seed = seed;
+  opt.engine.downtime_seconds = 3.0;
+  opt.engine.max_sim_seconds = 5000.0;
+  return opt;
+}
+
+TEST(Campaign, BitIdenticalAcrossThreadCounts) {
+  const std::uint64_t seed = test::test_seed(77);
+  CampaignOptions opt = base_options(seed);
+  opt.threads = 1;
+  const CampaignResult a = run_campaign(make_app(), make_arch(), opt);
+  opt.threads = 4;
+  const CampaignResult b = run_campaign(make_app(), make_arch(), opt);
+  ASSERT_EQ(a.totals.size(), b.totals.size());
+  for (std::size_t i = 0; i < a.totals.size(); ++i)
+    EXPECT_EQ(std::memcmp(&a.totals[i], &b.totals[i], sizeof(double)), 0)
+        << "trial " << i;
+  EXPECT_EQ(a.total.mean, b.total.mean);
+  EXPECT_EQ(a.p10, b.p10);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.mean_faults, b.mean_faults);
+  EXPECT_EQ(a.mean_lost_work, b.mean_lost_work);
+  EXPECT_EQ(a.mean_recoveries_by_level, b.mean_recoveries_by_level);
+  EXPECT_EQ(a.incomplete_trials, b.incomplete_trials);
+  ASSERT_EQ(a.fault_log.size(), b.fault_log.size());
+  EXPECT_EQ(a.fault_log.to_text(), b.fault_log.to_text());
+}
+
+TEST(Campaign, DesAndBspBackendsBothComplete) {
+  CampaignOptions opt = base_options(5);
+  opt.threads = 1;
+  const CampaignResult des = run_campaign(make_app(), make_arch(), opt);
+  opt.use_des = false;
+  const CampaignResult bsp = run_campaign(make_app(), make_arch(), opt);
+  EXPECT_EQ(des.totals.size(), 8u);
+  EXPECT_EQ(bsp.totals.size(), 8u);
+  EXPECT_EQ(des.incomplete_trials, 0u);
+  EXPECT_EQ(bsp.incomplete_trials, 0u);
+  // Every trial runs at least as long as the clean 105 s program.
+  EXPECT_GE(des.total.min, 105.0);
+  EXPECT_GE(bsp.total.min, 105.0);
+}
+
+TEST(Campaign, PerTrialFaultLogIsReplayable) {
+  CampaignOptions opt = base_options(13);
+  opt.trials = 4;
+  opt.threads = 1;
+  const CampaignResult res = run_campaign(make_app(), make_arch(), opt);
+  ASSERT_GT(res.fault_log.size(), 0u);
+  // Records are tagged with their trial; replaying one trial's trace
+  // through the engine reproduces that trial's makespan exactly.
+  for (std::size_t t = 0; t < 4; ++t) {
+    core::EngineOptions replay = opt.engine;
+    replay.inject_faults = true;
+    replay.fault_trace =
+        res.fault_log.to_trace(static_cast<std::int64_t>(t));
+    const core::RunResult r = core::run_des(make_app(), make_arch(), replay);
+    EXPECT_EQ(std::memcmp(&r.total_seconds, &res.totals[t], sizeof(double)),
+              0)
+        << "trial " << t;
+  }
+}
+
+TEST(Campaign, ZeroTrialsRejected) {
+  CampaignOptions opt;
+  opt.trials = 0;
+  EXPECT_THROW((void)run_campaign(make_app(), make_arch(), opt),
+               std::invalid_argument);
+}
+
+// Acceptance leg: on the golden-corpus fault machines the full
+// differential battery — including the injected-campaign-vs-Young/Daly
+// band and the fold/thread bit-identity checks — must pass, and at least
+// one corpus machine must be Young/Daly-eligible so the statistical
+// comparison actually runs.
+TEST(Campaign, GoldenCorpusMachinesPassTheInjectionBattery) {
+  const char* names[] = {"l1_local", "l2_partner", "crash_only",
+                         "young_daly_interval"};
+  int inject_checks = 0;
+  int young_daly_checks = 0;
+  for (const char* name : names) {
+    const std::string path =
+        std::string(FTBESST_CORPUS_DIR) + "/" + name + ".scenario";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const verify::Scenario s = verify::Scenario::from_text(text.str());
+    const verify::DiffReport report = verify::check_scenario(s);
+    EXPECT_TRUE(report.ok()) << name << ":\n" << report.summary();
+    inject_checks += report.inject_checks;
+    young_daly_checks += report.inject_young_daly_checks;
+  }
+  EXPECT_GE(inject_checks, 4);
+  EXPECT_GE(young_daly_checks, 1);
+}
+
+}  // namespace
+}  // namespace ftbesst::inject

@@ -1,0 +1,147 @@
+// RecoveryLedger record/trim, purge, and selection semantics.
+
+#include <gtest/gtest.h>
+
+#include "inject/ledger.hpp"
+
+namespace ftbesst::inject {
+namespace {
+
+// group 2, node 2 -> 4 ranks over 2 nodes; one node loss leaves the ring
+// partner alive, so L2 survives but L1 does not.
+ft::FtiConfig toy_fti() { return ft::FtiConfig{2, 2, 1}; }
+
+ft::FailureSet loss(std::int64_t node) {
+  return ft::FailureSet{{node}, ft::FailureKind::kNodeLoss};
+}
+
+ft::FailureSet crash(std::int64_t node) {
+  return ft::FailureSet{{node}, ft::FailureKind::kProcessCrash};
+}
+
+ft::FailureSet sdc(std::int64_t node) {
+  return ft::FailureSet{{node}, ft::FailureKind::kSilentCorruption};
+}
+
+CheckpointRecord rec(int timesteps_done, double completed_at,
+                     double available_at = -1.0) {
+  CheckpointRecord r;
+  r.resume_pc = static_cast<std::size_t>(timesteps_done);
+  r.timesteps_done = timesteps_done;
+  r.completed_at = completed_at;
+  r.available_at = available_at < 0.0 ? completed_at : available_at;
+  return r;
+}
+
+TEST(RecoveryLedger, KeepsNewestTwoRecordsPerLevel) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL1, rec(1, 10.0));
+  ledger.record(ft::Level::kL1, rec(2, 20.0));
+  ledger.record(ft::Level::kL1, rec(3, 30.0));
+  // The t=10 record was evicted: selection limited to available_by=15
+  // (only the evicted record would qualify) finds nothing.
+  const auto none = ledger.select(toy_fti(), 4, crash(0), 15.0,
+                                  RecoveryLedger::no_freshness_limit());
+  EXPECT_EQ(none.record, nullptr);
+  const auto newest = ledger.select(toy_fti(), 4, crash(0), 100.0,
+                                    RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(newest.record, nullptr);
+  EXPECT_EQ(newest.record->timesteps_done, 3);
+}
+
+TEST(RecoveryLedger, SelectsMostProgressedAcrossLevels) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL4, rec(2, 20.0));
+  ledger.record(ft::Level::kL1, rec(4, 40.0));
+  const auto sel = ledger.select(toy_fti(), 4, crash(0), 100.0,
+                                 RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.record->timesteps_done, 4);
+  EXPECT_EQ(sel.level, ft::Level::kL1);
+}
+
+TEST(RecoveryLedger, TieBreaksOnDeeperLevel) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL1, rec(4, 40.0));
+  ledger.record(ft::Level::kL4, rec(4, 41.0));
+  const auto sel = ledger.select(toy_fti(), 4, crash(0), 100.0,
+                                 RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.level, ft::Level::kL4);
+}
+
+TEST(RecoveryLedger, UnrecoverableLevelsAreExcluded) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL1, rec(6, 60.0));
+  ledger.record(ft::Level::kL2, rec(4, 40.0));
+  // Node loss kills L1 (local files gone); the older L2 partner copy wins.
+  const auto sel = ledger.select(toy_fti(), 4, loss(0), 100.0,
+                                 RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.level, ft::Level::kL2);
+  EXPECT_EQ(sel.record->timesteps_done, 4);
+  // The same ledger under a mere crash restores the newer L1 snapshot.
+  const auto c = ledger.select(toy_fti(), 4, crash(0), 100.0,
+                               RecoveryLedger::no_freshness_limit());
+  EXPECT_EQ(c.level, ft::Level::kL1);
+  EXPECT_EQ(c.record->timesteps_done, 6);
+}
+
+TEST(RecoveryLedger, AsyncFlushNotYetAvailableIsSkipped) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL4, rec(2, 20.0));
+  // Critical path done at t=40 but the background flush lands at t=90.
+  ledger.record(ft::Level::kL4, rec(4, 40.0, 90.0));
+  const auto sel = ledger.select(toy_fti(), 4, crash(0), 50.0,
+                                 RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.record->timesteps_done, 2);
+}
+
+TEST(RecoveryLedger, SdcFreshnessSkipsPoisonedRecordWithoutConsumingLevel) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL4, rec(2, 20.0));
+  ledger.record(ft::Level::kL4, rec(4, 40.0));
+  // Corruption at t=30: the t=40 checkpoint snapshots corrupted state; the
+  // pre-corruption t=20 record must still be found behind it.
+  const auto sel = ledger.select(toy_fti(), 4, sdc(0), 100.0, 30.0);
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.record->timesteps_done, 2);
+  // Corruption before every checkpoint: nothing clean -> full restart.
+  const auto none = ledger.select(toy_fti(), 4, sdc(0), 100.0, 10.0);
+  EXPECT_EQ(none.record, nullptr);
+}
+
+TEST(RecoveryLedger, PurgeAfterDropsRecordsPastTheStrike) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL4, rec(2, 20.0));
+  ledger.record(ft::Level::kL4, rec(4, 40.0));
+  ledger.purge_after(30.0);
+  const auto sel = ledger.select(toy_fti(), 4, crash(0), 100.0,
+                                 RecoveryLedger::no_freshness_limit());
+  ASSERT_NE(sel.record, nullptr);
+  EXPECT_EQ(sel.record->timesteps_done, 2);
+  ledger.purge_after(10.0);
+  EXPECT_EQ(ledger
+                .select(toy_fti(), 4, crash(0), 100.0,
+                        RecoveryLedger::no_freshness_limit())
+                .record,
+            nullptr);
+}
+
+TEST(RecoveryLedger, ClearEmptiesEverything) {
+  RecoveryLedger ledger;
+  ledger.record(ft::Level::kL1, rec(2, 20.0));
+  ledger.record(ft::Level::kL4, rec(2, 21.0));
+  EXPECT_FALSE(ledger.empty());
+  ledger.clear();
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger
+                .select(toy_fti(), 4, crash(0), 100.0,
+                        RecoveryLedger::no_freshness_limit())
+                .record,
+            nullptr);
+}
+
+}  // namespace
+}  // namespace ftbesst::inject

@@ -1,0 +1,183 @@
+// Recoverability matrix: FailureKind x FTI level, at both layers — the
+// ft::recoverable predicate for multi-node failure sets and the replay
+// engine for end-to-end accounting (surviving level, lost-work window,
+// restart cost).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/arch.hpp"
+#include "core/engine_bsp.hpp"
+#include "ft/fti.hpp"
+#include "net/topology.hpp"
+
+namespace ftbesst::core {
+namespace {
+
+// 4 ranks over 2 nodes, FTI group {2 nodes, 2 ranks/node, 1 L2 partner}.
+// Work 10 s/step, checkpoint 1 s after every 2nd of 10 steps: clean total
+// 105 s; checkpoints complete at t = 21, 42, 63, 84, 105.
+ArchBEO make_arch(double restart_cost = 0.0) {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  ArchBEO arch("m", topo, net::CommParams{}, 4);
+  arch.set_fti(ft::FtiConfig{2, 2, 1});
+  arch.bind_kernel("work", std::make_shared<model::ConstantModel>(10.0));
+  arch.bind_kernel("ckpt", std::make_shared<model::ConstantModel>(1.0));
+  if (restart_cost > 0.0)
+    for (const ft::Level level : {ft::Level::kL1, ft::Level::kL2,
+                                  ft::Level::kL3, ft::Level::kL4})
+      arch.bind_restart(level,
+                        std::make_shared<model::ConstantModel>(restart_cost));
+  return arch;
+}
+
+AppBEO make_app(ft::Level level) {
+  AppBEO app("toy", 4);
+  for (int step = 1; step <= 10; ++step) {
+    app.compute("work", {});
+    app.end_timestep();
+    if (step % 2 == 0) app.checkpoint(level, "ckpt", {});
+  }
+  return app;
+}
+
+ft::FaultEvent event(ft::FailureKind kind, double t, double detect_after = 0.0,
+                     std::int64_t node = 0) {
+  ft::FaultEvent ev;
+  ev.time = t;
+  ev.node = node;
+  ev.kind = kind;
+  ev.detect_after = detect_after;
+  return ev;
+}
+
+RunResult replay(ft::Level level, ft::FaultEvent ev,
+                 double restart_cost = 0.0) {
+  EngineOptions opt;
+  opt.inject_faults = true;
+  opt.downtime_seconds = 5.0;
+  opt.fault_trace = {ev};
+  return run_bsp(make_app(level), make_arch(restart_cost), opt);
+}
+
+// --- crash row: every level's files survive; always a rollback ---
+
+TEST(RecoveryMatrix, CrashRecoversAtEveryLevel) {
+  for (const ft::Level level : {ft::Level::kL1, ft::Level::kL2,
+                                ft::Level::kL3, ft::Level::kL4}) {
+    const RunResult r =
+        replay(level, event(ft::FailureKind::kProcessCrash, 35.0));
+    EXPECT_EQ(r.rollbacks, 1) << ft::to_string(level);
+    EXPECT_EQ(r.full_restarts, 0) << ft::to_string(level);
+    EXPECT_EQ(r.recoveries_by_level[static_cast<int>(level) - 1], 1);
+    // Roll back to the t=21 checkpoint: 14 s of work discarded, 5 s of
+    // downtime, then re-execution -> 105 + 14 + 5.
+    EXPECT_DOUBLE_EQ(r.total_seconds, 124.0) << ft::to_string(level);
+    EXPECT_DOUBLE_EQ(r.lost_work_seconds, 14.0) << ft::to_string(level);
+  }
+}
+
+// --- node-loss row: the surviving level depends on the FTI layout ---
+
+TEST(RecoveryMatrix, NodeLossDefeatsL1) {
+  const RunResult r = replay(ft::Level::kL1,
+                             event(ft::FailureKind::kNodeLoss, 35.0));
+  EXPECT_EQ(r.full_restarts, 1);
+  EXPECT_EQ(r.rollbacks, 0);
+  // Full restart discards the entire 35 s and pays 5 s of downtime.
+  EXPECT_DOUBLE_EQ(r.total_seconds, 105.0 + 35.0 + 5.0);
+  EXPECT_DOUBLE_EQ(r.lost_work_seconds, 35.0);
+  ASSERT_EQ(r.fault_log.size(), 1u);
+  EXPECT_EQ(r.fault_log.records()[0].recovery_level, 0);
+}
+
+TEST(RecoveryMatrix, NodeLossSurvivesPartnerRsAndPfsLevels) {
+  // L2 (ring partner on the surviving node), L3 (1 erasure <= floor(2/2)),
+  // and L4 (PFS) all recover the t=21 checkpoint.
+  for (const ft::Level level :
+       {ft::Level::kL2, ft::Level::kL3, ft::Level::kL4}) {
+    const RunResult r =
+        replay(level, event(ft::FailureKind::kNodeLoss, 35.0));
+    EXPECT_EQ(r.rollbacks, 1) << ft::to_string(level);
+    EXPECT_EQ(r.full_restarts, 0) << ft::to_string(level);
+    EXPECT_EQ(r.recoveries_by_level[static_cast<int>(level) - 1], 1);
+    EXPECT_DOUBLE_EQ(r.total_seconds, 124.0) << ft::to_string(level);
+    ASSERT_EQ(r.fault_log.size(), 1u);
+    EXPECT_EQ(r.fault_log.records()[0].recovery_level,
+              static_cast<int>(level));
+    EXPECT_DOUBLE_EQ(r.fault_log.records()[0].lost_work_seconds, 14.0);
+  }
+}
+
+TEST(RecoveryMatrix, RestartCostIsChargedOnRollback) {
+  const RunResult r =
+      replay(ft::Level::kL4, event(ft::FailureKind::kNodeLoss, 35.0), 2.0);
+  EXPECT_EQ(r.rollbacks, 1);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 126.0);  // 124 + 2 s read-back
+  ASSERT_EQ(r.fault_log.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.fault_log.records()[0].restart_cost_seconds, 2.0);
+}
+
+// --- SDC row: storage survives, but freshness poisons late checkpoints ---
+
+TEST(RecoveryMatrix, SdcRollsBackToPreCorruptionCheckpoint) {
+  // Corruption at t=30, detected at t=45. The t=42 checkpoint snapshots
+  // corrupted state; recovery restores t=21 and replays from the detection:
+  // clock = 45 + 5 downtime, then 8 steps + 4 checkpoints = 84 -> 134.
+  const RunResult r = replay(
+      ft::Level::kL4, event(ft::FailureKind::kSilentCorruption, 30.0, 15.0));
+  EXPECT_EQ(r.rollbacks, 1);
+  EXPECT_EQ(r.full_restarts, 0);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 134.0);
+  // Lost work spans corruption-to-detection too: 45 - 21 = 24 s.
+  EXPECT_DOUBLE_EQ(r.lost_work_seconds, 24.0);
+}
+
+TEST(RecoveryMatrix, SdcBeforeAnyCheckpointForcesFullRestart) {
+  // Corruption at t=15 poisons every checkpoint ever taken; detection at
+  // t=25 -> full restart: 105 + 25 + 5.
+  const RunResult r = replay(
+      ft::Level::kL4, event(ft::FailureKind::kSilentCorruption, 15.0, 10.0));
+  EXPECT_EQ(r.full_restarts, 1);
+  EXPECT_DOUBLE_EQ(r.total_seconds, 135.0);
+  EXPECT_DOUBLE_EQ(r.lost_work_seconds, 25.0);
+}
+
+// --- multi-node failure sets: the predicate layer ---
+
+TEST(RecoveryMatrix, PredicateMatrixForMultiNodeLosses) {
+  const ft::FtiConfig small{2, 2, 1};   // 1 group of 2 nodes (4 ranks)
+  const ft::FtiConfig wide{4, 2, 1};    // 1 group of 4 nodes (8 ranks)
+  const ft::FailureSet both{{0, 1}, ft::FailureKind::kNodeLoss};
+
+  // Losing a node and its only ring partner defeats L2.
+  EXPECT_FALSE(ft::recoverable(ft::Level::kL2, small, 4, both));
+  // In the 4-node group node 0's single ring partner is node 1 — also
+  // dead, so node 0's copy is gone even though the group mostly survives.
+  EXPECT_FALSE(ft::recoverable(ft::Level::kL2, wide, 8, both));
+  const ft::FailureSet spread{{0, 2}, ft::FailureKind::kNodeLoss};
+  EXPECT_TRUE(ft::recoverable(ft::Level::kL2, wide, 8, spread));
+
+  // Reed-Solomon tolerates floor(group/2) erasures per group.
+  EXPECT_FALSE(ft::recoverable(ft::Level::kL3, small, 4, both));  // 2 > 1
+  EXPECT_TRUE(ft::recoverable(ft::Level::kL3, wide, 8, both));    // 2 <= 2
+  const ft::FailureSet three{{0, 1, 2}, ft::FailureKind::kNodeLoss};
+  EXPECT_FALSE(ft::recoverable(ft::Level::kL3, wide, 8, three));  // 3 > 2
+
+  // L4 shrugs off anything; L1 survives nothing (node-loss kind).
+  EXPECT_TRUE(ft::recoverable(ft::Level::kL4, small, 4, both));
+  EXPECT_FALSE(ft::recoverable(ft::Level::kL1, small, 4, both));
+
+  // Crash and SDC kinds never lose files, whatever the set.
+  const ft::FailureSet crash2{{0, 1}, ft::FailureKind::kProcessCrash};
+  const ft::FailureSet sdc2{{0, 1}, ft::FailureKind::kSilentCorruption};
+  for (const ft::Level level : {ft::Level::kL1, ft::Level::kL2,
+                                ft::Level::kL3, ft::Level::kL4}) {
+    EXPECT_TRUE(ft::recoverable(level, small, 4, crash2));
+    EXPECT_TRUE(ft::recoverable(level, small, 4, sdc2));
+  }
+}
+
+}  // namespace
+}  // namespace ftbesst::core

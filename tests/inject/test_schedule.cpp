@@ -1,0 +1,140 @@
+// Fault-schedule materialization: determinism, ordering, validation, and
+// the SDC process.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "inject/schedule.hpp"
+
+namespace ftbesst::inject {
+namespace {
+
+TEST(Schedule, PureFunctionOfSeedAndArguments) {
+  const ft::FaultProcess crashes(50.0, 0.5);
+  const SdcProcess sdc(80.0, 4.0);
+  const util::Rng root(7);
+  const auto a = make_schedule(&crashes, &sdc, 8, 1000.0, root);
+  const auto b = make_schedule(&crashes, &sdc, 8, 1000.0, root);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].detect_after, b[i].detect_after);
+  }
+  const auto c = make_schedule(&crashes, &sdc, 8, 1000.0, util::Rng(8));
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].time != c[i].time || a[i].node != c[i].node;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Schedule, PerNodeStreamsAreHorizonAndNeighborIndependent) {
+  // Node n's events depend only on root.split(2n)/split(2n+1): dropping
+  // other nodes or extending the horizon never perturbs what node 0 sees.
+  const ft::FaultProcess crashes(50.0, 1.0);
+  const util::Rng root(11);
+  const auto one = make_schedule(&crashes, nullptr, 1, 500.0, root);
+  const auto many = make_schedule(&crashes, nullptr, 4, 500.0, root);
+  std::vector<ft::FaultEvent> node0;
+  for (const auto& ev : many)
+    if (ev.node == 0) node0.push_back(ev);
+  ASSERT_EQ(node0.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i)
+    EXPECT_EQ(one[i].time, node0[i].time);
+  const auto longer = make_schedule(&crashes, nullptr, 1, 1000.0, root);
+  ASSERT_GE(longer.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i)
+    EXPECT_EQ(longer[i].time, one[i].time);
+}
+
+TEST(Schedule, TimeOrderedWithEventsInsideHorizon) {
+  const ft::FaultProcess crashes(20.0, 0.3);
+  const SdcProcess sdc(30.0);
+  const auto events = make_schedule(&crashes, &sdc, 5, 400.0, util::Rng(3));
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, 0.0);
+    EXPECT_LT(events[i].time, 400.0);
+    EXPECT_GE(events[i].node, 0);
+    EXPECT_LT(events[i].node, 5);
+    if (i > 0) {
+      EXPECT_LE(events[i - 1].time, events[i].time);
+    }
+  }
+  EXPECT_NO_THROW(validate_schedule(events, 5));
+}
+
+TEST(Schedule, ArgumentValidation) {
+  const ft::FaultProcess crashes(50.0);
+  const util::Rng root(1);
+  EXPECT_THROW((void)make_schedule(&crashes, nullptr, 0, 10.0, root),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_schedule(&crashes, nullptr, 2, -1.0, root),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_schedule(&crashes, nullptr, 2,
+                                   std::numeric_limits<double>::infinity(),
+                                   root),
+               std::invalid_argument);
+  // Both processes off is a legal (empty) schedule.
+  EXPECT_TRUE(make_schedule(nullptr, nullptr, 2, 10.0, root).empty());
+}
+
+TEST(Schedule, ValidateRejectsMalformedTraces) {
+  ft::FaultEvent ok;
+  ok.time = 5.0;
+  ok.node = 0;
+  auto bad_time = ok;
+  bad_time.time = -1.0;
+  EXPECT_THROW(validate_schedule({bad_time}, 2), std::invalid_argument);
+  auto nan_time = ok;
+  nan_time.time = std::nan("");
+  EXPECT_THROW(validate_schedule({nan_time}, 2), std::invalid_argument);
+  auto bad_node = ok;
+  bad_node.node = 2;
+  EXPECT_THROW(validate_schedule({bad_node}, 2), std::invalid_argument);
+  auto bad_detect = ok;
+  bad_detect.detect_after = -0.5;
+  EXPECT_THROW(validate_schedule({bad_detect}, 2), std::invalid_argument);
+  auto earlier = ok;
+  earlier.time = 1.0;
+  EXPECT_THROW(validate_schedule({ok, earlier}, 2), std::invalid_argument);
+  EXPECT_NO_THROW(validate_schedule({earlier, ok}, 2));
+}
+
+TEST(SdcProcess, RejectsBadParameters) {
+  EXPECT_THROW(SdcProcess(0.0), std::invalid_argument);
+  EXPECT_THROW(SdcProcess(-5.0), std::invalid_argument);
+  EXPECT_THROW(SdcProcess(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(SdcProcess, SampleNodeDrawsOrderedCorruptionsWithLatency) {
+  const SdcProcess sdc(10.0, 2.0);
+  util::Rng rng(17);
+  const auto events = sdc.sample_node(500.0, rng);
+  ASSERT_FALSE(events.empty());
+  bool any_latency = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, ft::FailureKind::kSilentCorruption);
+    EXPECT_GE(events[i].detect_after, 0.0);
+    any_latency = any_latency || events[i].detect_after > 0.0;
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].time, events[i].time);
+    }
+  }
+  EXPECT_TRUE(any_latency);
+}
+
+TEST(SdcProcess, InstantDetectorHasZeroLatency) {
+  const SdcProcess sdc(10.0, 0.0);
+  util::Rng rng(17);
+  for (const auto& ev : sdc.sample_node(500.0, rng))
+    EXPECT_EQ(ev.detect_after, 0.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::inject

@@ -180,6 +180,33 @@ TEST(Registry, SimulateRejectsBadInputs) {
   }
 }
 
+TEST(Registry, InjectCampaignIsDeterministicForAFixedSeed) {
+  const Registry registry = make_test_registry();
+  const Json request = Json::parse(
+      "{\"op\":\"inject\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":50,\"plan\":\"L1:10\",\"trials\":6,\"seed\":5,"
+      "\"mtbf_hours\":0.02,\"downtime\":1}");
+  const Json a = handle_request(registry, request);
+  const Json b = handle_request(registry, request);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.find("trials")->as_number(), 6);
+  EXPECT_GT(a.find("mean")->as_number(), 0.0);
+  EXPECT_GT(a.find("mean_faults")->as_number(), 0.0);
+  EXPECT_EQ(a.find("mean_recoveries_by_level")->as_array().size(), 4u);
+  // Campaign records every fault the trials saw.
+  EXPECT_GT(a.find("fault_records")->as_number(), 0.0);
+}
+
+TEST(Registry, InjectRejectsFaultFreeRequests) {
+  const Registry registry = make_test_registry();
+  // Without mtbf_hours there is no fault process to inject from.
+  EXPECT_THROW(
+      (void)handle_request(
+          registry, Json::parse("{\"op\":\"inject\",\"app\":\"lulesh\","
+                                "\"epr\":10,\"ranks\":64,\"trials\":2}")),
+      std::invalid_argument);
+}
+
 TEST(Registry, DseSweepsScenariosTimesPoints) {
   const Registry registry = make_test_registry();
   const Json result = handle_request(

@@ -23,6 +23,17 @@
 //       from an observed failure log (CSV: time_seconds,node,kind with
 //       kind in {loss,crash}) and recommend a plan at that rate.
 //
+//   ftbesst inject --scenario FILE.scenario [--trials N] [--threads T]
+//       [--engine des|bsp] [--seed S] [--faultlog FILE] [--faultlog-csv F]
+//       [--replay FILE [--trial K]]
+//       In-simulation fault-injection campaign (paper Cases 1/2) on a
+//       .scenario machine/application description: N trials varying only
+//       the fault schedule, makespan distribution + per-level recovery
+//       statistics. --faultlog dumps the campaign's fault records in the
+//       replayable `ftbesst-faultlog v1` text format (--faultlog-csv as
+//       CSV); --replay re-runs one recorded trial's schedule exactly
+//       (--trial selects it, default 0).
+//
 //   ftbesst plan --node-mtbf-hours H --nodes N [--work-hours W]
 //       [--soft-fraction P] [--low-cost C1] [--high-cost C4] ...
 //       Recommend a two-level checkpoint plan (closed-form optimizer).
@@ -86,6 +97,7 @@
 #include "apps/stencil3d.hpp"
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
+#include "inject/campaign.hpp"
 #include "svc/client.hpp"
 #include "svc/registry.hpp"
 #include "svc/server.hpp"
@@ -94,6 +106,7 @@
 #include "verify/corpus.hpp"
 #include "verify/differential.hpp"
 #include "verify/fuzz.hpp"
+#include "verify/scenario.hpp"
 
 using namespace ftbesst;
 
@@ -101,7 +114,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ftbesst "
-               "<calibrate|fit|predict|simulate|serve|client|verify> [flags]\n"
+               "<calibrate|fit|predict|simulate|inject|serve|client|verify> "
+               "[flags]\n"
                "every command also accepts --obs-out DIR (write metrics.json,\n"
                "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
@@ -303,6 +317,98 @@ int cmd_faultlog(const util::ArgParser& args) {
                                            : " (~exponential)")
             << "\n"
             << "node-loss fraction: " << est.node_loss_fraction << "\n";
+  return 0;
+}
+
+int cmd_inject(const util::ArgParser& args) {
+  args.expect_known({"scenario", "trials", "threads", "engine", "seed",
+                     "faultlog", "faultlog-csv", "replay", "trial",
+                     "obs-out"});
+  const auto scenario_path = args.get("scenario");
+  if (!scenario_path) return usage();
+  std::ifstream is(*scenario_path);
+  if (!is) {
+    std::cerr << "cannot read " << *scenario_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const verify::Scenario scenario = verify::Scenario::from_text(buffer.str());
+  verify::BuiltScenario built = verify::build(scenario);
+  built.options.inject_faults = true;
+  if (args.has("seed"))
+    built.options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  inject::CampaignOptions opt;
+  opt.trials = static_cast<std::size_t>(args.get_int("trials", 32));
+  opt.threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const std::string engine = args.get_string("engine", "des");
+  if (engine == "des") opt.use_des = true;
+  else if (engine == "bsp") opt.use_des = false;
+  else {
+    std::cerr << "unknown --engine " << engine << " (expected des|bsp)\n";
+    return 2;
+  }
+
+  if (const auto replay_path = args.get("replay")) {
+    // Replay one recorded trial's fault schedule verbatim: deterministic,
+    // so a single trial reproduces the recorded run exactly.
+    std::ifstream rs(*replay_path);
+    if (!rs) {
+      std::cerr << "cannot read " << *replay_path << "\n";
+      return 1;
+    }
+    std::ostringstream rb;
+    rb << rs.rdbuf();
+    const ft::FaultLog log = ft::FaultLog::from_text(rb.str());
+    const auto trial = args.get_int("trial", 0);
+    built.options.fault_trace = log.to_trace(trial);
+    opt.trials = 1;
+    std::cout << "replaying trial " << trial << " ("
+              << built.options.fault_trace.size() << " fault(s)) from "
+              << *replay_path << "\n";
+  }
+  opt.engine = built.options;
+
+  const inject::CampaignResult res =
+      inject::run_campaign(built.app, built.arch, opt);
+  std::cout << "trials:          " << res.totals.size() << "\n"
+            << "makespan mean:   " << res.total.mean << " s\n"
+            << "makespan stddev: " << res.total.stddev << " s\n"
+            << "makespan p10:    " << res.p10 << " s\n"
+            << "makespan p50:    " << res.p50 << " s\n"
+            << "makespan p90:    " << res.p90 << " s\n"
+            << "mean faults:     " << res.mean_faults << "\n"
+            << "mean rollbacks:  " << res.mean_rollbacks << "\n"
+            << "full restarts:   " << res.mean_full_restarts << "\n"
+            << "mean lost work:  " << res.mean_lost_work << " s\n";
+  for (int level = 1; level <= 4; ++level)
+    if (res.mean_recoveries_by_level[level - 1] > 0.0)
+      std::cout << "  L" << level << " recoveries:  "
+                << res.mean_recoveries_by_level[level - 1] << "\n";
+  if (res.incomplete_trials > 0)
+    std::cout << "incomplete:      " << res.incomplete_trials
+              << " trial(s) hit the horizon\n";
+
+  if (const auto out_path = args.get("faultlog")) {
+    std::ofstream os(*out_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << *out_path << "\n";
+      return 1;
+    }
+    os << res.fault_log.to_text();
+    std::cout << "wrote " << *out_path << " (" << res.fault_log.size()
+              << " fault record(s), replayable with --replay)\n";
+  }
+  if (const auto csv_path = args.get("faultlog-csv")) {
+    std::ofstream os(*csv_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << *csv_path << "\n";
+      return 1;
+    }
+    res.fault_log.write_csv(os);
+    std::cout << "wrote " << *csv_path << "\n";
+  }
   return 0;
 }
 
@@ -640,6 +746,7 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "crossval") return cmd_crossval(args);
   if (command == "plan") return cmd_plan(args);
   if (command == "faultlog") return cmd_faultlog(args);
+  if (command == "inject") return cmd_inject(args);
   if (command == "run-experiment") return cmd_run_experiment(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "client") return cmd_client(args);
