@@ -44,6 +44,15 @@
 #     LULESH+FTI campaign, bit-identical at 1 thread vs the pool, every
 #     trial completing, under 10 s of wall.
 #
+#   - a guided-search pass: the src/search test suite (space encoding, GP
+#     surrogate, successive-halving bandit, Pareto bookkeeping, search
+#     engine) under ThreadSanitizer — pooled cell evaluation claims bit
+#     identity at any thread count — plus the bench_ext_search gates on
+#     the Release tree: on every search_*.scenario golden-corpus machine
+#     the guided search must find the exhaustive optimum bit-exactly and
+#     a dominating-or-equal Pareto front within 10% of the sweep's
+#     evaluations, thread-bit-identically.
+#
 #   - a slow pass: the stress/soak tests labelled `slow` in ctest, which
 #     every other pass excludes with `ctest -LE slow`. Includes the
 #     truly-unfolded 393k-rank Vulcan corpus replay (test_verify_slow).
@@ -52,7 +61,7 @@
 #     --coverage-only): instrumented build + line-coverage report for
 #     src/ft and src/svc via gcovr or llvm-cov, whichever is installed.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--slow-only|--coverage-only]
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -69,12 +78,13 @@ run_verify=1
 run_simd=1
 run_des=1
 run_inject=1
+run_search=1
 run_slow=1
 run_coverage=${FTBESST_COVERAGE:-0}
 only() {  # keep exactly one pass
   run_release=0; run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0
-  run_verify=0; run_simd=0; run_des=0; run_inject=0; run_slow=0
-  run_coverage=0
+  run_verify=0; run_simd=0; run_des=0; run_inject=0; run_search=0
+  run_slow=0; run_coverage=0
 }
 case "${1:-}" in
   --release-only) only; run_release=1 ;;
@@ -86,11 +96,12 @@ case "${1:-}" in
   --simd-only) only; run_simd=1 ;;
   --des-only) only; run_des=1 ;;
   --inject-only) only; run_inject=1 ;;
+  --search-only) only; run_search=1 ;;
   --slow-only) only; run_slow=1 ;;
   --coverage-only) only; run_coverage=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--slow-only|--coverage-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]" >&2
     exit 2
     ;;
 esac
@@ -309,6 +320,36 @@ if [ "$run_inject" = 1 ]; then
   cmake --build build-release -j "$jobs" --target bench_ext_inject
   ./build-release/bench/bench_ext_inject > build-release/bench_ext_inject.json
   echo "inject pass: TSan inject suite + campaign bit-identity/wall gates passed"
+fi
+
+if [ "$run_search" = 1 ]; then
+  echo "== Guided-search pass (search suite under TSan, search-vs-exhaustive gates) =="
+  # The search engine claims bit identity between serial and pooled cell
+  # evaluation; run its whole suite (space, GP, bandit, Pareto, engine)
+  # under TSan so the pooled paths are sanitized. Same probe-and-skip as
+  # the other sanitizer passes.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target test_search
+    ./build-tsan/tests/test_search
+  else
+    echo "!! ThreadSanitizer unavailable; search tests run unsanitized" >&2
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$jobs" --target test_search
+    ./build-release/tests/test_search
+  fi
+
+  # bench_ext_search exits non-zero if, on any search_*.scenario corpus
+  # machine, the guided search misses the exhaustive optimum bitwise,
+  # fails to cover the exhaustive Pareto front, overspends the 10%
+  # evaluation budget, diverges between thread counts, or (deterministic
+  # machines) the successive-halving bandit drops the true best cell.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target bench_ext_search
+  ./build-release/bench/bench_ext_search > build-release/bench_ext_search.json
+  echo "search pass: TSan search suite + search-vs-exhaustive gates passed"
 fi
 
 if [ "$run_slow" = 1 ]; then

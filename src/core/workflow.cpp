@@ -1,5 +1,7 @@
 #include "core/workflow.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -97,6 +99,72 @@ void validate_plan(const std::vector<ft::PlanEntry>& plan) {
   }
 }
 
+namespace {
+
+/// Shared body of run_dse / run_dse_cells: price the requested cells on
+/// the pool. Per-cell seeds come from the cell's flat grid index, so any
+/// subset evaluation is bit-identical to the matching slice of the
+/// exhaustive sweep.
+std::vector<DsePoint> run_cells(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<double>>& parameter_points,
+    const std::vector<DseCell>& cells,
+    const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
+        make_app,
+    const ArchBEO& arch, const EngineOptions& options,
+    std::size_t default_trials, unsigned threads) {
+  if (!make_app) throw std::invalid_argument("make_app is required");
+  // Points-per-second observability: each completed point bumps the counter
+  // and records its wall-clock seconds (clocked only while obs is enabled).
+  static const obs::Counter point_count = obs::counter("dse.points");
+  static const obs::Histogram point_seconds = obs::histogram(
+      "dse.point_seconds",
+      {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 300.0});
+  const std::size_t point_count_per_scenario = parameter_points.size();
+  std::vector<DsePoint> out(cells.size());
+  // One shared-pool task per cell; each cell's run_ensemble fans its
+  // trials onto the same pool, so the whole sweep flattens into
+  // (cells x trials) dynamically-claimed tasks. Per-cell seeds are derived
+  // here, before scheduling, so results are bit-identical to the serial
+  // sweep regardless of scheduling.
+  util::TaskGroup group;
+  for (std::size_t slot = 0; slot < cells.size(); ++slot) {
+    const DseCell& cell = cells[slot];
+    if (cell.flat >= scenarios.size() * point_count_per_scenario)
+      throw std::invalid_argument("run_dse_cells: flat index out of range");
+    const Scenario* scenario_p = &scenarios[cell.flat / point_count_per_scenario];
+    const std::vector<double>* params_p =
+        &parameter_points[cell.flat % point_count_per_scenario];
+    EngineOptions per_point = options;
+    per_point.seed =
+        options.seed + 0x9e37 * (static_cast<std::uint64_t>(cell.flat) + 1);
+    const std::size_t trials = cell.trials != 0 ? cell.trials : default_trials;
+    auto run_point = [&make_app, &arch, &out, scenario_p, params_p, per_point,
+                      trials, threads, slot] {
+      const bool observed = obs::enabled();
+      const std::uint64_t t0 = observed ? obs::now_ns() : 0;
+      const AppBEO app = make_app(*scenario_p, *params_p);
+      DsePoint point;
+      point.scenario = scenario_p->name;
+      point.params = *params_p;
+      point.ensemble = run_ensemble(app, arch, per_point, trials, threads);
+      out[slot] = std::move(point);
+      if (observed) {
+        point_count.add();
+        point_seconds.observe(static_cast<double>(obs::now_ns() - t0) * 1e-9);
+      }
+    };
+    if (threads == 1)
+      run_point();
+    else
+      group.run(std::move(run_point));
+  }
+  group.wait();
+  return out;
+}
+
+}  // namespace
+
 std::vector<DsePoint> run_dse(
     const std::vector<Scenario>& scenarios,
     const std::vector<std::vector<double>>& parameter_points,
@@ -104,63 +172,64 @@ std::vector<DsePoint> run_dse(
         make_app,
     const ArchBEO& arch, const EngineOptions& options, std::size_t trials,
     unsigned threads) {
-  if (!make_app) throw std::invalid_argument("make_app is required");
   FTBESST_OBS_SPAN("core.run_dse");
-  // Points-per-second observability: each completed point bumps the counter
-  // and records its wall-clock seconds (clocked only while obs is enabled).
-  static const obs::Counter point_count = obs::counter("dse.points");
-  static const obs::Histogram point_seconds = obs::histogram(
-      "dse.point_seconds",
-      {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 300.0});
-  std::vector<DsePoint> out(scenarios.size() * parameter_points.size());
-  // One shared-pool task per (scenario, point); each point's run_ensemble
-  // fans its trials onto the same pool, so the whole sweep flattens into
-  // (scenarios x points x trials) dynamically-claimed tasks. Per-point
-  // seeds are derived here, in submission order, so results are
-  // bit-identical to the serial sweep regardless of scheduling.
-  util::TaskGroup group;
-  std::uint64_t stream = 0;
-  std::size_t slot = 0;
-  for (const Scenario& scenario : scenarios) {
-    for (const auto& params : parameter_points) {
-      EngineOptions per_point = options;
-      per_point.seed = options.seed + 0x9e37 * ++stream;
-      // Pointers, not references: the loop variables die before the pool
-      // runs the task; the vector elements they point at do not.
-      const Scenario* scenario_p = &scenario;
-      const std::vector<double>* params_p = &params;
-      auto run_point = [&make_app, &arch, &out, scenario_p, params_p,
-                        per_point, trials, threads, slot] {
-        const bool observed = obs::enabled();
-        const std::uint64_t t0 = observed ? obs::now_ns() : 0;
-        const AppBEO app = make_app(*scenario_p, *params_p);
-        DsePoint point;
-        point.scenario = scenario_p->name;
-        point.params = *params_p;
-        point.ensemble = run_ensemble(app, arch, per_point, trials, threads);
-        out[slot] = std::move(point);
-        if (observed) {
-          point_count.add();
-          point_seconds.observe(static_cast<double>(obs::now_ns() - t0) * 1e-9);
-        }
-      };
-      if (threads == 1)
-        run_point();
-      else
-        group.run(std::move(run_point));
-      ++slot;
-    }
+  std::vector<DseCell> cells(scenarios.size() * parameter_points.size());
+  for (std::size_t f = 0; f < cells.size(); ++f) cells[f].flat = f;
+  return run_cells(scenarios, parameter_points, cells, make_app, arch, options,
+                   trials, threads);
+}
+
+std::vector<DsePoint> run_dse_cells(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<double>>& parameter_points,
+    const std::vector<DseCell>& cells,
+    const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
+        make_app,
+    const ArchBEO& arch, const EngineOptions& options,
+    std::size_t default_trials, unsigned threads) {
+  FTBESST_OBS_SPAN("core.run_dse_cells");
+  if (default_trials == 0)
+    for (const DseCell& cell : cells)
+      if (cell.trials == 0)
+        throw std::invalid_argument(
+            "run_dse_cells: cell without trials and no default");
+  return run_cells(scenarios, parameter_points, cells, make_app, arch, options,
+                   default_trials, threads);
+}
+
+std::string format_plan(const std::vector<ft::PlanEntry>& plan) {
+  std::string out;
+  for (const ft::PlanEntry& e : plan) {
+    if (!out.empty()) out += ',';
+    out += 'L';
+    out += std::to_string(static_cast<int>(e.level));
+    out += ':';
+    out += std::to_string(e.period);
+    if (e.async) out += 'a';
   }
-  group.wait();
+  return out;
+}
+
+std::vector<double> quantize_params(const std::vector<double>& params) {
+  std::vector<double> out(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", params[i]);
+    out[i] = std::strtod(buf, nullptr);
+  }
   return out;
 }
 
 std::map<std::string, std::map<std::vector<double>, double>> overhead_grid(
     const std::vector<DsePoint>& points, const std::string& baseline_scenario,
     const std::vector<double>& baseline_params) {
+  // Keys are quantized so that coordinates recomputed elsewhere (parsed
+  // back from a report, say) still find their cell: exact-double keys made
+  // lookups fail on any value that did not round-trip bit-for-bit.
+  const std::vector<double> base_key = quantize_params(baseline_params);
   const DsePoint* baseline = nullptr;
   for (const DsePoint& p : points)
-    if (p.scenario == baseline_scenario && p.params == baseline_params)
+    if (p.scenario == baseline_scenario && quantize_params(p.params) == base_key)
       baseline = &p;
   if (!baseline)
     throw std::invalid_argument("baseline point not found in DSE results");
@@ -169,7 +238,8 @@ std::map<std::string, std::map<std::vector<double>, double>> overhead_grid(
 
   std::map<std::string, std::map<std::vector<double>, double>> grid;
   for (const DsePoint& p : points)
-    grid[p.scenario][p.params] = 100.0 * p.ensemble.total.mean / base;
+    grid[p.scenario][quantize_params(p.params)] =
+        100.0 * p.ensemble.total.mean / base;
   return grid;
 }
 

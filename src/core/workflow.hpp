@@ -67,6 +67,11 @@ struct Scenario {
 /// std::invalid_argument with the reason.
 void validate_plan(const std::vector<ft::PlanEntry>& plan);
 
+/// Canonical textual spelling of a plan — the inverse of parse_plan
+/// ("L1:40,L4:100a"; empty string for the No-FT plan). Round-trips:
+/// parse_plan(format_plan(p)) == p for any valid plan.
+[[nodiscard]] std::string format_plan(const std::vector<ft::PlanEntry>& plan);
+
 /// One cell of the co-design sweep.
 struct DsePoint {
   std::string scenario;
@@ -90,9 +95,76 @@ struct DsePoint {
     const ArchBEO& arch, const EngineOptions& options, std::size_t trials,
     unsigned threads = 0);
 
+/// One requested cell of a (possibly partial) DSE evaluation.
+struct DseCell {
+  /// Scenario-major grid index: scenario_index * parameter_points.size() +
+  /// point_index — the submission order of the exhaustive run_dse sweep.
+  std::size_t flat = 0;
+  /// Monte-Carlo trials for this cell; 0 means the sweep-wide default.
+  /// Per-trial seeds are split from the cell seed by trial index, so a
+  /// t-trial evaluation is a bit-exact prefix of the T-trial one.
+  std::size_t trials = 0;
+};
+
+/// Evaluate an arbitrary subset of the {scenario x point} grid. Cell
+/// `flat` receives the exact per-point seed the exhaustive run_dse sweep
+/// would give it (options.seed + 0x9e37 * (flat + 1)), so a cell priced
+/// here at full trials is bit-identical to the matching entry of
+/// run_dse's output — guided search results are verifiable against the
+/// exhaustive grid down to the last bit. Results are returned in `cells`
+/// order; threads semantics match run_dse (0 = shared pool, 1 = serial).
+[[nodiscard]] std::vector<DsePoint> run_dse_cells(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::vector<double>>& parameter_points,
+    const std::vector<DseCell>& cells,
+    const std::function<AppBEO(const Scenario&, const std::vector<double>&)>&
+        make_app,
+    const ArchBEO& arch, const EngineOptions& options,
+    std::size_t default_trials, unsigned threads = 0);
+
+/// Trial-unit ledger for budget-aware search: one unit = one Monte-Carlo
+/// trial of one cell, so a full-trials evaluation costs `trials` units and
+/// the exhaustive sweep costs cells * trials. Plain accounting — callers
+/// decide what to do when the budget is exhausted.
+class DseBudget {
+ public:
+  explicit DseBudget(double total_units) : total_(total_units) {}
+  /// Budget for evaluating `fraction` of an exhaustive cells x trials sweep.
+  [[nodiscard]] static DseBudget fraction_of(std::size_t cells,
+                                             std::size_t trials,
+                                             double fraction) {
+    return DseBudget(fraction * static_cast<double>(cells) *
+                     static_cast<double>(trials));
+  }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double used() const noexcept { return used_; }
+  [[nodiscard]] double remaining() const noexcept {
+    return total_ > used_ ? total_ - used_ : 0.0;
+  }
+  [[nodiscard]] bool can_afford(double units) const noexcept {
+    return used_ + units <= total_;
+  }
+  void charge(double units) noexcept { used_ += units; }
+
+ private:
+  double total_ = 0.0;
+  double used_ = 0.0;
+};
+
+/// Quantize sweep coordinates for use as lookup keys: each value is
+/// rounded to 12 significant decimal digits (round-tripped through %.12g).
+/// Coordinates that differ only below that precision — e.g. a value
+/// recomputed through text formatting — map to the same key, while any
+/// difference a human would write down survives.
+[[nodiscard]] std::vector<double> quantize_params(
+    const std::vector<double>& params);
+
 /// Overhead (%) of each DSE point relative to the point with scenario
 /// `baseline_scenario` and parameters `baseline_params` (Fig. 9 reports
-/// every cell as a percentage of the cheapest configuration).
+/// every cell as a percentage of the cheapest configuration). Keys are
+/// quantized with quantize_params, so lookups with coordinates that went
+/// through text formatting (or any computation agreeing to 12 significant
+/// digits) find their cell; query with grid[s].find(quantize_params(p)).
 [[nodiscard]] std::map<std::string, std::map<std::vector<double>, double>>
 overhead_grid(const std::vector<DsePoint>& points,
               const std::string& baseline_scenario,

@@ -67,4 +67,46 @@ std::vector<double> ridge_least_squares(const Matrix& x,
   return solve_linear_system(std::move(xtx), std::move(xty));
 }
 
+Matrix cholesky_factor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (acc <= 0.0 || !std::isfinite(acc))
+          throw std::runtime_error("cholesky_factor: not positive definite");
+        l.at(i, i) = std::sqrt(acc);
+      } else {
+        l.at(i, j) = acc / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (l.cols() != n || b.size() != n)
+    throw std::invalid_argument("cholesky_solve: shape mismatch");
+  // Forward solve L z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l.at(i, k) * z[k];
+    z[i] = acc / l.at(i, i);
+  }
+  // Back solve L^T x = z.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l.at(k, i) * x[k];
+    x[i] = acc / l.at(i, i);
+  }
+  return x;
+}
+
 }  // namespace ftbesst::model

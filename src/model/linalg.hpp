@@ -40,4 +40,16 @@ class Matrix {
 [[nodiscard]] std::vector<double> ridge_least_squares(
     const Matrix& x, std::span<const double> y, double lambda);
 
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix (lower triangle of A is read; the strict upper triangle is
+/// ignored). Returns L in the lower triangle (upper triangle zeroed).
+/// Throws std::runtime_error if A is not (numerically) positive definite —
+/// callers holding near-singular kernel matrices should retry with jitter
+/// added to the diagonal.
+[[nodiscard]] Matrix cholesky_factor(const Matrix& a);
+
+/// Solve A x = b given the Cholesky factor L of A (two triangular solves).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& l,
+                                                 std::span<const double> b);
+
 }  // namespace ftbesst::model

@@ -1,0 +1,127 @@
+#include "search/bandit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ftbesst::search {
+
+namespace {
+
+/// Rung trial counts, ascending and ending exactly at full_trials.
+std::vector<std::size_t> rung_schedule(std::size_t full_trials,
+                                       const BanditOptions& options) {
+  std::vector<std::size_t> rungs{full_trials};
+  double t = static_cast<double>(full_trials);
+  while (true) {
+    t /= options.eta;
+    const auto down = static_cast<std::size_t>(t);
+    if (down <= options.min_rung_trials) {
+      if (rungs.back() != options.min_rung_trials &&
+          options.min_rung_trials < full_trials)
+        rungs.push_back(options.min_rung_trials);
+      break;
+    }
+    rungs.push_back(down);
+  }
+  std::reverse(rungs.begin(), rungs.end());
+  return rungs;
+}
+
+/// Trial units of running `arms` starting arms down the schedule.
+double schedule_cost(std::size_t arms, const std::vector<std::size_t>& rungs,
+                     double eta) {
+  double cost = 0.0;
+  double n = static_cast<double>(arms);
+  for (std::size_t r = 0; r < rungs.size(); ++r) {
+    cost += std::ceil(n) * static_cast<double>(rungs[r]);
+    if (r + 1 < rungs.size()) n = std::max(1.0, std::ceil(n / eta));
+  }
+  return cost;
+}
+
+}  // namespace
+
+BanditResult run_successive_halving(std::size_t num_cells,
+                                    std::size_t full_trials,
+                                    core::DseBudget& budget,
+                                    const BanditOptions& options,
+                                    util::Rng rng,
+                                    const BanditEvaluator& evaluate) {
+  if (num_cells == 0)
+    throw std::invalid_argument("run_successive_halving: no cells");
+  if (full_trials == 0)
+    throw std::invalid_argument("run_successive_halving: zero trials");
+  if (options.eta <= 1.0)
+    throw std::invalid_argument("run_successive_halving: eta must be > 1");
+
+  const std::vector<std::size_t> rungs = rung_schedule(full_trials, options);
+
+  // Largest starting-arm count whose schedule fits the remaining budget.
+  std::size_t arms_count = num_cells;
+  while (arms_count > 1 &&
+         schedule_cost(arms_count, rungs, options.eta) > budget.remaining())
+    --arms_count;
+  if (schedule_cost(arms_count, rungs, options.eta) > budget.remaining())
+    throw std::invalid_argument(
+        "run_successive_halving: budget cannot afford a single arm");
+
+  // Budget-forced subsample: deterministic partial Fisher-Yates.
+  std::vector<std::size_t> arms(num_cells);
+  std::iota(arms.begin(), arms.end(), std::size_t{0});
+  if (arms_count < num_cells) {
+    for (std::size_t i = 0; i < arms_count; ++i) {
+      const std::size_t j = i + rng.uniform_int(arms.size() - i);
+      std::swap(arms[i], arms[j]);
+    }
+    arms.resize(arms_count);
+    std::sort(arms.begin(), arms.end());
+  }
+
+  BanditResult result;
+  result.starting_arms = arms.size();
+  std::vector<double> values;
+  for (std::size_t r = 0; r < rungs.size(); ++r) {
+    const std::size_t t = rungs[r];
+    std::vector<core::DseCell> cells(arms.size());
+    for (std::size_t i = 0; i < arms.size(); ++i)
+      cells[i] = core::DseCell{arms[i], t};
+    values = evaluate(cells);
+    if (values.size() != arms.size())
+      throw std::logic_error("bandit evaluator returned wrong count");
+    const double units =
+        static_cast<double>(arms.size()) * static_cast<double>(t);
+    budget.charge(units);
+    result.trial_units += units;
+    for (std::size_t i = 0; i < arms.size(); ++i)
+      result.history.push_back(BanditOutcome{arms[i], t, values[i]});
+    if (r + 1 == rungs.size()) break;
+    // Promote the top 1/eta arms (ties broken by flat index).
+    const auto keep = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(static_cast<double>(arms.size()) / options.eta)));
+    std::vector<std::size_t> order(arms.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (values[a] != values[b]) return values[a] < values[b];
+      return arms[a] < arms[b];
+    });
+    std::vector<std::size_t> next;
+    next.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) next.push_back(arms[order[i]]);
+    std::sort(next.begin(), next.end());
+    arms = std::move(next);
+  }
+
+  result.finalists = arms;
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < arms.size(); ++i)
+    if (values[i] < values[best_i] ||
+        (values[i] == values[best_i] && arms[i] < arms[best_i]))
+      best_i = i;
+  result.best = arms[best_i];
+  result.best_value = values[best_i];
+  return result;
+}
+
+}  // namespace ftbesst::search

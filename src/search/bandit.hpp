@@ -1,0 +1,63 @@
+#pragma once
+// Successive-halving bandit over grid cells.
+//
+// Treats every grid cell as an arm and prices rungs of survivors at
+// geometrically increasing Monte-Carlo trial counts. core::run_ensemble
+// derives per-trial seeds by trial index, so a t-trial evaluation of a
+// cell is a bit-exact prefix of the full-trials one — cheap rungs are
+// genuine partial evaluations of the same experiment, not a different
+// estimator. The final rung prices its survivors at full trials, so the
+// winner's objective is bit-identical to the exhaustive sweep's entry for
+// that cell. Much cheaper than the GP (no O(n^3) fits) but
+// single-objective only; the search engine uses it for very large spaces.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "util/rng.hpp"
+
+namespace ftbesst::search {
+
+struct BanditOptions {
+  /// Keep the top 1/eta arms per rung (and grow trials by eta per rung).
+  double eta = 4.0;
+  /// Trials of the cheapest rung.
+  std::size_t min_rung_trials = 1;
+};
+
+/// Evaluate the given cells (flat index + trials each) and return one
+/// objective value per cell, in order. Must be deterministic.
+using BanditEvaluator =
+    std::function<std::vector<double>(const std::vector<core::DseCell>&)>;
+
+struct BanditOutcome {
+  std::size_t flat = 0;
+  std::size_t trials = 0;  ///< fidelity this value was priced at
+  double value = 0.0;
+};
+
+struct BanditResult {
+  /// Every (cell, fidelity) evaluation, rung by rung, in evaluation order.
+  std::vector<BanditOutcome> history;
+  std::size_t best = 0;         ///< flat index of the winning arm
+  double best_value = 0.0;      ///< its full-trials objective
+  /// Arms that reached the final rung (priced at full trials).
+  std::vector<std::size_t> finalists;
+  double trial_units = 0.0;     ///< charged against the budget
+  std::size_t starting_arms = 0;  ///< after any budget-forced subsample
+};
+
+/// Run successive halving over arms {0, ..., num_cells-1}. The rung
+/// schedule ends at `full_trials`; if pricing every arm at the cheapest
+/// rung does not fit `budget`, the starting arms are subsampled
+/// deterministically from `rng` (the only stochastic step — everything
+/// else breaks ties by flat index). Charges each evaluation's trial count
+/// to `budget`.
+[[nodiscard]] BanditResult run_successive_halving(
+    std::size_t num_cells, std::size_t full_trials, core::DseBudget& budget,
+    const BanditOptions& options, util::Rng rng,
+    const BanditEvaluator& evaluate);
+
+}  // namespace ftbesst::search

@@ -1,0 +1,130 @@
+#include "search/gp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftbesst::search {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Standard normal CDF via erfc (stable in both tails).
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_pdf(double z) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(8.0 * std::atan(1.0));
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double GpSurrogate::kernel(std::span<const double> a,
+                           std::span<const double> b) const {
+  const double r = std::sqrt(squared_distance(a, b)) / options_.length_scale;
+  switch (options_.kernel) {
+    case GpOptions::Kernel::kRbf:
+      return options_.signal_variance * std::exp(-0.5 * r * r);
+    case GpOptions::Kernel::kMatern52: {
+      const double s = std::sqrt(5.0) * r;
+      return options_.signal_variance * (1.0 + s + s * s / 3.0) *
+             std::exp(-s);
+    }
+  }
+  return 0.0;
+}
+
+void GpSurrogate::fit(const model::Matrix& x, std::span<const double> y) {
+  const std::size_t n = x.rows();
+  if (n == 0 || y.size() != n)
+    throw std::invalid_argument("GpSurrogate::fit: shape mismatch");
+
+  // Standardize targets so the unit-signal-variance prior fits any scale.
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = var > 0.0 ? std::sqrt(var) : 1.0;
+
+  train_ = x;
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+
+  model::Matrix k(n, n);
+  std::vector<double> row_i(x.cols()), row_j(x.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) row_i[c] = x.at(i, c);
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t c = 0; c < x.cols(); ++c) row_j[c] = x.at(j, c);
+      const double v = kernel(row_i, row_j);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+  }
+
+  // PSD guard: escalate diagonal jitter until the Cholesky succeeds.
+  for (double jitter = options_.noise_variance;;
+       jitter = jitter > 0.0 ? jitter * 10.0 : 1e-10) {
+    model::Matrix kj = k;
+    for (std::size_t i = 0; i < n; ++i) kj.at(i, i) += jitter;
+    try {
+      chol_ = model::cholesky_factor(kj);
+      jitter_used_ = jitter;
+      break;
+    } catch (const std::runtime_error&) {
+      if (jitter >= options_.max_jitter)
+        throw std::runtime_error(
+            "GpSurrogate::fit: kernel matrix not PSD even at max jitter");
+    }
+  }
+  alpha_ = model::cholesky_solve(chol_, ys);
+}
+
+GpSurrogate::Posterior GpSurrogate::predict(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("GpSurrogate::predict before fit");
+  const std::size_t n = train_.rows();
+  std::vector<double> ks(n), row(train_.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < train_.cols(); ++c) row[c] = train_.at(i, c);
+    ks[i] = kernel(x, row);
+  }
+  double mean_s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_s += ks[i] * alpha_[i];
+  // Posterior variance: k(x,x) - v^T v with v = L^-1 k*.
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = ks[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= chol_.at(i, k) * v[k];
+    v[i] = acc / chol_.at(i, i);
+  }
+  double var_s = options_.signal_variance;
+  for (std::size_t i = 0; i < n; ++i) var_s -= v[i] * v[i];
+  if (var_s < 0.0) var_s = 0.0;
+
+  Posterior p;
+  p.mean = y_mean_ + y_std_ * mean_s;
+  p.variance = var_s * y_std_ * y_std_;
+  return p;
+}
+
+double GpSurrogate::expected_improvement(std::span<const double> x,
+                                         double best_y) const {
+  const Posterior p = predict(x);
+  const double sigma = std::sqrt(p.variance);
+  const double margin = best_y - p.mean - options_.xi * y_std_;
+  if (sigma <= 0.0) return margin > 0.0 ? margin : 0.0;
+  const double z = margin / sigma;
+  return margin * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+}  // namespace ftbesst::search

@@ -1,0 +1,81 @@
+#pragma once
+// Gaussian-process surrogate for the guided DSE loop.
+//
+// A GP regression over the encoded grid cells (search/space.hpp): fit
+// standardizes the targets, builds the kernel matrix, and factors
+// K + noise*I with model::cholesky_factor, escalating diagonal jitter on
+// failure (the PSD guard — near-duplicate rows make K numerically
+// indefinite). predict returns the posterior mean/variance; the
+// expected-improvement acquisition scores how much a candidate is likely
+// to beat the incumbent minimum. Everything here is plain serial double
+// arithmetic — deterministic by construction, so the surrounding search
+// stays bit-identical at any thread count.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/linalg.hpp"
+
+namespace ftbesst::search {
+
+struct GpOptions {
+  enum class Kernel { kMatern52, kRbf };
+  Kernel kernel = Kernel::kMatern52;
+  /// Shared length scale over the encoded features (one-hot scenario
+  /// columns + rank-normalized axes, so coordinates live in [0, 1]).
+  /// Distinct scenarios sit at distance 1, so 0.7 leaves them correlated
+  /// at ~0.3 — enough for "this corner of the sweep is cheap" to transfer
+  /// across scenarios instead of each one being learned from scratch,
+  /// which is what lets a 10%-budget search cover every recoverability
+  /// class of the Pareto front.
+  double length_scale = 0.7;
+  double signal_variance = 1.0;
+  /// Observation noise added to the kernel diagonal (standardized units).
+  double noise_variance = 1e-6;
+  /// PSD guard: jitter is escalated x10 from noise_variance up to this cap
+  /// before giving up on the Cholesky.
+  double max_jitter = 1e-2;
+  /// Exploration margin of expected improvement (standardized units).
+  double xi = 0.01;
+};
+
+class GpSurrogate {
+ public:
+  explicit GpSurrogate(GpOptions options = {}) : options_(options) {}
+
+  /// Fit on n rows of `x` with targets `y` (n >= 1). Targets are
+  /// standardized internally; a constant target column gets unit scale.
+  void fit(const model::Matrix& x, std::span<const double> y);
+
+  [[nodiscard]] bool fitted() const noexcept { return !alpha_.empty(); }
+  /// Diagonal jitter the PSD guard settled on during the last fit.
+  [[nodiscard]] double jitter_used() const noexcept { return jitter_used_; }
+
+  struct Posterior {
+    double mean = 0.0;
+    double variance = 0.0;  ///< clamped to >= 0, original units
+  };
+  [[nodiscard]] Posterior predict(std::span<const double> x) const;
+
+  /// Expected improvement of candidate `x` below incumbent `best_y`
+  /// (minimization, original units). Zero posterior variance degrades to
+  /// max(best_y - mean, 0).
+  [[nodiscard]] double expected_improvement(std::span<const double> x,
+                                            double best_y) const;
+
+  /// Kernel value k(a, b); k(a, a) == signal_variance.
+  [[nodiscard]] double kernel(std::span<const double> a,
+                              std::span<const double> b) const;
+
+ private:
+  GpOptions options_;
+  model::Matrix train_{0, 0};  ///< training rows
+  model::Matrix chol_{0, 0};   ///< L with K + jitter*I = L L^T
+  std::vector<double> alpha_;  ///< (K + jitter*I)^-1 y_standardized
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double jitter_used_ = 0.0;
+};
+
+}  // namespace ftbesst::search

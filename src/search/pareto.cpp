@@ -1,0 +1,87 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftbesst::search {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.objective > b.objective || a.recoverability < b.recoverability)
+    return false;
+  return a.objective < b.objective || a.recoverability > b.recoverability;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.objective != b.objective) return a.objective < b.objective;
+              if (a.recoverability != b.recoverability)
+                return a.recoverability > b.recoverability;
+              return a.flat < b.flat;
+            });
+  std::vector<ParetoPoint> front;
+  double best_recoverability = -1.0;
+  for (const ParetoPoint& p : points) {
+    // Sorted by ascending objective, so p is non-dominated iff it improves
+    // recoverability over everything cheaper. Equal objective-space points
+    // after the first (lowest flat) are duplicates, not front members.
+    if (p.recoverability > best_recoverability) {
+      front.push_back(p);
+      best_recoverability = p.recoverability;
+    }
+  }
+  return front;
+}
+
+bool front_dominates_or_equals(const std::vector<ParetoPoint>& candidate,
+                               const std::vector<ParetoPoint>& reference) {
+  for (const ParetoPoint& r : reference) {
+    const bool covered =
+        std::any_of(candidate.begin(), candidate.end(),
+                    [&r](const ParetoPoint& c) {
+                      return c.objective <= r.objective &&
+                             c.recoverability >= r.recoverability;
+                    });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+double recoverability_score(const std::vector<ft::PlanEntry>& plan,
+                            const ft::FtiConfig& fti) {
+  if (plan.empty()) return 0.0;
+  // One full FTI group is enough: the ladder only fails nodes of group 0,
+  // and ft::recoverable's semantics are per-group, so any valid rank count
+  // yields the same verdicts.
+  const std::int64_t ranks =
+      static_cast<std::int64_t>(fti.group_size) * fti.node_size;
+  const auto survives = [&](const ft::FailureSet& failures) {
+    return std::any_of(plan.begin(), plan.end(),
+                       [&](const ft::PlanEntry& e) {
+                         return ft::recoverable(e.level, fti, ranks, failures);
+                       });
+  };
+
+  const int g = fti.group_size;
+  double total = 0.0;
+  double survived = 0.0;
+  // Class 0: a process crash on node 0 — weight 2^g.
+  double weight = std::ldexp(1.0, g);
+  ft::FailureSet crash;
+  crash.kind = ft::FailureKind::kProcessCrash;
+  crash.nodes = {0};
+  total += weight;
+  if (survives(crash)) survived += weight;
+  // Classes 1..g: k concurrent node losses on nodes 0..k-1 — weight 2^(g-k).
+  for (int k = 1; k <= g; ++k) {
+    weight = std::ldexp(1.0, g - k);
+    ft::FailureSet loss;
+    loss.kind = ft::FailureKind::kNodeLoss;
+    for (int node = 0; node < k; ++node) loss.nodes.push_back(node);
+    total += weight;
+    if (survives(loss)) survived += weight;
+  }
+  return survived / total;
+}
+
+}  // namespace ftbesst::search

@@ -1,0 +1,53 @@
+#pragma once
+// Pareto-frontier bookkeeping for the {runtime overhead x recoverability}
+// objective pair, plus the recoverability score itself.
+//
+// The score collapses ft::recoverable's Table-I semantics into one number
+// per checkpoint plan: a fixed ladder of failure classes of increasing
+// severity (process crash, then k concurrent node losses for k = 1 ..
+// group_size, all within one FTI group), each weighted geometrically, with
+// a class counting when *any* level of the plan recovers it. The ladder
+// only touches nodes of group 0, so the score is a pure function of
+// {plan, FtiConfig} — independent of the rank count (for any valid rank
+// count), which keeps the number of distinct recoverability classes in a
+// search equal to the number of distinct plans.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ft/fti.hpp"
+
+namespace ftbesst::search {
+
+/// One candidate in objective space. Lower objective is better (expected
+/// makespan, seconds); higher recoverability is better ([0, 1]).
+struct ParetoPoint {
+  std::size_t flat = 0;  ///< grid cell this point came from
+  double objective = 0.0;
+  double recoverability = 0.0;
+};
+
+/// a dominates b: no worse on both axes, strictly better on at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Non-dominated subset, sorted by ascending objective (ties by flat
+/// index); duplicate objective-space points keep the lowest flat index.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    std::vector<ParetoPoint> points);
+
+/// Every reference point is covered by some candidate point at least as
+/// good on both axes — the "dominates-or-equals" acceptance check of the
+/// search_vs_exhaustive leg.
+[[nodiscard]] bool front_dominates_or_equals(
+    const std::vector<ParetoPoint>& candidate,
+    const std::vector<ParetoPoint>& reference);
+
+/// Recoverability in [0, 1] of a checkpoint plan under `fti`: 0 for No FT,
+/// 1 for a plan whose worst-survivable failure covers the whole ladder
+/// (an L4 plan). Strictly ordered along the single-level ladder
+/// L1 < L2 < L3 < L4 for the default group sizes.
+[[nodiscard]] double recoverability_score(
+    const std::vector<ft::PlanEntry>& plan, const ft::FtiConfig& fti);
+
+}  // namespace ftbesst::search

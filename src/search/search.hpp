@@ -1,0 +1,125 @@
+#pragma once
+// Budget-aware guided search over the DSE grid — the alternative to
+// core::run_dse's exhaustive sweep.
+//
+// Two engines behind one entry point:
+//   kGp      GP surrogate + expected-improvement acquisition, evaluated in
+//            batches with kernel-based local penalization. Handles both
+//            the single-objective mode and the Pareto mode (EI is taken
+//            against the incumbent of the candidate's recoverability
+//            class, so every front segment keeps improving).
+//   kBandit  successive halving over cells priced at reduced Monte-Carlo
+//            fidelities (bandit.hpp). Single-objective only; picked by
+//            kAuto for spaces too large for O(n^3) GP fits.
+//
+// Determinism contract: a search is a pure function of {space, options,
+// warm observations} — bit-identical across re-runs and across thread
+// counts. All surrogate math is serial; candidate batches are evaluated
+// through core::run_dse_cells, whose per-cell seeds depend only on the
+// flat grid index; and every tie in selection or ranking breaks by flat
+// index. SearchResult::to_text() is a canonical byte-comparable rendering
+// used by the verify leg and bench gates to enforce exactly that.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "search/bandit.hpp"
+#include "search/gp.hpp"
+#include "search/pareto.hpp"
+#include "search/space.hpp"
+
+namespace ftbesst::search {
+
+enum class Method { kAuto, kGp, kBandit };
+enum class Mode { kSingle, kPareto };
+
+[[nodiscard]] std::string to_string(Method method);
+[[nodiscard]] std::string to_string(Mode mode);
+
+struct SearchOptions {
+  Method method = Method::kAuto;
+  Mode mode = Mode::kSingle;
+  std::uint64_t seed = 1;
+  /// Full-fidelity Monte-Carlo trials per cell (the exhaustive sweep's
+  /// trial count; one cell x one trial = one budget unit).
+  std::size_t trials = 8;
+  /// Budget as a fraction of the exhaustive cells x trials cost. Ignored
+  /// when budget_units > 0.
+  double budget_fraction = 0.10;
+  double budget_units = 0.0;
+  /// Initial space-filling design size (GP); 0 = a third of the affordable
+  /// evaluations.
+  std::size_t init = 0;
+  /// Cells evaluated per GP acquisition round.
+  std::size_t batch = 4;
+  /// 0 = shared TaskPool, 1 = serial (bit-identical either way).
+  unsigned threads = 0;
+  /// Group layout for recoverability scoring.
+  ft::FtiConfig fti{};
+  GpOptions gp{};
+  BanditOptions bandit{};
+};
+
+/// One priced cell of the search, in evaluation order.
+struct EvaluatedCell {
+  std::size_t flat = 0;
+  std::string scenario;
+  std::vector<double> params;
+  double objective = 0.0;       ///< expected makespan (s) at `trials`
+  double recoverability = 0.0;  ///< plan score, [0, 1]
+  std::size_t trials = 0;       ///< fidelity this value was priced at
+  bool warm = false;            ///< seeded from a cache hit, not charged
+};
+
+struct SearchResult {
+  std::vector<EvaluatedCell> history;
+  EvaluatedCell best;                ///< minimum objective (ties: lowest flat)
+  std::vector<EvaluatedCell> pareto; ///< non-dominated set (kPareto mode)
+  std::size_t evaluations = 0;       ///< charged evaluator cells (any fidelity)
+  std::size_t warm_hits = 0;
+  double budget_units = 0.0;
+  double trial_units = 0.0;          ///< charged against the budget
+  Method method_used = Method::kGp;
+
+  /// Canonical text rendering: byte-identical iff two searches agree
+  /// bit-for-bit (doubles use shortest round-trip formatting).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Price the given cells (flat index + fidelity) and return one objective
+/// value per cell, in order. Must be a bit-deterministic pure function of
+/// its argument (core::run_dse_cells qualifies).
+using Evaluator =
+    std::function<std::vector<double>(const std::vector<core::DseCell>&)>;
+
+/// A known full-fidelity objective (e.g. a prior dse result from the
+/// service cache) used to warm-start the surrogate without spending
+/// budget. Fed to the GP engine only; the bandit ignores warm starts.
+struct WarmObservation {
+  std::size_t flat = 0;
+  double objective = 0.0;
+};
+
+/// Run a guided search over `space` with `evaluate` pricing candidate
+/// batches. Throws std::invalid_argument on an unusable configuration
+/// (empty space, bandit + Pareto, budget too small for a single
+/// evaluation with no warm starts).
+[[nodiscard]] SearchResult run_search(
+    const SearchSpace& space, const SearchOptions& options,
+    const Evaluator& evaluate,
+    const std::vector<WarmObservation>& warm = {});
+
+/// Convenience wrapper: price cells with core::run_dse_cells over
+/// make_app/arch/engine, exactly like the exhaustive core::run_dse sweep
+/// would (engine.seed is the sweep seed; objective is the ensemble's mean
+/// total runtime).
+[[nodiscard]] SearchResult run_search_dse(
+    const SearchSpace& space, const SearchOptions& options,
+    const std::function<core::AppBEO(const core::Scenario&,
+                                     const std::vector<double>&)>& make_app,
+    const core::ArchBEO& arch, const core::EngineOptions& engine);
+
+}  // namespace ftbesst::search

@@ -1,0 +1,59 @@
+#include "search/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::search {
+
+void SearchSpace::validate() const {
+  if (scenarios.empty())
+    throw std::invalid_argument("search space has no scenarios");
+  if (points.empty())
+    throw std::invalid_argument("search space has no parameter points");
+  const std::size_t dims = points.front().size();
+  for (const auto& p : points)
+    if (p.size() != dims)
+      throw std::invalid_argument("ragged parameter points in search space");
+  std::set<std::string> names;
+  for (const core::Scenario& s : scenarios) {
+    core::validate_plan(s.plan);
+    if (!names.insert(s.name).second)
+      throw std::invalid_argument("duplicate scenario name '" + s.name +
+                                  "' in search space");
+  }
+}
+
+model::Matrix encode_cells(const SearchSpace& space) {
+  const std::size_t num_scenarios = space.scenarios.size();
+  const std::size_t num_points = space.points.size();
+  const std::size_t axes = space.points.front().size();
+  model::Matrix x(num_scenarios * num_points, num_scenarios + axes);
+
+  // Rank-normalize each numeric axis over its sorted distinct values.
+  std::vector<std::vector<double>> axis_values(axes);
+  for (std::size_t a = 0; a < axes; ++a) {
+    std::vector<double>& vals = axis_values[a];
+    for (const auto& p : space.points) vals.push_back(p[a]);
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  }
+  const double one_hot = 1.0 / std::sqrt(2.0);
+  for (std::size_t flat = 0; flat < x.rows(); ++flat) {
+    x.at(flat, space.scenario_of(flat)) = one_hot;
+    const std::vector<double>& p = space.points[space.point_of(flat)];
+    for (std::size_t a = 0; a < axes; ++a) {
+      const std::vector<double>& vals = axis_values[a];
+      if (vals.size() < 2) continue;  // constant axis encodes as 0
+      const auto it = std::lower_bound(vals.begin(), vals.end(), p[a]);
+      const double rank = static_cast<double>(it - vals.begin());
+      x.at(flat, num_scenarios + a) =
+          rank / static_cast<double>(vals.size() - 1);
+    }
+  }
+  return x;
+}
+
+}  // namespace ftbesst::search

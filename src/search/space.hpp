@@ -1,0 +1,46 @@
+#pragma once
+// The guided-search domain: the {Scenario x parameter-point} grid that
+// core::run_dse prices exhaustively. Cells are addressed by their
+// scenario-major flat index — the exhaustive sweep's submission order —
+// so a cell evaluated by the search (via core::run_dse_cells) is
+// bit-identical to the matching entry of the full grid, and search
+// results can be verified against the exhaustive sweep down to the last
+// bit.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "model/linalg.hpp"
+
+namespace ftbesst::search {
+
+/// The finite design space a search explores.
+struct SearchSpace {
+  std::vector<core::Scenario> scenarios;
+  std::vector<std::vector<double>> points;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return scenarios.size() * points.size();
+  }
+  [[nodiscard]] std::size_t scenario_of(std::size_t flat) const noexcept {
+    return flat / points.size();
+  }
+  [[nodiscard]] std::size_t point_of(std::size_t flat) const noexcept {
+    return flat % points.size();
+  }
+
+  /// Throws std::invalid_argument on empty axes, ragged parameter points,
+  /// invalid plans, or duplicate scenario names.
+  void validate() const;
+};
+
+/// Feature encoding of every grid cell for the GP surrogate, row i = flat
+/// index i. The first scenarios.size() columns one-hot-encode the scenario,
+/// scaled by 1/sqrt(2) so switching scenario moves a cell by exactly 1 in
+/// feature space; the remaining columns rank-normalize each numeric sweep
+/// axis to [0, 1] over its sorted distinct values (robust to log-spaced
+/// sweeps, where raw normalization would crush the small end of the axis).
+[[nodiscard]] model::Matrix encode_cells(const SearchSpace& space);
+
+}  // namespace ftbesst::search

@@ -1,6 +1,8 @@
 #include "svc/registry.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "model/expr_simd.hpp"
 #include "model/serialize.hpp"
 #include "net/topology.hpp"
+#include "search/search.hpp"
 #include "util/stats.hpp"
 
 namespace ftbesst::svc {
@@ -381,12 +384,12 @@ Json op_inject(const Registry& registry, const Json& request) {
   return Json(std::move(out));
 }
 
-Json op_dse(const Registry& registry, const Json& request) {
-  const WorkloadSpec spec = parse_workload(request);
-
+std::vector<core::Scenario> parse_scenarios(const Json& request,
+                                            const char* op_name) {
   const Json* scenarios_json = request.find("scenarios");
   if (!scenarios_json)
-    throw std::invalid_argument("dse needs a 'scenarios' array");
+    throw std::invalid_argument(std::string(op_name) +
+                                " needs a 'scenarios' array");
   std::vector<core::Scenario> scenarios;
   for (const Json& s : scenarios_json->as_array()) {
     core::Scenario scenario;
@@ -397,17 +400,24 @@ Json op_dse(const Registry& registry, const Json& request) {
     scenarios.push_back(std::move(scenario));
   }
   if (scenarios.empty())
-    throw std::invalid_argument("dse needs at least one scenario");
+    throw std::invalid_argument(std::string(op_name) +
+                                " needs at least one scenario");
+  return scenarios;
+}
 
-  // Parameter points: explicit [[size, ranks], ...] or the cartesian grid
-  // of "eprs"/"nxs" x "ranks" (Table II style sweep-grid requests).
+/// Parameter points: explicit [[size, ranks], ...] or the cartesian grid
+/// of "eprs"/"nxs" x "ranks" (Table II style sweep-grid requests).
+std::vector<std::vector<double>> parse_points(const Json& request,
+                                              const WorkloadSpec& spec,
+                                              const char* op_name) {
   std::vector<std::vector<double>> points;
   if (request.find("points")) {
     for (const Json& p : request.find("points")->as_array()) {
       std::vector<double> point;
       for (const Json& x : p.as_array()) point.push_back(x.as_number());
       if (point.size() != 2)
-        throw std::invalid_argument("each dse point must be [size, ranks]");
+        throw std::invalid_argument(std::string("each ") + op_name +
+                                    " point must be [size, ranks]");
       points.push_back(std::move(point));
     }
   } else {
@@ -418,29 +428,17 @@ Json op_dse(const Registry& registry, const Json& request) {
       for (const double r : ranks) points.push_back({s, r});
   }
   if (points.empty())
-    throw std::invalid_argument("dse needs at least one parameter point");
-  if (points.size() * scenarios.size() > 10000)
-    throw std::invalid_argument("dse sweep too large (> 10000 points)");
+    throw std::invalid_argument(std::string(op_name) +
+                                " needs at least one parameter point");
+  return points;
+}
 
-  require_kernels(registry.arch(), spec.app, scenarios);
-  const PreparedRun run = prepare_run(registry, spec, scenarios);
-  // Validate every point eagerly so a bad cell fails the whole request with
-  // a clean message instead of throwing inside a pool task mid-sweep.
-  for (const auto& point : points)
-    (void)build_app(spec.app, {}, run.arch->fti(), point[0], point[1], 1);
-
-  const std::string app_name = spec.app;
-  const ft::FtiConfig fti = run.arch->fti();
-  const int timesteps = spec.timesteps;
-  const auto points_result = core::run_dse(
-      scenarios, points,
-      [&app_name, &fti, timesteps](const core::Scenario& scenario,
-                                   const std::vector<double>& params) {
-        return build_app(app_name, scenario.plan, fti, params[0], params[1],
-                         timesteps);
-      },
-      *run.arch, run.options, spec.trials);
-
+/// The dse response body for a list of priced cells. The search op reuses
+/// this for the single-cell entries it writes back to the cache, so those
+/// bytes are identical to what the matching one-cell dse request would
+/// compute.
+Json dse_response(const std::vector<core::DsePoint>& points_result,
+                  std::size_t scenario_count, std::size_t trials) {
   JsonArray out_points;
   for (const core::DsePoint& p : points_result) {
     JsonObject cell;
@@ -453,21 +451,297 @@ Json op_dse(const Registry& registry, const Json& request) {
   }
   JsonObject out;
   out["points"] = Json(std::move(out_points));
-  out["scenarios"] = Json(scenarios.size());
-  out["trials"] = Json(spec.trials);
+  out["scenarios"] = Json(scenario_count);
+  out["trials"] = Json(trials);
+  return Json(std::move(out));
+}
+
+/// Ensemble statistic used for top_k ranking.
+double objective_value(const core::EnsembleResult& ens,
+                       const std::string& objective) {
+  if (objective == "mean") return ens.total.mean;
+  if (objective == "median") return ens.total.median;
+  if (objective == "p90") return util::quantile(ens.totals, 0.9);
+  if (objective == "min") return ens.total.min;
+  if (objective == "max") return ens.total.max;
+  throw std::invalid_argument(
+      "objective must be mean|median|p90|min|max, got '" + objective + "'");
+}
+
+Json op_dse(const Registry& registry, const Json& request) {
+  const WorkloadSpec spec = parse_workload(request);
+  const std::vector<core::Scenario> scenarios =
+      parse_scenarios(request, "dse");
+  const std::vector<std::vector<double>> points =
+      parse_points(request, spec, "dse");
+  if (points.size() * scenarios.size() > 10000)
+    throw std::invalid_argument("dse sweep too large (> 10000 points)");
+  const std::int64_t top_k = request.int_or("top_k", 0);
+  if (top_k < 0) throw std::invalid_argument("top_k must be >= 0");
+  const std::int64_t threads = request.int_or("threads", 0);
+  if (threads < 0) throw std::invalid_argument("threads must be >= 0");
+  const std::string objective = request.string_or("objective", "mean");
+  if (objective != "mean" || request.find("objective")) {
+    // Validate eagerly, before paying for the sweep.
+    core::EnsembleResult probe;
+    probe.totals = {0.0};
+    (void)objective_value(probe, objective);
+  }
+
+  require_kernels(registry.arch(), spec.app, scenarios);
+  const PreparedRun run = prepare_run(registry, spec, scenarios);
+  // Validate every point eagerly so a bad cell fails the whole request with
+  // a clean message instead of throwing inside a pool task mid-sweep.
+  for (const auto& point : points)
+    (void)build_app(spec.app, {}, run.arch->fti(), point[0], point[1], 1);
+
+  const std::string app_name = spec.app;
+  const ft::FtiConfig fti = run.arch->fti();
+  const int timesteps = spec.timesteps;
+  auto points_result = core::run_dse(
+      scenarios, points,
+      [&app_name, &fti, timesteps](const core::Scenario& scenario,
+                                   const std::vector<double>& params) {
+        return build_app(app_name, scenario.plan, fti, params[0], params[1],
+                         timesteps);
+      },
+      *run.arch, run.options, spec.trials, static_cast<unsigned>(threads));
+
+  if (top_k == 0) return dse_response(points_result, scenarios.size(), spec.trials);
+
+  // Best-k filter: rank by the chosen ensemble statistic, ties broken by
+  // grid (submission) order so the result is byte-identical at any thread
+  // count, then ship only those cells — in rank order.
+  std::vector<std::size_t> order(points_result.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> values(points_result.size());
+  for (std::size_t i = 0; i < points_result.size(); ++i)
+    values[i] = objective_value(points_result[i].ensemble, objective);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  const std::size_t keep =
+      std::min(points_result.size(), static_cast<std::size_t>(top_k));
+  std::vector<core::DsePoint> best(keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    best[i] = std::move(points_result[order[i]]);
+  Json out = dse_response(best, scenarios.size(), spec.trials);
+  out.as_object()["top_k"] = Json(keep);
+  out.as_object()["objective"] = Json(objective);
+  return out;
+}
+
+/// The canonical cache key of the one-cell dse request matching grid cell
+/// `flat` of a search. Every workload field is materialized explicitly
+/// (no omitted defaults) so the key is a pure function of the search
+/// space, and the cell seed is offset by the flat index exactly as
+/// run_dse's per-point seed derivation would do one level deeper — which
+/// makes the stored single-cell response bit-identical to the matching
+/// cell of the exhaustive sweep.
+std::string cell_dse_key(const WorkloadSpec& spec,
+                         const std::vector<core::Scenario>& scenarios,
+                         const std::vector<std::vector<double>>& points,
+                         std::size_t flat) {
+  const core::Scenario& scenario = scenarios[flat / points.size()];
+  const std::vector<double>& point = points[flat % points.size()];
+  JsonObject req;
+  req["op"] = Json(std::string("dse"));
+  req["app"] = Json(spec.app);
+  req["timesteps"] = Json(spec.timesteps);
+  req["trials"] = Json(spec.trials);
+  req["mtbf_hours"] = Json(spec.mtbf_hours);
+  req["downtime"] = Json(spec.downtime);
+  req["seed"] = Json(static_cast<double>(
+      spec.seed + 0x9e37 * static_cast<std::uint64_t>(flat)));
+  JsonObject scen;
+  scen["name"] = Json(scenario.name);
+  scen["plan"] = Json(core::format_plan(scenario.plan));
+  JsonArray scens;
+  scens.push_back(Json(std::move(scen)));
+  req["scenarios"] = Json(std::move(scens));
+  JsonArray coords;
+  for (const double v : point) coords.push_back(Json(v));
+  JsonArray pts;
+  pts.push_back(Json(std::move(coords)));
+  req["points"] = Json(std::move(pts));
+  return canonical_key(Json(std::move(req)));
+}
+
+search::Method parse_method(const std::string& text) {
+  if (text == "auto") return search::Method::kAuto;
+  if (text == "gp") return search::Method::kGp;
+  if (text == "bandit") return search::Method::kBandit;
+  throw std::invalid_argument("method must be auto|gp|bandit, got '" + text +
+                              "'");
+}
+
+search::Mode parse_mode(const std::string& text) {
+  if (text == "single") return search::Mode::kSingle;
+  if (text == "pareto") return search::Mode::kPareto;
+  throw std::invalid_argument("mode must be single|pareto, got '" + text +
+                              "'");
+}
+
+Json search_cell_json(const search::EvaluatedCell& cell) {
+  JsonObject out;
+  out["scenario"] = Json(cell.scenario);
+  JsonArray params;
+  for (const double v : cell.params) params.push_back(Json(v));
+  out["params"] = Json(std::move(params));
+  out["objective"] = Json(cell.objective);
+  out["recoverability"] = Json(cell.recoverability);
+  return Json(std::move(out));
+}
+
+Json op_search(const Registry& registry, const Json& request,
+               const CacheHooks& hooks) {
+  const WorkloadSpec spec = parse_workload(request);
+  const std::vector<core::Scenario> scenarios =
+      parse_scenarios(request, "search");
+  const std::vector<std::vector<double>> points =
+      parse_points(request, spec, "search");
+  if (points.size() * scenarios.size() > 10000)
+    throw std::invalid_argument("search space too large (> 10000 points)");
+
+  search::SearchSpace space;
+  space.scenarios = scenarios;
+  space.points = points;
+
+  search::SearchOptions sopt;
+  sopt.seed = spec.seed;
+  sopt.trials = spec.trials;
+  sopt.budget_units = request.number_or("budget", 0.0);
+  sopt.budget_fraction = request.number_or("budget_fraction", 0.10);
+  sopt.method = parse_method(request.string_or("method", "auto"));
+  sopt.mode = parse_mode(request.string_or("mode", "single"));
+  const std::int64_t batch = request.int_or("batch", 4);
+  const std::int64_t init = request.int_or("init", 0);
+  if (batch < 1) throw std::invalid_argument("batch must be >= 1");
+  if (init < 0) throw std::invalid_argument("init must be >= 0");
+  sopt.batch = static_cast<std::size_t>(batch);
+  sopt.init = static_cast<std::size_t>(init);
+  const std::int64_t top_k = request.int_or("top_k", 0);
+  if (top_k < 0) throw std::invalid_argument("top_k must be >= 0");
+  const std::int64_t threads = request.int_or("threads", 0);
+  if (threads < 0) throw std::invalid_argument("threads must be >= 0");
+  sopt.threads = static_cast<unsigned>(threads);
+
+  require_kernels(registry.arch(), spec.app, scenarios);
+  const PreparedRun run = prepare_run(registry, spec, scenarios);
+  sopt.fti = run.arch->fti();
+  for (const auto& point : points)
+    (void)build_app(spec.app, {}, run.arch->fti(), point[0], point[1], 1);
+
+  // Warm start: probe the result cache for every cell's single-cell dse
+  // entry. Hits become free surrogate observations (they carry the exact
+  // objective a full-fidelity evaluation would recompute).
+  std::vector<search::WarmObservation> warm;
+  if (hooks.get) {
+    for (std::size_t flat = 0; flat < space.size(); ++flat) {
+      const auto hit = hooks.get(cell_dse_key(spec, scenarios, points, flat));
+      if (!hit) continue;
+      const Json value = Json::parse(*hit);
+      const Json* cached_points = value.find("points");
+      if (!cached_points || cached_points->as_array().empty()) continue;
+      const Json* ensemble = cached_points->as_array()[0].find("ensemble");
+      if (!ensemble) continue;
+      warm.push_back(search::WarmObservation{
+          flat, ensemble->number_or("mean", 0.0)});
+    }
+  }
+
+  const std::string app_name = spec.app;
+  const ft::FtiConfig fti = run.arch->fti();
+  const int timesteps = spec.timesteps;
+  const auto make_app = [&app_name, &fti, timesteps](
+                            const core::Scenario& scenario,
+                            const std::vector<double>& params) {
+    return build_app(app_name, scenario.plan, fti, params[0], params[1],
+                     timesteps);
+  };
+  // Engine seed: offset per cell inside run_dse_cells exactly as the
+  // exhaustive sweep would; write-back stores each full-fidelity cell as
+  // its single-cell dse response so later searches (and plain dse
+  // clients) hit it byte-for-byte.
+  core::EngineOptions engine = run.options;
+  const auto evaluate =
+      [&](const std::vector<core::DseCell>& cells) -> std::vector<double> {
+    const std::vector<core::DsePoint> priced =
+        core::run_dse_cells(space.scenarios, space.points, cells, make_app,
+                            *run.arch, engine, spec.trials, sopt.threads);
+    std::vector<double> values(priced.size());
+    for (std::size_t i = 0; i < priced.size(); ++i) {
+      values[i] = priced[i].ensemble.total.mean;
+      const std::size_t cell_trials =
+          cells[i].trials != 0 ? cells[i].trials : spec.trials;
+      if (hooks.put && cell_trials == spec.trials) {
+        const std::vector<core::DsePoint> one{priced[i]};
+        hooks.put(cell_dse_key(spec, scenarios, points, cells[i].flat),
+                  std::make_shared<const std::string>(
+                      dse_response(one, 1, spec.trials).dump()));
+      }
+    }
+    return values;
+  };
+
+  const search::SearchResult result =
+      search::run_search(space, sopt, evaluate, warm);
+
+  JsonObject out;
+  out["best"] = search_cell_json(result.best);
+  if (sopt.mode == search::Mode::kPareto) {
+    JsonArray front;
+    for (const search::EvaluatedCell& p : result.pareto)
+      front.push_back(search_cell_json(p));
+    out["pareto"] = Json(std::move(front));
+  }
+  if (top_k > 0) {
+    // Best-k distinct cells among everything priced at full fidelity.
+    std::vector<const search::EvaluatedCell*> full;
+    for (const search::EvaluatedCell& h : result.history)
+      if (h.trials == spec.trials) full.push_back(&h);
+    std::sort(full.begin(), full.end(),
+              [](const search::EvaluatedCell* a,
+                 const search::EvaluatedCell* b) {
+                if (a->objective != b->objective)
+                  return a->objective < b->objective;
+                return a->flat < b->flat;
+              });
+    JsonArray top;
+    std::size_t taken = 0;
+    std::size_t last_flat = space.size();
+    for (const search::EvaluatedCell* h : full) {
+      if (taken == static_cast<std::size_t>(top_k)) break;
+      if (h->flat == last_flat) continue;
+      top.push_back(search_cell_json(*h));
+      last_flat = h->flat;
+      ++taken;
+    }
+    out["top"] = Json(std::move(top));
+  }
+  out["cells"] = Json(space.size());
+  out["evaluations"] = Json(result.evaluations);
+  out["warm_hits"] = Json(result.warm_hits);
+  out["budget_units"] = Json(result.budget_units);
+  out["trial_units"] = Json(result.trial_units);
+  out["method"] = Json(search::to_string(result.method_used));
+  out["mode"] = Json(search::to_string(sopt.mode));
   return Json(std::move(out));
 }
 
 }  // namespace
 
-Json handle_request(const Registry& registry, const Json& request) {
+Json handle_request(const Registry& registry, const Json& request,
+                    const CacheHooks& hooks) {
   const std::string op = request.string_or("op", "");
   if (op == "predict") return op_predict(registry, request);
   if (op == "simulate") return op_simulate(registry, request);
   if (op == "inject") return op_inject(registry, request);
   if (op == "dse") return op_dse(registry, request);
-  throw std::invalid_argument("unknown op '" + op +
-                              "' (expected predict|simulate|inject|dse)");
+  if (op == "search") return op_search(registry, request, hooks);
+  throw std::invalid_argument(
+      "unknown op '" + op + "' (expected predict|simulate|inject|dse|search)");
 }
 
 std::string canonical_key(const Json& request) {
@@ -476,6 +750,9 @@ std::string canonical_key(const Json& request) {
   Json stripped = request;
   stripped.as_object().erase("deadline_ms");
   stripped.as_object().erase("id");
+  // Every op is bit-identical at any thread count, so requests differing
+  // only in `threads` share a cache entry.
+  stripped.as_object().erase("threads");
   return stripped.dump();
 }
 

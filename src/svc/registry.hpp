@@ -23,7 +23,19 @@
 //    distribution + per-level recovery statistics.
 //   {"op":"dse", "app":.., "scenarios":[{"name":..,"plan":".."}..],
 //    "points":[[epr,ranks],..] | "eprs":[..] x "ranks":[..],
-//    "timesteps":T, "trials":N, "seed":S, ...}
+//    "timesteps":T, "trials":N, "seed":S, ...,
+//    "top_k":K, "objective":"mean"|"median"|"p90"|"min"|"max"} — with
+//    top_k > 0 the response carries only the best-K cells sorted by the
+//    chosen ensemble statistic (ties broken by grid order) instead of the
+//    full grid.
+//   {"op":"search", same workload/scenario/point fields as dse,
+//    "budget":U | "budget_fraction":F (default 0.10 of the exhaustive
+//    cells x trials cost), "method":"auto"|"gp"|"bandit",
+//    "mode":"single"|"pareto", "batch":B, "init":I, "top_k":K} — guided
+//    search (src/search) instead of the exhaustive sweep. When executed
+//    through the server, prior single-cell dse results warm-start the
+//    surrogate and every cell the search prices at full fidelity is
+//    stored back as the byte-identical single-cell dse response.
 //
 // It returns the result Json; malformed requests throw
 // std::invalid_argument with a message safe to send back to the client.
@@ -32,6 +44,7 @@
 // the contract the content-addressed result cache depends on.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -112,12 +125,29 @@ class RestartCostModel final : public model::PerfModel {
   ft::CheckpointCostModel cost_;
 };
 
-/// Execute one cacheable request (predict/simulate/inject/dse) against the
-/// registry and return the result Json. Throws std::invalid_argument on
-/// malformed requests (unknown op, bad plan text, non-cube ranks, unbound
-/// kernels, ...) — the server turns these into error replies.
+/// Optional result-cache access for ops that can exploit prior results
+/// (the search op's warm start). Keys are canonical_key strings; values
+/// are serialized result payloads exactly as the cache stores them. Both
+/// hooks may be empty — handle_request then computes everything cold.
+struct CacheHooks {
+  std::function<std::shared_ptr<const std::string>(const std::string&)> get;
+  std::function<void(const std::string&,
+                     std::shared_ptr<const std::string>)>
+      put;
+};
+
+/// Execute one cacheable request (predict/simulate/inject/dse/search)
+/// against the registry and return the result Json. Throws
+/// std::invalid_argument on malformed requests (unknown op, bad plan text,
+/// non-cube ranks, unbound kernels, ...) — the server turns these into
+/// clean error replies. `hooks` lets the search op read prior single-cell
+/// dse results out of the server's cache (warm start, uncharged
+/// observations) and write its own full-fidelity evaluations back as
+/// byte-identical single-cell dse responses; warm starts never change
+/// what the search reports, only what it has to pay for.
 [[nodiscard]] Json handle_request(const Registry& registry,
-                                  const Json& request);
+                                  const Json& request,
+                                  const CacheHooks& hooks = {});
 
 /// The request's content-address: the canonical dump of the request object
 /// with volatile, non-semantic fields ("deadline_ms", "id") removed.

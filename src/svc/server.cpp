@@ -507,7 +507,7 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       result.emplace("slept_ms", Json(ms));
       payload = ok_payload(false, Json(std::move(result)).dump());
     } else if (op == "predict" || op == "simulate" || op == "inject" ||
-               op == "dse") {
+               op == "dse" || op == "search") {
       try {
         const std::string key = canonical_key(request);
         if (auto hit = cache_.get(key)) {
@@ -516,9 +516,35 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
           bool leader = false;
           auto value = single_flight_.run(
               key,
-              [this, &request, &key]() -> SingleFlight::Result {
-                auto result = std::make_shared<const std::string>(
-                    handle_request(*registry_, request).dump());
+              [this, &request, &key, &op]() -> SingleFlight::Result {
+                // The search op reads prior single-cell dse entries out of
+                // the result cache (warm start) and writes its own
+                // full-fidelity evaluations back through the same hooks.
+                CacheHooks hooks;
+                if (op == "search") {
+                  hooks.get = [this](const std::string& k) {
+                    return cache_.get(k);
+                  };
+                  hooks.put = [this](const std::string& k,
+                                     std::shared_ptr<const std::string> v) {
+                    cache_.put(k, std::move(v));
+                  };
+                }
+                const Json result_json =
+                    handle_request(*registry_, request, hooks);
+                if (op == "search") {
+                  searches_.fetch_add(1, std::memory_order_relaxed);
+                  search_warm_hits_.fetch_add(
+                      static_cast<std::uint64_t>(
+                          result_json.number_or("warm_hits", 0.0)),
+                      std::memory_order_relaxed);
+                  search_evaluations_.fetch_add(
+                      static_cast<std::uint64_t>(
+                          result_json.number_or("evaluations", 0.0)),
+                      std::memory_order_relaxed);
+                }
+                auto result =
+                    std::make_shared<const std::string>(result_json.dump());
                 cache_.put(key, result);
                 return result;
               },
@@ -545,7 +571,7 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
                           ? std::string("missing \"op\" field")
                           : "unknown op '" + op +
                                 "' (valid: ping, stats, predict, simulate, "
-                                "inject, dse, sleep, shutdown)"));
+                                "inject, dse, search, sleep, shutdown)"));
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
@@ -615,6 +641,9 @@ std::string Server::stats_json() const {
   obj.emplace("rejected_shutdown", Json(s.rejected_shutdown));
   obj.emplace("bad_requests", Json(s.bad_requests));
   obj.emplace("coalesced", Json(s.coalesced));
+  obj.emplace("searches", Json(s.searches));
+  obj.emplace("search_warm_hits", Json(s.search_warm_hits));
+  obj.emplace("search_evaluations", Json(s.search_evaluations));
   obj.emplace("in_flight", Json(in_flight_.load(std::memory_order_relaxed)));
   obj.emplace("queue_capacity", Json(options_.queue_capacity));
   // Which ExprProgram backend prices predict/dse batches in this process
@@ -638,6 +667,10 @@ Server::Stats Server::stats() const {
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.searches = searches_.load(std::memory_order_relaxed);
+  s.search_warm_hits = search_warm_hits_.load(std::memory_order_relaxed);
+  s.search_evaluations =
+      search_evaluations_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
 }

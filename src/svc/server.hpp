@@ -108,6 +108,9 @@ class Server {
     std::uint64_t rejected_shutdown = 0;
     std::uint64_t bad_requests = 0;       ///< parse/validation failures
     std::uint64_t coalesced = 0;          ///< single-flight followers
+    std::uint64_t searches = 0;           ///< cold search-op computations
+    std::uint64_t search_warm_hits = 0;   ///< cells warm-started from cache
+    std::uint64_t search_evaluations = 0; ///< cells searches priced cold
     CacheStats cache;
   };
   [[nodiscard]] Stats stats() const;
@@ -173,6 +176,9 @@ class Server {
   std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> searches_{0};
+  std::atomic<std::uint64_t> search_warm_hits_{0};
+  std::atomic<std::uint64_t> search_evaluations_{0};
 };
 
 }  // namespace ftbesst::svc

@@ -475,6 +475,7 @@ void DiffReport::merge(const DiffReport& other) {
   inject_checks += other.inject_checks;
   inject_young_daly_checks += other.inject_young_daly_checks;
   backend_checks += other.backend_checks;
+  search_checks += other.search_checks;
   failures.insert(failures.end(), other.failures.begin(),
                   other.failures.end());
 }
@@ -489,7 +490,8 @@ std::string DiffReport::summary() const {
   out += std::to_string(young_daly_checks) + " young-daly, ";
   out += std::to_string(inject_checks) + " inject (" +
          std::to_string(inject_young_daly_checks) + " young-daly), ";
-  out += std::to_string(backend_checks) + " eval-backend checks, ";
+  out += std::to_string(backend_checks) + " eval-backend, ";
+  out += std::to_string(search_checks) + " search checks, ";
   out += std::to_string(failures.size()) + " failure(s)\n";
   for (const DiffFailure& f : failures) {
     out += "FAIL [" + f.check + "] seed=" + std::to_string(f.generator_seed) +

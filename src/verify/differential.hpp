@@ -62,7 +62,8 @@ struct DiffFailure {
   std::string check;   ///< "analytic_twin" | "des_vs_bsp" | "fold_vs_unfold"
                        ///< | "thread_bits" | "young_daly" | "inject_fold"
                        ///< | "inject_threads" | "inject_young_daly"
-                       ///< | "eval_backend" | "exception"
+                       ///< | "eval_backend" | "search_vs_exhaustive"
+                       ///< | "exception"
   std::string detail;  ///< human-readable disagreement description
   std::uint64_t generator_seed = 0;  ///< 0 when not generator-produced
   std::uint64_t scenario_index = 0;
@@ -79,6 +80,7 @@ struct DiffReport {
   int inject_checks = 0;
   int inject_young_daly_checks = 0;
   int backend_checks = 0;
+  int search_checks = 0;
   std::vector<DiffFailure> failures;
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }

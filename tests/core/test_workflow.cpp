@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "net/topology.hpp"
@@ -80,6 +83,75 @@ TEST(RunDse, SweepsScenariosTimesPoints) {
   }
 }
 
+TEST(RunDseCells, SubsetBitMatchesExhaustiveSweep) {
+  auto topo = std::make_shared<net::TwoStageFatTree>(16, 8, 4);
+  ArchBEO arch("m", topo, net::CommParams{}, 8);
+  arch.bind_kernel(
+      "work", std::make_shared<model::NoisyModel>(
+                  std::make_shared<model::ConstantModel>(0.01), 0.2));
+  arch.bind_kernel("ckpt_l1", std::make_shared<model::ConstantModel>(0.05));
+
+  const std::vector<Scenario> scenarios{
+      {"No FT", {}},
+      {"L1", {{ft::Level::kL1, 2}}},
+  };
+  const std::vector<std::vector<double>> points{{4.0}, {8.0}};
+  auto make_app = [](const Scenario& s, const std::vector<double>& p) {
+    AppBEO app("toy", static_cast<std::int64_t>(p[0]));
+    const ft::CheckpointScheduler sched(s.plan);
+    for (int step = 1; step <= 10; ++step) {
+      app.compute("work", p);
+      app.end_timestep();
+      for (ft::Level level : sched.due_after(step))
+        app.checkpoint(level, "ckpt_l1", p);
+    }
+    return app;
+  };
+  EngineOptions opt;
+  opt.seed = 7;
+  opt.monte_carlo = true;
+  const auto exhaustive =
+      run_dse(scenarios, points, make_app, arch, opt, 4);
+  ASSERT_EQ(exhaustive.size(), 4u);
+
+  auto bits_equal = [](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+  };
+
+  // An out-of-order subset priced serially and pooled: every cell must be
+  // bit-identical to the matching entry of the exhaustive sweep.
+  const std::vector<DseCell> cells{{3, 0}, {0, 0}};
+  const auto serial =
+      run_dse_cells(scenarios, points, cells, make_app, arch, opt, 4, 1);
+  const auto pooled =
+      run_dse_cells(scenarios, points, cells, make_app, arch, opt, 4, 0);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(pooled.size(), 2u);
+  EXPECT_TRUE(bits_equal(serial[0].ensemble.totals,
+                         exhaustive[3].ensemble.totals));
+  EXPECT_TRUE(bits_equal(serial[1].ensemble.totals,
+                         exhaustive[0].ensemble.totals));
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(
+        bits_equal(serial[i].ensemble.totals, pooled[i].ensemble.totals));
+
+  // A reduced-fidelity cell (bandit rung) is a bit-exact prefix of the
+  // full-trials evaluation: per-trial seeds split by trial index.
+  const auto rung = run_dse_cells(scenarios, points, {{2, 2}}, make_app,
+                                  arch, opt, 4, 1);
+  ASSERT_EQ(rung.size(), 1u);
+  ASSERT_EQ(rung[0].ensemble.totals.size(), 2u);
+  ASSERT_EQ(exhaustive[2].ensemble.totals.size(), 4u);
+  for (std::size_t t = 0; t < 2; ++t) {
+    const double a = rung[0].ensemble.totals[t];
+    const double b = exhaustive[2].ensemble.totals[t];
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0) << "trial " << t;
+  }
+}
+
 TEST(OverheadGrid, NormalizesToBaseline) {
   std::vector<DsePoint> points;
   auto mk = [](std::string scenario, std::vector<double> params,
@@ -102,6 +174,38 @@ TEST(OverheadGrid, NormalizesToBaseline) {
   EXPECT_DOUBLE_EQ(grid.at("L1").at({10.0, 1000.0}), 215.0);
   EXPECT_THROW(overhead_grid(points, "nope", {10.0, 64.0}),
                std::invalid_argument);
+}
+
+TEST(OverheadGrid, QuantizedKeysSurviveFloatNoiseAndTextRoundTrip) {
+  std::vector<DsePoint> points;
+  DsePoint base;
+  base.scenario = "No FT";
+  base.params = {0.1 + 0.2, 2.0 / 3.0};  // 0.30000000000000004, 0.666...
+  base.ensemble.total.mean = 2.0;
+  points.push_back(base);
+  DsePoint other = base;
+  other.scenario = "L1";
+  other.ensemble.total.mean = 3.0;
+  points.push_back(other);
+
+  // The stored coordinate differs bitwise from the literal a caller would
+  // write; the quantized key bridges the gap.
+  ASSERT_NE(0.1 + 0.2, 0.3);
+  const auto grid = overhead_grid(points, "No FT", {0.3, 2.0 / 3.0});
+  EXPECT_DOUBLE_EQ(grid.at("L1").at(quantize_params({0.3, 2.0 / 3.0})),
+                   150.0);
+
+  // Coordinates that went through text formatting (12 significant digits,
+  // the CLI/report precision) land on the same cell as the originals.
+  std::vector<double> reparsed;
+  for (double v : base.params) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    reparsed.push_back(std::strtod(buf, nullptr));
+  }
+  ASSERT_NE(reparsed[1], base.params[1]);  // truncated below 1e-12
+  EXPECT_EQ(quantize_params(reparsed), quantize_params(base.params));
+  EXPECT_DOUBLE_EQ(grid.at("No FT").at(quantize_params(reparsed)), 100.0);
 }
 
 }  // namespace

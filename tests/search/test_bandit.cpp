@@ -1,0 +1,102 @@
+#include "search/bandit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ftbesst::search {
+namespace {
+
+/// Fidelity-independent objective: arm values are a fixed permutation, so
+/// every rung ranks arms exactly and the true best must survive.
+double arm_value(std::size_t flat) {
+  return 1.0 + static_cast<double>((flat * 37 + 11) % 64) * 0.01;
+}
+
+BanditEvaluator exact_evaluator() {
+  return [](const std::vector<core::DseCell>& cells) {
+    std::vector<double> out(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      out[i] = arm_value(cells[i].flat);
+    return out;
+  };
+}
+
+TEST(Bandit, KeepsTheTrueBestArm) {
+  const std::size_t cells = 64;
+  std::size_t argmin = 0;
+  for (std::size_t f = 1; f < cells; ++f)
+    if (arm_value(f) < arm_value(argmin)) argmin = f;
+
+  core::DseBudget budget(1e9);
+  const BanditResult r = run_successive_halving(
+      cells, 16, budget, {}, util::Rng(7), exact_evaluator());
+  EXPECT_EQ(r.best, argmin);
+  EXPECT_DOUBLE_EQ(r.best_value, arm_value(argmin));
+  EXPECT_EQ(r.starting_arms, cells);
+  EXPECT_FALSE(r.finalists.empty());
+  // The final rung prices its survivors at full trials.
+  std::size_t max_trials = 0;
+  for (const BanditOutcome& o : r.history)
+    max_trials = std::max(max_trials, o.trials);
+  EXPECT_EQ(max_trials, 16u);
+}
+
+TEST(Bandit, ChargesEveryEvaluationToTheBudget) {
+  core::DseBudget budget(1e9);
+  const BanditResult r = run_successive_halving(
+      32, 8, budget, {}, util::Rng(1), exact_evaluator());
+  double expected_units = 0.0;
+  for (const BanditOutcome& o : r.history)
+    expected_units += static_cast<double>(o.trials);
+  EXPECT_DOUBLE_EQ(r.trial_units, expected_units);
+  EXPECT_DOUBLE_EQ(budget.used(), expected_units);
+}
+
+TEST(Bandit, SubsamplesArmsDeterministicallyUnderATightBudget) {
+  auto run = [] {
+    core::DseBudget budget(40.0);  // cannot afford all 64 arms
+    return run_successive_halving(64, 8, budget, {}, util::Rng(5),
+                                  exact_evaluator());
+  };
+  const BanditResult a = run();
+  const BanditResult b = run();
+  EXPECT_LT(a.starting_arms, 64u);
+  EXPECT_GT(a.starting_arms, 0u);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].flat, b.history[i].flat);
+    EXPECT_EQ(a.history[i].trials, b.history[i].trials);
+    EXPECT_DOUBLE_EQ(a.history[i].value, b.history[i].value);
+  }
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(Bandit, ThrowsWhenOneArmIsUnaffordable) {
+  core::DseBudget budget(0.5);
+  EXPECT_THROW((void)run_successive_halving(8, 8, budget, {}, util::Rng(1),
+                                            exact_evaluator()),
+               std::invalid_argument);
+}
+
+TEST(Bandit, WinnersObjectiveComesFromTheFullFidelityRung) {
+  // Value improves with fidelity (prefix semantics: more trials refine the
+  // estimate); best_value must be the full-trials number, not a cheap rung.
+  const BanditEvaluator eval = [](const std::vector<core::DseCell>& cells) {
+    std::vector<double> out(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      out[i] = arm_value(cells[i].flat) +
+               1.0 / static_cast<double>(cells[i].trials);
+    return out;
+  };
+  core::DseBudget budget(1e9);
+  const BanditResult r =
+      run_successive_halving(16, 8, budget, {}, util::Rng(3), eval);
+  EXPECT_DOUBLE_EQ(r.best_value, arm_value(r.best) + 1.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace ftbesst::search

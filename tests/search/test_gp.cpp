@@ -1,0 +1,104 @@
+#include "search/gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ftbesst::search {
+namespace {
+
+model::Matrix grid_1d(const std::vector<double>& xs) {
+  model::Matrix m(xs.size(), 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) m.at(i, 0) = xs[i];
+  return m;
+}
+
+TEST(Gp, PosteriorInterpolatesTheObservations) {
+  const std::vector<double> xs{0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::sin(6.0 * x));
+  GpSurrogate gp;
+  gp.fit(grid_1d(xs), ys);
+  ASSERT_TRUE(gp.fitted());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    const auto post = gp.predict(std::vector<double>{x});
+    EXPECT_NEAR(post.mean, ys[i], 1e-2) << "at x=" << x;
+  }
+}
+
+TEST(Gp, VarianceVanishesAtObservedPointsAndGrowsAway) {
+  const std::vector<double> xs{0.0, 0.5, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 0.5};
+  GpSurrogate gp;
+  gp.fit(grid_1d(xs), ys);
+  const double at_obs =
+      gp.predict(std::vector<double>{0.5}).variance;
+  const double far =
+      gp.predict(std::vector<double>{5.0}).variance;
+  EXPECT_LT(at_obs, 1e-3);
+  EXPECT_GT(far, 100.0 * at_obs);  // approaches the prior far away
+  EXPECT_GT(far, 0.1);
+  EXPECT_GE(at_obs, 0.0);
+}
+
+TEST(Gp, PsdGuardSurvivesNearDuplicateRows) {
+  // 40 rows within 1e-13 of each other make the kernel matrix numerically
+  // rank-1; the jitter escalation must still produce a usable factor.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(0.5 + 1e-13 * i);
+    ys.push_back(1.0 + 1e-3 * i);
+  }
+  GpSurrogate gp;
+  ASSERT_NO_THROW(gp.fit(grid_1d(xs), ys));
+  EXPECT_GT(gp.jitter_used(), 0.0);
+  const auto post = gp.predict(std::vector<double>{0.5});
+  EXPECT_TRUE(std::isfinite(post.mean));
+  EXPECT_TRUE(std::isfinite(post.variance));
+  EXPECT_GE(post.variance, 0.0);
+}
+
+TEST(Gp, ExpectedImprovementPrefersTheLikelyMinimum) {
+  // V-shaped data: EI below the current best must be largest near the
+  // unexplored minimum region, and ~zero far up the slope.
+  const std::vector<double> xs{0.0, 0.2, 0.8, 1.0};
+  const std::vector<double> ys{1.0, 0.4, 0.4, 1.0};
+  GpSurrogate gp;
+  gp.fit(grid_1d(xs), ys);
+  const double best = 0.4;
+  const double near_min =
+      gp.expected_improvement(std::vector<double>{0.5}, best);
+  const double explored =
+      gp.expected_improvement(std::vector<double>{0.0}, best);
+  EXPECT_GT(near_min, explored);
+  EXPECT_GE(explored, 0.0);
+}
+
+TEST(Gp, KernelSelfValueIsSignalVariance) {
+  GpOptions opt;
+  opt.signal_variance = 2.5;
+  for (GpOptions::Kernel k :
+       {GpOptions::Kernel::kMatern52, GpOptions::Kernel::kRbf}) {
+    opt.kernel = k;
+    GpSurrogate gp(opt);
+    const std::vector<double> a{0.3, 0.7};
+    EXPECT_NEAR(gp.kernel(a, a), 2.5, 1e-12);
+    const std::vector<double> b{0.9, 0.1};
+    EXPECT_LT(gp.kernel(a, b), 2.5);
+    EXPECT_GT(gp.kernel(a, b), 0.0);
+  }
+}
+
+TEST(Gp, ConstantTargetsFitWithoutDegenerateScale) {
+  const std::vector<double> xs{0.0, 0.5, 1.0};
+  const std::vector<double> ys{3.0, 3.0, 3.0};
+  GpSurrogate gp;
+  ASSERT_NO_THROW(gp.fit(grid_1d(xs), ys));
+  const auto post = gp.predict(std::vector<double>{0.25});
+  EXPECT_NEAR(post.mean, 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ftbesst::search

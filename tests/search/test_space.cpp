@@ -1,0 +1,94 @@
+#include "search/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftbesst::search {
+namespace {
+
+SearchSpace small_space() {
+  SearchSpace s;
+  s.scenarios = {{"No FT", {}}, {"L1", {{ft::Level::kL1, 4}}}};
+  s.points = {{1.0, 8.0}, {2.0, 8.0}, {1.0, 16.0}};
+  return s;
+}
+
+TEST(SearchSpace, FlatIndexIsScenarioMajor) {
+  const SearchSpace s = small_space();
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.scenario_of(0), 0u);
+  EXPECT_EQ(s.point_of(0), 0u);
+  EXPECT_EQ(s.scenario_of(2), 0u);
+  EXPECT_EQ(s.point_of(2), 2u);
+  EXPECT_EQ(s.scenario_of(3), 1u);
+  EXPECT_EQ(s.point_of(3), 0u);
+  EXPECT_EQ(s.scenario_of(5), 1u);
+  EXPECT_EQ(s.point_of(5), 2u);
+}
+
+TEST(SearchSpace, ValidateAcceptsAWellFormedSpace) {
+  EXPECT_NO_THROW(small_space().validate());
+}
+
+TEST(SearchSpace, ValidateRejectsMalformedSpaces) {
+  SearchSpace s = small_space();
+  s.scenarios.clear();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_space();
+  s.points.clear();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_space();
+  s.points.push_back({1.0});  // ragged
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_space();
+  s.scenarios.push_back({"No FT", {}});  // duplicate name
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = small_space();
+  s.scenarios[1].plan = {{ft::Level::kL1, 4}, {ft::Level::kL1, 8}};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(EncodeCells, OneHotScenarioColumnsDistanceOne) {
+  const SearchSpace s = small_space();
+  const model::Matrix x = encode_cells(s);
+  ASSERT_EQ(x.rows(), 6u);
+  ASSERT_EQ(x.cols(), 2u + 2u);
+  // Same point, different scenario: distance exactly 1 in feature space.
+  double d2 = 0.0;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double diff = x.at(0, c) - x.at(3, c);
+    d2 += diff * diff;
+  }
+  EXPECT_NEAR(std::sqrt(d2), 1.0, 1e-12);
+  EXPECT_NEAR(x.at(0, 0), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(x.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(EncodeCells, NumericAxesRankNormalizedToUnitInterval) {
+  const SearchSpace s = small_space();
+  const model::Matrix x = encode_cells(s);
+  // Axis 0 values {1, 2} -> ranks {0, 1}; axis 1 values {8, 16} -> {0, 1}.
+  EXPECT_NEAR(x.at(0, 2), 0.0, 1e-12);  // point {1, 8}
+  EXPECT_NEAR(x.at(1, 2), 1.0, 1e-12);  // point {2, 8}
+  EXPECT_NEAR(x.at(0, 3), 0.0, 1e-12);
+  EXPECT_NEAR(x.at(2, 3), 1.0, 1e-12);  // point {1, 16}
+}
+
+TEST(EncodeCells, ConstantAxisEncodesToZero) {
+  SearchSpace s;
+  s.scenarios = {{"only", {}}};
+  s.points = {{3.0, 1.0}, {3.0, 2.0}};
+  const model::Matrix x = encode_cells(s);
+  EXPECT_NEAR(x.at(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(x.at(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(x.at(1, 2), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftbesst::search

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/kernels.hpp"
 #include "apps/lulesh.hpp"
@@ -45,6 +50,11 @@ TEST(CanonicalKey, IgnoresSpellingAndVolatileFields) {
   EXPECT_EQ(canonical_key(a), canonical_key(b));
   const Json c = Json::parse("{\"op\":\"simulate\",\"trials\":21,\"seed\":7}");
   EXPECT_NE(canonical_key(a), canonical_key(c));
+  // Results are bit-identical at any thread count, so `threads` is
+  // volatile too.
+  const Json d = Json::parse(
+      "{\"op\":\"simulate\",\"trials\":20,\"seed\":7,\"threads\":1}");
+  EXPECT_EQ(canonical_key(a), canonical_key(d));
   EXPECT_THROW((void)canonical_key(Json::parse("[1]")), std::invalid_argument);
 }
 
@@ -291,6 +301,112 @@ TEST(Registry, DseIsDeterministicForAFixedSeed) {
       "[8,64],\"timesteps\":20,\"trials\":6,\"seed\":99,\"mtbf_hours\":0.1}");
   EXPECT_EQ(handle_request(registry, request).dump(),
             handle_request(registry, request).dump());
+}
+
+TEST(Registry, DseTopKRanksByObjectiveThreadIdentically) {
+  const Registry registry = make_test_registry();
+  const std::string body =
+      "\"app\":\"lulesh\",\"scenarios\":[{\"name\":\"No FT\",\"plan\":\"\"},"
+      "{\"name\":\"L1\",\"plan\":\"L1:10\"}],\"eprs\":[5,10,15],\"ranks\":"
+      "[8,64],\"timesteps\":20,\"trials\":4,\"seed\":11";
+
+  // Full sweep, then the filtered request: top_k must ship exactly the
+  // k cheapest cells of the full sweep, in rank order.
+  const Json full = handle_request(
+      registry, Json::parse("{\"op\":\"dse\"," + body + "}"));
+  std::vector<std::pair<double, std::size_t>> ranked;
+  const auto& cells = full.find("points")->as_array();
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    ranked.emplace_back(cells[i].find("ensemble")->find("mean")->as_number(),
+                        i);
+  std::sort(ranked.begin(), ranked.end());
+
+  const Json top = handle_request(
+      registry,
+      Json::parse("{\"op\":\"dse\"," + body +
+                  ",\"top_k\":3,\"objective\":\"mean\"}"));
+  const auto& best = top.find("points")->as_array();
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_EQ(top.find("top_k")->as_number(), 3);
+  EXPECT_EQ(top.find("objective")->as_string(), "mean");
+  for (std::size_t i = 0; i < best.size(); ++i)
+    EXPECT_EQ(best[i].dump(), cells[ranked[i].second].dump());
+
+  // Byte-identical serial vs pooled — the ranking's grid-order tie-break
+  // makes the filter independent of evaluation order.
+  const Json serial = handle_request(
+      registry, Json::parse("{\"op\":\"dse\"," + body +
+                            ",\"top_k\":3,\"threads\":1}"));
+  const Json pooled = handle_request(
+      registry, Json::parse("{\"op\":\"dse\"," + body +
+                            ",\"top_k\":3,\"threads\":0}"));
+  EXPECT_EQ(serial.dump(), pooled.dump());
+  EXPECT_EQ(serial.dump(), top.dump());
+
+  EXPECT_THROW(
+      (void)handle_request(
+          registry, Json::parse("{\"op\":\"dse\"," + body +
+                                ",\"top_k\":3,\"objective\":\"best\"}")),
+      std::invalid_argument);
+}
+
+TEST(Registry, SearchWarmStartsFromCachedDseCells) {
+  const Registry registry = make_test_registry();
+  std::map<std::string, std::shared_ptr<const std::string>> store;
+  CacheHooks hooks;
+  hooks.get = [&store](const std::string& key)
+      -> std::shared_ptr<const std::string> {
+    const auto it = store.find(key);
+    return it == store.end() ? nullptr : it->second;
+  };
+  hooks.put = [&store](const std::string& key,
+                       std::shared_ptr<const std::string> value) {
+    store[key] = std::move(value);
+  };
+
+  const std::string body =
+      "\"app\":\"lulesh\",\"scenarios\":[{\"name\":\"No FT\",\"plan\":\"\"},"
+      "{\"name\":\"L1\",\"plan\":\"L1:10\"}],\"eprs\":[5,10,15],\"ranks\":"
+      "[8,64],\"timesteps\":20,\"trials\":4,\"seed\":11";
+  const Json request = Json::parse("{\"op\":\"search\"," + body +
+                                   ",\"method\":\"gp\",\"budget_fraction\":"
+                                   "1.0}");
+
+  // Cold run at full budget: prices every cell, fills the cache with one
+  // single-cell dse entry per cell, and its best is the true grid minimum.
+  const Json cold = handle_request(registry, request, hooks);
+  const std::size_t cell_count =
+      static_cast<std::size_t>(cold.find("cells")->as_number());
+  ASSERT_EQ(cell_count, 12u);
+  EXPECT_EQ(cold.find("evaluations")->as_number(), 12);
+  EXPECT_EQ(cold.find("warm_hits")->as_number(), 0);
+  EXPECT_EQ(store.size(), cell_count);
+
+  const Json full = handle_request(
+      registry, Json::parse("{\"op\":\"dse\"," + body + "}"));
+  double grid_min = std::numeric_limits<double>::infinity();
+  for (const Json& cell : full.find("points")->as_array())
+    grid_min = std::min(grid_min,
+                        cell.find("ensemble")->find("mean")->as_number());
+  EXPECT_EQ(cold.find("best")->find("objective")->as_number(), grid_min);
+
+  // Warm rerun: every cell hits the cache, nothing is re-simulated, and
+  // the answer is byte-identical.
+  const Json warm = handle_request(registry, request, hooks);
+  EXPECT_EQ(warm.find("warm_hits")->as_number(),
+            static_cast<double>(cell_count));
+  EXPECT_EQ(warm.find("evaluations")->as_number(), 0);
+  EXPECT_EQ(warm.find("best")->dump(), cold.find("best")->dump());
+
+  // The cached cells are plain single-cell dse responses: a dse client
+  // asking for one cell hits the same entry.
+  const Json one_cell = Json::parse(
+      "{\"op\":\"dse\",\"app\":\"lulesh\",\"timesteps\":20,\"trials\":4,"
+      "\"mtbf_hours\":0,\"downtime\":10,\"seed\":" +
+      std::to_string(11 + 0x9e37 * 0) +
+      ",\"scenarios\":[{\"name\":\"No FT\",\"plan\":\"\"}],\"points\":"
+      "[[5,8]]}");
+  EXPECT_NE(store.find(canonical_key(one_cell)), store.end());
 }
 
 TEST(Registry, OpenRejectsMissingModelsDir) {

@@ -59,8 +59,22 @@
 //       Send one request (from --request or stdin) to a running daemon and
 //       print the reply JSON; exits 0 on ok, 1 on an error reply.
 //
+//   ftbesst search [--models DIR] [--app lulesh|stencil3d]
+//       [--scenarios "name=plan;name=plan"] [--eprs A,B|--nxs A,B]
+//       [--ranks A,B] [--timesteps T] [--trials N] [--seed S]
+//       [--mtbf-hours H] [--downtime D] [--budget U | --budget-frac F]
+//       [--method auto|gp|bandit] [--mode single|pareto] [--batch B]
+//       [--init I] [--top-k K]
+//       Budget-aware guided search (src/search) over the same
+//       {scenario x point} grid `dse` sweeps exhaustively: GP surrogate +
+//       expected improvement (or successive halving) under a trial-unit
+//       budget, default 10% of the exhaustive cost. Prints the search-op
+//       response JSON (best cell, Pareto front in pareto mode, evaluation
+//       history).
+//
 //   ftbesst verify [--differential N [--dump DIR]] [--fuzz ITERS]
 //       [--corpus DIR [--update 1] [--threads-check 0|1]]
+//       [--search-corpus DIR [--budget-frac F]]
 //       [--fold-corpus DIR [--max-unfolded-ranks R]] [--seed S]
 //       Verification harness (docs/TESTING.md): cross-engine differential
 //       checking over N generated scenarios (failures are shrunk and, with
@@ -70,6 +84,10 @@
 //       --fold-corpus prices each corpus entry through run_des with
 //       symmetry folding on and off and requires byte-identical
 //       predictions (entries above --max-unfolded-ranks run folded only).
+//       --search-corpus replays the search_*.scenario golden machines
+//       through the search_vs_exhaustive leg (guided search must hit the
+//       exhaustive optimum and cover its Pareto front within the budget,
+//       bit-identically across thread counts).
 //       Exits 1 on any disagreement, fuzz bug, or corpus mismatch.
 //
 // All file formats are the plain-text ones from model/serialize.hpp.
@@ -107,6 +125,7 @@
 #include "verify/differential.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/scenario.hpp"
+#include "verify/search_check.hpp"
 
 using namespace ftbesst;
 
@@ -114,8 +133,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ftbesst "
-               "<calibrate|fit|predict|simulate|inject|serve|client|verify> "
-               "[flags]\n"
+               "<calibrate|fit|predict|simulate|inject|search|serve|client|"
+               "verify> [flags]\n"
                "every command also accepts --obs-out DIR (write metrics.json,\n"
                "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
@@ -682,10 +701,104 @@ int cmd_client(const util::ArgParser& args) {
   return response.ok ? 0 : 1;
 }
 
+int cmd_search(const util::ArgParser& args) {
+  args.expect_known({"models", "app", "scenarios", "eprs", "nxs", "ranks",
+                     "timesteps", "trials", "seed", "mtbf-hours", "downtime",
+                     "budget", "budget-frac", "method", "mode", "batch",
+                     "init", "top-k", "samples", "obs-out"});
+  svc::RegistryOptions reg_opt;
+  reg_opt.models_dir = args.get_string("models", "");
+  reg_opt.samples = static_cast<int>(args.get_int("samples", 5));
+  std::cerr << (reg_opt.models_dir.empty()
+                    ? "calibrating models on the bundled testbed...\n"
+                    : "loading models from " + reg_opt.models_dir + "\n");
+  const svc::Registry registry = svc::Registry::open(reg_opt);
+
+  auto number = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  };
+  auto number_list = [&](const std::string& text) {
+    std::string out = "[";
+    bool first = true;
+    for (const std::string& v : util::ArgParser::split_list(text)) {
+      if (!first) out += ',';
+      first = false;
+      out += number(std::strtod(v.c_str(), nullptr));
+    }
+    return out + "]";
+  };
+
+  std::string req = "{\"op\":\"search\"";
+  const std::string app = args.get_string("app", "lulesh");
+  req += ",\"app\":" + quoted(app);
+  req += ",\"timesteps\":" +
+         std::to_string(args.get_int("timesteps", 100));
+  req += ",\"trials\":" + std::to_string(args.get_int("trials", 8));
+  req += ",\"seed\":" + std::to_string(args.get_int("seed", 42));
+  req += ",\"mtbf_hours\":" + number(args.get_double("mtbf-hours", 0.0));
+  req += ",\"downtime\":" + number(args.get_double("downtime", 10.0));
+
+  // "name=plan;name=plan" (';' because plans contain commas).
+  const std::string scen_text =
+      args.get_string("scenarios", "noft=;daly=L1:40");
+  req += ",\"scenarios\":[";
+  bool first = true;
+  std::size_t start = 0;
+  while (start <= scen_text.size()) {
+    std::size_t end = scen_text.find(';', start);
+    if (end == std::string::npos) end = scen_text.size();
+    const std::string item = scen_text.substr(start, end - start);
+    start = end + 1;
+    if (item.empty() && start > scen_text.size()) break;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("bad --scenarios entry '" + item +
+                                  "' (expected name=plan)");
+    if (!first) req += ',';
+    first = false;
+    req += "{\"name\":" + quoted(item.substr(0, eq)) +
+           ",\"plan\":" + quoted(item.substr(eq + 1)) + "}";
+  }
+  req += "]";
+
+  const char* size_flag = app == "lulesh" ? "eprs" : "nxs";
+  req += ",\"" + std::string(size_flag) + "\":" +
+         number_list(args.get_string(size_flag,
+                                     app == "lulesh" ? "8,12,16" : "32,48"));
+  req += ",\"ranks\":" + number_list(args.get_string("ranks", "8,64"));
+
+  if (args.has("budget"))
+    req += ",\"budget\":" + number(args.get_double("budget", 0.0));
+  req += ",\"budget_fraction\":" +
+         number(args.get_double("budget-frac", 0.10));
+  req += ",\"method\":" + quoted(args.get_string("method", "auto"));
+  req += ",\"mode\":" + quoted(args.get_string("mode", "single"));
+  req += ",\"batch\":" + std::to_string(args.get_int("batch", 4));
+  req += ",\"init\":" + std::to_string(args.get_int("init", 0));
+  req += ",\"top_k\":" + std::to_string(args.get_int("top-k", 0));
+  req += "}";
+
+  const svc::Json result =
+      svc::handle_request(registry, svc::Json::parse(req));
+  std::cout << result.dump() << "\n";
+  return 0;
+}
+
 int cmd_verify(const util::ArgParser& args) {
   args.expect_known({"differential", "seed", "dump", "fuzz", "corpus",
                      "update", "threads-check", "fold-corpus",
-                     "max-unfolded-ranks", "obs-out"});
+                     "max-unfolded-ranks", "search-corpus", "budget-frac",
+                     "obs-out"});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   bool ran_anything = false;
   int rc = 0;
@@ -730,9 +843,18 @@ int cmd_verify(const util::ArgParser& args) {
     if (!report.ok()) rc = 1;
   }
 
+  if (const auto search_dir = args.get("search-corpus")) {
+    ran_anything = true;
+    const verify::DiffReport report = verify::run_search_corpus(
+        *search_dir, args.get_double("budget-frac", 0.10));
+    std::cout << "search-" << report.summary();
+    if (!report.ok()) rc = 1;
+  }
+
   if (!ran_anything) {
     std::cerr << "verify needs at least one of --differential N, --fuzz "
-                 "ITERS, --corpus DIR, --fold-corpus DIR\n";
+                 "ITERS, --corpus DIR, --fold-corpus DIR, "
+                 "--search-corpus DIR\n";
     return 2;
   }
   return rc;
@@ -748,6 +870,7 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "faultlog") return cmd_faultlog(args);
   if (command == "inject") return cmd_inject(args);
   if (command == "run-experiment") return cmd_run_experiment(args);
+  if (command == "search") return cmd_search(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "client") return cmd_client(args);
   if (command == "verify") return cmd_verify(args);
