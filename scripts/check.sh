@@ -17,6 +17,16 @@
 #     generator on the Release tree, which gates cache hits being >= 100x
 #     faster than cold computations.
 #
+#   - a scaled-tier pass: the router/consistent-hash tests plus the
+#     process-level tier soak and chaos harnesses (test_tier_slow) under
+#     ThreadSanitizer — the spawned workers are the TSan-built CLI, so
+#     both sides of the wire run sanitized — plus the bench_ext_tier load
+#     generator on the Release tree, which gates a 4-worker tier at
+#     >= 2.5x the single-worker req/s at saturation, byte-identical
+#     responses versus a single-process server, and a rolling restart
+#     under load with zero non-shed failures, bounded p99, and a
+#     measurable warm-cache handoff.
+#
 #   - a verification pass: the cross-engine differential checker over 200
 #     generated scenarios, golden-corpus replay, and the in-process fuzz
 #     campaigns — the fuzz entries additionally under ASan+UBSan.
@@ -61,7 +71,7 @@
 #     --coverage-only): instrumented build + line-coverage report for
 #     src/ft and src/svc via gcovr or llvm-cov, whichever is installed.
 #
-# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]
+# Usage: scripts/check.sh [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--tier-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]
 #
 # FTBESST_THREADS caps the shared task pool's workers if the machine is
 # shared; ctest parallelism follows nproc.
@@ -74,6 +84,7 @@ run_tsan=1
 run_ubsan=1
 run_obs=1
 run_svc=1
+run_tier=1
 run_verify=1
 run_simd=1
 run_des=1
@@ -83,8 +94,8 @@ run_slow=1
 run_coverage=${FTBESST_COVERAGE:-0}
 only() {  # keep exactly one pass
   run_release=0; run_tsan=0; run_ubsan=0; run_obs=0; run_svc=0
-  run_verify=0; run_simd=0; run_des=0; run_inject=0; run_search=0
-  run_slow=0; run_coverage=0
+  run_tier=0; run_verify=0; run_simd=0; run_des=0; run_inject=0
+  run_search=0; run_slow=0; run_coverage=0
 }
 case "${1:-}" in
   --release-only) only; run_release=1 ;;
@@ -92,6 +103,7 @@ case "${1:-}" in
   --ubsan-only) only; run_ubsan=1 ;;
   --obs-only) only; run_obs=1 ;;
   --svc-only) only; run_svc=1 ;;
+  --tier-only) only; run_tier=1 ;;
   --verify-only) only; run_verify=1 ;;
   --simd-only) only; run_simd=1 ;;
   --des-only) only; run_des=1 ;;
@@ -101,7 +113,7 @@ case "${1:-}" in
   --coverage-only) only; run_coverage=1 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]" >&2
+    echo "usage: $0 [--release-only|--tsan-only|--ubsan-only|--obs-only|--svc-only|--tier-only|--verify-only|--simd-only|--des-only|--inject-only|--search-only|--slow-only|--coverage-only]" >&2
     exit 2
     ;;
 esac
@@ -202,6 +214,42 @@ if [ "$run_svc" = 1 ]; then
   cmake --build build-release -j "$jobs" --target bench_ext_svc
   ./build-release/bench/bench_ext_svc
   echo "svc pass: TSan tests + 100x cache-hit gate passed"
+fi
+
+if [ "$run_tier" = 1 ]; then
+  echo "== Scaled-tier pass (router tests + soak/chaos under TSan, bench gates) =="
+  # The router's reader/proxy/supervisor threads and the warm-handoff path
+  # are the tier's raciest code. Run the router/consistent-hash tests and
+  # the process-level soak + chaos harnesses under TSan; test_tier_slow
+  # spawns the TSan-built `ftbesst worker` binary (exec-only spawn, no
+  # fork-without-exec), so the worker side of every frame is sanitized
+  # too. Same probe-and-skip as the other sanitizer passes.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/ftbesst_tsan_probe 2>/dev/null; then
+    rm -f /tmp/ftbesst_tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTBESST_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target test_svc test_tier_slow
+    ./build-tsan/tests/test_svc \
+      --gtest_filter='Router.*:RingHash.*:HashRing.*:Server.Slowloris*:Server.PartialFrames*'
+    ./build-tsan/tests/test_tier_slow
+  else
+    echo "!! ThreadSanitizer unavailable; tier tests run unsanitized" >&2
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$jobs" --target test_svc test_tier_slow
+    ./build-release/tests/test_svc \
+      --gtest_filter='Router.*:RingHash.*:HashRing.*:Server.Slowloris*:Server.PartialFrames*'
+    ./build-release/tests/test_tier_slow
+  fi
+
+  # Load-generator gate: bench_ext_tier exits non-zero unless the 4-worker
+  # tier sustains >= 2.5x the single-worker req/s at saturation, every
+  # response is byte-identical to the single-process server's, and a
+  # rolling restart under load completes with zero non-shed failures,
+  # bounded p99, and a measurable journal-driven cache re-warm.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target bench_ext_tier
+  ./build-release/bench/bench_ext_tier > build-release/bench_ext_tier.json
+  echo "tier pass: TSan router/soak/chaos suites + scaling/identity/restart gates passed"
 fi
 
 if [ "$run_verify" = 1 ]; then

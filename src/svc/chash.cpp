@@ -1,0 +1,52 @@
+#include "svc/chash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ftbesst::svc {
+
+std::uint64_t ring_hash(std::string_view bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // splitmix64 finalizer
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(std::size_t workers, std::size_t vnodes)
+    : workers_(workers), vnodes_(vnodes) {
+  if (workers == 0) throw std::invalid_argument("HashRing needs >= 1 worker");
+  if (vnodes == 0) throw std::invalid_argument("HashRing needs >= 1 vnode");
+  points_.reserve(workers * vnodes);
+  std::string label;
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t r = 0; r < vnodes; ++r) {
+      label = "worker-" + std::to_string(w) + "#" + std::to_string(r);
+      points_.push_back({ring_hash(label), static_cast<std::uint32_t>(w)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Worker index breaks hash ties so the ring is identical no
+              // matter the insertion order.
+              return a.hash != b.hash ? a.hash < b.hash : a.worker < b.worker;
+            });
+}
+
+std::size_t HashRing::lookup(std::string_view key) const noexcept {
+  const std::uint64_t h = ring_hash(key);
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t value, const Point& p) { return value < p.hash; });
+  return it == points_.end() ? points_.front().worker : it->worker;
+}
+
+}  // namespace ftbesst::svc

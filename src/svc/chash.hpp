@@ -1,0 +1,54 @@
+#pragma once
+// Consistent hashing for the scaled serving tier.
+//
+// The router hashes each request's *canonical key* — the same
+// canonicalization the result cache uses (svc/registry.hpp
+// canonical_key) — onto a ring of virtual nodes, so:
+//
+//   * routing is a pure function of the canonical key: byte-identical
+//     requests always land on the same worker, which is what makes each
+//     worker's result cache an actual shard (and SingleFlight coalescing
+//     at the router correct);
+//   * adding or removing one worker only remaps the keys whose ring
+//     points move — ~K/N of K keys, not all of them — so a resize or a
+//     respawn does not flush every shard.
+//
+// Each worker owns `vnodes` points placed by hashing "worker-<i>#<r>";
+// a key is served by the worker owning the first point clockwise of the
+// key's hash. Point placement is deterministic, so every router instance
+// (and every test) derives the identical ring from (workers, vnodes).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ftbesst::svc {
+
+/// FNV-1a 64 over the bytes, finished with a splitmix64-style avalanche —
+/// plain FNV's high bits are too regular to place ring points evenly.
+[[nodiscard]] std::uint64_t ring_hash(std::string_view bytes) noexcept;
+
+class HashRing {
+ public:
+  /// A ring over workers [0, workers) with `vnodes` points each.
+  HashRing(std::size_t workers, std::size_t vnodes = 128);
+
+  /// The worker index owning `key` (first ring point clockwise of the
+  /// key's hash).
+  [[nodiscard]] std::size_t lookup(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] std::size_t vnodes() const noexcept { return vnodes_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t worker;
+  };
+  std::size_t workers_;
+  std::size_t vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace ftbesst::svc

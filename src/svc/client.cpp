@@ -90,29 +90,29 @@ ClientResponse Client::call(const Json& request,
   return call_raw(request.dump(), max_frame_bytes);
 }
 
-ClientResponse Client::call_raw(std::string_view payload,
-                                std::uint32_t max_frame_bytes) {
+std::string Client::exchange(std::string_view payload,
+                             std::uint32_t max_frame_bytes) {
   write_frame(fd_, payload, max_frame_bytes);
   auto reply = read_frame(fd_, max_frame_bytes);
   if (!reply)
     throw std::runtime_error("server closed the connection without a reply");
+  return std::move(*reply);
+}
 
+ClientResponse Client::call_raw(std::string_view payload,
+                                std::uint32_t max_frame_bytes) {
   ClientResponse response;
-  response.raw = std::move(*reply);
+  response.raw = exchange(payload, max_frame_bytes);
   const Json envelope = Json::parse(response.raw);
   response.ok = envelope.bool_or("ok", false);
   response.cached = envelope.bool_or("cached", false);
   if (response.ok) {
     if (const Json* result = envelope.find("result")) {
       response.result = *result;
-      // The server splices the result into the envelope as raw text after
-      // the "result" key (the first occurrence — any other can only be
-      // inside the result itself), so the exact bytes are the suffix minus
-      // the closing brace.
-      const auto pos = response.raw.find("\"result\":");
-      if (pos != std::string::npos && !response.raw.empty())
-        response.result_bytes = response.raw.substr(
-            pos + 9, response.raw.size() - pos - 10);
+      // Envelopes are canonical JSON, so the exact result bytes are
+      // recoverable from the fixed success-envelope prefix.
+      if (const auto bytes = extract_result_bytes(response.raw))
+        response.result_bytes = std::string(*bytes);
     }
   } else {
     response.code = envelope.string_or("code", "");

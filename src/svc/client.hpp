@@ -49,6 +49,12 @@ class Client {
   /// Same, but sends pre-serialized bytes (for malformed-input tests).
   ClientResponse call_raw(std::string_view payload,
                           std::uint32_t max_frame_bytes = kMaxFrameBytes);
+  /// Raw round trip: send pre-serialized bytes, return the reply payload
+  /// verbatim without decoding the envelope. This is the router's proxy
+  /// primitive — the reply bytes are forwarded to the client untouched, so
+  /// tier responses stay byte-identical to single-process ones.
+  std::string exchange(std::string_view payload,
+                       std::uint32_t max_frame_bytes = kMaxFrameBytes);
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
 

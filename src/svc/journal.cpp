@@ -1,0 +1,60 @@
+#include "svc/journal.hpp"
+
+#include <utility>
+
+namespace ftbesst::svc {
+
+WarmJournal::WarmJournal(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries == 0 ? 1 : max_entries),
+      max_bytes_(max_bytes) {}
+
+void WarmJournal::record(std::string_view key, std::string_view result_bytes) {
+  // An entry larger than the whole budget can never be replayed; don't let
+  // it flush everything else on its way through.
+  if (key.size() + result_bytes.size() > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    auto node = it->second;
+    bytes_ -= node->key.size() + node->result.size();
+    node->result.assign(result_bytes);
+    bytes_ += node->key.size() + node->result.size();
+    mru_.splice(mru_.begin(), mru_, node);
+    return;
+  }
+  mru_.push_front(Entry{std::string(key), std::string(result_bytes)});
+  index_.emplace(std::string_view(mru_.front().key), mru_.begin());
+  bytes_ += key.size() + result_bytes.size();
+  evict_over_budget();
+}
+
+void WarmJournal::evict_over_budget() {
+  while (mru_.size() > max_entries_ || bytes_ > max_bytes_) {
+    const Entry& victim = mru_.back();
+    bytes_ -= victim.key.size() + victim.result.size();
+    index_.erase(std::string_view(victim.key));
+    mru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::vector<WarmJournal::Entry> WarmJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {mru_.begin(), mru_.end()};
+}
+
+std::size_t WarmJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mru_.size();
+}
+
+std::size_t WarmJournal::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t WarmJournal::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace ftbesst::svc

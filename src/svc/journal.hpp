@@ -1,0 +1,58 @@
+#pragma once
+// Bounded journal of recently cached responses, for warm-cache handoff.
+//
+// The router records every cacheable success it proxies as
+// {canonical key -> result bytes}. When a worker is respawned (crash
+// recovery or rolling restart), the journal entries whose keys hash to
+// that worker's ring range are replayed through the tier-internal `warm`
+// op, so the new shard answers its recent working set from cache instead
+// of recomputing it. Bounded by entry count and total bytes (MRU keeps
+// the hot set, eviction drops the cold tail) — this is a re-warm
+// accelerator, not a durability log.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ftbesst::svc {
+
+class WarmJournal {
+ public:
+  WarmJournal(std::size_t max_entries, std::size_t max_bytes);
+
+  /// Record (or refresh) one cached response. Thread-safe. A key already
+  /// journaled moves to the MRU position and adopts the new bytes.
+  void record(std::string_view key, std::string_view result_bytes);
+
+  struct Entry {
+    std::string key;
+    std::string result;
+  };
+  /// MRU-first copy of the journal (taken under the lock; replay happens
+  /// off-lock).
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  void evict_over_budget();
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> mru_;  ///< front = most recent
+  /// Views into mru_ entries' keys — std::list iterators and the strings
+  /// they point at are stable across splice/erase of *other* nodes.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ftbesst::svc

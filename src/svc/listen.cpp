@@ -1,0 +1,110 @@
+#include "svc/listen.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace ftbesst::svc {
+
+void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+int bind_unix(const std::string& path, bool* bound) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  set_cloexec(fd);
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool alive =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0;
+    ::close(probe);
+    if (alive) {
+      ::close(fd);
+      throw std::system_error(
+          EADDRINUSE, std::generic_category(),
+          "unix socket in use by a running server: " + path);
+    }
+  }
+  ::unlink(path.c_str());  // stale or absent
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind(unix socket)");
+  }
+  if (bound) *bound = true;
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw_errno("listen(unix socket)");
+  }
+  try {
+    set_nonblocking(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+int bind_tcp(int port, int* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind(127.0.0.1 tcp)");
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  if (bound_port) *bound_port = ntohs(bound.sin_port);
+  try {
+    set_nonblocking(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+}  // namespace ftbesst::svc

@@ -1,6 +1,7 @@
 #include "svc/registry.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <stdexcept>
@@ -71,6 +72,39 @@ std::string RestartCostModel::describe() const {
 Registry::Registry(std::shared_ptr<const core::ArchBEO> arch)
     : arch_(std::move(arch)) {
   if (!arch_) throw std::invalid_argument("Registry: null architecture");
+}
+
+Registry Registry::analytic() {
+  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
+  auto arch =
+      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
+  arch->bind_kernel(apps::kLuleshTimestep,
+                    std::make_shared<model::ConstantModel>(0.01));
+  arch->bind_kernel(apps::kStencilSweep,
+                    std::make_shared<model::ConstantModel>(0.005));
+  for (int level = 1; level <= 4; ++level)
+    arch->bind_kernel(
+        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
+        std::make_shared<model::ConstantModel>(0.002 * level));
+  return Registry{std::shared_ptr<const core::ArchBEO>(std::move(arch))};
+}
+
+std::size_t Registry::save_models(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> kernels = serving_kernels();
+  kernels.push_back(apps::kStencilSweep);
+  std::size_t written = 0;
+  for (const std::string& kernel : kernels) {
+    if (!arch_->has_kernel(kernel)) continue;
+    const std::string path = dir + "/" + kernel + ".model";
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write model file " + path);
+    model::save_model(os, arch_->kernel(kernel));
+    if (!os.good())
+      throw std::runtime_error("short write on model file " + path);
+    ++written;
+  }
+  return written;
 }
 
 Registry Registry::open(const RegistryOptions& options) {

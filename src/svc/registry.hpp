@@ -88,6 +88,20 @@ class Registry {
   /// analytic models directly instead of fitting).
   explicit Registry(std::shared_ptr<const core::ArchBEO> arch);
 
+  /// The cheap deterministic registry used by the svc tests, the tier
+  /// soak/chaos harness, and bench_ext_tier: a small fat-tree with constant
+  /// kernel models, so byte-identity comparisons across processes never
+  /// depend on a calibration run.
+  [[nodiscard]] static Registry analytic();
+
+  /// Persist every bound serving kernel to `dir/<kernel>.model` (the same
+  /// artifact layout RegistryOptions::models_dir loads). This is the tier's
+  /// calibrate-once warm start: the router process calibrates (or loads),
+  /// saves here, and spawned workers reload instead of re-fitting. Creates
+  /// `dir` if needed; throws std::runtime_error when a file cannot be
+  /// written. Returns the number of model files written.
+  std::size_t save_models(const std::string& dir) const;
+
   [[nodiscard]] const core::ArchBEO& arch() const noexcept { return *arch_; }
 
   /// Per-kernel validation MAPE reports from calibrate mode (empty when

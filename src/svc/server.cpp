@@ -1,24 +1,18 @@
 #include "svc/server.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
-#include <cstring>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
 
 #include "model/expr_simd.hpp"
 #include "obs/obs.hpp"
+#include "svc/listen.hpp"
 
 namespace ftbesst::svc {
 
@@ -32,6 +26,8 @@ struct ServerMetrics {
   obs::Counter rejected_shutdown = obs::counter("svc.rejected.shutdown");
   obs::Counter bad_requests = obs::counter("svc.bad_requests");
   obs::Counter coalesced = obs::counter("svc.coalesced");
+  obs::Counter read_timeouts = obs::counter("svc.read_timeouts");
+  obs::Counter warmed = obs::counter("svc.worker.warmed");
   obs::Histogram request_seconds = obs::histogram(
       "svc.request_seconds",
       {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 300.0});
@@ -40,41 +36,6 @@ struct ServerMetrics {
 ServerMetrics& metrics() {
   static ServerMetrics m;
   return m;
-}
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-    throw_errno("fcntl(O_NONBLOCK)");
-}
-
-void set_cloexec(int fd) {
-  const int flags = ::fcntl(fd, F_GETFD, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
-}
-
-std::string error_payload(std::string_view code, std::string_view message) {
-  JsonObject obj;
-  obj.emplace("ok", Json(false));
-  obj.emplace("code", Json(std::string(code)));
-  obj.emplace("error", Json(std::string(message)));
-  return Json(std::move(obj)).dump();
-}
-
-// The result payload is already serialized JSON; splicing it in as raw text
-// keeps a cache hit's result bytes identical to the cold computation's.
-std::string ok_payload(bool cached, std::string_view result_json) {
-  std::string out;
-  out.reserve(result_json.size() + 40);
-  out += cached ? "{\"cached\":true,\"ok\":true,\"result\":"
-                : "{\"cached\":false,\"ok\":true,\"result\":";
-  out += result_json;
-  out += '}';
-  return out;
 }
 
 // Signal plumbing: the handler may only touch async-signal-safe state, so
@@ -88,29 +49,6 @@ void handle_stop_signal(int) {
 }
 
 }  // namespace
-
-struct Server::Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
-  ~Connection() {
-    if (fd >= 0) ::close(fd);
-  }
-  Connection(const Connection&) = delete;
-  Connection& operator=(const Connection&) = delete;
-
-  /// Break the socket without freeing the fd number: tasks may still hold a
-  /// reference and attempt a write, which must fail with EPIPE/ENOTCONN
-  /// rather than land on a recycled descriptor. close() happens in the
-  /// destructor, once the last shared_ptr drops.
-  void close_socket() noexcept {
-    if (open.exchange(false, std::memory_order_acq_rel))
-      ::shutdown(fd, SHUT_RDWR);
-  }
-
-  const int fd;
-  std::string buffer;       ///< event-loop-owned read accumulator
-  std::mutex write_mutex;   ///< serializes response frames
-  std::atomic<bool> open{true};
-};
 
 Server::Server(std::shared_ptr<const Registry> registry, ServerOptions options)
     : registry_(std::move(registry)),
@@ -183,76 +121,10 @@ void Server::start_impl(bool& unix_bound) {
     set_cloexec(fd);
   }
 
-  if (!options_.unix_socket_path.empty()) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path))
-      throw std::invalid_argument("unix socket path too long: " +
-                                  options_.unix_socket_path);
-    std::memcpy(addr.sun_path, options_.unix_socket_path.c_str(),
-                options_.unix_socket_path.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket(AF_UNIX)");
-    set_cloexec(fd);
-    // A leftover socket file is only removed when nothing answers on it
-    // (stale from a crash). A live daemon accepts the connect() probe, and
-    // unlinking its path would silently black-hole its future clients.
-    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (probe >= 0) {
-      const bool alive = ::connect(probe,
-                                   reinterpret_cast<const sockaddr*>(&addr),
-                                   sizeof(addr)) == 0;
-      ::close(probe);
-      if (alive) {
-        ::close(fd);
-        throw std::system_error(EADDRINUSE, std::generic_category(),
-                                "unix socket in use by a running server: " +
-                                    options_.unix_socket_path);
-      }
-    }
-    ::unlink(options_.unix_socket_path.c_str());  // stale or absent
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd);
-      throw_errno("bind(unix socket)");
-    }
-    unix_bound = true;
-    if (::listen(fd, 128) != 0) {
-      ::close(fd);
-      throw_errno("listen(unix socket)");
-    }
-    unix_listener_.fd = fd;  // owned by the catch-cleanup from here on
-    set_nonblocking(fd);
-  }
-
-  if (options_.tcp_port >= 0) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket(AF_INET)");
-    set_cloexec(fd);
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd);
-      throw_errno("bind(127.0.0.1 tcp)");
-    }
-    if (::listen(fd, 128) != 0) {
-      ::close(fd);
-      throw_errno("listen(tcp)");
-    }
-    tcp_listener_.fd = fd;  // owned by the catch-cleanup from here on
-    sockaddr_in bound{};
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-        0)
-      throw_errno("getsockname");
-    bound_tcp_port_ = ntohs(bound.sin_port);
-    set_nonblocking(fd);
-  }
+  if (!options_.unix_socket_path.empty())
+    unix_listener_.fd = bind_unix(options_.unix_socket_path, &unix_bound);
+  if (options_.tcp_port >= 0)
+    tcp_listener_.fd = bind_tcp(options_.tcp_port, &bound_tcp_port_);
 
   loop_thread_ = std::thread([this] { event_loop(); });
 }
@@ -282,25 +154,8 @@ void Server::shutdown() {
   }
 }
 
-void Server::accept_on(Listener& listener) {
-  while (true) {
-    const int fd = ::accept(listener.fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept errors (ECONNABORTED, EMFILE): keep serving
-    }
-    set_cloexec(fd);
-    // Connection fds stay *blocking*: the event loop issues exactly one
-    // read() per POLLIN (never blocks with data pending) and pool tasks
-    // want blocking write_full semantics for large responses.
-    connections_.push_back(std::make_shared<Connection>(fd));
-    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
 void Server::event_loop() {
   bool listeners_closed = false;
-  std::vector<pollfd> fds;
   const auto close_listeners = [this, &listeners_closed] {
     if (listeners_closed) return;
     listeners_closed = true;
@@ -312,68 +167,46 @@ void Server::event_loop() {
       ::unlink(options_.unix_socket_path.c_str());
   };
 
-  while (true) {
-    if (draining()) {
-      close_listeners();
-      if (in_flight_.load(std::memory_order_acquire) == 0) {
-        tasks_.wait();  // joins the last tasks past their final decrement
-        break;
-      }
-    }
+  ReadLoop::Hooks hooks;
+  hooks.on_accept = [this](const std::shared_ptr<Conn>&) {
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+  };
+  hooks.on_frame = [this](const std::shared_ptr<Conn>& conn,
+                          std::string&& frame) {
+    admit(conn, std::move(frame));
+  };
+  hooks.on_frame_error = [this](const std::shared_ptr<Conn>& conn,
+                                const char* what) {
+    reject_inline(conn, "bad_request", what);
+    conn->close_socket();
+  };
+  hooks.on_read_timeout = [this](const std::shared_ptr<Conn>& conn) {
+    read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    metrics().read_timeouts.add();
+    reject_inline(conn, "read_timeout",
+                  "no complete frame within the read deadline");
+    conn->close_socket();
+  };
+  hooks.tick = [this, &close_listeners](ReadLoop& loop) {
+    if (!draining()) return false;
+    loop.stop_accepting();
+    close_listeners();
+    if (in_flight_.load(std::memory_order_acquire) != 0) return false;
+    tasks_.wait();  // joins the last tasks past their final decrement
+    return true;
+  };
 
-    fds.clear();
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
-    std::ptrdiff_t unix_idx = -1, tcp_idx = -1;
-    if (!listeners_closed) {
-      if (unix_listener_.fd >= 0) {
-        unix_idx = static_cast<std::ptrdiff_t>(fds.size());
-        fds.push_back({unix_listener_.fd, POLLIN, 0});
-      }
-      if (tcp_listener_.fd >= 0) {
-        tcp_idx = static_cast<std::ptrdiff_t>(fds.size());
-        fds.push_back({tcp_listener_.fd, POLLIN, 0});
-      }
-    }
-    const std::size_t conn_base = fds.size();
-    for (const auto& conn : connections_)
-      fds.push_back({conn->fd, POLLIN, 0});
-
-    // 50ms cap so drain-completion and stray wakeups are always noticed.
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;  // unrecoverable poll failure: drain and stop
-    }
-
-    if (fds[0].revents & POLLIN) {
-      char buf[64];
-      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
-      }
-    }
-
-    if (unix_idx >= 0 && (fds[static_cast<std::size_t>(unix_idx)].revents &
-                          POLLIN))
-      accept_on(unix_listener_);
-    if (tcp_idx >= 0 &&
-        (fds[static_cast<std::size_t>(tcp_idx)].revents & POLLIN))
-      accept_on(tcp_listener_);
-
-    // accept_on() appends to connections_, so only the first fds.size() -
-    // conn_base entries have poll results; new arrivals wait a tick.
-    const std::size_t polled = fds.size() - conn_base;
-    for (std::size_t i = 0; i < polled && i < connections_.size(); ++i) {
-      const short revents = fds[conn_base + i].revents;
-      if (revents & (POLLIN | POLLHUP | POLLERR))
-        handle_readable(connections_[i]);
-    }
-
-    std::erase_if(connections_, [](const std::shared_ptr<Connection>& conn) {
-      return !conn->open.load(std::memory_order_acquire);
-    });
+  {
+    ReadLoop loop(
+        ReadLoopOptions{options_.max_frame_bytes, options_.read_deadline_ms,
+                        50},
+        std::move(hooks));
+    std::vector<int> listeners;
+    if (unix_listener_.fd >= 0) listeners.push_back(unix_listener_.fd);
+    if (tcp_listener_.fd >= 0) listeners.push_back(tcp_listener_.fd);
+    loop.run(listeners, wake_pipe_[0]);
   }
 
-  for (const auto& conn : connections_) conn->close_socket();
-  connections_.clear();
   close_listeners();
 
   {
@@ -383,38 +216,7 @@ void Server::event_loop() {
   stop_cv_.notify_all();
 }
 
-void Server::handle_readable(const std::shared_ptr<Connection>& conn) {
-  char buf[64 * 1024];
-  const ssize_t n = ::read(conn->fd, buf, sizeof buf);
-  if (n == 0) {  // peer closed
-    conn->close_socket();
-    return;
-  }
-  if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-    conn->close_socket();
-    return;
-  }
-  conn->buffer.append(buf, static_cast<std::size_t>(n));
-
-  std::string frame;
-  while (true) {
-    try {
-      if (!extract_frame(conn->buffer, frame, options_.max_frame_bytes)) break;
-    } catch (const std::exception& e) {
-      // Oversized frame announcement: the stream is unrecoverable (we
-      // cannot resynchronize), so answer once and drop the connection.
-      reject_inline(conn, "bad_request", e.what());
-      conn->close_socket();
-      return;
-    }
-    admit(conn, std::move(frame));
-    if (!conn->open.load(std::memory_order_acquire)) return;
-  }
-}
-
-void Server::admit(const std::shared_ptr<Connection>& conn,
-                   std::string frame) {
+void Server::admit(const std::shared_ptr<Conn>& conn, std::string frame) {
   if (draining()) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     metrics().rejected_shutdown.add();
@@ -441,8 +243,36 @@ void Server::admit(const std::shared_ptr<Connection>& conn,
   });
 }
 
-void Server::execute(const std::shared_ptr<Connection>& conn,
-                     std::string frame, std::uint64_t arrival_ns) {
+std::string Server::warm_cache(const Json& request) {
+  // Tier-internal bulk load: the router replays its journal of recently
+  // cached {canonical key -> result bytes} pairs into a respawned worker's
+  // shard so the first post-restart requests hit warm. Entries embed the
+  // result payload as a JSON string; the escape round-trip is lossless, so
+  // warmed hits stay byte-identical to the original cold computation.
+  const Json* entries = request.find("entries");
+  if (!entries || !entries->is_array())
+    throw std::invalid_argument("warm needs an \"entries\" array");
+  std::uint64_t loaded = 0;
+  for (const Json& entry : entries->as_array()) {
+    if (!entry.is_object())
+      throw std::invalid_argument("warm entries must be objects");
+    const std::string key = entry.string_or("key", "");
+    const Json* result = entry.find("result");
+    if (key.empty() || !result || !result->is_string())
+      throw std::invalid_argument(
+          "warm entries need \"key\" and string \"result\"");
+    cache_.put(key, std::make_shared<const std::string>(result->as_string()));
+    ++loaded;
+  }
+  warmed_.fetch_add(loaded, std::memory_order_relaxed);
+  metrics().warmed.add(loaded);
+  JsonObject result;
+  result.emplace("warmed", Json(loaded));
+  return ok_payload(false, Json(std::move(result)).dump());
+}
+
+void Server::execute(const std::shared_ptr<Conn>& conn, std::string frame,
+                     std::uint64_t arrival_ns) {
   // Everything below must reach the decrement: drain-completion counts on
   // it, and the reply (or the attempt) has happened by then.
   try {
@@ -454,7 +284,8 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
     } catch (const std::exception& e) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       metrics().bad_requests.add();
-      reply(conn, error_payload("bad_request", e.what()));
+      conn->send_frame(error_payload("bad_request", e.what()),
+                       options_.max_frame_bytes);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
@@ -467,11 +298,12 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       if (waited_ms > deadline_ms) {
         rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
         metrics().rejected_deadline.add();
-        reply(conn, error_payload(
-                        "deadline",
-                        "deadline of " + std::to_string(deadline_ms) +
-                            " ms expired while queued (waited " +
-                            std::to_string(waited_ms) + " ms)"));
+        conn->send_frame(
+            error_payload("deadline",
+                          "deadline of " + std::to_string(deadline_ms) +
+                              " ms expired while queued (waited " +
+                              std::to_string(waited_ms) + " ms)"),
+            options_.max_frame_bytes);
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         return;
       }
@@ -489,7 +321,7 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       JsonObject result;
       result.emplace("draining", Json(true));
       payload = ok_payload(false, Json(std::move(result)).dump());
-      reply(conn, payload);
+      conn->send_frame(payload, options_.max_frame_bytes);
       completed_.fetch_add(1, std::memory_order_relaxed);
       metrics().completed.add();
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -506,6 +338,17 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       JsonObject result;
       result.emplace("slept_ms", Json(ms));
       payload = ok_payload(false, Json(std::move(result)).dump());
+    } else if (op == "warm") {
+      try {
+        payload = warm_cache(request);
+      } catch (const std::invalid_argument& e) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        metrics().bad_requests.add();
+        conn->send_frame(error_payload("bad_request", e.what()),
+                         options_.max_frame_bytes);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
     } else if (op == "predict" || op == "simulate" || op == "inject" ||
                op == "dse" || op == "search") {
       try {
@@ -558,25 +401,28 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
       } catch (const std::invalid_argument& e) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         metrics().bad_requests.add();
-        reply(conn, error_payload("bad_request", e.what()));
+        conn->send_frame(error_payload("bad_request", e.what()),
+                         options_.max_frame_bytes);
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         return;
       }
     } else {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       metrics().bad_requests.add();
-      reply(conn, error_payload(
-                      "bad_request",
-                      op.empty()
-                          ? std::string("missing \"op\" field")
-                          : "unknown op '" + op +
-                                "' (valid: ping, stats, predict, simulate, "
-                                "inject, dse, search, sleep, shutdown)"));
+      conn->send_frame(
+          error_payload("bad_request",
+                        op.empty()
+                            ? std::string("missing \"op\" field")
+                            : "unknown op '" + op +
+                                  "' (valid: ping, stats, predict, simulate, "
+                                  "inject, dse, search, sleep, warm, "
+                                  "shutdown)"),
+          options_.max_frame_bytes);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
 
-    reply(conn, payload);
+    conn->send_frame(payload, options_.max_frame_bytes);
     completed_.fetch_add(1, std::memory_order_relaxed);
     metrics().completed.add();
     metrics().request_seconds.observe(
@@ -584,44 +430,20 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
   } catch (const std::exception& e) {
     // Engine/system failure: still answer so the client is not left
     // hanging, and keep the daemon alive.
-    reply(conn, error_payload("internal", e.what()));
+    conn->send_frame(error_payload("internal", e.what()),
+                     options_.max_frame_bytes);
   } catch (...) {
-    reply(conn, error_payload("internal", "unknown error"));
+    conn->send_frame(error_payload("internal", "unknown error"),
+                     options_.max_frame_bytes);
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void Server::reply(const std::shared_ptr<Connection>& conn,
-                   std::string_view payload) {
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (!conn->open.load(std::memory_order_acquire)) return;
-  try {
-    write_frame(conn->fd, payload, options_.max_frame_bytes);
-  } catch (const std::exception&) {
-    conn->close_socket();  // peer gone mid-write; event loop sweeps it
-  }
-}
-
-void Server::reject_inline(const std::shared_ptr<Connection>& conn,
+void Server::reject_inline(const std::shared_ptr<Conn>& conn,
                            std::string_view code, std::string_view message) {
   // Runs on the event loop, which must never block: one non-blocking send
-  // attempt. A client too stalled to take a 100-byte rejection (or whose
-  // connection is busy with a large in-progress response) gets dropped —
-  // shedding the slow consumer instead of the whole accept path.
-  const std::string payload = error_payload(code, message);
-  std::unique_lock<std::mutex> lock(conn->write_mutex, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    conn->close_socket();
-    return;
-  }
-  if (!conn->open.load(std::memory_order_acquire)) return;
-  unsigned char header[4];
-  encode_length(static_cast<std::uint32_t>(payload.size()), header);
-  std::string frame(reinterpret_cast<const char*>(header), 4);
-  frame += payload;
-  const ssize_t n =
-      ::send(conn->fd, frame.data(), frame.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
-  if (n != static_cast<ssize_t>(frame.size())) conn->close_socket();
+  // attempt; a too-slow client is dropped instead of wedging the loop.
+  conn->try_send_frame(error_payload(code, message));
 }
 
 std::string Server::stats_json() const {
@@ -633,6 +455,7 @@ std::string Server::stats_json() const {
   cache.emplace("entries", Json(s.cache.entries));
   cache.emplace("bytes", Json(s.cache.bytes));
   JsonObject obj;
+  obj.emplace("name", Json(options_.name));
   obj.emplace("accepted_connections", Json(s.accepted_connections));
   obj.emplace("requests", Json(s.requests));
   obj.emplace("completed", Json(s.completed));
@@ -641,6 +464,8 @@ std::string Server::stats_json() const {
   obj.emplace("rejected_shutdown", Json(s.rejected_shutdown));
   obj.emplace("bad_requests", Json(s.bad_requests));
   obj.emplace("coalesced", Json(s.coalesced));
+  obj.emplace("read_timeouts", Json(s.read_timeouts));
+  obj.emplace("warmed", Json(s.warmed));
   obj.emplace("searches", Json(s.searches));
   obj.emplace("search_warm_hits", Json(s.search_warm_hits));
   obj.emplace("search_evaluations", Json(s.search_evaluations));
@@ -667,6 +492,8 @@ Server::Stats Server::stats() const {
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  s.warmed = warmed_.load(std::memory_order_relaxed);
   s.searches = searches_.load(std::memory_order_relaxed);
   s.search_warm_hits = search_warm_hits_.load(std::memory_order_relaxed);
   s.search_evaluations =

@@ -6,22 +6,23 @@
 //   accept -> event loop (poll) -> frame decode -> ADMISSION -> TaskPool
 //     -> deadline check -> cache lookup -> [single-flight compute] -> reply
 //
-// One event-loop thread owns every socket read: it accepts connections on
-// a Unix-domain listener and/or a localhost TCP listener, buffers bytes
-// per connection, and peels off complete length-prefixed frames. Admission
-// is where backpressure lives: at most `queue_capacity` requests may be
-// queued-or-executing at once; a frame arriving beyond that is answered
-// immediately with an explicit overload rejection (shed, never stall) and
-// the connection stays healthy. Admitted requests become tasks on the
-// shared util::TaskPool — the same pool the engines fan trials onto, so a
-// request that runs a DSE sweep composes with its own nested parallelism
-// instead of oversubscribing the machine.
+// One event-loop thread (a svc::ReadLoop) owns every socket read: it
+// accepts connections on a Unix-domain listener and/or a localhost TCP
+// listener, buffers bytes per connection, and peels off complete
+// length-prefixed frames. Admission is where backpressure lives: at most
+// `queue_capacity` requests may be queued-or-executing at once; a frame
+// arriving beyond that is answered immediately with an explicit overload
+// rejection (shed, never stall) and the connection stays healthy. Admitted
+// requests become tasks on the shared util::TaskPool — the same pool the
+// engines fan trials onto, so a request that runs a DSE sweep composes
+// with its own nested parallelism instead of oversubscribing the machine.
 //
 // Responses are written by the pool task that computed them, serialized
 // per-connection by a write mutex (the event loop only writes rejection
 // replies, using a non-blocking attempt so a stalled client can never
 // wedge the accept path — if the reject reply would block, the connection
-// is dropped instead).
+// is dropped instead). An optional per-connection read deadline closes
+// slowloris connections that park a half-written frame on the loop.
 //
 // Lifecycle: shutdown() (from the `shutdown` op, SIGTERM/SIGINT via
 // install_signal_handlers, or the embedding test) closes the listeners,
@@ -35,6 +36,11 @@
 //   {"code":"<machine code>","error":"<message>","ok":false}
 // The result bytes of a cache hit are byte-identical to the cold
 // computation's — the cache stores the serialized result payload itself.
+//
+// In the scaled tier (svc/router.hpp) a Server instance is one worker
+// shard: the router consistent-hashes canonical request keys across N of
+// these, and the tier-internal `warm` op bulk-loads journaled
+// {key -> result} pairs into the shard's cache after a respawn.
 
 #include <atomic>
 #include <condition_variable>
@@ -46,6 +52,7 @@
 #include <vector>
 
 #include "svc/cache.hpp"
+#include "svc/conn.hpp"
 #include "svc/registry.hpp"
 #include "svc/wire.hpp"
 #include "util/task_pool.hpp"
@@ -69,6 +76,13 @@ struct ServerOptions {
   /// passed when a worker picks it up is answered {"code":"deadline"}
   /// without computing.
   double default_deadline_ms = 0.0;
+  /// Per-connection read deadline in ms: a connection that holds a partial
+  /// frame this long is answered {"code":"read_timeout"} and closed, so a
+  /// slowloris client cannot pin loop state forever. 0 = off.
+  double read_deadline_ms = 0.0;
+  /// Instance name surfaced in the stats op ("worker-3"); empty for the
+  /// standalone daemon.
+  std::string name;
   CacheConfig cache;
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
 };
@@ -108,6 +122,8 @@ class Server {
     std::uint64_t rejected_shutdown = 0;
     std::uint64_t bad_requests = 0;       ///< parse/validation failures
     std::uint64_t coalesced = 0;          ///< single-flight followers
+    std::uint64_t read_timeouts = 0;      ///< slowloris connections dropped
+    std::uint64_t warmed = 0;             ///< cache entries loaded via `warm`
     std::uint64_t searches = 0;           ///< cold search-op computations
     std::uint64_t search_warm_hits = 0;   ///< cells warm-started from cache
     std::uint64_t search_evaluations = 0; ///< cells searches priced cold
@@ -118,7 +134,6 @@ class Server {
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
 
  private:
-  struct Connection;
   struct Listener {
     int fd = -1;
   };
@@ -129,15 +144,12 @@ class Server {
   /// immediately) and start() may be retried.
   void start_impl(bool& unix_bound);
   void event_loop();
-  void handle_readable(const std::shared_ptr<Connection>& conn);
-  void admit(const std::shared_ptr<Connection>& conn, std::string frame);
-  void execute(const std::shared_ptr<Connection>& conn, std::string frame,
+  void admit(const std::shared_ptr<Conn>& conn, std::string frame);
+  void execute(const std::shared_ptr<Conn>& conn, std::string frame,
                std::uint64_t arrival_ns);
-  void reply(const std::shared_ptr<Connection>& conn,
-             std::string_view payload);
-  void reject_inline(const std::shared_ptr<Connection>& conn,
-                     std::string_view code, std::string_view message);
-  void accept_on(Listener& listener);
+  void reject_inline(const std::shared_ptr<Conn>& conn, std::string_view code,
+                     std::string_view message);
+  [[nodiscard]] std::string warm_cache(const Json& request);
   [[nodiscard]] std::string stats_json() const;
   [[nodiscard]] bool draining() const noexcept {
     return draining_.load(std::memory_order_acquire);
@@ -160,10 +172,6 @@ class Server {
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
 
-  // Event-loop-owned connection table (no lock: only that thread touches
-  // it). Tasks hold their own shared_ptr to the connection they answer.
-  std::vector<std::shared_ptr<Connection>> connections_;
-
   std::atomic<std::size_t> in_flight_{0};
   util::TaskGroup tasks_;
 
@@ -176,6 +184,8 @@ class Server {
   std::atomic<std::uint64_t> rejected_shutdown_{0};
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
+  std::atomic<std::uint64_t> warmed_{0};
   std::atomic<std::uint64_t> searches_{0};
   std::atomic<std::uint64_t> search_warm_hits_{0};
   std::atomic<std::uint64_t> search_evaluations_{0};

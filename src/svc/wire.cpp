@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "svc/json.hpp"
 #include "util/io.hpp"
 
 namespace ftbesst::svc {
@@ -49,6 +50,46 @@ std::optional<std::string> read_frame(int fd, std::uint32_t max_bytes) {
   if (util::read_full(fd, payload.data(), n) != n)
     throw std::runtime_error("svc: EOF inside frame payload");
   return payload;
+}
+
+std::string error_payload(std::string_view code, std::string_view message) {
+  JsonObject obj;
+  obj.emplace("ok", Json(false));
+  obj.emplace("code", Json(std::string(code)));
+  obj.emplace("error", Json(std::string(message)));
+  return Json(std::move(obj)).dump();
+}
+
+std::string ok_payload(bool cached, std::string_view result_json) {
+  std::string out;
+  out.reserve(result_json.size() + 40);
+  out += cached ? "{\"cached\":true,\"ok\":true,\"result\":"
+                : "{\"cached\":false,\"ok\":true,\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+std::optional<std::string_view> extract_result_bytes(std::string_view payload) {
+  constexpr std::string_view kCold = "{\"cached\":false,\"ok\":true,\"result\":";
+  constexpr std::string_view kHot = "{\"cached\":true,\"ok\":true,\"result\":";
+  std::size_t prefix = 0;
+  if (payload.starts_with(kCold))
+    prefix = kCold.size();
+  else if (payload.starts_with(kHot))
+    prefix = kHot.size();
+  else
+    return std::nullopt;
+  if (payload.size() <= prefix || payload.back() != '}') return std::nullopt;
+  return payload.substr(prefix, payload.size() - prefix - 1);
+}
+
+std::string_view error_code(std::string_view payload) {
+  constexpr std::string_view kPrefix = "{\"code\":\"";
+  if (!payload.starts_with(kPrefix)) return {};
+  const std::size_t end = payload.find('"', kPrefix.size());
+  if (end == std::string_view::npos) return {};
+  return payload.substr(kPrefix.size(), end - kPrefix.size());
 }
 
 bool extract_frame(std::string& buffer, std::string& out,

@@ -42,4 +42,33 @@ void write_frame(int fd, std::string_view payload,
 [[nodiscard]] std::uint32_t decode_length(const unsigned char header[4]);
 void encode_length(std::uint32_t n, unsigned char header[4]);
 
+// ---- Reply envelopes ------------------------------------------------------
+//
+// Every reply payload is one of two canonical-JSON envelopes:
+//   {"cached":<bool>,"ok":true,"result":<result-json>}
+//   {"code":"<machine code>","error":"<message>","ok":false}
+// Because canonical JSON sorts keys, both shapes are recognizable from a
+// fixed prefix, which lets the router inspect and re-wrap proxied replies
+// without parsing (and without perturbing the result bytes).
+
+/// Build the error envelope for a machine-readable code plus message.
+[[nodiscard]] std::string error_payload(std::string_view code,
+                                        std::string_view message);
+
+/// Build the success envelope around already-serialized result JSON. The
+/// result is spliced in as raw text so a cache hit's result bytes are
+/// identical to the cold computation's.
+[[nodiscard]] std::string ok_payload(bool cached, std::string_view result_json);
+
+/// If `payload` is a success envelope, a view of the raw result bytes
+/// (everything after `"result":` minus the closing brace); std::nullopt
+/// for error envelopes or foreign payloads. The view aliases `payload`.
+[[nodiscard]] std::optional<std::string_view> extract_result_bytes(
+    std::string_view payload);
+
+/// If `payload` is an error envelope, the machine code (e.g. "overload");
+/// empty for success envelopes or foreign payloads. The view aliases
+/// `payload`.
+[[nodiscard]] std::string_view error_code(std::string_view payload);
+
 }  // namespace ftbesst::svc

@@ -1,0 +1,76 @@
+#include "svc/worker.hpp"
+
+#include <spawn.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+extern char** environ;
+
+namespace ftbesst::svc {
+
+namespace {
+
+ServerOptions to_server_options(const WorkerOptions& options) {
+  ServerOptions server;
+  server.unix_socket_path = options.socket_path;
+  server.tcp_port = -1;  // tier workers are unix-socket only
+  server.queue_capacity = options.queue_capacity;
+  server.default_deadline_ms = options.default_deadline_ms;
+  server.read_deadline_ms = options.read_deadline_ms;
+  server.name = options.name;
+  server.cache = options.cache;
+  server.max_frame_bytes = options.max_frame_bytes;
+  return server;
+}
+
+}  // namespace
+
+Worker::Worker(std::shared_ptr<const Registry> registry, WorkerOptions options)
+    : server_(std::move(registry), to_server_options(options)) {}
+
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& extra_env) {
+  if (argv.empty()) throw std::invalid_argument("spawn_process: empty argv");
+
+  std::vector<char*> argv_ptrs;
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const std::string& arg : argv)
+    argv_ptrs.push_back(const_cast<char*>(arg.c_str()));
+  argv_ptrs.push_back(nullptr);
+
+  // Inherited environment with extra_env overrides (an inherited key also
+  // named in extra_env is dropped, so getenv in the child sees the
+  // override regardless of lookup order).
+  const auto key_of = [](const char* entry) {
+    const char* eq = std::strchr(entry, '=');
+    return std::string_view(entry,
+                            eq ? static_cast<std::size_t>(eq - entry)
+                               : std::strlen(entry));
+  };
+  std::vector<char*> env_ptrs;
+  for (char** e = environ; e && *e; ++e) {
+    bool overridden = false;
+    for (const std::string& extra : extra_env)
+      if (key_of(extra.c_str()) == key_of(*e)) {
+        overridden = true;
+        break;
+      }
+    if (!overridden) env_ptrs.push_back(*e);
+  }
+  for (const std::string& extra : extra_env)
+    env_ptrs.push_back(const_cast<char*>(extra.c_str()));
+  env_ptrs.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawnp(&pid, argv_ptrs[0], nullptr, nullptr,
+                                argv_ptrs.data(), env_ptrs.data());
+  if (rc != 0)
+    throw std::system_error(rc, std::generic_category(),
+                            "posix_spawnp(" + argv.front() + ")");
+  return pid;
+}
+
+}  // namespace ftbesst::svc

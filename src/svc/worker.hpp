@@ -1,0 +1,60 @@
+#pragma once
+// One shard of the scaled serving tier.
+//
+// A Worker is a Server composed for tier duty: it serves on its own unix
+// socket, owns the shard of the result cache that the router's consistent
+// hashing steers at it, and answers the tier-internal `warm` op so a
+// respawned instance can be re-warmed from the router's journal. The
+// router (svc/router.hpp) spawns workers as separate processes via the
+// `ftbesst worker` subcommand — process isolation is the point: one crash
+// degrades one hash range, not the tier — but a Worker can equally be
+// embedded in-process (tests do this to exercise routing without fork).
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/server.hpp"
+
+namespace ftbesst::svc {
+
+struct WorkerOptions {
+  std::string socket_path;
+  /// Surfaced in the worker's stats op (e.g. "worker-3").
+  std::string name;
+  std::size_t queue_capacity = 64;
+  double default_deadline_ms = 0.0;
+  /// Workers default the slowloris guard on: the only legitimate client is
+  /// the router, which always writes whole frames.
+  double read_deadline_ms = 30000.0;
+  CacheConfig cache;
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Worker {
+ public:
+  Worker(std::shared_ptr<const Registry> registry, WorkerOptions options);
+
+  void start() { server_.start(); }
+  void wait() { server_.wait(); }
+  void run() { server_.run(); }
+  void shutdown() { server_.shutdown(); }
+
+  [[nodiscard]] Server& server() noexcept { return server_; }
+  [[nodiscard]] const Server& server() const noexcept { return server_; }
+
+ private:
+  Server server_;
+};
+
+/// fork+exec `argv` (PATH-resolved) with the current environment plus
+/// `extra_env` ("KEY=VALUE" entries override inherited keys). Returns the
+/// child pid; throws std::system_error on spawn failure. Never
+/// fork-without-exec: the router is multithreaded (and may run under
+/// TSan), so children must exec immediately.
+[[nodiscard]] pid_t spawn_process(const std::vector<std::string>& argv,
+                                  const std::vector<std::string>& extra_env);
+
+}  // namespace ftbesst::svc

@@ -21,18 +21,10 @@
 namespace ftbesst::svc {
 
 inline std::shared_ptr<const Registry> make_test_registry() {
-  auto topo = std::make_shared<net::TwoStageFatTree>(4, 4, 2);
-  auto arch =
-      std::make_shared<core::ArchBEO>("test", topo, net::CommParams{}, 4);
-  arch->bind_kernel(apps::kLuleshTimestep,
-                    std::make_shared<model::ConstantModel>(0.01));
-  arch->bind_kernel(apps::kStencilSweep,
-                    std::make_shared<model::ConstantModel>(0.005));
-  for (int level = 1; level <= 4; ++level)
-    arch->bind_kernel(
-        apps::checkpoint_kernel(static_cast<ft::Level>(level)),
-        std::make_shared<model::ConstantModel>(0.002 * level));
-  return std::make_shared<const Registry>(Registry{std::move(arch)});
+  // Delegates to the shared analytic registry so the in-process tests, the
+  // tier harness, and `ftbesst worker --analytic` all serve byte-identical
+  // results from the same models.
+  return std::make_shared<const Registry>(Registry::analytic());
 }
 
 inline std::string test_socket_path(const char* tag) {

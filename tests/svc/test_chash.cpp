@@ -1,0 +1,146 @@
+// Property tests for the consistent-hash ring (svc/chash.hpp): routing
+// purity, spread, and the bounded-remap guarantee that makes worker
+// add/remove (and respawn) cheap for the shard caches.
+
+#include "svc/chash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/test_seed.hpp"
+#include "svc/json.hpp"
+#include "svc/registry.hpp"
+
+namespace ftbesst::svc {
+namespace {
+
+std::vector<std::string> random_keys(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::set<std::string> unique;
+  while (unique.size() < count) {
+    // Shaped like real canonical keys: a canonical dump of a small request
+    // object, so the test exercises the same byte patterns production
+    // hashes.
+    JsonObject req;
+    req.emplace("op", Json(std::string("simulate")));
+    req.emplace("app", Json(std::string(rng() % 2 ? "lulesh" : "stencil3d")));
+    req.emplace("epr", Json(static_cast<std::int64_t>(rng() % 64 + 1)));
+    req.emplace("ranks", Json(static_cast<std::int64_t>(1ull << (rng() % 7))));
+    req.emplace("seed", Json(static_cast<std::int64_t>(rng() % 100000)));
+    unique.insert(Json(std::move(req)).dump());
+  }
+  return {unique.begin(), unique.end()};
+}
+
+TEST(RingHash, DistinctInputsAvalanche) {
+  // Near-identical inputs must not produce near-identical hashes.
+  const std::uint64_t a = ring_hash("worker-0#1");
+  const std::uint64_t b = ring_hash("worker-0#2");
+  const std::uint64_t c = ring_hash("worker-1#1");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // High bits participate (plain FNV-1a fails this for short ASCII).
+  EXPECT_NE(a >> 48, b >> 48);
+}
+
+TEST(HashRing, RejectsDegenerateShapes) {
+  EXPECT_THROW(HashRing(0, 128), std::invalid_argument);
+  EXPECT_THROW(HashRing(4, 0), std::invalid_argument);
+}
+
+TEST(HashRing, LookupIsPureFunctionOfKey) {
+  const std::uint64_t seed = test::test_seed(11821);
+  const HashRing ring_a(4, 128);
+  const HashRing ring_b(4, 128);  // independently built, identical ring
+  for (const std::string& key : random_keys(500, seed)) {
+    const std::size_t owner = ring_a.lookup(key);
+    EXPECT_LT(owner, 4u);
+    EXPECT_EQ(owner, ring_a.lookup(key)) << key;   // stable across calls
+    EXPECT_EQ(owner, ring_b.lookup(key)) << key;   // stable across instances
+  }
+}
+
+TEST(HashRing, SpreadsKeysAcrossAllWorkers) {
+  const std::uint64_t seed = test::test_seed(22931);
+  const std::size_t kWorkers = 4, kKeys = 2000;
+  const HashRing ring(kWorkers, 128);
+  std::vector<std::size_t> owned(kWorkers, 0);
+  for (const std::string& key : random_keys(kKeys, seed))
+    ++owned[ring.lookup(key)];
+  // With 128 vnodes/worker the load imbalance is modest: every worker owns
+  // a real share (no empty shard, nobody over ~2x fair share).
+  const double fair = static_cast<double>(kKeys) / kWorkers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    EXPECT_GT(owned[w], fair * 0.4) << "worker " << w << " starved";
+    EXPECT_LT(owned[w], fair * 2.0) << "worker " << w << " overloaded";
+  }
+}
+
+TEST(HashRing, AddingOneWorkerRemapsBoundedFraction) {
+  const std::uint64_t seed = test::test_seed(31013);
+  const std::size_t kKeys = 2000;
+  const auto keys = random_keys(kKeys, seed);
+  const HashRing before(4, 128);
+  const HashRing after(5, 128);
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::size_t old_owner = before.lookup(key);
+    const std::size_t new_owner = after.lookup(key);
+    if (old_owner != new_owner) {
+      // Consistent hashing's defining property: a key only ever moves TO
+      // the new worker — surviving workers never shuffle keys among
+      // themselves.
+      EXPECT_EQ(new_owner, 4u)
+          << "key moved between surviving workers: " << old_owner << " -> "
+          << new_owner;
+      ++moved;
+    }
+  }
+  // Expected movement is K/N_new; allow 50% slack over the expectation.
+  EXPECT_LE(moved, static_cast<std::size_t>(1.5 * kKeys / 5.0));
+  EXPECT_GT(moved, 0u);  // the new worker must take real load
+}
+
+TEST(HashRing, RemovingOneWorkerRemapsOnlyItsKeys) {
+  const std::uint64_t seed = test::test_seed(40427);
+  const std::size_t kKeys = 2000;
+  const auto keys = random_keys(kKeys, seed);
+  const HashRing before(5, 128);
+  const HashRing after(4, 128);  // worker 4 removed
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::size_t old_owner = before.lookup(key);
+    const std::size_t new_owner = after.lookup(key);
+    if (old_owner != new_owner) {
+      EXPECT_EQ(old_owner, 4u)
+          << "key not owned by the removed worker moved: " << old_owner
+          << " -> " << new_owner;
+      ++moved;
+    }
+  }
+  EXPECT_LE(moved, static_cast<std::size_t>(1.5 * kKeys / 5.0));
+}
+
+TEST(HashRing, RoutesCanonicalKeySpellingInvariantly) {
+  // Two spellings of the same request (key order, number format,
+  // volatile fields) canonicalize to one key and therefore one worker —
+  // the property that makes worker caches true shards.
+  const HashRing ring(4, 128);
+  const Json a = Json::parse(
+      "{\"op\":\"simulate\",\"app\":\"lulesh\",\"epr\":10,\"ranks\":64,"
+      "\"timesteps\":30,\"trials\":5,\"seed\":7}");
+  const Json b = Json::parse(
+      "{\"seed\":7,\"trials\":5,\"timesteps\":3e1,\"ranks\":64,"
+      "\"epr\":10.0,\"app\":\"lulesh\",\"op\":\"simulate\","
+      "\"deadline_ms\":500,\"id\":\"req-9\"}");
+  ASSERT_EQ(canonical_key(a), canonical_key(b));
+  EXPECT_EQ(ring.lookup(canonical_key(a)), ring.lookup(canonical_key(b)));
+}
+
+}  // namespace
+}  // namespace ftbesst::svc

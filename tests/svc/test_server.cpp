@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -287,6 +288,58 @@ TEST(Server, OversizedFramesAreRejected) {
       client.call_raw(std::string(1000, 'x'), /*max_frame_bytes=*/4096);
   EXPECT_FALSE(reply.ok);
   EXPECT_EQ(reply.code, "bad_request");
+}
+
+TEST(Server, SlowlorisPartialFrameIsTimedOutNotHeldForever) {
+  // Regression for the single-reader wart: a client that writes a frame
+  // header and then stalls used to hold its connection (and its admission
+  // slot candidacy) indefinitely. With a read deadline the server answers
+  // read_timeout and closes.
+  ServerOptions options;
+  options.read_deadline_ms = 200.0;
+  TestServer ts(options, "slowloris");
+
+  Client slow = ts.client();
+  unsigned char header[4];
+  encode_length(64, header);  // promises 64 bytes that never arrive
+  ASSERT_EQ(::send(slow.fd(), header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  const auto started = std::chrono::steady_clock::now();
+  const auto reply = read_frame(slow.fd(), kMaxFrameBytes);
+  const auto waited = std::chrono::steady_clock::now() - started;
+  ASSERT_TRUE(reply.has_value()) << "closed without the courtesy reply";
+  const Json envelope = Json::parse(*reply);
+  EXPECT_EQ(envelope.string_or("code", ""), "read_timeout") << *reply;
+  EXPECT_LT(waited, std::chrono::seconds(10));
+  // The connection is closed after the reply: the next read sees EOF.
+  EXPECT_FALSE(read_frame(slow.fd(), kMaxFrameBytes).has_value());
+
+  // A well-behaved client on the same server is unaffected.
+  Client ok = ts.client();
+  const ClientResponse pong = ok.call(Json::parse("{\"op\":\"ping\"}"));
+  EXPECT_TRUE(pong.ok) << pong.raw;
+
+  const auto stats = ts.server->stats();
+  EXPECT_GE(stats.read_timeouts, 1u);
+}
+
+TEST(Server, PartialFramesAreNotTimedOutWhenDeadlineDisabled) {
+  TestServer ts({}, "noslowdeadline");  // read_deadline_ms = 0 (off)
+  Client slow = ts.client(2.0);
+  unsigned char header[4];
+  encode_length(64, header);
+  ASSERT_EQ(::send(slow.fd(), header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Completing the frame late still works: no deadline means no sweep.
+  const std::string body =
+      "{\"id\":\"" + std::string(43, 'x') + "\",\"op\":\"ping\"}";
+  ASSERT_EQ(body.size(), 64u);
+  ASSERT_EQ(::send(slow.fd(), body.data(), body.size(), 0),
+            static_cast<ssize_t>(body.size()));
+  const auto reply = read_frame(slow.fd(), kMaxFrameBytes);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(Json::parse(*reply).bool_or("ok", false)) << *reply;
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+#pragma once
+// Process-level tier fixture for the soak/chaos harness (and reused by
+// bench_ext_tier): a Router that spawns REAL `ftbesst worker` processes —
+// the compiled CLI, via FTBESST_CLI_PATH — each serving the analytic
+// registry on its own shard socket. kill -9 on a worker pid is therefore a
+// genuine process death, exercising the same reap/respawn/re-warm path
+// production takes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server_test_util.hpp"
+#include "svc/client.hpp"
+#include "svc/router.hpp"
+
+#ifndef FTBESST_CLI_PATH
+#error "tier_test_util.hpp needs FTBESST_CLI_PATH (the ftbesst binary)"
+#endif
+
+namespace ftbesst::svc {
+
+struct TestTier {
+  explicit TestTier(std::size_t n, const char* tag = "tier",
+                    RouterOptions opt = {}) {
+    path = test_socket_path(tag);
+    opt.unix_socket_path = path;
+    if (opt.health_interval_ms == 200.0) opt.health_interval_ms = 100.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkerSpec spec;
+      spec.socket_path = path + ".w" + std::to_string(i);
+      spec.spawn_argv = {FTBESST_CLI_PATH,
+                         "worker",
+                         "--socket",
+                         spec.socket_path,
+                         "--name",
+                         "worker-" + std::to_string(i),
+                         "--analytic",
+                         "1"};
+      // Workers on the CI box share one core; two pool threads per worker
+      // keeps a blocking request from idling the whole shard without
+      // oversubscribing.
+      spec.spawn_env = {"FTBESST_THREADS=2"};
+      opt.workers.push_back(std::move(spec));
+    }
+    router = std::make_unique<Router>(std::move(opt));
+    router->start();
+  }
+
+  ~TestTier() {
+    if (router) {
+      router->shutdown();
+      router->wait();
+    }
+  }
+
+  [[nodiscard]] Client client(double timeout = 60.0) const {
+    return Client::connect_unix(path, timeout);
+  }
+
+  std::string path;
+  std::unique_ptr<Router> router;
+};
+
+}  // namespace ftbesst::svc

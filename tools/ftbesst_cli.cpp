@@ -49,10 +49,28 @@
 //
 //   ftbesst serve --socket PATH [--tcp-port P] [--models DIR]
 //       [--queue-capacity N] [--cache-mb M] [--cache-ttl S] [--deadline-ms D]
+//       [--workers N [--readers R] [--proxy-threads T] [--vnodes V]]
 //       Long-running prediction daemon: loads (or calibrates) the models
 //       once, then serves predict/simulate/dse requests over a
 //       length-prefixed JSON protocol with a sharded result cache and
 //       explicit overload rejection. SIGTERM/SIGINT drain gracefully.
+//       With --workers N the daemon becomes the horizontally scaled tier:
+//       a consistent-hash router fronting N worker processes (`ftbesst
+//       worker`), each owning one shard of the cache on its own unix
+//       socket. The models are calibrated/loaded ONCE and persisted next to
+//       the socket so every worker warm-starts from disk instead of
+//       re-fitting. Dead workers are respawned and re-warmed from the
+//       router's response journal.
+//
+//   ftbesst serve --rolling-restart 1 (--socket PATH | --tcp-port P)
+//       Control verb: ask a *running* tier to restart its workers one at a
+//       time with warm-cache handoff; prints the router's reply.
+//
+//   ftbesst worker --socket PATH (--models DIR | --analytic 1) [--name N]
+//       [--queue-capacity N] [--cache-mb M] [--read-deadline-ms D]
+//       One tier worker shard (normally spawned by `serve --workers`, but
+//       runnable standalone). --analytic serves the cheap deterministic
+//       test registry — what the tier tests and bench_ext_tier use.
 //
 //   ftbesst client (--socket PATH | --tcp-port P) [--request JSON]
 //       [--timeout S]
@@ -92,6 +110,8 @@
 //
 // All file formats are the plain-text ones from model/serialize.hpp.
 
+#include <unistd.h>
+
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -118,7 +138,9 @@
 #include "inject/campaign.hpp"
 #include "svc/client.hpp"
 #include "svc/registry.hpp"
+#include "svc/router.hpp"
 #include "svc/server.hpp"
+#include "svc/worker.hpp"
 #include "util/args.hpp"
 #include "util/config.hpp"
 #include "verify/corpus.hpp"
@@ -133,8 +155,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: ftbesst "
-               "<calibrate|fit|predict|simulate|inject|search|serve|client|"
-               "verify> [flags]\n"
+               "<calibrate|fit|predict|simulate|inject|search|serve|worker|"
+               "client|verify> [flags]\n"
                "every command also accepts --obs-out DIR (write metrics.json,\n"
                "trace.json, summary.txt from the observability layer)\n"
                "see the header of tools/ftbesst_cli.cpp or README.md\n";
@@ -624,29 +646,26 @@ int cmd_run_experiment(const util::ArgParser& args) {
   return 0;
 }
 
-int cmd_serve(const util::ArgParser& args) {
-  args.expect_known({"socket", "tcp-port", "models", "samples", "seed",
-                     "group-size", "node-size", "queue-capacity", "cache-mb",
-                     "cache-ttl", "cache-shards", "deadline-ms", "obs-out"});
+// argv[0] for respawnable worker processes: the running binary itself, so a
+// tier started from a build tree respawns the exact same build.
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "ftbesst";  // PATH-resolved fallback
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+std::shared_ptr<const svc::Registry> build_registry(
+    const util::ArgParser& args) {
+  if (args.get_int("analytic", 0) != 0)
+    return std::make_shared<const svc::Registry>(svc::Registry::analytic());
   svc::RegistryOptions reg_opt;
   reg_opt.models_dir = args.get_string("models", "");
   reg_opt.samples = static_cast<int>(args.get_int("samples", 5));
   reg_opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
   reg_opt.fti.group_size = static_cast<int>(args.get_int("group-size", 4));
   reg_opt.fti.node_size = static_cast<int>(args.get_int("node-size", 2));
-
-  svc::ServerOptions srv_opt;
-  srv_opt.unix_socket_path = args.get_string("socket", "");
-  srv_opt.tcp_port = static_cast<int>(args.get_int("tcp-port", -1));
-  srv_opt.queue_capacity =
-      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
-  srv_opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
-  srv_opt.cache.max_bytes =
-      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
-  srv_opt.cache.ttl_seconds = args.get_double("cache-ttl", 0.0);
-  srv_opt.cache.shards =
-      static_cast<std::size_t>(args.get_int("cache-shards", 8));
-
   std::cerr << (reg_opt.models_dir.empty()
                     ? "calibrating models on the bundled testbed...\n"
                     : "loading models from " + reg_opt.models_dir + "\n");
@@ -655,8 +674,164 @@ int cmd_serve(const util::ArgParser& args) {
   for (const auto& report : registry->reports())
     std::cerr << "  " << report.kernel << ": MAPE " << report.fit.full_mape
               << "% (" << model::to_string(report.fit.chosen) << ")\n";
+  return registry;
+}
 
-  svc::Server server(std::move(registry), srv_opt);
+int cmd_worker(const util::ArgParser& args) {
+  args.expect_known({"socket", "name", "models", "analytic", "samples",
+                     "seed", "group-size", "node-size", "queue-capacity",
+                     "cache-mb", "cache-ttl", "cache-shards", "deadline-ms",
+                     "read-deadline-ms", "obs-out"});
+  svc::WorkerOptions opt;
+  opt.socket_path = args.get_string("socket", "");
+  if (opt.socket_path.empty()) {
+    std::cerr << "worker needs --socket PATH\n";
+    return 2;
+  }
+  opt.name = args.get_string("name", "worker");
+  opt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  opt.read_deadline_ms = args.get_double("read-deadline-ms", 30000.0);
+  opt.cache.max_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
+  opt.cache.ttl_seconds = args.get_double("cache-ttl", 0.0);
+  opt.cache.shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+
+  svc::Worker worker(build_registry(args), opt);
+  worker.start();
+  svc::Server::install_signal_handlers(&worker.server());
+  std::cerr << "worker " << opt.name << " serving unix:" << opt.socket_path
+            << "\n";
+  worker.wait();
+  svc::Server::install_signal_handlers(nullptr);
+  return 0;
+}
+
+int cmd_serve_tier(const util::ArgParser& args, std::size_t workers) {
+  const std::string socket = args.get_string("socket", "");
+  if (socket.empty()) {
+    std::cerr << "serve --workers needs --socket PATH (worker shard sockets "
+                 "derive from it)\n";
+    return 2;
+  }
+  const bool analytic = args.get_int("analytic", 0) != 0;
+
+  // Calibrate-once warm start: whatever registry this process built gets
+  // persisted next to the socket, and every worker (re)spawn loads it from
+  // disk instead of re-fitting. Analytic registries are free to rebuild, so
+  // they skip the disk round trip.
+  std::string worker_models = args.get_string("models", "");
+  if (!analytic && worker_models.empty()) {
+    auto registry = build_registry(args);
+    worker_models = socket + ".models";
+    const std::size_t written = registry->save_models(worker_models);
+    std::cerr << "persisted " << written << " models to " << worker_models
+              << " for worker warm start\n";
+  }
+
+  svc::RouterOptions opt;
+  opt.unix_socket_path = socket;
+  opt.tcp_port = static_cast<int>(args.get_int("tcp-port", -1));
+  opt.readers = static_cast<std::size_t>(args.get_int("readers", 2));
+  opt.proxy_threads =
+      static_cast<std::size_t>(args.get_int("proxy-threads", 16));
+  opt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 256));
+  opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  opt.read_deadline_ms = args.get_double("read-deadline-ms", 30000.0);
+  opt.vnodes = static_cast<std::size_t>(args.get_int("vnodes", 128));
+
+  const std::string exe = self_exe_path();
+  for (std::size_t i = 0; i < workers; ++i) {
+    svc::WorkerSpec spec;
+    spec.socket_path = socket + ".w" + std::to_string(i);
+    spec.spawn_argv = {exe,
+                       "worker",
+                       "--socket",
+                       spec.socket_path,
+                       "--name",
+                       "worker-" + std::to_string(i),
+                       "--queue-capacity",
+                       std::to_string(args.get_int("queue-capacity", 64)),
+                       "--cache-mb",
+                       std::to_string(args.get_int("cache-mb", 64))};
+    if (analytic) {
+      spec.spawn_argv.insert(spec.spawn_argv.end(), {"--analytic", "1"});
+    } else {
+      spec.spawn_argv.insert(spec.spawn_argv.end(),
+                             {"--models", worker_models});
+    }
+    opt.workers.push_back(std::move(spec));
+  }
+
+  svc::Router router(std::move(opt));
+  router.start();
+  svc::Router::install_signal_handlers(&router);
+  std::cerr << "tier router on unix:" << socket;
+  if (router.tcp_port() >= 0)
+    std::cerr << " and 127.0.0.1:" << router.tcp_port();
+  std::cerr << " fronting " << workers << " workers\n";
+  if (router.wait_healthy(120.0))
+    std::cerr << "ready (all workers healthy)\n";
+  else
+    std::cerr << "warning: some workers still unhealthy after 120 s\n";
+  router.wait();
+  svc::Router::install_signal_handlers(nullptr);
+  const auto stats = router.stats();
+  std::cerr << "drained: " << stats.completed << " completed, " << stats.routed
+            << " routed, " << stats.coalesced << " coalesced, "
+            << stats.respawns << " respawns, " << stats.journal_replayed
+            << " journal entries replayed\n";
+  return 0;
+}
+
+int cmd_serve(const util::ArgParser& args) {
+  args.expect_known({"socket", "tcp-port", "models", "analytic", "samples",
+                     "seed", "group-size", "node-size", "queue-capacity",
+                     "cache-mb", "cache-ttl", "cache-shards", "deadline-ms",
+                     "read-deadline-ms", "workers", "readers",
+                     "proxy-threads", "vnodes", "rolling-restart", "timeout",
+                     "obs-out"});
+
+  if (args.get_int("rolling-restart", 0) != 0) {
+    // Control verb against a *running* tier, not a new daemon.
+    const std::string socket = args.get_string("socket", "");
+    const auto tcp_port = args.get_int("tcp-port", -1);
+    if (socket.empty() && tcp_port < 0) {
+      std::cerr << "serve --rolling-restart needs --socket or --tcp-port of "
+                   "the running tier\n";
+      return 2;
+    }
+    const double timeout = args.get_double("timeout", 600.0);
+    svc::Client client =
+        socket.empty()
+            ? svc::Client::connect_tcp(static_cast<int>(tcp_port), timeout)
+            : svc::Client::connect_unix(socket, timeout);
+    const svc::ClientResponse response =
+        client.call(svc::Json::parse("{\"op\":\"rolling_restart\"}"));
+    std::cout << response.raw << "\n";
+    return response.ok ? 0 : 1;
+  }
+
+  if (const auto workers = args.get_int("workers", 0); workers > 0)
+    return cmd_serve_tier(args, static_cast<std::size_t>(workers));
+
+  svc::ServerOptions srv_opt;
+  srv_opt.unix_socket_path = args.get_string("socket", "");
+  srv_opt.tcp_port = static_cast<int>(args.get_int("tcp-port", -1));
+  srv_opt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  srv_opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+  srv_opt.read_deadline_ms = args.get_double("read-deadline-ms", 0.0);
+  srv_opt.cache.max_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
+  srv_opt.cache.ttl_seconds = args.get_double("cache-ttl", 0.0);
+  srv_opt.cache.shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+
+  svc::Server server(build_registry(args), srv_opt);
   server.start();
   svc::Server::install_signal_handlers(&server);
   if (!srv_opt.unix_socket_path.empty())
@@ -872,6 +1047,7 @@ int dispatch(const std::string& command, const util::ArgParser& args) {
   if (command == "run-experiment") return cmd_run_experiment(args);
   if (command == "search") return cmd_search(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "worker") return cmd_worker(args);
   if (command == "client") return cmd_client(args);
   if (command == "verify") return cmd_verify(args);
   return usage();
